@@ -1,0 +1,109 @@
+// Shared scenario plumbing for the benchmark harnesses and examples: a
+// wireless cell with devices, stacks, and helpers for printing result
+// tables in a uniform format.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "net/stack.hpp"
+#include "phys/device.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::benchsup {
+
+/// One simulated 2.4 GHz cell with uniquely-numbered nodes.
+class Cell {
+ public:
+  explicit Cell(std::uint64_t seed = 1, env::Environment::Params params = {})
+      : world_(seed), env_(world_, seed_shadowing(params, seed)) {}
+
+  struct Node {
+    phys::Device* device;
+    net::NetStack* stack;
+  };
+
+  /// Adds a node at a fixed position. Channel defaults to 6.
+  Node add(phys::DeviceProfile profile, env::Vec2 pos, int channel = 6) {
+    phys::Device::Options opt;
+    opt.channel = channel;
+    return add_with_options(std::move(profile), pos, opt);
+  }
+
+  Node add_with_options(phys::DeviceProfile profile, env::Vec2 pos,
+                        const phys::Device::Options& options) {
+    const std::uint64_t id = next_id_++;
+    devices_.push_back(std::make_unique<phys::Device>(
+        world_, env_, id, std::move(profile),
+        std::make_unique<env::StaticMobility>(pos), options));
+    stacks_.push_back(
+        std::make_unique<net::NetStack>(world_, devices_.back()->mac()));
+    return {devices_.back().get(), stacks_.back().get()};
+  }
+
+  /// Adds a node with an arbitrary mobility model.
+  Node add_mobile(phys::DeviceProfile profile,
+                  std::unique_ptr<env::MobilityModel> mobility,
+                  int channel = 6) {
+    const std::uint64_t id = next_id_++;
+    phys::Device::Options opt;
+    opt.channel = channel;
+    devices_.push_back(std::make_unique<phys::Device>(
+        world_, env_, id, std::move(profile), std::move(mobility), opt));
+    stacks_.push_back(
+        std::make_unique<net::NetStack>(world_, devices_.back()->mac()));
+    return {devices_.back().get(), stacks_.back().get()};
+  }
+
+  sim::World& world() { return world_; }
+  env::Environment& environment() { return env_; }
+  void run_until(double sec) { world_.sim().run_until(sim::Time::sec(sec)); }
+
+ private:
+  // Ties per-link shadowing draws to the trial seed unless the caller
+  // pinned an explicit one.
+  static env::Environment::Params seed_shadowing(
+      env::Environment::Params params, std::uint64_t seed) {
+    if (params.path_loss.seed == env::PathLossModel::Params{}.seed) {
+      params.path_loss.seed = seed;
+    }
+    return params;
+  }
+
+  sim::World world_;
+  env::Environment env_;
+  std::vector<std::unique_ptr<phys::Device>> devices_;
+  std::vector<std::unique_ptr<net::NetStack>> stacks_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Prints a table header + separator: title, then column names.
+inline void table_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("\n### %s\n", title.c_str());
+  std::string line;
+  for (const auto& c : columns) {
+    char cell[64];
+    std::snprintf(cell, sizeof cell, "%14s", c.c_str());
+    line += cell;
+  }
+  std::printf("%s\n", line.c_str());
+  std::printf("%s\n", std::string(line.size(), '-').c_str());
+}
+
+inline void table_cell(double v) { std::printf("%14.4g", v); }
+inline void table_cell(const std::string& v) {
+  std::printf("%14s", v.c_str());
+}
+inline void table_end_row() { std::printf("\n"); }
+
+template <typename... Ts>
+void table_row(Ts... cells) {
+  (table_cell(cells), ...);
+  table_end_row();
+}
+
+}  // namespace aroma::benchsup

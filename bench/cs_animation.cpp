@@ -1,0 +1,146 @@
+// CS-ANIM — the physical-layer bandwidth finding, quantified.
+//
+// "One physical layer issue that we have encountered is the relatively low
+// bandwidth of current wireless networking adapters. Their use in our
+// application prevents us from displaying rapid animation."
+//
+//   Table A: achieved display rate vs workload x encoding over the 2 Mb/s
+//            wireless link (offered rate 20 Hz).
+//   Table B: achieved rate vs link bitrate (the 1999 -> future sweep) for
+//            the animation workload, tiled encoding.
+//   Micro:   google-benchmark encoder throughput per encoding.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "app/projector.hpp"
+#include "bench/common.hpp"
+#include "rfb/encoding.hpp"
+#include "rfb/workload.hpp"
+
+namespace {
+
+using namespace aroma;
+
+struct DisplayRun {
+  double achieved_fps = 0.0;
+  double kbytes_per_update = 0.0;
+  bool synced = false;
+};
+
+DisplayRun run_display(rfb::ScreenWorkload& workload, rfb::Encoding encoding,
+                       double bitrate_bps, double offered_hz,
+                       std::uint64_t seed) {
+  benchsup::Cell cell(seed);
+  auto laptop_profile = phys::profiles::laptop();
+  laptop_profile.net.bitrate_bps = bitrate_bps;
+  auto adapter_profile = phys::profiles::aroma_adapter();
+  adapter_profile.net.bitrate_bps = bitrate_bps;
+  auto laptop = cell.add(laptop_profile, {0, 0});
+  auto adapter = cell.add(adapter_profile, {6, 0});
+
+  rfb::RfbServer::Params sp;
+  sp.encoding = encoding;
+  sp.cpu_mips = 120.0;  // the Aroma adapter's class of CPU
+  app::PresenterDisplay display(cell.world(), *laptop.stack, 320, 240, sp);
+  display.start_server();
+  workload.step(display.screen());
+
+  app::SmartProjector projector(cell.world(), *adapter.stack);
+  app::ProjectorClient client(cell.world(), *laptop.stack,
+                              adapter.stack->node_id(), app::kProjectionPort);
+  bool started = false;
+  client.acquire([&](bool ok) {
+    if (ok) {
+      client.start_projection(laptop.stack->node_id(),
+                              [&](bool s) { started = s; });
+    }
+  });
+  cell.run_until(10.0);
+  if (!started) return {};
+
+  const double run_s = 30.0;
+  sim::PeriodicTimer ticker(cell.world().sim(),
+                            sim::Time::sec(1.0 / offered_hz),
+                            [&] { display.apply(workload); });
+  ticker.start();
+  const auto before = projector.viewer()->stats().updates_received;
+  const sim::Time t0 = cell.world().now();
+  cell.run_until(t0.seconds() + run_s);
+  ticker.stop();
+  const auto after = projector.viewer()->stats().updates_received;
+  cell.run_until(t0.seconds() + run_s + 30.0);  // drain
+
+  DisplayRun r;
+  r.achieved_fps = static_cast<double>(after - before) / run_s;
+  const auto& st = projector.viewer()->stats();
+  r.kbytes_per_update =
+      st.updates_received
+          ? static_cast<double>(st.bytes_received) / st.updates_received / 1024.0
+          : 0.0;
+  r.synced = projector.projected() != nullptr &&
+             projector.projected()->same_content(display.screen());
+  return r;
+}
+
+void table_a_workload_encoding() {
+  benchsup::table_header(
+      "Table A: display rate at 2 Mb/s, offered 20 Hz, 320x240",
+      {"workload", "encoding", "fps", "kB/update", "synced"});
+  for (const char* wl : {"slides", "typing", "animation"}) {
+    for (auto enc :
+         {rfb::Encoding::kRaw, rfb::Encoding::kRle, rfb::Encoding::kTiled}) {
+      std::unique_ptr<rfb::ScreenWorkload> workload;
+      if (std::string(wl) == "slides") {
+        workload = std::make_unique<rfb::SlideDeckWorkload>(5);
+      } else if (std::string(wl) == "typing") {
+        workload = std::make_unique<rfb::TypingWorkload>(5);
+      } else {
+        workload = std::make_unique<rfb::AnimationWorkload>(5, 64);
+      }
+      const auto r = run_display(*workload, enc, 2e6, 20.0, 77);
+      benchsup::table_row(std::string(wl),
+                          std::string(rfb::to_string(enc)), r.achieved_fps,
+                          r.kbytes_per_update, r.synced ? 1.0 : 0.0);
+    }
+  }
+}
+
+void table_b_bitrate_sweep() {
+  benchsup::table_header(
+      "Table B: animation (raw, as era VNC) vs link bitrate, offered 20 Hz",
+      {"bitrate-Mbps", "fps", "kB/update"});
+  for (double mbps : {0.5, 1.0, 2.0, 5.5, 11.0, 54.0}) {
+    rfb::AnimationWorkload anim(9, 96);
+    const auto r = run_display(anim, rfb::Encoding::kRaw, mbps * 1e6, 20.0,
+                               88 + static_cast<std::uint64_t>(mbps * 10));
+    benchsup::table_row(mbps, r.achieved_fps, r.kbytes_per_update);
+  }
+}
+
+// Micro-benchmarks: encoder cost (wall-clock) per encoding and content.
+void BM_Encode(benchmark::State& state) {
+  const auto enc = static_cast<rfb::Encoding>(state.range(0));
+  rfb::Framebuffer fb(320, 240, 0xff202020);
+  rfb::SlideDeckWorkload deck(3);
+  deck.step(fb);
+  for (auto _ : state) {
+    auto bytes = rfb::encode_rect(fb, fb.bounds(), enc);
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          320 * 240 * 4);
+}
+BENCHMARK(BM_Encode)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== CS-ANIM: wireless bandwidth vs animation ==\n");
+  table_a_workload_encoding();
+  table_b_bitrate_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

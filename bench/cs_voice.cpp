@@ -1,0 +1,107 @@
+// CS-VOICE — the environment-layer voice-control study (paper future work).
+//
+// "Background noise, that is currently acceptable, may become objectionable
+// if voice recognition is used in a pervasive computing system" and "the
+// use of voice-based devices may be socially inappropriate in a cramped
+// office environment with cubicles."
+//
+//   Table A: voice-command success vs ambient noise and speaker distance.
+//   Table B: competing talkers — success vs number of background
+//            conversations in the room.
+//   Table C: social appropriateness of the required speech level vs room
+//            crowding (when making yourself heard stops being acceptable).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "env/acoustics.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace aroma;
+
+/// Probability a spoken command is recognized: each of `words` words must
+/// be intelligible; intelligibility is the articulation-index style score
+/// from the acoustic field.
+double command_success(const env::AcousticField& field, env::Vec2 mic,
+                       std::uint64_t speaker_id, int words, sim::Rng& rng,
+                       int trials = 400) {
+  const double intelligibility = field.intelligibility(mic, speaker_id);
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    bool all = true;
+    for (int wq = 0; wq < words; ++wq) {
+      all &= rng.bernoulli(intelligibility);
+    }
+    ok += all ? 1 : 0;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+void table_a_noise_distance() {
+  benchsup::table_header(
+      "Table A: 3-word command success vs ambient noise and distance",
+      {"ambient-db", "d=0.5m", "d=1m", "d=2m", "d=4m"});
+  sim::Rng rng(1);
+  for (double ambient : {30.0, 40.0, 50.0, 60.0, 70.0}) {
+    std::vector<double> cells;
+    for (double d : {0.5, 1.0, 2.0, 4.0}) {
+      env::AcousticField field(ambient);
+      const auto speaker = field.add_source({0, {0, 0}, 60.0, true, "user"});
+      cells.push_back(command_success(field, {d, 0}, speaker, 3, rng));
+    }
+    benchsup::table_row(ambient, cells[0], cells[1], cells[2], cells[3]);
+  }
+}
+
+void table_b_conversations() {
+  benchsup::table_header(
+      "Table B: success vs background conversations (mic at 1 m, quiet "
+      "35 dB base)",
+      {"talkers", "spl-at-mic-db", "success"});
+  sim::Rng rng(2);
+  for (int talkers : {0, 1, 2, 4, 8}) {
+    env::AcousticField field(35.0);
+    const auto speaker = field.add_source({0, {0, 0}, 60.0, true, "user"});
+    sim::Rng placer(100 + static_cast<std::uint64_t>(talkers));
+    for (int i = 0; i < talkers; ++i) {
+      // Cubicle neighbours 2-6 m away, normal speech level.
+      const double angle = placer.uniform(0.0, 6.28318);
+      const double dist = placer.uniform(2.0, 6.0);
+      field.add_source({0,
+                        {dist * std::cos(angle), dist * std::sin(angle)},
+                        60.0,
+                        true,
+                        "neighbour"});
+    }
+    const env::Vec2 mic{1.0, 0.0};
+    benchsup::table_row(static_cast<double>(talkers),
+                        field.noise_excluding(mic, speaker),
+                        command_success(field, mic, speaker, 3, rng));
+  }
+}
+
+void table_c_social() {
+  benchsup::table_header(
+      "Table C: social appropriateness of speaking up (score < 0.5 is "
+      "'objectionable')",
+      {"speech-db", "quiet-office", "open-plan", "cramped-cubicles"});
+  for (double speech : {45.0, 55.0, 65.0, 75.0}) {
+    benchsup::table_row(speech,
+                        env::social_appropriateness(speech, 40.0, 0.1),
+                        env::social_appropriateness(speech, 45.0, 0.6),
+                        env::social_appropriateness(speech, 42.0, 1.5));
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== CS-VOICE: voice control vs the acoustic environment ==\n");
+  table_a_noise_distance();
+  table_b_conversations();
+  table_c_social();
+  return 0;
+}

@@ -1,0 +1,93 @@
+// FIG1 — the LPC model itself (paper Figure 1).
+//
+// (a) Regenerates the layer/facet/constraint table from the executable
+//     model, and the temporal-specificity gradient the paper describes.
+// (b) google-benchmark micro-benchmarks: issue classification and full
+//     system analysis throughput — the model is cheap enough to run inside
+//     interactive design tools.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+#include "lpc/analyzer.hpp"
+#include "lpc/entity.hpp"
+#include "lpc/issue.hpp"
+
+namespace {
+
+using namespace aroma;
+
+const char* kSampleIssues[] = {
+    "2.4 GHz interference from co-located devices degrades the link",
+    "the user must understand that both clients must be started",
+    "all users are assumed to speak English and to troubleshoot Jini",
+    "the design is not in harmony with the needs of a casual user",
+    "low bandwidth of the wireless adapter prevents rapid animation",
+    "background noise defeats voice recognition in the cubicle farm",
+};
+
+void BM_ClassifyIssue(benchmark::State& state) {
+  const lpc::IssueClassifier classifier;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto c = classifier.classify(
+        kSampleIssues[i++ % (sizeof kSampleIssues / sizeof *kSampleIssues)]);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_ClassifyIssue);
+
+void BM_AnalyzeCaseStudy(benchmark::State& state) {
+  const lpc::SystemModel model = lpc::smart_projector_case_study();
+  const lpc::Analyzer analyzer;
+  for (auto _ : state) {
+    const auto report = analyzer.analyze(model);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_AnalyzeCaseStudy);
+
+void BM_RenderReport(benchmark::State& state) {
+  const lpc::Analyzer analyzer;
+  const auto report = analyzer.analyze(lpc::smart_projector_case_study());
+  for (auto _ : state) {
+    const auto text = report.render();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_RenderReport);
+
+void print_figure1() {
+  std::printf("%s\n", lpc::render_layer_table().c_str());
+
+  benchsup::table_header(
+      "Temporal specificity (typical change period, seconds)",
+      {"layer", "user-side", "device-side"});
+  for (auto it = lpc::kAllLayers.rbegin(); it != lpc::kAllLayers.rend();
+       ++it) {
+    benchsup::table_row(std::string(lpc::to_string(*it)),
+                        lpc::user_side_change_period(*it).seconds(),
+                        lpc::device_side_change_period(*it).seconds());
+  }
+
+  // Classifier demonstration over the sample issues.
+  benchsup::table_header("Issue classification (paper-derived samples)",
+                         {"assigned-layer", "confidence"});
+  const lpc::IssueClassifier classifier;
+  for (const char* text : kSampleIssues) {
+    const auto c = classifier.classify(text);
+    std::printf("  %.60s...\n", text);
+    benchsup::table_row(std::string(lpc::to_string(c.layer)), c.confidence);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("== FIG1: Layered Pervasive Computing model ==\n");
+  print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,359 @@
+// FIG3 — the resource layer (paper Figure 3).
+//
+// Device side: "what can we count on being available?" — service discovery
+// as the defining logical resource of the Aroma stack. Compares the
+// Jini-like registrar against the SLP-like and SSDP-like baselines:
+//   Table A: time-to-discover and client message cost vs. service count.
+//   Table B: staleness after a silent service death (registrar leases vs.
+//            announcement max-age vs. nothing).
+// User side: faculties as resources — what happens when developers assume
+// faculties users don't have:
+//   Table C: faculty fit of each persona against the prototype's implicit
+//            requirements and a commercial profile.
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "bench/common.hpp"
+#include "disco/jini.hpp"
+#include "net/bridge.hpp"
+#include "net/wired.hpp"
+#include "disco/slp.hpp"
+#include "disco/ssdp.hpp"
+#include "sim/stats.hpp"
+#include "user/faculties.hpp"
+
+namespace {
+
+using namespace aroma;
+
+disco::ServiceDescription nth_service(int i, net::NodeId node) {
+  disco::ServiceDescription s;
+  s.type = (i % 3 == 0)   ? "projector/display"
+           : (i % 3 == 1) ? "printer/laser"
+                          : "media/renderer";
+  s.endpoint = {node, static_cast<net::Port>(6000 + i)};
+  s.attributes["idx"] = std::to_string(i);
+  return s;
+}
+
+struct DiscoveryResult {
+  double latency_ms = -1.0;
+  double client_messages = 0.0;
+  bool found = false;
+};
+
+/// Time for a cold client to find a "projector/display" among n services.
+DiscoveryResult run_jini(int n_services, std::uint64_t seed) {
+  benchsup::Cell cell(seed);
+  auto reg = cell.add(phys::profiles::desktop_pc_with_radio(), {0, 10});
+  disco::JiniRegistrar registrar(cell.world(), *reg.stack);
+  std::vector<std::unique_ptr<disco::JiniClient>> providers;
+  for (int i = 0; i < n_services; ++i) {
+    auto node = cell.add(phys::profiles::aroma_adapter(),
+                         {2.0 + i % 5, 1.0 + i / 5});
+    providers.push_back(
+        std::make_unique<disco::JiniClient>(cell.world(), *node.stack));
+    providers.back()->register_service(
+        nth_service(i, node.stack->node_id()), [](bool, disco::ServiceId) {});
+  }
+  cell.run_until(20.0);  // registrations settle
+
+  auto seeker_node = cell.add(phys::profiles::laptop(), {-3, 0});
+  disco::JiniClient seeker(cell.world(), *seeker_node.stack);
+  DiscoveryResult r;
+  const sim::Time start = cell.world().now();
+  seeker.lookup(disco::ServiceTemplate{"projector/display", {}},
+                [&](std::vector<disco::ServiceDescription> s) {
+                  r.found = !s.empty();
+                  r.latency_ms = (cell.world().now() - start).millis();
+                });
+  cell.run_until(40.0);
+  r.client_messages = static_cast<double>(seeker.messages_sent());
+  return r;
+}
+
+DiscoveryResult run_slp(int n_services, bool with_da, std::uint64_t seed) {
+  benchsup::Cell cell(seed);
+  std::unique_ptr<disco::SlpDirectoryAgent> da;
+  if (with_da) {
+    auto da_node = cell.add(phys::profiles::desktop_pc_with_radio(), {0, 10});
+    da = std::make_unique<disco::SlpDirectoryAgent>(cell.world(),
+                                                    *da_node.stack);
+  }
+  std::vector<std::unique_ptr<disco::SlpServiceAgent>> agents;
+  for (int i = 0; i < n_services; ++i) {
+    auto node = cell.add(phys::profiles::aroma_adapter(),
+                         {2.0 + i % 5, 1.0 + i / 5});
+    agents.push_back(
+        std::make_unique<disco::SlpServiceAgent>(cell.world(), *node.stack));
+    agents.back()->advertise(nth_service(i, node.stack->node_id()));
+  }
+  cell.run_until(20.0);
+
+  auto seeker_node = cell.add(phys::profiles::laptop(), {-3, 0});
+  disco::SlpUserAgent seeker(cell.world(), *seeker_node.stack);
+  if (with_da) cell.run_until(31.0);  // hear one DA advert
+  DiscoveryResult r;
+  const sim::Time start = cell.world().now();
+  seeker.find(disco::ServiceTemplate{"projector/display", {}},
+              [&](std::vector<disco::ServiceDescription> s) {
+                r.found = !s.empty();
+                r.latency_ms = (cell.world().now() - start).millis();
+              });
+  cell.run_until(60.0);
+  r.client_messages = static_cast<double>(seeker.messages_sent());
+  return r;
+}
+
+DiscoveryResult run_ssdp(int n_services, bool warm_cache,
+                         std::uint64_t seed) {
+  benchsup::Cell cell(seed);
+  std::vector<std::unique_ptr<disco::SsdpAdvertiser>> advs;
+  for (int i = 0; i < n_services; ++i) {
+    auto node = cell.add(phys::profiles::aroma_adapter(),
+                         {2.0 + i % 5, 1.0 + i / 5});
+    advs.push_back(
+        std::make_unique<disco::SsdpAdvertiser>(cell.world(), *node.stack));
+    advs.back()->advertise(nth_service(i, node.stack->node_id()));
+  }
+  auto seeker_node = cell.add(phys::profiles::laptop(), {-3, 0});
+  disco::SsdpControlPoint seeker(cell.world(), *seeker_node.stack);
+  // Warm: the control point has been on long enough to hear announcements.
+  cell.run_until(warm_cache ? 20.0 : 0.001);
+  DiscoveryResult r;
+  const sim::Time start = cell.world().now();
+  seeker.find(disco::ServiceTemplate{"projector/display", {}},
+              [&](std::vector<disco::ServiceDescription> s) {
+                r.found = !s.empty();
+                r.latency_ms = (cell.world().now() - start).millis();
+              });
+  cell.run_until(start.seconds() + 20.0);
+  r.client_messages = static_cast<double>(seeker.messages_sent());
+  return r;
+}
+
+void table_a_latency() {
+  benchsup::table_header(
+      "Table A: time-to-discover 'projector/display' (cold client)",
+      {"services", "protocol", "found", "latency-ms", "client-msgs"});
+  for (int n : {3, 9, 21, 45}) {
+    const auto jini = run_jini(n, 100 + n);
+    benchsup::table_row(static_cast<double>(n), std::string("jini"),
+                        jini.found ? 1.0 : 0.0, jini.latency_ms,
+                        jini.client_messages);
+    const auto slp_da = run_slp(n, true, 200 + n);
+    benchsup::table_row(static_cast<double>(n), std::string("slp+DA"),
+                        slp_da.found ? 1.0 : 0.0, slp_da.latency_ms,
+                        slp_da.client_messages);
+    const auto slp = run_slp(n, false, 300 + n);
+    benchsup::table_row(static_cast<double>(n), std::string("slp-noDA"),
+                        slp.found ? 1.0 : 0.0, slp.latency_ms,
+                        slp.client_messages);
+    const auto cold = run_ssdp(n, false, 400 + n);
+    benchsup::table_row(static_cast<double>(n), std::string("ssdp-cold"),
+                        cold.found ? 1.0 : 0.0, cold.latency_ms,
+                        cold.client_messages);
+    const auto warm = run_ssdp(n, true, 500 + n);
+    benchsup::table_row(static_cast<double>(n), std::string("ssdp-warm"),
+                        warm.found ? 1.0 : 0.0, warm.latency_ms,
+                        warm.client_messages);
+  }
+}
+
+void table_b_staleness() {
+  benchsup::table_header(
+      "Table B: belief in a silently-dead service (seconds until the "
+      "infrastructure notices)",
+      {"protocol", "detect-after-s"});
+  // Jini: the registrar lease expires without renewal.
+  {
+    benchsup::Cell cell(11);
+    auto reg = cell.add(phys::profiles::desktop_pc_with_radio(), {0, 10});
+    disco::JiniRegistrar registrar(cell.world(), *reg.stack);
+    auto node = cell.add(phys::profiles::aroma_adapter(), {2, 1});
+    auto provider =
+        std::make_unique<disco::JiniClient>(cell.world(), *node.stack);
+    provider->register_service(nth_service(0, node.stack->node_id()),
+                               [](bool, disco::ServiceId) {});
+    cell.run_until(10.0);
+    provider.reset();  // silent crash: renewals stop
+    const double death = cell.world().now().seconds();
+    double detected = -1.0;
+    while (cell.world().now() < sim::Time::sec(300)) {
+      cell.run_until(cell.world().now().seconds() + 1.0);
+      if (registrar.registered_count() == 0) {
+        detected = cell.world().now().seconds() - death;
+        break;
+      }
+    }
+    benchsup::table_row(std::string("jini-lease"), detected);
+  }
+  // SSDP: the cached entry outlives the service until max-age.
+  {
+    benchsup::Cell cell(12);
+    auto node = cell.add(phys::profiles::aroma_adapter(), {2, 1});
+    disco::SsdpAdvertiser adv(cell.world(), *node.stack);
+    auto cp_node = cell.add(phys::profiles::laptop(), {-3, 0});
+    disco::SsdpControlPoint cp(cell.world(), *cp_node.stack);
+    adv.advertise(nth_service(0, node.stack->node_id()));
+    cell.run_until(10.0);
+    adv.withdraw(1, /*silent=*/true);
+    const double death = cell.world().now().seconds();
+    double detected = -1.0;
+    while (cell.world().now() < sim::Time::sec(300)) {
+      cell.run_until(cell.world().now().seconds() + 1.0);
+      if (cp.cached(disco::ServiceTemplate{}).empty()) {
+        detected = cell.world().now().seconds() - death;
+        break;
+      }
+    }
+    benchsup::table_row(std::string("ssdp-maxage"), detected);
+  }
+}
+
+void table_c_faculties() {
+  benchsup::table_header(
+      "Table C: faculty fit — personas vs developer assumptions",
+      {"persona", "vs-prototype", "vs-commercial", "mismatches"});
+  struct Row {
+    const char* name;
+    user::Faculties f;
+  };
+  const Row rows[] = {
+      {"computer-sci", user::personas::computer_scientist()},
+      {"expert-presenter", user::personas::expert_presenter()},
+      {"office-worker", user::personas::office_worker()},
+      {"novice", user::personas::novice()},
+      {"non-english", user::personas::non_english_speaker()},
+  };
+  const auto proto = user::smart_projector_prototype_requirements();
+  const auto commercial = user::commercial_product_requirements();
+  for (const auto& row : rows) {
+    benchsup::table_row(
+        std::string(row.name), user::faculty_fit(row.f, proto),
+        user::faculty_fit(row.f, commercial),
+        static_cast<double>(user::check_faculty_fit(row.f, proto).size()));
+  }
+}
+
+/// The announcement-chattiness vs battery-life trade-off for the paper's
+/// $10 battery-powered SOC appliances: SSDP's periodic multicast costs
+/// transmit energy forever; registrar leases renew far less often.
+void table_d_chattiness() {
+  benchsup::table_header(
+      "Table D: discovery chattiness vs radio energy (SOC, 1 h simulated)",
+      {"scheme", "period-s", "msgs/h", "radio-J/h", "battery-days"});
+  struct Config {
+    const char* name;
+    double period_s;
+  };
+  for (const Config& cfg : {Config{"ssdp-fast", 5.0}, Config{"ssdp", 15.0},
+                            Config{"ssdp-slow", 60.0},
+                            Config{"jini-renew", 300.0}}) {
+    benchsup::Cell cell(700);
+    phys::Device::Options opt;
+    opt.channel = 6;
+    opt.battery_powered = true;
+    opt.battery.capacity_j = 10'000.0;
+    opt.battery.tx_power_w = 0.9;
+    opt.battery.rx_power_w = 0.0;  // isolate transmit cost
+    auto soc_profile = phys::profiles::future_soc();
+    soc_profile.idle_power_w = 0.0;  // isolate the radio's share
+    auto node = cell.add_with_options(soc_profile, {0, 0}, opt);
+    auto peer = cell.add(phys::profiles::desktop_pc_with_radio(), {5, 0});
+    (void)peer;
+
+    const double before = node.device->battery().level_j();
+    // One announcement-sized multicast per period for an hour.
+    std::uint64_t msgs = 0;
+    sim::PeriodicTimer announcer(
+        cell.world().sim(), sim::Time::sec(cfg.period_s), [&] {
+          ++msgs;
+          node.stack->send_multicast(2, 1900, 1900,
+                                     std::vector<std::byte>(160));
+        });
+    announcer.start();
+    cell.run_until(3600.0);
+    announcer.stop();
+    const double joules = before - node.device->battery().level_j();
+    // Projected battery life if the radio were the only load, for a
+    // typical small pack (10 kJ).
+    const double days =
+        joules > 0.0 ? 10'000.0 / joules / 24.0 : 1e9;
+    benchsup::table_row(std::string(cfg.name), cfg.period_s,
+                        static_cast<double>(msgs), joules, days);
+  }
+}
+
+/// Discovery across the access point: the lookup service lives on the
+/// wired backbone (as in the Aroma lab) and the portable client reaches it
+/// through the bridge.
+void table_e_hybrid() {
+  benchsup::table_header(
+      "Table E: wired registrar via access point vs all-wireless",
+      {"topology", "found", "latency-ms"});
+  // All-wireless baseline.
+  {
+    const auto r = run_jini(3, 900);
+    benchsup::table_row(std::string("wireless"), r.found ? 1.0 : 0.0,
+                        r.latency_ms);
+  }
+  // Hybrid: registrar on the wired bus, client on the wireless cell.
+  {
+    sim::World world(901);
+    env::Environment environment(world);
+    net::WiredBus bus(world);
+    auto laptop = std::make_unique<phys::Device>(
+        world, environment, 1, phys::profiles::laptop(),
+        std::make_unique<env::StaticMobility>(env::Vec2{3, 0}));
+    auto ap = std::make_unique<phys::Device>(
+        world, environment, 50, phys::profiles::aroma_adapter(),
+        std::make_unique<env::StaticMobility>(env::Vec2{0, 0}));
+    net::NetStack laptop_stack(world, laptop->mac());
+    laptop_stack.set_next_hop(
+        [](net::NodeId d) { return d >= 100 ? net::NodeId{50} : d; });
+    net::WirelessLink ap_wireless(ap->mac());
+    net::Bridge bridge(world, ap_wireless, bus.create_port(50));
+    auto& registrar_port = bus.create_port(200);
+    net::NetStack registrar_stack(world, registrar_port);
+    registrar_stack.set_next_hop(
+        [](net::NodeId d) { return d < 100 ? net::NodeId{50} : d; });
+    disco::JiniRegistrar registrar(world, registrar_stack);
+    std::vector<std::unique_ptr<disco::JiniClient>> providers;
+    auto provider_dev = std::make_unique<phys::Device>(
+        world, environment, 2, phys::profiles::aroma_adapter(),
+        std::make_unique<env::StaticMobility>(env::Vec2{0, 3}));
+    net::NetStack provider_stack(world, provider_dev->mac());
+    provider_stack.set_next_hop(
+        [](net::NodeId d) { return d >= 100 ? net::NodeId{50} : d; });
+    disco::JiniClient provider(world, provider_stack);
+    provider.register_service(nth_service(0, 2), [](bool, disco::ServiceId) {});
+    world.sim().run_until(sim::Time::sec(20));
+
+    disco::JiniClient seeker(world, laptop_stack);
+    DiscoveryResult r;
+    const sim::Time start = world.now();
+    seeker.lookup(disco::ServiceTemplate{"projector/display", {}},
+                  [&](std::vector<disco::ServiceDescription> s) {
+                    r.found = !s.empty();
+                    r.latency_ms = (world.now() - start).millis();
+                  });
+    world.sim().run_until(sim::Time::sec(40));
+    benchsup::table_row(std::string("via-AP+wired"), r.found ? 1.0 : 0.0,
+                        r.latency_ms);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== FIG3: resource layer — discovery substrates & user "
+              "faculties ==\n");
+  table_a_latency();
+  table_b_staleness();
+  table_c_faculties();
+  table_d_chattiness();
+  table_e_hybrid();
+  return 0;
+}

@@ -1,0 +1,126 @@
+// FIG5 — the intentional layer (paper Figure 5).
+//
+// "We believe that the probability of success is greatly enhanced when a
+// system's design is in harmony with the user's goals" and "the history of
+// computing is replete with failures of technically 'superior' products."
+//
+//   Table A: the adoption curve — probability vs harmony at several
+//            burden levels (the model the claims rest on).
+//   Table B: the Smart Projector cast — harmony/burden/fit/adoption per
+//            (user, device) pair in the case study.
+//   Table C: Monte-Carlo population adoption — research prototype vs the
+//            commercial redesign vs a "technically superior but goal-deaf"
+//            variant; plus ablations on feedback and leased sessions.
+#include <cstdio>
+#include <functional>
+
+#include "bench/common.hpp"
+#include "lpc/entity.hpp"
+#include "lpc/harmony.hpp"
+#include "user/goals.hpp"
+
+namespace {
+
+using namespace aroma;
+
+void table_a_curve() {
+  benchsup::table_header("Table A: adoption probability vs harmony",
+                         {"harmony", "burden=0.2", "burden=0.5", "burden=0.8"});
+  const user::AdoptionModel m;
+  for (double h = 0.0; h <= 1.001; h += 0.125) {
+    benchsup::table_row(h, m.probability(h, 0.2, 0.7),
+                        m.probability(h, 0.5, 0.7),
+                        m.probability(h, 0.8, 0.7));
+  }
+}
+
+void table_b_case_study() {
+  benchsup::table_header(
+      "Table B: Smart Projector cast (paper case study)",
+      {"user", "device", "harmony", "burden", "fit", "p(adopt)"});
+  const lpc::SystemModel m = lpc::smart_projector_case_study();
+  for (const auto& a : lpc::assess_harmony(m, user::AdoptionModel{})) {
+    benchsup::table_row(a.user, a.device, a.harmony, a.burden, a.faculty_fit,
+                        a.adoption_probability);
+  }
+}
+
+lpc::SystemModel commercial_variant() {
+  lpc::SystemModel m = lpc::smart_projector_case_study();
+  for (auto& d : m.devices) {
+    if (d.application && d.application->workflow_steps > 0) {
+      d.application->workflow_steps = 1;
+      d.application->avg_step_difficulty = 0.1;
+      d.application->gives_state_feedback = true;
+      d.resources.assumed_user = user::commercial_product_requirements();
+      d.resources.self_configuring = true;
+      d.purpose = user::commercial_product_purpose();
+    }
+  }
+  return m;
+}
+
+lpc::SystemModel superior_but_goal_deaf() {
+  // The paper's cautionary tale: better "specs" (even lower burden than the
+  // prototype), but a purpose that ignores what presenters actually want.
+  lpc::SystemModel m = lpc::smart_projector_case_study();
+  for (auto& d : m.devices) {
+    if (d.application && d.application->workflow_steps > 0) {
+      d.application->workflow_steps = 4;
+      d.application->avg_step_difficulty = 0.35;
+      d.resources.assumed_user = user::commercial_product_requirements();
+      d.purpose.name = "feature-maximal-projector";
+      d.purpose.supports = {{"demonstrate-infrastructure", 1.0},
+                            {"measure-discovery", 1.0},
+                            {"present-slides", 0.3},
+                            {"no-configuration", 0.2},
+                            {"quick-start", 0.2}};
+    }
+  }
+  return m;
+}
+
+void table_c_population() {
+  benchsup::table_header(
+      "Table C: Monte-Carlo adoption, 5000 presenter-population draws",
+      {"variant", "adopters", "rate"});
+  const user::AdoptionModel model;
+  auto run = [&](const char* name, lpc::SystemModel m) {
+    // Presenter interaction only: the population is presenters.
+    m.interactions.resize(1);
+    const auto adopters = lpc::simulate_adoption(m, model, 5000, 99);
+    benchsup::table_row(std::string(name), static_cast<double>(adopters),
+                        static_cast<double>(adopters) / 5000.0);
+  };
+  run("prototype", lpc::smart_projector_case_study());
+  run("commercial", commercial_variant());
+  run("superior-goal-deaf", superior_but_goal_deaf());
+
+  // Ablations: which single abstract-layer mercy buys the most adoption?
+  auto ablate = [&](const char* name,
+                    const std::function<void(lpc::ApplicationFacet&)>& fix) {
+    lpc::SystemModel m = lpc::smart_projector_case_study();
+    for (auto& d : m.devices) {
+      if (d.application && d.application->workflow_steps > 0) {
+        fix(*d.application);
+      }
+    }
+    run(name, std::move(m));
+  };
+  ablate("proto+feedback",
+         [](lpc::ApplicationFacet& a) { a.gives_state_feedback = true; });
+  ablate("proto+fewer-steps",
+         [](lpc::ApplicationFacet& a) { a.workflow_steps = 2; });
+  ablate("proto+easier-steps",
+         [](lpc::ApplicationFacet& a) { a.avg_step_difficulty = 0.15; });
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== FIG5: intentional layer — design purpose vs user goals ==\n");
+  table_a_curve();
+  table_b_case_study();
+  table_c_population();
+  return 0;
+}

@@ -1,0 +1,192 @@
+// Deployment day — mobile code, fleet upgrade, and the automated doctor.
+//
+// A repository pushes firmware v2 to a fleet of appliances over the 2.4 GHz
+// cell (the paper's answer to assumptions "burned into ROM"); mid-campaign
+// a jammer attacks the channel; the health monitor notices the stall, the
+// diagnosis engine blames the environment layer, and the recovery manager
+// hops the fleet to a clean channel so the campaign completes. Finally a
+// survey agent tours the fleet and reports the installed versions.
+//
+//   $ ./deployment_day [seed]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "diag/diagnose.hpp"
+#include "diag/faults.hpp"
+#include "diag/monitor.hpp"
+#include "env/environment.hpp"
+#include "mcode/agent.hpp"
+#include "mcode/deploy.hpp"
+#include "phys/device.hpp"
+#include "sim/world.hpp"
+
+using namespace aroma;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+  sim::World world(seed);
+  env::Environment environment(world);
+
+  constexpr int kFleet = 8;
+  constexpr int kHomeChannel = 6;
+  constexpr int kFallbackChannel = 11;
+
+  auto say = [&](const char* fmt, auto... args) {
+    std::printf("[t=%7.1fs] ", world.now().seconds());
+    std::printf(fmt, args...);
+    std::printf("\n");
+  };
+
+  // --- The fleet and the repository ----------------------------------------
+  std::vector<std::unique_ptr<phys::Device>> devices;
+  std::vector<std::unique_ptr<net::NetStack>> stacks;
+  auto add = [&](std::uint64_t id, phys::DeviceProfile p, env::Vec2 pos) {
+    phys::Device::Options opt;
+    opt.channel = kHomeChannel;
+    devices.push_back(std::make_unique<phys::Device>(
+        world, environment, id, std::move(p),
+        std::make_unique<env::StaticMobility>(pos), opt));
+    stacks.push_back(
+        std::make_unique<net::NetStack>(world, devices.back()->mac()));
+    return stacks.back().get();
+  };
+
+  auto* repo_stack = add(1, phys::profiles::desktop_pc_with_radio(), {0, 0});
+  mcode::CodeRepository repository(world, *repo_stack);
+  mcode::CodePackage firmware;
+  firmware.name = "appliance-firmware";
+  firmware.version = 1;
+  firmware.code_bytes = 48 * 1024;
+  firmware.mem_bytes = 512 * 1024;
+  firmware.mips_required = 3.0;
+  repository.publish(firmware);
+
+  std::vector<std::unique_ptr<mcode::CodeLoader>> loaders;
+  std::vector<std::unique_ptr<mcode::AgentHost>> hosts;
+  for (int i = 0; i < kFleet; ++i) {
+    const double angle = 2.0 * 3.14159265 * i / kFleet;
+    auto* s = add(10 + static_cast<std::uint64_t>(i),
+                  phys::profiles::aroma_adapter(),
+                  {9.0 * std::cos(angle), 9.0 * std::sin(angle)});
+    loaders.push_back(std::make_unique<mcode::CodeLoader>(
+        world, *s, phys::profiles::aroma_adapter()));
+    hosts.push_back(std::make_unique<mcode::AgentHost>(
+        world, *s, phys::profiles::aroma_adapter()));
+    hosts.back()->register_behaviour(
+        "version-survey", [&, i](mcode::AgentState& a) {
+          a.data.push_back(static_cast<std::byte>(
+              loaders[static_cast<std::size_t>(i)]->installed_version(
+                  "appliance-firmware")));
+        });
+    loaders.back()->fetch(1, "appliance-firmware", 1,
+                          [](const mcode::FetchResult&) {});
+  }
+  say("fleet of %d appliances fetching firmware v1", kFleet);
+
+  // --- The doctor ------------------------------------------------------------
+  std::uint64_t lr = 0, ls = 0;
+  diag::HealthMonitor monitor(world, {sim::Time::sec(5), 64});
+  monitor.add_threshold_probe(
+      "radio-retries", lpc::Layer::kEnvironment,
+      [&] {
+        // Fleet-wide retry/stall metric, sampled at the repository's MAC.
+        std::uint64_t retries = 0, sent = 0, queued = 0;
+        for (auto& d : devices) {
+          retries += d->mac().stats().retries;
+          sent += d->mac().stats().sent_data;
+          queued += d->mac().queue_depth();
+        }
+        const auto dr = retries - lr;
+        const auto dsent = sent - ls;
+        lr = retries;
+        ls = sent;
+        if (dsent == 0) return queued > 0 ? 1.0 : 0.0;
+        return static_cast<double>(dr) / static_cast<double>(dsent);
+      },
+      0.35, 0.7);
+  monitor.set_transition_handler(
+      [&](const std::string& probe, diag::Health, diag::Health to) {
+        say("monitor: %s -> %s", probe.c_str(),
+            std::string(diag::to_string(to)).c_str());
+      });
+  monitor.start();
+
+  auto engine = diag::DiagnosisEngine::with_default_rules();
+  diag::RecoveryManager recovery(world);
+  recovery.register_action("switch-channel", [&] {
+    say("doctor: diagnosis = environment-layer interference; hopping fleet "
+        "to channel %d", kFallbackChannel);
+    for (auto& d : devices) d->radio().set_channel(kFallbackChannel);
+  });
+  sim::PeriodicTimer doctor(world.sim(), sim::Time::sec(10), [&] {
+    for (const auto& d : engine.diagnose(monitor, world.now())) {
+      say("doctor: %s layer -> %s (confidence %.2f)",
+          std::string(lpc::to_string(d.layer)).c_str(), d.cause.c_str(),
+          d.confidence);
+    }
+    recovery.apply(engine.diagnose(monitor, world.now()));
+  });
+  doctor.start();
+
+  // --- The attack and the campaign ------------------------------------------
+  diag::Jammer jammer(world, environment.medium(), {2, 2}, kHomeChannel,
+                      20.0);
+  world.sim().schedule_at(sim::Time::sec(60), [&] {
+    say("!! jammer active on channel %d", kHomeChannel);
+    jammer.start();
+  });
+  world.sim().schedule_at(sim::Time::sec(90), [&] {
+    say("repository: publishing firmware v2 (one announce, fleet-wide "
+        "auto-update)");
+    firmware.version = 2;
+    repository.publish(firmware);
+  });
+
+  world.sim().run_until(sim::Time::sec(400));
+  jammer.stop();
+
+  int on_v2 = 0;
+  for (const auto& l : loaders) {
+    on_v2 += l->installed_version("appliance-firmware") == 2 ? 1 : 0;
+  }
+  say("campaign status: %d/%d appliances on v2", on_v2, kFleet);
+
+  // --- The survey agent -------------------------------------------------------
+  mcode::AgentState survey;
+  survey.package.name = "version-survey";
+  survey.package.code_bytes = 8 * 1024;
+  survey.package.mem_bytes = 64 * 1024;
+  survey.package.mips_required = 1.0;
+  for (int i = 0; i < kFleet; ++i) {
+    survey.itinerary.push_back(10 + static_cast<std::uint64_t>(i));
+  }
+  mcode::AgentHost origin_host(world, *repo_stack,
+                               phys::profiles::desktop_pc_with_radio());
+  bool surveyed = false;
+  origin_host.launch(survey, [&](const mcode::AgentState& a) {
+    surveyed = true;
+    std::string versions;
+    for (std::byte b : a.data) {
+      versions += std::to_string(static_cast<int>(b)) + " ";
+    }
+    say("survey agent home after %u hops: versions [ %s]", a.hops,
+        versions.c_str());
+  });
+  world.sim().run_until(sim::Time::sec(500));
+  doctor.stop();
+  monitor.stop();
+
+  std::printf("\n--- epilogue ---\n");
+  std::printf("fleet on v2: %d/%d, survey agent returned: %s\n", on_v2,
+              kFleet, surveyed ? "yes" : "no");
+  std::printf("repository served %llu fetches (%llu kB of code)\n",
+              static_cast<unsigned long long>(repository.fetches_served()),
+              static_cast<unsigned long long>(repository.bytes_served() / 1024));
+  std::printf("recovery actions taken: %llu\n",
+              static_cast<unsigned long long>(recovery.actions_taken()));
+  return 0;
+}

@@ -1,0 +1,192 @@
+// The Smart Projector, end to end — the paper's challenge application as a
+// runnable scenario with a narrated timeline.
+//
+// A lookup service, the Aroma adapter driving a digital projector, a
+// presenter's laptop, and a rival user share one simulated 2.4 GHz cell.
+// The presenter walks through the full prototype procedure (start VNC,
+// discover, acquire, project, control); the rival demonstrates the session
+// protection; the presenter then forgets to release and the lease recovers
+// the projector.
+//
+//   $ ./smart_projector [seed]
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "app/projector.hpp"
+#include "disco/jini.hpp"
+#include "env/environment.hpp"
+#include "phys/device.hpp"
+#include "rfb/workload.hpp"
+#include "sim/world.hpp"
+
+using namespace aroma;
+
+namespace {
+
+struct Narrator {
+  explicit Narrator(sim::World& w) : world(w) {}
+  void say(const char* fmt, ...) {
+    std::printf("[t=%9.3fs] ", world.now().seconds());
+    va_list args;
+    va_start(args, fmt);
+    std::vprintf(fmt, args);
+    va_end(args);
+    std::printf("\n");
+  }
+  sim::World& world;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 2000;
+  sim::World world(seed);
+  env::Environment environment(world);
+  Narrator log(world);
+
+  // --- Hardware ------------------------------------------------------------
+  auto make = [&](std::uint64_t id, phys::DeviceProfile p, env::Vec2 pos) {
+    return std::make_unique<phys::Device>(
+        world, environment, id, std::move(p),
+        std::make_unique<env::StaticMobility>(pos));
+  };
+  auto lookup_host = make(1, phys::profiles::desktop_pc_with_radio(), {0, 12});
+  auto adapter = make(2, phys::profiles::aroma_adapter(), {0, 0});
+  auto laptop = make(3, phys::profiles::laptop(), {8, 0});
+  auto rival_laptop = make(4, phys::profiles::laptop(), {-7, 3});
+
+  net::NetStack lookup_stack(world, lookup_host->mac());
+  net::NetStack adapter_stack(world, adapter->mac());
+  net::NetStack laptop_stack(world, laptop->mac());
+  net::NetStack rival_stack(world, rival_laptop->mac());
+
+  // --- Infrastructure -------------------------------------------------------
+  disco::JiniRegistrar registrar(world, lookup_stack);
+  app::SmartProjector projector(world, adapter_stack);
+  disco::JiniClient adapter_jini(world, adapter_stack);
+  disco::JiniClient laptop_jini(world, laptop_stack);
+  app::PresenterDisplay display(world, laptop_stack, 256, 192);
+  rfb::SlideDeckWorkload deck(seed);
+
+  log.say("cell up: lookup service node 1, adapter node 2, laptop node 3");
+
+  projector.export_services(adapter_jini, [&](bool ok) {
+    log.say("adapter: services %s with the lookup service",
+            ok ? "registered" : "FAILED to register");
+  });
+
+  // Availability watcher: the paper's "icons change their appearance".
+  laptop_jini.subscribe(
+      disco::ServiceTemplate{"projector", {}},
+      [&](const disco::ServiceDescription& s, bool appeared) {
+        log.say("laptop ui: icon for %s now %s", s.type.c_str(),
+                appeared ? "ACTIVE" : "greyed out");
+      });
+
+  auto proj_client = std::make_unique<app::ProjectorClient>(
+      world, laptop_stack, 2, app::kProjectionPort);
+  app::ProjectorClient ctrl_client(world, laptop_stack, 2, app::kControlPort);
+  app::ProjectorClient rival(world, rival_stack, 2, app::kProjectionPort);
+
+  // --- The presentation, as scheduled events --------------------------------
+  world.sim().schedule_at(sim::Time::sec(10), [&] {
+    log.say("presenter: starting the VNC server on the laptop");
+    display.start_server();
+    deck.step(display.screen());
+  });
+  world.sim().schedule_at(sim::Time::sec(12), [&] {
+    log.say("presenter: looking up 'projector/display'");
+    laptop_jini.lookup(
+        disco::ServiceTemplate{app::kProjectionType, {}},
+        [&](std::vector<disco::ServiceDescription> s) {
+          log.say("presenter: found %zu projection service(s)", s.size());
+        });
+  });
+  world.sim().schedule_at(sim::Time::sec(14), [&] {
+    proj_client->acquire([&](bool ok) {
+      log.say("presenter: projection session %s", ok ? "acquired" : "BUSY");
+      proj_client->start_projection(laptop_stack.node_id(), [&](bool started) {
+        log.say("presenter: projection %s", started ? "started" : "refused");
+      });
+    });
+  });
+  world.sim().schedule_at(sim::Time::sec(20), [&] {
+    ctrl_client.acquire([&](bool ok) {
+      log.say("presenter: control session %s", ok ? "acquired" : "BUSY");
+      ctrl_client.command(app::ProjectorCommand::kPowerOn, 0, [&](bool k) {
+        log.say("presenter: projector power %s",
+                k ? "ON" : "command rejected");
+      });
+    });
+  });
+
+  // Slides advance every 25 s.
+  sim::PeriodicTimer slides(world.sim(), sim::Time::sec(25), [&] {
+    deck.step(display.screen());
+    display.apply(deck);
+    log.say("presenter: next slide (#%d)", deck.slide_number());
+  });
+  slides.start_after(sim::Time::sec(40));
+
+  // The rival tries to take the projector mid-talk.
+  world.sim().schedule_at(sim::Time::sec(90), [&] {
+    log.say("rival: attempting to acquire the projection session...");
+    rival.acquire([&](bool ok) {
+      log.say("rival: %s", ok ? "HIJACKED (bug!)"
+                              : "rejected - session protection held");
+    });
+  });
+
+  // The talk ends; the presenter packs up and FORGETS to release.
+  world.sim().schedule_at(sim::Time::sec(150), [&] {
+    slides.stop();
+    log.say("presenter: talk over; closing the laptop WITHOUT releasing");
+    proj_client->stop_projection();
+    // No release(): the client vanishes with the laptop lid, renewals stop,
+    // and the lease must clean this up.
+    proj_client.reset();
+  });
+  projector.projection_session().set_owner_change_callback(
+      [&](std::uint64_t owner) {
+        if (owner == 0) {
+          log.say("projector: projection session now FREE (owner gone)");
+        } else {
+          log.say("projector: projection session owned by node %llu",
+                  static_cast<unsigned long long>(owner));
+        }
+      });
+
+  // After the lease lapses, the rival succeeds.
+  world.sim().schedule_at(sim::Time::sec(260), [&] {
+    log.say("rival: trying again after the lease window...");
+    rival.acquire([&](bool ok) {
+      log.say("rival: %s", ok ? "acquired - lease recovery worked"
+                              : "still blocked (unexpected)");
+    });
+  });
+
+  world.sim().run_until(sim::Time::sec(300));
+
+  std::printf("\n--- epilogue ---\n");
+  std::printf("projected replica in sync with laptop screen: %s\n",
+              (projector.projected() != nullptr &&
+               projector.projected()->same_content(display.screen()))
+                  ? "yes"
+                  : "no");
+  const auto& st = projector.stats();
+  std::printf("sessions: %llu acquired, %llu hijack attempts blocked, "
+              "%llu lease recoveries\n",
+              static_cast<unsigned long long>(st.acquire_ok),
+              static_cast<unsigned long long>(st.acquire_busy),
+              static_cast<unsigned long long>(
+                  projector.projection_session().stats().expirations));
+  std::printf("radio: %llu transmissions, %llu lost to interference\n",
+              static_cast<unsigned long long>(
+                  environment.medium().stats().transmissions),
+              static_cast<unsigned long long>(
+                  environment.medium().stats().losses_sinr));
+  return 0;
+}

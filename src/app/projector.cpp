@@ -1,0 +1,346 @@
+#include "app/projector.hpp"
+
+#include <algorithm>
+
+#include "net/serialize.hpp"
+
+namespace aroma::app {
+
+namespace {
+// Local client ports; distinct per service so one node can run both clients.
+constexpr net::Port kProjectionClientPort = 5810;
+constexpr net::Port kControlClientPort = 5811;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SmartProjector
+
+SmartProjector::SmartProjector(sim::World& world, net::NetStack& stack)
+    : SmartProjector(world, stack, Params{}) {}
+
+SmartProjector::SmartProjector(sim::World& world, net::NetStack& stack,
+                               Params params)
+    : world_(world), stack_(stack), params_(params),
+      projection_session_(world, "projection", params.session),
+      control_session_(world, "control", params.session) {
+  stack_.bind(kProjectionPort,
+              [this](const net::Datagram& dg) { on_projection_msg(dg); });
+  stack_.bind(kControlPort,
+              [this](const net::Datagram& dg) { on_control_msg(dg); });
+  projection_session_.set_owner_change_callback([this](std::uint64_t owner) {
+    if (owner == 0) stop_projection();
+  });
+}
+
+SmartProjector::~SmartProjector() {
+  stack_.unbind(kProjectionPort);
+  stack_.unbind(kControlPort);
+}
+
+void SmartProjector::export_services(disco::JiniClient& jini,
+                                     std::function<void(bool)> done) {
+  disco::ServiceDescription proj;
+  proj.type = kProjectionType;
+  proj.endpoint = net::Endpoint{stack_.node_id(), kProjectionPort};
+  proj.attributes["resolution"] = "1024x768";
+  proj.attributes["room"] = "lab-a";
+
+  disco::ServiceDescription ctrl;
+  ctrl.type = kControlType;
+  ctrl.endpoint = net::Endpoint{stack_.node_id(), kControlPort};
+  ctrl.attributes["room"] = "lab-a";
+
+  auto remaining = std::make_shared<int>(2);
+  auto all_ok = std::make_shared<bool>(true);
+  auto finish = [remaining, all_ok, done](bool ok, disco::ServiceId) {
+    *all_ok = *all_ok && ok;
+    if (--*remaining == 0 && done) done(*all_ok);
+  };
+  jini.register_service(proj, finish);
+  jini.register_service(ctrl, finish);
+}
+
+void SmartProjector::start_projection(net::NodeId rfb_node) {
+  stop_projection();
+  if (!streams_) {
+    streams_ = std::make_unique<net::StreamManager>(world_, stack_, kVncPort);
+  }
+  viewer_conn_ = streams_->connect(rfb_node);
+  viewer_ = std::make_unique<rfb::RfbClient>(world_, viewer_conn_);
+  viewer_->start();
+  state_.projecting = true;
+  ++stats_.projections_started;
+}
+
+void SmartProjector::stop_projection() {
+  if (viewer_conn_) {
+    viewer_conn_->close();
+    viewer_conn_.reset();
+  }
+  if (state_.projecting) ++stats_.projections_stopped;
+  // Keep the viewer's replica alive for inspection; it stops updating.
+  state_.projecting = false;
+}
+
+void SmartProjector::on_projection_msg(const net::Datagram& dg) {
+  net::ByteReader r(dg.data);
+  const auto msg = static_cast<ProjMsg>(r.u8());
+  if (!r.ok()) return;
+  switch (msg) {
+    case ProjMsg::kAcquire: {
+      const std::uint32_t token = r.u32();
+      const auto session = projection_session_.acquire(dg.src.node);
+      session ? ++stats_.acquire_ok : ++stats_.acquire_busy;
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(ProjMsg::kAcquireResp));
+      w.u32(token);
+      w.u8(session ? 1 : 0);
+      w.u64(session ? *session : 0);
+      stack_.send(net::Endpoint{dg.src.node, dg.src.port}, kProjectionPort,
+                  w.take());
+      return;
+    }
+    case ProjMsg::kStart: {
+      const SessionToken session = r.u64();
+      const net::NodeId rfb_node = r.u64();
+      const bool ok = projection_session_.valid(session);
+      if (ok) start_projection(rfb_node);
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(ProjMsg::kStartResp));
+      w.u8(ok ? 1 : 0);
+      stack_.send(net::Endpoint{dg.src.node, dg.src.port}, kProjectionPort,
+                  w.take());
+      return;
+    }
+    case ProjMsg::kStop: {
+      const SessionToken session = r.u64();
+      if (projection_session_.valid(session)) stop_projection();
+      return;
+    }
+    case ProjMsg::kRelease: {
+      const SessionToken session = r.u64();
+      projection_session_.release(session);
+      return;
+    }
+    case ProjMsg::kRenew: {
+      projection_session_.renew(r.u64());
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void SmartProjector::on_control_msg(const net::Datagram& dg) {
+  net::ByteReader r(dg.data);
+  const auto msg = static_cast<ProjMsg>(r.u8());
+  if (!r.ok()) return;
+  switch (msg) {
+    case ProjMsg::kAcquire: {
+      const std::uint32_t token = r.u32();
+      const auto session = control_session_.acquire(dg.src.node);
+      session ? ++stats_.acquire_ok : ++stats_.acquire_busy;
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(ProjMsg::kAcquireResp));
+      w.u32(token);
+      w.u8(session ? 1 : 0);
+      w.u64(session ? *session : 0);
+      stack_.send(net::Endpoint{dg.src.node, dg.src.port}, kControlPort,
+                  w.take());
+      return;
+    }
+    case ProjMsg::kCommand: {
+      const SessionToken session = r.u64();
+      const auto cmd = static_cast<ProjectorCommand>(r.u8());
+      const auto arg = static_cast<std::int32_t>(r.u32());
+      bool ok = control_session_.valid(session);
+      if (ok) {
+        switch (cmd) {
+          case ProjectorCommand::kPowerOn: state_.powered = true; break;
+          case ProjectorCommand::kPowerOff: state_.powered = false; break;
+          case ProjectorCommand::kSelectInput: state_.input = arg; break;
+          case ProjectorCommand::kBrightness:
+            state_.brightness = std::clamp(arg, 0, 100);
+            break;
+          default: ok = false; break;
+        }
+      }
+      ok ? ++stats_.commands_ok : ++stats_.commands_rejected;
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(ProjMsg::kCommandResp));
+      w.u8(ok ? 1 : 0);
+      w.u8(static_cast<std::uint8_t>(cmd));
+      stack_.send(net::Endpoint{dg.src.node, dg.src.port}, kControlPort,
+                  w.take());
+      return;
+    }
+    case ProjMsg::kRelease: {
+      control_session_.release(r.u64());
+      return;
+    }
+    case ProjMsg::kRenew: {
+      control_session_.renew(r.u64());
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ProjectorClient
+
+ProjectorClient::ProjectorClient(sim::World& world, net::NetStack& stack,
+                                 net::NodeId projector_node,
+                                 net::Port service_port)
+    : world_(world), stack_(stack), projector_(projector_node),
+      service_port_(service_port),
+      local_port_(service_port == kProjectionPort ? kProjectionClientPort
+                                                  : kControlClientPort) {
+  stack_.bind(local_port_,
+              [this](const net::Datagram& dg) { on_datagram(dg); });
+}
+
+ProjectorClient::~ProjectorClient() { stack_.unbind(local_port_); }
+
+void ProjectorClient::acquire(Ack cb) {
+  const std::uint32_t token = next_token_++;
+  pending_acquire_[token] = std::move(cb);
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ProjMsg::kAcquire));
+  w.u32(token);
+  stack_.send(net::Endpoint{projector_, service_port_}, local_port_,
+              w.take());
+}
+
+void ProjectorClient::start_projection(net::NodeId rfb_node, Ack cb) {
+  if (!session_) {
+    if (cb) cb(false);
+    return;
+  }
+  pending_start_ = std::move(cb);
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ProjMsg::kStart));
+  w.u64(*session_);
+  w.u64(rfb_node);
+  stack_.send(net::Endpoint{projector_, service_port_}, local_port_,
+              w.take());
+}
+
+void ProjectorClient::stop_projection() {
+  if (!session_) return;
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ProjMsg::kStop));
+  w.u64(*session_);
+  stack_.send(net::Endpoint{projector_, service_port_}, local_port_,
+              w.take());
+}
+
+void ProjectorClient::command(ProjectorCommand cmd, std::int32_t arg, Ack cb) {
+  if (!session_) {
+    if (cb) cb(false);
+    return;
+  }
+  pending_command_ = std::move(cb);
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ProjMsg::kCommand));
+  w.u64(*session_);
+  w.u8(static_cast<std::uint8_t>(cmd));
+  w.u32(static_cast<std::uint32_t>(arg));
+  stack_.send(net::Endpoint{projector_, service_port_}, local_port_,
+              w.take());
+}
+
+void ProjectorClient::release() {
+  if (!session_) return;
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ProjMsg::kRelease));
+  w.u64(*session_);
+  stack_.send(net::Endpoint{projector_, service_port_}, local_port_,
+              w.take());
+  session_.reset();
+  if (renewer_) renewer_->stop();
+}
+
+void ProjectorClient::send_renew() {
+  if (!session_) return;
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(ProjMsg::kRenew));
+  w.u64(*session_);
+  stack_.send(net::Endpoint{projector_, service_port_}, local_port_,
+              w.take());
+}
+
+void ProjectorClient::on_datagram(const net::Datagram& dg) {
+  net::ByteReader r(dg.data);
+  const auto msg = static_cast<ProjMsg>(r.u8());
+  if (!r.ok()) return;
+  switch (msg) {
+    case ProjMsg::kAcquireResp: {
+      const std::uint32_t token = r.u32();
+      const bool ok = r.u8() != 0;
+      const SessionToken session = r.u64();
+      auto it = pending_acquire_.find(token);
+      if (it == pending_acquire_.end()) return;
+      auto cb = std::move(it->second);
+      pending_acquire_.erase(it);
+      if (ok) {
+        session_ = session;
+        if (!renewer_) {
+          renewer_ = std::make_unique<sim::PeriodicTimer>(
+              world_.sim(), sim::Time::sec(20.0), [this] { send_renew(); });
+        }
+        renewer_->start();
+      }
+      if (cb) cb(ok);
+      return;
+    }
+    case ProjMsg::kStartResp: {
+      const bool ok = r.u8() != 0;
+      auto cb = std::move(pending_start_);
+      pending_start_ = {};
+      if (cb) cb(ok);
+      return;
+    }
+    case ProjMsg::kCommandResp: {
+      const bool ok = r.u8() != 0;
+      auto cb = std::move(pending_command_);
+      pending_command_ = {};
+      if (cb) cb(ok);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PresenterDisplay
+
+PresenterDisplay::PresenterDisplay(sim::World& world, net::NetStack& stack,
+                                   int width, int height)
+    : PresenterDisplay(world, stack, width, height, rfb::RfbServer::Params{}) {}
+
+PresenterDisplay::PresenterDisplay(sim::World& world, net::NetStack& stack,
+                                   int width, int height,
+                                   rfb::RfbServer::Params rfb_params)
+    : world_(world), stack_(stack), screen_(width, height, 0xff101010),
+      rfb_params_(rfb_params) {}
+
+void PresenterDisplay::start_server() {
+  if (accepting_) return;
+  streams_ = std::make_unique<net::StreamManager>(world_, stack_, kVncPort);
+  streams_->listen([this](const std::shared_ptr<net::StreamConnection>& c) {
+    conn_ = c;
+    server_ = std::make_unique<rfb::RfbServer>(world_, screen_, conn_,
+                                               rfb_params_);
+  });
+  accepting_ = true;
+}
+
+void PresenterDisplay::apply(rfb::ScreenWorkload& workload) {
+  workload.step(screen_);
+  if (server_) server_->notify_changed();
+}
+
+}  // namespace aroma::app

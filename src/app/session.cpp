@@ -1,0 +1,64 @@
+#include "app/session.hpp"
+
+namespace aroma::app {
+
+SessionManager::SessionManager(sim::World& world, std::string resource_name)
+    : SessionManager(world, std::move(resource_name), Params{}) {}
+
+SessionManager::SessionManager(sim::World& world, std::string resource_name,
+                               Params params)
+    : world_(world), name_(std::move(resource_name)), params_(params),
+      leases_(world) {}
+
+std::optional<SessionToken> SessionManager::acquire(std::uint64_t owner) {
+  if (current_) {
+    if (current_->owner == owner && leases_.active(current_->token)) {
+      leases_.renew(current_->token, params_.lease);
+      return current_->token;
+    }
+    ++stats_.rejections;
+    world_.tracer().log(world_.now(), sim::TraceLevel::kWarn, "session",
+                        "another user attempted to hijack the " + name_ +
+                            " session while it was busy");
+    return std::nullopt;
+  }
+  const SessionToken token = next_token_++;
+  current_ = Current{token, owner};
+  ++stats_.acquisitions;
+  leases_.grant(token, params_.lease, [this] { expire(); });
+  if (on_change_) on_change_(owner);
+  return token;
+}
+
+bool SessionManager::renew(SessionToken token) {
+  if (!current_ || current_->token != token) return false;
+  ++stats_.renewals;
+  return leases_.renew(token, params_.lease);
+}
+
+bool SessionManager::release(SessionToken token) {
+  if (!current_ || current_->token != token) return false;
+  leases_.cancel(token);
+  current_.reset();
+  ++stats_.releases;
+  if (on_change_) on_change_(0);
+  return true;
+}
+
+std::optional<std::uint64_t> SessionManager::owner() const {
+  if (!current_) return std::nullopt;
+  return current_->owner;
+}
+
+bool SessionManager::valid(SessionToken token) const {
+  return current_ && current_->token == token;
+}
+
+void SessionManager::expire() {
+  if (!current_) return;
+  current_.reset();
+  ++stats_.expirations;
+  if (on_change_) on_change_(0);
+}
+
+}  // namespace aroma::app

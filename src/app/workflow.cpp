@@ -1,0 +1,61 @@
+#include "app/workflow.hpp"
+
+#include <memory>
+#include <numeric>
+
+namespace aroma::app {
+
+Workflow& Workflow::step(std::string name, Action action) {
+  steps_.push_back(Step{std::move(name), std::move(action)});
+  return *this;
+}
+
+void Workflow::run(Completion done) {
+  std::vector<std::size_t> order(steps_.size());
+  std::iota(order.begin(), order.end(), 0);
+  run_order(order, std::move(done));
+}
+
+void Workflow::run_order(const std::vector<std::size_t>& order,
+                         Completion done) {
+  run_index(order, 0, world_.now(), std::move(done));
+}
+
+void Workflow::run_index(std::vector<std::size_t> order, std::size_t pos,
+                         sim::Time started, Completion done) {
+  if (pos >= order.size()) {
+    WorkflowResult r;
+    r.succeeded = true;
+    r.steps_completed = order.size();
+    r.elapsed = world_.now() - started;
+    done(r);
+    return;
+  }
+  const std::size_t idx = order[pos];
+  if (idx >= steps_.size()) {
+    WorkflowResult r;
+    r.steps_completed = pos;
+    r.failed_step = "<invalid step index>";
+    r.elapsed = world_.now() - started;
+    done(r);
+    return;
+  }
+  // Guard against actions that call done twice.
+  auto fired = std::make_shared<bool>(false);
+  steps_[idx].action([this, order = std::move(order), pos, started,
+                      done = std::move(done), idx, fired](bool ok) mutable {
+    if (*fired) return;
+    *fired = true;
+    if (!ok) {
+      WorkflowResult r;
+      r.steps_completed = pos;
+      r.failed_step = steps_[idx].name;
+      r.elapsed = world_.now() - started;
+      done(r);
+      return;
+    }
+    run_index(std::move(order), pos + 1, started, std::move(done));
+  });
+}
+
+}  // namespace aroma::app

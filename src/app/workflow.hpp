@@ -1,0 +1,60 @@
+// Multi-step asynchronous workflows.
+//
+// Encodes "what the user must do to reach their goal" as an explicit list
+// of steps ("start VNC server", "acquire projection", "start projection",
+// ...). The step count and ordering constraints are the paper's
+// "conceptual burden": FIG4 sweeps them against user faculties.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace aroma::app {
+
+/// Outcome of a workflow run.
+struct WorkflowResult {
+  bool succeeded = false;
+  std::size_t steps_completed = 0;
+  std::string failed_step;
+  sim::Time elapsed;
+};
+
+/// A linear asynchronous workflow: each step's action receives a
+/// completion callback and reports success/failure; failure aborts.
+class Workflow {
+ public:
+  /// An action calls done(true/false) exactly once, possibly after
+  /// simulated delay (network round trips etc.).
+  using Action = std::function<void(std::function<void(bool)> done)>;
+  using Completion = std::function<void(const WorkflowResult&)>;
+
+  explicit Workflow(sim::World& world) : world_(world) {}
+
+  Workflow& step(std::string name, Action action);
+  std::size_t size() const { return steps_.size(); }
+  const std::string& step_name(std::size_t i) const { return steps_[i].name; }
+
+  /// Runs the steps in order. Invokes `done` exactly once.
+  void run(Completion done);
+
+  /// Runs steps in a caller-supplied order (models a user attempting the
+  /// procedure in the wrong order; steps still execute, and may fail).
+  void run_order(const std::vector<std::size_t>& order, Completion done);
+
+ private:
+  struct Step {
+    std::string name;
+    Action action;
+  };
+  void run_index(std::vector<std::size_t> order, std::size_t pos,
+                 sim::Time started, Completion done);
+
+  sim::World& world_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace aroma::app

@@ -1,0 +1,106 @@
+#include "diag/diagnose.hpp"
+
+#include <algorithm>
+
+namespace aroma::diag {
+
+DiagnosisEngine DiagnosisEngine::with_default_rules() {
+  DiagnosisEngine e;
+  // High MAC retry rate with discovery still alive: the band is hostile.
+  e.add_rule(Rule{
+      "interference",
+      [](const HealthMonitor& m) {
+        return m.health_of("radio-retries") >= Health::kDegraded;
+      },
+      lpc::Layer::kEnvironment,
+      "2.4 GHz interference / congestion",
+      "switch-channel",
+      0.85});
+  // Discovery failing while the radio itself looks fine: infrastructure.
+  e.add_rule(Rule{
+      "registrar-down",
+      [](const HealthMonitor& m) {
+        return m.health_of("discovery") >= Health::kFailed &&
+               m.health_of("radio-retries") == Health::kHealthy;
+      },
+      lpc::Layer::kResource,
+      "lookup service unreachable",
+      "failover-registrar",
+      0.9});
+  // Both failing: likely the radio, not the registrar.
+  e.add_rule(Rule{
+      "link-down",
+      [](const HealthMonitor& m) {
+        return m.health_of("discovery") >= Health::kFailed &&
+               m.health_of("radio-retries") >= Health::kDegraded;
+      },
+      lpc::Layer::kEnvironment,
+      "wireless link unusable",
+      "switch-channel",
+      0.7});
+  // Battery exhaustion is physical and terminal without action.
+  e.add_rule(Rule{
+      "battery-low",
+      [](const HealthMonitor& m) {
+        return m.health_of("battery") >= Health::kDegraded;
+      },
+      lpc::Layer::kPhysical,
+      "battery nearly depleted",
+      "shed-load",
+      0.95});
+  return e;
+}
+
+std::vector<Diagnosis> DiagnosisEngine::diagnose(const HealthMonitor& monitor,
+                                                 sim::Time now) const {
+  std::vector<Diagnosis> out;
+  for (const Rule& rule : rules_) {
+    if (rule.matches && rule.matches(monitor)) {
+      out.push_back(
+          Diagnosis{rule.layer, rule.cause, rule.remedy, rule.confidence, now});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnosis& a, const Diagnosis& b) {
+                     return a.confidence > b.confidence;
+                   });
+  return out;
+}
+
+RecoveryManager::RecoveryManager(sim::World& world)
+    : RecoveryManager(world, Params{}) {}
+
+RecoveryManager::RecoveryManager(sim::World& world, Params params)
+    : world_(world), params_(params) {}
+
+void RecoveryManager::register_action(const std::string& remedy,
+                                      std::function<void()> fn) {
+  actions_[remedy] = std::move(fn);
+}
+
+std::size_t RecoveryManager::apply(const std::vector<Diagnosis>& diagnoses) {
+  std::size_t ran = 0;
+  const sim::Time now = world_.now();
+  for (const Diagnosis& d : diagnoses) {
+    auto action = actions_.find(d.remedy);
+    if (action == actions_.end()) continue;
+    Backoff& b = backoff_[d.remedy];
+    if (now < b.not_before) {
+      ++actions_suppressed_;
+      continue;
+    }
+    if (b.window.is_zero()) b.window = params_.initial_backoff;
+    b.not_before = now + b.window;
+    b.window = std::min(b.window * 2, params_.max_backoff);
+    ++actions_taken_;
+    ++ran;
+    action->second();
+  }
+  return ran;
+}
+
+void RecoveryManager::report_recovered(const std::string& remedy) {
+  backoff_.erase(remedy);
+}
+
+}  // namespace aroma::diag

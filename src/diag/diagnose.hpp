@@ -1,0 +1,102 @@
+// Automated diagnosis and recovery.
+//
+// Maps monitor symptom patterns to a probable cause at an LPC layer and a
+// named remedy, then drives registered recovery actions with backoff. The
+// whole point, per the paper: "users are not system administrators" — the
+// prototype assumed users could "fix whatever problems may arise with the
+// wireless network, the Linux-based adapter, and the lookup service";
+// this module is the machine doing that instead.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "diag/monitor.hpp"
+#include "lpc/layers.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::diag {
+
+struct Diagnosis {
+  lpc::Layer layer;
+  std::string cause;      // e.g. "2.4 GHz interference"
+  std::string remedy;     // name of the recovery action to try
+  double confidence = 0.5;
+  sim::Time when;
+};
+
+/// A diagnostic rule: a predicate over the monitor's current state plus
+/// the diagnosis it implies when true.
+struct Rule {
+  std::string name;
+  std::function<bool(const HealthMonitor&)> matches;
+  lpc::Layer layer;
+  std::string cause;
+  std::string remedy;
+  double confidence = 0.8;
+};
+
+class DiagnosisEngine {
+ public:
+  /// An engine preloaded with rules for the stock probes
+  /// ("radio-retries", "discovery", "battery").
+  static DiagnosisEngine with_default_rules();
+
+  void add_rule(Rule rule) { rules_.push_back(std::move(rule)); }
+  std::size_t rule_count() const { return rules_.size(); }
+
+  /// Evaluates all rules against the monitor; returns every diagnosis that
+  /// currently applies, highest confidence first.
+  std::vector<Diagnosis> diagnose(const HealthMonitor& monitor,
+                                  sim::Time now) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// Executes named recovery actions with per-remedy exponential backoff.
+class RecoveryManager {
+ public:
+  struct Params {
+    sim::Time initial_backoff = sim::Time::sec(5.0);
+    sim::Time max_backoff = sim::Time::sec(120.0);
+  };
+
+  RecoveryManager(sim::World& world);
+  RecoveryManager(sim::World& world, Params params);
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  /// Registers what "remedy" means for this deployment.
+  void register_action(const std::string& remedy, std::function<void()> fn);
+
+  /// Applies the remedies of the given diagnoses, respecting backoff: a
+  /// remedy re-fires only after its current backoff window elapses, which
+  /// doubles on every attempt and resets when `report_recovered` is called.
+  /// Returns how many actions actually ran.
+  std::size_t apply(const std::vector<Diagnosis>& diagnoses);
+
+  /// Tells the manager a remedy worked (resets its backoff).
+  void report_recovered(const std::string& remedy);
+
+  std::uint64_t actions_taken() const { return actions_taken_; }
+  std::uint64_t actions_suppressed() const { return actions_suppressed_; }
+
+ private:
+  struct Backoff {
+    sim::Time not_before;
+    sim::Time window;
+  };
+
+  sim::World& world_;
+  Params params_;
+  std::map<std::string, std::function<void()>> actions_;
+  std::map<std::string, Backoff> backoff_;
+  std::uint64_t actions_taken_ = 0;
+  std::uint64_t actions_suppressed_ = 0;
+};
+
+}  // namespace aroma::diag

@@ -1,0 +1,90 @@
+#include "diag/faults.hpp"
+
+namespace aroma::diag {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRfJamming: return "rf-jamming";
+    case FaultKind::kServiceCrash: return "service-crash";
+    case FaultKind::kPowerLoss: return "power-loss";
+  }
+  return "?";
+}
+
+void FaultInjector::inject(FaultKind kind, std::string target, sim::Time at,
+                           sim::Time duration, Toggle toggle) {
+  const std::size_t index = history_.size();
+  history_.push_back(FaultRecord{kind, at, at + duration, std::move(target)});
+  world_.sim().schedule_at(
+      at, [toggle, guard = std::weak_ptr<char>(alive_)] {
+        if (guard.expired()) return;
+        toggle(true);
+      });
+  world_.sim().schedule_at(
+      at + duration,
+      [toggle, guard = std::weak_ptr<char>(alive_), index, this] {
+        if (guard.expired()) return;
+        toggle(false);
+        (void)index;
+      });
+}
+
+void FaultInjector::inject_permanent(FaultKind kind, std::string target,
+                                     sim::Time at, Toggle toggle) {
+  history_.push_back(
+      FaultRecord{kind, at, sim::Time::max(), std::move(target)});
+  world_.sim().schedule_at(at,
+                           [toggle, guard = std::weak_ptr<char>(alive_)] {
+                             if (guard.expired()) return;
+                             toggle(true);
+                           });
+}
+
+bool FaultInjector::active(FaultKind kind) const {
+  const sim::Time now = world_.now();
+  for (const auto& f : history_) {
+    if (f.kind == kind && f.start <= now && now < f.end) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Jammer
+
+Jammer::Jammer(sim::World& world, env::RadioMedium& medium,
+               env::Vec2 position, int channel, double power_dbm)
+    : world_(world), medium_(medium), position_(position),
+      power_dbm_(power_dbm) {
+  config_.channel = channel;
+  // A distinctive id range well above device ids.
+  config_.id = 0xFFFF0000ULL + static_cast<std::uint64_t>(channel);
+  medium_.attach(this);
+}
+
+Jammer::~Jammer() {
+  stop();
+  medium_.detach(this);
+}
+
+void Jammer::start() {
+  if (running_) return;
+  running_ = true;
+  emit();
+}
+
+void Jammer::stop() { running_ = false; }
+
+void Jammer::emit() {
+  if (!running_) return;
+  // Back-to-back 2 ms bursts: effectively a continuous interference floor.
+  const std::size_t bits = 4000;
+  const double bitrate = 2e6;
+  medium_.transmit(*this, bits, bitrate, power_dbm_, nullptr);
+  world_.sim().schedule_in(sim::Time::sec(bits / bitrate),
+                           [this, guard = std::weak_ptr<char>(alive_)] {
+                             if (guard.expired()) return;
+                             emit();
+                           });
+}
+
+}  // namespace aroma::diag

@@ -1,0 +1,93 @@
+// Fault injection for the pervasive stack.
+//
+// The paper's future-work list demands "automated diagnostics, fault
+// tolerance and recovery". This module provides the faults to tolerate:
+// RF jamming (a hostile 2.4 GHz environment), infrastructure crashes
+// (the lookup service dies), and battery exhaustion.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::diag {
+
+/// What kind of fault a record describes.
+enum class FaultKind : std::uint8_t {
+  kRfJamming,        // broadband interference floor raised
+  kServiceCrash,     // a software component stops responding
+  kPowerLoss,        // a device loses power
+};
+
+std::string_view to_string(FaultKind kind);
+
+struct FaultRecord {
+  FaultKind kind;
+  sim::Time start;
+  sim::Time end;       // Time::max() while active
+  std::string target;  // free-form: device/service name
+};
+
+/// Schedules and tracks faults against a world. The injector itself only
+/// knows generic hooks: concrete components register activate/deactivate
+/// callbacks for named faults, which keeps diag decoupled from app code.
+class FaultInjector {
+ public:
+  explicit FaultInjector(sim::World& world) : world_(world) {}
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  using Toggle = std::function<void(bool active)>;
+
+  /// Injects a fault over [at, at+duration). The toggle is called with
+  /// true at start and false at end (omit duration for a permanent fault).
+  void inject(FaultKind kind, std::string target, sim::Time at,
+              sim::Time duration, Toggle toggle);
+  void inject_permanent(FaultKind kind, std::string target, sim::Time at,
+                        Toggle toggle);
+
+  /// Is any fault of `kind` active right now?
+  bool active(FaultKind kind) const;
+  const std::vector<FaultRecord>& history() const { return history_; }
+
+ private:
+  sim::World& world_;
+  std::vector<FaultRecord> history_;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+/// Convenience: a jammer that raises the interference floor on the radio
+/// medium by transmitting continuously from a position.
+class Jammer : public env::RadioEndpoint {
+ public:
+  Jammer(sim::World& world, env::RadioMedium& medium, env::Vec2 position,
+         int channel, double power_dbm);
+  ~Jammer() override;
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  // env::RadioEndpoint
+  env::Vec2 position() const override { return position_; }
+  const env::RadioConfig& radio_config() const override { return config_; }
+  bool receiver_enabled() const override { return false; }
+  void on_frame(const env::FrameDelivery&) override {}
+
+ private:
+  void emit();
+
+  sim::World& world_;
+  env::RadioMedium& medium_;
+  env::Vec2 position_;
+  env::RadioConfig config_;
+  double power_dbm_;
+  bool running_ = false;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace aroma::diag

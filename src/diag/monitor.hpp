@@ -1,0 +1,87 @@
+// Health monitoring: periodic probes with status history.
+//
+// Components register named probes tagged with the LPC layer whose health
+// they reflect; the monitor samples them, tracks transitions, and feeds
+// symptom vectors to the diagnosis engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lpc/layers.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::diag {
+
+enum class Health : std::uint8_t { kHealthy = 0, kDegraded, kFailed };
+
+std::string_view to_string(Health health);
+
+struct ProbeSample {
+  sim::Time when;
+  Health health;
+  double metric;   // probe-defined (latency ms, retry rate, ...)
+};
+
+/// A registered probe: returns current health + a numeric metric.
+struct Probe {
+  std::string name;
+  lpc::Layer layer;
+  std::function<ProbeSample()> sample;
+};
+
+class HealthMonitor {
+ public:
+  struct Params {
+    sim::Time interval = sim::Time::sec(5.0);
+    std::size_t history_limit = 256;
+  };
+
+  HealthMonitor(sim::World& world);
+  HealthMonitor(sim::World& world, Params params);
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// Registers a probe; the sampler is called on the monitor cadence.
+  /// The helper form wraps a plain metric function with thresholds:
+  /// metric >= failed_at -> failed, >= degraded_at -> degraded.
+  void add_probe(Probe probe);
+  void add_threshold_probe(std::string name, lpc::Layer layer,
+                           std::function<double()> metric, double degraded_at,
+                           double failed_at);
+
+  void start();
+  void stop();
+
+  Health health_of(const std::string& probe) const;
+  Health worst_health() const;
+  /// Latest sample per probe.
+  const std::map<std::string, ProbeSample>& latest() const { return latest_; }
+  /// Probes currently at or beyond `at_least`, as (name, layer) pairs.
+  std::vector<std::pair<std::string, lpc::Layer>> unhealthy(
+      Health at_least = Health::kDegraded) const;
+
+  /// Fires on every health transition of any probe.
+  using TransitionHandler =
+      std::function<void(const std::string& probe, Health from, Health to)>;
+  void set_transition_handler(TransitionHandler h) { on_transition_ = std::move(h); }
+
+  std::uint64_t samples_taken() const { return samples_taken_; }
+
+ private:
+  void tick();
+
+  sim::World& world_;
+  Params params_;
+  std::vector<Probe> probes_;
+  std::map<std::string, ProbeSample> latest_;
+  TransitionHandler on_transition_;
+  std::unique_ptr<sim::PeriodicTimer> timer_;
+  std::uint64_t samples_taken_ = 0;
+};
+
+}  // namespace aroma::diag

@@ -1,0 +1,444 @@
+#include "disco/jini.hpp"
+
+#include <algorithm>
+
+namespace aroma::disco {
+
+namespace {
+constexpr net::Port kClientPort = 4161;  // client agent unicast/announce port
+constexpr std::uint64_t kSubLeaseKeyBase = 1ULL << 32;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JiniRegistrar
+
+JiniRegistrar::JiniRegistrar(sim::World& world, net::NetStack& stack)
+    : JiniRegistrar(world, stack, Params{}) {}
+
+JiniRegistrar::JiniRegistrar(sim::World& world, net::NetStack& stack,
+                             Params params)
+    : world_(world), stack_(stack), params_(params), leases_(world) {
+  stack_.bind(net::kRegistrarPort,
+              [this](const net::Datagram& dg) { on_datagram(dg); });
+  stack_.join_group(net::kDiscoveryGroup);
+  announcer_ = std::make_unique<sim::PeriodicTimer>(
+      world_.sim(), params_.announce_interval, [this] { announce(); });
+  announcer_->start_after(sim::Time::ms(10));
+}
+
+JiniRegistrar::~JiniRegistrar() {
+  stack_.unbind(net::kRegistrarPort);
+}
+
+void JiniRegistrar::set_enabled(bool on) {
+  if (enabled_ == on) return;
+  enabled_ = on;
+  if (on) {
+    announcer_->start_after(sim::Time::ms(10));
+  } else {
+    announcer_->stop();
+  }
+}
+
+void JiniRegistrar::announce() {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JiniMsg::kAnnounce));
+  stack_.send_multicast(net::kAnnounceGroup, kClientPort, net::kRegistrarPort,
+                        w.take());
+}
+
+std::vector<ServiceDescription> JiniRegistrar::snapshot(
+    const ServiceTemplate& t) const {
+  std::vector<ServiceDescription> out;
+  for (const auto& [id, s] : services_) {
+    if (t.matches(s)) out.push_back(s);
+  }
+  return out;
+}
+
+void JiniRegistrar::expire_service(ServiceId id) {
+  auto it = services_.find(id);
+  if (it == services_.end()) return;
+  const ServiceDescription s = it->second;
+  services_.erase(it);
+  ++stats_.lease_expirations;
+  notify(s, /*appeared=*/false);
+}
+
+void JiniRegistrar::notify(const ServiceDescription& s, bool appeared) {
+  for (const auto& sub : subscriptions_) {
+    if (!sub.tmpl.matches(s)) continue;
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(JiniMsg::kEvent));
+    w.u8(appeared ? 1 : 0);
+    s.serialize(w);
+    ++stats_.events_sent;
+    stack_.send(sub.listener, net::kRegistrarPort, w.take());
+  }
+}
+
+void JiniRegistrar::on_datagram(const net::Datagram& dg) {
+  if (!enabled_) return;  // crashed: requests fall on the floor
+  net::ByteReader r(dg.data);
+  const auto msg = static_cast<JiniMsg>(r.u8());
+  if (!r.ok()) return;
+
+  switch (msg) {
+    case JiniMsg::kDiscoveryRequest: {
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(JiniMsg::kDiscoveryResponse));
+      ++stats_.discovery_responses;
+      stack_.send(net::Endpoint{dg.src.node, kClientPort},
+                  net::kRegistrarPort, w.take());
+      return;
+    }
+    case JiniMsg::kRegister: {
+      const std::uint32_t token = r.u32();
+      const auto lease_req = sim::Time::ns(static_cast<std::int64_t>(r.u64()));
+      ServiceDescription desc = ServiceDescription::deserialize(r);
+      if (!r.ok()) return;
+      const ServiceId id = next_service_id_++;
+      desc.id = id;
+      services_[id] = desc;
+      const sim::Time lease = std::min(lease_req, params_.max_lease);
+      leases_.grant(id, lease, [this, id] { expire_service(id); });
+      ++stats_.registrations;
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(JiniMsg::kRegisterResponse));
+      w.u32(token);
+      w.u64(id);
+      w.u64(static_cast<std::uint64_t>(lease.count()));
+      stack_.send(net::Endpoint{dg.src.node, kClientPort},
+                  net::kRegistrarPort, w.take());
+      notify(desc, /*appeared=*/true);
+      return;
+    }
+    case JiniMsg::kRenew: {
+      const ServiceId id = r.u64();
+      const auto lease_req = sim::Time::ns(static_cast<std::int64_t>(r.u64()));
+      const sim::Time lease = std::min(lease_req, params_.max_lease);
+      const bool ok = leases_.renew(id, lease);
+      if (ok) ++stats_.renewals;
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(JiniMsg::kRenewResponse));
+      w.u64(id);
+      w.u8(ok ? 1 : 0);
+      stack_.send(net::Endpoint{dg.src.node, kClientPort},
+                  net::kRegistrarPort, w.take());
+      return;
+    }
+    case JiniMsg::kCancel: {
+      const ServiceId id = r.u64();
+      auto it = services_.find(id);
+      if (it != services_.end()) {
+        const ServiceDescription s = it->second;
+        services_.erase(it);
+        leases_.cancel(id);
+        notify(s, /*appeared=*/false);
+      }
+      return;
+    }
+    case JiniMsg::kLookup: {
+      const std::uint32_t token = r.u32();
+      const ServiceTemplate tmpl = ServiceTemplate::deserialize(r);
+      if (!r.ok()) return;
+      ++stats_.lookups;
+      const auto matches = snapshot(tmpl);
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(JiniMsg::kLookupResponse));
+      w.u32(token);
+      w.u32(static_cast<std::uint32_t>(matches.size()));
+      for (const auto& m : matches) m.serialize(w);
+      stack_.send(net::Endpoint{dg.src.node, kClientPort},
+                  net::kRegistrarPort, w.take());
+      return;
+    }
+    case JiniMsg::kNotifyRequest: {
+      const std::uint32_t token = r.u32();
+      const auto lease_req = sim::Time::ns(static_cast<std::int64_t>(r.u64()));
+      const ServiceTemplate tmpl = ServiceTemplate::deserialize(r);
+      if (!r.ok()) return;
+      Subscription sub;
+      sub.id = next_subscription_id_++;
+      sub.listener = net::Endpoint{dg.src.node, kClientPort};
+      sub.tmpl = tmpl;
+      subscriptions_.push_back(sub);
+      const sim::Time lease = std::min(lease_req, params_.max_lease * 10);
+      const std::uint64_t key = kSubLeaseKeyBase + sub.id;
+      const std::uint64_t sid = sub.id;
+      leases_.grant(key, lease, [this, sid] {
+        subscriptions_.erase(
+            std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                           [&](const Subscription& s) { return s.id == sid; }),
+            subscriptions_.end());
+      });
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(JiniMsg::kNotifyResponse));
+      w.u32(token);
+      w.u64(sub.id);
+      stack_.send(sub.listener, net::kRegistrarPort, w.take());
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// JiniClient
+
+JiniClient::JiniClient(sim::World& world, net::NetStack& stack)
+    : JiniClient(world, stack, Params{}) {}
+
+JiniClient::JiniClient(sim::World& world, net::NetStack& stack, Params params)
+    : world_(world), stack_(stack), params_(params), port_(kClientPort) {
+  stack_.bind(port_, [this](const net::Datagram& dg) { on_datagram(dg); });
+  stack_.join_group(net::kAnnounceGroup);
+}
+
+JiniClient::~JiniClient() { stack_.unbind(port_); }
+
+std::vector<net::NodeId> JiniClient::registrars() const {
+  std::vector<net::NodeId> out;
+  out.reserve(registrars_.size());
+  for (const auto& [node, t] : registrars_) out.push_back(node);
+  return out;
+}
+
+void JiniClient::discover(RegistrarFound cb) {
+  on_registrar_ = std::move(cb);
+  if (!discovering_) {
+    discovering_ = true;
+    send_discovery(0);
+  }
+}
+
+void JiniClient::send_discovery(int attempt) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JiniMsg::kDiscoveryRequest));
+  ++messages_sent_;
+  stack_.send_multicast(net::kDiscoveryGroup, net::kRegistrarPort, port_,
+                        w.take());
+  world_.sim().schedule_in(params_.discovery_timeout,
+                           [this, attempt, guard = std::weak_ptr<char>(alive_)] {
+    if (guard.expired()) return;
+    if (has_registrar()) {
+      discovering_ = false;
+      return;
+    }
+    if (attempt + 1 < params_.discovery_retries) {
+      send_discovery(attempt + 1);
+    } else {
+      discovering_ = false;
+      world_.tracer().log(world_.now(), sim::TraceLevel::kWarn, "discovery",
+                          "no lookup service answered multicast discovery; "
+                          "the Jini infrastructure is unreachable");
+      // Fail anything still waiting: node 0 signals "no registrar".
+      auto waiting = std::move(waiting_);
+      waiting_.clear();
+      for (auto& action : waiting) action(0);
+    }
+  });
+}
+
+net::NodeId JiniClient::pick_registrar() const {
+  net::NodeId best = 0;
+  sim::Time best_heard = sim::Time::zero();
+  const sim::Time now = world_.now();
+  for (const auto& [node, heard] : registrars_) {
+    // Fresh knowledge only: a registrar that stopped announcing is dead to
+    // us, so clients fail over to whoever is still talking.
+    if (now - heard > params_.registrar_staleness) continue;
+    if (best == 0 || heard > best_heard) {
+      best = node;
+      best_heard = heard;
+    }
+  }
+  return best;
+}
+
+void JiniClient::with_registrar(std::function<void(net::NodeId)> action) {
+  if (const net::NodeId reg = pick_registrar(); reg != 0) {
+    action(reg);
+    return;
+  }
+  waiting_.push_back(std::move(action));
+  if (!discovering_) {
+    discovering_ = true;
+    send_discovery(0);
+  }
+}
+
+void JiniClient::register_service(ServiceDescription description,
+                                  RegisterResult cb) {
+  const std::uint32_t token = next_token_++;
+  pending_reg_[token] = PendingRegistration{description, cb, token};
+  with_registrar([this, token](net::NodeId reg) {
+    auto it = pending_reg_.find(token);
+    if (it == pending_reg_.end()) return;
+    if (reg == 0) {
+      auto cb = std::move(it->second.cb);
+      pending_reg_.erase(it);
+      if (cb) cb(false, 0);
+      return;
+    }
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(JiniMsg::kRegister));
+    w.u32(token);
+    w.u64(static_cast<std::uint64_t>(params_.lease_request.count()));
+    it->second.desc.serialize(w);
+    ++messages_sent_;
+    stack_.send(net::Endpoint{reg, net::kRegistrarPort}, port_, w.take());
+  });
+}
+
+void JiniClient::withdraw(ServiceId id) {
+  held_leases_.erase(id);
+  with_registrar([this, id](net::NodeId reg) {
+    if (reg == 0) return;
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(JiniMsg::kCancel));
+    w.u64(id);
+    ++messages_sent_;
+    stack_.send(net::Endpoint{reg, net::kRegistrarPort}, port_, w.take());
+  });
+}
+
+void JiniClient::lookup(const ServiceTemplate& tmpl, LookupResult cb) {
+  const std::uint32_t token = next_token_++;
+  pending_lookup_[token] = std::move(cb);
+  // Unanswered lookups (e.g. the registrar died mid-request) fail cleanly.
+  world_.sim().schedule_in(params_.lookup_timeout,
+                           [this, token, guard = std::weak_ptr<char>(alive_)] {
+                             if (guard.expired()) return;
+                             auto it = pending_lookup_.find(token);
+                             if (it == pending_lookup_.end()) return;
+                             auto cb = std::move(it->second);
+                             pending_lookup_.erase(it);
+                             if (cb) cb({});
+                           });
+  with_registrar([this, token, tmpl](net::NodeId reg) {
+    auto it = pending_lookup_.find(token);
+    if (it == pending_lookup_.end()) return;
+    if (reg == 0) {
+      auto cb = std::move(it->second);
+      pending_lookup_.erase(it);
+      if (cb) cb({});
+      return;
+    }
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(JiniMsg::kLookup));
+    w.u32(token);
+    tmpl.serialize(w);
+    ++messages_sent_;
+    stack_.send(net::Endpoint{reg, net::kRegistrarPort}, port_, w.take());
+  });
+}
+
+void JiniClient::subscribe(const ServiceTemplate& tmpl, EventCallback cb) {
+  on_event_ = std::move(cb);
+  with_registrar([this, tmpl](net::NodeId reg) {
+    if (reg == 0) return;
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(JiniMsg::kNotifyRequest));
+    w.u32(next_token_++);
+    w.u64(static_cast<std::uint64_t>((params_.lease_request * 20).count()));
+    tmpl.serialize(w);
+    ++messages_sent_;
+    stack_.send(net::Endpoint{reg, net::kRegistrarPort}, port_, w.take());
+  });
+}
+
+void JiniClient::schedule_renewal(ServiceId id, sim::Time lease) {
+  const sim::Time delay = sim::scale(lease, params_.renew_fraction);
+  world_.sim().schedule_in(delay, [this, id, lease,
+                                   guard = std::weak_ptr<char>(alive_)] {
+    if (guard.expired()) return;
+    auto it = held_leases_.find(id);
+    if (it == held_leases_.end()) return;  // withdrawn
+    with_registrar([this, id, lease](net::NodeId reg) {
+      if (reg == 0) return;
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(JiniMsg::kRenew));
+      w.u64(id);
+      w.u64(static_cast<std::uint64_t>(lease.count()));
+      ++messages_sent_;
+      stack_.send(net::Endpoint{reg, net::kRegistrarPort}, port_, w.take());
+    });
+    schedule_renewal(id, lease);
+  });
+}
+
+void JiniClient::on_datagram(const net::Datagram& dg) {
+  net::ByteReader r(dg.data);
+  const auto msg = static_cast<JiniMsg>(r.u8());
+  if (!r.ok()) return;
+
+  switch (msg) {
+    case JiniMsg::kDiscoveryResponse:
+    case JiniMsg::kAnnounce: {
+      const bool is_new = registrars_.find(dg.src.node) == registrars_.end();
+      registrars_[dg.src.node] = world_.now();
+      if (is_new && on_registrar_) on_registrar_(dg.src.node);
+      if (!waiting_.empty()) {
+        auto waiting = std::move(waiting_);
+        waiting_.clear();
+        for (auto& action : waiting) action(dg.src.node);
+      }
+      return;
+    }
+    case JiniMsg::kRegisterResponse: {
+      const std::uint32_t token = r.u32();
+      const ServiceId id = r.u64();
+      const auto lease = sim::Time::ns(static_cast<std::int64_t>(r.u64()));
+      auto it = pending_reg_.find(token);
+      if (it == pending_reg_.end()) return;
+      auto cb = std::move(it->second.cb);
+      ServiceDescription desc = std::move(it->second.desc);
+      pending_reg_.erase(it);
+      held_leases_[id] = HeldRegistration{lease, std::move(desc)};
+      schedule_renewal(id, lease);
+      if (cb) cb(true, id);
+      return;
+    }
+    case JiniMsg::kRenewResponse: {
+      const ServiceId id = r.u64();
+      const bool ok = r.u8() != 0;
+      if (ok) return;
+      // The registrar does not know this lease: it crashed/restarted or we
+      // failed over to a different one. Re-register (Jini's JoinManager
+      // behaviour) so the service reappears wherever clients now look.
+      auto held = held_leases_.find(id);
+      if (held == held_leases_.end()) return;
+      ServiceDescription desc = std::move(held->second.desc);
+      held_leases_.erase(held);
+      register_service(std::move(desc), {});
+      return;
+    }
+    case JiniMsg::kLookupResponse: {
+      const std::uint32_t token = r.u32();
+      const std::uint32_t n = r.u32();
+      std::vector<ServiceDescription> services;
+      services.reserve(n);
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        services.push_back(ServiceDescription::deserialize(r));
+      }
+      auto it = pending_lookup_.find(token);
+      if (it == pending_lookup_.end()) return;
+      auto cb = std::move(it->second);
+      pending_lookup_.erase(it);
+      if (cb) cb(std::move(services));
+      return;
+    }
+    case JiniMsg::kEvent: {
+      const bool appeared = r.u8() != 0;
+      const ServiceDescription s = ServiceDescription::deserialize(r);
+      if (r.ok() && on_event_) on_event_(s, appeared);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace aroma::disco

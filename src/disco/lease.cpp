@@ -1,0 +1,49 @@
+#include "disco/lease.hpp"
+
+namespace aroma::disco {
+
+void LeaseTable::grant(std::uint64_t key, sim::Time duration,
+                       std::function<void()> on_expire) {
+  Lease& l = leases_[key];
+  l.expiry = world_.now() + duration;
+  l.gen = next_gen_++;
+  l.on_expire = std::move(on_expire);
+  schedule_check(key, l.gen, l.expiry);
+}
+
+bool LeaseTable::renew(std::uint64_t key, sim::Time duration) {
+  auto it = leases_.find(key);
+  if (it == leases_.end()) return false;
+  it->second.expiry = world_.now() + duration;
+  it->second.gen = next_gen_++;
+  schedule_check(key, it->second.gen, it->second.expiry);
+  return true;
+}
+
+void LeaseTable::cancel(std::uint64_t key) { leases_.erase(key); }
+
+bool LeaseTable::active(std::uint64_t key) const {
+  auto it = leases_.find(key);
+  return it != leases_.end() && it->second.expiry > world_.now();
+}
+
+sim::Time LeaseTable::expiry(std::uint64_t key) const {
+  auto it = leases_.find(key);
+  return it != leases_.end() ? it->second.expiry : sim::Time::zero();
+}
+
+void LeaseTable::schedule_check(std::uint64_t key, std::uint64_t gen,
+                                sim::Time when) {
+  world_.sim().schedule_at(when, [this, key, gen,
+                                  guard = std::weak_ptr<char>(alive_)] {
+    if (guard.expired()) return;
+    auto it = leases_.find(key);
+    if (it == leases_.end() || it->second.gen != gen) return;  // renewed
+    auto cb = std::move(it->second.on_expire);
+    leases_.erase(it);
+    ++expirations_;
+    if (cb) cb();
+  });
+}
+
+}  // namespace aroma::disco

@@ -1,0 +1,58 @@
+// Leases: time-bounded grants that must be renewed to stay alive.
+//
+// Jini's central liveness mechanism, and the paper's answer to "users who
+// forget to relinquish control of the projector": every registration,
+// session, and event subscription is lease-backed, so abandoned state
+// self-cleans without an administrator.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "sim/world.hpp"
+
+namespace aroma::disco {
+
+class LeaseTable {
+ public:
+  explicit LeaseTable(sim::World& world) : world_(world) {}
+  LeaseTable(const LeaseTable&) = delete;
+  LeaseTable& operator=(const LeaseTable&) = delete;
+
+  /// Grants (or replaces) a lease on `key` expiring after `duration`.
+  /// `on_expire` fires exactly once if the lease lapses without renewal.
+  void grant(std::uint64_t key, sim::Time duration,
+             std::function<void()> on_expire);
+
+  /// Extends an active lease. Returns false for unknown/expired keys.
+  bool renew(std::uint64_t key, sim::Time duration);
+
+  /// Cancels without firing the expiry callback.
+  void cancel(std::uint64_t key);
+
+  bool active(std::uint64_t key) const;
+  sim::Time expiry(std::uint64_t key) const;
+  std::size_t size() const { return leases_.size(); }
+
+  std::uint64_t expirations() const { return expirations_; }
+
+ private:
+  struct Lease {
+    sim::Time expiry;
+    std::uint64_t gen = 0;
+    std::function<void()> on_expire;
+  };
+  void schedule_check(std::uint64_t key, std::uint64_t gen, sim::Time when);
+
+  sim::World& world_;
+  std::unordered_map<std::uint64_t, Lease> leases_;
+  std::uint64_t next_gen_ = 1;
+  std::uint64_t expirations_ = 0;
+  // Expiry events may still sit in the simulator when the table's owner is
+  // destroyed mid-run; they check this token and become no-ops.
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace aroma::disco

@@ -1,0 +1,186 @@
+#include "disco/ssdp.hpp"
+
+namespace aroma::disco {
+
+namespace {
+std::uint64_t cache_key(const ServiceDescription& d) {
+  return (d.endpoint.node << 16) ^ d.id;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SsdpAdvertiser
+
+SsdpAdvertiser::SsdpAdvertiser(sim::World& world, net::NetStack& stack)
+    : SsdpAdvertiser(world, stack, Params{}) {}
+
+SsdpAdvertiser::SsdpAdvertiser(sim::World& world, net::NetStack& stack,
+                               Params params)
+    : world_(world), stack_(stack), params_(params) {
+  stack_.bind(net::kSsdpPort,
+              [this](const net::Datagram& dg) { on_datagram(dg); });
+  stack_.join_group(net::kDiscoveryGroup);
+  announcer_ = std::make_unique<sim::PeriodicTimer>(
+      world_.sim(), params_.announce_interval, [this] { announce_all(); });
+  announcer_->start();
+}
+
+SsdpAdvertiser::~SsdpAdvertiser() { stack_.unbind(net::kSsdpPort); }
+
+void SsdpAdvertiser::advertise(ServiceDescription description) {
+  if (description.id == 0) description.id = next_local_id_++;
+  send_alive(description);
+  advertised_[description.id] = std::move(description);
+}
+
+void SsdpAdvertiser::withdraw(ServiceId id, bool silent) {
+  auto it = advertised_.find(id);
+  if (it == advertised_.end()) return;
+  if (!silent) {
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(SsdpMsg::kByeBye));
+    it->second.serialize(w);
+    ++messages_sent_;
+    stack_.send_multicast(net::kAnnounceGroup, net::kSsdpPort, net::kSsdpPort,
+                          w.take());
+  }
+  advertised_.erase(it);
+}
+
+void SsdpAdvertiser::announce_all() {
+  for (const auto& [id, desc] : advertised_) send_alive(desc);
+}
+
+void SsdpAdvertiser::send_alive(const ServiceDescription& desc) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(SsdpMsg::kAlive));
+  w.u64(static_cast<std::uint64_t>(params_.max_age.count()));
+  desc.serialize(w);
+  ++messages_sent_;
+  stack_.send_multicast(net::kAnnounceGroup, net::kSsdpPort, net::kSsdpPort,
+                        w.take());
+}
+
+void SsdpAdvertiser::on_datagram(const net::Datagram& dg) {
+  net::ByteReader r(dg.data);
+  const auto msg = static_cast<SsdpMsg>(r.u8());
+  if (!r.ok() || msg != SsdpMsg::kMSearch) return;
+  const std::uint32_t token = r.u32();
+  const ServiceTemplate tmpl = ServiceTemplate::deserialize(r);
+  if (!r.ok()) return;
+  for (const auto& [id, desc] : advertised_) {
+    if (!tmpl.matches(desc)) continue;
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(SsdpMsg::kMSearchResponse));
+    w.u32(token);
+    w.u64(static_cast<std::uint64_t>(params_.max_age.count()));
+    desc.serialize(w);
+    ++messages_sent_;
+    stack_.send(net::Endpoint{dg.src.node, net::kSsdpPort}, net::kSsdpPort,
+                w.take());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SsdpControlPoint
+
+SsdpControlPoint::SsdpControlPoint(sim::World& world, net::NetStack& stack)
+    : SsdpControlPoint(world, stack, Params{}) {}
+
+SsdpControlPoint::SsdpControlPoint(sim::World& world, net::NetStack& stack,
+                                   Params params)
+    : world_(world), stack_(stack), params_(params) {
+  stack_.bind(net::kSsdpPort,
+              [this](const net::Datagram& dg) { on_datagram(dg); });
+  stack_.join_group(net::kAnnounceGroup);
+}
+
+SsdpControlPoint::~SsdpControlPoint() { stack_.unbind(net::kSsdpPort); }
+
+std::vector<ServiceDescription> SsdpControlPoint::cached(
+    const ServiceTemplate& tmpl) const {
+  std::vector<ServiceDescription> out;
+  const sim::Time now = world_.now();
+  for (const auto& [key, entry] : cache_) {
+    if (entry.expires > now && tmpl.matches(entry.desc)) {
+      out.push_back(entry.desc);
+    }
+  }
+  return out;
+}
+
+std::size_t SsdpControlPoint::stale_entries(
+    const ServiceTemplate& tmpl,
+    const std::vector<ServiceId>& truly_alive) const {
+  std::size_t stale = 0;
+  for (const auto& d : cached(tmpl)) {
+    bool alive = false;
+    for (ServiceId id : truly_alive) alive |= (id == d.id);
+    if (!alive) ++stale;
+  }
+  return stale;
+}
+
+void SsdpControlPoint::find(const ServiceTemplate& tmpl, FindResult cb) {
+  auto hits = cached(tmpl);
+  if (!hits.empty()) {
+    cb(std::move(hits));
+    return;
+  }
+  const std::uint32_t token = next_token_++;
+  pending_[token] = Pending{std::move(cb), {}};
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(SsdpMsg::kMSearch));
+  w.u32(token);
+  tmpl.serialize(w);
+  ++messages_sent_;
+  stack_.send_multicast(net::kDiscoveryGroup, net::kSsdpPort, net::kSsdpPort,
+                        w.take());
+  world_.sim().schedule_in(params_.msearch_wait,
+                           [this, token, guard = std::weak_ptr<char>(alive_)] {
+    if (guard.expired()) return;
+    auto it = pending_.find(token);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second);
+    pending_.erase(it);
+    if (done.cb) done.cb(std::move(done.gathered));
+  });
+}
+
+void SsdpControlPoint::insert(const ServiceDescription& desc,
+                              sim::Time max_age) {
+  cache_[cache_key(desc)] = CacheEntry{desc, world_.now() + max_age};
+}
+
+void SsdpControlPoint::on_datagram(const net::Datagram& dg) {
+  net::ByteReader r(dg.data);
+  const auto msg = static_cast<SsdpMsg>(r.u8());
+  if (!r.ok()) return;
+  switch (msg) {
+    case SsdpMsg::kAlive: {
+      const auto max_age = sim::Time::ns(static_cast<std::int64_t>(r.u64()));
+      const ServiceDescription desc = ServiceDescription::deserialize(r);
+      if (r.ok()) insert(desc, max_age);
+      return;
+    }
+    case SsdpMsg::kByeBye: {
+      const ServiceDescription desc = ServiceDescription::deserialize(r);
+      if (r.ok()) cache_.erase(cache_key(desc));
+      return;
+    }
+    case SsdpMsg::kMSearchResponse: {
+      const std::uint32_t token = r.u32();
+      const auto max_age = sim::Time::ns(static_cast<std::int64_t>(r.u64()));
+      const ServiceDescription desc = ServiceDescription::deserialize(r);
+      if (!r.ok()) return;
+      insert(desc, max_age);
+      auto it = pending_.find(token);
+      if (it != pending_.end()) it->second.gathered.push_back(desc);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace aroma::disco

@@ -1,0 +1,118 @@
+// SSDP/UPnP-style discovery baseline: no registrar at all.
+//
+// Services multicast periodic "alive" announcements with a max-age;
+// control points cache them and can also actively M-SEARCH. The trade-off
+// this baseline exposes in FIG3: zero infrastructure and fast cached
+// lookups, at the cost of continuous multicast traffic and cache staleness
+// when a service dies silently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "disco/service.hpp"
+#include "net/stack.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::disco {
+
+enum class SsdpMsg : std::uint8_t {
+  kAlive = 1,
+  kByeBye,
+  kMSearch,
+  kMSearchResponse,
+};
+
+/// Advertises local services by periodic multicast.
+class SsdpAdvertiser {
+ public:
+  struct Params {
+    sim::Time announce_interval = sim::Time::sec(15.0);
+    sim::Time max_age = sim::Time::sec(45.0);  // 3 missed announcements
+  };
+
+  SsdpAdvertiser(sim::World& world, net::NetStack& stack);
+  SsdpAdvertiser(sim::World& world, net::NetStack& stack, Params params);
+  ~SsdpAdvertiser();
+  SsdpAdvertiser(const SsdpAdvertiser&) = delete;
+  SsdpAdvertiser& operator=(const SsdpAdvertiser&) = delete;
+
+  /// Begins announcing; the first alive goes out immediately.
+  void advertise(ServiceDescription description);
+  /// Multicasts byebye and stops announcing. `silent` simulates a crash or
+  /// walk-out-of-range: announcements stop with no byebye.
+  void withdraw(ServiceId id, bool silent = false);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  void on_datagram(const net::Datagram& dg);
+  void announce_all();
+  void send_alive(const ServiceDescription& desc);
+
+  sim::World& world_;
+  net::NetStack& stack_;
+  Params params_;
+  std::map<ServiceId, ServiceDescription> advertised_;
+  ServiceId next_local_id_ = 1;
+  std::uint64_t messages_sent_ = 0;
+  std::unique_ptr<sim::PeriodicTimer> announcer_;
+};
+
+/// Caches announcements and answers finds from the cache or by M-SEARCH.
+class SsdpControlPoint {
+ public:
+  struct Params {
+    sim::Time msearch_wait = sim::Time::sec(1.0);
+  };
+
+  using FindResult = std::function<void(std::vector<ServiceDescription>)>;
+
+  SsdpControlPoint(sim::World& world, net::NetStack& stack);
+  SsdpControlPoint(sim::World& world, net::NetStack& stack, Params params);
+  ~SsdpControlPoint();
+  SsdpControlPoint(const SsdpControlPoint&) = delete;
+  SsdpControlPoint& operator=(const SsdpControlPoint&) = delete;
+
+  /// Cache-first: if the cache has unexpired matches, the callback fires
+  /// immediately (zero network cost). Otherwise multicasts an M-SEARCH and
+  /// gathers responses for `msearch_wait`.
+  void find(const ServiceTemplate& tmpl, FindResult cb);
+
+  /// Current unexpired cache entries matching a template.
+  std::vector<ServiceDescription> cached(const ServiceTemplate& tmpl) const;
+
+  /// Cache entries (matching tmpl) the control point *believes* are alive;
+  /// compares against `truly_alive` to measure staleness.
+  std::size_t stale_entries(const ServiceTemplate& tmpl,
+                            const std::vector<ServiceId>& truly_alive) const;
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+
+ private:
+  struct CacheEntry {
+    ServiceDescription desc;
+    sim::Time expires;
+  };
+
+  void on_datagram(const net::Datagram& dg);
+  void insert(const ServiceDescription& desc, sim::Time max_age);
+
+  sim::World& world_;
+  net::NetStack& stack_;
+  Params params_;
+  std::map<std::uint64_t, CacheEntry> cache_;  // key: node<<16 ^ service id
+  struct Pending {
+    FindResult cb;
+    std::vector<ServiceDescription> gathered;
+  };
+  std::map<std::uint32_t, Pending> pending_;
+  std::uint32_t next_token_ = 1;
+  std::uint64_t messages_sent_ = 0;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace aroma::disco

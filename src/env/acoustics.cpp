@@ -1,0 +1,90 @@
+#include "env/acoustics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aroma::env {
+
+std::uint64_t AcousticField::add_source(SoundSource src) {
+  src.id = next_id_++;
+  sources_.push_back(std::move(src));
+  return sources_.back().id;
+}
+
+void AcousticField::remove_source(std::uint64_t id) {
+  sources_.erase(std::remove_if(sources_.begin(), sources_.end(),
+                                [&](const SoundSource& s) { return s.id == id; }),
+                 sources_.end());
+}
+
+void AcousticField::set_source_active(std::uint64_t id, bool active) {
+  if (auto* s = find(id)) s->active = active;
+}
+
+void AcousticField::move_source(std::uint64_t id, Vec2 pos) {
+  if (auto* s = find(id)) s->position = pos;
+}
+
+const SoundSource* AcousticField::find(std::uint64_t id) const {
+  for (const auto& s : sources_)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+SoundSource* AcousticField::find(std::uint64_t id) {
+  for (auto& s : sources_)
+    if (s.id == id) return &s;
+  return nullptr;
+}
+
+double AcousticField::attenuate(double spl_1m, double dist_m) {
+  // Spherical spreading: -20 dB per decade of distance, referenced to 1 m.
+  const double d = std::max(dist_m, 0.1);
+  return spl_1m - 20.0 * std::log10(std::max(d, 1.0));
+}
+
+double AcousticField::spl_at(Vec2 pos) const {
+  double energy = std::pow(10.0, ambient_db_ / 10.0);
+  for (const auto& s : sources_) {
+    if (!s.active) continue;
+    const double level = attenuate(s.spl_at_1m_db, distance(pos, s.position));
+    energy += std::pow(10.0, level / 10.0);
+  }
+  return 10.0 * std::log10(energy);
+}
+
+double AcousticField::noise_excluding(Vec2 pos, std::uint64_t speaker_id) const {
+  double energy = std::pow(10.0, ambient_db_ / 10.0);
+  for (const auto& s : sources_) {
+    if (!s.active || s.id == speaker_id) continue;
+    const double level = attenuate(s.spl_at_1m_db, distance(pos, s.position));
+    energy += std::pow(10.0, level / 10.0);
+  }
+  return 10.0 * std::log10(energy);
+}
+
+double AcousticField::speech_level_at(Vec2 pos, std::uint64_t speaker_id) const {
+  const SoundSource* s = find(speaker_id);
+  if (s == nullptr || !s->active) return -300.0;
+  return attenuate(s->spl_at_1m_db, distance(pos, s->position));
+}
+
+double AcousticField::intelligibility(Vec2 listener,
+                                      std::uint64_t speaker_id) const {
+  const double speech = speech_level_at(listener, speaker_id);
+  if (speech <= -200.0) return 0.0;
+  const double noise = noise_excluding(listener, speaker_id);
+  const double snr = speech - noise;
+  return std::clamp((snr + 15.0) / 30.0, 0.0, 1.0);
+}
+
+double social_appropriateness(double speech_db, double ambient_db,
+                              double occupant_density) {
+  // Speaking far above ambient is disruptive, more so when the space is
+  // crowded. 0 dB above ambient is fine; +30 dB in a dense space is not.
+  const double excess = std::max(0.0, speech_db - ambient_db);
+  const double crowding = 1.0 + std::max(0.0, occupant_density);
+  return std::clamp(1.0 - excess * crowding / 60.0, 0.0, 1.0);
+}
+
+}  // namespace aroma::env

@@ -1,0 +1,75 @@
+// Acoustic environment: ambient noise, speech sources, intelligibility.
+//
+// The paper's environment-layer analysis calls out background noise as a
+// gating factor for voice-controlled pervasive devices ("background noise,
+// that is currently acceptable, may become objectionable if voice
+// recognition is used"). This module models sound pressure levels from
+// point sources over distance plus an ambient floor, and derives a simple
+// speech-intelligibility index from the speech-to-noise ratio.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/geometry.hpp"
+
+namespace aroma::env {
+
+/// A point sound source (a person talking, HVAC, a printer).
+struct SoundSource {
+  std::uint64_t id = 0;
+  Vec2 position;
+  double spl_at_1m_db = 60.0;  // normal speech ~60 dB SPL at 1 m
+  bool active = true;
+  std::string label;
+};
+
+/// Combines point sources with an ambient noise floor.
+class AcousticField {
+ public:
+  explicit AcousticField(double ambient_db = 35.0) : ambient_db_(ambient_db) {}
+
+  void set_ambient_db(double db) { ambient_db_ = db; }
+  double ambient_db() const { return ambient_db_; }
+
+  std::uint64_t add_source(SoundSource src);
+  void remove_source(std::uint64_t id);
+  void set_source_active(std::uint64_t id, bool active);
+  void move_source(std::uint64_t id, Vec2 pos);
+  std::size_t source_count() const { return sources_.size(); }
+
+  /// Total sound pressure level at a point (energetic sum of all active
+  /// sources attenuated by spherical spreading, plus ambient).
+  double spl_at(Vec2 pos) const;
+
+  /// Noise level at `pos` excluding source `speaker_id` (i.e. what competes
+  /// with that speaker's voice).
+  double noise_excluding(Vec2 pos, std::uint64_t speaker_id) const;
+
+  /// Speech level of `speaker_id` heard at `pos`.
+  double speech_level_at(Vec2 pos, std::uint64_t speaker_id) const;
+
+  /// Simplified speech intelligibility index in [0, 1]: 0 below -15 dB
+  /// speech-to-noise ratio, 1 above +15 dB, linear between (a standard
+  /// articulation-index style approximation).
+  double intelligibility(Vec2 listener, std::uint64_t speaker_id) const;
+
+ private:
+  static double attenuate(double spl_1m, double dist_m);
+  const SoundSource* find(std::uint64_t id) const;
+  SoundSource* find(std::uint64_t id);
+
+  double ambient_db_;
+  std::vector<SoundSource> sources_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Social appropriateness of speaking at a given level in a space with a
+/// given ambient level and occupant density (people per 10 m^2). Returns a
+/// score in [0,1]; below ~0.5 the paper's "socially inappropriate in a
+/// cramped office" concern applies.
+double social_appropriateness(double speech_db, double ambient_db,
+                              double occupant_density);
+
+}  // namespace aroma::env

@@ -1,0 +1,60 @@
+// The Environment layer object: the paper's bottom layer, composing the
+// radio medium, the acoustic field, ambient conditions, and the arena in
+// which physical entities move. "The environment cannot be ignored, it must
+// be factored into the conceptual model."
+#pragma once
+
+#include <memory>
+
+#include "env/acoustics.hpp"
+#include "env/geometry.hpp"
+#include "env/propagation.hpp"
+#include "env/radio_medium.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::env {
+
+/// Ambient conditions that are neither RF nor acoustic but still gate
+/// physical compatibility (Figure 2's "must be compatible with" arrows).
+struct AmbientConditions {
+  double temperature_c = 21.0;
+  double illuminance_lux = 400.0;   // office lighting
+  double occupant_density = 0.3;    // people per 10 m^2
+};
+
+class Environment {
+ public:
+  struct Params {
+    Rect arena{{0, 0}, {50, 50}};
+    PathLossModel::Params path_loss{};
+    double ambient_noise_db = 35.0;
+    AmbientConditions conditions{};
+  };
+
+  explicit Environment(sim::World& world) : Environment(world, Params{}) {}
+  Environment(sim::World& world, Params p)
+      : world_(world),
+        params_(p),
+        medium_(world, PathLossModel(p.path_loss)),
+        acoustics_(p.ambient_noise_db) {}
+
+  sim::World& world() { return world_; }
+  const Params& params() const { return params_; }
+  const Rect& arena() const { return params_.arena; }
+
+  RadioMedium& medium() { return medium_; }
+  const RadioMedium& medium() const { return medium_; }
+  AcousticField& acoustics() { return acoustics_; }
+  const AcousticField& acoustics() const { return acoustics_; }
+
+  AmbientConditions& conditions() { return params_.conditions; }
+  const AmbientConditions& conditions() const { return params_.conditions; }
+
+ private:
+  sim::World& world_;
+  Params params_;
+  RadioMedium medium_;
+  AcousticField acoustics_;
+};
+
+}  // namespace aroma::env

@@ -1,0 +1,85 @@
+#include "env/mobility.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aroma::env {
+
+RandomWaypointMobility::RandomWaypointMobility(Params p, Vec2 start,
+                                               std::uint64_t seed)
+    : p_(p), rng_(seed) {
+  Segment s;
+  s.start = sim::Time::zero();
+  s.end = sim::Time::zero();
+  s.pause_end = sim::Time::zero();
+  s.from = start;
+  s.to = start;
+  segments_.push_back(s);
+}
+
+void RandomWaypointMobility::extend_until(sim::Time t) const {
+  while (segments_.back().pause_end < t) {
+    const Segment& last = segments_.back();
+    Segment next;
+    next.from = last.to;
+    next.to = Vec2{rng_.uniform(p_.arena.lo.x, p_.arena.hi.x),
+                   rng_.uniform(p_.arena.lo.y, p_.arena.hi.y)};
+    const double speed = rng_.uniform(p_.min_speed_mps, p_.max_speed_mps);
+    const double dist = distance(next.from, next.to);
+    next.start = last.pause_end;
+    next.end = next.start + sim::Time::sec(dist / std::max(speed, 1e-6));
+    next.pause_end = next.end + p_.pause;
+    segments_.push_back(next);
+  }
+}
+
+Vec2 RandomWaypointMobility::position_at(sim::Time t) const {
+  extend_until(t);
+  // Binary search for the segment containing t.
+  auto it = std::upper_bound(
+      segments_.begin(), segments_.end(), t,
+      [](sim::Time tt, const Segment& s) { return tt < s.start; });
+  if (it != segments_.begin()) --it;
+  const Segment& s = *it;
+  if (t >= s.end) return s.to;  // paused at destination
+  const double span = (s.end - s.start).seconds();
+  if (span <= 0.0) return s.to;
+  const double frac = (t - s.start).seconds() / span;
+  return s.from + (s.to - s.from) * frac;
+}
+
+RandomWalkMobility::RandomWalkMobility(Params p, Vec2 start, std::uint64_t seed)
+    : p_(p), rng_(seed) {
+  waypoints_.push_back(p_.arena.clamp(start));
+}
+
+void RandomWalkMobility::extend_until(sim::Time t) const {
+  const double step_s = p_.step.seconds();
+  const auto needed =
+      static_cast<std::size_t>(t.seconds() / std::max(step_s, 1e-9)) + 2;
+  while (waypoints_.size() < needed) {
+    const Vec2 cur = waypoints_.back();
+    const double theta = rng_.uniform(0.0, 2.0 * 3.14159265358979323846);
+    Vec2 next = cur + Vec2{std::cos(theta), std::sin(theta)} *
+                          (p_.speed_mps * step_s);
+    // Reflect off walls.
+    if (next.x < p_.arena.lo.x) next.x = 2 * p_.arena.lo.x - next.x;
+    if (next.x > p_.arena.hi.x) next.x = 2 * p_.arena.hi.x - next.x;
+    if (next.y < p_.arena.lo.y) next.y = 2 * p_.arena.lo.y - next.y;
+    if (next.y > p_.arena.hi.y) next.y = 2 * p_.arena.hi.y - next.y;
+    waypoints_.push_back(p_.arena.clamp(next));
+  }
+}
+
+Vec2 RandomWalkMobility::position_at(sim::Time t) const {
+  extend_until(t);
+  const double step_s = p_.step.seconds();
+  const double idx_f = t.seconds() / std::max(step_s, 1e-9);
+  const auto idx = static_cast<std::size_t>(idx_f);
+  const double frac = idx_f - static_cast<double>(idx);
+  const Vec2 a = waypoints_[std::min(idx, waypoints_.size() - 1)];
+  const Vec2 b = waypoints_[std::min(idx + 1, waypoints_.size() - 1)];
+  return a + (b - a) * frac;
+}
+
+}  // namespace aroma::env

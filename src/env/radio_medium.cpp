@@ -1,0 +1,158 @@
+#include "env/radio_medium.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aroma::env {
+
+RadioMedium::RadioMedium(sim::World& world, PathLossModel model)
+    : world_(world), model_(model) {}
+
+void RadioMedium::attach(RadioEndpoint* endpoint) {
+  endpoints_.push_back(endpoint);
+}
+
+void RadioMedium::detach(RadioEndpoint* endpoint) {
+  endpoints_.erase(std::remove(endpoints_.begin(), endpoints_.end(), endpoint),
+                   endpoints_.end());
+}
+
+std::uint64_t RadioMedium::transmit(RadioEndpoint& sender, std::size_t bits,
+                                    double bitrate_bps, double tx_power_dbm,
+                                    std::shared_ptr<const void> payload) {
+  const auto duration =
+      sim::Time::sec(static_cast<double>(bits) / bitrate_bps);
+  Transmission tx;
+  tx.id = next_tx_id_++;
+  tx.sender_id = sender.radio_config().id;
+  tx.sender_pos = sender.position();
+  tx.channel = sender.radio_config().channel;
+  tx.power_dbm = tx_power_dbm;
+  tx.start = world_.now();
+  tx.end = world_.now() + duration;
+  history_.push_back(tx);
+  max_duration_ = std::max(max_duration_, duration);
+  ++stats_.transmissions;
+
+  world_.sim().schedule_at(tx.end, [this, tx, bits, bitrate_bps,
+                                    payload = std::move(payload)]() mutable {
+    finish(tx, bits, bitrate_bps, std::move(payload));
+  });
+  return tx.id;
+}
+
+void RadioMedium::finish(const Transmission& tx, std::size_t bits,
+                         double bitrate_bps,
+                         std::shared_ptr<const void> payload) {
+  for (RadioEndpoint* ep : endpoints_) {
+    const RadioConfig& cfg = ep->radio_config();
+    if (cfg.id == tx.sender_id) continue;
+    const double overlap = channel_overlap(tx.channel, cfg.channel);
+    if (overlap <= 0.0) continue;
+    const double rssi =
+        model_.received_dbm(tx.power_dbm, tx.sender_pos, ep->position(),
+                            tx.sender_id, cfg.id) +
+        10.0 * std::log10(overlap > 0.0 ? overlap : 1e-12);
+    if (rssi < cfg.sensitivity_dbm) continue;
+    ++stats_.deliveries_attempted;
+
+    FrameDelivery d;
+    d.tx_id = tx.id;
+    d.sender_radio = tx.sender_id;
+    d.rssi_dbm = rssi;
+    d.start = tx.start;
+    d.end = tx.end;
+    d.bits = bits;
+    d.bitrate_bps = bitrate_bps;
+    d.payload = payload;
+
+    // Half duplex: did this receiver transmit at any point during the frame?
+    bool rx_transmitted = false;
+    for (const Transmission& other : history_) {
+      if (other.sender_id != cfg.id) continue;
+      if (other.start < tx.end && other.end > tx.start) {
+        rx_transmitted = true;
+        break;
+      }
+    }
+
+    const double noise =
+        thermal_noise_dbm(cfg.bandwidth_hz, cfg.noise_figure_db);
+    d.sinr_db = sinr_db(rssi, interference_mw(tx, *ep), noise);
+
+    if (rx_transmitted) {
+      d.decodable = false;
+      ++stats_.losses_half_duplex;
+    } else if (!ep->receiver_enabled()) {
+      d.decodable = false;
+      ++stats_.losses_rx_off;
+    } else if (d.sinr_db < required_sinr_db(bitrate_bps)) {
+      d.decodable = false;
+      ++stats_.losses_sinr;
+    } else {
+      d.decodable = true;
+      ++stats_.deliveries_decodable;
+    }
+    ep->on_frame(d);
+  }
+  prune_history();
+}
+
+double RadioMedium::interference_mw(const Transmission& tx,
+                                    const RadioEndpoint& rx) const {
+  const RadioConfig& cfg = rx.radio_config();
+  const double span = (tx.end - tx.start).seconds();
+  double total_mw = 0.0;
+  for (const Transmission& other : history_) {
+    if (other.id == tx.id || other.sender_id == tx.sender_id ||
+        other.sender_id == cfg.id) {
+      continue;
+    }
+    const sim::Time o_start = std::max(other.start, tx.start);
+    const sim::Time o_end = std::min(other.end, tx.end);
+    if (o_end <= o_start) continue;
+    const double overlap_frac =
+        span > 0.0 ? (o_end - o_start).seconds() / span : 1.0;
+    const double ch = channel_overlap(other.channel, cfg.channel);
+    if (ch <= 0.0) continue;
+    const double p_rx = model_.received_dbm(
+        other.power_dbm, other.sender_pos, rx.position(), other.sender_id,
+        cfg.id);
+    total_mw += dbm_to_mw(p_rx) * ch * overlap_frac;
+  }
+  return total_mw;
+}
+
+bool RadioMedium::carrier_busy(const RadioEndpoint& ep) const {
+  const RadioConfig& cfg = ep.radio_config();
+  return energy_at(ep.position(), cfg.channel, cfg.id) >= cfg.cca_threshold_dbm;
+}
+
+double RadioMedium::energy_at(Vec2 pos, int channel,
+                              std::uint64_t observer_id) const {
+  const sim::Time now = world_.now();
+  double total_mw = 0.0;
+  for (const Transmission& tx : history_) {
+    if (tx.sender_id == observer_id) continue;
+    // A transmission starting at this exact instant is not yet sensed:
+    // this is the slotted-CSMA vulnerable window that produces real
+    // collisions when two stations' backoff counters expire together.
+    if (tx.start >= now || tx.end <= now) continue;
+    const double ch = channel_overlap(tx.channel, channel);
+    if (ch <= 0.0) continue;
+    const double p_rx = model_.received_dbm(tx.power_dbm, tx.sender_pos, pos,
+                                            tx.sender_id, observer_id);
+    total_mw += dbm_to_mw(p_rx) * ch;
+  }
+  return mw_to_dbm(total_mw);
+}
+
+void RadioMedium::prune_history() {
+  // Keep anything that could still overlap an in-flight frame.
+  const sim::Time cutoff = world_.now() - max_duration_ - max_duration_;
+  while (!history_.empty() && history_.front().end < cutoff) {
+    history_.pop_front();
+  }
+}
+
+}  // namespace aroma::env

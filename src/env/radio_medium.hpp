@@ -1,0 +1,118 @@
+// The shared wireless medium: who hears what, and how well.
+//
+// All radios in a world attach to one RadioMedium. A transmission occupies
+// the medium for bits/bitrate seconds; at its end the medium decides, for
+// every attached radio, whether the frame was decodable given path loss,
+// channel overlap, accumulated co-channel interference (weighted by time
+// overlap), thermal noise, and half-duplex constraints. The medium also
+// answers clear-channel-assessment queries for CSMA MACs.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "env/geometry.hpp"
+#include "env/propagation.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::env {
+
+/// Static radio parameters a MAC/transceiver exposes to the medium.
+struct RadioConfig {
+  std::uint64_t id = 0;             // unique per radio in a world
+  int channel = 1;                  // 2.4 GHz channel 1..13
+  double sensitivity_dbm = -90.0;   // below this a frame is noise
+  double cca_threshold_dbm = -85.0; // carrier-sense busy threshold
+  double bandwidth_hz = 22e6;       // 802.11b-style channel width
+  double noise_figure_db = 7.0;
+};
+
+/// Outcome of one frame at one receiver, reported at frame end.
+struct FrameDelivery {
+  std::uint64_t tx_id = 0;
+  std::uint64_t sender_radio = 0;
+  double rssi_dbm = -300.0;
+  double sinr_db = -300.0;
+  bool decodable = false;
+  sim::Time start;
+  sim::Time end;
+  std::size_t bits = 0;
+  double bitrate_bps = 0.0;
+  std::shared_ptr<const void> payload;  // opaque to the medium; MAC decodes
+};
+
+/// Interface a radio implements to participate in the medium.
+class RadioEndpoint {
+ public:
+  virtual ~RadioEndpoint() = default;
+  virtual Vec2 position() const = 0;
+  virtual const RadioConfig& radio_config() const = 0;
+  /// False while the radio is off or transmitting (half duplex).
+  virtual bool receiver_enabled() const = 0;
+  /// Invoked at the end of every frame whose RSSI clears sensitivity.
+  virtual void on_frame(const FrameDelivery& delivery) = 0;
+};
+
+/// Medium-wide counters for experiments.
+struct MediumStats {
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries_attempted = 0;  // RSSI above sensitivity
+  std::uint64_t deliveries_decodable = 0;
+  std::uint64_t losses_sinr = 0;           // drowned by interference/noise
+  std::uint64_t losses_half_duplex = 0;    // receiver was transmitting
+  std::uint64_t losses_rx_off = 0;
+};
+
+class RadioMedium {
+ public:
+  RadioMedium(sim::World& world, PathLossModel model);
+
+  void attach(RadioEndpoint* endpoint);
+  void detach(RadioEndpoint* endpoint);
+  std::size_t attached_count() const { return endpoints_.size(); }
+
+  /// Starts a frame on the air. Returns the transmission id; the sender's
+  /// own on_frame is never invoked for it. The sender must keep
+  /// receiver_enabled() false for the duration (enforced by phys layer).
+  std::uint64_t transmit(RadioEndpoint& sender, std::size_t bits,
+                         double bitrate_bps, double tx_power_dbm,
+                         std::shared_ptr<const void> payload);
+
+  /// Clear-channel assessment: total in-flight energy at `ep`'s position on
+  /// its channel exceeds its CCA threshold.
+  bool carrier_busy(const RadioEndpoint& ep) const;
+
+  /// In-flight energy (dBm) at a position on a channel; -inf-ish when idle.
+  double energy_at(Vec2 pos, int channel, std::uint64_t observer_id) const;
+
+  const MediumStats& stats() const { return stats_; }
+  const PathLossModel& path_loss() const { return model_; }
+
+ private:
+  struct Transmission {
+    std::uint64_t id;
+    std::uint64_t sender_id;
+    Vec2 sender_pos;   // captured at start (sender may move afterwards)
+    int channel;
+    double power_dbm;
+    sim::Time start;
+    sim::Time end;
+  };
+
+  void finish(const Transmission& tx, std::size_t bits, double bitrate_bps,
+              std::shared_ptr<const void> payload);
+  double interference_mw(const Transmission& tx, const RadioEndpoint& rx) const;
+  void prune_history();
+
+  sim::World& world_;
+  PathLossModel model_;
+  std::vector<RadioEndpoint*> endpoints_;
+  std::deque<Transmission> history_;  // active + recently finished
+  sim::Time max_duration_ = sim::Time::zero();
+  std::uint64_t next_tx_id_ = 1;
+  MediumStats stats_;
+};
+
+}  // namespace aroma::env

@@ -1,0 +1,66 @@
+#include "i18n/accessibility.hpp"
+
+#include <algorithm>
+
+namespace aroma::i18n {
+
+AccessibilityReport AdaptationEngine::adapt(const phys::PhysicalUser& user,
+                                            const phys::DeviceProfile& device,
+                                            double distance_m) const {
+  AccessibilityReport report;
+
+  if (device.ui.has_display) {
+    const double needed = user.min_readable_mm(distance_m);
+    if (device.ui.text_height_mm < needed) {
+      const double scale = needed / device.ui.text_height_mm;
+      if (scale <= limits_.max_text_scale) {
+        report.adaptations.push_back({"scale-text", scale});
+      } else if (device.ui.has_speaker) {
+        // Beyond reasonable scaling: fall back to an audio interface.
+        report.adaptations.push_back({"audio-prompts", 1.0});
+      } else {
+        report.residual.push_back(
+            "display unreadable for this user even at maximum text scale");
+        report.usable = false;
+      }
+    }
+  }
+
+  if (device.ui.has_buttons &&
+      !user.can_press(device.ui.button_size_mm)) {
+    const double scale =
+        user.body().motor_precision_mm / device.ui.button_size_mm;
+    if (scale <= limits_.max_button_scale && device.ui.has_display) {
+      // Soft buttons on screen can grow; physical ones cannot.
+      report.adaptations.push_back({"enlarge-soft-buttons", scale});
+    } else {
+      report.residual.push_back(
+          "physical controls below the user's motor precision");
+      report.usable = false;
+    }
+  }
+
+  if (!device.ui.has_display && !device.ui.has_speaker &&
+      !device.ui.has_buttons && !device.ui.has_microphone) {
+    // Headless devices are "accessible" by definition: no direct UI.
+    return report;
+  }
+  return report;
+}
+
+phys::DeviceProfile AdaptationEngine::apply(
+    const phys::DeviceProfile& device, const AccessibilityReport& report) {
+  phys::DeviceProfile adapted = device;
+  for (const Adaptation& a : report.adaptations) {
+    if (a.what == "scale-text") {
+      adapted.ui.text_height_mm *= a.parameter;
+    } else if (a.what == "enlarge-soft-buttons") {
+      adapted.ui.button_size_mm =
+          std::max(adapted.ui.button_size_mm,
+                   adapted.ui.button_size_mm * a.parameter);
+    }
+  }
+  return adapted;
+}
+
+}  // namespace aroma::i18n

@@ -1,0 +1,56 @@
+// Accessibility adaptation: fitting the device to the user's body, not the
+// other way around.
+//
+// The paper names "accessibility issues" as required research before the
+// Smart Projector could ship. This engine inspects a user's physiology
+// against a device's UI hardware and produces concrete adaptations (text
+// scaling, audio prompts, interaction-distance limits) plus residual
+// findings it cannot fix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "phys/physical_user.hpp"
+#include "phys/profile.hpp"
+
+namespace aroma::i18n {
+
+/// A concrete adjustment a device can apply for a specific user.
+struct Adaptation {
+  std::string what;       // "scale-text", "audio-prompts", ...
+  double parameter = 0.0; // e.g. the text scale factor
+};
+
+struct AccessibilityReport {
+  std::vector<Adaptation> adaptations;     // applied fixes
+  std::vector<std::string> residual;       // problems no adaptation covers
+  bool usable = true;                       // after adaptation
+};
+
+class AdaptationEngine {
+ public:
+  struct Limits {
+    double max_text_scale = 3.0;   // UI layout breaks beyond this
+    double min_button_mm = 4.0;
+    double max_button_scale = 2.0;
+  };
+
+  AdaptationEngine() : AdaptationEngine(Limits{}) {}
+  explicit AdaptationEngine(Limits limits) : limits_(limits) {}
+
+  /// Plans adaptations for `user` operating `device` at `distance_m`.
+  AccessibilityReport adapt(const phys::PhysicalUser& user,
+                            const phys::DeviceProfile& device,
+                            double distance_m) const;
+
+  /// Applies a report's scale adaptations to a copy of the device profile
+  /// (what the UI would actually render).
+  static phys::DeviceProfile apply(const phys::DeviceProfile& device,
+                                   const AccessibilityReport& report);
+
+ private:
+  Limits limits_;
+};
+
+}  // namespace aroma::i18n

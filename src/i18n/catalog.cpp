@@ -1,0 +1,82 @@
+#include "i18n/catalog.hpp"
+
+namespace aroma::i18n {
+
+void MessageCatalog::add(const std::string& language, const std::string& key,
+                         std::string text) {
+  table_[language][key] = std::move(text);
+}
+
+std::vector<std::string> MessageCatalog::languages() const {
+  std::vector<std::string> out;
+  for (const auto& [lang, keys] : table_) out.push_back(lang);
+  return out;
+}
+
+std::size_t MessageCatalog::key_count() const {
+  auto it = table_.find(base_);
+  return it != table_.end() ? it->second.size() : 0;
+}
+
+double MessageCatalog::coverage(const std::string& language) const {
+  auto base_it = table_.find(base_);
+  if (base_it == table_.end() || base_it->second.empty()) return 0.0;
+  auto lang_it = table_.find(language);
+  if (lang_it == table_.end()) return 0.0;
+  std::size_t covered = 0;
+  for (const auto& [key, text] : base_it->second) {
+    if (lang_it->second.count(key)) ++covered;
+  }
+  return static_cast<double>(covered) /
+         static_cast<double>(base_it->second.size());
+}
+
+const std::string& MessageCatalog::lookup(const std::string& language,
+                                          const std::string& key) const {
+  auto lang_it = table_.find(language);
+  if (lang_it != table_.end()) {
+    auto k = lang_it->second.find(key);
+    if (k != lang_it->second.end()) return k->second;
+  }
+  auto base_it = table_.find(base_);
+  if (base_it != table_.end()) {
+    auto k = base_it->second.find(key);
+    if (k != base_it->second.end()) return k->second;
+  }
+  // Last resort: echo the key so the UI shows *something* debuggable.
+  static thread_local std::string fallback;
+  fallback = key;
+  return fallback;
+}
+
+Negotiation negotiate(const MessageCatalog& catalog,
+                      const user::Faculties& user, double min_coverage) {
+  Negotiation n;
+  const double cov = catalog.coverage(user.language);
+  if (user.language == catalog.base_language()) {
+    n.language = user.language;
+    n.native = true;
+    n.coverage = 1.0;
+    return n;
+  }
+  if (cov >= min_coverage) {
+    n.language = user.language;
+    n.native = true;
+    n.coverage = cov;
+    return n;
+  }
+  n.language = catalog.base_language();
+  n.native = false;
+  n.coverage = 1.0;
+  return n;
+}
+
+user::FacultyRequirements localize_requirements(
+    const MessageCatalog& catalog, const user::Faculties& user,
+    user::FacultyRequirements req) {
+  const Negotiation n = negotiate(catalog, user);
+  if (n.native) req.language = user.language;
+  return req;
+}
+
+}  // namespace aroma::i18n

@@ -1,0 +1,63 @@
+// Internationalization: message catalogs with language negotiation.
+//
+// The paper's resource-layer analysis flags the prototype's implicit
+// "all users speak English" assumption and lists internationalization as
+// required future work. A MessageCatalog stores translations per language;
+// negotiation picks the best language for a user's faculties and reports
+// coverage so a device can tell how well it can actually serve them.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "user/faculties.hpp"
+
+namespace aroma::i18n {
+
+class MessageCatalog {
+ public:
+  /// The language every key is required to exist in (the development
+  /// language, used as the final fallback).
+  explicit MessageCatalog(std::string base_language = "en")
+      : base_(std::move(base_language)) {}
+
+  void add(const std::string& language, const std::string& key,
+           std::string text);
+
+  const std::string& base_language() const { return base_; }
+  std::vector<std::string> languages() const;
+  std::size_t key_count() const;
+
+  /// Fraction of base-language keys that `language` covers.
+  double coverage(const std::string& language) const;
+
+  /// Looks a key up in `language`, falling back to the base language;
+  /// returns the key itself when even the base lacks it.
+  const std::string& lookup(const std::string& language,
+                            const std::string& key) const;
+
+ private:
+  std::string base_;
+  // language -> key -> text
+  std::map<std::string, std::map<std::string, std::string>> table_;
+};
+
+struct Negotiation {
+  std::string language;   // what the UI will use
+  bool native = false;    // it is the user's own language
+  double coverage = 0.0;  // catalog coverage in the chosen language
+};
+
+/// Picks the interface language for a user: their own language when the
+/// catalog covers at least `min_coverage` of it, else the base language.
+Negotiation negotiate(const MessageCatalog& catalog,
+                      const user::Faculties& user, double min_coverage = 0.7);
+
+/// The effective faculty requirement after i18n: a served user no longer
+/// needs the developer's language. Returns an adjusted copy of `req`.
+user::FacultyRequirements localize_requirements(
+    const MessageCatalog& catalog, const user::Faculties& user,
+    user::FacultyRequirements req);
+
+}  // namespace aroma::i18n

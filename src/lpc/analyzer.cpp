@@ -1,0 +1,101 @@
+#include "lpc/analyzer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace aroma::lpc {
+
+std::vector<const Finding*> AnalysisReport::at_layer(Layer layer) const {
+  std::vector<const Finding*> out;
+  for (const auto& f : findings) {
+    if (f.layer == layer) out.push_back(&f);
+  }
+  return out;
+}
+
+std::size_t AnalysisReport::count_at(Layer layer) const {
+  return at_layer(layer).size();
+}
+
+double AnalysisReport::max_severity_at(Layer layer) const {
+  double m = 0.0;
+  for (const auto* f : at_layer(layer)) m = std::max(m, f->severity);
+  return m;
+}
+
+double AnalysisReport::max_severity() const {
+  double m = 0.0;
+  for (const auto& f : findings) m = std::max(m, f.severity);
+  return m;
+}
+
+std::string AnalysisReport::render() const {
+  std::string out;
+  out += "LPC analysis of '" + system_name + "'\n";
+  out += std::string(60, '=') + "\n";
+  // Paper's case-study order: intentional first, environment last.
+  for (auto it = kAllLayers.rbegin(); it != kAllLayers.rend(); ++it) {
+    const Layer layer = *it;
+    out += "\n[" + std::string(to_string(layer)) + " layer]  ";
+    out += std::string(device_facet(layer)) + "  <-- " +
+           std::string(constraint_phrase(layer)) + " --> " +
+           std::string(user_facet(layer)) + "\n";
+    const auto here = at_layer(layer);
+    if (here.empty()) {
+      out += "  (no findings)\n";
+      continue;
+    }
+    for (const auto* f : here) {
+      char head[32];
+      std::snprintf(head, sizeof head, "  [sev %.2f] ", f->severity);
+      out += head;
+      out += f->description + "\n";
+      if (!f->recommendation.empty()) {
+        out += "      -> " + f->recommendation + "\n";
+      }
+    }
+  }
+  return out;
+}
+
+AnalysisReport Analyzer::analyze(const SystemModel& model) const {
+  AnalysisReport r;
+  r.system_name = model.name;
+  r.findings = check_all(model);
+  return r;
+}
+
+void Analyzer::absorb_issues(AnalysisReport& report,
+                             const IssueLog& log) const {
+  for (const Issue& issue : log.issues()) {
+    Issue copy = issue;
+    if (!copy.classified) classifier_.assign(copy);
+    Finding f;
+    f.layer = copy.layer;
+    f.description = copy.description;
+    f.severity = copy.severity;
+    f.subject = copy.entity;
+    report.findings.push_back(std::move(f));
+  }
+}
+
+std::string render_layer_table() {
+  std::string out;
+  out += "Layered Pervasive Computing model (Figure 1)\n";
+  out +=
+      "layer        | device side                | constraint             "
+      " | user side\n";
+  out += std::string(100, '-') + "\n";
+  for (auto it = kAllLayers.rbegin(); it != kAllLayers.rend(); ++it) {
+    char line[256];
+    std::snprintf(line, sizeof line, "%-12s | %-26s | %-24s | %s\n",
+                  std::string(to_string(*it)).c_str(),
+                  std::string(device_facet(*it)).c_str(),
+                  std::string(constraint_phrase(*it)).c_str(),
+                  std::string(user_facet(*it)).c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace aroma::lpc

@@ -1,0 +1,50 @@
+// The system analyzer: runs all layer checks over a SystemModel and
+// renders the paper-style layer-by-layer report.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "lpc/constraints.hpp"
+#include "lpc/entity.hpp"
+#include "lpc/issue.hpp"
+
+namespace aroma::lpc {
+
+struct AnalysisReport {
+  std::string system_name;
+  std::vector<Finding> findings;
+
+  std::vector<const Finding*> at_layer(Layer layer) const;
+  std::size_t count_at(Layer layer) const;
+  double max_severity_at(Layer layer) const;
+  /// Worst finding severity anywhere; 0 when the model is clean.
+  double max_severity() const;
+
+  /// Renders a textual report in the paper's structure: one section per
+  /// layer, top (intentional) to bottom (environment), as the case-study
+  /// analysis is ordered.
+  std::string render() const;
+};
+
+class Analyzer {
+ public:
+  /// Runs every layer constraint check.
+  AnalysisReport analyze(const SystemModel& model) const;
+
+  /// Classifies free-text issues into layers and appends them as findings
+  /// (severity taken from the issue).
+  void absorb_issues(AnalysisReport& report, const IssueLog& log) const;
+
+  const IssueClassifier& classifier() const { return classifier_; }
+
+ private:
+  IssueClassifier classifier_;
+};
+
+/// Renders Figure 1 (the layer/facet table) as text — the model itself,
+/// regenerated from code rather than drawn.
+std::string render_layer_table();
+
+}  // namespace aroma::lpc

@@ -1,0 +1,270 @@
+#include "lpc/constraints.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "env/propagation.hpp"
+
+namespace aroma::lpc {
+
+namespace {
+
+const DeviceEntity& dev(const SystemModel& m, std::size_t i) {
+  return m.devices[i];
+}
+const UserEntity& usr(const SystemModel& m, std::size_t i) {
+  return m.users[i];
+}
+
+}  // namespace
+
+double conceptual_burden(const ApplicationFacet& app) {
+  // Saturating: each difficult step adds burden; feedback and leased
+  // sessions relieve part of it (fewer surprises, fewer stuck states).
+  double raw = static_cast<double>(app.workflow_steps) *
+               (0.35 + app.avg_step_difficulty);
+  if (app.gives_state_feedback) raw *= 0.75;
+  if (app.sessions_leased) raw *= 0.9;
+  return 1.0 - std::exp(-raw / 3.0);
+}
+
+std::vector<Finding> check_environment(const SystemModel& m) {
+  std::vector<Finding> out;
+  // Count radios sharing the 2.4 GHz band: congestion risk scales with it.
+  std::size_t radios = 0;
+  for (const auto& d : m.devices) radios += d.physical.net.has_radio ? 1 : 0;
+  if (radios >= 3) {
+    Finding f;
+    f.layer = Layer::kEnvironment;
+    f.subject = m.name;
+    f.severity = std::min(1.0, 0.15 * static_cast<double>(radios));
+    f.description =
+        std::to_string(radios) +
+        " devices share the 2.4 GHz band; co-channel interference will "
+        "degrade throughput as density grows";
+    f.recommendation =
+        "spread devices across channels 1/6/11; study high-density behaviour";
+    out.push_back(f);
+  }
+  // Voice interfaces vs. ambient noise and social setting.
+  for (const auto& d : m.devices) {
+    if (!d.physical.ui.has_microphone) continue;
+    if (m.ambient_noise_db > 55.0) {
+      out.push_back({Layer::kEnvironment,
+                     "ambient noise of " + std::to_string(m.ambient_noise_db) +
+                         " dB will defeat voice input on " + d.name,
+                     0.7, d.name,
+                     "require push-to-talk or raise the mic gain model"});
+    }
+    if (m.conditions.occupant_density > 0.8) {
+      out.push_back({Layer::kEnvironment,
+                     "voice control of " + d.name +
+                         " is socially inappropriate in a crowded space",
+                     0.5, d.name, "offer a silent interaction mode"});
+    }
+  }
+  // Thermal envelope.
+  for (const auto& d : m.devices) {
+    if (m.conditions.temperature_c < d.physical.min_operating_c ||
+        m.conditions.temperature_c > d.physical.max_operating_c) {
+      out.push_back({Layer::kEnvironment,
+                     d.name + " is outside its operating temperature range",
+                     1.0, d.name, ""});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_physical(const SystemModel& m) {
+  std::vector<Finding> out;
+  // User-device physical compatibility at the declared distance.
+  for (const auto& ia : m.interactions) {
+    const UserEntity& u = usr(m, ia.user_index);
+    const DeviceEntity& d = dev(m, ia.device_index);
+    phys::PhysicalUser pu(0, u.name, nullptr, u.physiology);
+    for (const auto& issue : phys::check_physical_compatibility(
+             pu, d.physical, ia.distance_m, m.conditions)) {
+      out.push_back({Layer::kPhysical, issue.description + " (" + u.name +
+                         " vs " + d.name + ")",
+                     issue.severity, u.name + "/" + d.name, ""});
+    }
+  }
+  // Wireless link budget for device-device dependencies.
+  env::PathLossModel pl;
+  for (const auto& dep : m.dependencies) {
+    const DeviceEntity& a = dev(m, dep.from_device);
+    const DeviceEntity& b = dev(m, dep.to_device);
+    if (!a.physical.net.has_radio || !b.physical.net.has_radio) continue;
+    const double range = pl.nominal_range_m(a.physical.net.tx_power_dbm,
+                                            b.physical.net.sensitivity_dbm);
+    if (dep.distance_m > range) {
+      out.push_back({Layer::kPhysical,
+                     a.name + " -> " + b.name + " link (" + dep.why +
+                         ") exceeds nominal radio range",
+                     0.9, a.name + "/" + b.name,
+                     "reduce distance or raise transmit power"});
+    }
+  }
+  // Display streaming vs. link bitrate: full-screen raw updates per second.
+  for (const auto& dep : m.dependencies) {
+    const DeviceEntity& a = dev(m, dep.from_device);
+    const DeviceEntity& b = dev(m, dep.to_device);
+    if (!a.application || !a.application->needs_vnc) continue;
+    if (!a.physical.net.has_radio) continue;
+    const auto& ui = a.physical.ui;
+    if (ui.display_width_px == 0) continue;
+    const double raw_bits_per_frame =
+        static_cast<double>(ui.display_width_px) * ui.display_height_px * 32;
+    const double fps =
+        std::min(a.physical.net.bitrate_bps, b.physical.net.bitrate_bps) /
+        raw_bits_per_frame;
+    if (fps < 5.0) {
+      char buf[160];
+      std::snprintf(buf, sizeof buf,
+                    "wireless bitrate sustains only ~%.2f raw full-screen "
+                    "frames/s from %s; rapid animation is impossible",
+                    fps, a.name.c_str());
+      out.push_back({Layer::kPhysical, buf, 0.6, a.name,
+                     "use damage-based incremental updates and compression"});
+    }
+  }
+  // Tethering: interaction requires staying within reach of a heavy device.
+  for (const auto& ia : m.interactions) {
+    const DeviceEntity& d = dev(m, ia.device_index);
+    if (d.application && d.application->workflow_steps > 0 &&
+        d.physical.mass_kg > 1.5 && !d.physical.ui.has_microphone) {
+      out.push_back({Layer::kPhysical,
+                     "controlling via " + d.name +
+                         " requires physical proximity to it; a pervasive "
+                         "system should place minimal physical constraints",
+                     0.4, d.name, "add voice or handheld control"});
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_resource(const SystemModel& m) {
+  std::vector<Finding> out;
+  // Application software demands vs. the device's logical resources.
+  for (const auto& d : m.devices) {
+    if (!d.application) continue;
+    const ApplicationFacet& app = *d.application;
+    auto need = [&](bool needs, bool has, const char* what) {
+      if (needs && !has) {
+        out.push_back({Layer::kResource,
+                       d.name + " application requires " + what +
+                           " which the device does not provide",
+                       0.9, d.name, ""});
+      }
+    };
+    need(app.needs_jvm, d.resources.jvm, "a Java runtime");
+    need(app.needs_jini, d.resources.jini, "Jini libraries");
+    need(app.needs_vnc, d.resources.vnc, "a VNC stack");
+  }
+  // Developer-assumed faculties vs. the actual interacting users.
+  for (const auto& ia : m.interactions) {
+    const UserEntity& u = usr(m, ia.user_index);
+    const DeviceEntity& d = dev(m, ia.device_index);
+    if (!d.application || d.application->workflow_steps == 0) continue;
+    // i18n: when the device carries the user's language, the language
+    // assumption is satisfied natively.
+    user::FacultyRequirements req = d.resources.assumed_user;
+    for (const auto& lang : d.resources.ui_languages) {
+      if (lang == u.faculties.language) req.language = lang;
+    }
+    for (const auto& mm : user::check_faculty_fit(u.faculties, req)) {
+      out.push_back({Layer::kResource,
+                     mm.what + " (" + u.name + " using " + d.name + ")",
+                     mm.severity, u.name + "/" + d.name,
+                     "lower the assumption or provide automated diagnostics"});
+    }
+  }
+  // Self-configuration: users are not system administrators.
+  for (const auto& d : m.devices) {
+    if (d.application && d.application->workflow_steps > 0 &&
+        !d.resources.self_configuring) {
+      out.push_back({Layer::kResource,
+                     d.name + " networking is not self-configuring; users "
+                              "are not system administrators",
+                     0.5, d.name, "make discovery and joining automatic"});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_abstract(const SystemModel& m) {
+  std::vector<Finding> out;
+  for (const auto& ia : m.interactions) {
+    const UserEntity& u = usr(m, ia.user_index);
+    const DeviceEntity& d = dev(m, ia.device_index);
+    if (!d.application || d.application->workflow_steps == 0) continue;
+    const double burden = conceptual_burden(*d.application);
+    if (burden > u.faculties.patience) {
+      char buf[200];
+      std::snprintf(buf, sizeof buf,
+                    "conceptual burden of %s (%.2f) exceeds what %s will "
+                    "bear (%.2f); the system will not be used",
+                    d.application->name.c_str(), burden, u.name.c_str(),
+                    u.faculties.patience);
+      out.push_back({Layer::kAbstract, buf, burden, u.name + "/" + d.name,
+                     "collapse the multi-step procedure into one action"});
+    }
+    if (u.mental_model_divergence > 0.3) {
+      out.push_back({Layer::kAbstract,
+                     u.name + "'s mental model diverges from " +
+                         d.application->name +
+                         " behaviour; expect surprises and debugging-like use",
+                     u.mental_model_divergence, u.name + "/" + d.name,
+                     "align behaviour with common metaphors"});
+    }
+    if (!d.application->gives_state_feedback) {
+      out.push_back({Layer::kAbstract,
+                     d.application->name +
+                         " gives no availability feedback; desktop icons "
+                         "should change their appearance accordingly",
+                     0.4, d.name, "integrate discovery state into the UI"});
+    }
+    if (!d.application->sessions_leased) {
+      out.push_back({Layer::kAbstract,
+                     d.application->name +
+                         " cannot recover from users who forget to "
+                         "relinquish control without an administrator",
+                     0.6, d.name, "lease all sessions"});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_intentional(const SystemModel& m) {
+  std::vector<Finding> out;
+  for (const auto& ia : m.interactions) {
+    const UserEntity& u = usr(m, ia.user_index);
+    const DeviceEntity& d = dev(m, ia.device_index);
+    const double h = user::harmony(u.goals, d.purpose);
+    if (h < 0.5) {
+      char buf[200];
+      std::snprintf(buf, sizeof buf,
+                    "design purpose '%s' is in weak harmony (%.2f) with "
+                    "%s's goals",
+                    d.purpose.name.c_str(), h, u.name.c_str());
+      out.push_back({Layer::kIntentional, buf, 1.0 - h,
+                     u.name + "/" + d.name,
+                     "re-derive requirements from this user's goals"});
+    }
+  }
+  return out;
+}
+
+std::vector<Finding> check_all(const SystemModel& m) {
+  std::vector<Finding> out;
+  for (auto* fn : {check_environment, check_physical, check_resource,
+                   check_abstract, check_intentional}) {
+    auto part = fn(m);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace aroma::lpc

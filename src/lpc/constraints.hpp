@@ -1,0 +1,51 @@
+// Per-layer constraint checks: the executable semantics of Figures 2-5.
+//
+// Each checker walks the SystemModel's entities and bindings and emits
+// findings at its layer. The analyzer aggregates them into the kind of
+// layer-by-layer report the paper writes by hand for the Smart Projector.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lpc/entity.hpp"
+#include "lpc/layers.hpp"
+
+namespace aroma::lpc {
+
+struct Finding {
+  Layer layer;
+  std::string description;
+  double severity = 0.5;          // 0..1
+  std::string subject;            // entity or entity-pair involved
+  std::string recommendation;     // optional
+};
+
+/// Environment layer: entities vs. ambient conditions; voice UIs vs. noise
+/// and social context; shared-band congestion risk.
+std::vector<Finding> check_environment(const SystemModel& m);
+
+/// Physical layer: user physiology vs. device hardware at the interaction
+/// distance; wireless link budget for device-device dependencies;
+/// bandwidth adequacy for display streaming.
+std::vector<Finding> check_physical(const SystemModel& m);
+
+/// Resource layer: application software demands vs. device logical
+/// resources; device assumed faculties vs. actual user faculties.
+std::vector<Finding> check_resource(const SystemModel& m);
+
+/// Abstract layer: mental-model divergence and conceptual burden vs. what
+/// each interacting user can bear; feedback and session-recovery hygiene.
+std::vector<Finding> check_abstract(const SystemModel& m);
+
+/// Intentional layer: goal/purpose harmony per interacting (user, device).
+std::vector<Finding> check_intentional(const SystemModel& m);
+
+/// All layers, bottom-up.
+std::vector<Finding> check_all(const SystemModel& m);
+
+/// Normalized conceptual burden of an application in [0,1] from its step
+/// count and difficulty — the quantity FIG4 sweeps.
+double conceptual_burden(const ApplicationFacet& app);
+
+}  // namespace aroma::lpc

@@ -1,0 +1,90 @@
+#include "lpc/entity.hpp"
+
+namespace aroma::lpc {
+
+SystemModel smart_projector_case_study() {
+  SystemModel m;
+  m.name = "smart-projector";
+  m.conditions = env::AmbientConditions{21.0, 400.0, 0.4};
+  m.ambient_noise_db = 42.0;  // lab with conversation nearby
+
+  // --- Devices -------------------------------------------------------------
+  DeviceEntity laptop;
+  laptop.name = "presenter-laptop";
+  laptop.physical = phys::profiles::laptop();
+  laptop.resources.jvm = true;
+  laptop.resources.jini = true;
+  laptop.resources.vnc = true;
+  laptop.resources.assumed_user = user::smart_projector_prototype_requirements();
+  ApplicationFacet clients;
+  clients.name = "projection+control clients";
+  clients.workflow_steps = 6;  // vnc server, discover, 2x acquire, start, power
+  clients.avg_step_difficulty = 0.45;
+  clients.gives_state_feedback = false;   // paper: icons *should* change
+  clients.sessions_leased = true;
+  clients.needs_jvm = true;
+  clients.needs_jini = true;
+  clients.needs_vnc = true;
+  laptop.application = clients;
+  laptop.purpose = user::research_prototype_purpose();
+  m.devices.push_back(laptop);
+
+  DeviceEntity adapter;
+  adapter.name = "aroma-adapter";
+  adapter.physical = phys::profiles::aroma_adapter();
+  adapter.resources.jvm = true;
+  adapter.resources.jini = true;
+  adapter.resources.vnc = true;
+  ApplicationFacet services;
+  services.name = "smart-projector services";
+  services.workflow_steps = 0;  // no direct user interaction
+  services.sessions_leased = true;
+  services.needs_jvm = true;
+  services.needs_jini = true;
+  services.needs_vnc = true;
+  adapter.application = services;
+  adapter.purpose = user::research_prototype_purpose();
+  m.devices.push_back(adapter);
+
+  DeviceEntity projector;
+  projector.name = "digital-projector";
+  projector.physical = phys::profiles::digital_projector();
+  projector.resources.tcp_ip = false;
+  projector.purpose = user::commercial_product_purpose();  // off-the-shelf
+  m.devices.push_back(projector);
+
+  DeviceEntity lookup;
+  lookup.name = "jini-lookup-service";
+  lookup.physical = phys::profiles::desktop_pc_with_radio();
+  lookup.resources.jvm = true;
+  lookup.resources.jini = true;
+  lookup.purpose = user::research_prototype_purpose();
+  m.devices.push_back(lookup);
+
+  // --- Users ---------------------------------------------------------------
+  UserEntity presenter;
+  presenter.name = "presenter";
+  presenter.faculties = user::personas::office_worker();
+  presenter.goals = user::presenter_goals();
+  presenter.mental_model_divergence = 0.45;  // naive prior vs two services
+  m.users.push_back(presenter);
+
+  UserEntity researcher;
+  researcher.name = "aroma-researcher";
+  researcher.faculties = user::personas::computer_scientist();
+  researcher.goals = user::researcher_goals();
+  researcher.mental_model_divergence = 0.05;
+  m.users.push_back(researcher);
+
+  // --- Bindings ------------------------------------------------------------
+  m.interactions.push_back({0, 0, 0.5});   // presenter at the laptop
+  m.interactions.push_back({1, 0, 0.5});   // researcher can drive it too
+  m.interactions.push_back({0, 2, 4.0});   // presenter reads the projection
+  m.dependencies.push_back({0, 3, 12.0, "clients discover services via Jini"});
+  m.dependencies.push_back({1, 3, 10.0, "services register with the registrar"});
+  m.dependencies.push_back({0, 1, 8.0, "laptop streams its display (VNC)"});
+  m.dependencies.push_back({1, 2, 0.5, "adapter drives the projector panel"});
+  return m;
+}
+
+}  // namespace aroma::lpc

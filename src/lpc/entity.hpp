@@ -1,0 +1,103 @@
+// Model entities: the facet-per-layer description of each participant.
+//
+// Figure 1 gives every entity a column of five facets. A device entity has
+// (environment needs, hardware, logical resources, application, design
+// purpose); a user entity has (environment tolerance, physiology,
+// faculties, mental model, goals). The analyzer pairs facets across
+// entities and checks the layer constraints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "phys/physical_user.hpp"
+#include "phys/profile.hpp"
+#include "user/faculties.hpp"
+#include "user/goals.hpp"
+
+namespace aroma::lpc {
+
+/// Resource-layer facet of a device: what software substrate is present
+/// and what it implicitly assumes of users.
+struct LogicalResources {
+  bool jvm = false;
+  bool jini = false;
+  bool vnc = false;
+  bool tcp_ip = true;
+  bool self_configuring = false;
+  double usable_memory_fraction = 0.7;
+  user::FacultyRequirements assumed_user{};
+  /// Languages the UI can present (message catalogs on the device). A user
+  /// whose language is listed is served natively, which removes the
+  /// "assumes English" resource-layer finding for them.
+  std::vector<std::string> ui_languages{"en"};
+};
+
+/// Abstract-layer facet of a device: the application running on it.
+struct ApplicationFacet {
+  std::string name;
+  int workflow_steps = 1;               // how many things a user must do
+  double avg_step_difficulty = 0.3;     // conceptual difficulty, 0..1
+  bool gives_state_feedback = false;    // e.g. availability icons
+  bool sessions_leased = false;         // forgotten sessions self-recover
+  /// Software substrate demanded from the resource layer.
+  bool needs_jvm = false;
+  bool needs_jini = false;
+  bool needs_vnc = false;
+};
+
+/// A device entity (one column of Figure 1).
+struct DeviceEntity {
+  std::string name;
+  phys::DeviceProfile physical;
+  LogicalResources resources;
+  std::optional<ApplicationFacet> application;
+  user::DesignPurpose purpose;
+};
+
+/// A user entity (the other column).
+struct UserEntity {
+  std::string name;
+  phys::Physiology physiology;
+  user::Faculties faculties;
+  std::vector<user::Goal> goals;
+  /// Estimated mental-model divergence for the applications in scope
+  /// (0 = perfect understanding), typically measured by simulation.
+  double mental_model_divergence = 0.3;
+};
+
+/// An interaction binding: who uses what, at what physical distance.
+struct Interaction {
+  std::size_t user_index;
+  std::size_t device_index;
+  double distance_m = 0.5;
+};
+
+/// Device-device dependency (e.g. adapter needs the lookup service).
+struct Dependency {
+  std::size_t from_device;
+  std::size_t to_device;
+  double distance_m = 10.0;
+  std::string why;
+};
+
+/// The complete system under analysis.
+struct SystemModel {
+  std::string name;
+  env::AmbientConditions conditions{};
+  double ambient_noise_db = 35.0;
+  std::vector<DeviceEntity> devices;
+  std::vector<UserEntity> users;
+  std::vector<Interaction> interactions;
+  std::vector<Dependency> dependencies;
+};
+
+/// Builds the paper's Smart Projector case study as a SystemModel: the
+/// presenter, the laptop, the smart projector (projector + adapter), and
+/// the Jini lookup service.
+SystemModel smart_projector_case_study();
+
+}  // namespace aroma::lpc

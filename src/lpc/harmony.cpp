@@ -1,0 +1,63 @@
+#include "lpc/harmony.hpp"
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+#include "user/faculties.hpp"
+
+namespace aroma::lpc {
+
+std::vector<HarmonyAssessment> assess_harmony(
+    const SystemModel& m, const user::AdoptionModel& adoption) {
+  std::vector<HarmonyAssessment> out;
+  for (const auto& ia : m.interactions) {
+    const UserEntity& u = m.users[ia.user_index];
+    const DeviceEntity& d = m.devices[ia.device_index];
+    HarmonyAssessment h;
+    h.user = u.name;
+    h.device = d.name;
+    h.harmony = user::harmony(u.goals, d.purpose);
+    h.burden = d.application ? conceptual_burden(*d.application) : 0.0;
+    h.faculty_fit =
+        user::faculty_fit(u.faculties, d.resources.assumed_user);
+    h.adoption_probability =
+        adoption.probability(h.harmony, h.burden, h.faculty_fit);
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+double expected_adoption(const std::vector<HarmonyAssessment>& a) {
+  double total = 0.0;
+  for (const auto& h : a) total += h.adoption_probability;
+  return total;
+}
+
+std::size_t simulate_adoption(const SystemModel& m,
+                              const user::AdoptionModel& adoption,
+                              std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::size_t adopters = 0;
+  if (m.interactions.empty()) return 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Draw a base interaction, then perturb the user's traits: real
+    // populations are spread around the personas.
+    const auto& ia = m.interactions[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(m.interactions.size()) - 1))];
+    const UserEntity& u = m.users[ia.user_index];
+    const DeviceEntity& d = m.devices[ia.device_index];
+    user::Faculties f = u.faculties;
+    f.gui_skill = std::clamp(f.gui_skill + rng.normal(0.0, 0.15), 0.0, 1.0);
+    f.patience = std::clamp(f.patience + rng.normal(0.0, 0.15), 0.05, 1.0);
+    f.tech_troubleshooting =
+        std::clamp(f.tech_troubleshooting + rng.normal(0.0, 0.1), 0.0, 1.0);
+    const double h = user::harmony(u.goals, d.purpose);
+    const double burden =
+        d.application ? conceptual_burden(*d.application) : 0.0;
+    const double fit = user::faculty_fit(f, d.resources.assumed_user);
+    if (rng.bernoulli(adoption.probability(h, burden, fit))) ++adopters;
+  }
+  return adopters;
+}
+
+}  // namespace aroma::lpc

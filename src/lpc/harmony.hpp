@@ -1,0 +1,38 @@
+// System-level harmony and adoption scoring (the intentional layer, made
+// quantitative for FIG5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lpc/constraints.hpp"
+#include "lpc/entity.hpp"
+#include "user/goals.hpp"
+
+namespace aroma::lpc {
+
+/// Per-(user, device) intentional-layer assessment.
+struct HarmonyAssessment {
+  std::string user;
+  std::string device;
+  double harmony = 0.0;        // goal/purpose overlap
+  double burden = 0.0;         // abstract-layer conceptual burden
+  double faculty_fit = 0.0;    // resource-layer fit
+  double adoption_probability = 0.0;
+};
+
+/// Assesses every interaction in the model with the given adoption model.
+std::vector<HarmonyAssessment> assess_harmony(
+    const SystemModel& m, const user::AdoptionModel& adoption);
+
+/// Expected adopters among the model's interactions (sum of probabilities).
+double expected_adoption(const std::vector<HarmonyAssessment>& a);
+
+/// Simulates a population of `n` users with trait noise around each
+/// interaction's user, counting adopters — the Monte-Carlo version used by
+/// the FIG5 bench. Deterministic in `seed`.
+std::size_t simulate_adoption(const SystemModel& m,
+                              const user::AdoptionModel& adoption,
+                              std::size_t n, std::uint64_t seed);
+
+}  // namespace aroma::lpc

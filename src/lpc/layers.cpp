@@ -1,0 +1,86 @@
+#include "lpc/layers.hpp"
+
+namespace aroma::lpc {
+
+std::string_view to_string(Layer layer) {
+  switch (layer) {
+    case Layer::kEnvironment: return "environment";
+    case Layer::kPhysical: return "physical";
+    case Layer::kResource: return "resource";
+    case Layer::kAbstract: return "abstract";
+    case Layer::kIntentional: return "intentional";
+  }
+  return "?";
+}
+
+std::string_view device_facet(Layer layer) {
+  switch (layer) {
+    case Layer::kEnvironment: return "Environment";
+    case Layer::kPhysical: return "Physical Devices";
+    case Layer::kResource: return "Mem | Sto | Exe | UI | Net";
+    case Layer::kAbstract: return "Application";
+    case Layer::kIntentional: return "Design Purpose";
+  }
+  return "?";
+}
+
+std::string_view user_facet(Layer layer) {
+  switch (layer) {
+    case Layer::kEnvironment: return "Environment";
+    case Layer::kPhysical: return "Physical User";
+    case Layer::kResource: return "User Faculties";
+    case Layer::kAbstract: return "Mental Models";
+    case Layer::kIntentional: return "User Goals";
+  }
+  return "?";
+}
+
+std::string_view constraint_phrase(Layer layer) {
+  switch (layer) {
+    case Layer::kEnvironment:
+      return "entities must be compatible with the environment";
+    case Layer::kPhysical:
+      return "must be compatible with";
+    case Layer::kResource:
+      return "must not be frustrated by";
+    case Layer::kAbstract:
+      return "must be consistent with";
+    case Layer::kIntentional:
+      return "must be in harmony with";
+  }
+  return "?";
+}
+
+sim::Time user_side_change_period(Layer layer) {
+  switch (layer) {
+    case Layer::kEnvironment: return sim::Time::sec(3600.0 * 24 * 365);
+    case Layer::kPhysical: return sim::Time::sec(3600.0 * 24 * 365 * 5);
+    case Layer::kResource: return sim::Time::sec(3600.0 * 24 * 30);  // training
+    case Layer::kAbstract: return sim::Time::sec(3600.0);            // per use
+    case Layer::kIntentional: return sim::Time::sec(60.0);           // by the minute
+  }
+  return sim::Time::zero();
+}
+
+sim::Time device_side_change_period(Layer layer) {
+  switch (layer) {
+    case Layer::kEnvironment: return sim::Time::sec(3600.0 * 24 * 365);
+    case Layer::kPhysical: return sim::Time::sec(3600.0 * 24 * 365 * 3);
+    case Layer::kResource: return sim::Time::sec(3600.0 * 24 * 180);  // OS/ROM
+    case Layer::kAbstract: return sim::Time::sec(3600.0 * 24 * 30);   // releases
+    case Layer::kIntentional: return sim::Time::sec(3600.0 * 24 * 365 * 2);
+  }
+  return sim::Time::zero();
+}
+
+bool parse_layer(std::string_view name, Layer& out) {
+  for (Layer l : kAllLayers) {
+    if (name == to_string(l)) {
+      out = l;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace aroma::lpc

@@ -1,0 +1,63 @@
+// The Layered Pervasive Computing (LPC) model: five layers, each pairing a
+// device-side concept with a user-side concept under a binding constraint.
+//
+//   Intentional   Design Purpose        ~ must be in harmony with ~ User Goals
+//   Abstract      Application           ~ must be consistent with ~ Mental Models
+//   Resource      Mem|Sto|Exe|UI|Net    ~ must not frustrate ~      User Faculties
+//   Physical      Physical Devices      ~ must be compatible with ~ Physical User
+//   Environment   (shared substrate both sides are embedded in)
+//
+// "While for devices, the higher layers represent increasing degrees of
+// abstraction, for users, the higher layers represent increasing temporal
+// specificity" — lower layers change more slowly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.hpp"
+
+namespace aroma::lpc {
+
+enum class Layer : std::uint8_t {
+  kEnvironment = 0,
+  kPhysical = 1,
+  kResource = 2,
+  kAbstract = 3,
+  kIntentional = 4,
+};
+
+inline constexpr std::array<Layer, 5> kAllLayers = {
+    Layer::kEnvironment, Layer::kPhysical, Layer::kResource, Layer::kAbstract,
+    Layer::kIntentional};
+
+std::string_view to_string(Layer layer);
+
+/// The device-side concept at each layer (Figure 1, left column).
+std::string_view device_facet(Layer layer);
+
+/// The user-side concept at each layer (Figure 1, right column).
+std::string_view user_facet(Layer layer);
+
+/// The binding constraint between the two sides (Figures 2-5).
+std::string_view constraint_phrase(Layer layer);
+
+/// The resource layer's five device resource boxes (Figure 3).
+inline constexpr std::array<std::string_view, 5> kResourceBoxes = {
+    "Mem", "Sto", "Exe", "UI", "Net"};
+
+/// Typical timescale on which the *user-side* concept at a layer changes:
+/// goals change by the minute; physiology takes years. Encodes the paper's
+/// temporal-specificity gradient so analyses can reason about which
+/// mismatches are fixable in-session and which are design-time facts.
+sim::Time user_side_change_period(Layer layer);
+
+/// Device-side analogue: applications update faster than hardware.
+sim::Time device_side_change_period(Layer layer);
+
+/// Parses a layer from its lowercase name ("environment", ...); returns
+/// false on unknown names.
+bool parse_layer(std::string_view name, Layer& out);
+
+}  // namespace aroma::lpc

@@ -1,0 +1,48 @@
+// Trace-to-issue mining: the model watching a live system.
+//
+// Components emit traces when something layer-relevant happens (retry
+// limits, hijack attempts, depleted batteries, failed discovery). The
+// miner subscribes to a world's tracer, classifies each warning/error into
+// its LPC layer, and accumulates an IssueLog — so a running simulation
+// produces exactly the classified issue inventory the paper's model was
+// designed to organize.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "lpc/issue.hpp"
+#include "sim/trace.hpp"
+
+namespace aroma::lpc {
+
+class TraceIssueMiner {
+ public:
+  /// Installs itself as the tracer's hook; the tracer must outlive the
+  /// miner (or the miner must be detached first). Records below kWarn are
+  /// ignored.
+  TraceIssueMiner(sim::Tracer& tracer, IssueLog& log);
+  ~TraceIssueMiner();
+  TraceIssueMiner(const TraceIssueMiner&) = delete;
+  TraceIssueMiner& operator=(const TraceIssueMiner&) = delete;
+
+  std::uint64_t mined() const { return mined_; }
+  std::uint64_t deduplicated() const { return deduplicated_; }
+
+  /// Per-layer counts of mined issues.
+  std::map<Layer, std::size_t> layer_counts() const;
+
+ private:
+  void on_record(const sim::TraceRecord& record);
+  static double severity_for(sim::TraceLevel level);
+
+  sim::Tracer& tracer_;
+  IssueLog& log_;
+  IssueClassifier classifier_;
+  std::map<std::string, std::uint64_t> seen_;  // message -> count
+  std::uint64_t mined_ = 0;
+  std::uint64_t deduplicated_ = 0;
+};
+
+}  // namespace aroma::lpc

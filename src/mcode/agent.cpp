@@ -1,0 +1,157 @@
+#include "mcode/agent.hpp"
+
+#include <algorithm>
+
+namespace aroma::mcode {
+
+void AgentState::serialize(net::ByteWriter& w) const {
+  package.serialize(w);
+  w.bytes(data);
+  w.u32(static_cast<std::uint32_t>(itinerary.size()));
+  for (net::NodeId n : itinerary) w.u64(n);
+  w.u32(next_index);
+  w.u64(origin);
+  w.u32(hops);
+  w.u32(refusals);
+}
+
+AgentState AgentState::deserialize(net::ByteReader& r) {
+  AgentState a;
+  a.package = CodePackage::deserialize(r);
+  a.data = r.bytes();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+    a.itinerary.push_back(r.u64());
+  }
+  a.next_index = r.u32();
+  a.origin = r.u64();
+  a.hops = r.u32();
+  a.refusals = r.u32();
+  return a;
+}
+
+AgentHost::AgentHost(sim::World& world, net::NetStack& stack,
+                     phys::DeviceProfile device, HostRuntime runtime)
+    : world_(world), stack_(stack), device_(std::move(device)),
+      runtime_(std::move(runtime)), streams_(world, stack, kAgentPort) {
+  streams_.listen([this](const std::shared_ptr<net::StreamConnection>& c) {
+    on_connection(c);
+  });
+}
+
+AgentHost::~AgentHost() {
+  for (auto& s : sessions_) {
+    s->conn->set_data_handler({});
+    s->conn->set_closed_handler({});
+    s->framer.set_handler({});
+  }
+}
+
+void AgentHost::on_connection(
+    const std::shared_ptr<net::StreamConnection>& conn) {
+  auto session = std::make_shared<Session>();
+  session->conn = conn;
+  sessions_.push_back(session);
+  session->framer.set_handler([this](std::span<const std::byte> msg) {
+    net::ByteReader r(msg);
+    AgentState agent = AgentState::deserialize(r);
+    if (r.ok()) handle_arrival(std::move(agent));
+  });
+  conn->set_data_handler([session](std::span<const std::byte> d) {
+    session->framer.on_bytes(d);
+  });
+  conn->set_closed_handler([this, raw = session.get()] {
+    sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                   [&](const std::shared_ptr<Session>& s) {
+                                     return s.get() == raw;
+                                   }),
+                    sessions_.end());
+  });
+}
+
+sim::Time AgentHost::execution_time(const AgentState& agent) const {
+  const double instructions =
+      1e6 + 10.0 * static_cast<double>(agent.data.size());
+  return sim::Time::sec(instructions / (device_.exec_mips * 1e6));
+}
+
+void AgentHost::launch(AgentState agent, CompletionHandler done) {
+  agent.origin = stack_.node_id();
+  agent.next_index = 0;
+  pending_.push_back(std::move(done));
+  if (agent.itinerary.empty()) {
+    world_.sim().schedule_in(sim::Time::zero(),
+                             [this, agent = std::move(agent),
+                              guard = std::weak_ptr<char>(alive_)] {
+                               if (guard.expired()) return;
+                               handle_arrival(agent);
+                             });
+    return;
+  }
+  const net::NodeId first = agent.itinerary[0];
+  forward(std::move(agent), first);
+}
+
+void AgentHost::handle_arrival(AgentState agent) {
+  // Returned home?
+  if (agent.origin == stack_.node_id() &&
+      agent.next_index >= agent.itinerary.size()) {
+    if (!pending_.empty()) {
+      auto done = std::move(pending_.front());
+      pending_.erase(pending_.begin());
+      if (done) done(agent);
+    }
+    return;
+  }
+  // Visiting this host.
+  const auto issues = check_capabilities(agent.package, device_, runtime_);
+  if (!issues.empty()) {
+    ++agents_refused_;
+    ++agent.refusals;
+    ++agent.next_index;
+    const net::NodeId to = agent.next_index < agent.itinerary.size()
+                               ? agent.itinerary[agent.next_index]
+                               : agent.origin;
+    forward(std::move(agent), to);
+    return;
+  }
+  ++agents_hosted_;
+  const sim::Time exec = execution_time(agent);
+  world_.sim().schedule_in(
+      exec, [this, agent = std::move(agent),
+             guard = std::weak_ptr<char>(alive_)]() mutable {
+        if (guard.expired()) return;
+        auto it = behaviours_.find(agent.package.name);
+        if (it != behaviours_.end() && it->second) it->second(agent);
+        ++agent.hops;
+        ++agent.next_index;
+        const net::NodeId to = agent.next_index < agent.itinerary.size()
+                                   ? agent.itinerary[agent.next_index]
+                                   : agent.origin;
+        forward(std::move(agent), to);
+      });
+}
+
+void AgentHost::forward(AgentState agent, net::NodeId to) {
+  if (to == stack_.node_id()) {
+    // Local delivery (origin == this host, or a self-visit).
+    handle_arrival(std::move(agent));
+    return;
+  }
+  auto session = std::make_shared<Session>();
+  session->conn = streams_.connect(to);
+  sessions_.push_back(session);
+  net::ByteWriter w;
+  agent.serialize(w);
+  session->conn->send(net::MessageFramer::frame(w.data()));
+  session->conn->close();
+  session->conn->set_closed_handler([this, raw = session.get()] {
+    sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                   [&](const std::shared_ptr<Session>& s) {
+                                     return s.get() == raw;
+                                   }),
+                    sessions_.end());
+  });
+}
+
+}  // namespace aroma::mcode

@@ -1,0 +1,91 @@
+// Mobile agents: code + state that hops between hosts.
+//
+// The complement to code deployment in the paper's "mobile code and data"
+// focus area: an itinerant agent visits a list of hosts, each host applies
+// its registered behaviour for the agent's type (mutating the agent's
+// carried data — the "data" genuinely migrates over the simulated network),
+// and the agent finally returns to its origin. Hosts validate the agent's
+// package against their capabilities and may refuse it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcode/package.hpp"
+#include "net/framer.hpp"
+#include "net/stack.hpp"
+#include "net/stream.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::mcode {
+
+inline constexpr net::Port kAgentPort = 7003;
+
+/// The serializable agent: its code manifest, carried data, and itinerary.
+struct AgentState {
+  CodePackage package;
+  std::vector<std::byte> data;
+  std::vector<net::NodeId> itinerary;
+  std::uint32_t next_index = 0;
+  net::NodeId origin = 0;
+  std::uint32_t hops = 0;
+  std::uint32_t refusals = 0;  // hosts that could not run it
+
+  void serialize(net::ByteWriter& w) const;
+  static AgentState deserialize(net::ByteReader& r);
+};
+
+/// One per participating node: receives agents, runs the registered
+/// behaviour, forwards them along the itinerary; completed agents are
+/// delivered back to the origin's completion callback.
+class AgentHost {
+ public:
+  /// Behaviour a host offers for agents whose package name matches.
+  /// Mutates the agent's carried data in place.
+  using VisitHandler = std::function<void(AgentState&)>;
+  using CompletionHandler = std::function<void(const AgentState&)>;
+
+  AgentHost(sim::World& world, net::NetStack& stack,
+            phys::DeviceProfile device, HostRuntime runtime = {});
+  ~AgentHost();
+  AgentHost(const AgentHost&) = delete;
+  AgentHost& operator=(const AgentHost&) = delete;
+
+  void register_behaviour(const std::string& package_name, VisitHandler h) {
+    behaviours_[package_name] = std::move(h);
+  }
+
+  /// Launches an agent from this node; `done` fires when it returns.
+  void launch(AgentState agent, CompletionHandler done);
+
+  std::uint64_t agents_hosted() const { return agents_hosted_; }
+  std::uint64_t agents_refused() const { return agents_refused_; }
+
+ private:
+  void on_connection(const std::shared_ptr<net::StreamConnection>& conn);
+  void handle_arrival(AgentState agent);
+  void forward(AgentState agent, net::NodeId to);
+  sim::Time execution_time(const AgentState& agent) const;
+
+  sim::World& world_;
+  net::NetStack& stack_;
+  phys::DeviceProfile device_;
+  HostRuntime runtime_;
+  net::StreamManager streams_;
+  std::map<std::string, VisitHandler> behaviours_;
+  std::vector<CompletionHandler> pending_;  // launches awaiting return
+  std::uint64_t agents_hosted_ = 0;
+  std::uint64_t agents_refused_ = 0;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  struct Session {
+    std::shared_ptr<net::StreamConnection> conn;
+    net::MessageFramer framer;
+  };
+  std::vector<std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace aroma::mcode

@@ -1,0 +1,250 @@
+#include "mcode/deploy.hpp"
+
+#include <algorithm>
+
+namespace aroma::mcode {
+
+// ---------------------------------------------------------------------------
+// CodeRepository
+
+CodeRepository::CodeRepository(sim::World& world, net::NetStack& stack)
+    : world_(world), stack_(stack),
+      streams_(world, stack, kCodeStreamPort) {
+  streams_.listen([this](const std::shared_ptr<net::StreamConnection>& conn) {
+    on_connection(conn);
+  });
+}
+
+CodeRepository::~CodeRepository() {
+  for (auto& s : sessions_) {
+    s->conn->set_data_handler({});
+    s->conn->set_closed_handler({});
+    s->framer.set_handler({});
+  }
+}
+
+void CodeRepository::publish(CodePackage pkg) {
+  auto it = packages_.find(pkg.name);
+  if (it != packages_.end() && it->second.version >= pkg.version) return;
+  packages_[pkg.name] = pkg;
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(CodeMsg::kUpdateAnnounce));
+  w.str(pkg.name);
+  w.u32(pkg.version);
+  stack_.send_multicast(kCodeUpdateGroup, kCodeAnnouncePort,
+                        kCodeAnnouncePort, w.take());
+}
+
+const CodePackage* CodeRepository::find(const std::string& name) const {
+  auto it = packages_.find(name);
+  return it != packages_.end() ? &it->second : nullptr;
+}
+
+void CodeRepository::on_connection(
+    const std::shared_ptr<net::StreamConnection>& conn) {
+  auto session = std::make_shared<Session>();
+  session->conn = conn;
+  sessions_.push_back(session);
+  session->framer.set_handler([this, session](
+                                  std::span<const std::byte> msg) {
+    net::ByteReader r(msg);
+    if (static_cast<CodeMsg>(r.u8()) != CodeMsg::kFetch || !r.ok()) return;
+    const std::string name = r.str();
+    const std::uint32_t min_version = r.u32();
+    if (!r.ok()) return;
+
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(CodeMsg::kFetchResponse));
+    const CodePackage* pkg = find(name);
+    const bool found = pkg != nullptr && pkg->version >= min_version;
+    w.u8(found ? 1 : 0);
+    if (found) {
+      pkg->serialize(w);
+      // The code itself: a blob of the declared size rides the stream so
+      // deployment latency is a function of real link conditions.
+      w.bytes(std::vector<std::byte>(pkg->code_bytes));
+      ++fetches_served_;
+      bytes_served_ += pkg->code_bytes;
+    }
+    session->conn->send(net::MessageFramer::frame(w.data()));
+    session->conn->close();
+  });
+  conn->set_data_handler([session](std::span<const std::byte> d) {
+    session->framer.on_bytes(d);
+  });
+  conn->set_closed_handler([this, raw = session.get()] {
+    sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                   [&](const std::shared_ptr<Session>& s) {
+                                     return s.get() == raw;
+                                   }),
+                    sessions_.end());
+  });
+}
+
+// ---------------------------------------------------------------------------
+// CodeLoader
+
+CodeLoader::CodeLoader(sim::World& world, net::NetStack& stack,
+                       phys::DeviceProfile device)
+    : CodeLoader(world, stack, std::move(device), Params{}) {}
+
+CodeLoader::CodeLoader(sim::World& world, net::NetStack& stack,
+                       phys::DeviceProfile device, Params params)
+    : world_(world), stack_(stack), device_(std::move(device)),
+      params_(params), streams_(world, stack, kCodeStreamPort) {
+  stack_.bind(kCodeAnnouncePort,
+              [this](const net::Datagram& dg) { on_announce(dg); });
+  stack_.join_group(kCodeUpdateGroup);
+}
+
+CodeLoader::~CodeLoader() {
+  stack_.unbind(kCodeAnnouncePort);
+  for (auto& t : transfers_) {
+    t->conn->set_data_handler({});
+    t->conn->set_closed_handler({});
+    t->framer.set_handler({});
+  }
+}
+
+bool CodeLoader::installed(const std::string& name) const {
+  return installed_.count(name) != 0;
+}
+
+std::uint32_t CodeLoader::installed_version(const std::string& name) const {
+  auto it = installed_.find(name);
+  return it != installed_.end() ? it->second.version : 0;
+}
+
+std::uint64_t CodeLoader::used_storage() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, p] : installed_) total += p.code_bytes;
+  return total;
+}
+
+std::uint64_t CodeLoader::used_mem() const {
+  std::uint64_t total = 0;
+  for (const auto& [name, p] : installed_) total += p.mem_bytes;
+  return total;
+}
+
+double CodeLoader::used_mips() const {
+  double total = 0;
+  for (const auto& [name, p] : installed_) total += p.mips_required;
+  return total;
+}
+
+void CodeLoader::on_announce(const net::Datagram& dg) {
+  net::ByteReader r(dg.data);
+  if (static_cast<CodeMsg>(r.u8()) != CodeMsg::kUpdateAnnounce || !r.ok()) {
+    return;
+  }
+  const std::string name = r.str();
+  const std::uint32_t version = r.u32();
+  if (!r.ok() || !params_.auto_update) return;
+  if (installed(name) && version > installed_version(name)) {
+    fetch(dg.src.node, name, version, [](const FetchResult&) {});
+  }
+}
+
+void CodeLoader::fetch(net::NodeId repository, const std::string& name,
+                       std::uint32_t min_version, FetchCallback cb) {
+  const sim::Time requested_at = world_.now();
+  auto transfer = std::make_shared<Transfer>();
+  transfer->conn = streams_.connect(repository);
+  transfers_.push_back(transfer);
+  auto fired = std::make_shared<bool>(false);
+
+  auto finish = [this, raw = transfer.get()] {
+    transfers_.erase(std::remove_if(transfers_.begin(), transfers_.end(),
+                                    [&](const std::shared_ptr<Transfer>& t) {
+                                      return t.get() == raw;
+                                    }),
+                     transfers_.end());
+  };
+
+  transfer->framer.set_handler(
+      [this, cb, requested_at, fired](std::span<const std::byte> msg) {
+        if (*fired) return;
+        net::ByteReader r(msg);
+        if (static_cast<CodeMsg>(r.u8()) != CodeMsg::kFetchResponse) return;
+        const bool found = r.u8() != 0;
+        if (!found || !r.ok()) {
+          *fired = true;
+          FetchResult res;
+          res.latency = world_.now() - requested_at;
+          if (cb) cb(res);
+          return;
+        }
+        CodePackage pkg = CodePackage::deserialize(r);
+        (void)r.bytes();  // the code blob; its size shaped the latency
+        if (!r.ok()) return;
+        *fired = true;
+        install(std::move(pkg), requested_at, /*transferred=*/true, cb);
+      });
+  transfer->conn->set_data_handler(
+      [transfer](std::span<const std::byte> d) {
+        transfer->framer.on_bytes(d);
+      });
+  transfer->conn->set_closed_handler(
+      [cb, fired, requested_at, this, finish] {
+        finish();
+        if (*fired) return;
+        *fired = true;
+        FetchResult res;  // connection died before the response
+        res.latency = world_.now() - requested_at;
+        if (cb) cb(res);
+      });
+
+  auto send_request = [this, transfer, name, min_version] {
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(CodeMsg::kFetch));
+    w.str(name);
+    w.u32(min_version);
+    transfer->conn->send(net::MessageFramer::frame(w.data()));
+  };
+  if (transfer->conn->established()) {
+    send_request();
+  } else {
+    transfer->conn->set_established_handler(send_request);
+  }
+}
+
+void CodeLoader::install(CodePackage pkg, sim::Time requested_at,
+                         bool transferred, FetchCallback cb) {
+  // Account existing installs, excluding any older version of this package
+  // (an upgrade replaces it).
+  std::uint64_t storage = 0, mem = 0;
+  double mips = 0.0;
+  for (const auto& [name, p] : installed_) {
+    if (name == pkg.name) continue;
+    storage += p.code_bytes;
+    mem += p.mem_bytes;
+    mips += p.mips_required;
+  }
+  FetchResult res;
+  res.package = pkg;
+  res.transferred = transferred;
+  res.issues =
+      check_capabilities(pkg, device_, params_.host, storage, mem, mips);
+  if (!res.issues.empty()) {
+    res.latency = world_.now() - requested_at;
+    if (cb) cb(res);
+    return;
+  }
+  const double install_s =
+      params_.install_instr_per_byte * static_cast<double>(pkg.code_bytes) /
+      (device_.exec_mips * 1e6);
+  world_.sim().schedule_in(
+      sim::Time::sec(install_s),
+      [this, pkg = std::move(pkg), requested_at, res = std::move(res), cb,
+       guard = std::weak_ptr<char>(alive_)]() mutable {
+        if (guard.expired()) return;
+        installed_[pkg.name] = pkg;
+        res.ok = true;
+        res.latency = world_.now() - requested_at;
+        if (on_installed_) on_installed_(pkg);
+        if (cb) cb(res);
+      });
+}
+
+}  // namespace aroma::mcode

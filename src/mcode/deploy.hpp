@@ -1,0 +1,132 @@
+// Code deployment: a repository service plus per-device loaders.
+//
+// The repository publishes versioned packages and announces updates over
+// multicast; loaders fetch code over reliable streams, validate host
+// capabilities, charge realistic install time on the device CPU, and can
+// auto-upgrade when a newer version is announced — software updates for
+// appliances whose 1999 counterparts were "burned into ROM".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcode/package.hpp"
+#include "net/framer.hpp"
+#include "net/stack.hpp"
+#include "net/stream.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::mcode {
+
+inline constexpr net::Port kCodeStreamPort = 7001;
+inline constexpr net::Port kCodeAnnouncePort = 7002;
+inline constexpr net::GroupId kCodeUpdateGroup = 7;
+
+enum class CodeMsg : std::uint8_t {
+  kFetch = 1,        // name, min_version
+  kFetchResponse,    // found u8, package meta, code blob
+  kUpdateAnnounce,   // datagram: name, version (repository node = source)
+};
+
+/// Holds published packages and serves fetches.
+class CodeRepository {
+ public:
+  CodeRepository(sim::World& world, net::NetStack& stack);
+  ~CodeRepository();
+  CodeRepository(const CodeRepository&) = delete;
+  CodeRepository& operator=(const CodeRepository&) = delete;
+
+  /// Publishes (or upgrades) a package and multicasts the announcement.
+  void publish(CodePackage pkg);
+
+  const CodePackage* find(const std::string& name) const;
+  std::uint64_t fetches_served() const { return fetches_served_; }
+  std::uint64_t bytes_served() const { return bytes_served_; }
+
+ private:
+  void on_connection(const std::shared_ptr<net::StreamConnection>& conn);
+
+  sim::World& world_;
+  net::NetStack& stack_;
+  net::StreamManager streams_;
+  std::map<std::string, CodePackage> packages_;
+  std::uint64_t fetches_served_ = 0;
+  std::uint64_t bytes_served_ = 0;
+  // Each live connection keeps its framer alive until closed.
+  struct Session {
+    std::shared_ptr<net::StreamConnection> conn;
+    net::MessageFramer framer;
+  };
+  std::vector<std::shared_ptr<Session>> sessions_;
+};
+
+struct FetchResult {
+  bool ok = false;
+  std::vector<CapabilityIssue> issues;  // nonempty when rejected locally
+  CodePackage package;
+  sim::Time latency;     // request to installed
+  bool transferred = false;  // code actually crossed the network
+};
+
+/// Per-device loader/execution host for mobile code.
+class CodeLoader {
+ public:
+  struct Params {
+    HostRuntime host{};
+    /// Install cost: instructions charged per code byte (unpack+verify+link).
+    double install_instr_per_byte = 20.0;
+    bool auto_update = true;
+  };
+
+  CodeLoader(sim::World& world, net::NetStack& stack,
+             phys::DeviceProfile device);
+  CodeLoader(sim::World& world, net::NetStack& stack,
+             phys::DeviceProfile device, Params params);
+  ~CodeLoader();
+  CodeLoader(const CodeLoader&) = delete;
+  CodeLoader& operator=(const CodeLoader&) = delete;
+
+  using FetchCallback = std::function<void(const FetchResult&)>;
+
+  /// Fetches and installs `name` (>= min_version) from the repository node.
+  void fetch(net::NodeId repository, const std::string& name,
+             std::uint32_t min_version, FetchCallback cb);
+
+  bool installed(const std::string& name) const;
+  std::uint32_t installed_version(const std::string& name) const;
+  std::size_t installed_count() const { return installed_.size(); }
+
+  /// Fires after each successful install/upgrade.
+  void set_installed_callback(std::function<void(const CodePackage&)> cb) {
+    on_installed_ = std::move(cb);
+  }
+
+  std::uint64_t used_storage() const;
+  std::uint64_t used_mem() const;
+  double used_mips() const;
+
+ private:
+  void on_announce(const net::Datagram& dg);
+  void install(CodePackage pkg, sim::Time requested_at, bool transferred,
+               FetchCallback cb);
+
+  sim::World& world_;
+  net::NetStack& stack_;
+  phys::DeviceProfile device_;
+  Params params_;
+  net::StreamManager streams_;
+  std::map<std::string, CodePackage> installed_;
+  std::function<void(const CodePackage&)> on_installed_;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+  struct Transfer {
+    std::shared_ptr<net::StreamConnection> conn;
+    net::MessageFramer framer;
+  };
+  std::vector<std::shared_ptr<Transfer>> transfers_;
+};
+
+}  // namespace aroma::mcode

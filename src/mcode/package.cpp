@@ -1,0 +1,54 @@
+#include "mcode/package.hpp"
+
+#include <algorithm>
+
+namespace aroma::mcode {
+
+void CodePackage::serialize(net::ByteWriter& w) const {
+  w.str(name);
+  w.u32(version);
+  w.u64(code_bytes);
+  w.u64(mem_bytes);
+  w.f64(mips_required);
+  w.str(runtime);
+}
+
+CodePackage CodePackage::deserialize(net::ByteReader& r) {
+  CodePackage p;
+  p.name = r.str();
+  p.version = r.u32();
+  p.code_bytes = r.u64();
+  p.mem_bytes = r.u64();
+  p.mips_required = r.f64();
+  p.runtime = r.str();
+  return p;
+}
+
+std::vector<CapabilityIssue> check_capabilities(
+    const CodePackage& pkg, const phys::DeviceProfile& device,
+    const HostRuntime& host, std::uint64_t already_used_storage,
+    std::uint64_t already_used_mem, double already_used_mips) {
+  std::vector<CapabilityIssue> issues;
+  if (std::find(host.runtimes.begin(), host.runtimes.end(), pkg.runtime) ==
+      host.runtimes.end()) {
+    issues.push_back({"host lacks the '" + pkg.runtime + "' runtime"});
+  }
+  const auto storage_budget = static_cast<std::uint64_t>(
+      static_cast<double>(device.storage_bytes) *
+      host.storage_budget_fraction);
+  if (already_used_storage + pkg.code_bytes > storage_budget) {
+    issues.push_back({"insufficient storage for the package code"});
+  }
+  const auto mem_budget = static_cast<std::uint64_t>(
+      static_cast<double>(device.mem_bytes) * host.mem_budget_fraction);
+  if (already_used_mem + pkg.mem_bytes > mem_budget) {
+    issues.push_back({"insufficient memory for the package working set"});
+  }
+  const double mips_budget = device.exec_mips * host.mips_budget_fraction;
+  if (already_used_mips + pkg.mips_required > mips_budget) {
+    issues.push_back({"execution engine too slow for the package"});
+  }
+  return issues;
+}
+
+}  // namespace aroma::mcode

@@ -1,0 +1,55 @@
+// Mobile code packages: the Aroma project's "Mobile code and data" focus
+// area made concrete.
+//
+// Jini's defining trick was shipping service proxy code to clients; the
+// paper's projected $10 system-on-chip was to carry "a sufficiently rich
+// run-time environment capable of running sophisticated virtual machines".
+// A CodePackage models such downloadable code: a named, versioned blob
+// with declared runtime and resource demands that a host must satisfy
+// before loading it. It also answers the paper's ROM problem — "in an
+// information appliance that has its operating software burned into ROM,
+// faulty assumptions are costly" — by making software updatable in place.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/serialize.hpp"
+#include "phys/profile.hpp"
+
+namespace aroma::mcode {
+
+struct CodePackage {
+  std::string name;               // e.g. "projection-proxy"
+  std::uint32_t version = 1;
+  std::uint64_t code_bytes = 64 * 1024;   // transfer + storage size
+  std::uint64_t mem_bytes = 256 * 1024;   // runtime footprint
+  double mips_required = 5.0;             // sustained execution demand
+  std::string runtime = "jvm";            // required execution environment
+
+  void serialize(net::ByteWriter& w) const;
+  static CodePackage deserialize(net::ByteReader& r);
+};
+
+/// A reason the package cannot run on a host.
+struct CapabilityIssue {
+  std::string what;
+};
+
+/// Execution environment a host offers to mobile code.
+struct HostRuntime {
+  std::vector<std::string> runtimes{"jvm"};  // VMs present
+  double mips_budget_fraction = 0.5;  // share of CPU packages may use
+  double storage_budget_fraction = 0.5;
+  double mem_budget_fraction = 0.5;
+};
+
+/// Checks package demands against a device's hardware and host runtime.
+/// `already_used_*` lets a loader account for everything else installed.
+std::vector<CapabilityIssue> check_capabilities(
+    const CodePackage& pkg, const phys::DeviceProfile& device,
+    const HostRuntime& host, std::uint64_t already_used_storage = 0,
+    std::uint64_t already_used_mem = 0, double already_used_mips = 0.0);
+
+}  // namespace aroma::mcode

@@ -1,0 +1,35 @@
+// Addressing for the Aroma network substrate.
+//
+// Nodes are addressed by their radio/MAC id; multicast groups are a separate
+// small id space. Ports multiplex services on a node, as in UDP.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace aroma::net {
+
+using NodeId = std::uint64_t;
+using GroupId = std::uint32_t;
+using Port = std::uint16_t;
+
+/// Well-known groups/ports used by the stock protocols.
+inline constexpr GroupId kDiscoveryGroup = 1;   // Jini-style multicast request
+inline constexpr GroupId kAnnounceGroup = 2;    // registrar/SSDP announcements
+inline constexpr Port kRegistrarPort = 4160;    // Jini registrar unicast port
+inline constexpr Port kSlpPort = 427;
+inline constexpr Port kSsdpPort = 1900;
+
+struct Endpoint {
+  NodeId node = 0;
+  Port port = 0;
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+struct EndpointHash {
+  std::size_t operator()(const Endpoint& e) const {
+    return std::hash<std::uint64_t>{}(e.node * 0x10001ULL + e.port);
+  }
+};
+
+}  // namespace aroma::net

@@ -1,0 +1,54 @@
+#include "net/bridge.hpp"
+
+namespace aroma::net {
+
+namespace {
+constexpr std::size_t kDatagramHeaderBytes = 28;
+}
+
+Bridge::Bridge(sim::World& world, LinkLayer& side_a, LinkLayer& side_b)
+    : world_(world), a_(side_a), b_(side_b) {
+  a_.set_receive_handler([this](NodeId, const LinkLayer::Payload& p,
+                                std::size_t) {
+    forward(p, b_, next_hop_b_);
+  });
+  b_.set_receive_handler([this](NodeId, const LinkLayer::Payload& p,
+                                std::size_t) {
+    forward(p, a_, next_hop_a_);
+  });
+}
+
+Bridge::~Bridge() {
+  // Detach: frames arriving after destruction must not call into us.
+  a_.set_receive_handler({});
+  b_.set_receive_handler({});
+}
+
+void Bridge::forward(const LinkLayer::Payload& payload, LinkLayer& out,
+                     const std::function<NodeId(NodeId)>& next_hop) {
+  const auto* dg = static_cast<const Datagram*>(payload.get());
+  if (dg == nullptr) {
+    ++stats_.dropped_not_datagram;
+    return;
+  }
+  if (dg->hops_left == 0) {
+    ++stats_.dropped_hop_limit;
+    return;
+  }
+  auto copy = std::make_shared<Datagram>(*dg);
+  --copy->hops_left;
+  const std::size_t bits = (copy->data.size() + kDatagramHeaderBytes) * 8;
+  if (copy->group != 0) {
+    ++stats_.forwarded_multicast;
+    out.send(kLinkBroadcast, bits, std::move(copy), {});
+    return;
+  }
+  // Unicast: the sender addressed the bridge at the link layer because the
+  // destination lives beyond it; pass it along on the other side.
+  const NodeId dst = copy->dst.node;
+  if (dst == a_.address() || dst == b_.address()) return;  // for the AP itself
+  ++stats_.forwarded_unicast;
+  out.send(next_hop ? next_hop(dst) : dst, bits, std::move(copy), {});
+}
+
+}  // namespace aroma::net

@@ -1,0 +1,57 @@
+// A two-port bridge / access point: splices a wireless cell onto a wired
+// backbone. Unicast datagrams addressed (at the network layer) to nodes
+// beyond a link are forwarded to the other link; multicast datagrams are
+// flooded across, so discovery protocols span both segments — a portable
+// wireless device can find a lookup service living on the traditional
+// network.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/link.hpp"
+#include "net/stack.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::net {
+
+struct BridgeStats {
+  std::uint64_t forwarded_unicast = 0;
+  std::uint64_t forwarded_multicast = 0;
+  std::uint64_t dropped_hop_limit = 0;
+  std::uint64_t dropped_not_datagram = 0;
+};
+
+class Bridge {
+ public:
+  /// `next_hop_a`/`next_hop_b` map a final destination to the link-local
+  /// hop on that side (identity by default: the destination is assumed to
+  /// sit directly on the segment).
+  Bridge(sim::World& world, LinkLayer& side_a, LinkLayer& side_b);
+  ~Bridge();
+  Bridge(const Bridge&) = delete;
+  Bridge& operator=(const Bridge&) = delete;
+
+  void set_next_hop_a(std::function<NodeId(NodeId)> fn) {
+    next_hop_a_ = std::move(fn);
+  }
+  void set_next_hop_b(std::function<NodeId(NodeId)> fn) {
+    next_hop_b_ = std::move(fn);
+  }
+
+  const BridgeStats& stats() const { return stats_; }
+
+ private:
+  void forward(const LinkLayer::Payload& payload, LinkLayer& out,
+               const std::function<NodeId(NodeId)>& next_hop);
+
+  sim::World& world_;
+  LinkLayer& a_;
+  LinkLayer& b_;
+  std::function<NodeId(NodeId)> next_hop_a_;  // used when sending out on A
+  std::function<NodeId(NodeId)> next_hop_b_;
+  BridgeStats stats_;
+};
+
+}  // namespace aroma::net

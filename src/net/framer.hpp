@@ -1,0 +1,50 @@
+// Length-prefixed message framing over a byte stream. Used by every
+// stream-based protocol in the stack (RFB display updates, mobile-code
+// transfer).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace aroma::net {
+
+class MessageFramer {
+ public:
+  using MessageHandler = std::function<void(std::span<const std::byte>)>;
+
+  void set_handler(MessageHandler h) { handler_ = std::move(h); }
+
+  /// Feeds raw stream bytes; fires the handler once per complete message.
+  void on_bytes(std::span<const std::byte> data) {
+    buffer_.insert(buffer_.end(), data.begin(), data.end());
+    for (;;) {
+      if (buffer_.size() < 4) return;
+      std::uint32_t len = 0;
+      std::memcpy(&len, buffer_.data(), 4);
+      if (buffer_.size() < 4 + len) return;
+      if (handler_) {
+        handler_(std::span<const std::byte>(buffer_.data() + 4, len));
+      }
+      buffer_.erase(buffer_.begin(),
+                    buffer_.begin() + static_cast<std::ptrdiff_t>(4 + len));
+    }
+  }
+
+  /// Wraps a payload with its length prefix.
+  static std::vector<std::byte> frame(std::span<const std::byte> payload) {
+    std::vector<std::byte> out(4 + payload.size());
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    std::memcpy(out.data(), &len, 4);
+    std::memcpy(out.data() + 4, payload.data(), payload.size());
+    return out;
+  }
+
+ private:
+  std::vector<std::byte> buffer_;
+  MessageHandler handler_;
+};
+
+}  // namespace aroma::net

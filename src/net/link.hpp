@@ -1,0 +1,41 @@
+// Link-layer abstraction: what a network stack needs from "the thing that
+// moves frames" — so the same stack runs over the CSMA/CA wireless MAC or
+// a wired segment, and a bridge can splice the two together (the Aroma
+// project's first focus area: "connecting portable wireless devices to
+// traditional networks").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "net/address.hpp"
+
+namespace aroma::net {
+
+inline constexpr NodeId kLinkBroadcast = ~0ULL;
+
+/// A frame-delivery service with link-local addressing.
+class LinkLayer {
+ public:
+  virtual ~LinkLayer() = default;
+
+  using Payload = std::shared_ptr<const void>;
+  using ReceiveHandler =
+      std::function<void(NodeId src, const Payload& payload,
+                         std::size_t payload_bits)>;
+  using SendCallback = std::function<void(bool delivered)>;
+
+  /// This interface's link-local address.
+  virtual NodeId address() const = 0;
+
+  /// Sends a frame to `dst` (or kLinkBroadcast). Best-effort semantics are
+  /// link-specific: the wireless MAC retries and reports the outcome; a
+  /// wired segment always delivers.
+  virtual void send(NodeId dst, std::size_t payload_bits, Payload payload,
+                    SendCallback cb) = 0;
+
+  virtual void set_receive_handler(ReceiveHandler handler) = 0;
+};
+
+}  // namespace aroma::net

@@ -1,0 +1,81 @@
+#include "net/stack.hpp"
+
+namespace aroma::net {
+
+namespace {
+constexpr std::size_t kDatagramHeaderBytes = 28;  // src/dst/group/hops/len
+}
+
+NetStack::NetStack(sim::World& world, phys::CsmaMac& mac)
+    : world_(world), owned_link_(std::make_unique<WirelessLink>(mac)),
+      link_(owned_link_.get()) {
+  link_->set_receive_handler(
+      [this](NodeId src, const LinkLayer::Payload& payload,
+             std::size_t bits) { on_link_receive(src, payload, bits); });
+}
+
+NetStack::NetStack(sim::World& world, LinkLayer& link)
+    : world_(world), link_(&link) {
+  link_->set_receive_handler(
+      [this](NodeId src, const LinkLayer::Payload& payload,
+             std::size_t bits) { on_link_receive(src, payload, bits); });
+}
+
+void NetStack::bind(Port port, Handler handler) {
+  bindings_[port] = std::move(handler);
+}
+
+void NetStack::unbind(Port port) { bindings_.erase(port); }
+
+void NetStack::send(Endpoint dst, Port src_port, std::vector<std::byte> data,
+                    SendCallback cb) {
+  auto dg = std::make_shared<Datagram>();
+  dg->src = Endpoint{node_id(), src_port};
+  dg->dst = dst;
+  dg->data = std::move(data);
+  const std::size_t bits = (dg->data.size() + kDatagramHeaderBytes) * 8;
+  ++stats_.sent_unicast;
+  stats_.bytes_sent += dg->data.size() + kDatagramHeaderBytes;
+  const NodeId hop = next_hop_ ? next_hop_(dst.node) : dst.node;
+  link_->send(hop, bits, dg, [this, cb = std::move(cb)](bool delivered) {
+    if (!delivered) ++stats_.send_failures;
+    if (cb) cb(delivered);
+  });
+}
+
+void NetStack::send_multicast(GroupId group, Port port, Port src_port,
+                              std::vector<std::byte> data) {
+  auto dg = std::make_shared<Datagram>();
+  dg->src = Endpoint{node_id(), src_port};
+  dg->dst = Endpoint{0, port};
+  dg->group = group;
+  dg->data = std::move(data);
+  const std::size_t bits = (dg->data.size() + kDatagramHeaderBytes) * 8;
+  ++stats_.sent_multicast;
+  stats_.bytes_sent += dg->data.size() + kDatagramHeaderBytes;
+  link_->send(kLinkBroadcast, bits, dg, {});
+}
+
+void NetStack::on_link_receive(NodeId /*src*/,
+                               const LinkLayer::Payload& payload,
+                               std::size_t /*bits*/) {
+  const auto* dg = static_cast<const Datagram*>(payload.get());
+  if (dg == nullptr) return;
+  if (dg->group != 0) {
+    if (!in_group(dg->group)) {
+      ++stats_.dropped_not_member;
+      return;
+    }
+  } else if (dg->dst.node != node_id()) {
+    return;
+  }
+  auto it = bindings_.find(dg->dst.port);
+  if (it == bindings_.end()) {
+    ++stats_.dropped_no_listener;
+    return;
+  }
+  ++stats_.delivered;
+  it->second(*dg);
+}
+
+}  // namespace aroma::net

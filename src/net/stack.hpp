@@ -1,0 +1,118 @@
+// Per-node datagram network stack over the CSMA MAC.
+//
+// Offers a UDP-like service: bind a port, send datagrams to a node or a
+// multicast group. Multicast rides MAC broadcast and is filtered by group
+// membership at the receiver — which gives it exactly the semantics the
+// paper's service-discovery protocols rely on: only nodes in radio range
+// hear a multicast request.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/link.hpp"
+#include "phys/mac.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::net {
+
+/// The unit carried as the link-layer payload.
+struct Datagram {
+  Endpoint src;
+  Endpoint dst;          // dst.node == 0 for multicast
+  GroupId group = 0;     // nonzero for multicast datagrams
+  std::uint8_t hops_left = 8;  // decremented by forwarders (loop guard)
+  std::vector<std::byte> data;
+};
+
+/// LinkLayer adapter over the wireless CSMA/CA MAC.
+class WirelessLink final : public LinkLayer {
+ public:
+  explicit WirelessLink(phys::CsmaMac& mac) : mac_(mac) {}
+  NodeId address() const override { return mac_.address(); }
+  void send(NodeId dst, std::size_t payload_bits, Payload payload,
+            SendCallback cb) override {
+    mac_.send(dst == kLinkBroadcast ? phys::kBroadcast : dst, payload_bits,
+              std::move(payload), std::move(cb));
+  }
+  void set_receive_handler(ReceiveHandler handler) override {
+    mac_.set_receive_handler(
+        [handler = std::move(handler)](phys::MacAddress src,
+                                       const phys::MacPayload& p,
+                                       std::size_t bits) {
+          handler(src, p, bits);
+        });
+  }
+
+ private:
+  phys::CsmaMac& mac_;
+};
+
+struct StackStats {
+  std::uint64_t sent_unicast = 0;
+  std::uint64_t sent_multicast = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped_no_listener = 0;
+  std::uint64_t dropped_not_member = 0;
+  std::uint64_t send_failures = 0;   // MAC gave up (retry limit)
+  std::uint64_t bytes_sent = 0;
+};
+
+class NetStack {
+ public:
+  /// Handler receives the datagram it was bound for.
+  using Handler = std::function<void(const Datagram&)>;
+  /// Optional per-datagram delivery callback (unicast only; best effort).
+  using SendCallback = std::function<void(bool delivered)>;
+
+  /// Stack over the wireless MAC (the common case).
+  NetStack(sim::World& world, phys::CsmaMac& mac);
+  /// Stack over any link layer (wired ports, test doubles).
+  NetStack(sim::World& world, LinkLayer& link);
+
+  NodeId node_id() const { return link_->address(); }
+
+  /// Off-link routing: maps a destination node to the link-local next hop
+  /// (identity by default). Point off-subnet destinations at a bridge:
+  ///   stack.set_next_hop([](NodeId d) { return d >= 100 ? kApNode : d; });
+  void set_next_hop(std::function<NodeId(NodeId)> fn) {
+    next_hop_ = std::move(fn);
+  }
+
+  /// Binds `port`; replaces any previous handler on that port.
+  void bind(Port port, Handler handler);
+  void unbind(Port port);
+
+  void join_group(GroupId group) { groups_.insert(group); }
+  void leave_group(GroupId group) { groups_.erase(group); }
+  bool in_group(GroupId group) const { return groups_.count(group) != 0; }
+
+  /// Unicast datagram. `cb` fires with the MAC-level outcome.
+  void send(Endpoint dst, Port src_port, std::vector<std::byte> data,
+            SendCallback cb = {});
+
+  /// Multicast datagram to all in-range members of `group`.
+  void send_multicast(GroupId group, Port port, Port src_port,
+                      std::vector<std::byte> data);
+
+  const StackStats& stats() const { return stats_; }
+
+ private:
+  void on_link_receive(NodeId src, const LinkLayer::Payload& payload,
+                       std::size_t bits);
+
+  sim::World& world_;
+  std::unique_ptr<WirelessLink> owned_link_;  // when built from a MAC
+  LinkLayer* link_;
+  std::function<NodeId(NodeId)> next_hop_;
+  std::unordered_map<Port, Handler> bindings_;
+  std::set<GroupId> groups_;
+  StackStats stats_;
+};
+
+}  // namespace aroma::net

@@ -1,0 +1,44 @@
+#include "net/wired.hpp"
+
+#include <algorithm>
+
+namespace aroma::net {
+
+WiredBus::WiredBus(sim::World& world) : WiredBus(world, Params{}) {}
+
+WiredBus::WiredBus(sim::World& world, Params params)
+    : world_(world), params_(params) {}
+
+LinkLayer& WiredBus::create_port(NodeId id) {
+  auto [it, inserted] = ports_.emplace(id, std::make_unique<Port>(*this, id));
+  return *it->second;
+}
+
+void WiredBus::transmit(NodeId src, NodeId dst, std::size_t payload_bits,
+                        LinkLayer::Payload payload,
+                        LinkLayer::SendCallback cb) {
+  // Serialize on the sender's port, then deliver after the wire latency.
+  const auto serialization = sim::Time::sec(
+      static_cast<double>(payload_bits + params_.header_bits) /
+      params_.bandwidth_bps);
+  sim::Time& busy = port_busy_until_[src];
+  const sim::Time start = std::max(busy, world_.now());
+  busy = start + serialization;
+  const sim::Time deliver_at = busy + params_.latency;
+
+  world_.sim().schedule_at(
+      deliver_at,
+      [this, src, dst, payload_bits, payload = std::move(payload),
+       cb = std::move(cb), guard = std::weak_ptr<char>(alive_)] {
+        if (guard.expired()) return;
+        for (auto& [id, port] : ports_) {
+          if (id == src) continue;
+          if (dst != kLinkBroadcast && id != dst) continue;
+          ++frames_delivered_;
+          if (port->handler_) port->handler_(src, payload, payload_bits);
+        }
+        if (cb) cb(true);  // wired segments do not lose frames
+      });
+}
+
+}  // namespace aroma::net

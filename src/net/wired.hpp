@@ -1,0 +1,71 @@
+// A wired LAN segment: the "traditional network" side of the bridge.
+//
+// Modelled as a switched full-duplex segment: each port serializes its own
+// transmissions at the segment bandwidth, delivery adds a fixed latency,
+// and frames are never lost — the reliability contrast with the 2.4 GHz
+// side is the point.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "net/link.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::net {
+
+class WiredBus {
+ public:
+  struct Params {
+    double bandwidth_bps = 100e6;   // switched fast ethernet
+    sim::Time latency = sim::Time::us(50);
+    std::size_t header_bits = 304;  // ethernet header + FCS
+  };
+
+  WiredBus(sim::World& world);
+  WiredBus(sim::World& world, Params params);
+  WiredBus(const WiredBus&) = delete;
+  WiredBus& operator=(const WiredBus&) = delete;
+
+  /// Creates (and owns) a port with the given link address. The returned
+  /// reference stays valid for the bus's lifetime.
+  LinkLayer& create_port(NodeId id);
+
+  std::size_t port_count() const { return ports_.size(); }
+  std::uint64_t frames_delivered() const { return frames_delivered_; }
+
+ private:
+  class Port final : public LinkLayer {
+   public:
+    Port(WiredBus& bus, NodeId id) : bus_(bus), id_(id) {}
+    NodeId address() const override { return id_; }
+    void send(NodeId dst, std::size_t payload_bits, Payload payload,
+              SendCallback cb) override {
+      bus_.transmit(id_, dst, payload_bits, std::move(payload),
+                    std::move(cb));
+    }
+    void set_receive_handler(ReceiveHandler handler) override {
+      handler_ = std::move(handler);
+    }
+
+    ReceiveHandler handler_;
+
+   private:
+    WiredBus& bus_;
+    NodeId id_;
+  };
+
+  void transmit(NodeId src, NodeId dst, std::size_t payload_bits,
+                LinkLayer::Payload payload, LinkLayer::SendCallback cb);
+
+  sim::World& world_;
+  Params params_;
+  std::map<NodeId, std::unique_ptr<Port>> ports_;
+  std::map<NodeId, sim::Time> port_busy_until_;  // per-port serialization
+  std::uint64_t frames_delivered_ = 0;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace aroma::net

@@ -1,0 +1,49 @@
+#include "phys/battery.hpp"
+
+#include <algorithm>
+
+namespace aroma::phys {
+
+void Battery::apply_idle() {
+  const sim::Time now = world_.now();
+  if (now > last_update_) {
+    const double dt = (now - last_update_).seconds();
+    level_j_ = std::max(0.0, level_j_ - p_.idle_power_w * dt);
+    last_update_ = now;
+  }
+  if (level_j_ <= 0.0 && !notified_) {
+    notified_ = true;
+    world_.tracer().log(world_.now(), sim::TraceLevel::kError, "battery",
+                        "battery depleted: the device hardware lost power");
+    if (on_depleted_) on_depleted_();
+  }
+}
+
+double Battery::level_j() {
+  apply_idle();
+  return level_j_;
+}
+
+double Battery::fraction() {
+  return p_.capacity_j > 0.0 ? level_j() / p_.capacity_j : 0.0;
+}
+
+bool Battery::depleted() { return level_j() <= 0.0; }
+
+void Battery::drain(double joules) {
+  apply_idle();
+  level_j_ = std::max(0.0, level_j_ - joules);
+  if (level_j_ <= 0.0 && !notified_) {
+    notified_ = true;
+    if (on_depleted_) on_depleted_();
+  }
+}
+
+double estimate_lifetime_s(const Battery::Params& p, double tx_frac,
+                           double rx_frac) {
+  const double avg_w = p.idle_power_w + p.tx_power_w * tx_frac +
+                       p.rx_power_w * rx_frac;
+  return avg_w > 0.0 ? p.capacity_j / avg_w : 0.0;
+}
+
+}  // namespace aroma::phys

@@ -1,0 +1,39 @@
+#include "phys/device.hpp"
+
+namespace aroma::phys {
+
+Device::Device(sim::World& world, env::Environment& environment,
+               std::uint64_t id, DeviceProfile profile,
+               std::unique_ptr<env::MobilityModel> mobility, Options options)
+    : world_(world), environment_(environment), id_(id),
+      profile_(std::move(profile)), mobility_(std::move(mobility)) {
+  if (options.battery_powered) {
+    Battery::Params bp = options.battery;
+    bp.idle_power_w = profile_.idle_power_w;
+    battery_.emplace(world_, bp);
+  }
+  if (profile_.net.has_radio) {
+    Transceiver::Params tp;
+    tp.config.id = id_;
+    tp.config.channel = options.channel;
+    tp.config.sensitivity_dbm = profile_.net.sensitivity_dbm;
+    tp.config.cca_threshold_dbm = profile_.net.sensitivity_dbm + 6.0;
+    tp.tx_power_dbm = profile_.net.tx_power_dbm;
+    tp.bitrate_bps = profile_.net.bitrate_bps;
+    radio_ = std::make_unique<Transceiver>(world_, environment_.medium(),
+                                           mobility_.get(), tp);
+    if (battery_) radio_->set_battery(&*battery_);
+    mac_ = std::make_unique<CsmaMac>(world_, *radio_,
+                                     world_.fork_rng(0x3ac0 + id_),
+                                     options.mac);
+  }
+}
+
+bool Device::operational() {
+  if (battery_ && battery_->depleted()) return false;
+  const auto& c = environment_.conditions();
+  return c.temperature_c >= profile_.min_operating_c &&
+         c.temperature_c <= profile_.max_operating_c;
+}
+
+}  // namespace aroma::phys

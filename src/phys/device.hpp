@@ -1,0 +1,69 @@
+// A physical device: profile + placement + (optionally) a radio and MAC.
+//
+// Devices are the unit higher layers build on: the net stack binds to a
+// device's MAC; the resource layer derives logical resources from its
+// profile.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "env/environment.hpp"
+#include "env/mobility.hpp"
+#include "phys/battery.hpp"
+#include "phys/mac.hpp"
+#include "phys/profile.hpp"
+#include "phys/transceiver.hpp"
+
+namespace aroma::phys {
+
+/// Owns the hardware stack of one device. Construction wires the radio into
+/// the environment's medium when the profile has one.
+class Device {
+ public:
+  struct Options {
+    int channel = 1;
+    bool battery_powered = false;
+    Battery::Params battery{};
+    CsmaMac::Params mac{};
+  };
+
+  Device(sim::World& world, env::Environment& environment, std::uint64_t id,
+         DeviceProfile profile, std::unique_ptr<env::MobilityModel> mobility)
+      : Device(world, environment, id, std::move(profile),
+               std::move(mobility), Options{}) {}
+  Device(sim::World& world, env::Environment& environment, std::uint64_t id,
+         DeviceProfile profile, std::unique_ptr<env::MobilityModel> mobility,
+         Options options);
+
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return profile_.name; }
+  const DeviceProfile& profile() const { return profile_; }
+  env::Vec2 position() const { return mobility_->position_at(world_.now()); }
+  const env::MobilityModel& mobility() const { return *mobility_; }
+
+  bool has_radio() const { return mac_ != nullptr; }
+  CsmaMac& mac() { return *mac_; }
+  const CsmaMac& mac() const { return *mac_; }
+  Transceiver& radio() { return *radio_; }
+
+  bool has_battery() const { return battery_.has_value(); }
+  Battery& battery() { return *battery_; }
+
+  /// Device is operational: powered (battery not dead) and within its
+  /// thermal envelope for the current environment conditions.
+  bool operational();
+
+ private:
+  sim::World& world_;
+  env::Environment& environment_;
+  std::uint64_t id_;
+  DeviceProfile profile_;
+  std::unique_ptr<env::MobilityModel> mobility_;
+  std::optional<Battery> battery_;
+  std::unique_ptr<Transceiver> radio_;
+  std::unique_ptr<CsmaMac> mac_;
+};
+
+}  // namespace aroma::phys

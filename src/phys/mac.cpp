@@ -1,0 +1,197 @@
+#include "phys/mac.hpp"
+
+#include <algorithm>
+
+namespace aroma::phys {
+
+CsmaMac::CsmaMac(sim::World& world, Transceiver& radio, sim::Rng rng,
+                 Params params)
+    : world_(world), radio_(radio), rng_(rng), params_(params),
+      cw_(params.cw_min) {
+  radio_.set_receive_handler(
+      [this](const env::FrameDelivery& d) { on_radio_frame(d); });
+}
+
+double CsmaMac::bitrate() const { return radio_.bitrate_bps(); }
+
+bool CsmaMac::send(MacAddress dst, std::size_t payload_bits,
+                   MacPayload payload, SendCallback cb) {
+  ++stats_.enqueued;
+  if (queue_.size() >= params_.queue_limit) {
+    ++stats_.drops_queue_full;
+    if (cb) cb(false);
+    return false;
+  }
+  OutFrame f;
+  f.dst = dst;
+  f.payload_bits = payload_bits;
+  f.payload = std::move(payload);
+  f.cb = std::move(cb);
+  f.seq = next_seq_++;
+  queue_.push_back(std::move(f));
+  maybe_start();
+  return true;
+}
+
+void CsmaMac::maybe_start() {
+  if (state_ != State::kIdle || queue_.empty()) return;
+  active_ = std::make_unique<OutFrame>(std::move(queue_.front()));
+  queue_.pop_front();
+  backoff_slots_ = -1;  // fresh draw on first backoff entry
+  enter_difs();
+}
+
+void CsmaMac::enter_difs() {
+  state_ = State::kDifs;
+  const auto gen = bump_gen();
+  if (radio_.carrier_busy() || radio_.transmitting()) {
+    // Defer: re-check after a slot.
+    world_.sim().schedule_in(params_.slot, [this, gen] {
+      if (gen == gen_ && state_ == State::kDifs) enter_difs();
+    });
+    return;
+  }
+  world_.sim().schedule_in(params_.difs,
+                           [this, gen] { difs_elapsed(gen); });
+}
+
+void CsmaMac::difs_elapsed(std::uint64_t gen) {
+  if (gen != gen_ || state_ != State::kDifs) return;
+  if (radio_.carrier_busy() || radio_.transmitting()) {
+    enter_difs();
+    return;
+  }
+  state_ = State::kBackoff;
+  if (backoff_slots_ < 0) {
+    backoff_slots_ =
+        static_cast<int>(rng_.uniform_int(0, std::max(cw_ - 1, 0)));
+  }
+  const auto g2 = bump_gen();
+  world_.sim().schedule_in(params_.slot, [this, g2] { backoff_slot(g2); });
+}
+
+void CsmaMac::backoff_slot(std::uint64_t gen) {
+  if (gen != gen_ || state_ != State::kBackoff) return;
+  if (radio_.carrier_busy() || radio_.transmitting()) {
+    // Freeze the counter and defer for another DIFS.
+    enter_difs();
+    return;
+  }
+  if (backoff_slots_ > 0) {
+    --backoff_slots_;
+    const auto g2 = bump_gen();
+    world_.sim().schedule_in(params_.slot, [this, g2] { backoff_slot(g2); });
+    return;
+  }
+  transmit_active();
+}
+
+void CsmaMac::transmit_active() {
+  state_ = State::kTransmitting;
+  ++stats_.sent_data;
+  auto frame = std::make_shared<MacFrame>();
+  frame->src = address();
+  frame->dst = active_->dst;
+  frame->seq = active_->seq;
+  frame->is_ack = false;
+  frame->payload_bits = active_->payload_bits;
+  frame->payload = active_->payload;
+
+  const std::size_t bits = params_.header_bits + active_->payload_bits;
+  const sim::Time air = radio_.transmit(bits, frame);
+  const auto gen = bump_gen();
+  world_.sim().schedule_in(air, [this, gen] { tx_finished(gen); });
+}
+
+void CsmaMac::tx_finished(std::uint64_t gen) {
+  if (gen != gen_ || state_ != State::kTransmitting) return;
+  if (active_->dst == kBroadcast) {
+    finish_active(true);
+    return;
+  }
+  state_ = State::kAwaitAck;
+  const sim::Time ack_air =
+      sim::Time::sec(static_cast<double>(params_.ack_bits) / bitrate());
+  const sim::Time timeout = params_.sifs + ack_air + params_.slot * 4;
+  const auto g2 = bump_gen();
+  world_.sim().schedule_in(timeout, [this, g2] { ack_timeout(g2); });
+}
+
+void CsmaMac::ack_timeout(std::uint64_t gen) {
+  if (gen != gen_ || state_ != State::kAwaitAck) return;
+  ++stats_.retries;
+  ++active_->retries;
+  cw_ = std::min(cw_ * 2, params_.cw_max);
+  if (active_->retries > params_.retry_limit) {
+    ++stats_.drops_retry_limit;
+    world_.tracer().log(world_.now(), sim::TraceLevel::kWarn, "mac",
+                        "retry limit exceeded: persistent interference or "
+                        "out-of-range peer on the wireless link");
+    finish_active(false);
+    return;
+  }
+  backoff_slots_ = -1;  // redraw from the widened window
+  enter_difs();
+}
+
+void CsmaMac::finish_active(bool delivered) {
+  cw_ = params_.cw_min;
+  auto cb = std::move(active_->cb);
+  active_.reset();
+  state_ = State::kIdle;
+  bump_gen();
+  if (cb) cb(delivered);
+  maybe_start();
+}
+
+void CsmaMac::on_radio_frame(const env::FrameDelivery& delivery) {
+  // Every frame end is a synchronization point: contending stations that
+  // were deferring or counting down resume DIFS together, so equal backoff
+  // draws genuinely collide (as in DCF).
+  if (state_ == State::kDifs || state_ == State::kBackoff) {
+    enter_difs();
+  }
+  if (!delivery.decodable) return;
+  const auto* frame = static_cast<const MacFrame*>(delivery.payload.get());
+  if (frame == nullptr) return;
+
+  if (frame->is_ack) {
+    if (frame->dst != address()) return;
+    ++stats_.acks_received;
+    if (state_ == State::kAwaitAck && active_ &&
+        frame->seq == active_->seq && frame->src == active_->dst) {
+      finish_active(true);
+    }
+    return;
+  }
+
+  if (frame->dst != address() && frame->dst != kBroadcast) return;
+
+  if (frame->dst != kBroadcast) {
+    // ACK first (ACKs bypass contention, SIFS after the data frame).
+    send_ack(frame->src, frame->seq);
+    auto it = last_seq_from_.find(frame->src);
+    if (it != last_seq_from_.end() && it->second == frame->seq) {
+      ++stats_.duplicates_dropped;
+      return;
+    }
+    last_seq_from_[frame->src] = frame->seq;
+  }
+  ++stats_.delivered_up;
+  if (rx_handler_) rx_handler_(frame->src, frame->payload, frame->payload_bits);
+}
+
+void CsmaMac::send_ack(MacAddress dst, std::uint32_t seq) {
+  world_.sim().schedule_in(params_.sifs, [this, dst, seq] {
+    if (radio_.transmitting()) return;  // busy; sender will retry
+    auto ack = std::make_shared<MacFrame>();
+    ack->src = address();
+    ack->dst = dst;
+    ack->seq = seq;
+    ack->is_ack = true;
+    ++stats_.sent_acks;
+    radio_.transmit(params_.ack_bits, ack);
+  });
+}
+
+}  // namespace aroma::phys

@@ -1,0 +1,131 @@
+// CSMA/CA medium access control in the style of 802.11 DCF.
+//
+// Carrier sense, DIFS deference, slotted binary-exponential backoff,
+// per-frame ACKs with retransmission, and duplicate suppression. Broadcast
+// frames are sent once without acknowledgement. Collisions are not decided
+// by the MAC: overlapping transmissions simply fail SINR at the medium and
+// the resulting ACK timeouts drive the backoff, as on real hardware.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "phys/transceiver.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::phys {
+
+using MacAddress = std::uint64_t;
+inline constexpr MacAddress kBroadcast = ~0ULL;
+
+/// Payload handed to / received from the MAC; opaque bytes-equivalent.
+using MacPayload = std::shared_ptr<const void>;
+
+/// The unit the MAC puts on the air (carried through the medium as the
+/// opaque payload pointer).
+struct MacFrame {
+  MacAddress src = 0;
+  MacAddress dst = 0;
+  std::uint32_t seq = 0;
+  bool is_ack = false;
+  std::size_t payload_bits = 0;
+  MacPayload payload;
+};
+
+struct MacStats {
+  std::uint64_t enqueued = 0;
+  std::uint64_t sent_data = 0;       // transmission attempts incl. retries
+  std::uint64_t sent_acks = 0;
+  std::uint64_t delivered_up = 0;
+  std::uint64_t duplicates_dropped = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t drops_retry_limit = 0;
+  std::uint64_t drops_queue_full = 0;
+  std::uint64_t acks_received = 0;
+};
+
+class CsmaMac {
+ public:
+  struct Params {
+    sim::Time slot = sim::Time::us(20);
+    sim::Time difs = sim::Time::us(50);
+    sim::Time sifs = sim::Time::us(10);
+    int cw_min = 16;
+    int cw_max = 1024;
+    int retry_limit = 7;
+    std::size_t queue_limit = 64;
+    std::size_t header_bits = 272;  // MAC header + FCS
+    std::size_t ack_bits = 112;
+  };
+
+  /// src: sender MAC address; bits: payload size as transmitted.
+  using ReceiveHandler =
+      std::function<void(MacAddress src, const MacPayload& payload,
+                         std::size_t payload_bits)>;
+  /// Invoked once per enqueued frame: true on ACK (or broadcast sent),
+  /// false when the retry limit or queue limit drops it.
+  using SendCallback = std::function<void(bool delivered)>;
+
+  CsmaMac(sim::World& world, Transceiver& radio, sim::Rng rng)
+      : CsmaMac(world, radio, rng, Params{}) {}
+  CsmaMac(sim::World& world, Transceiver& radio, sim::Rng rng, Params params);
+
+  MacAddress address() const { return radio_.radio_config().id; }
+
+  /// Enqueues a frame. Returns false (and fires cb(false)) when the
+  /// transmit queue is full.
+  bool send(MacAddress dst, std::size_t payload_bits, MacPayload payload,
+            SendCallback cb = {});
+
+  void set_receive_handler(ReceiveHandler h) { rx_handler_ = std::move(h); }
+
+  const MacStats& stats() const { return stats_; }
+  const Params& params() const { return params_; }
+  std::size_t queue_depth() const { return queue_.size() + (active_ ? 1 : 0); }
+
+ private:
+  struct OutFrame {
+    MacAddress dst;
+    std::size_t payload_bits;
+    MacPayload payload;
+    SendCallback cb;
+    std::uint32_t seq;
+    int retries = 0;
+  };
+
+  enum class State { kIdle, kDifs, kBackoff, kTransmitting, kAwaitAck };
+
+  void maybe_start();
+  void enter_difs();
+  void difs_elapsed(std::uint64_t gen);
+  void backoff_slot(std::uint64_t gen);
+  void transmit_active();
+  void tx_finished(std::uint64_t gen);
+  void ack_timeout(std::uint64_t gen);
+  void finish_active(bool delivered);
+  void on_radio_frame(const env::FrameDelivery& delivery);
+  void send_ack(MacAddress dst, std::uint32_t seq);
+  double bitrate() const;
+  std::uint64_t bump_gen() { return ++gen_; }
+
+  sim::World& world_;
+  Transceiver& radio_;
+  sim::Rng rng_;
+  Params params_;
+  ReceiveHandler rx_handler_;
+  MacStats stats_;
+
+  std::deque<OutFrame> queue_;
+  std::unique_ptr<OutFrame> active_;
+  State state_ = State::kIdle;
+  std::uint64_t gen_ = 0;  // invalidates stale timer events on transitions
+  int cw_ = 16;
+  int backoff_slots_ = 0;
+  std::uint32_t next_seq_ = 1;
+  std::unordered_map<MacAddress, std::uint32_t> last_seq_from_;
+};
+
+}  // namespace aroma::phys

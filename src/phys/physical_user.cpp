@@ -1,0 +1,69 @@
+#include "phys/physical_user.hpp"
+
+#include <cmath>
+
+namespace aroma::phys {
+
+double PhysicalUser::min_readable_mm(double distance_m) const {
+  const double acuity = body_.visual_acuity > 0.05 ? body_.visual_acuity : 0.05;
+  // The 20/20 acuity limit is ~1.45 mm glyphs at 1 m (5 arcmin); sustained
+  // comfortable reading needs about twice that. Scales linearly with
+  // distance and inversely with acuity.
+  return 2.9 * distance_m / acuity;
+}
+
+bool PhysicalUser::can_read(double text_height_mm, double distance_m) const {
+  return text_height_mm >= min_readable_mm(distance_m);
+}
+
+bool PhysicalUser::can_press(double button_size_mm) const {
+  return button_size_mm >= body_.motor_precision_mm;
+}
+
+bool PhysicalUser::can_hear(double spl_db, double noise_db) const {
+  return spl_db >= body_.hearing_threshold_db && spl_db >= noise_db - 3.0;
+}
+
+bool PhysicalUser::comfortable_in(const env::AmbientConditions& c) const {
+  return c.temperature_c >= body_.comfort_min_c &&
+         c.temperature_c <= body_.comfort_max_c;
+}
+
+std::vector<PhysicalIssue> check_physical_compatibility(
+    const PhysicalUser& user, const DeviceProfile& device,
+    double interaction_distance_m, const env::AmbientConditions& conditions) {
+  std::vector<PhysicalIssue> issues;
+
+  if (device.ui.has_display &&
+      !user.can_read(device.ui.text_height_mm, interaction_distance_m)) {
+    issues.push_back(
+        {"display text of " + std::to_string(device.ui.text_height_mm) +
+             " mm is unreadable at " +
+             std::to_string(interaction_distance_m) + " m for this user",
+         0.8});
+  }
+  if (device.ui.has_buttons && !user.can_press(device.ui.button_size_mm)) {
+    issues.push_back(
+        {"physical controls smaller than the user's motor precision", 0.7});
+  }
+  if (interaction_distance_m > user.body().reach_m &&
+      (device.ui.has_buttons || device.ui.has_keyboard ||
+       device.ui.has_pointer)) {
+    issues.push_back(
+        {"device requires touch interaction beyond the user's reach; the "
+         "user must stay physically co-located with it",
+         0.5});
+  }
+  if (conditions.temperature_c < device.min_operating_c ||
+      conditions.temperature_c > device.max_operating_c) {
+    issues.push_back({"ambient temperature outside the device's operating "
+                      "range",
+                      1.0});
+  }
+  if (!user.comfortable_in(conditions)) {
+    issues.push_back({"environment uncomfortable for the user", 0.4});
+  }
+  return issues;
+}
+
+}  // namespace aroma::phys

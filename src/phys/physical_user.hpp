@@ -1,0 +1,82 @@
+// The physical user: "the user's body and the signals it is capable of
+// sending and receiving." (Paper, Physical Layer section.)
+//
+// Models the physiology that gates interaction with device hardware —
+// vision, hearing, speech, reach, motor precision — and the physical
+// compatibility checks of Figure 2.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/environment.hpp"
+#include "env/mobility.hpp"
+#include "phys/profile.hpp"
+
+namespace aroma::phys {
+
+/// Physiological parameters. Defaults approximate an average adult.
+struct Physiology {
+  double visual_acuity = 1.0;      // 1.0 = 20/20; smaller is worse
+  double hearing_threshold_db = 25.0;  // minimum audible SPL
+  double speech_level_db = 60.0;       // SPL at 1 m when speaking
+  double reach_m = 0.7;                // arm's reach
+  double motor_precision_mm = 4.0;     // smallest reliably-hit target
+  double walking_speed_mps = 1.2;
+  double comfort_min_c = 16.0;
+  double comfort_max_c = 28.0;
+};
+
+/// A physical human in the simulated environment.
+class PhysicalUser {
+ public:
+  PhysicalUser(std::uint64_t id, std::string name,
+               const env::MobilityModel* mobility, Physiology body = {})
+      : id_(id), name_(std::move(name)), mobility_(mobility), body_(body) {}
+
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Physiology& body() const { return body_; }
+  Physiology& body() { return body_; }
+
+  env::Vec2 position_at(sim::Time t) const {
+    return mobility_ != nullptr ? mobility_->position_at(t) : env::Vec2{};
+  }
+
+  /// Smallest glyph height (mm) this user can read at `distance_m`.
+  /// A 20/20 eye resolves ~1.4 mm x-height at 1 m (5 arcmin glyphs).
+  double min_readable_mm(double distance_m) const;
+
+  /// Can the user read a display with the given glyph height at distance?
+  bool can_read(double text_height_mm, double distance_m) const;
+
+  /// Can the user reliably press a physical control of this size?
+  bool can_press(double button_size_mm) const;
+
+  /// Can the user hear a sound of `spl_db` over ambient noise `noise_db`?
+  bool can_hear(double spl_db, double noise_db) const;
+
+  /// Is the user physically comfortable in these conditions?
+  bool comfortable_in(const env::AmbientConditions& c) const;
+
+ private:
+  std::uint64_t id_;
+  std::string name_;
+  const env::MobilityModel* mobility_;
+  Physiology body_;
+};
+
+/// One finding from a physical-compatibility check (Figure 2: physical
+/// entities "must be compatible with" each other and the environment).
+struct PhysicalIssue {
+  std::string description;
+  double severity = 0.5;  // 0 cosmetic .. 1 renders the device unusable
+};
+
+/// Checks user-vs-device physical compatibility at an interaction distance.
+std::vector<PhysicalIssue> check_physical_compatibility(
+    const PhysicalUser& user, const DeviceProfile& device,
+    double interaction_distance_m, const env::AmbientConditions& conditions);
+
+}  // namespace aroma::phys

@@ -1,0 +1,124 @@
+#include "phys/profile.hpp"
+
+namespace aroma::phys::profiles {
+
+DeviceProfile aroma_adapter() {
+  DeviceProfile p;
+  p.name = "aroma-adapter";
+  p.mem_bytes = 32u << 20;
+  p.storage_bytes = 128u << 20;
+  p.exec_mips = 120.0;
+  p.ui.has_display = false;
+  p.net.has_radio = true;
+  p.net.bitrate_bps = 2e6;
+  p.net.tx_power_dbm = 15.0;
+  p.net.sensitivity_dbm = -91.0;
+  p.mass_kg = 0.8;
+  p.idle_power_w = 6.0;
+  return p;
+}
+
+DeviceProfile laptop() {
+  DeviceProfile p;
+  p.name = "laptop";
+  p.mem_bytes = 128u << 20;
+  p.storage_bytes = 4ull << 30;
+  p.exec_mips = 400.0;
+  p.ui.has_display = true;
+  p.ui.display_width_px = 1024;
+  p.ui.display_height_px = 768;
+  p.ui.text_height_mm = 3.0;
+  p.ui.has_keyboard = true;
+  p.ui.has_pointer = true;
+  p.ui.has_speaker = true;
+  p.net.has_radio = true;
+  p.net.bitrate_bps = 2e6;
+  p.net.tx_power_dbm = 15.0;
+  p.net.sensitivity_dbm = -91.0;
+  p.mass_kg = 3.0;
+  p.idle_power_w = 15.0;
+  return p;
+}
+
+DeviceProfile digital_projector() {
+  DeviceProfile p;
+  p.name = "digital-projector";
+  p.mem_bytes = 8u << 20;
+  p.storage_bytes = 0;
+  p.exec_mips = 20.0;
+  p.ui.has_display = true;
+  p.ui.display_width_px = 1024;
+  p.ui.display_height_px = 768;
+  p.ui.text_height_mm = 40.0;  // projected glyphs are large
+  p.ui.has_buttons = true;
+  p.ui.button_size_mm = 8.0;
+  p.net.has_radio = false;
+  p.mass_kg = 4.5;
+  p.idle_power_w = 250.0;
+  p.max_operating_c = 35.0;  // projectors run hot
+  return p;
+}
+
+DeviceProfile pda() {
+  DeviceProfile p;
+  p.name = "pda";
+  p.mem_bytes = 8u << 20;
+  p.storage_bytes = 16u << 20;
+  p.exec_mips = 30.0;
+  p.ui.has_display = true;
+  p.ui.display_width_px = 160;
+  p.ui.display_height_px = 160;
+  p.ui.text_height_mm = 2.0;
+  p.ui.has_buttons = true;
+  p.ui.button_size_mm = 5.0;
+  p.ui.has_pointer = true;  // stylus
+  p.net.has_radio = false;
+  p.mass_kg = 0.17;
+  p.idle_power_w = 0.2;
+  return p;
+}
+
+DeviceProfile future_soc() {
+  DeviceProfile p;
+  p.name = "future-soc";
+  p.mem_bytes = 4u << 20;
+  p.storage_bytes = 8u << 20;
+  p.exec_mips = 100.0;
+  p.net.has_radio = true;
+  p.net.bitrate_bps = 1e6;    // pico-cellular transceiver
+  p.net.tx_power_dbm = 4.0;   // short range, low power
+  p.net.sensitivity_dbm = -88.0;
+  p.mass_kg = 0.01;
+  p.idle_power_w = 0.05;
+  return p;
+}
+
+DeviceProfile desktop_pc() {
+  DeviceProfile p;
+  p.name = "desktop-pc";
+  p.mem_bytes = 256u << 20;
+  p.storage_bytes = 20ull << 30;
+  p.exec_mips = 500.0;
+  p.ui.has_display = true;
+  p.ui.display_width_px = 1280;
+  p.ui.display_height_px = 1024;
+  p.ui.has_keyboard = true;
+  p.ui.has_pointer = true;
+  p.net.has_wired = true;
+  p.net.wired_bps = 100e6;
+  p.mass_kg = 12.0;
+  p.idle_power_w = 80.0;
+  return p;
+}
+
+DeviceProfile desktop_pc_with_radio() {
+  DeviceProfile p = desktop_pc();
+  p.name = "desktop-pc-wlan";
+  p.net.has_radio = true;
+  p.net.bitrate_bps = 2e6;
+  p.net.tx_power_dbm = 15.0;
+  p.net.sensitivity_dbm = -91.0;
+  return p;
+}
+
+}  // namespace aroma::phys::profiles

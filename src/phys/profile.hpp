@@ -1,0 +1,80 @@
+// Device hardware profiles: the five resource boxes of Figure 1
+// (Mem / Sto / Exe / UI / Net) plus the physical properties that gate
+// compatibility with users and the environment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aroma::phys {
+
+/// User-interface hardware present on a device.
+struct UiCapabilities {
+  bool has_display = false;
+  int display_width_px = 0;
+  int display_height_px = 0;
+  double text_height_mm = 3.0;   // rendered glyph height
+  bool has_keyboard = false;
+  bool has_pointer = false;
+  bool has_buttons = false;
+  double button_size_mm = 10.0;
+  bool has_speaker = false;
+  bool has_microphone = false;
+};
+
+/// Radio/networking hardware.
+struct NetCapabilities {
+  bool has_radio = false;
+  double bitrate_bps = 2e6;        // 1999-era 802.11: 2 Mb/s typical
+  double tx_power_dbm = 15.0;
+  double sensitivity_dbm = -90.0;
+  bool has_wired = false;
+  double wired_bps = 10e6;
+};
+
+/// The full hardware description of a device (Figure 1 device column,
+/// physical layer + what the resource layer abstracts).
+struct DeviceProfile {
+  std::string name;
+  std::uint64_t mem_bytes = 16u << 20;
+  std::uint64_t storage_bytes = 64u << 20;
+  double exec_mips = 50.0;
+  UiCapabilities ui{};
+  NetCapabilities net{};
+  double mass_kg = 0.5;
+  double idle_power_w = 1.0;
+  double min_operating_c = 0.0;
+  double max_operating_c = 45.0;
+};
+
+/// Profile presets for the entities in the paper's Smart Projector study
+/// and the Aroma project's projected $10 system-on-chip.
+namespace profiles {
+
+/// The Aroma Adapter: an embedded PC with a 2.4 GHz PCMCIA wireless card,
+/// able to run a JVM and Jini ("emulating future SOCs").
+DeviceProfile aroma_adapter();
+
+/// A presenter's laptop (runs the VNC server and the two Jini clients).
+DeviceProfile laptop();
+
+/// A commercial digital projector (display only; driven by the adapter).
+DeviceProfile digital_projector();
+
+/// A late-90s PDA: small screen, stylus, no radio by default.
+DeviceProfile pda();
+
+/// The paper's five-year bet: a ~$10 system-on-chip with a pico-cellular
+/// transceiver and a VM-capable runtime.
+DeviceProfile future_soc();
+
+/// A desktop PC with wired networking (the "traditional computing" foil).
+DeviceProfile desktop_pc();
+
+/// The lab's lookup-service host: a desktop PC that also carries a 2.4 GHz
+/// WLAN card so it can serve the wireless cell directly.
+DeviceProfile desktop_pc_with_radio();
+
+}  // namespace profiles
+
+}  // namespace aroma::phys

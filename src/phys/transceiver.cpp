@@ -1,0 +1,50 @@
+#include "phys/transceiver.hpp"
+
+namespace aroma::phys {
+
+Transceiver::Transceiver(sim::World& world, env::RadioMedium& medium,
+                         const env::MobilityModel* mobility, Params params)
+    : world_(world), medium_(medium), mobility_(mobility), params_(params) {
+  medium_.attach(this);
+}
+
+Transceiver::~Transceiver() { medium_.detach(this); }
+
+env::Vec2 Transceiver::position() const {
+  return mobility_ != nullptr ? mobility_->position_at(world_.now())
+                              : env::Vec2{};
+}
+
+bool Transceiver::receiver_enabled() const {
+  return powered_ && !transmitting();
+}
+
+bool Transceiver::transmitting() const {
+  return world_.now() < tx_busy_until_;
+}
+
+sim::Time Transceiver::transmit(std::size_t bits,
+                                std::shared_ptr<const void> payload) {
+  const auto airtime =
+      sim::Time::sec(static_cast<double>(bits) / params_.bitrate_bps);
+  if (!powered_ || transmitting()) return airtime;  // dropped on the floor
+  tx_busy_until_ = world_.now() + airtime;
+  ++frames_sent_;
+  if (battery_ != nullptr) battery_->drain_tx(airtime.seconds());
+  medium_.transmit(*this, bits, params_.bitrate_bps, params_.tx_power_dbm,
+                   std::move(payload));
+  return airtime;
+}
+
+void Transceiver::on_frame(const env::FrameDelivery& delivery) {
+  if (!powered_) return;
+  if (delivery.decodable) {
+    ++frames_received_;
+    if (battery_ != nullptr) {
+      battery_->drain_rx((delivery.end - delivery.start).seconds());
+    }
+  }
+  if (handler_) handler_(delivery);
+}
+
+}  // namespace aroma::phys

@@ -1,0 +1,76 @@
+// Half-duplex radio transceiver: the bridge between a device and the
+// shared RadioMedium.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "env/mobility.hpp"
+#include "env/radio_medium.hpp"
+#include "phys/battery.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::phys {
+
+/// A radio bound to a mobility model. Registers with the medium on
+/// construction and detaches on destruction (RAII). Enforces half-duplex:
+/// the receiver reports disabled while a transmission is in flight.
+class Transceiver final : public env::RadioEndpoint {
+ public:
+  struct Params {
+    env::RadioConfig config{};
+    double tx_power_dbm = 15.0;
+    double bitrate_bps = 2e6;
+  };
+
+  using ReceiveHandler = std::function<void(const env::FrameDelivery&)>;
+
+  Transceiver(sim::World& world, env::RadioMedium& medium,
+              const env::MobilityModel* mobility, Params params);
+  ~Transceiver() override;
+  Transceiver(const Transceiver&) = delete;
+  Transceiver& operator=(const Transceiver&) = delete;
+
+  // env::RadioEndpoint interface -------------------------------------------
+  env::Vec2 position() const override;
+  const env::RadioConfig& radio_config() const override { return params_.config; }
+  bool receiver_enabled() const override;
+  void on_frame(const env::FrameDelivery& delivery) override;
+
+  // Device-facing API -------------------------------------------------------
+  /// Puts `bits` on the air at the configured bitrate; returns the airtime.
+  /// Must not be called while already transmitting.
+  sim::Time transmit(std::size_t bits, std::shared_ptr<const void> payload);
+
+  double bitrate_bps() const { return params_.bitrate_bps; }
+
+  bool transmitting() const;
+  bool carrier_busy() const { return medium_.carrier_busy(*this); }
+
+  void set_receive_handler(ReceiveHandler h) { handler_ = std::move(h); }
+  void set_powered(bool on) { powered_ = on; }
+  bool powered() const { return powered_; }
+  void set_channel(int channel) { params_.config.channel = channel; }
+  int channel() const { return params_.config.channel; }
+  double tx_power_dbm() const { return params_.tx_power_dbm; }
+
+  /// Optional battery: tx/rx airtime is drained from it.
+  void set_battery(Battery* battery) { battery_ = battery; }
+
+  std::uint64_t frames_sent() const { return frames_sent_; }
+  std::uint64_t frames_received() const { return frames_received_; }
+
+ private:
+  sim::World& world_;
+  env::RadioMedium& medium_;
+  const env::MobilityModel* mobility_;
+  Params params_;
+  ReceiveHandler handler_;
+  Battery* battery_ = nullptr;
+  bool powered_ = true;
+  sim::Time tx_busy_until_ = sim::Time::zero();
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t frames_received_ = 0;
+};
+
+}  // namespace aroma::phys

@@ -1,0 +1,190 @@
+#include "rfb/encoding.hpp"
+
+#include <cstring>
+
+namespace aroma::rfb {
+
+const char* to_string(Encoding e) {
+  switch (e) {
+    case Encoding::kRaw: return "raw";
+    case Encoding::kRle: return "rle";
+    case Encoding::kTiled: return "tiled";
+  }
+  return "?";
+}
+
+double encode_cost_per_pixel(Encoding e) {
+  switch (e) {
+    case Encoding::kRaw: return 2.0;    // copy
+    case Encoding::kRle: return 6.0;    // compare + run bookkeeping
+    case Encoding::kTiled: return 9.0;  // tile scan + best-of-three choice
+  }
+  return 2.0;
+}
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  const auto* b = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), b, b + 4);
+}
+
+std::uint32_t get_u32(std::span<const std::byte> in, std::size_t& pos) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, in.data() + pos, 4);
+  pos += 4;
+  return v;
+}
+
+void gather(const Framebuffer& fb, RectRegion r, std::vector<Pixel>& out) {
+  out.resize(static_cast<std::size_t>(r.area()));
+  std::size_t k = 0;
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    for (int x = r.x; x < r.x + r.w; ++x) {
+      out[k++] = fb.at(x, y);
+    }
+  }
+}
+
+std::vector<std::byte> encode_raw(std::span<const Pixel> px) {
+  std::vector<std::byte> out(px.size() * sizeof(Pixel));
+  std::memcpy(out.data(), px.data(), out.size());
+  return out;
+}
+
+std::vector<std::byte> encode_rle(std::span<const Pixel> px) {
+  // (run_len u32, pixel u32)* — favours the long solid runs of slides.
+  std::vector<std::byte> out;
+  std::size_t i = 0;
+  while (i < px.size()) {
+    std::size_t j = i + 1;
+    while (j < px.size() && px[j] == px[i] && j - i < 0xffffffffu) ++j;
+    put_u32(out, static_cast<std::uint32_t>(j - i));
+    put_u32(out, px[i]);
+    i = j;
+  }
+  return out;
+}
+
+bool decode_rle(std::span<const std::byte> in, std::size_t expected,
+                std::vector<Pixel>& px) {
+  px.clear();
+  px.reserve(expected);
+  std::size_t pos = 0;
+  while (pos + 8 <= in.size() && px.size() < expected) {
+    const std::uint32_t run = get_u32(in, pos);
+    const Pixel p = get_u32(in, pos);
+    if (px.size() + run > expected) return false;
+    px.insert(px.end(), run, p);
+  }
+  return px.size() == expected && pos == in.size();
+}
+
+constexpr int kTile = 16;
+
+}  // namespace
+
+std::vector<std::byte> encode_rect(const Framebuffer& fb, RectRegion rect,
+                                   Encoding enc) {
+  std::vector<Pixel> px;
+  switch (enc) {
+    case Encoding::kRaw: {
+      gather(fb, rect, px);
+      return encode_raw(px);
+    }
+    case Encoding::kRle: {
+      gather(fb, rect, px);
+      return encode_rle(px);
+    }
+    case Encoding::kTiled: {
+      // Per 16x16 tile: u8 mode (0 solid, 1 rle, 2 raw) + payload.
+      std::vector<std::byte> out;
+      for (int ty = rect.y; ty < rect.y + rect.h; ty += kTile) {
+        for (int tx = rect.x; tx < rect.x + rect.w; tx += kTile) {
+          const RectRegion tile{tx, ty,
+                                std::min(kTile, rect.x + rect.w - tx),
+                                std::min(kTile, rect.y + rect.h - ty)};
+          gather(fb, tile, px);
+          bool solid = true;
+          for (Pixel p : px) solid &= (p == px[0]);
+          if (solid) {
+            out.push_back(std::byte{0});
+            put_u32(out, px[0]);
+            continue;
+          }
+          auto rle = encode_rle(px);
+          if (rle.size() < px.size() * sizeof(Pixel)) {
+            out.push_back(std::byte{1});
+            put_u32(out, static_cast<std::uint32_t>(rle.size()));
+            out.insert(out.end(), rle.begin(), rle.end());
+          } else {
+            out.push_back(std::byte{2});
+            auto raw = encode_raw(px);
+            out.insert(out.end(), raw.begin(), raw.end());
+          }
+        }
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+bool decode_rect(Framebuffer& fb, RectRegion rect, Encoding enc,
+                 std::span<const std::byte> data) {
+  std::vector<Pixel> px;
+  switch (enc) {
+    case Encoding::kRaw: {
+      const std::size_t expected = raw_size(rect);
+      if (data.size() != expected) return false;
+      px.resize(static_cast<std::size_t>(rect.area()));
+      std::memcpy(px.data(), data.data(), data.size());
+      fb.write_block(rect, px.data());
+      return true;
+    }
+    case Encoding::kRle: {
+      if (!decode_rle(data, static_cast<std::size_t>(rect.area()), px)) {
+        return false;
+      }
+      fb.write_block(rect, px.data());
+      return true;
+    }
+    case Encoding::kTiled: {
+      std::size_t pos = 0;
+      for (int ty = rect.y; ty < rect.y + rect.h; ty += kTile) {
+        for (int tx = rect.x; tx < rect.x + rect.w; tx += kTile) {
+          const RectRegion tile{tx, ty,
+                                std::min(kTile, rect.x + rect.w - tx),
+                                std::min(kTile, rect.y + rect.h - ty)};
+          const auto count = static_cast<std::size_t>(tile.area());
+          if (pos >= data.size()) return false;
+          const auto mode = static_cast<std::uint8_t>(data[pos++]);
+          if (mode == 0) {
+            if (pos + 4 > data.size()) return false;
+            const Pixel p = get_u32(data, pos);
+            px.assign(count, p);
+          } else if (mode == 1) {
+            if (pos + 4 > data.size()) return false;
+            const std::uint32_t len = get_u32(data, pos);
+            if (pos + len > data.size()) return false;
+            if (!decode_rle(data.subspan(pos, len), count, px)) return false;
+            pos += len;
+          } else if (mode == 2) {
+            const std::size_t bytes = count * sizeof(Pixel);
+            if (pos + bytes > data.size()) return false;
+            px.resize(count);
+            std::memcpy(px.data(), data.data() + pos, bytes);
+            pos += bytes;
+          } else {
+            return false;
+          }
+          fb.write_block(tile, px.data());
+        }
+      }
+      return pos == data.size();
+    }
+  }
+  return false;
+}
+
+}  // namespace aroma::rfb

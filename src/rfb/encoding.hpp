@@ -1,0 +1,40 @@
+// Rectangle encodings for framebuffer updates.
+//
+// Three encodings mirroring the classic RFB set: Raw (dense pixels),
+// RLE (run-length over the row-major scan), and Tiled (16x16 tiles, each
+// choosing solid / RLE / raw, like hextile). The encoding choice is the
+// CS-ANIM ablation: bytes-on-air vs CPU cost over the narrow 2.4 GHz link.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "rfb/framebuffer.hpp"
+
+namespace aroma::rfb {
+
+enum class Encoding : std::uint8_t { kRaw = 0, kRle = 1, kTiled = 2 };
+
+const char* to_string(Encoding e);
+
+/// Encodes the pixels of `rect` (must lie within bounds) into bytes.
+std::vector<std::byte> encode_rect(const Framebuffer& fb, RectRegion rect,
+                                   Encoding enc);
+
+/// Decodes bytes produced by encode_rect into the same rect of `fb`.
+/// Returns false on malformed input.
+bool decode_rect(Framebuffer& fb, RectRegion rect, Encoding enc,
+                 std::span<const std::byte> data);
+
+/// Size in bytes that Raw encoding would use for a rect.
+inline std::size_t raw_size(RectRegion r) {
+  return static_cast<std::size_t>(r.area()) * sizeof(Pixel);
+}
+
+/// Encoder CPU cost model in instructions-per-pixel, used with a device's
+/// exec_mips to charge simulated encode time (the resource-layer coupling:
+/// a slow adapter CPU throttles even well-compressed updates).
+double encode_cost_per_pixel(Encoding e);
+
+}  // namespace aroma::rfb

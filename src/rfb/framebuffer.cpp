@@ -1,0 +1,103 @@
+#include "rfb/framebuffer.hpp"
+
+#include <algorithm>
+
+namespace aroma::rfb {
+
+RectRegion bounding(const RectRegion& a, const RectRegion& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const int x0 = std::min(a.x, b.x);
+  const int y0 = std::min(a.y, b.y);
+  const int x1 = std::max(a.x + a.w, b.x + b.w);
+  const int y1 = std::max(a.y + a.h, b.y + b.h);
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+Framebuffer::Framebuffer(int width, int height, Pixel fill)
+    : width_(width), height_(height),
+      pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+              fill) {}
+
+RectRegion Framebuffer::clip(RectRegion r) const {
+  const int x0 = std::clamp(r.x, 0, width_);
+  const int y0 = std::clamp(r.y, 0, height_);
+  const int x1 = std::clamp(r.x + r.w, 0, width_);
+  const int y1 = std::clamp(r.y + r.h, 0, height_);
+  return {x0, y0, x1 - x0, y1 - y0};
+}
+
+void Framebuffer::set(int x, int y, Pixel p) {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return;
+  if (pixels_[idx(x, y)] == p) return;
+  pixels_[idx(x, y)] = p;
+  add_damage({x, y, 1, 1});
+}
+
+void Framebuffer::fill_rect(RectRegion r, Pixel p) {
+  r = clip(r);
+  if (r.empty()) return;
+  bool changed = false;
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    for (int x = r.x; x < r.x + r.w; ++x) {
+      if (pixels_[idx(x, y)] != p) {
+        pixels_[idx(x, y)] = p;
+        changed = true;
+      }
+    }
+  }
+  if (changed) add_damage(r);
+}
+
+void Framebuffer::write_block(RectRegion r, const Pixel* data) {
+  const RectRegion c = clip(r);
+  if (c.empty()) return;
+  for (int y = c.y; y < c.y + c.h; ++y) {
+    for (int x = c.x; x < c.x + c.w; ++x) {
+      pixels_[idx(x, y)] =
+          data[static_cast<std::size_t>(y - r.y) * static_cast<std::size_t>(r.w) +
+               static_cast<std::size_t>(x - r.x)];
+    }
+  }
+  add_damage(c);
+}
+
+void Framebuffer::add_damage(RectRegion r) {
+  if (r.empty()) return;
+  // Absorb into an intersecting rect when possible.
+  for (auto& d : damage_) {
+    if (d.intersects(r) || d == r) {
+      d = bounding(d, r);
+      return;
+    }
+  }
+  damage_.push_back(r);
+  if (damage_.size() > kMaxDamageRects) {
+    RectRegion all = damage_.front();
+    for (const auto& d : damage_) all = bounding(all, d);
+    damage_.clear();
+    damage_.push_back(all);
+  }
+}
+
+RectRegion Framebuffer::damage_bounds() const {
+  RectRegion all{};
+  for (const auto& d : damage_) all = bounding(all, d);
+  return all;
+}
+
+std::uint64_t Framebuffer::content_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (Pixel p : pixels_) {
+    h ^= p;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool Framebuffer::same_content(const Framebuffer& other) const {
+  return width_ == other.width_ && height_ == other.height_ &&
+         pixels_ == other.pixels_;
+}
+
+}  // namespace aroma::rfb

@@ -1,0 +1,76 @@
+// Pixel framebuffer with damage tracking.
+//
+// The substitution for AT&T VNC's framebuffer: the laptop renders into one
+// of these, the RFB server encodes damaged regions, and the projector-side
+// client maintains a replica.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aroma::rfb {
+
+using Pixel = std::uint32_t;
+
+struct RectRegion {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  bool empty() const { return w <= 0 || h <= 0; }
+  int area() const { return empty() ? 0 : w * h; }
+  bool intersects(const RectRegion& o) const {
+    return !empty() && !o.empty() && x < o.x + o.w && o.x < x + w &&
+           y < o.y + o.h && o.y < y + h;
+  }
+  friend bool operator==(const RectRegion&, const RectRegion&) = default;
+};
+
+/// Union bounding box of two rects.
+RectRegion bounding(const RectRegion& a, const RectRegion& b);
+
+class Framebuffer {
+ public:
+  Framebuffer(int width, int height, Pixel fill = 0);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  RectRegion bounds() const { return {0, 0, width_, height_}; }
+
+  Pixel at(int x, int y) const { return pixels_[idx(x, y)]; }
+  void set(int x, int y, Pixel p);
+  void fill_rect(RectRegion r, Pixel p);
+  /// Writes a row-major block of pixels (used by decoders); clips to bounds.
+  void write_block(RectRegion r, const Pixel* data);
+
+  const std::vector<Pixel>& pixels() const { return pixels_; }
+
+  // Damage tracking ---------------------------------------------------------
+  const std::vector<RectRegion>& damage() const { return damage_; }
+  bool has_damage() const { return !damage_.empty(); }
+  RectRegion damage_bounds() const;
+  void clear_damage() { damage_.clear(); }
+  /// Marks a region damaged without changing pixels (full refresh requests).
+  void mark_damaged(RectRegion r) { add_damage(clip(r)); }
+
+  /// Content hash for replica-equality checks.
+  std::uint64_t content_hash() const;
+  bool same_content(const Framebuffer& other) const;
+
+ private:
+  std::size_t idx(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+  RectRegion clip(RectRegion r) const;
+  void add_damage(RectRegion r);
+
+  int width_;
+  int height_;
+  std::vector<Pixel> pixels_;
+  std::vector<RectRegion> damage_;
+  static constexpr std::size_t kMaxDamageRects = 16;
+};
+
+}  // namespace aroma::rfb

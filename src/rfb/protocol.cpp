@@ -1,0 +1,206 @@
+#include "rfb/protocol.hpp"
+
+#include <cstring>
+
+#include "net/serialize.hpp"
+
+namespace aroma::rfb {
+
+// ---------------------------------------------------------------------------
+// RfbServer
+
+RfbServer::RfbServer(sim::World& world, Framebuffer& source,
+                     std::shared_ptr<net::StreamConnection> conn)
+    : RfbServer(world, source, std::move(conn), Params{}) {}
+
+RfbServer::RfbServer(sim::World& world, Framebuffer& source,
+                     std::shared_ptr<net::StreamConnection> conn,
+                     Params params)
+    : world_(world), source_(source), conn_(std::move(conn)), params_(params) {
+  framer_.set_handler(
+      [this](std::span<const std::byte> msg) { on_message(msg); });
+  conn_->set_data_handler(
+      [this](std::span<const std::byte> data) { framer_.on_bytes(data); });
+  poller_ = std::make_unique<sim::PeriodicTimer>(
+      world_.sim(), params_.damage_poll, [this] { maybe_send_update(); });
+  poller_->start();
+}
+
+RfbServer::~RfbServer() {
+  // The connection may outlive us inside pending simulator events; make
+  // sure late deliveries cannot call back into freed state.
+  conn_->set_data_handler({});
+  conn_->set_established_handler({});
+}
+
+void RfbServer::notify_changed() { maybe_send_update(); }
+
+void RfbServer::on_message(std::span<const std::byte> msg) {
+  net::ByteReader r(msg);
+  const auto type = static_cast<RfbMsg>(r.u8());
+  if (!r.ok()) return;
+  switch (type) {
+    case RfbMsg::kClientInit: {
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(RfbMsg::kServerInit));
+      w.u32(static_cast<std::uint32_t>(source_.width()));
+      w.u32(static_cast<std::uint32_t>(source_.height()));
+      conn_->send(MessageFramer::frame(w.data()));
+      return;
+    }
+    case RfbMsg::kUpdateRequest: {
+      const bool incremental = r.u8() != 0;
+      update_pending_ = true;
+      if (!incremental) full_requested_ = true;
+      maybe_send_update();
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void RfbServer::maybe_send_update() {
+  if (!update_pending_ || encoding_in_progress_) return;
+  std::vector<RectRegion> rects;
+  if (full_requested_) {
+    rects.push_back(source_.bounds());
+    full_requested_ = false;
+    source_.clear_damage();
+  } else if (source_.has_damage()) {
+    rects = source_.damage();
+    source_.clear_damage();
+  } else {
+    return;  // stay pending until something changes
+  }
+  update_pending_ = false;
+  send_update(rects);
+}
+
+void RfbServer::send_update(const std::vector<RectRegion>& rects) {
+  // Encode now (content snapshot), charge simulated CPU, then transmit.
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RfbMsg::kUpdate));
+  w.u8(static_cast<std::uint8_t>(params_.encoding));
+  w.u16(static_cast<std::uint16_t>(rects.size()));
+  std::uint64_t pixels = 0;
+  for (const RectRegion& r : rects) {
+    auto payload = encode_rect(source_, r, params_.encoding);
+    w.u16(static_cast<std::uint16_t>(r.x));
+    w.u16(static_cast<std::uint16_t>(r.y));
+    w.u16(static_cast<std::uint16_t>(r.w));
+    w.u16(static_cast<std::uint16_t>(r.h));
+    w.u32(static_cast<std::uint32_t>(payload.size()));
+    for (std::byte b : payload) w.u8(static_cast<std::uint8_t>(b));
+    pixels += static_cast<std::uint64_t>(r.area());
+    ++stats_.rects_sent;
+  }
+  const double encode_s =
+      static_cast<double>(pixels) * encode_cost_per_pixel(params_.encoding) /
+      (params_.cpu_mips * 1e6);
+  stats_.encode_seconds += encode_s;
+  stats_.pixels_encoded += pixels;
+  ++stats_.updates_sent;
+
+  auto framed = MessageFramer::frame(w.data());
+  stats_.bytes_sent += framed.size();
+  encoding_in_progress_ = true;
+  world_.sim().schedule_in(sim::Time::sec(encode_s),
+                           [this, framed = std::move(framed)]() mutable {
+                             encoding_in_progress_ = false;
+                             conn_->send(std::move(framed));
+                             maybe_send_update();
+                           });
+}
+
+// ---------------------------------------------------------------------------
+// RfbClient
+
+double RfbClientStats::fps(sim::Time now) const {
+  if (updates_received < 2) return 0.0;
+  const double span = (now - first_update).seconds();
+  return span > 0.0 ? static_cast<double>(updates_received - 1) / span : 0.0;
+}
+
+RfbClient::RfbClient(sim::World& world,
+                     std::shared_ptr<net::StreamConnection> conn)
+    : world_(world), conn_(std::move(conn)) {
+  framer_.set_handler(
+      [this](std::span<const std::byte> msg) { on_message(msg); });
+  conn_->set_data_handler(
+      [this](std::span<const std::byte> data) { framer_.on_bytes(data); });
+}
+
+RfbClient::~RfbClient() {
+  conn_->set_data_handler({});
+  conn_->set_established_handler({});
+}
+
+void RfbClient::start() {
+  auto hello = [this] {
+    net::ByteWriter w;
+    w.u8(static_cast<std::uint8_t>(RfbMsg::kClientInit));
+    conn_->send(MessageFramer::frame(w.data()));
+  };
+  if (conn_->established()) {
+    hello();
+  } else {
+    conn_->set_established_handler(hello);
+  }
+}
+
+void RfbClient::request_update(bool incremental) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RfbMsg::kUpdateRequest));
+  w.u8(incremental ? 1 : 0);
+  conn_->send(MessageFramer::frame(w.data()));
+}
+
+void RfbClient::on_message(std::span<const std::byte> msg) {
+  net::ByteReader r(msg);
+  const auto type = static_cast<RfbMsg>(r.u8());
+  if (!r.ok()) return;
+  switch (type) {
+    case RfbMsg::kServerInit: {
+      const int w = static_cast<int>(r.u32());
+      const int h = static_cast<int>(r.u32());
+      if (!r.ok()) return;
+      replica_ = std::make_unique<Framebuffer>(w, h);
+      request_update(/*incremental=*/false);
+      return;
+    }
+    case RfbMsg::kUpdate: {
+      if (!replica_) return;
+      const auto enc = static_cast<Encoding>(r.u8());
+      const std::uint16_t nrects = r.u16();
+      for (std::uint16_t i = 0; i < nrects && r.ok(); ++i) {
+        RectRegion rect;
+        rect.x = r.u16();
+        rect.y = r.u16();
+        rect.w = r.u16();
+        rect.h = r.u16();
+        const auto payload = r.bytes();
+        if (!r.ok()) break;
+        if (!decode_rect(*replica_, rect, enc, payload)) {
+          ++stats_.decode_errors;
+        }
+      }
+      stats_.bytes_received += msg.size() + 4;
+      const sim::Time now = world_.now();
+      if (stats_.updates_received == 0) {
+        stats_.first_update = now;
+      } else {
+        stats_.update_interval_s.add((now - stats_.last_update).seconds());
+      }
+      stats_.last_update = now;
+      ++stats_.updates_received;
+      replica_->clear_damage();
+      request_update(/*incremental=*/true);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace aroma::rfb

@@ -1,0 +1,121 @@
+// The remote framebuffer protocol (VNC substitute) over reliable streams.
+//
+// Client-pull flow as in RFB: the viewer sends an update request, the
+// server replies with encoded rects for the damaged region, the viewer
+// immediately requests again. This self-paces the frame rate to whatever
+// the link and the encoder can sustain — which is exactly the mechanism
+// behind the paper's observation that wireless bandwidth "prevents us from
+// displaying rapid animation."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "net/framer.hpp"
+#include "net/stream.hpp"
+#include "rfb/encoding.hpp"
+#include "rfb/framebuffer.hpp"
+#include "sim/stats.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::rfb {
+
+using MessageFramer = net::MessageFramer;
+
+enum class RfbMsg : std::uint8_t {
+  kClientInit = 1,   // viewer hello
+  kServerInit,       // width, height
+  kUpdateRequest,    // u8 incremental
+  kUpdate,           // rect list
+};
+
+struct RfbServerStats {
+  std::uint64_t updates_sent = 0;
+  std::uint64_t rects_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t pixels_encoded = 0;
+  double encode_seconds = 0.0;   // simulated encoder CPU time
+};
+
+/// Serves one viewer from a source framebuffer.
+class RfbServer {
+ public:
+  struct Params {
+    Encoding encoding = Encoding::kTiled;
+    double cpu_mips = 120.0;          // encoder host CPU (Aroma adapter)
+    sim::Time damage_poll = sim::Time::ms(10);
+    std::size_t max_update_bytes = 512 * 1024;
+  };
+
+  RfbServer(sim::World& world, Framebuffer& source,
+            std::shared_ptr<net::StreamConnection> conn);
+  RfbServer(sim::World& world, Framebuffer& source,
+            std::shared_ptr<net::StreamConnection> conn, Params params);
+  ~RfbServer();
+  RfbServer(const RfbServer&) = delete;
+  RfbServer& operator=(const RfbServer&) = delete;
+
+  /// Call after mutating the source framebuffer to wake a pending request
+  /// without waiting for the poll timer.
+  void notify_changed();
+
+  const RfbServerStats& stats() const { return stats_; }
+  bool viewer_connected() const { return conn_ && conn_->established(); }
+
+ private:
+  void on_message(std::span<const std::byte> msg);
+  void maybe_send_update();
+  void send_update(const std::vector<RectRegion>& rects);
+
+  sim::World& world_;
+  Framebuffer& source_;
+  std::shared_ptr<net::StreamConnection> conn_;
+  Params params_;
+  MessageFramer framer_;
+  bool update_pending_ = false;     // viewer asked, nothing damaged yet
+  bool full_requested_ = false;
+  bool encoding_in_progress_ = false;
+  RfbServerStats stats_;
+  std::unique_ptr<sim::PeriodicTimer> poller_;
+};
+
+struct RfbClientStats {
+  std::uint64_t updates_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t decode_errors = 0;
+  sim::Accumulator update_interval_s;
+  double fps(sim::Time now) const;
+  sim::Time first_update;
+  sim::Time last_update;
+};
+
+/// The viewer: maintains a replica framebuffer.
+class RfbClient {
+ public:
+  RfbClient(sim::World& world, std::shared_ptr<net::StreamConnection> conn);
+  ~RfbClient();
+  RfbClient(const RfbClient&) = delete;
+  RfbClient& operator=(const RfbClient&) = delete;
+
+  /// Starts the session (sends ClientInit once the stream establishes).
+  void start();
+
+  const Framebuffer& replica() const { return *replica_; }
+  bool initialized() const { return replica_ != nullptr; }
+  const RfbClientStats& stats() const { return stats_; }
+
+ private:
+  void on_message(std::span<const std::byte> msg);
+  void request_update(bool incremental);
+
+  sim::World& world_;
+  std::shared_ptr<net::StreamConnection> conn_;
+  MessageFramer framer_;
+  std::unique_ptr<Framebuffer> replica_;
+  RfbClientStats stats_;
+};
+
+}  // namespace aroma::rfb

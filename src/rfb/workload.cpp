@@ -1,0 +1,83 @@
+#include "rfb/workload.hpp"
+
+namespace aroma::rfb {
+
+namespace {
+Pixel color_from(std::uint64_t v) {
+  return 0xff000000u | static_cast<Pixel>(v & 0x00ffffffu);
+}
+}  // namespace
+
+void SlideDeckWorkload::step(Framebuffer& fb) {
+  ++slide_;
+  const Pixel bg = color_from(rng_.next_u64() | 0x101010);
+  fb.fill_rect(fb.bounds(), bg);
+  // Title bar.
+  const Pixel title = color_from(rng_.next_u64());
+  fb.fill_rect({fb.width() / 16, fb.height() / 16, fb.width() * 7 / 8,
+                fb.height() / 10},
+               title);
+  // Text-like bars of varying width.
+  const int lines = 4 + static_cast<int>(rng_.uniform_int(0, 5));
+  const int line_h = fb.height() / 24;
+  for (int i = 0; i < lines; ++i) {
+    const int w = static_cast<int>(
+        rng_.uniform_int(fb.width() / 4, fb.width() * 3 / 4));
+    fb.fill_rect({fb.width() / 10, fb.height() / 4 + i * line_h * 2,
+                  w, line_h},
+                 color_from(rng_.next_u64()));
+  }
+}
+
+AnimationWorkload::AnimationWorkload(std::uint64_t seed, int sprite_px)
+    : rng_(seed), sprite_(sprite_px) {
+  vx_ = rng_.uniform(4.0, 9.0);
+  vy_ = rng_.uniform(3.0, 7.0);
+}
+
+void AnimationWorkload::step(Framebuffer& fb) {
+  if (!background_drawn_) {
+    fb.fill_rect(fb.bounds(), bg_);
+    background_drawn_ = true;
+  }
+  // Erase previous sprite position.
+  fb.fill_rect({static_cast<int>(x_), static_cast<int>(y_), sprite_, sprite_},
+               bg_);
+  x_ += vx_;
+  y_ += vy_;
+  if (x_ < 0 || x_ + sprite_ >= fb.width()) {
+    vx_ = -vx_;
+    x_ += 2 * vx_;
+  }
+  if (y_ < 0 || y_ + sprite_ >= fb.height()) {
+    vy_ = -vy_;
+    y_ += 2 * vy_;
+  }
+  fb.fill_rect({static_cast<int>(x_), static_cast<int>(y_), sprite_, sprite_},
+               0xffe0b030);
+}
+
+void TypingWorkload::step(Framebuffer& fb) {
+  if (!background_drawn_) {
+    fb.fill_rect(fb.bounds(), 0xfff8f8f0);
+    background_drawn_ = true;
+  }
+  const int char_w = 7;
+  const int char_h = 12;
+  const int margin = 8;
+  const int cols = (fb.width() - 2 * margin) / char_w;
+  const int rows = (fb.height() - 2 * margin) / char_h;
+  // Draw a "character": a small dark block with noise.
+  fb.fill_rect({margin + col_ * char_w, margin + row_ * char_h,
+                char_w - 1, char_h - 2},
+               color_from(rng_.next_u64() & 0x404040));
+  if (++col_ >= cols) {
+    col_ = 0;
+    if (++row_ >= rows) {
+      row_ = 0;
+      fb.fill_rect(fb.bounds(), 0xfff8f8f0);  // "scroll": clear page
+    }
+  }
+}
+
+}  // namespace aroma::rfb

@@ -1,0 +1,71 @@
+// Synthetic screen content generators for projection experiments.
+//
+// Three canonical workloads: slide decks (rare whole-screen changes — the
+// Smart Projector's intended use), animation (continuous motion — what the
+// paper says the wireless link cannot sustain), and typing (small frequent
+// damage).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "rfb/framebuffer.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace aroma::rfb {
+
+/// Mutates the framebuffer each time step() is called; the scenario decides
+/// the cadence (e.g. via a PeriodicTimer).
+class ScreenWorkload {
+ public:
+  virtual ~ScreenWorkload() = default;
+  virtual void step(Framebuffer& fb) = 0;
+  virtual const char* name() const = 0;
+};
+
+/// A new "slide" every `slides_interval` steps: background fill plus a
+/// title bar and a deterministic pattern of text-like bars.
+class SlideDeckWorkload final : public ScreenWorkload {
+ public:
+  explicit SlideDeckWorkload(std::uint64_t seed) : rng_(seed) {}
+  void step(Framebuffer& fb) override;
+  const char* name() const override { return "slides"; }
+  int slide_number() const { return slide_; }
+
+ private:
+  sim::Rng rng_;
+  int slide_ = 0;
+};
+
+/// A bouncing filled rectangle over a static background.
+class AnimationWorkload final : public ScreenWorkload {
+ public:
+  AnimationWorkload(std::uint64_t seed, int sprite_px = 48);
+  void step(Framebuffer& fb) override;
+  const char* name() const override { return "animation"; }
+
+ private:
+  sim::Rng rng_;
+  int sprite_;
+  double x_ = 10.0, y_ = 10.0;
+  double vx_, vy_;
+  bool background_drawn_ = false;
+  Pixel bg_ = 0xff202028;
+};
+
+/// Small localized damage: a line of "text" grows, then wraps.
+class TypingWorkload final : public ScreenWorkload {
+ public:
+  explicit TypingWorkload(std::uint64_t seed) : rng_(seed) {}
+  void step(Framebuffer& fb) override;
+  const char* name() const override { return "typing"; }
+
+ private:
+  sim::Rng rng_;
+  int col_ = 0;
+  int row_ = 0;
+  bool background_drawn_ = false;
+};
+
+}  // namespace aroma::rfb

@@ -1,0 +1,28 @@
+#include "sim/parallel.hpp"
+
+namespace aroma::sim {
+
+void ParallelRunner::run(std::size_t trials,
+                         const std::function<void(std::size_t)>& fn) const {
+  if (trials == 0) return;
+  const std::size_t nthreads = workers_ < trials ? workers_ : trials;
+  if (nthreads <= 1) {
+    for (std::size_t i = 0; i < trials; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::jthread> pool;
+  pool.reserve(nthreads);
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= trials) return;
+        fn(i);
+      }
+    });
+  }
+  // jthread joins on destruction.
+}
+
+}  // namespace aroma::sim

@@ -1,0 +1,50 @@
+// Parallel execution of independent simulation trials.
+//
+// Simulated worlds are single-threaded by design; experiments that sweep a
+// parameter or average over seeds are embarrassingly parallel. ParallelRunner
+// fans trial functions out over a pool of std::jthread workers. Each trial
+// owns its world, so no synchronization beyond the work queue is needed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace aroma::sim {
+
+/// Runs `trials` calls of `fn(trial_index)` across up to `workers` threads.
+/// Results are written into a caller-provided vector slot per trial, so the
+/// caller never needs locks. Deterministic per trial (seed = f(index)).
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(std::size_t workers = 0)
+      : workers_(workers ? workers : default_workers()) {}
+
+  static std::size_t default_workers() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+  }
+
+  std::size_t workers() const { return workers_; }
+
+  /// Executes fn(i) for i in [0, trials). Blocks until all complete.
+  /// Exceptions escaping a trial terminate (simulations report via status,
+  /// not exceptions).
+  void run(std::size_t trials, const std::function<void(std::size_t)>& fn) const;
+
+  /// Convenience: runs `trials` trials, each producing a T into out[i].
+  template <typename T>
+  std::vector<T> map(std::size_t trials,
+                     const std::function<T(std::size_t)>& fn) const {
+    std::vector<T> out(trials);
+    run(trials, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+ private:
+  std::size_t workers_;
+};
+
+}  // namespace aroma::sim

@@ -1,0 +1,120 @@
+// Discrete-event simulation kernel.
+//
+// A `Simulator` owns a priority queue of timestamped events. Components
+// schedule callbacks at absolute or relative times; the kernel executes them
+// in (time, insertion-order) order, which makes runs fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace aroma::sim {
+
+/// Handle to a scheduled event, usable to cancel it before it fires.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// The event kernel. Not thread-safe: one Simulator == one simulated world,
+/// driven by a single thread. Parallel experiments run many independent
+/// Simulators (see sim/parallel.hpp).
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` from now. Negative delays clamp to now.
+  EventHandle schedule_in(Time delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event existed and had not
+  /// yet fired. Safe to call with an already-fired or invalid handle.
+  bool cancel(EventHandle h);
+
+  /// Runs events until the queue empties or `deadline` is reached; time
+  /// advances to min(deadline, last event). Returns number of events run.
+  std::size_t run_until(Time deadline);
+
+  /// Runs all events to exhaustion (use with care with recurring timers).
+  std::size_t run();
+
+  /// Executes at most one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Number of events currently pending.
+  std::size_t pending() const { return queue_.size() - cancelled_live_; }
+
+  /// Total events executed since construction.
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;  // tiebreaker: FIFO among same-time events
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool is_cancelled(std::uint64_t id) const;
+
+  Time now_ = Time::zero();
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // small set; linear scan
+  std::size_t cancelled_live_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+};
+
+/// A repeating timer bound to a Simulator; RAII-cancels on destruction.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulator& sim, Time period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Arms the timer; first fire after one period (or `initial_delay`).
+  void start();
+  void start_after(Time initial_delay);
+  void stop();
+  bool running() const { return running_; }
+  Time period() const { return period_; }
+  void set_period(Time p) { period_ = p; }
+
+ private:
+  void arm(Time delay);
+
+  Simulator& sim_;
+  Time period_;
+  std::function<void()> fn_;
+  EventHandle pending_;
+  bool running_ = false;
+};
+
+}  // namespace aroma::sim

@@ -1,0 +1,96 @@
+// Statistics accumulators used throughout the benches and experiments.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace aroma::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double x);
+  void merge(const Accumulator& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Half-width of the ~95% confidence interval on the mean.
+  double ci95_halfwidth() const;
+
+  std::string summary() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram with quantile estimation; values outside the range
+/// are clamped into the edge bins (and counted as clamped).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::uint64_t count() const { return total_; }
+  std::uint64_t clamped() const { return clamped_; }
+
+  /// Linear-interpolated quantile estimate, q in [0,1].
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+  double p99() const { return quantile(0.99); }
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::uint64_t bin(std::size_t i) const { return counts_[i]; }
+  double bin_lo(std::size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::uint64_t clamped_ = 0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (e.g. queue length):
+/// integrates value * dt between updates.
+class TimeWeighted {
+ public:
+  void update(Time now, double new_value);
+  double average(Time now) const;
+  double current() const { return value_; }
+
+ private:
+  bool started_ = false;
+  Time last_ = Time::zero();
+  double value_ = 0.0;
+  double integral_ = 0.0;
+  Time start_ = Time::zero();
+};
+
+/// Event-rate meter: counts events and reports events/second over the
+/// observation window.
+class RateMeter {
+ public:
+  void start(Time now) { start_ = now; started_ = true; }
+  void add(std::uint64_t n = 1) { count_ += n; }
+  std::uint64_t count() const { return count_; }
+  double rate_per_sec(Time now) const;
+
+ private:
+  bool started_ = false;
+  Time start_ = Time::zero();
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace aroma::sim

@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace aroma::sim {
+
+std::string Time::to_string() const {
+  const double abs_ns = std::abs(static_cast<double>(ns_));
+  char buf[48];
+  if (abs_ns < 1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  } else if (abs_ns < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3gus", static_cast<double>(ns_) * 1e-3);
+  } else if (abs_ns < 1e9) {
+    std::snprintf(buf, sizeof buf, "%.4gms", static_cast<double>(ns_) * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6gs", static_cast<double>(ns_) * 1e-9);
+  }
+  return buf;
+}
+
+}  // namespace aroma::sim

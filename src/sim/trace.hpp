@@ -1,0 +1,64 @@
+// Lightweight structured tracing for simulated components.
+//
+// Traces are off by default (benches) and can be captured in-memory (tests)
+// or streamed to stderr (debugging). Each record carries the simulated time,
+// a category, and a message.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace aroma::sim {
+
+enum class TraceLevel : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+std::string_view to_string(TraceLevel level);
+
+struct TraceRecord {
+  Time when;
+  TraceLevel level;
+  std::string category;
+  std::string message;
+};
+
+/// Trace sink attached to a simulated world.
+class Tracer {
+ public:
+  /// Disabled tracer: records are dropped at the callsite cheaply.
+  Tracer() = default;
+
+  void set_min_level(TraceLevel level) { min_level_ = level; }
+  void enable_capture(bool on) { capture_ = on; }
+  void enable_stderr(bool on) { to_stderr_ = on; }
+
+  bool enabled(TraceLevel level) const {
+    return (capture_ || to_stderr_ || hook_) && level >= min_level_;
+  }
+
+  void log(Time now, TraceLevel level, std::string_view category,
+           std::string message);
+
+  /// Installed hook sees every record (used by the LPC issue classifier to
+  /// mine simulation traces for layer issues).
+  void set_hook(std::function<void(const TraceRecord&)> hook) {
+    hook_ = std::move(hook);
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  std::size_t count_with_category(std::string_view category) const;
+  void clear() { records_.clear(); }
+
+ private:
+  TraceLevel min_level_ = TraceLevel::kInfo;
+  bool capture_ = false;
+  bool to_stderr_ = false;
+  std::vector<TraceRecord> records_;
+  std::function<void(const TraceRecord&)> hook_;
+};
+
+}  // namespace aroma::sim

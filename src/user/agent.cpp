@@ -1,0 +1,129 @@
+#include "user/agent.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace aroma::user {
+
+UserAgent::UserAgent(sim::World& world, std::string name, Faculties faculties)
+    : UserAgent(world, std::move(name), std::move(faculties), AgentParams{}) {}
+
+UserAgent::UserAgent(sim::World& world, std::string name, Faculties faculties,
+                     AgentParams params)
+    : world_(world), name_(std::move(name)), faculties_(std::move(faculties)),
+      params_(params),
+      rng_(world.fork_rng(0xa6e47 ^ std::hash<std::string>{}(name_))) {}
+
+double UserAgent::familiarity(const std::string& step_name) const {
+  auto it = familiarity_.find(step_name);
+  return it != familiarity_.end() ? it->second : 0.0;
+}
+
+double UserAgent::error_probability(const ProcedureStep& step) const {
+  // Difficulty raises errors; GUI skill, domain knowledge, and practice
+  // lower them. A fully familiar step is nearly error-free.
+  const double skill =
+      0.5 * faculties_.gui_skill + 0.5 * faculties_.domain_knowledge;
+  const double fam = familiarity(step.name);
+  const double p =
+      step.conceptual_difficulty * (1.0 - 0.7 * skill) * (1.0 - 0.8 * fam);
+  return std::clamp(p, 0.005, 0.95);
+}
+
+sim::Time UserAgent::think_time(const ProcedureStep& step) const {
+  const double skill =
+      0.5 * faculties_.gui_skill + 0.5 * faculties_.domain_knowledge;
+  const double fam = familiarity(step.name);
+  const double factor = (1.0 + 2.5 * step.conceptual_difficulty) *
+                        (1.6 - skill) * (1.0 - 0.6 * fam);
+  return sim::scale(params_.base_think, std::max(factor, 0.15));
+}
+
+void UserAgent::attempt(std::vector<ProcedureStep> steps,
+                        std::function<void(const TaskOutcome&)> done) {
+  ++attempts_;
+  auto run = std::make_shared<Run>();
+  run->steps = std::move(steps);
+  run->started = world_.now();
+  run->done = std::move(done);
+  run_step(std::move(run));
+}
+
+void UserAgent::finish(std::shared_ptr<Run> run, bool success,
+                       bool abandoned) {
+  run->outcome.success = success;
+  run->outcome.abandoned = abandoned;
+  run->outcome.duration = world_.now() - run->started;
+  run->outcome.final_frustration = frustration_;
+  if (run->done) run->done(run->outcome);
+}
+
+void UserAgent::run_step(std::shared_ptr<Run> run) {
+  if (run->index >= run->steps.size()) {
+    finish(std::move(run), /*success=*/true, /*abandoned=*/false);
+    return;
+  }
+  if (frustration_ > faculties_.patience) {
+    finish(std::move(run), /*success=*/false, /*abandoned=*/true);
+    return;
+  }
+  const ProcedureStep& step = run->steps[run->index];
+  const sim::Time think = think_time(step);
+  frustration_ += params_.frustration_per_minute_waiting *
+                  (think.seconds() / 60.0);
+
+  world_.sim().schedule_in(think, [this, run = std::move(run)]() mutable {
+    ProcedureStep& step = run->steps[run->index];
+    const bool user_errs = rng_.bernoulli(error_probability(step));
+    if (user_errs) {
+      ++run->outcome.errors;
+      frustration_ += params_.frustration_per_error *
+                      (1.0 + step.conceptual_difficulty);
+      // Errors teach: familiarity grows through failure analysis too.
+      familiarity_[step.name] = std::min(
+          1.0, familiarity(step.name) + 0.5 * faculties_.learning_rate);
+      if (step.unrecoverable) {
+        finish(std::move(run), /*success=*/false, /*abandoned=*/false);
+        return;
+      }
+      // Recover, then retry the same step.
+      world_.sim().schedule_in(params_.error_recovery,
+                               [this, run = std::move(run)]() mutable {
+                                 run_step(std::move(run));
+                               });
+      return;
+    }
+    // Execute the real system action.
+    auto after = [this, run = std::move(run)](bool system_ok) mutable {
+      ProcedureStep& step = run->steps[run->index];
+      if (!system_ok) {
+        ++run->outcome.errors;
+        frustration_ += params_.frustration_per_error;
+        // A system refusal is confusing in proportion to difficulty; a
+        // troubleshooting-capable user turns it into familiarity.
+        familiarity_[step.name] =
+            std::min(1.0, familiarity(step.name) +
+                              0.5 * faculties_.tech_troubleshooting);
+        world_.sim().schedule_in(params_.error_recovery,
+                                 [this, run = std::move(run)]() mutable {
+                                   run_step(std::move(run));
+                                 });
+        return;
+      }
+      familiarity_[step.name] =
+          std::min(1.0, familiarity(step.name) + faculties_.learning_rate);
+      frustration_ =
+          std::max(0.0, frustration_ - params_.frustration_decay_per_step);
+      ++run->outcome.steps_completed;
+      ++run->index;
+      run_step(std::move(run));
+    };
+    if (step.action) {
+      step.action(std::move(after));
+    } else {
+      after(true);
+    }
+  });
+}
+
+}  // namespace aroma::user

@@ -1,0 +1,110 @@
+#include "user/faculties.hpp"
+
+#include <algorithm>
+
+namespace aroma::user {
+
+std::vector<FacultyMismatch> check_faculty_fit(const Faculties& f,
+                                               const FacultyRequirements& req) {
+  std::vector<FacultyMismatch> out;
+  if (f.language != req.language) {
+    out.push_back({"interface language '" + req.language +
+                       "' not spoken by user ('" + f.language + "')",
+                   0.9});
+  }
+  if (f.gui_skill < req.min_gui_skill) {
+    out.push_back({"GUI skill below what the interface assumes",
+                   std::min(1.0, (req.min_gui_skill - f.gui_skill) * 2.0)});
+  }
+  if (f.domain_knowledge < req.min_domain_knowledge) {
+    out.push_back(
+        {"missing assumed domain knowledge",
+         std::min(1.0, (req.min_domain_knowledge - f.domain_knowledge) * 2.0)});
+  }
+  if (f.tech_troubleshooting < req.min_tech_troubleshooting) {
+    out.push_back({"user expected to diagnose infrastructure failures",
+                   std::min(1.0, (req.min_tech_troubleshooting -
+                                  f.tech_troubleshooting) *
+                                     2.0)});
+  }
+  return out;
+}
+
+double faculty_fit(const Faculties& f, const FacultyRequirements& req) {
+  double fit = 1.0;
+  for (const auto& m : check_faculty_fit(f, req)) {
+    fit -= m.severity * 0.5;
+  }
+  return std::clamp(fit, 0.0, 1.0);
+}
+
+namespace personas {
+
+Faculties computer_scientist() {
+  Faculties f;
+  f.gui_skill = 0.95;
+  f.domain_knowledge = 0.8;
+  f.tech_troubleshooting = 0.95;
+  f.patience = 0.8;
+  f.learning_rate = 0.7;
+  return f;
+}
+
+Faculties office_worker() {
+  Faculties f;
+  f.gui_skill = 0.6;
+  f.domain_knowledge = 0.5;
+  f.tech_troubleshooting = 0.15;
+  f.patience = 0.45;
+  f.learning_rate = 0.35;
+  return f;
+}
+
+Faculties novice() {
+  Faculties f;
+  f.gui_skill = 0.25;
+  f.domain_knowledge = 0.2;
+  f.tech_troubleshooting = 0.05;
+  f.patience = 0.3;
+  f.learning_rate = 0.2;
+  f.reading_speed_wpm = 150.0;
+  return f;
+}
+
+Faculties non_english_speaker() {
+  Faculties f = office_worker();
+  f.language = "fr";
+  return f;
+}
+
+Faculties expert_presenter() {
+  Faculties f;
+  f.gui_skill = 0.85;
+  f.domain_knowledge = 0.9;
+  f.tech_troubleshooting = 0.4;
+  f.patience = 0.55;
+  f.learning_rate = 0.5;
+  return f;
+}
+
+}  // namespace personas
+
+FacultyRequirements smart_projector_prototype_requirements() {
+  FacultyRequirements r;
+  r.language = "en";
+  r.min_gui_skill = 0.5;            // "basic understanding of GUIs"
+  r.min_domain_knowledge = 0.4;     // "basic understanding of projectors"
+  r.min_tech_troubleshooting = 0.8; // fix the WLAN, adapter, lookup service
+  return r;
+}
+
+FacultyRequirements commercial_product_requirements() {
+  FacultyRequirements r;
+  r.language = "en";  // still one language; i18n is listed as future work
+  r.min_gui_skill = 0.2;
+  r.min_domain_knowledge = 0.1;
+  r.min_tech_troubleshooting = 0.0;
+  return r;
+}
+
+}  // namespace aroma::user

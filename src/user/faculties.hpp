@@ -1,0 +1,66 @@
+// User faculties: "a developed skill or ability such as a user's ability to
+// speak a particular language, the user's education or even the user's
+// temperament (for example, the ability to tolerate frustration)."
+//
+// The resource layer pairs these with device resources: developers count on
+// faculties being present exactly as they count on memory or networking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aroma::user {
+
+struct Faculties {
+  std::string language = "en";
+  double gui_skill = 0.7;              // familiarity with WIMP interfaces
+  double domain_knowledge = 0.5;       // projectors and presentations
+  double tech_troubleshooting = 0.3;   // "capable of fixing the wireless
+                                       //  network, the Linux-based adapter,
+                                       //  and the lookup service"
+  double patience = 0.5;               // frustration tolerance, 0..1
+  double learning_rate = 0.3;          // how fast mental models repair
+  double reading_speed_wpm = 200.0;
+};
+
+/// What an application implicitly assumes of its users — the paper's
+/// "erroneous assumptions about the user" that are costly to fix after a
+/// device ships in ROM.
+struct FacultyRequirements {
+  std::string language = "en";
+  double min_gui_skill = 0.3;
+  double min_domain_knowledge = 0.2;
+  double min_tech_troubleshooting = 0.0;
+};
+
+struct FacultyMismatch {
+  std::string what;
+  double severity;  // 0..1
+};
+
+/// All ways `f` falls short of `req` ("user faculties must not be
+/// frustrated by the logical resources of the device").
+std::vector<FacultyMismatch> check_faculty_fit(const Faculties& f,
+                                               const FacultyRequirements& req);
+
+/// Scalar fit in [0,1]: 1 = every assumption holds comfortably.
+double faculty_fit(const Faculties& f, const FacultyRequirements& req);
+
+/// Presets spanning the paper's cast: the lab's computer scientists (for
+/// whom the prototype's expectations "are not unreasonable") through the
+/// casual users for whom they are.
+namespace personas {
+Faculties computer_scientist();
+Faculties office_worker();
+Faculties novice();
+Faculties non_english_speaker();
+Faculties expert_presenter();
+}  // namespace personas
+
+/// The Smart Projector prototype's implicit requirements, as the paper
+/// enumerates them in its resource-layer analysis.
+FacultyRequirements smart_projector_prototype_requirements();
+/// What a commercial-grade product could reasonably require.
+FacultyRequirements commercial_product_requirements();
+
+}  // namespace aroma::user

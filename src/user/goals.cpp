@@ -1,0 +1,76 @@
+#include "user/goals.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aroma::user {
+
+double DesignPurpose::support_for(const std::string& goal) const {
+  auto it = supports.find(goal);
+  return it != supports.end() ? it->second : 0.0;
+}
+
+double harmony(const std::vector<Goal>& goals, const DesignPurpose& purpose) {
+  double total = 0.0;
+  double weighted = 0.0;
+  for (const auto& g : goals) {
+    total += g.importance;
+    weighted += g.importance * std::clamp(purpose.support_for(g.name), 0.0, 1.0);
+  }
+  return total > 0.0 ? weighted / total : 0.0;
+}
+
+double AdoptionModel::probability(double harmony_score, double burden,
+                                  double fit) const {
+  const double net = harmony_weight * harmony_score - burden_weight * burden +
+                     fit_weight * fit;
+  return 1.0 / (1.0 + std::exp(-slope * (net - threshold)));
+}
+
+std::vector<Goal> presenter_goals() {
+  return {
+      {"present-slides", 1.0},
+      {"no-configuration", 0.7},  // "does not necessarily want to perform
+                                  //  unnecessary system interconnection"
+      {"move-freely", 0.3},
+      {"quick-start", 0.6},
+  };
+}
+
+std::vector<Goal> researcher_goals() {
+  return {
+      {"measure-discovery", 1.0},
+      {"demonstrate-infrastructure", 0.9},
+      {"present-slides", 0.4},
+  };
+}
+
+DesignPurpose research_prototype_purpose() {
+  DesignPurpose p;
+  p.name = "smart-projector-prototype";
+  p.supports = {
+      {"measure-discovery", 0.95},
+      {"demonstrate-infrastructure", 0.9},
+      {"present-slides", 0.6},
+      {"no-configuration", 0.2},   // two clients, VNC server, lookup service
+      {"quick-start", 0.25},
+      {"move-freely", 0.1},        // tied to the laptop
+  };
+  return p;
+}
+
+DesignPurpose commercial_product_purpose() {
+  DesignPurpose p;
+  p.name = "smart-projector-commercial";
+  p.supports = {
+      {"present-slides", 0.95},
+      {"no-configuration", 0.85},
+      {"quick-start", 0.9},
+      {"move-freely", 0.5},
+      {"measure-discovery", 0.05},
+      {"demonstrate-infrastructure", 0.05},
+  };
+  return p;
+}
+
+}  // namespace aroma::user

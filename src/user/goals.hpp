@@ -1,0 +1,55 @@
+// The intentional layer: user goals vs. design purpose.
+//
+// "We believe that the probability of success is greatly enhanced when a
+// system's design is in harmony with the user's goals." Harmony here is a
+// measurable overlap between what the user wants and what the design
+// actually supports, and it feeds an adoption model that reproduces the
+// paper's claim that technically superior products fail on low harmony.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aroma::user {
+
+/// One user goal with a relative importance weight.
+struct Goal {
+  std::string name;
+  double importance = 1.0;
+};
+
+/// The designed purpose of a device: the degree (0..1) to which the design
+/// supports each named goal. Unlisted goals are unsupported (0).
+struct DesignPurpose {
+  std::string name;
+  std::map<std::string, double> supports;
+
+  double support_for(const std::string& goal) const;
+};
+
+/// Importance-weighted harmony in [0,1] between goals and purpose.
+double harmony(const std::vector<Goal>& goals, const DesignPurpose& purpose);
+
+/// Logistic adoption model: probability a user adopts (keeps using) a
+/// system given intentional harmony, normalized conceptual burden
+/// (0 = trivial, 1 = overwhelming), and resource-layer faculty fit.
+struct AdoptionModel {
+  double slope = 6.0;
+  double harmony_weight = 1.0;
+  double burden_weight = 0.6;
+  double fit_weight = 0.5;
+  double threshold = 0.55;  // net score at which adoption odds are even
+
+  double probability(double harmony_score, double burden, double fit) const;
+};
+
+/// The paper's Smart Projector cast: goals of a presenter, and the two
+/// design purposes discussed in the intentional-layer analysis — the
+/// honest research-prototype purpose and a hypothetical commercial one.
+std::vector<Goal> presenter_goals();
+std::vector<Goal> researcher_goals();
+DesignPurpose research_prototype_purpose();
+DesignPurpose commercial_product_purpose();
+
+}  // namespace aroma::user

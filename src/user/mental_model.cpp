@@ -1,0 +1,210 @@
+#include "user/mental_model.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace aroma::user {
+
+// ---------------------------------------------------------------------------
+// Automaton
+
+int Automaton::add_state(std::string name) {
+  states_.push_back(std::move(name));
+  return static_cast<int>(states_.size()) - 1;
+}
+
+int Automaton::find_state(const std::string& name) const {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (states_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Automaton::add_transition(int from, const std::string& action, int to) {
+  table_[{from, action}] = to;
+  if (std::find(actions_.begin(), actions_.end(), action) == actions_.end()) {
+    actions_.push_back(action);
+  }
+}
+
+int Automaton::next(int from, const std::string& action) const {
+  auto it = table_.find({from, action});
+  return it != table_.end() ? it->second : from;
+}
+
+bool Automaton::defined(int from, const std::string& action) const {
+  return table_.find({from, action}) != table_.end();
+}
+
+std::vector<std::pair<int, std::string>> Automaton::transitions() const {
+  std::vector<std::pair<int, std::string>> out;
+  out.reserve(table_.size());
+  for (const auto& [key, to] : table_) out.push_back(key);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MentalModel
+
+MentalModel::MentalModel(const Automaton& truth, Automaton prior,
+                         double learning_rate)
+    : truth_(truth), belief_(std::move(prior)), learning_rate_(learning_rate) {
+  // The belief shares the truth's state space; an empty prior starts as
+  // all-self-loops over the same states.
+  while (belief_.state_count() < truth_.state_count()) {
+    belief_.add_state(truth_.state_name(belief_.state_count()));
+  }
+}
+
+int MentalModel::predict(int state, const std::string& action) const {
+  return belief_.next(state, action);
+}
+
+bool MentalModel::observe(int state, const std::string& action, int actual,
+                          sim::Rng& rng) {
+  ++observations_;
+  const int predicted = predict(state, action);
+  const bool surprise = predicted != actual;
+  if (surprise) {
+    ++surprises_;
+    if (rng.uniform() < learning_rate_) {
+      belief_.add_transition(state, action, actual);
+    }
+  }
+  return surprise;
+}
+
+double MentalModel::divergence() const {
+  const auto pairs = truth_.transitions();
+  if (pairs.empty()) return 0.0;
+  std::size_t wrong = 0;
+  for (const auto& [state, action] : pairs) {
+    if (belief_.next(state, action) != truth_.next(state, action)) ++wrong;
+  }
+  return static_cast<double>(wrong) / static_cast<double>(pairs.size());
+}
+
+// ---------------------------------------------------------------------------
+// Smart Projector machines
+
+namespace {
+
+struct Bits {
+  bool vnc;
+  bool proj;   // projection session held
+  bool live;   // projecting (requires vnc && proj)
+  bool ctrl;   // control session held
+};
+
+bool valid(const Bits& b) { return !b.live || (b.vnc && b.proj); }
+
+std::string state_name(const Bits& b) {
+  std::string s = "v";
+  s += b.vnc ? '1' : '0';
+  s += 'p';
+  s += b.proj ? '1' : '0';
+  s += 'j';
+  s += b.live ? '1' : '0';
+  s += 'c';
+  s += b.ctrl ? '1' : '0';
+  return s;
+}
+
+/// Adds all valid states to `a`; returns index lookup by bits.
+std::map<std::string, int> build_states(Automaton& a) {
+  std::map<std::string, int> idx;
+  for (int v = 0; v < 2; ++v) {
+    for (int p = 0; p < 2; ++p) {
+      for (int j = 0; j < 2; ++j) {
+        for (int c = 0; c < 2; ++c) {
+          const Bits b{v != 0, p != 0, j != 0, c != 0};
+          if (!valid(b)) continue;
+          idx[state_name(b)] = a.add_state(state_name(b));
+        }
+      }
+    }
+  }
+  return idx;
+}
+
+void for_each_state(const std::function<void(const Bits&)>& fn) {
+  for (int v = 0; v < 2; ++v) {
+    for (int p = 0; p < 2; ++p) {
+      for (int j = 0; j < 2; ++j) {
+        for (int c = 0; c < 2; ++c) {
+          const Bits b{v != 0, p != 0, j != 0, c != 0};
+          if (valid(b)) fn(b);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Automaton smart_projector_truth() {
+  Automaton a;
+  auto idx = build_states(a);
+  auto at = [&](const Bits& b) { return idx.at(state_name(b)); };
+  for_each_state([&](const Bits& b) {
+    const int from = at(b);
+    // The real machine, as the prototype behaves.
+    if (!b.vnc) a.add_transition(from, "start-vnc", at({true, b.proj, b.live, b.ctrl}));
+    if (b.vnc) {
+      // Stopping the VNC server kills a live projection.
+      a.add_transition(from, "stop-vnc", at({false, b.proj, false, b.ctrl}));
+    }
+    if (!b.proj) a.add_transition(from, "acquire-projection", at({b.vnc, true, false, b.ctrl}));
+    if (b.proj && b.vnc && !b.live) {
+      a.add_transition(from, "start-projection", at({b.vnc, true, true, b.ctrl}));
+    }
+    if (b.live) a.add_transition(from, "stop-projection", at({b.vnc, b.proj, false, b.ctrl}));
+    if (b.proj) a.add_transition(from, "release-projection", at({b.vnc, false, false, b.ctrl}));
+    if (!b.ctrl) a.add_transition(from, "acquire-control", at({b.vnc, b.proj, b.live, true}));
+    if (b.ctrl) {
+      a.add_transition(from, "release-control", at({b.vnc, b.proj, b.live, false}));
+      a.add_transition(from, "power-on", from);   // defined: commands work
+      a.add_transition(from, "power-off", from);
+    }
+  });
+  return a;
+}
+
+Automaton smart_projector_naive_prior() {
+  Automaton a;
+  auto idx = build_states(a);
+  auto at = [&](const Bits& b) { return idx.at(state_name(b)); };
+  for_each_state([&](const Bits& b) {
+    const int from = at(b);
+    // What a casual user raised on single-service appliances expects:
+    // one "acquire" both reserves and starts projecting, no VNC server is
+    // involved, control commands just work, and stopping the projection
+    // releases everything.
+    if (!b.vnc) a.add_transition(from, "start-vnc", at({true, b.proj, b.live, b.ctrl}));
+    if (b.vnc) {
+      // Believes stopping the laptop server is harmless to the projection.
+      a.add_transition(from, "stop-vnc", at({false, b.proj, b.live && false, b.ctrl}));
+    }
+    if (!b.proj) {
+      // Believes acquire immediately projects (if it can).
+      const Bits wish{b.vnc, true, b.vnc, b.ctrl};
+      a.add_transition(from, "acquire-projection",
+                       at(valid(wish) ? wish : Bits{b.vnc, true, false, b.ctrl}));
+    }
+    if (b.proj && !b.live && b.vnc) {
+      a.add_transition(from, "start-projection", at({b.vnc, true, true, b.ctrl}));
+    }
+    if (b.live) {
+      // Believes stop releases the session too.
+      a.add_transition(from, "stop-projection", at({b.vnc, false, false, b.ctrl}));
+    }
+    // Believes power commands always work, session or not.
+    a.add_transition(from, "power-on", from);
+    a.add_transition(from, "power-off", from);
+    if (b.ctrl) a.add_transition(from, "release-control", at({b.vnc, b.proj, b.live, false}));
+    if (!b.ctrl) a.add_transition(from, "acquire-control", at({b.vnc, b.proj, b.live, true}));
+  });
+  return a;
+}
+
+}  // namespace aroma::user

@@ -1,0 +1,91 @@
+// Mental models vs. software state: the abstract layer's consistency
+// constraint made executable.
+//
+// Both the application's true behaviour and the user's belief about it are
+// deterministic finite automata over named actions. The divergence between
+// them predicts surprises; observations repair the belief at a rate set by
+// the user's learning faculty. "The key issue that must be addressed in
+// this layer is maintaining consistency between the user's reasoning and
+// expectations and the logic and state of the application."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace aroma::user {
+
+/// Deterministic finite automaton with named states and actions. Undefined
+/// (state, action) pairs are self-loops ("nothing happens").
+class Automaton {
+ public:
+  int add_state(std::string name);
+  int state_count() const { return static_cast<int>(states_.size()); }
+  const std::string& state_name(int s) const { return states_[static_cast<std::size_t>(s)]; }
+  int find_state(const std::string& name) const;
+
+  void add_transition(int from, const std::string& action, int to);
+  /// Next state; self-loop when undefined.
+  int next(int from, const std::string& action) const;
+  bool defined(int from, const std::string& action) const;
+
+  /// All (state, action) pairs with explicit transitions.
+  std::vector<std::pair<int, std::string>> transitions() const;
+  const std::vector<std::string>& actions() const { return actions_; }
+
+ private:
+  std::vector<std::string> states_;
+  std::vector<std::string> actions_;
+  std::map<std::pair<int, std::string>, int> table_;
+};
+
+/// A user's evolving belief about a system automaton.
+class MentalModel {
+ public:
+  /// `truth` must outlive the model. The initial belief is `prior` (what
+  /// the user transfers from devices they already know); pass the truth
+  /// itself for an expert, an empty automaton for a blank slate.
+  MentalModel(const Automaton& truth, Automaton prior, double learning_rate);
+
+  /// The state the user *believes* the system would reach.
+  int predict(int state, const std::string& action) const;
+
+  /// Records an observed transition; with probability `learning_rate` the
+  /// belief entry is corrected. Returns true when the observation was a
+  /// surprise (prediction != actual).
+  bool observe(int state, const std::string& action, int actual,
+               sim::Rng& rng);
+
+  /// Fraction of the truth's explicit transitions the belief gets wrong.
+  double divergence() const;
+
+  /// Read-only view of the current belief automaton (what planning and
+  /// prediction run against).
+  const Automaton& belief_view() const { return belief_; }
+
+  std::uint64_t surprises() const { return surprises_; }
+  std::uint64_t observations() const { return observations_; }
+
+ private:
+  const Automaton& truth_;
+  Automaton belief_;
+  double learning_rate_;
+  std::uint64_t surprises_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+/// Builds the true automaton of the two-service Smart Projector prototype:
+/// states track (vnc server running, projection session, projecting,
+/// control session); actions are the user-visible operations. This is the
+/// machine the paper's walkthrough describes in prose.
+Automaton smart_projector_truth();
+
+/// A plausible naive prior: the user believes one "connect" suffices and
+/// that closing the laptop lid releases everything — i.e. the single-
+/// service mental model the paper warns the prototype violates.
+Automaton smart_projector_naive_prior();
+
+}  // namespace aroma::user

@@ -1,0 +1,97 @@
+#include "user/planner.hpp"
+
+#include <deque>
+#include <map>
+
+namespace aroma::user {
+
+std::vector<std::string> plan(const Automaton& model, int from, int goal) {
+  if (from == goal) return {};
+  // BFS over defined transitions.
+  std::map<int, std::pair<int, std::string>> parent;  // state -> (prev, act)
+  std::deque<int> frontier{from};
+  parent[from] = {from, ""};
+  while (!frontier.empty()) {
+    const int s = frontier.front();
+    frontier.pop_front();
+    for (const std::string& action : model.actions()) {
+      if (!model.defined(s, action)) continue;
+      const int next = model.next(s, action);
+      if (parent.count(next)) continue;
+      parent[next] = {s, action};
+      if (next == goal) {
+        std::vector<std::string> path;
+        for (int cur = goal; cur != from;) {
+          const auto& [prev, act] = parent[cur];
+          path.push_back(act);
+          cur = prev;
+        }
+        return {path.rbegin(), path.rend()};
+      }
+      frontier.push_back(next);
+    }
+  }
+  return {};
+}
+
+PlanExecutionOutcome execute_towards(const Automaton& truth,
+                                     MentalModel& belief, int start,
+                                     int goal, sim::Rng& rng,
+                                     int max_actions,
+                                     int exploration_budget) {
+  PlanExecutionOutcome out;
+  int state = start;
+  int explored = 0;
+  std::vector<std::string> current_plan =
+      plan(belief.belief_view(), state, goal);
+  std::size_t step = 0;
+
+  while (out.actions_taken < max_actions) {
+    if (state == goal) {
+      out.reached = true;
+      return out;
+    }
+    std::string action;
+    if (step < current_plan.size()) {
+      action = current_plan[step];
+    } else {
+      // The plan ran dry without reaching the goal (or none existed):
+      // replan from where we actually are.
+      auto fresh = plan(belief.belief_view(), state, goal);
+      if (!fresh.empty()) {
+        current_plan = std::move(fresh);
+        step = 0;
+        ++out.replans;
+        continue;
+      }
+      // Belief says unreachable: poke at the system like a confused user.
+      if (explored >= exploration_budget) {
+        out.gave_up_no_plan = true;
+        return out;
+      }
+      ++explored;
+      const auto& actions = truth.actions();
+      action = actions[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(actions.size()) - 1))];
+    }
+
+    const int predicted = belief.predict(state, action);
+    const int actual = truth.next(state, action);
+    const bool surprise = belief.observe(state, action, actual, rng);
+    ++out.actions_taken;
+    ++step;
+    state = actual;
+    if (surprise) {
+      ++out.surprises;
+      (void)predicted;
+      // Reality disagreed: the rest of the plan rests on a false premise.
+      current_plan = plan(belief.belief_view(), state, goal);
+      step = 0;
+      ++out.replans;
+    }
+  }
+  out.reached = state == goal;
+  return out;
+}
+
+}  // namespace aroma::user

@@ -1,0 +1,45 @@
+// Goal-directed behaviour driven by a (possibly wrong) mental model.
+//
+// The user plans a path to their goal over the automaton they *believe*
+// the system to be, executes the first step against the machine the system
+// *actually* is, observes, repairs the belief, and replans on surprises.
+// With an accurate model this collapses to shortest-path execution; with
+// the naive prior it reproduces the paper's observation that "for too many
+// users, using software becomes a mental exercise similar to debugging."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "user/mental_model.hpp"
+
+namespace aroma::user {
+
+/// Shortest action sequence from `from` to `goal` in `model`, using only
+/// the model's explicitly defined transitions (a user does not plan with
+/// "maybe nothing happens"). Empty when the goal seems unreachable —
+/// which, for a belief, may simply be wrong.
+std::vector<std::string> plan(const Automaton& model, int from, int goal);
+
+struct PlanExecutionOutcome {
+  bool reached = false;
+  int actions_taken = 0;
+  int surprises = 0;       // observed next-state differed from prediction
+  int replans = 0;         // plans abandoned mid-way
+  bool gave_up_no_plan = false;  // belief claimed the goal unreachable
+};
+
+/// Runs the plan-act-observe-repair loop against the true machine.
+///
+/// `belief` is updated in place (its learning rate governs repair).
+/// Exploration: when the belief offers no plan, the agent tries
+/// `exploration_budget` random defined-in-truth actions hoping to stumble
+/// onto new knowledge, as users do, before giving up.
+PlanExecutionOutcome execute_towards(const Automaton& truth,
+                                     MentalModel& belief, int start,
+                                     int goal, sim::Rng& rng,
+                                     int max_actions = 60,
+                                     int exploration_budget = 6);
+
+}  // namespace aroma::user

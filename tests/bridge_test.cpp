@@ -1,0 +1,218 @@
+// Tests for the wired segment and the wireless<->wired bridge: the Aroma
+// focus area "connecting portable wireless devices to traditional
+// networks".
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disco/jini.hpp"
+#include "env/environment.hpp"
+#include "net/bridge.hpp"
+#include "net/stack.hpp"
+#include "net/stream.hpp"
+#include "net/wired.hpp"
+#include "phys/device.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::net {
+namespace {
+
+// --- WiredBus ------------------------------------------------------------
+
+TEST(WiredBus, UnicastAndBroadcastDelivery) {
+  sim::World w(1);
+  WiredBus bus(w);
+  auto& pa = bus.create_port(101);
+  auto& pb = bus.create_port(102);
+  auto& pc = bus.create_port(103);
+  NetStack a(w, pa), b(w, pb), c(w, pc);
+  int b_hits = 0, c_hits = 0;
+  b.bind(100, [&](const Datagram&) { ++b_hits; });
+  c.bind(100, [&](const Datagram&) { ++c_hits; });
+  bool ok = false;
+  a.send({102, 100}, 50, std::vector<std::byte>(64), [&](bool d) { ok = d; });
+  w.sim().run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(b_hits, 1);
+  EXPECT_EQ(c_hits, 0);
+
+  b.join_group(9);
+  c.join_group(9);
+  a.send_multicast(9, 100, 50, std::vector<std::byte>(64));
+  w.sim().run();
+  EXPECT_EQ(b_hits, 2);
+  EXPECT_EQ(c_hits, 1);
+  EXPECT_GE(bus.frames_delivered(), 3u);
+}
+
+TEST(WiredBus, DeliveryTimeCoversSerializationAndLatency) {
+  sim::World w(1);
+  WiredBus::Params p;
+  p.bandwidth_bps = 10e6;
+  p.latency = sim::Time::ms(1);
+  WiredBus bus(w, p);
+  auto& pa = bus.create_port(101);
+  auto& pb = bus.create_port(102);
+  NetStack a(w, pa), b(w, pb);
+  sim::Time arrival;
+  b.bind(100, [&](const Datagram&) { arrival = w.now(); });
+  a.send({102, 100}, 50, std::vector<std::byte>(10'000));
+  w.sim().run();
+  // ~ (10028 B + header) * 8 / 10 Mb/s ≈ 8 ms plus 1 ms latency.
+  EXPECT_GT(arrival.seconds(), 0.008);
+  EXPECT_LT(arrival.seconds(), 0.012);
+}
+
+TEST(WiredBus, PerPortSerializationQueues) {
+  sim::World w(1);
+  WiredBus::Params p;
+  p.bandwidth_bps = 1e6;  // slow enough to observe queueing
+  WiredBus bus(w, p);
+  auto& pa = bus.create_port(101);
+  auto& pb = bus.create_port(102);
+  NetStack a(w, pa), b(w, pb);
+  std::vector<double> arrivals;
+  b.bind(100, [&](const Datagram&) { arrivals.push_back(w.now().seconds()); });
+  for (int i = 0; i < 3; ++i) {
+    a.send({102, 100}, 50, std::vector<std::byte>(12'500));  // ~0.1 s each
+  }
+  w.sim().run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_GT(arrivals[1] - arrivals[0], 0.08);  // back-to-back, not parallel
+  EXPECT_GT(arrivals[2] - arrivals[1], 0.08);
+}
+
+// --- Bridge -----------------------------------------------------------------
+
+/// A hybrid lab: wireless laptop + AP on one side, wired desktop on the
+/// other. AP node id 50; wireless ids < 50; wired ids > 100.
+struct HybridNet {
+  HybridNet() : world(5), environment(world), bus(world) {
+    laptop = std::make_unique<phys::Device>(
+        world, environment, 1, phys::profiles::laptop(),
+        std::make_unique<env::StaticMobility>(env::Vec2{3, 0}));
+    ap_dev = std::make_unique<phys::Device>(
+        world, environment, 50, phys::profiles::aroma_adapter(),
+        std::make_unique<env::StaticMobility>(env::Vec2{0, 0}));
+    laptop_stack = std::make_unique<NetStack>(world, laptop->mac());
+    // The laptop routes off-cell destinations through the AP.
+    laptop_stack->set_next_hop(
+        [](NodeId d) { return d >= 100 ? NodeId{50} : d; });
+
+    auto& ap_wired_port = bus.create_port(50);
+    ap_wireless = std::make_unique<WirelessLink>(ap_dev->mac());
+    bridge = std::make_unique<Bridge>(world, *ap_wireless, ap_wired_port);
+
+    auto& desktop_port = bus.create_port(200);
+    desktop_stack = std::make_unique<NetStack>(world, desktop_port);
+    // The desktop routes wireless destinations back through the AP.
+    desktop_stack->set_next_hop(
+        [](NodeId d) { return d < 100 ? NodeId{50} : d; });
+  }
+
+  void run_until(double sec) { world.sim().run_until(sim::Time::sec(sec)); }
+
+  sim::World world;
+  env::Environment environment;
+  WiredBus bus;
+  std::unique_ptr<phys::Device> laptop, ap_dev;
+  std::unique_ptr<NetStack> laptop_stack, desktop_stack;
+  std::unique_ptr<WirelessLink> ap_wireless;
+  std::unique_ptr<Bridge> bridge;
+};
+
+TEST(Bridge, UnicastBothDirections) {
+  HybridNet net;
+  Datagram at_desktop, at_laptop;
+  net.desktop_stack->bind(100, [&](const Datagram& dg) { at_desktop = dg; });
+  net.laptop_stack->bind(100, [&](const Datagram& dg) { at_laptop = dg; });
+
+  net.laptop_stack->send({200, 100}, 60, std::vector<std::byte>(128));
+  net.run_until(1.0);
+  EXPECT_EQ(at_desktop.src.node, 1u);
+  EXPECT_EQ(at_desktop.data.size(), 128u);
+  EXPECT_EQ(net.bridge->stats().forwarded_unicast, 1u);
+
+  net.desktop_stack->send({1, 100}, 60, std::vector<std::byte>(256));
+  net.run_until(2.0);
+  EXPECT_EQ(at_laptop.src.node, 200u);
+  EXPECT_EQ(at_laptop.data.size(), 256u);
+}
+
+TEST(Bridge, MulticastFloodsAcrossSegments) {
+  HybridNet net;
+  int hits = 0;
+  net.desktop_stack->join_group(7);
+  net.desktop_stack->bind(300, [&](const Datagram&) { ++hits; });
+  net.laptop_stack->send_multicast(7, 300, 60, std::vector<std::byte>(64));
+  net.run_until(1.0);
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(net.bridge->stats().forwarded_multicast, 1u);
+}
+
+TEST(Bridge, HopLimitStopsRunawayForwarding) {
+  HybridNet net;
+  int hits = 0;
+  net.desktop_stack->join_group(7);
+  net.desktop_stack->bind(300, [&](const Datagram&) { ++hits; });
+  // Craft a datagram with no hops left: it must die at the bridge.
+  auto dg = std::make_shared<Datagram>();
+  dg->src = {1, 60};
+  dg->dst = {0, 300};
+  dg->group = 7;
+  dg->hops_left = 0;
+  dg->data.resize(32);
+  net.laptop->mac().send(phys::kBroadcast, 32 * 8, dg);
+  net.run_until(1.0);
+  EXPECT_EQ(hits, 0);
+  EXPECT_EQ(net.bridge->stats().dropped_hop_limit, 1u);
+}
+
+TEST(Bridge, StreamRunsAcrossTheBridge) {
+  HybridNet net;
+  StreamManager wireless_mgr(net.world, *net.laptop_stack, 5000);
+  StreamManager wired_mgr(net.world, *net.desktop_stack, 5000);
+  std::vector<std::byte> rx;
+  std::shared_ptr<StreamConnection> server;
+  wired_mgr.listen([&](const std::shared_ptr<StreamConnection>& c) {
+    server = c;
+    c->set_data_handler([&](std::span<const std::byte> d) {
+      rx.insert(rx.end(), d.begin(), d.end());
+    });
+  });
+  auto conn = wireless_mgr.connect(200);
+  std::vector<std::byte> payload(20'000);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::byte>((i * 31) & 0xff);
+  }
+  conn->send(payload);
+  net.run_until(60.0);
+  EXPECT_EQ(rx, payload);
+}
+
+TEST(Bridge, WirelessClientDiscoversWiredRegistrar) {
+  // The paper's lab layout made real: the Jini lookup service lives on the
+  // wired network; the portable device finds and uses it through the AP.
+  HybridNet net;
+  disco::JiniRegistrar registrar(net.world, *net.desktop_stack);
+  disco::JiniClient client(net.world, *net.laptop_stack);
+
+  net::NodeId found = 0;
+  client.discover([&](net::NodeId reg) { found = reg; });
+  net.run_until(5.0);
+  EXPECT_EQ(found, 200u);
+
+  bool registered = false;
+  disco::ServiceDescription svc;
+  svc.type = "projector/display";
+  svc.endpoint = {1, 5800};
+  client.register_service(svc, [&](bool ok, disco::ServiceId) {
+    registered = ok;
+  });
+  net.run_until(10.0);
+  EXPECT_TRUE(registered);
+  EXPECT_EQ(registrar.registered_count(), 1u);
+}
+
+}  // namespace
+}  // namespace aroma::net

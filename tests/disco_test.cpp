@@ -1,0 +1,497 @@
+// Tests for service discovery: templates, leases, the Jini-like registrar,
+// and the SLP/SSDP baselines.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "disco/jini.hpp"
+#include "disco/lease.hpp"
+#include "disco/service.hpp"
+#include "disco/slp.hpp"
+#include "disco/ssdp.hpp"
+#include "env/environment.hpp"
+#include "net/serialize.hpp"
+#include "phys/device.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::disco {
+namespace {
+
+class Testbed {
+ public:
+  explicit Testbed(std::uint64_t seed = 1) : world_(seed), env_(world_) {}
+
+  net::NetStack& add_node(std::uint64_t id, env::Vec2 pos) {
+    devices_.push_back(std::make_unique<phys::Device>(
+        world_, env_, id, phys::profiles::laptop(),
+        std::make_unique<env::StaticMobility>(pos)));
+    stacks_.push_back(
+        std::make_unique<net::NetStack>(world_, devices_.back()->mac()));
+    return *stacks_.back();
+  }
+
+  sim::World& world() { return world_; }
+  void run_until(double sec) { world_.sim().run_until(sim::Time::sec(sec)); }
+
+ private:
+  sim::World world_;
+  env::Environment env_;
+  std::vector<std::unique_ptr<phys::Device>> devices_;
+  std::vector<std::unique_ptr<net::NetStack>> stacks_;
+};
+
+ServiceDescription make_service(const std::string& type, net::NodeId node,
+                                net::Port port) {
+  ServiceDescription s;
+  s.type = type;
+  s.endpoint = {node, port};
+  s.attributes["room"] = "lab-a";
+  return s;
+}
+
+// --- ServiceTemplate ---------------------------------------------------
+
+TEST(ServiceTemplate, TypePrefixMatching) {
+  ServiceDescription s = make_service("projector/display", 1, 10);
+  EXPECT_TRUE(ServiceTemplate{}.matches(s));                       // wildcard
+  EXPECT_TRUE((ServiceTemplate{"projector", {}}).matches(s));      // prefix
+  EXPECT_TRUE((ServiceTemplate{"projector/display", {}}).matches(s));
+  EXPECT_FALSE((ServiceTemplate{"projector/control", {}}).matches(s));
+  EXPECT_FALSE((ServiceTemplate{"proj", {}}).matches(s));  // not a path prefix
+  EXPECT_FALSE((ServiceTemplate{"printer", {}}).matches(s));
+}
+
+TEST(ServiceTemplate, AttributeMatching) {
+  ServiceDescription s = make_service("projector/display", 1, 10);
+  s.attributes["resolution"] = "1024x768";
+  ServiceTemplate t{"projector", {{"room", "lab-a"}}};
+  EXPECT_TRUE(t.matches(s));
+  t.attributes["resolution"] = "1024x768";
+  EXPECT_TRUE(t.matches(s));
+  t.attributes["resolution"] = "800x600";
+  EXPECT_FALSE(t.matches(s));
+  t = ServiceTemplate{"", {{"missing", "x"}}};
+  EXPECT_FALSE(t.matches(s));
+}
+
+TEST(ServiceDescription, SerializationRoundTrip) {
+  ServiceDescription s = make_service("projector/display", 42, 5800);
+  s.id = 7;
+  s.attributes["resolution"] = "1024x768";
+  net::ByteWriter w;
+  s.serialize(w);
+  net::ByteReader r(w.data());
+  const ServiceDescription back = ServiceDescription::deserialize(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.type, "projector/display");
+  EXPECT_EQ(back.endpoint.node, 42u);
+  EXPECT_EQ(back.endpoint.port, 5800);
+  EXPECT_EQ(back.attributes, s.attributes);
+}
+
+// --- LeaseTable ----------------------------------------------------------
+
+TEST(LeaseTable, ExpiresWithoutRenewal) {
+  sim::World w(1);
+  LeaseTable leases(w);
+  int expired = 0;
+  leases.grant(1, sim::Time::sec(10), [&] { ++expired; });
+  EXPECT_TRUE(leases.active(1));
+  w.sim().run_until(sim::Time::sec(20));
+  EXPECT_EQ(expired, 1);
+  EXPECT_FALSE(leases.active(1));
+  EXPECT_EQ(leases.expirations(), 1u);
+}
+
+TEST(LeaseTable, RenewalPostponesExpiry) {
+  sim::World w(1);
+  LeaseTable leases(w);
+  int expired = 0;
+  leases.grant(1, sim::Time::sec(10), [&] { ++expired; });
+  w.sim().schedule_at(sim::Time::sec(5),
+                      [&] { EXPECT_TRUE(leases.renew(1, sim::Time::sec(10))); });
+  w.sim().run_until(sim::Time::sec(12));
+  EXPECT_EQ(expired, 0);
+  EXPECT_TRUE(leases.active(1));
+  w.sim().run_until(sim::Time::sec(30));
+  EXPECT_EQ(expired, 1);
+}
+
+TEST(LeaseTable, CancelSuppressesCallback) {
+  sim::World w(1);
+  LeaseTable leases(w);
+  int expired = 0;
+  leases.grant(1, sim::Time::sec(10), [&] { ++expired; });
+  leases.cancel(1);
+  w.sim().run_until(sim::Time::sec(20));
+  EXPECT_EQ(expired, 0);
+  EXPECT_FALSE(leases.renew(1, sim::Time::sec(5)));
+}
+
+TEST(LeaseTable, RegrantReplacesLease) {
+  sim::World w(1);
+  LeaseTable leases(w);
+  int first = 0, second = 0;
+  leases.grant(1, sim::Time::sec(5), [&] { ++first; });
+  leases.grant(1, sim::Time::sec(30), [&] { ++second; });
+  w.sim().run_until(sim::Time::sec(10));
+  EXPECT_EQ(first, 0);  // replaced before expiry
+  EXPECT_EQ(second, 0);
+  w.sim().run_until(sim::Time::sec(40));
+  EXPECT_EQ(second, 1);
+}
+
+// --- Jini ------------------------------------------------------------------
+
+struct JiniWorld {
+  explicit JiniWorld(std::uint64_t seed = 1) : tb(seed) {
+    reg_stack = &tb.add_node(1, {0, 0});
+    registrar = std::make_unique<JiniRegistrar>(tb.world(), *reg_stack);
+  }
+
+  Testbed tb;
+  net::NetStack* reg_stack;
+  std::unique_ptr<JiniRegistrar> registrar;
+};
+
+TEST(Jini, DiscoveryFindsRegistrar) {
+  JiniWorld jw;
+  auto& client_stack = jw.tb.add_node(2, {5, 0});
+  JiniClient client(jw.tb.world(), client_stack);
+  net::NodeId found = 0;
+  client.discover([&](net::NodeId reg) { found = reg; });
+  jw.tb.run_until(2.0);
+  EXPECT_EQ(found, 1u);
+  EXPECT_TRUE(client.has_registrar());
+}
+
+TEST(Jini, AnnouncementsAloneRevealRegistrar) {
+  JiniWorld jw;
+  auto& client_stack = jw.tb.add_node(2, {5, 0});
+  JiniClient client(jw.tb.world(), client_stack);
+  jw.tb.run_until(15.0);  // one announce interval
+  EXPECT_TRUE(client.has_registrar());
+}
+
+TEST(Jini, RegisterLookupRoundTrip) {
+  JiniWorld jw;
+  auto& sa = jw.tb.add_node(2, {5, 0});
+  auto& ua = jw.tb.add_node(3, {0, 5});
+  JiniClient provider(jw.tb.world(), sa);
+  JiniClient seeker(jw.tb.world(), ua);
+
+  bool registered = false;
+  provider.register_service(make_service("projector/display", 2, 5800),
+                            [&](bool ok, ServiceId) { registered = ok; });
+  jw.tb.run_until(3.0);
+  ASSERT_TRUE(registered);
+  EXPECT_EQ(jw.registrar->registered_count(), 1u);
+
+  std::vector<ServiceDescription> found;
+  seeker.lookup(ServiceTemplate{"projector", {}},
+                [&](std::vector<ServiceDescription> s) { found = std::move(s); });
+  jw.tb.run_until(6.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].type, "projector/display");
+  EXPECT_EQ(found[0].endpoint.node, 2u);
+}
+
+TEST(Jini, LookupNoMatchesReturnsEmpty) {
+  JiniWorld jw;
+  auto& ua = jw.tb.add_node(3, {0, 5});
+  JiniClient seeker(jw.tb.world(), ua);
+  bool called = false;
+  std::vector<ServiceDescription> found{make_service("x", 9, 9)};
+  seeker.lookup(ServiceTemplate{"printer", {}},
+                [&](std::vector<ServiceDescription> s) {
+                  called = true;
+                  found = std::move(s);
+                });
+  jw.tb.run_until(5.0);
+  EXPECT_TRUE(called);
+  EXPECT_TRUE(found.empty());
+}
+
+TEST(Jini, LeaseExpiresWhenClientVanishes) {
+  JiniWorld jw;
+  // Register with an ephemeral client, then stop renewing (scope death is
+  // not enough since renewal events are scheduled; emulate vanishing by
+  // withdrawing renewal through lease expiry: we construct a client whose
+  // renewals are disabled via tiny params).
+  auto& sa = jw.tb.add_node(2, {5, 0});
+  JiniClient::Params p;
+  p.renew_fraction = 100.0;  // first renewal far beyond expiry
+  JiniClient provider(jw.tb.world(), sa, p);
+  provider.register_service(make_service("projector/display", 2, 5800),
+                            [](bool, ServiceId) {});
+  jw.tb.run_until(3.0);
+  EXPECT_EQ(jw.registrar->registered_count(), 1u);
+  jw.tb.run_until(120.0);  // lease (30 s, capped 60) long expired
+  EXPECT_EQ(jw.registrar->registered_count(), 0u);
+  EXPECT_GE(jw.registrar->stats().lease_expirations, 1u);
+}
+
+TEST(Jini, RenewalKeepsRegistrationAlive) {
+  JiniWorld jw;
+  auto& sa = jw.tb.add_node(2, {5, 0});
+  JiniClient provider(jw.tb.world(), sa);  // default renew_fraction 0.5
+  provider.register_service(make_service("projector/display", 2, 5800),
+                            [](bool, ServiceId) {});
+  jw.tb.run_until(200.0);
+  EXPECT_EQ(jw.registrar->registered_count(), 1u);
+  EXPECT_GT(jw.registrar->stats().renewals, 3u);
+}
+
+TEST(Jini, WithdrawRemovesService) {
+  JiniWorld jw;
+  auto& sa = jw.tb.add_node(2, {5, 0});
+  JiniClient provider(jw.tb.world(), sa);
+  ServiceId id = 0;
+  provider.register_service(make_service("projector/display", 2, 5800),
+                            [&](bool, ServiceId sid) { id = sid; });
+  jw.tb.run_until(3.0);
+  ASSERT_NE(id, 0u);
+  provider.withdraw(id);
+  jw.tb.run_until(6.0);
+  EXPECT_EQ(jw.registrar->registered_count(), 0u);
+}
+
+TEST(Jini, EventsFireOnAppearAndExpire) {
+  JiniWorld jw;
+  auto& sa = jw.tb.add_node(2, {5, 0});
+  auto& listener_stack = jw.tb.add_node(3, {0, 5});
+  JiniClient listener(jw.tb.world(), listener_stack);
+  std::vector<std::pair<std::string, bool>> events;
+  listener.subscribe(ServiceTemplate{"projector", {}},
+                     [&](const ServiceDescription& s, bool appeared) {
+                       events.emplace_back(s.type, appeared);
+                     });
+  jw.tb.run_until(2.0);
+
+  JiniClient::Params p;
+  p.renew_fraction = 100.0;  // never renew: service will expire
+  JiniClient provider(jw.tb.world(), sa, p);
+  provider.register_service(make_service("projector/display", 2, 5800),
+                            [](bool, ServiceId) {});
+  jw.tb.run_until(150.0);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<std::string, bool>{"projector/display", true}));
+  EXPECT_EQ(events[1],
+            (std::pair<std::string, bool>{"projector/display", false}));
+}
+
+TEST(Jini, FailoverReregistersWithStandby) {
+  Testbed tb;
+  auto& reg1 = tb.add_node(1, {0, 10});
+  auto& reg2 = tb.add_node(4, {10, 0});
+  auto& sa = tb.add_node(2, {3, 3});
+  JiniRegistrar primary(tb.world(), reg1);
+  JiniClient provider(tb.world(), sa);
+  provider.register_service(make_service("beacon", 2, 9999),
+                            [](bool, ServiceId) {});
+  tb.run_until(10.0);
+  ASSERT_EQ(primary.registered_count(), 1u);
+
+  JiniRegistrar standby(tb.world(), reg2);
+  tb.run_until(20.0);
+  primary.set_enabled(false);  // crash
+
+  // The provider's renewals fail over and re-register with the standby
+  // (Jini JoinManager behaviour); no human intervenes.
+  tb.run_until(150.0);
+  EXPECT_EQ(standby.registered_count(), 1u);
+  EXPECT_EQ(
+      standby.snapshot(ServiceTemplate{"beacon", {}}).size(), 1u);
+}
+
+TEST(Jini, LookupTimesOutAgainstDeadRegistrar) {
+  Testbed tb;
+  auto& reg1 = tb.add_node(1, {0, 10});
+  auto& ua = tb.add_node(3, {0, 5});
+  JiniRegistrar registrar(tb.world(), reg1);
+  JiniClient seeker(tb.world(), ua);
+  tb.run_until(2.0);
+  ASSERT_TRUE(seeker.has_registrar());
+  registrar.set_enabled(false);
+  bool called = false;
+  seeker.lookup(ServiceTemplate{},
+                [&](std::vector<ServiceDescription> s) {
+                  called = true;
+                  EXPECT_TRUE(s.empty());
+                });
+  tb.run_until(12.0);
+  EXPECT_TRUE(called);  // timed out cleanly instead of hanging forever
+}
+
+TEST(Jini, NoRegistrarLookupFailsGracefully) {
+  Testbed tb;
+  auto& lone = tb.add_node(5, {0, 0});
+  JiniClient seeker(tb.world(), lone);
+  bool called = false;
+  seeker.lookup(ServiceTemplate{},
+                [&](std::vector<ServiceDescription> s) {
+                  called = true;
+                  EXPECT_TRUE(s.empty());
+                });
+  tb.run_until(10.0);
+  EXPECT_TRUE(called);
+}
+
+// --- SLP ---------------------------------------------------------------
+
+TEST(Slp, DirectoryAgentModeRoundTrip) {
+  Testbed tb;
+  auto& da_stack = tb.add_node(1, {0, 0});
+  auto& sa_stack = tb.add_node(2, {5, 0});
+  auto& ua_stack = tb.add_node(3, {0, 5});
+  SlpDirectoryAgent da(tb.world(), da_stack);
+  SlpServiceAgent sa(tb.world(), sa_stack);
+  SlpUserAgent ua(tb.world(), ua_stack);
+  tb.run_until(1.0);  // hear the DA advert
+  EXPECT_TRUE(sa.has_da());
+  EXPECT_TRUE(ua.has_da());
+
+  sa.advertise(make_service("printer/laser", 2, 700));
+  tb.run_until(3.0);
+  EXPECT_EQ(da.registered_count(), 1u);
+
+  std::vector<ServiceDescription> found;
+  ua.find(ServiceTemplate{"printer", {}},
+          [&](std::vector<ServiceDescription> s) { found = std::move(s); });
+  tb.run_until(5.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].type, "printer/laser");
+}
+
+TEST(Slp, DaLessMulticastConvergecast) {
+  Testbed tb;
+  auto& sa_stack = tb.add_node(2, {5, 0});
+  auto& ua_stack = tb.add_node(3, {0, 5});
+  SlpServiceAgent sa(tb.world(), sa_stack);
+  SlpUserAgent ua(tb.world(), ua_stack);
+  sa.advertise(make_service("printer/laser", 2, 700));
+  EXPECT_FALSE(ua.has_da());
+
+  std::vector<ServiceDescription> found;
+  ua.find(ServiceTemplate{"printer", {}},
+          [&](std::vector<ServiceDescription> s) { found = std::move(s); });
+  tb.run_until(3.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].endpoint.node, 2u);
+}
+
+TEST(Slp, DaLessNonMatchingYieldsEmptyAfterWait) {
+  Testbed tb;
+  auto& sa_stack = tb.add_node(2, {5, 0});
+  auto& ua_stack = tb.add_node(3, {0, 5});
+  SlpServiceAgent sa(tb.world(), sa_stack);
+  SlpUserAgent ua(tb.world(), ua_stack);
+  sa.advertise(make_service("printer/laser", 2, 700));
+  bool called = false;
+  ua.find(ServiceTemplate{"scanner", {}},
+          [&](std::vector<ServiceDescription> s) {
+            called = true;
+            EXPECT_TRUE(s.empty());
+          });
+  tb.run_until(3.0);
+  EXPECT_TRUE(called);
+}
+
+TEST(Slp, ReregistrationSurvivesLifetime) {
+  Testbed tb;
+  auto& da_stack = tb.add_node(1, {0, 0});
+  auto& sa_stack = tb.add_node(2, {5, 0});
+  SlpDirectoryAgent da(tb.world(), da_stack);
+  SlpServiceAgent sa(tb.world(), sa_stack);
+  tb.run_until(1.0);
+  sa.advertise(make_service("printer/laser", 2, 700));
+  tb.run_until(120.0);  // several lifetimes
+  EXPECT_EQ(da.registered_count(), 1u);  // re-registered, not duplicated
+}
+
+// --- SSDP ----------------------------------------------------------------
+
+TEST(Ssdp, AliveAnnouncementsPopulateCache) {
+  Testbed tb;
+  auto& adv_stack = tb.add_node(2, {5, 0});
+  auto& cp_stack = tb.add_node(3, {0, 5});
+  SsdpAdvertiser adv(tb.world(), adv_stack);
+  SsdpControlPoint cp(tb.world(), cp_stack);
+  adv.advertise(make_service("media/renderer", 2, 800));
+  tb.run_until(1.0);
+  const auto cached = cp.cached(ServiceTemplate{"media", {}});
+  ASSERT_EQ(cached.size(), 1u);
+  EXPECT_EQ(cached[0].type, "media/renderer");
+}
+
+TEST(Ssdp, CacheHitAnswersInstantlyWithoutMessages) {
+  Testbed tb;
+  auto& adv_stack = tb.add_node(2, {5, 0});
+  auto& cp_stack = tb.add_node(3, {0, 5});
+  SsdpAdvertiser adv(tb.world(), adv_stack);
+  SsdpControlPoint cp(tb.world(), cp_stack);
+  adv.advertise(make_service("media/renderer", 2, 800));
+  tb.run_until(1.0);
+  const auto msgs_before = cp.messages_sent();
+  bool called = false;
+  cp.find(ServiceTemplate{"media", {}}, [&](std::vector<ServiceDescription> s) {
+    called = true;
+    EXPECT_EQ(s.size(), 1u);
+  });
+  EXPECT_TRUE(called);  // synchronous from cache
+  EXPECT_EQ(cp.messages_sent(), msgs_before);
+}
+
+TEST(Ssdp, MSearchFindsUncachedService) {
+  Testbed tb;
+  auto& adv_stack = tb.add_node(2, {5, 0});
+  auto& cp_stack = tb.add_node(3, {0, 5});
+  SsdpAdvertiser::Params ap;
+  ap.announce_interval = sim::Time::sec(3600);  // effectively never announce
+  SsdpAdvertiser adv(tb.world(), adv_stack, ap);
+  SsdpControlPoint cp(tb.world(), cp_stack);
+  adv.advertise(make_service("media/renderer", 2, 800));
+  // The single initial alive may have been heard; clear by using a fresh
+  // control point created after it.
+  SsdpControlPoint late_cp(tb.world(), cp_stack);
+  std::vector<ServiceDescription> found;
+  late_cp.find(ServiceTemplate{"media", {}},
+               [&](std::vector<ServiceDescription> s) { found = std::move(s); });
+  tb.run_until(5.0);
+  ASSERT_EQ(found.size(), 1u);
+}
+
+TEST(Ssdp, ByeByeEvictsCache) {
+  Testbed tb;
+  auto& adv_stack = tb.add_node(2, {5, 0});
+  auto& cp_stack = tb.add_node(3, {0, 5});
+  SsdpAdvertiser adv(tb.world(), adv_stack);
+  SsdpControlPoint cp(tb.world(), cp_stack);
+  adv.advertise(make_service("media/renderer", 2, 800));
+  tb.run_until(1.0);
+  ASSERT_EQ(cp.cached(ServiceTemplate{}).size(), 1u);
+  adv.withdraw(1, /*silent=*/false);
+  tb.run_until(2.0);
+  EXPECT_TRUE(cp.cached(ServiceTemplate{}).empty());
+}
+
+TEST(Ssdp, SilentDeathLeavesStaleCacheUntilMaxAge) {
+  Testbed tb;
+  auto& adv_stack = tb.add_node(2, {5, 0});
+  auto& cp_stack = tb.add_node(3, {0, 5});
+  SsdpAdvertiser adv(tb.world(), adv_stack);
+  SsdpControlPoint cp(tb.world(), cp_stack);
+  adv.advertise(make_service("media/renderer", 2, 800));
+  tb.run_until(1.0);
+  adv.withdraw(1, /*silent=*/true);  // crash: no byebye
+  // Still cached (stale) before max-age...
+  tb.run_until(20.0);
+  EXPECT_EQ(cp.stale_entries(ServiceTemplate{}, {}), 1u);
+  // ...and gone after max-age (45 s default) with no refresh.
+  tb.run_until(70.0);
+  EXPECT_TRUE(cp.cached(ServiceTemplate{}).empty());
+}
+
+}  // namespace
+}  // namespace aroma::disco

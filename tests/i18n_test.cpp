@@ -1,0 +1,158 @@
+// Tests for internationalization and accessibility adaptation.
+#include <gtest/gtest.h>
+
+#include "i18n/accessibility.hpp"
+#include "i18n/catalog.hpp"
+#include "user/faculties.hpp"
+
+namespace aroma::i18n {
+namespace {
+
+MessageCatalog projector_catalog() {
+  MessageCatalog cat("en");
+  const char* keys[] = {"acquire", "release", "busy", "power-on", "help"};
+  for (const char* k : keys) {
+    cat.add("en", k, std::string("en:") + k);
+  }
+  // French fully translated; German partially.
+  for (const char* k : keys) {
+    cat.add("fr", k, std::string("fr:") + k);
+  }
+  cat.add("de", "acquire", "de:acquire");
+  cat.add("de", "busy", "de:busy");
+  return cat;
+}
+
+// --- MessageCatalog ------------------------------------------------------
+
+TEST(MessageCatalog, LookupAndFallback) {
+  const MessageCatalog cat = projector_catalog();
+  EXPECT_EQ(cat.lookup("fr", "busy"), "fr:busy");
+  EXPECT_EQ(cat.lookup("de", "busy"), "de:busy");
+  EXPECT_EQ(cat.lookup("de", "help"), "en:help");   // fallback to base
+  EXPECT_EQ(cat.lookup("zz", "help"), "en:help");   // unknown language
+  EXPECT_EQ(cat.lookup("en", "no-such-key"), "no-such-key");  // echo key
+}
+
+TEST(MessageCatalog, CoverageFractions) {
+  const MessageCatalog cat = projector_catalog();
+  EXPECT_DOUBLE_EQ(cat.coverage("en"), 1.0);
+  EXPECT_DOUBLE_EQ(cat.coverage("fr"), 1.0);
+  EXPECT_DOUBLE_EQ(cat.coverage("de"), 0.4);
+  EXPECT_DOUBLE_EQ(cat.coverage("zz"), 0.0);
+  EXPECT_EQ(cat.key_count(), 5u);
+}
+
+TEST(Negotiation, PrefersNativeWhenCovered) {
+  const MessageCatalog cat = projector_catalog();
+  user::Faculties fr = user::personas::non_english_speaker();  // "fr"
+  const auto n = negotiate(cat, fr);
+  EXPECT_TRUE(n.native);
+  EXPECT_EQ(n.language, "fr");
+  EXPECT_DOUBLE_EQ(n.coverage, 1.0);
+}
+
+TEST(Negotiation, FallsBackOnThinTranslations) {
+  const MessageCatalog cat = projector_catalog();
+  user::Faculties de = user::personas::office_worker();
+  de.language = "de";
+  const auto n = negotiate(cat, de, /*min_coverage=*/0.7);
+  EXPECT_FALSE(n.native);
+  EXPECT_EQ(n.language, "en");
+  // Lower the bar and German becomes acceptable.
+  const auto lax = negotiate(cat, de, 0.3);
+  EXPECT_TRUE(lax.native);
+  EXPECT_EQ(lax.language, "de");
+}
+
+TEST(Negotiation, LocalizedRequirementsRemoveLanguageMismatch) {
+  const MessageCatalog cat = projector_catalog();
+  const user::Faculties fr = user::personas::non_english_speaker();
+  user::FacultyRequirements req = user::commercial_product_requirements();
+  // Unlocalized: the language mismatch is the user's biggest barrier.
+  EXPECT_FALSE(user::check_faculty_fit(fr, req).empty());
+  // Localized: the requirement adapts to the served language.
+  const auto adjusted = localize_requirements(cat, fr, req);
+  EXPECT_TRUE(user::check_faculty_fit(fr, adjusted).empty());
+}
+
+// --- Accessibility -----------------------------------------------------
+
+TEST(Accessibility, ScalesTextForLowVision) {
+  AdaptationEngine engine;
+  phys::Physiology low_vision;
+  low_vision.visual_acuity = 0.4;
+  phys::PhysicalUser user(1, "u", nullptr, low_vision);
+  const auto device = phys::profiles::laptop();  // 3 mm text
+  const auto report = engine.adapt(user, device, 0.5);
+  ASSERT_TRUE(report.usable);
+  ASSERT_EQ(report.adaptations.size(), 1u);
+  EXPECT_EQ(report.adaptations[0].what, "scale-text");
+  EXPECT_GT(report.adaptations[0].parameter, 1.0);
+
+  // After applying, the user can actually read the screen.
+  const auto adapted = AdaptationEngine::apply(device, report);
+  EXPECT_TRUE(user.can_read(adapted.ui.text_height_mm, 0.5));
+}
+
+TEST(Accessibility, AudioFallbackWhenScalingIsNotEnough) {
+  AdaptationEngine engine;
+  phys::Physiology near_blind;
+  near_blind.visual_acuity = 0.06;
+  phys::PhysicalUser user(1, "u", nullptr, near_blind);
+  const auto device = phys::profiles::laptop();  // has a speaker
+  const auto report = engine.adapt(user, device, 0.5);
+  EXPECT_TRUE(report.usable);
+  ASSERT_EQ(report.adaptations.size(), 1u);
+  EXPECT_EQ(report.adaptations[0].what, "audio-prompts");
+}
+
+TEST(Accessibility, ResidualWhenNoModalityFits) {
+  AdaptationEngine engine;
+  phys::Physiology near_blind;
+  near_blind.visual_acuity = 0.06;
+  phys::PhysicalUser user(1, "u", nullptr, near_blind);
+  auto device = phys::profiles::pda();  // tiny text, no speaker
+  const auto report = engine.adapt(user, device, 0.4);
+  EXPECT_FALSE(report.usable);
+  EXPECT_FALSE(report.residual.empty());
+}
+
+TEST(Accessibility, SoftButtonsGrowForMotorImpairment) {
+  AdaptationEngine engine;
+  phys::Physiology shaky;
+  shaky.motor_precision_mm = 9.0;
+  phys::PhysicalUser user(1, "u", nullptr, shaky);
+  auto device = phys::profiles::pda();  // 5 mm targets, has display
+  const auto report = engine.adapt(user, device, 0.3);
+  bool grew = false;
+  for (const auto& a : report.adaptations) {
+    grew |= a.what == "enlarge-soft-buttons";
+  }
+  EXPECT_TRUE(grew);
+  const auto adapted = AdaptationEngine::apply(device, report);
+  EXPECT_TRUE(user.can_press(adapted.ui.button_size_mm));
+}
+
+TEST(Accessibility, HealthyUserNeedsNoAdaptation) {
+  AdaptationEngine engine;
+  phys::PhysicalUser user(1, "u", nullptr);
+  const auto report =
+      engine.adapt(user, phys::profiles::laptop(), 0.5);
+  EXPECT_TRUE(report.usable);
+  EXPECT_TRUE(report.adaptations.empty());
+  EXPECT_TRUE(report.residual.empty());
+}
+
+TEST(Accessibility, HeadlessDeviceTriviallyAccessible) {
+  AdaptationEngine engine;
+  phys::Physiology near_blind;
+  near_blind.visual_acuity = 0.05;
+  phys::PhysicalUser user(1, "u", nullptr, near_blind);
+  const auto report =
+      engine.adapt(user, phys::profiles::aroma_adapter(), 1.0);
+  EXPECT_TRUE(report.usable);
+}
+
+}  // namespace
+}  // namespace aroma::i18n

@@ -1,0 +1,302 @@
+// Whole-stack integration: the Smart Projector scenario end-to-end — real
+// discovery over the simulated 2.4 GHz medium, sessioned services, the RFB
+// stream, and a simulated presenter executing the paper's procedure.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/projector.hpp"
+#include "disco/jini.hpp"
+#include "env/environment.hpp"
+#include "lpc/analyzer.hpp"
+#include "phys/device.hpp"
+#include "rfb/workload.hpp"
+#include "sim/world.hpp"
+#include "user/agent.hpp"
+#include "user/mental_model.hpp"
+
+namespace aroma {
+namespace {
+
+/// The full lab: lookup service, adapter (smart projector), laptop.
+struct Lab {
+  explicit Lab(std::uint64_t seed = 17) : world(seed), environment(world) {
+    auto add = [&](std::uint64_t id, phys::DeviceProfile profile,
+                   env::Vec2 pos) {
+      devices.push_back(std::make_unique<phys::Device>(
+          world, environment, id, std::move(profile),
+          std::make_unique<env::StaticMobility>(pos)));
+      stacks.push_back(
+          std::make_unique<net::NetStack>(world, devices.back()->mac()));
+      return stacks.back().get();
+    };
+    registrar_stack = add(1, phys::profiles::desktop_pc_with_radio(), {0, 10});
+    adapter_stack = add(2, phys::profiles::aroma_adapter(), {0, 0});
+    laptop_stack = add(3, phys::profiles::laptop(), {8, 0});
+
+    registrar = std::make_unique<disco::JiniRegistrar>(world, *registrar_stack);
+    projector = std::make_unique<app::SmartProjector>(world, *adapter_stack);
+    adapter_jini = std::make_unique<disco::JiniClient>(world, *adapter_stack);
+    laptop_jini = std::make_unique<disco::JiniClient>(world, *laptop_stack);
+    display = std::make_unique<app::PresenterDisplay>(world, *laptop_stack,
+                                                      128, 96);
+  }
+
+  void run_until(double sec) { world.sim().run_until(sim::Time::sec(sec)); }
+
+  sim::World world;
+  env::Environment environment;
+  std::vector<std::unique_ptr<phys::Device>> devices;
+  std::vector<std::unique_ptr<net::NetStack>> stacks;
+  net::NetStack* registrar_stack;
+  net::NetStack* adapter_stack;
+  net::NetStack* laptop_stack;
+  std::unique_ptr<disco::JiniRegistrar> registrar;
+  std::unique_ptr<app::SmartProjector> projector;
+  std::unique_ptr<disco::JiniClient> adapter_jini;
+  std::unique_ptr<disco::JiniClient> laptop_jini;
+  std::unique_ptr<app::PresenterDisplay> display;
+};
+
+TEST(Integration, DiscoveryToProjectionPipeline) {
+  Lab lab;
+  // 1. The adapter exports its services through real Jini traffic.
+  bool exported = false;
+  lab.projector->export_services(*lab.adapter_jini,
+                                 [&](bool ok) { exported = ok; });
+  lab.run_until(5.0);
+  ASSERT_TRUE(exported);
+  ASSERT_EQ(lab.registrar->registered_count(), 2u);
+
+  // 2. The laptop discovers the projection service.
+  std::vector<disco::ServiceDescription> found;
+  lab.laptop_jini->lookup(
+      disco::ServiceTemplate{app::kProjectionType, {}},
+      [&](std::vector<disco::ServiceDescription> s) { found = std::move(s); });
+  lab.run_until(10.0);
+  ASSERT_EQ(found.size(), 1u);
+  const auto projection_endpoint = found[0].endpoint;
+  EXPECT_EQ(projection_endpoint.node, 2u);
+
+  // 3. Start the VNC server, acquire, project.
+  lab.display->start_server();
+  rfb::SlideDeckWorkload deck(1);
+  deck.step(lab.display->screen());
+  app::ProjectorClient client(lab.world, *lab.laptop_stack,
+                              projection_endpoint.node, app::kProjectionPort);
+  bool acquired = false, started = false;
+  client.acquire([&](bool ok) { acquired = ok; });
+  lab.run_until(12.0);
+  ASSERT_TRUE(acquired);
+  client.start_projection(lab.laptop_stack->node_id(),
+                          [&](bool ok) { started = ok; });
+  lab.run_until(60.0);
+  ASSERT_TRUE(started);
+  ASSERT_NE(lab.projector->projected(), nullptr);
+  EXPECT_TRUE(
+      lab.projector->projected()->same_content(lab.display->screen()));
+}
+
+TEST(Integration, AvailabilityEventsReachSubscribers) {
+  Lab lab;
+  // A subscriber on the laptop watches for projector services — the
+  // paper's "icons should change their appearance" mechanism.
+  std::vector<bool> events;
+  lab.laptop_jini->subscribe(
+      disco::ServiceTemplate{"projector", {}},
+      [&](const disco::ServiceDescription&, bool appeared) {
+        events.push_back(appeared);
+      });
+  lab.run_until(2.0);
+  bool exported = false;
+  lab.projector->export_services(*lab.adapter_jini,
+                                 [&](bool ok) { exported = ok; });
+  lab.run_until(8.0);
+  ASSERT_TRUE(exported);
+  EXPECT_EQ(events.size(), 2u);  // both services appeared
+  for (bool e : events) EXPECT_TRUE(e);
+}
+
+TEST(Integration, PresenterAgentRunsTheWholeProcedure) {
+  Lab lab;
+  bool exported = false;
+  lab.projector->export_services(*lab.adapter_jini,
+                                 [&](bool ok) { exported = ok; });
+  lab.run_until(5.0);
+  ASSERT_TRUE(exported);
+
+  app::ProjectorClient proj_client(lab.world, *lab.laptop_stack, 2,
+                                   app::kProjectionPort);
+  app::ProjectorClient ctrl_client(lab.world, *lab.laptop_stack, 2,
+                                   app::kControlPort);
+  rfb::SlideDeckWorkload deck(2);
+
+  // The paper's procedure as the agent experiences it. The expert
+  // researcher runs it to completion.
+  user::UserAgent researcher(lab.world, "researcher",
+                             user::personas::computer_scientist());
+  std::vector<user::ProcedureStep> procedure;
+  procedure.push_back({"start-vnc-server",
+                       [&](std::function<void(bool)> done) {
+                         lab.display->start_server();
+                         deck.step(lab.display->screen());
+                         done(true);
+                       },
+                       0.4, false});
+  procedure.push_back({"discover-projection-service",
+                       [&](std::function<void(bool)> done) {
+                         lab.laptop_jini->lookup(
+                             disco::ServiceTemplate{app::kProjectionType, {}},
+                             [done](std::vector<disco::ServiceDescription> s) {
+                               done(!s.empty());
+                             });
+                       },
+                       0.5, false});
+  procedure.push_back({"acquire-projection",
+                       [&](std::function<void(bool)> done) {
+                         proj_client.acquire(done);
+                       },
+                       0.5, false});
+  procedure.push_back({"start-projection",
+                       [&](std::function<void(bool)> done) {
+                         proj_client.start_projection(
+                             lab.laptop_stack->node_id(), done);
+                       },
+                       0.6, false});
+  procedure.push_back({"acquire-control",
+                       [&](std::function<void(bool)> done) {
+                         ctrl_client.acquire(done);
+                       },
+                       0.5, false});
+  procedure.push_back({"power-on",
+                       [&](std::function<void(bool)> done) {
+                         ctrl_client.command(app::ProjectorCommand::kPowerOn,
+                                             0, done);
+                       },
+                       0.3, false});
+
+  user::TaskOutcome outcome;
+  bool finished = false;
+  researcher.attempt(procedure, [&](const user::TaskOutcome& o) {
+    outcome = o;
+    finished = true;
+  });
+  lab.run_until(600.0);
+  ASSERT_TRUE(finished);
+  EXPECT_TRUE(outcome.success) << "failed at step " << outcome.steps_completed;
+  EXPECT_TRUE(lab.projector->state().powered);
+  EXPECT_TRUE(lab.projector->state().projecting);
+  lab.run_until(700.0);
+  ASSERT_NE(lab.projector->projected(), nullptr);
+  EXPECT_TRUE(
+      lab.projector->projected()->same_content(lab.display->screen()));
+}
+
+TEST(Integration, AnalyzerFlagsTheLiveSystem) {
+  // The static model mirrors what the live test exercises; the analysis
+  // must reproduce the paper's per-layer findings for the same system.
+  const lpc::SystemModel model = lpc::smart_projector_case_study();
+  lpc::Analyzer analyzer;
+  const auto report = analyzer.analyze(model);
+  EXPECT_GE(report.findings.size(), 5u);
+  EXPECT_GT(report.max_severity(), 0.5);
+  const std::string rendered = report.render();
+  EXPECT_NE(rendered.find("smart-projector"), std::string::npos);
+}
+
+// A mobility model that steps between two positions on a schedule: near
+// until t1, far until t2, near again after (a presenter stepping out).
+class StepAwayMobility final : public env::MobilityModel {
+ public:
+  StepAwayMobility(env::Vec2 near_pos, env::Vec2 far_pos, sim::Time leave,
+                   sim::Time back)
+      : near_(near_pos), far_(far_pos), leave_(leave), back_(back) {}
+  env::Vec2 position_at(sim::Time t) const override {
+    if (t < leave_ || t >= back_) return near_;
+    return far_;
+  }
+
+ private:
+  env::Vec2 near_;
+  env::Vec2 far_;
+  sim::Time leave_;
+  sim::Time back_;
+};
+
+TEST(Integration, ProjectionSurvivesBriefRangeLoss) {
+  // The paper's mobility point: the environment (here, distance) governs
+  // whether the system works at all. A short walk out of range stalls the
+  // stream; ARQ and the stream's RTO recover it on return.
+  sim::World world(23);
+  env::Environment environment(world);
+  auto adapter_dev = std::make_unique<phys::Device>(
+      world, environment, 2, phys::profiles::aroma_adapter(),
+      std::make_unique<env::StaticMobility>(env::Vec2{0, 0}));
+  // The laptop steps 10 km away between t=40 s and t=52 s.
+  auto laptop_dev = std::make_unique<phys::Device>(
+      world, environment, 3, phys::profiles::laptop(),
+      std::make_unique<StepAwayMobility>(
+          env::Vec2{8, 0}, env::Vec2{10'000, 0}, sim::Time::sec(40),
+          sim::Time::sec(52)));
+  net::NetStack adapter_stack(world, adapter_dev->mac());
+  net::NetStack laptop_stack(world, laptop_dev->mac());
+  app::SmartProjector projector(world, adapter_stack);
+  app::PresenterDisplay display(world, laptop_stack, 96, 64);
+  display.start_server();
+  rfb::SlideDeckWorkload deck(6);
+  deck.step(display.screen());
+
+  app::ProjectorClient client(world, laptop_stack, 2, app::kProjectionPort);
+  bool started = false;
+  client.acquire([&](bool ok) {
+    if (ok) client.start_projection(3, [&](bool s) { started = s; });
+  });
+  world.sim().run_until(sim::Time::sec(30));
+  ASSERT_TRUE(started);
+  ASSERT_NE(projector.projected(), nullptr);
+  ASSERT_TRUE(projector.projected()->same_content(display.screen()));
+
+  // Mutate the screen while the presenter is away: the update cannot flow.
+  world.sim().run_until(sim::Time::sec(42));
+  deck.step(display.screen());
+  display.apply(deck);
+  world.sim().run_until(sim::Time::sec(50));
+  EXPECT_FALSE(projector.projected()->same_content(display.screen()));
+
+  // Back in range: the stalled stream retransmits and the replica catches
+  // up without anyone restarting anything.
+  world.sim().run_until(sim::Time::sec(120));
+  EXPECT_TRUE(projector.projected()->same_content(display.screen()));
+}
+
+TEST(Integration, MentalModelDivergenceFallsWithUse) {
+  // A naive user operating the *real* projector stack: every observed
+  // transition comes from live service responses, and the belief repairs.
+  Lab lab;
+  const user::Automaton truth = user::smart_projector_truth();
+  user::MentalModel belief(truth, user::smart_projector_naive_prior(), 0.8);
+  sim::Rng rng(4);
+  const double initial = belief.divergence();
+
+  int state = truth.find_state("v0p0j0c0");
+  auto apply = [&](const std::string& action) {
+    const int next = truth.next(state, action);
+    belief.observe(state, action, next, rng);
+    state = next;
+  };
+  for (int round = 0; round < 12; ++round) {
+    apply("start-vnc");
+    apply("acquire-projection");
+    apply("start-projection");
+    apply("acquire-control");
+    apply("power-on");
+    apply("stop-projection");
+    apply("release-projection");
+    apply("release-control");
+    apply("stop-vnc");
+  }
+  EXPECT_LT(belief.divergence(), initial);
+}
+
+}  // namespace
+}  // namespace aroma

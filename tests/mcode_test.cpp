@@ -1,0 +1,322 @@
+// Tests for mobile code: packages, capability checks, deployment, and
+// itinerant agents over the simulated network.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "env/environment.hpp"
+#include "mcode/agent.hpp"
+#include "mcode/deploy.hpp"
+#include "mcode/package.hpp"
+#include "phys/device.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::mcode {
+namespace {
+
+class Testbed {
+ public:
+  explicit Testbed(std::uint64_t seed = 1) : world_(seed), env_(world_) {}
+
+  net::NetStack& add_node(std::uint64_t id, env::Vec2 pos,
+                          phys::DeviceProfile profile) {
+    devices_.push_back(std::make_unique<phys::Device>(
+        world_, env_, id, std::move(profile),
+        std::make_unique<env::StaticMobility>(pos)));
+    stacks_.push_back(
+        std::make_unique<net::NetStack>(world_, devices_.back()->mac()));
+    return *stacks_.back();
+  }
+
+  sim::World& world() { return world_; }
+  void run_until(double sec) { world_.sim().run_until(sim::Time::sec(sec)); }
+
+ private:
+  sim::World world_;
+  env::Environment env_;
+  std::vector<std::unique_ptr<phys::Device>> devices_;
+  std::vector<std::unique_ptr<net::NetStack>> stacks_;
+};
+
+CodePackage proxy_package(std::uint32_t version = 1,
+                          std::uint64_t code_bytes = 48 * 1024) {
+  CodePackage p;
+  p.name = "projection-proxy";
+  p.version = version;
+  p.code_bytes = code_bytes;
+  p.mem_bytes = 512 * 1024;
+  p.mips_required = 4.0;
+  p.runtime = "jvm";
+  return p;
+}
+
+// --- Package / capabilities ------------------------------------------------
+
+TEST(CodePackage, SerializationRoundTrip) {
+  const CodePackage p = proxy_package(3);
+  net::ByteWriter w;
+  p.serialize(w);
+  net::ByteReader r(w.data());
+  const CodePackage back = CodePackage::deserialize(r);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(back.name, p.name);
+  EXPECT_EQ(back.version, 3u);
+  EXPECT_EQ(back.code_bytes, p.code_bytes);
+  EXPECT_EQ(back.mem_bytes, p.mem_bytes);
+  EXPECT_DOUBLE_EQ(back.mips_required, p.mips_required);
+  EXPECT_EQ(back.runtime, "jvm");
+}
+
+TEST(Capabilities, AdapterRunsTheProxy) {
+  const auto issues = check_capabilities(
+      proxy_package(), phys::profiles::aroma_adapter(), HostRuntime{});
+  EXPECT_TRUE(issues.empty());
+}
+
+TEST(Capabilities, MissingRuntimeRejected) {
+  HostRuntime bare;
+  bare.runtimes = {"native"};
+  const auto issues = check_capabilities(
+      proxy_package(), phys::profiles::aroma_adapter(), bare);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].what.find("runtime"), std::string::npos);
+}
+
+TEST(Capabilities, TinyDeviceRejectsBigPackage) {
+  CodePackage heavy = proxy_package();
+  heavy.code_bytes = 64ull << 20;
+  heavy.mem_bytes = 32ull << 20;
+  heavy.mips_required = 500.0;
+  const auto issues = check_capabilities(
+      heavy, phys::profiles::future_soc(), HostRuntime{});
+  EXPECT_GE(issues.size(), 3u);  // storage, memory, and cpu all short
+}
+
+TEST(Capabilities, AccountsForExistingInstalls) {
+  const auto device = phys::profiles::future_soc();  // 8 MB storage
+  HostRuntime host;
+  CodePackage p = proxy_package();
+  p.code_bytes = 3ull << 20;
+  EXPECT_TRUE(check_capabilities(p, device, host).empty());
+  // With 3 MB already used against a 4 MB budget, another 3 MB won't fit.
+  EXPECT_FALSE(
+      check_capabilities(p, device, host, /*already_used_storage=*/3ull << 20)
+          .empty());
+}
+
+// --- Deployment ------------------------------------------------------------
+
+TEST(Deployment, FetchInstallsPackage) {
+  Testbed tb;
+  auto& repo_stack =
+      tb.add_node(1, {0, 0}, phys::profiles::desktop_pc_with_radio());
+  auto& dev_stack = tb.add_node(2, {5, 0}, phys::profiles::aroma_adapter());
+  CodeRepository repo(tb.world(), repo_stack);
+  CodeLoader loader(tb.world(), dev_stack, phys::profiles::aroma_adapter());
+  repo.publish(proxy_package());
+
+  FetchResult result;
+  loader.fetch(1, "projection-proxy", 1,
+               [&](const FetchResult& r) { result = r; });
+  tb.run_until(30.0);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.transferred);
+  EXPECT_GT(result.latency.seconds(), 0.0);
+  EXPECT_TRUE(loader.installed("projection-proxy"));
+  EXPECT_EQ(loader.installed_version("projection-proxy"), 1u);
+  EXPECT_EQ(repo.fetches_served(), 1u);
+}
+
+TEST(Deployment, UnknownPackageFails) {
+  Testbed tb;
+  auto& repo_stack =
+      tb.add_node(1, {0, 0}, phys::profiles::desktop_pc_with_radio());
+  auto& dev_stack = tb.add_node(2, {5, 0}, phys::profiles::aroma_adapter());
+  CodeRepository repo(tb.world(), repo_stack);
+  CodeLoader loader(tb.world(), dev_stack, phys::profiles::aroma_adapter());
+
+  bool called = false;
+  FetchResult result;
+  result.ok = true;
+  loader.fetch(1, "no-such-package", 1, [&](const FetchResult& r) {
+    called = true;
+    result = r;
+  });
+  tb.run_until(30.0);
+  EXPECT_TRUE(called);
+  EXPECT_FALSE(result.ok);
+}
+
+TEST(Deployment, IncapableHostRejectsAfterTransfer) {
+  Testbed tb;
+  auto& repo_stack =
+      tb.add_node(1, {0, 0}, phys::profiles::desktop_pc_with_radio());
+  auto& dev_stack = tb.add_node(2, {5, 0}, phys::profiles::future_soc());
+  CodeRepository repo(tb.world(), repo_stack);
+  CodePackage heavy = proxy_package();
+  heavy.mem_bytes = 32ull << 20;  // exceeds the SOC's memory
+  repo.publish(heavy);
+  CodeLoader loader(tb.world(), dev_stack, phys::profiles::future_soc());
+
+  FetchResult result;
+  loader.fetch(1, "projection-proxy", 1,
+               [&](const FetchResult& r) { result = r; });
+  tb.run_until(30.0);
+  EXPECT_FALSE(result.ok);
+  EXPECT_FALSE(result.issues.empty());
+  EXPECT_FALSE(loader.installed("projection-proxy"));
+}
+
+TEST(Deployment, LatencyGrowsWithPackageSize) {
+  auto run = [](std::uint64_t bytes) {
+    Testbed tb(9);
+    auto& repo_stack =
+        tb.add_node(1, {0, 0}, phys::profiles::desktop_pc_with_radio());
+    auto& dev_stack = tb.add_node(2, {5, 0}, phys::profiles::aroma_adapter());
+    CodeRepository repo(tb.world(), repo_stack);
+    repo.publish(proxy_package(1, bytes));
+    CodeLoader loader(tb.world(), dev_stack, phys::profiles::aroma_adapter());
+    FetchResult result;
+    loader.fetch(1, "projection-proxy", 1,
+                 [&](const FetchResult& r) { result = r; });
+    tb.run_until(120.0);
+    EXPECT_TRUE(result.ok);
+    return result.latency.seconds();
+  };
+  const double small = run(8 * 1024);
+  const double large = run(256 * 1024);
+  EXPECT_GT(large, small * 3);  // dominated by airtime at 2 Mb/s
+}
+
+TEST(Deployment, AutoUpdateOnAnnounce) {
+  Testbed tb;
+  auto& repo_stack =
+      tb.add_node(1, {0, 0}, phys::profiles::desktop_pc_with_radio());
+  auto& dev_stack = tb.add_node(2, {5, 0}, phys::profiles::aroma_adapter());
+  CodeRepository repo(tb.world(), repo_stack);
+  repo.publish(proxy_package(1));
+  CodeLoader loader(tb.world(), dev_stack, phys::profiles::aroma_adapter());
+  loader.fetch(1, "projection-proxy", 1, [](const FetchResult&) {});
+  tb.run_until(20.0);
+  ASSERT_EQ(loader.installed_version("projection-proxy"), 1u);
+
+  int installs = 0;
+  loader.set_installed_callback([&](const CodePackage&) { ++installs; });
+  repo.publish(proxy_package(2));  // the ROM-fix moment
+  tb.run_until(60.0);
+  EXPECT_EQ(loader.installed_version("projection-proxy"), 2u);
+  EXPECT_EQ(installs, 1);
+}
+
+TEST(Deployment, UpgradeReplacesNotAccumulates) {
+  Testbed tb;
+  auto& repo_stack =
+      tb.add_node(1, {0, 0}, phys::profiles::desktop_pc_with_radio());
+  auto& dev_stack = tb.add_node(2, {5, 0}, phys::profiles::aroma_adapter());
+  CodeRepository repo(tb.world(), repo_stack);
+  repo.publish(proxy_package(1, 100 * 1024));
+  CodeLoader loader(tb.world(), dev_stack, phys::profiles::aroma_adapter());
+  loader.fetch(1, "projection-proxy", 1, [](const FetchResult&) {});
+  tb.run_until(30.0);
+  const auto used_v1 = loader.used_storage();
+  repo.publish(proxy_package(2, 100 * 1024));
+  tb.run_until(90.0);
+  EXPECT_EQ(loader.installed_version("projection-proxy"), 2u);
+  EXPECT_EQ(loader.used_storage(), used_v1);  // replaced, not doubled
+  EXPECT_EQ(loader.installed_count(), 1u);
+}
+
+// --- Mobile agents ---------------------------------------------------------
+
+TEST(Agents, ItineraryVisitsAllHostsAndReturns) {
+  Testbed tb;
+  std::vector<net::NetStack*> stacks;
+  std::vector<std::unique_ptr<AgentHost>> hosts;
+  for (std::uint64_t id = 1; id <= 4; ++id) {
+    auto& s = tb.add_node(id, {static_cast<double>(id) * 3.0, 0},
+                          phys::profiles::aroma_adapter());
+    stacks.push_back(&s);
+    hosts.push_back(std::make_unique<AgentHost>(
+        tb.world(), s, phys::profiles::aroma_adapter()));
+  }
+  // Each visited host appends its node id to the agent's data.
+  for (std::size_t i = 1; i < hosts.size(); ++i) {
+    hosts[i]->register_behaviour(
+        "survey-agent", [id = i + 1](AgentState& a) {
+          a.data.push_back(static_cast<std::byte>(id));
+        });
+  }
+
+  AgentState agent;
+  agent.package = proxy_package();
+  agent.package.name = "survey-agent";
+  agent.itinerary = {2, 3, 4};
+
+  AgentState final_state;
+  bool returned = false;
+  hosts[0]->launch(agent, [&](const AgentState& a) {
+    final_state = a;
+    returned = true;
+  });
+  tb.run_until(120.0);
+  ASSERT_TRUE(returned);
+  EXPECT_EQ(final_state.hops, 3u);
+  EXPECT_EQ(final_state.refusals, 0u);
+  ASSERT_EQ(final_state.data.size(), 3u);
+  EXPECT_EQ(final_state.data[0], std::byte{2});
+  EXPECT_EQ(final_state.data[2], std::byte{4});
+}
+
+TEST(Agents, IncapableHostIsSkippedAndCounted) {
+  Testbed tb;
+  auto& origin_stack =
+      tb.add_node(1, {0, 0}, phys::profiles::aroma_adapter());
+  auto& weak_stack = tb.add_node(2, {4, 0}, phys::profiles::future_soc());
+  auto& strong_stack =
+      tb.add_node(3, {0, 4}, phys::profiles::aroma_adapter());
+  AgentHost origin(tb.world(), origin_stack, phys::profiles::aroma_adapter());
+  AgentHost weak(tb.world(), weak_stack, phys::profiles::future_soc());
+  AgentHost strong(tb.world(), strong_stack,
+                   phys::profiles::aroma_adapter());
+  strong.register_behaviour("survey-agent", [](AgentState& a) {
+    a.data.push_back(std::byte{3});
+  });
+
+  AgentState agent;
+  agent.package = proxy_package();
+  agent.package.name = "survey-agent";
+  agent.package.mem_bytes = 8ull << 20;  // too big for the SOC host
+  agent.itinerary = {2, 3};
+
+  AgentState final_state;
+  bool returned = false;
+  origin.launch(agent, [&](const AgentState& a) {
+    final_state = a;
+    returned = true;
+  });
+  tb.run_until(120.0);
+  ASSERT_TRUE(returned);
+  EXPECT_EQ(final_state.refusals, 1u);
+  EXPECT_EQ(final_state.hops, 1u);
+  EXPECT_EQ(weak.agents_refused(), 1u);
+  EXPECT_EQ(strong.agents_hosted(), 1u);
+  ASSERT_EQ(final_state.data.size(), 1u);
+}
+
+TEST(Agents, EmptyItineraryReturnsImmediately) {
+  Testbed tb;
+  auto& s = tb.add_node(1, {0, 0}, phys::profiles::aroma_adapter());
+  AgentHost host(tb.world(), s, phys::profiles::aroma_adapter());
+  AgentState agent;
+  agent.package = proxy_package();
+  bool returned = false;
+  host.launch(agent, [&](const AgentState& a) {
+    returned = true;
+    EXPECT_EQ(a.hops, 0u);
+  });
+  tb.run_until(5.0);
+  EXPECT_TRUE(returned);
+}
+
+}  // namespace
+}  // namespace aroma::mcode

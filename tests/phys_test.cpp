@@ -1,0 +1,393 @@
+// Tests for the physical layer: profiles, batteries, transceivers, the
+// CSMA/CA MAC, the physical user, and the Device container.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "env/environment.hpp"
+#include "phys/battery.hpp"
+#include "phys/device.hpp"
+#include "phys/mac.hpp"
+#include "phys/physical_user.hpp"
+#include "phys/profile.hpp"
+#include "phys/transceiver.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::phys {
+namespace {
+
+env::PathLossModel flat_model() {
+  env::PathLossModel::Params p;
+  p.shadowing_sigma_db = 0.0;
+  return env::PathLossModel(p);
+}
+
+struct Link {
+  Link(sim::World& w, env::RadioMedium& medium, std::uint64_t id, env::Vec2 pos)
+      : mobility(pos),
+        radio(w, medium, &mobility,
+              [&] {
+                Transceiver::Params tp;
+                tp.config.id = id;
+                tp.config.channel = 6;
+                return tp;
+              }()),
+        mac(w, radio, sim::Rng(id * 101)) {}
+
+  env::StaticMobility mobility;
+  Transceiver radio;
+  CsmaMac mac;
+};
+
+// --- Profiles ----------------------------------------------------------
+
+TEST(Profiles, PresetsAreSane) {
+  const auto adapter = profiles::aroma_adapter();
+  EXPECT_TRUE(adapter.net.has_radio);
+  EXPECT_FALSE(adapter.ui.has_display);
+  EXPECT_EQ(adapter.name, "aroma-adapter");
+
+  const auto laptop = profiles::laptop();
+  EXPECT_TRUE(laptop.ui.has_keyboard);
+  EXPECT_TRUE(laptop.net.has_radio);
+
+  const auto projector = profiles::digital_projector();
+  EXPECT_TRUE(projector.ui.has_display);
+  EXPECT_FALSE(projector.net.has_radio);
+  EXPECT_GT(projector.idle_power_w, 100.0);
+
+  const auto soc = profiles::future_soc();
+  EXPECT_TRUE(soc.net.has_radio);
+  EXPECT_LT(soc.mass_kg, 0.1);
+  EXPECT_LT(soc.net.tx_power_dbm, adapter.net.tx_power_dbm);
+
+  EXPECT_TRUE(profiles::desktop_pc().net.has_wired);
+  EXPECT_FALSE(profiles::pda().net.has_radio);
+}
+
+// --- Battery ---------------------------------------------------------------
+
+TEST(Battery, IdleDrainOverTime) {
+  sim::World w(1);
+  Battery::Params p;
+  p.capacity_j = 100.0;
+  p.idle_power_w = 1.0;
+  Battery b(w, p);
+  EXPECT_DOUBLE_EQ(b.level_j(), 100.0);
+  w.sim().run_until(sim::Time::sec(30));
+  EXPECT_NEAR(b.level_j(), 70.0, 1e-9);
+  EXPECT_NEAR(b.fraction(), 0.7, 1e-9);
+}
+
+TEST(Battery, ExplicitDrainAndDepletionCallback) {
+  sim::World w(1);
+  Battery::Params p;
+  p.capacity_j = 10.0;
+  p.idle_power_w = 0.0;
+  Battery b(w, p);
+  bool dead = false;
+  b.set_depleted_callback([&] { dead = true; });
+  b.drain(4.0);
+  EXPECT_FALSE(dead);
+  EXPECT_FALSE(b.depleted());
+  b.drain(7.0);
+  EXPECT_TRUE(dead);
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.level_j(), 0.0);
+  // Callback fires exactly once.
+  dead = false;
+  b.drain(1.0);
+  EXPECT_FALSE(dead);
+}
+
+TEST(Battery, TxRxDrainRates) {
+  sim::World w(1);
+  Battery::Params p;
+  p.capacity_j = 100.0;
+  p.idle_power_w = 0.0;
+  p.tx_power_w = 2.0;
+  p.rx_power_w = 1.0;
+  Battery b(w, p);
+  b.drain_tx(10.0);
+  EXPECT_NEAR(b.level_j(), 80.0, 1e-9);
+  b.drain_rx(10.0);
+  EXPECT_NEAR(b.level_j(), 70.0, 1e-9);
+}
+
+TEST(Battery, LifetimeEstimate) {
+  Battery::Params p;
+  p.capacity_j = 3600.0;
+  p.idle_power_w = 0.5;
+  p.tx_power_w = 1.0;
+  p.rx_power_w = 0.5;
+  // idle only: 7200 s. With 50% tx duty: 1 W avg -> 3600 s.
+  EXPECT_NEAR(estimate_lifetime_s(p, 0.0, 0.0), 7200.0, 1e-9);
+  EXPECT_NEAR(estimate_lifetime_s(p, 0.5, 0.0), 3600.0, 1e-9);
+  EXPECT_GT(estimate_lifetime_s(p, 0.1, 0.1),
+            estimate_lifetime_s(p, 0.5, 0.5));
+}
+
+// --- Transceiver -------------------------------------------------------
+
+TEST(Transceiver, HalfDuplexWindow) {
+  sim::World w(1);
+  env::RadioMedium medium(w, flat_model());
+  env::StaticMobility pos({0, 0});
+  Transceiver::Params tp;
+  tp.config.id = 1;
+  tp.bitrate_bps = 1e6;
+  Transceiver t(w, medium, &pos, tp);
+  EXPECT_TRUE(t.receiver_enabled());
+  const auto air = t.transmit(1'000'000, nullptr);  // 1 s of airtime
+  EXPECT_EQ(air, sim::Time::sec(1));
+  EXPECT_TRUE(t.transmitting());
+  EXPECT_FALSE(t.receiver_enabled());
+  w.sim().run_until(sim::Time::sec(2));
+  EXPECT_FALSE(t.transmitting());
+  EXPECT_TRUE(t.receiver_enabled());
+  EXPECT_EQ(t.frames_sent(), 1u);
+}
+
+TEST(Transceiver, PoweredOffDoesNotSendOrReceive) {
+  sim::World w(1);
+  env::RadioMedium medium(w, flat_model());
+  env::StaticMobility pa({0, 0}), pb({3, 0});
+  Transceiver::Params ta, tb;
+  ta.config.id = 1;
+  tb.config.id = 2;
+  Transceiver a(w, medium, &pa, ta), b(w, medium, &pb, tb);
+  int received = 0;
+  b.set_receive_handler([&](const env::FrameDelivery& d) {
+    received += d.decodable ? 1 : 0;
+  });
+  b.set_powered(false);
+  a.transmit(8'000, nullptr);
+  w.sim().run();
+  EXPECT_EQ(received, 0);
+  b.set_powered(true);
+  a.transmit(8'000, nullptr);
+  w.sim().run();
+  EXPECT_EQ(received, 1);
+}
+
+// --- CSMA MAC ----------------------------------------------------------
+
+TEST(CsmaMac, UnicastDeliveryWithAck) {
+  sim::World w(1);
+  env::RadioMedium medium(w, flat_model());
+  Link a(w, medium, 1, {0, 0});
+  Link b(w, medium, 2, {5, 0});
+  auto payload = std::make_shared<int>(42);
+  int delivered_payload = 0;
+  bool send_ok = false;
+  b.mac.set_receive_handler([&](MacAddress src, const MacPayload& p,
+                                std::size_t bits) {
+    EXPECT_EQ(src, 1u);
+    EXPECT_EQ(bits, 800u);
+    delivered_payload = *static_cast<const int*>(p.get());
+  });
+  a.mac.send(2, 800, payload, [&](bool ok) { send_ok = ok; });
+  w.sim().run();
+  EXPECT_EQ(delivered_payload, 42);
+  EXPECT_TRUE(send_ok);
+  EXPECT_EQ(b.mac.stats().delivered_up, 1u);
+  EXPECT_EQ(b.mac.stats().sent_acks, 1u);
+  EXPECT_EQ(a.mac.stats().acks_received, 1u);
+}
+
+TEST(CsmaMac, BroadcastReachesAllWithoutAcks) {
+  sim::World w(1);
+  env::RadioMedium medium(w, flat_model());
+  Link a(w, medium, 1, {0, 0});
+  Link b(w, medium, 2, {5, 0});
+  Link c(w, medium, 3, {0, 5});
+  int deliveries = 0;
+  const auto count = [&](MacAddress, const MacPayload&, std::size_t) {
+    ++deliveries;
+  };
+  b.mac.set_receive_handler(count);
+  c.mac.set_receive_handler(count);
+  bool cb_ok = false;
+  a.mac.send(kBroadcast, 400, nullptr, [&](bool ok) { cb_ok = ok; });
+  w.sim().run();
+  EXPECT_EQ(deliveries, 2);
+  EXPECT_TRUE(cb_ok);
+  EXPECT_EQ(b.mac.stats().sent_acks, 0u);
+  EXPECT_EQ(c.mac.stats().sent_acks, 0u);
+}
+
+TEST(CsmaMac, ManyFramesAllDelivered) {
+  sim::World w(7);
+  env::RadioMedium medium(w, flat_model());
+  Link a(w, medium, 1, {0, 0});
+  Link b(w, medium, 2, {5, 0});
+  int delivered = 0;
+  b.mac.set_receive_handler(
+      [&](MacAddress, const MacPayload&, std::size_t) { ++delivered; });
+  for (int i = 0; i < 40; ++i) a.mac.send(2, 1'000, nullptr);
+  w.sim().run();
+  EXPECT_EQ(delivered, 40);
+  EXPECT_EQ(b.mac.stats().duplicates_dropped, 0u);
+}
+
+TEST(CsmaMac, ContendersBothGetThrough) {
+  sim::World w(3);
+  env::RadioMedium medium(w, flat_model());
+  Link a(w, medium, 1, {0, 0});
+  Link b(w, medium, 2, {3, 0});
+  Link c(w, medium, 3, {0, 3});
+  int from_a = 0, from_b = 0;
+  c.mac.set_receive_handler(
+      [&](MacAddress src, const MacPayload&, std::size_t) {
+        (src == 1 ? from_a : from_b)++;
+      });
+  for (int i = 0; i < 25; ++i) {
+    a.mac.send(3, 2'000, nullptr);
+    b.mac.send(3, 2'000, nullptr);
+  }
+  w.sim().run();
+  // Retransmission + backoff should pull (nearly) everything through.
+  EXPECT_GE(from_a, 23);
+  EXPECT_GE(from_b, 23);
+}
+
+TEST(CsmaMac, UnreachableDestinationFailsAfterRetries) {
+  sim::World w(1);
+  env::RadioMedium medium(w, flat_model());
+  Link a(w, medium, 1, {0, 0});
+  bool result = true;
+  a.mac.send(99, 800, nullptr, [&](bool ok) { result = ok; });
+  w.sim().run();
+  EXPECT_FALSE(result);
+  EXPECT_EQ(a.mac.stats().drops_retry_limit, 1u);
+  EXPECT_EQ(a.mac.stats().retries,
+            static_cast<std::uint64_t>(a.mac.params().retry_limit) + 1);
+}
+
+TEST(CsmaMac, QueueOverflowRejects) {
+  sim::World w(1);
+  env::RadioMedium medium(w, flat_model());
+  Link a(w, medium, 1, {0, 0});
+  int failures = 0;
+  // Fill beyond queue_limit while the MAC is stuck contending.
+  for (std::size_t i = 0; i < a.mac.params().queue_limit + 10; ++i) {
+    a.mac.send(99, 800, nullptr, [&](bool ok) { failures += ok ? 0 : 1; });
+  }
+  EXPECT_GE(a.mac.stats().drops_queue_full, 9u);
+  w.sim().run();
+  EXPECT_GE(failures, static_cast<int>(a.mac.params().queue_limit));
+}
+
+// --- PhysicalUser ------------------------------------------------------
+
+TEST(PhysicalUser, ReadingDependsOnAcuityAndDistance) {
+  PhysicalUser u(1, "u", nullptr);
+  EXPECT_TRUE(u.can_read(3.0, 0.5));    // laptop text at arm's length
+  EXPECT_FALSE(u.can_read(3.0, 4.0));   // same text across the room
+  EXPECT_TRUE(u.can_read(40.0, 4.0));   // projected glyphs across the room
+  Physiology weak;
+  weak.visual_acuity = 0.3;
+  PhysicalUser lowvision(2, "lv", nullptr, weak);
+  EXPECT_FALSE(lowvision.can_read(3.0, 0.5));
+}
+
+TEST(PhysicalUser, PressAndHear) {
+  PhysicalUser u(1, "u", nullptr);
+  EXPECT_TRUE(u.can_press(10.0));
+  EXPECT_FALSE(u.can_press(2.0));
+  EXPECT_TRUE(u.can_hear(60.0, 40.0));
+  EXPECT_FALSE(u.can_hear(10.0, 40.0));   // below threshold
+  EXPECT_FALSE(u.can_hear(50.0, 70.0));   // masked by noise
+}
+
+TEST(PhysicalUser, CompatibilityFindings) {
+  PhysicalUser u(1, "presenter", nullptr);
+  env::AmbientConditions cond;
+  // PDA with tiny text read at 1 m: unreadable.
+  auto issues = check_physical_compatibility(u, profiles::pda(), 1.0, cond);
+  bool found_text = false;
+  for (const auto& i : issues) {
+    found_text |= i.description.find("unreadable") != std::string::npos;
+  }
+  EXPECT_TRUE(found_text);
+
+  // Laptop at arm's length in a sane office: clean.
+  EXPECT_TRUE(
+      check_physical_compatibility(u, profiles::laptop(), 0.5, cond).empty());
+
+  // Projector in an overheated room: operating-range violation.
+  cond.temperature_c = 40.0;
+  issues = check_physical_compatibility(u, profiles::digital_projector(), 4.0,
+                                        cond);
+  bool found_thermal = false;
+  for (const auto& i : issues) {
+    found_thermal |= i.description.find("temperature") != std::string::npos;
+  }
+  EXPECT_TRUE(found_thermal);
+}
+
+// --- Device --------------------------------------------------------------
+
+TEST(Device, WiresRadioForRadioProfiles) {
+  sim::World w(1);
+  env::Environment e(w);
+  Device d(w, e, 42, profiles::aroma_adapter(),
+           std::make_unique<env::StaticMobility>(env::Vec2{1, 1}));
+  EXPECT_TRUE(d.has_radio());
+  EXPECT_EQ(d.mac().address(), 42u);
+  EXPECT_EQ(d.position(), (env::Vec2{1, 1}));
+  EXPECT_TRUE(d.operational());
+  EXPECT_EQ(e.medium().attached_count(), 1u);
+}
+
+TEST(Device, NoRadioForWiredProfiles) {
+  sim::World w(1);
+  env::Environment e(w);
+  Device d(w, e, 7, profiles::digital_projector(),
+           std::make_unique<env::StaticMobility>(env::Vec2{0, 0}));
+  EXPECT_FALSE(d.has_radio());
+}
+
+TEST(Device, BatteryDepletionStopsOperation) {
+  sim::World w(1);
+  env::Environment e(w);
+  Device::Options opt;
+  opt.battery_powered = true;
+  opt.battery.capacity_j = 10.0;
+  auto profile = profiles::future_soc();
+  profile.idle_power_w = 1.0;
+  Device d(w, e, 9, profile,
+           std::make_unique<env::StaticMobility>(env::Vec2{0, 0}), opt);
+  EXPECT_TRUE(d.operational());
+  w.sim().run_until(sim::Time::sec(60));
+  EXPECT_FALSE(d.operational());
+}
+
+TEST(Device, ThermalEnvelopeGatesOperation) {
+  sim::World w(1);
+  env::Environment e(w);
+  Device d(w, e, 5, profiles::digital_projector(),
+           std::make_unique<env::StaticMobility>(env::Vec2{0, 0}));
+  EXPECT_TRUE(d.operational());
+  e.conditions().temperature_c = 50.0;
+  EXPECT_FALSE(d.operational());
+}
+
+// Two devices talk end-to-end through their MACs.
+TEST(Device, EndToEndMacTraffic) {
+  sim::World w(1);
+  env::Environment e(w);
+  Device a(w, e, 1, profiles::laptop(),
+           std::make_unique<env::StaticMobility>(env::Vec2{0, 0}));
+  Device b(w, e, 2, profiles::aroma_adapter(),
+           std::make_unique<env::StaticMobility>(env::Vec2{6, 0}));
+  int got = 0;
+  b.mac().set_receive_handler(
+      [&](MacAddress, const MacPayload&, std::size_t) { ++got; });
+  a.mac().send(2, 4'000, nullptr);
+  w.sim().run();
+  EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace aroma::phys

@@ -1,0 +1,365 @@
+// Tests for the remote framebuffer stack: damage tracking, encodings
+// (including a property sweep), framing, protocol end-to-end, workloads.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "env/environment.hpp"
+#include "net/stack.hpp"
+#include "net/stream.hpp"
+#include "phys/device.hpp"
+#include "rfb/encoding.hpp"
+#include "rfb/framebuffer.hpp"
+#include "rfb/protocol.hpp"
+#include "rfb/workload.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::rfb {
+namespace {
+
+// --- Framebuffer -------------------------------------------------------
+
+TEST(Framebuffer, SetAndDamage) {
+  Framebuffer fb(64, 48, 0xff000000);
+  EXPECT_FALSE(fb.has_damage());
+  fb.set(3, 4, 0xffffffff);
+  EXPECT_EQ(fb.at(3, 4), 0xffffffffu);
+  ASSERT_TRUE(fb.has_damage());
+  const auto d = fb.damage_bounds();
+  EXPECT_EQ(d, (RectRegion{3, 4, 1, 1}));
+  fb.clear_damage();
+  EXPECT_FALSE(fb.has_damage());
+}
+
+TEST(Framebuffer, NoDamageOnIdenticalWrite) {
+  Framebuffer fb(8, 8, 0xff123456);
+  fb.set(1, 1, 0xff123456);
+  fb.fill_rect({0, 0, 8, 8}, 0xff123456);
+  EXPECT_FALSE(fb.has_damage());
+}
+
+TEST(Framebuffer, FillRectClipsToBounds) {
+  Framebuffer fb(10, 10, 0);
+  fb.fill_rect({-5, -5, 8, 8}, 0xff00ff00);
+  EXPECT_EQ(fb.at(0, 0), 0xff00ff00u);
+  EXPECT_EQ(fb.at(3, 3), 0u);
+  const auto d = fb.damage_bounds();
+  EXPECT_EQ(d, (RectRegion{0, 0, 3, 3}));
+}
+
+TEST(Framebuffer, DamageMergesIntersecting) {
+  Framebuffer fb(100, 100, 0);
+  fb.fill_rect({0, 0, 10, 10}, 1);
+  fb.fill_rect({5, 5, 10, 10}, 2);  // overlaps -> merged
+  EXPECT_EQ(fb.damage().size(), 1u);
+  EXPECT_EQ(fb.damage()[0], (RectRegion{0, 0, 15, 15}));
+}
+
+TEST(Framebuffer, DamageCollapsesWhenTooFragmented) {
+  Framebuffer fb(200, 200, 0);
+  for (int i = 0; i < 40; ++i) {
+    fb.set(i * 5, (i * 7) % 200, 0xffffffffu);
+  }
+  EXPECT_LE(fb.damage().size(), 17u);
+}
+
+TEST(Framebuffer, ContentHashAndEquality) {
+  Framebuffer a(32, 32, 5), b(32, 32, 5);
+  EXPECT_TRUE(a.same_content(b));
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+  b.set(0, 0, 9);
+  EXPECT_FALSE(a.same_content(b));
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(RectRegion, Basics) {
+  EXPECT_TRUE((RectRegion{0, 0, 0, 5}).empty());
+  EXPECT_EQ((RectRegion{1, 1, 4, 5}).area(), 20);
+  EXPECT_TRUE((RectRegion{0, 0, 5, 5}).intersects({4, 4, 5, 5}));
+  EXPECT_FALSE((RectRegion{0, 0, 5, 5}).intersects({5, 0, 5, 5}));
+  EXPECT_EQ(bounding({0, 0, 2, 2}, {8, 8, 2, 2}), (RectRegion{0, 0, 10, 10}));
+}
+
+// --- Encodings: property sweep over content types x encodings --------------
+
+enum class Content { kSolid, kSlides, kNoise, kGradient };
+
+struct EncodingCase {
+  Encoding enc;
+  Content content;
+};
+
+class EncodingRoundTrip : public ::testing::TestWithParam<EncodingCase> {};
+
+Framebuffer make_content(Content c, int w, int h) {
+  Framebuffer fb(w, h, 0xff000000);
+  sim::Rng rng(42);
+  switch (c) {
+    case Content::kSolid:
+      fb.fill_rect(fb.bounds(), 0xff336699);
+      break;
+    case Content::kSlides: {
+      SlideDeckWorkload deck(7);
+      deck.step(fb);
+      break;
+    }
+    case Content::kNoise:
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          fb.set(x, y, static_cast<Pixel>(rng.next_u64()));
+        }
+      }
+      break;
+    case Content::kGradient:
+      for (int y = 0; y < h; ++y) {
+        for (int x = 0; x < w; ++x) {
+          fb.set(x, y, 0xff000000u | static_cast<Pixel>(x * 2) |
+                           (static_cast<Pixel>(y) << 8));
+        }
+      }
+      break;
+  }
+  fb.clear_damage();
+  return fb;
+}
+
+TEST_P(EncodingRoundTrip, DecodesToIdenticalPixels) {
+  const auto param = GetParam();
+  const Framebuffer src = make_content(param.content, 97, 61);  // odd sizes
+  const RectRegion full = src.bounds();
+  const auto encoded = encode_rect(src, full, param.enc);
+  Framebuffer dst(97, 61, 0xffffffff);
+  ASSERT_TRUE(decode_rect(dst, full, param.enc, encoded));
+  EXPECT_TRUE(dst.same_content(src));
+}
+
+TEST_P(EncodingRoundTrip, PartialRectRoundTrip) {
+  const auto param = GetParam();
+  const Framebuffer src = make_content(param.content, 97, 61);
+  const RectRegion rect{13, 7, 41, 29};
+  const auto encoded = encode_rect(src, rect, param.enc);
+  Framebuffer dst = make_content(Content::kSolid, 97, 61);
+  ASSERT_TRUE(decode_rect(dst, rect, param.enc, encoded));
+  for (int y = rect.y; y < rect.y + rect.h; ++y) {
+    for (int x = rect.x; x < rect.x + rect.w; ++x) {
+      ASSERT_EQ(dst.at(x, y), src.at(x, y)) << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEncodingsAllContents, EncodingRoundTrip,
+    ::testing::Values(
+        EncodingCase{Encoding::kRaw, Content::kSolid},
+        EncodingCase{Encoding::kRaw, Content::kSlides},
+        EncodingCase{Encoding::kRaw, Content::kNoise},
+        EncodingCase{Encoding::kRaw, Content::kGradient},
+        EncodingCase{Encoding::kRle, Content::kSolid},
+        EncodingCase{Encoding::kRle, Content::kSlides},
+        EncodingCase{Encoding::kRle, Content::kNoise},
+        EncodingCase{Encoding::kRle, Content::kGradient},
+        EncodingCase{Encoding::kTiled, Content::kSolid},
+        EncodingCase{Encoding::kTiled, Content::kSlides},
+        EncodingCase{Encoding::kTiled, Content::kNoise},
+        EncodingCase{Encoding::kTiled, Content::kGradient}),
+    [](const ::testing::TestParamInfo<EncodingCase>& info) {
+      std::string name = to_string(info.param.enc);
+      switch (info.param.content) {
+        case Content::kSolid: name += "_solid"; break;
+        case Content::kSlides: name += "_slides"; break;
+        case Content::kNoise: name += "_noise"; break;
+        case Content::kGradient: name += "_gradient"; break;
+      }
+      return name;
+    });
+
+TEST(Encoding, RleCompressesSolidContent) {
+  const Framebuffer solid = make_content(Content::kSolid, 128, 128);
+  const auto raw = encode_rect(solid, solid.bounds(), Encoding::kRaw);
+  const auto rle = encode_rect(solid, solid.bounds(), Encoding::kRle);
+  const auto tiled = encode_rect(solid, solid.bounds(), Encoding::kTiled);
+  EXPECT_LT(rle.size(), raw.size() / 100);
+  EXPECT_LT(tiled.size(), raw.size() / 50);
+}
+
+TEST(Encoding, TiledNeverMuchWorseThanRawOnNoise) {
+  const Framebuffer noise = make_content(Content::kNoise, 128, 128);
+  const auto raw = encode_rect(noise, noise.bounds(), Encoding::kRaw);
+  const auto tiled = encode_rect(noise, noise.bounds(), Encoding::kTiled);
+  // Per-tile header overhead only.
+  EXPECT_LT(tiled.size(), raw.size() + raw.size() / 10);
+}
+
+TEST(Encoding, DecodeRejectsMalformedInput) {
+  Framebuffer fb(16, 16, 0);
+  const RectRegion r{0, 0, 16, 16};
+  EXPECT_FALSE(decode_rect(fb, r, Encoding::kRaw, std::vector<std::byte>(7)));
+  EXPECT_FALSE(decode_rect(fb, r, Encoding::kRle, std::vector<std::byte>(3)));
+  EXPECT_FALSE(decode_rect(fb, r, Encoding::kTiled, std::vector<std::byte>(1)));
+}
+
+TEST(Encoding, CostModelOrdersEncodings) {
+  EXPECT_LT(encode_cost_per_pixel(Encoding::kRaw),
+            encode_cost_per_pixel(Encoding::kRle));
+  EXPECT_LT(encode_cost_per_pixel(Encoding::kRle),
+            encode_cost_per_pixel(Encoding::kTiled));
+}
+
+// --- MessageFramer ----------------------------------------------------------
+
+TEST(MessageFramer, ReassemblesFromArbitraryChunks) {
+  MessageFramer framer;
+  std::vector<std::vector<std::byte>> messages;
+  framer.set_handler([&](std::span<const std::byte> m) {
+    messages.emplace_back(m.begin(), m.end());
+  });
+  std::vector<std::byte> wire;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::byte> payload(static_cast<std::size_t>(10 + i * 7));
+    for (std::size_t k = 0; k < payload.size(); ++k) {
+      payload[k] = static_cast<std::byte>(i);
+    }
+    const auto framed = MessageFramer::frame(payload);
+    wire.insert(wire.end(), framed.begin(), framed.end());
+  }
+  // Feed in awkward chunk sizes.
+  std::size_t pos = 0;
+  const std::size_t chunks[] = {1, 3, 9, 2, 31, 7, 100, 1000};
+  std::size_t ci = 0;
+  while (pos < wire.size()) {
+    const std::size_t n = std::min(chunks[ci++ % 8], wire.size() - pos);
+    framer.on_bytes(std::span<const std::byte>(wire.data() + pos, n));
+    pos += n;
+  }
+  ASSERT_EQ(messages.size(), 5u);
+  EXPECT_EQ(messages[0].size(), 10u);
+  EXPECT_EQ(messages[4].size(), 38u);
+  EXPECT_EQ(messages[3][0], std::byte{3});
+}
+
+// --- Protocol end-to-end -----------------------------------------------
+
+struct RfbWorld {
+  RfbWorld() : world(5), environment(world) {
+    server_dev = std::make_unique<phys::Device>(
+        world, environment, 1, phys::profiles::laptop(),
+        std::make_unique<env::StaticMobility>(env::Vec2{0, 0}));
+    client_dev = std::make_unique<phys::Device>(
+        world, environment, 2, phys::profiles::aroma_adapter(),
+        std::make_unique<env::StaticMobility>(env::Vec2{6, 0}));
+    server_stack = std::make_unique<net::NetStack>(world, server_dev->mac());
+    client_stack = std::make_unique<net::NetStack>(world, client_dev->mac());
+    server_streams =
+        std::make_unique<net::StreamManager>(world, *server_stack, 5900);
+    client_streams =
+        std::make_unique<net::StreamManager>(world, *client_stack, 5900);
+  }
+
+  void connect(Framebuffer& source, RfbServer::Params params = {}) {
+    server_streams->listen(
+        [&, params](const std::shared_ptr<net::StreamConnection>& c) {
+          server = std::make_unique<RfbServer>(world, source, c, params);
+        });
+    conn = client_streams->connect(1);
+    viewer = std::make_unique<RfbClient>(world, conn);
+    viewer->start();
+  }
+
+  sim::World world;
+  env::Environment environment;
+  std::unique_ptr<phys::Device> server_dev, client_dev;
+  std::unique_ptr<net::NetStack> server_stack, client_stack;
+  std::unique_ptr<net::StreamManager> server_streams, client_streams;
+  std::shared_ptr<net::StreamConnection> conn;
+  std::unique_ptr<RfbServer> server;
+  std::unique_ptr<RfbClient> viewer;
+};
+
+TEST(RfbProtocol, InitialFullUpdateSyncsReplica) {
+  RfbWorld rw;
+  Framebuffer screen(160, 120, 0xff202020);
+  SlideDeckWorkload deck(3);
+  deck.step(screen);
+  rw.connect(screen);
+  rw.world.sim().run_until(sim::Time::sec(30));
+  ASSERT_TRUE(rw.viewer->initialized());
+  EXPECT_TRUE(rw.viewer->replica().same_content(screen));
+  EXPECT_GE(rw.viewer->stats().updates_received, 1u);
+  EXPECT_EQ(rw.viewer->stats().decode_errors, 0u);
+}
+
+TEST(RfbProtocol, IncrementalUpdatesTrackChanges) {
+  RfbWorld rw;
+  Framebuffer screen(160, 120, 0xff202020);
+  rw.connect(screen);
+  rw.world.sim().run_until(sim::Time::sec(10));
+  ASSERT_TRUE(rw.viewer->initialized());
+  // Mutate after sync; server pushes the damage on the pending request.
+  screen.fill_rect({10, 10, 40, 30}, 0xffaa5500);
+  rw.server->notify_changed();
+  rw.world.sim().run_until(sim::Time::sec(20));
+  EXPECT_TRUE(rw.viewer->replica().same_content(screen));
+  EXPECT_GE(rw.viewer->stats().updates_received, 2u);
+}
+
+TEST(RfbProtocol, AnimationThrottledByLinkNotLost) {
+  RfbWorld rw;
+  Framebuffer screen(160, 120, 0xff202020);
+  AnimationWorkload anim(9, 96);
+  RfbServer::Params params;
+  params.encoding = Encoding::kRaw;  // uncompressed, as the paper's era VNC
+  rw.connect(screen, params);
+  // 20 Hz animation for 20 s of simulated time.
+  sim::PeriodicTimer ticker(rw.world.sim(), sim::Time::ms(50), [&] {
+    anim.step(screen);
+    if (rw.server) rw.server->notify_changed();
+  });
+  ticker.start();
+  rw.world.sim().run_until(sim::Time::sec(20));
+  ticker.stop();
+  rw.world.sim().run_until(sim::Time::sec(40));
+  ASSERT_TRUE(rw.viewer->initialized());
+  // Converges to the final frame even though many frames were skipped.
+  EXPECT_TRUE(rw.viewer->replica().same_content(screen));
+  const double fps = rw.viewer->stats().fps(sim::Time::sec(20));
+  EXPECT_GT(fps, 0.5);
+  EXPECT_LT(fps, 15.0);  // the 2 Mb/s link cannot carry the full 20 Hz
+}
+
+// --- Workloads -----------------------------------------------------------
+
+TEST(Workloads, SlideDeckChangesWholeScreenDeterministically) {
+  Framebuffer a(64, 48, 0), b(64, 48, 0);
+  SlideDeckWorkload da(11), db(11);
+  da.step(a);
+  db.step(b);
+  EXPECT_TRUE(a.same_content(b));
+  EXPECT_EQ(da.slide_number(), 1);
+  const auto hash1 = a.content_hash();
+  da.step(a);
+  EXPECT_NE(a.content_hash(), hash1);  // new slide differs
+}
+
+TEST(Workloads, AnimationDamagesSmallRegionAfterFirstFrame) {
+  Framebuffer fb(200, 150, 0);
+  AnimationWorkload anim(5, 20);
+  anim.step(fb);   // draws background + sprite
+  fb.clear_damage();
+  anim.step(fb);
+  ASSERT_TRUE(fb.has_damage());
+  const auto d = fb.damage_bounds();
+  EXPECT_LT(d.area(), 200 * 150 / 4);  // localized, not full screen
+}
+
+TEST(Workloads, TypingProducesSmallDamage) {
+  Framebuffer fb(200, 150, 0);
+  TypingWorkload typing(5);
+  typing.step(fb);  // first: background + one char
+  fb.clear_damage();
+  typing.step(fb);
+  ASSERT_TRUE(fb.has_damage());
+  EXPECT_LT(fb.damage_bounds().area(), 400);
+}
+
+}  // namespace
+}  // namespace aroma::rfb

@@ -1,0 +1,380 @@
+// Tests for the user models: faculties, mental models, goals/adoption, and
+// the behavioural agent.
+#include <gtest/gtest.h>
+
+#include "sim/world.hpp"
+#include "user/agent.hpp"
+#include "user/faculties.hpp"
+#include "user/goals.hpp"
+#include "user/mental_model.hpp"
+#include "user/planner.hpp"
+
+namespace aroma::user {
+namespace {
+
+// --- Faculties ---------------------------------------------------------
+
+TEST(Faculties, PerfectFitForMatchingUser) {
+  const Faculties cs = personas::computer_scientist();
+  const auto req = smart_projector_prototype_requirements();
+  EXPECT_TRUE(check_faculty_fit(cs, req).empty());
+  EXPECT_DOUBLE_EQ(faculty_fit(cs, req), 1.0);
+}
+
+TEST(Faculties, PrototypeAssumptionsFailOfficeWorker) {
+  const Faculties worker = personas::office_worker();
+  const auto req = smart_projector_prototype_requirements();
+  const auto mismatches = check_faculty_fit(worker, req);
+  ASSERT_FALSE(mismatches.empty());
+  bool troubleshooting = false;
+  for (const auto& m : mismatches) {
+    troubleshooting |= m.what.find("diagnose") != std::string::npos;
+  }
+  EXPECT_TRUE(troubleshooting);
+  EXPECT_LT(faculty_fit(worker, req), 0.8);
+}
+
+TEST(Faculties, CommercialRequirementsFitAlmostEveryone) {
+  const auto req = commercial_product_requirements();
+  EXPECT_GT(faculty_fit(personas::novice(), req), 0.9);
+  EXPECT_GT(faculty_fit(personas::office_worker(), req), 0.9);
+}
+
+TEST(Faculties, LanguageMismatchIsSevere) {
+  const Faculties fr = personas::non_english_speaker();
+  const auto req = commercial_product_requirements();
+  const auto mismatches = check_faculty_fit(fr, req);
+  ASSERT_FALSE(mismatches.empty());
+  EXPECT_GE(mismatches[0].severity, 0.9);
+  EXPECT_LT(faculty_fit(fr, req), faculty_fit(personas::office_worker(), req));
+}
+
+TEST(Faculties, FitMonotoneInSkill) {
+  FacultyRequirements req;
+  req.min_gui_skill = 0.6;
+  Faculties low, high;
+  low.gui_skill = 0.2;
+  high.gui_skill = 0.9;
+  EXPECT_LT(faculty_fit(low, req), faculty_fit(high, req));
+}
+
+// --- Automaton / MentalModel ---------------------------------------------
+
+Automaton tiny_machine() {
+  Automaton a;
+  const int off = a.add_state("off");
+  const int on = a.add_state("on");
+  a.add_transition(off, "power", on);
+  a.add_transition(on, "power", off);
+  a.add_transition(on, "play", on);
+  return a;
+}
+
+TEST(Automaton, TransitionsAndSelfLoops) {
+  Automaton a = tiny_machine();
+  EXPECT_EQ(a.state_count(), 2);
+  EXPECT_EQ(a.next(0, "power"), 1);
+  EXPECT_EQ(a.next(1, "power"), 0);
+  EXPECT_EQ(a.next(0, "play"), 0);  // undefined -> self-loop
+  EXPECT_TRUE(a.defined(1, "play"));
+  EXPECT_FALSE(a.defined(0, "play"));
+  EXPECT_EQ(a.find_state("on"), 1);
+  EXPECT_EQ(a.find_state("nope"), -1);
+  EXPECT_EQ(a.transitions().size(), 3u);
+}
+
+TEST(MentalModel, ExpertPriorHasZeroDivergence) {
+  const Automaton truth = tiny_machine();
+  MentalModel m(truth, truth, 0.5);
+  EXPECT_DOUBLE_EQ(m.divergence(), 0.0);
+}
+
+TEST(MentalModel, BlankPriorDivergesThenLearns) {
+  const Automaton truth = tiny_machine();
+  MentalModel m(truth, Automaton{}, 1.0);  // learns on every surprise
+  EXPECT_GT(m.divergence(), 0.5);
+  sim::Rng rng(1);
+  // Live through the machine a few times.
+  int state = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& action : {"power", "play", "power"}) {
+      const int actual = truth.next(state, action);
+      m.observe(state, action, actual, rng);
+      state = actual;
+    }
+  }
+  EXPECT_DOUBLE_EQ(m.divergence(), 0.0);
+  EXPECT_GT(m.surprises(), 0u);
+}
+
+TEST(MentalModel, SlowLearnerRetainsDivergenceLonger) {
+  const Automaton truth = tiny_machine();
+  auto run = [&](double rate) {
+    MentalModel m(truth, Automaton{}, rate);
+    sim::Rng rng(7);
+    int state = 0;
+    for (int i = 0; i < 6; ++i) {
+      const int actual = truth.next(state, "power");
+      m.observe(state, "power", actual, rng);
+      state = actual;
+    }
+    return m.divergence();
+  };
+  EXPECT_LE(run(1.0), run(0.05));
+}
+
+TEST(SmartProjectorMachine, TruthEncodesPaperSemantics) {
+  const Automaton truth = smart_projector_truth();
+  const int idle = truth.find_state("v0p0j0c0");
+  ASSERT_GE(idle, 0);
+  // The documented procedure works.
+  int s = idle;
+  s = truth.next(s, "start-vnc");
+  EXPECT_EQ(truth.state_name(s), "v1p0j0c0");
+  s = truth.next(s, "acquire-projection");
+  EXPECT_EQ(truth.state_name(s), "v1p1j0c0");
+  s = truth.next(s, "start-projection");
+  EXPECT_EQ(truth.state_name(s), "v1p1j1c0");
+  // Killing the VNC server kills the projection (the subtle coupling).
+  const int after_stop = truth.next(s, "stop-vnc");
+  EXPECT_EQ(truth.state_name(after_stop), "v0p1j0c0");
+  // Starting projection without the VNC server is a no-op.
+  const int no_vnc = truth.find_state("v0p1j0c0");
+  EXPECT_EQ(truth.next(no_vnc, "start-projection"), no_vnc);
+}
+
+TEST(SmartProjectorMachine, NaivePriorDivergesOnTheRightThings) {
+  const Automaton truth = smart_projector_truth();
+  MentalModel naive(truth, smart_projector_naive_prior(), 0.3);
+  const double d = naive.divergence();
+  EXPECT_GT(d, 0.1);   // meaningfully wrong
+  EXPECT_LT(d, 0.9);   // but not about everything
+  // Specifically wrong about stop-projection releasing the session:
+  const int live = truth.find_state("v1p1j1c0");
+  ASSERT_GE(live, 0);
+  EXPECT_NE(naive.predict(live, "stop-projection"),
+            truth.next(live, "stop-projection"));
+}
+
+// --- Planner / model-driven behaviour ----------------------------------------
+
+TEST(Planner, ShortestPathOnKnownMachine) {
+  const Automaton truth = smart_projector_truth();
+  const int idle = truth.find_state("v0p0j0c0");
+  const int projecting = truth.find_state("v1p1j1c0");
+  const auto path = plan(truth, idle, projecting);
+  ASSERT_EQ(path.size(), 3u);  // start-vnc, acquire-projection, start-projection
+  // Verify the path actually works on the machine.
+  int s = idle;
+  for (const auto& action : path) s = truth.next(s, action);
+  EXPECT_EQ(s, projecting);
+}
+
+TEST(Planner, UnreachableGoalGivesEmptyPlan) {
+  Automaton a;
+  const int s0 = a.add_state("a");
+  const int s1 = a.add_state("b");
+  a.add_transition(s1, "x", s0);  // only b->a, never a->b
+  EXPECT_TRUE(plan(a, s0, s1).empty());
+  EXPECT_TRUE(plan(a, s0, s0).empty());  // already there
+}
+
+TEST(Planner, ExpertExecutesWithoutSurprises) {
+  const Automaton truth = smart_projector_truth();
+  MentalModel expert(truth, truth, 1.0);
+  sim::Rng rng(1);
+  const auto out = execute_towards(truth, expert,
+                                   truth.find_state("v0p0j0c0"),
+                                   truth.find_state("v1p1j1c1"), rng);
+  EXPECT_TRUE(out.reached);
+  EXPECT_EQ(out.surprises, 0);
+  EXPECT_EQ(out.replans, 0);
+  EXPECT_EQ(out.actions_taken, 4);  // vnc, acquire, start, acquire-control
+}
+
+TEST(Planner, NaiveUserDebugsTheirWayToTheGoal) {
+  const Automaton truth = smart_projector_truth();
+  MentalModel naive(truth, smart_projector_naive_prior(), 1.0);
+  sim::Rng rng(5);
+  const auto out = execute_towards(truth, naive,
+                                   truth.find_state("v0p0j0c0"),
+                                   truth.find_state("v1p1j1c1"), rng);
+  EXPECT_TRUE(out.reached);  // persistence wins...
+  EXPECT_GT(out.surprises + out.replans, 0);  // ...but it was debugging
+  EXPECT_GE(out.actions_taken, 4);
+}
+
+TEST(Planner, PracticeConvergesToExpertPath) {
+  const Automaton truth = smart_projector_truth();
+  MentalModel belief(truth, smart_projector_naive_prior(), 1.0);
+  sim::Rng rng(9);
+  const int start = truth.find_state("v0p0j0c0");
+  const int goal = truth.find_state("v1p1j1c1");
+  int first_actions = 0;
+  int last_actions = 0;
+  for (int session = 0; session < 6; ++session) {
+    const auto out = execute_towards(truth, belief, start, goal, rng);
+    ASSERT_TRUE(out.reached) << "session " << session;
+    if (session == 0) first_actions = out.actions_taken;
+    last_actions = out.actions_taken;
+    // Walk back to idle for the next session (also teaches teardown).
+    (void)execute_towards(truth, belief, goal, start, rng);
+  }
+  EXPECT_EQ(last_actions, 4);          // converged to the expert path
+  EXPECT_GE(first_actions, last_actions);
+}
+
+// --- Goals & adoption ------------------------------------------------------
+
+TEST(Goals, HarmonyWeightsByImportance) {
+  std::vector<Goal> goals{{"a", 1.0}, {"b", 3.0}};
+  DesignPurpose p;
+  p.supports = {{"a", 1.0}, {"b", 0.0}};
+  EXPECT_NEAR(harmony(goals, p), 0.25, 1e-9);
+  p.supports["b"] = 1.0;
+  EXPECT_NEAR(harmony(goals, p), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(harmony({}, p), 0.0);
+}
+
+TEST(Goals, PaperCaseHarmonies) {
+  // The paper's honest admission: the prototype serves researchers, not
+  // casual presenters.
+  const double presenter_proto =
+      harmony(presenter_goals(), research_prototype_purpose());
+  const double researcher_proto =
+      harmony(researcher_goals(), research_prototype_purpose());
+  const double presenter_commercial =
+      harmony(presenter_goals(), commercial_product_purpose());
+  EXPECT_GT(researcher_proto, 0.7);
+  EXPECT_LT(presenter_proto, 0.55);
+  EXPECT_GT(presenter_commercial, 0.7);
+}
+
+TEST(Goals, AdoptionMonotoneInAllInputs) {
+  AdoptionModel m;
+  EXPECT_GT(m.probability(0.9, 0.2, 0.8), m.probability(0.3, 0.2, 0.8));
+  EXPECT_GT(m.probability(0.6, 0.1, 0.8), m.probability(0.6, 0.9, 0.8));
+  EXPECT_GT(m.probability(0.6, 0.2, 0.9), m.probability(0.6, 0.2, 0.1));
+  // Probabilities stay in range.
+  EXPECT_GT(m.probability(1.0, 0.0, 1.0), 0.9);
+  EXPECT_LT(m.probability(0.0, 1.0, 0.0), 0.05);
+}
+
+// --- UserAgent -----------------------------------------------------------
+
+std::vector<ProcedureStep> easy_task(int steps) {
+  std::vector<ProcedureStep> v;
+  for (int i = 0; i < steps; ++i) {
+    v.push_back({"step-" + std::to_string(i), nullptr, 0.1, false});
+  }
+  return v;
+}
+
+std::vector<ProcedureStep> hard_task(int steps) {
+  std::vector<ProcedureStep> v;
+  for (int i = 0; i < steps; ++i) {
+    v.push_back({"arcane-" + std::to_string(i), nullptr, 0.85, false});
+  }
+  return v;
+}
+
+TEST(UserAgent, ExpertCompletesEasyTask) {
+  sim::World w(1);
+  UserAgent expert(w, "cs", personas::computer_scientist());
+  TaskOutcome outcome;
+  expert.attempt(easy_task(5), [&](const TaskOutcome& o) { outcome = o; });
+  w.sim().run();
+  EXPECT_TRUE(outcome.success);
+  EXPECT_EQ(outcome.steps_completed, 5u);
+  EXPECT_FALSE(outcome.abandoned);
+  EXPECT_GT(outcome.duration.seconds(), 0.0);
+}
+
+TEST(UserAgent, NoviceAbandonsArcaneProcedure) {
+  // Over many seeds the novice should abandon the long arcane task far more
+  // often than the expert.
+  int novice_abandoned = 0, expert_abandoned = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::World w(seed);
+    UserAgent novice(w, "novice", personas::novice());
+    UserAgent expert(w, "cs", personas::computer_scientist());
+    TaskOutcome on, oe;
+    novice.attempt(hard_task(8), [&](const TaskOutcome& o) { on = o; });
+    expert.attempt(hard_task(8), [&](const TaskOutcome& o) { oe = o; });
+    w.sim().run();
+    novice_abandoned += on.abandoned ? 1 : 0;
+    expert_abandoned += oe.abandoned ? 1 : 0;
+  }
+  EXPECT_GT(novice_abandoned, 10);
+  EXPECT_LT(expert_abandoned, novice_abandoned);
+}
+
+TEST(UserAgent, PracticeReducesTimeAndErrors) {
+  sim::World w(2);
+  UserAgent worker(w, "worker", personas::office_worker());
+  std::vector<TaskOutcome> outcomes;
+  std::function<void(int)> attempt = [&](int remaining) {
+    if (remaining == 0) return;
+    worker.attempt(hard_task(4), [&, remaining](const TaskOutcome& o) {
+      outcomes.push_back(o);
+      attempt(remaining - 1);
+    });
+  };
+  attempt(6);
+  w.sim().run();
+  ASSERT_EQ(outcomes.size(), 6u);
+  // Later attempts are materially faster than the first (familiarity).
+  EXPECT_LT(outcomes.back().duration.seconds(),
+            outcomes.front().duration.seconds());
+}
+
+TEST(UserAgent, SystemRefusalsCostFrustration) {
+  sim::World w(3);
+  // A patient expert: won't abandon, so the retry loop runs to success.
+  UserAgent worker(w, "worker", personas::computer_scientist());
+  int calls = 0;
+  std::vector<ProcedureStep> steps;
+  steps.push_back({"refused", [&calls](std::function<void(bool)> done) {
+                     ++calls;
+                     done(calls > 3);  // succeeds on the 4th try
+                   },
+                   0.0, false});
+  TaskOutcome outcome;
+  worker.attempt(steps, [&](const TaskOutcome& o) { outcome = o; });
+  w.sim().run();
+  EXPECT_TRUE(outcome.success);
+  EXPECT_GE(outcome.errors, 3u);
+  EXPECT_GT(outcome.final_frustration, 0.0);
+}
+
+TEST(UserAgent, UnrecoverableStepAbortsTask) {
+  sim::World w(4);
+  Faculties clumsy = personas::novice();
+  UserAgent agent(w, "novice", clumsy);
+  std::vector<ProcedureStep> steps;
+  steps.push_back({"tightrope", nullptr, 0.95, true});
+  steps.push_back({"after", nullptr, 0.0, false});
+  // With difficulty 0.95 and low skill the first step errs almost surely.
+  bool any_failure = false;
+  for (int i = 0; i < 10 && !any_failure; ++i) {
+    TaskOutcome o;
+    agent.attempt(steps, [&](const TaskOutcome& r) { o = r; });
+    w.sim().run();
+    any_failure = !o.success && !o.abandoned;
+  }
+  EXPECT_TRUE(any_failure);
+}
+
+TEST(UserAgent, ErrorProbabilityRespondsToDifficultyAndSkill) {
+  sim::World w(5);
+  UserAgent novice(w, "n", personas::novice());
+  UserAgent expert(w, "e", personas::computer_scientist());
+  ProcedureStep easy{"easy", nullptr, 0.1, false};
+  ProcedureStep hard{"hard", nullptr, 0.9, false};
+  EXPECT_LT(novice.error_probability(easy), novice.error_probability(hard));
+  EXPECT_LT(expert.error_probability(hard), novice.error_probability(hard));
+  EXPECT_LT(expert.think_time(easy), novice.think_time(easy));
+}
+
+}  // namespace
+}  // namespace aroma::user
