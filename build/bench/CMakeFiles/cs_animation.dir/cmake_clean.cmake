@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_animation.dir/cs_animation.cpp.o"
+  "CMakeFiles/cs_animation.dir/cs_animation.cpp.o.d"
+  "cs_animation"
+  "cs_animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

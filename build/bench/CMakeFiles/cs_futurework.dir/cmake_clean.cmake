@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_futurework.dir/cs_futurework.cpp.o"
+  "CMakeFiles/cs_futurework.dir/cs_futurework.cpp.o.d"
+  "cs_futurework"
+  "cs_futurework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

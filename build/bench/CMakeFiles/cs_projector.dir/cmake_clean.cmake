@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_projector.dir/cs_projector.cpp.o"
+  "CMakeFiles/cs_projector.dir/cs_projector.cpp.o.d"
+  "cs_projector"
+  "cs_projector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_projector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cs_voice.dir/cs_voice.cpp.o"
+  "CMakeFiles/cs_voice.dir/cs_voice.cpp.o.d"
+  "cs_voice"
+  "cs_voice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cs_voice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_environment.dir/fig2_environment.cpp.o"
+  "CMakeFiles/fig2_environment.dir/fig2_environment.cpp.o.d"
+  "fig2_environment"
+  "fig2_environment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_environment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

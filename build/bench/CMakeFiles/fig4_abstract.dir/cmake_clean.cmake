@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_abstract.dir/fig4_abstract.cpp.o"
+  "CMakeFiles/fig4_abstract.dir/fig4_abstract.cpp.o.d"
+  "fig4_abstract"
+  "fig4_abstract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_abstract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

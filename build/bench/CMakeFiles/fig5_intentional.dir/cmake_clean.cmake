@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_intentional.dir/fig5_intentional.cpp.o"
+  "CMakeFiles/fig5_intentional.dir/fig5_intentional.cpp.o.d"
+  "fig5_intentional"
+  "fig5_intentional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_intentional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

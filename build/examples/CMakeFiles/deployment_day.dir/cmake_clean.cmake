@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_day.dir/deployment_day.cpp.o"
+  "CMakeFiles/deployment_day.dir/deployment_day.cpp.o.d"
+  "deployment_day"
+  "deployment_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/smart_projector.cpp" "examples/CMakeFiles/smart_projector.dir/smart_projector.cpp.o" "gcc" "examples/CMakeFiles/smart_projector.dir/smart_projector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/aroma_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/disco/CMakeFiles/aroma_disco.dir/DependInfo.cmake"
+  "/root/repo/build/src/rfb/CMakeFiles/aroma_rfb.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aroma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/aroma_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/aroma_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aroma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_projector.dir/smart_projector.cpp.o"
+  "CMakeFiles/smart_projector.dir/smart_projector.cpp.o.d"
+  "smart_projector"
+  "smart_projector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_projector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voice_control.dir/voice_control.cpp.o"
+  "CMakeFiles/voice_control.dir/voice_control.cpp.o.d"
+  "voice_control"
+  "voice_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voice_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

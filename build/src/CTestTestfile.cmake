@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("env")
+subdirs("phys")
+subdirs("net")
+subdirs("disco")
+subdirs("rfb")
+subdirs("app")
+subdirs("user")
+subdirs("lpc")
+subdirs("mcode")
+subdirs("diag")
+subdirs("i18n")

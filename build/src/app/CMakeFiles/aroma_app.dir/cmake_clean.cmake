@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_app.dir/projector.cpp.o"
+  "CMakeFiles/aroma_app.dir/projector.cpp.o.d"
+  "CMakeFiles/aroma_app.dir/session.cpp.o"
+  "CMakeFiles/aroma_app.dir/session.cpp.o.d"
+  "CMakeFiles/aroma_app.dir/workflow.cpp.o"
+  "CMakeFiles/aroma_app.dir/workflow.cpp.o.d"
+  "libaroma_app.a"
+  "libaroma_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_diag.dir/diagnose.cpp.o"
+  "CMakeFiles/aroma_diag.dir/diagnose.cpp.o.d"
+  "CMakeFiles/aroma_diag.dir/faults.cpp.o"
+  "CMakeFiles/aroma_diag.dir/faults.cpp.o.d"
+  "CMakeFiles/aroma_diag.dir/monitor.cpp.o"
+  "CMakeFiles/aroma_diag.dir/monitor.cpp.o.d"
+  "libaroma_diag.a"
+  "libaroma_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

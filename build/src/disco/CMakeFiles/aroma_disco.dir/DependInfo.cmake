@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disco/jini.cpp" "src/disco/CMakeFiles/aroma_disco.dir/jini.cpp.o" "gcc" "src/disco/CMakeFiles/aroma_disco.dir/jini.cpp.o.d"
+  "/root/repo/src/disco/lease.cpp" "src/disco/CMakeFiles/aroma_disco.dir/lease.cpp.o" "gcc" "src/disco/CMakeFiles/aroma_disco.dir/lease.cpp.o.d"
+  "/root/repo/src/disco/service.cpp" "src/disco/CMakeFiles/aroma_disco.dir/service.cpp.o" "gcc" "src/disco/CMakeFiles/aroma_disco.dir/service.cpp.o.d"
+  "/root/repo/src/disco/slp.cpp" "src/disco/CMakeFiles/aroma_disco.dir/slp.cpp.o" "gcc" "src/disco/CMakeFiles/aroma_disco.dir/slp.cpp.o.d"
+  "/root/repo/src/disco/ssdp.cpp" "src/disco/CMakeFiles/aroma_disco.dir/ssdp.cpp.o" "gcc" "src/disco/CMakeFiles/aroma_disco.dir/ssdp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/aroma_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aroma_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/phys/CMakeFiles/aroma_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/aroma_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_disco.dir/jini.cpp.o"
+  "CMakeFiles/aroma_disco.dir/jini.cpp.o.d"
+  "CMakeFiles/aroma_disco.dir/lease.cpp.o"
+  "CMakeFiles/aroma_disco.dir/lease.cpp.o.d"
+  "CMakeFiles/aroma_disco.dir/service.cpp.o"
+  "CMakeFiles/aroma_disco.dir/service.cpp.o.d"
+  "CMakeFiles/aroma_disco.dir/slp.cpp.o"
+  "CMakeFiles/aroma_disco.dir/slp.cpp.o.d"
+  "CMakeFiles/aroma_disco.dir/ssdp.cpp.o"
+  "CMakeFiles/aroma_disco.dir/ssdp.cpp.o.d"
+  "libaroma_disco.a"
+  "libaroma_disco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_disco.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/acoustics.cpp" "src/env/CMakeFiles/aroma_env.dir/acoustics.cpp.o" "gcc" "src/env/CMakeFiles/aroma_env.dir/acoustics.cpp.o.d"
+  "/root/repo/src/env/mobility.cpp" "src/env/CMakeFiles/aroma_env.dir/mobility.cpp.o" "gcc" "src/env/CMakeFiles/aroma_env.dir/mobility.cpp.o.d"
+  "/root/repo/src/env/propagation.cpp" "src/env/CMakeFiles/aroma_env.dir/propagation.cpp.o" "gcc" "src/env/CMakeFiles/aroma_env.dir/propagation.cpp.o.d"
+  "/root/repo/src/env/radio_medium.cpp" "src/env/CMakeFiles/aroma_env.dir/radio_medium.cpp.o" "gcc" "src/env/CMakeFiles/aroma_env.dir/radio_medium.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aroma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

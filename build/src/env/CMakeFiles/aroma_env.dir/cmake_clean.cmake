@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_env.dir/acoustics.cpp.o"
+  "CMakeFiles/aroma_env.dir/acoustics.cpp.o.d"
+  "CMakeFiles/aroma_env.dir/mobility.cpp.o"
+  "CMakeFiles/aroma_env.dir/mobility.cpp.o.d"
+  "CMakeFiles/aroma_env.dir/propagation.cpp.o"
+  "CMakeFiles/aroma_env.dir/propagation.cpp.o.d"
+  "CMakeFiles/aroma_env.dir/radio_medium.cpp.o"
+  "CMakeFiles/aroma_env.dir/radio_medium.cpp.o.d"
+  "libaroma_env.a"
+  "libaroma_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

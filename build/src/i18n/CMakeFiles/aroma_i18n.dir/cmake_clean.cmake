@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_i18n.dir/accessibility.cpp.o"
+  "CMakeFiles/aroma_i18n.dir/accessibility.cpp.o.d"
+  "CMakeFiles/aroma_i18n.dir/catalog.cpp.o"
+  "CMakeFiles/aroma_i18n.dir/catalog.cpp.o.d"
+  "libaroma_i18n.a"
+  "libaroma_i18n.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_i18n.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aroma_i18n.
+# This may be replaced when dependencies are built.

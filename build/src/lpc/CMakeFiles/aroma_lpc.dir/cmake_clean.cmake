@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_lpc.dir/analyzer.cpp.o"
+  "CMakeFiles/aroma_lpc.dir/analyzer.cpp.o.d"
+  "CMakeFiles/aroma_lpc.dir/constraints.cpp.o"
+  "CMakeFiles/aroma_lpc.dir/constraints.cpp.o.d"
+  "CMakeFiles/aroma_lpc.dir/entity.cpp.o"
+  "CMakeFiles/aroma_lpc.dir/entity.cpp.o.d"
+  "CMakeFiles/aroma_lpc.dir/harmony.cpp.o"
+  "CMakeFiles/aroma_lpc.dir/harmony.cpp.o.d"
+  "CMakeFiles/aroma_lpc.dir/issue.cpp.o"
+  "CMakeFiles/aroma_lpc.dir/issue.cpp.o.d"
+  "CMakeFiles/aroma_lpc.dir/layers.cpp.o"
+  "CMakeFiles/aroma_lpc.dir/layers.cpp.o.d"
+  "CMakeFiles/aroma_lpc.dir/miner.cpp.o"
+  "CMakeFiles/aroma_lpc.dir/miner.cpp.o.d"
+  "libaroma_lpc.a"
+  "libaroma_lpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_lpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_mcode.dir/agent.cpp.o"
+  "CMakeFiles/aroma_mcode.dir/agent.cpp.o.d"
+  "CMakeFiles/aroma_mcode.dir/deploy.cpp.o"
+  "CMakeFiles/aroma_mcode.dir/deploy.cpp.o.d"
+  "CMakeFiles/aroma_mcode.dir/package.cpp.o"
+  "CMakeFiles/aroma_mcode.dir/package.cpp.o.d"
+  "libaroma_mcode.a"
+  "libaroma_mcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_mcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

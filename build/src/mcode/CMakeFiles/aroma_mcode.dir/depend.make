@@ -1,0 +1,2 @@
+# Empty dependencies file for aroma_mcode.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/bridge.cpp" "src/net/CMakeFiles/aroma_net.dir/bridge.cpp.o" "gcc" "src/net/CMakeFiles/aroma_net.dir/bridge.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/net/CMakeFiles/aroma_net.dir/stack.cpp.o" "gcc" "src/net/CMakeFiles/aroma_net.dir/stack.cpp.o.d"
+  "/root/repo/src/net/stream.cpp" "src/net/CMakeFiles/aroma_net.dir/stream.cpp.o" "gcc" "src/net/CMakeFiles/aroma_net.dir/stream.cpp.o.d"
+  "/root/repo/src/net/wired.cpp" "src/net/CMakeFiles/aroma_net.dir/wired.cpp.o" "gcc" "src/net/CMakeFiles/aroma_net.dir/wired.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/aroma_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/aroma_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aroma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_net.dir/bridge.cpp.o"
+  "CMakeFiles/aroma_net.dir/bridge.cpp.o.d"
+  "CMakeFiles/aroma_net.dir/stack.cpp.o"
+  "CMakeFiles/aroma_net.dir/stack.cpp.o.d"
+  "CMakeFiles/aroma_net.dir/stream.cpp.o"
+  "CMakeFiles/aroma_net.dir/stream.cpp.o.d"
+  "CMakeFiles/aroma_net.dir/wired.cpp.o"
+  "CMakeFiles/aroma_net.dir/wired.cpp.o.d"
+  "libaroma_net.a"
+  "libaroma_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phys/battery.cpp" "src/phys/CMakeFiles/aroma_phys.dir/battery.cpp.o" "gcc" "src/phys/CMakeFiles/aroma_phys.dir/battery.cpp.o.d"
+  "/root/repo/src/phys/device.cpp" "src/phys/CMakeFiles/aroma_phys.dir/device.cpp.o" "gcc" "src/phys/CMakeFiles/aroma_phys.dir/device.cpp.o.d"
+  "/root/repo/src/phys/mac.cpp" "src/phys/CMakeFiles/aroma_phys.dir/mac.cpp.o" "gcc" "src/phys/CMakeFiles/aroma_phys.dir/mac.cpp.o.d"
+  "/root/repo/src/phys/physical_user.cpp" "src/phys/CMakeFiles/aroma_phys.dir/physical_user.cpp.o" "gcc" "src/phys/CMakeFiles/aroma_phys.dir/physical_user.cpp.o.d"
+  "/root/repo/src/phys/profile.cpp" "src/phys/CMakeFiles/aroma_phys.dir/profile.cpp.o" "gcc" "src/phys/CMakeFiles/aroma_phys.dir/profile.cpp.o.d"
+  "/root/repo/src/phys/transceiver.cpp" "src/phys/CMakeFiles/aroma_phys.dir/transceiver.cpp.o" "gcc" "src/phys/CMakeFiles/aroma_phys.dir/transceiver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/env/CMakeFiles/aroma_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aroma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

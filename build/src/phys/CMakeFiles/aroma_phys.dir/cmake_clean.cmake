@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_phys.dir/battery.cpp.o"
+  "CMakeFiles/aroma_phys.dir/battery.cpp.o.d"
+  "CMakeFiles/aroma_phys.dir/device.cpp.o"
+  "CMakeFiles/aroma_phys.dir/device.cpp.o.d"
+  "CMakeFiles/aroma_phys.dir/mac.cpp.o"
+  "CMakeFiles/aroma_phys.dir/mac.cpp.o.d"
+  "CMakeFiles/aroma_phys.dir/physical_user.cpp.o"
+  "CMakeFiles/aroma_phys.dir/physical_user.cpp.o.d"
+  "CMakeFiles/aroma_phys.dir/profile.cpp.o"
+  "CMakeFiles/aroma_phys.dir/profile.cpp.o.d"
+  "CMakeFiles/aroma_phys.dir/transceiver.cpp.o"
+  "CMakeFiles/aroma_phys.dir/transceiver.cpp.o.d"
+  "libaroma_phys.a"
+  "libaroma_phys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_phys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

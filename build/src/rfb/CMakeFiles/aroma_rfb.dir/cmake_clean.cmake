@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_rfb.dir/encoding.cpp.o"
+  "CMakeFiles/aroma_rfb.dir/encoding.cpp.o.d"
+  "CMakeFiles/aroma_rfb.dir/framebuffer.cpp.o"
+  "CMakeFiles/aroma_rfb.dir/framebuffer.cpp.o.d"
+  "CMakeFiles/aroma_rfb.dir/protocol.cpp.o"
+  "CMakeFiles/aroma_rfb.dir/protocol.cpp.o.d"
+  "CMakeFiles/aroma_rfb.dir/workload.cpp.o"
+  "CMakeFiles/aroma_rfb.dir/workload.cpp.o.d"
+  "libaroma_rfb.a"
+  "libaroma_rfb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_rfb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aroma_rfb.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_sim.dir/parallel.cpp.o"
+  "CMakeFiles/aroma_sim.dir/parallel.cpp.o.d"
+  "CMakeFiles/aroma_sim.dir/random.cpp.o"
+  "CMakeFiles/aroma_sim.dir/random.cpp.o.d"
+  "CMakeFiles/aroma_sim.dir/simulator.cpp.o"
+  "CMakeFiles/aroma_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/aroma_sim.dir/stats.cpp.o"
+  "CMakeFiles/aroma_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/aroma_sim.dir/time.cpp.o"
+  "CMakeFiles/aroma_sim.dir/time.cpp.o.d"
+  "CMakeFiles/aroma_sim.dir/trace.cpp.o"
+  "CMakeFiles/aroma_sim.dir/trace.cpp.o.d"
+  "libaroma_sim.a"
+  "libaroma_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaroma_sim.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/user/agent.cpp" "src/user/CMakeFiles/aroma_user.dir/agent.cpp.o" "gcc" "src/user/CMakeFiles/aroma_user.dir/agent.cpp.o.d"
+  "/root/repo/src/user/faculties.cpp" "src/user/CMakeFiles/aroma_user.dir/faculties.cpp.o" "gcc" "src/user/CMakeFiles/aroma_user.dir/faculties.cpp.o.d"
+  "/root/repo/src/user/goals.cpp" "src/user/CMakeFiles/aroma_user.dir/goals.cpp.o" "gcc" "src/user/CMakeFiles/aroma_user.dir/goals.cpp.o.d"
+  "/root/repo/src/user/mental_model.cpp" "src/user/CMakeFiles/aroma_user.dir/mental_model.cpp.o" "gcc" "src/user/CMakeFiles/aroma_user.dir/mental_model.cpp.o.d"
+  "/root/repo/src/user/planner.cpp" "src/user/CMakeFiles/aroma_user.dir/planner.cpp.o" "gcc" "src/user/CMakeFiles/aroma_user.dir/planner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phys/CMakeFiles/aroma_phys.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/aroma_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aroma_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

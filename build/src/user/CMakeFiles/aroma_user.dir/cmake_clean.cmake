@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aroma_user.dir/agent.cpp.o"
+  "CMakeFiles/aroma_user.dir/agent.cpp.o.d"
+  "CMakeFiles/aroma_user.dir/faculties.cpp.o"
+  "CMakeFiles/aroma_user.dir/faculties.cpp.o.d"
+  "CMakeFiles/aroma_user.dir/goals.cpp.o"
+  "CMakeFiles/aroma_user.dir/goals.cpp.o.d"
+  "CMakeFiles/aroma_user.dir/mental_model.cpp.o"
+  "CMakeFiles/aroma_user.dir/mental_model.cpp.o.d"
+  "CMakeFiles/aroma_user.dir/planner.cpp.o"
+  "CMakeFiles/aroma_user.dir/planner.cpp.o.d"
+  "libaroma_user.a"
+  "libaroma_user.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aroma_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/i18n_test.dir/i18n_test.cpp.o"
+  "CMakeFiles/i18n_test.dir/i18n_test.cpp.o.d"
+  "i18n_test"
+  "i18n_test.pdb"
+  "i18n_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/i18n_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpc_test.dir/lpc_test.cpp.o"
+  "CMakeFiles/lpc_test.dir/lpc_test.cpp.o.d"
+  "lpc_test"
+  "lpc_test.pdb"
+  "lpc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

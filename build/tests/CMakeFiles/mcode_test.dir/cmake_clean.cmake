@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcode_test.dir/mcode_test.cpp.o"
+  "CMakeFiles/mcode_test.dir/mcode_test.cpp.o.d"
+  "mcode_test"
+  "mcode_test.pdb"
+  "mcode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

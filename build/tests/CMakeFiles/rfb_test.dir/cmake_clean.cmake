@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfb_test.dir/rfb_test.cpp.o"
+  "CMakeFiles/rfb_test.dir/rfb_test.cpp.o.d"
+  "rfb_test"
+  "rfb_test.pdb"
+  "rfb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_test.dir/user_test.cpp.o"
+  "CMakeFiles/user_test.dir/user_test.cpp.o.d"
+  "user_test"
+  "user_test.pdb"
+  "user_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/env_test[1]_include.cmake")
+include("/root/repo/build/tests/phys_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/disco_test[1]_include.cmake")
+include("/root/repo/build/tests/rfb_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/user_test[1]_include.cmake")
+include("/root/repo/build/tests/lpc_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/mcode_test[1]_include.cmake")
+include("/root/repo/build/tests/diag_test[1]_include.cmake")
+include("/root/repo/build/tests/i18n_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/bridge_test[1]_include.cmake")
