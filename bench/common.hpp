@@ -3,9 +3,13 @@
 // tables in a uniform format.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "env/environment.hpp"
@@ -105,5 +109,141 @@ void table_row(Ts... cells) {
   (table_cell(cells), ...);
   table_end_row();
 }
+
+/// Minimal ordered JSON document builder for machine-readable bench output
+/// (BENCH_*.json files future PRs regress against). Keys keep insertion
+/// order so emitted files diff cleanly between runs.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(std::int64_t i) : value_(i) {}
+  Json(std::uint64_t u) : value_(static_cast<std::int64_t>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Members{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Elements{};
+    return j;
+  }
+
+  /// Object member insertion (last write wins on duplicate keys).
+  Json& set(const std::string& key, Json v) {
+    auto& members = std::get<Members>(value_);
+    for (auto& [k, existing] : members) {
+      if (k == key) {
+        existing = std::move(v);
+        return *this;
+      }
+    }
+    members.emplace_back(key, std::move(v));
+    return *this;
+  }
+
+  /// Array element append.
+  Json& push(Json v) {
+    std::get<Elements>(value_).push_back(std::move(v));
+    return *this;
+  }
+
+  std::string dump(int indent = 2) const {
+    std::string out;
+    write(out, indent, 0);
+    return out;
+  }
+
+  /// Writes the document to `path` with a trailing newline; returns success.
+  bool write_file(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) return false;
+    f << dump() << "\n";
+    return static_cast<bool>(f);
+  }
+
+ private:
+  struct Members;
+  struct Elements;
+  using Value = std::variant<std::nullptr_t, bool, std::int64_t, double,
+                             std::string, Members, Elements>;
+  struct Members : std::vector<std::pair<std::string, Json>> {};
+  struct Elements : std::vector<Json> {};
+
+  static void escape(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  void write(std::string& out, int indent, int depth) const {
+    const std::string pad(static_cast<std::size_t>(indent * (depth + 1)), ' ');
+    const std::string close_pad(static_cast<std::size_t>(indent * depth), ' ');
+    if (std::holds_alternative<std::nullptr_t>(value_)) {
+      out += "null";
+    } else if (const auto* b = std::get_if<bool>(&value_)) {
+      out += *b ? "true" : "false";
+    } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+      out += std::to_string(*i);
+    } else if (const auto* d = std::get_if<double>(&value_)) {
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.10g", *d);
+      out += buf;
+    } else if (const auto* s = std::get_if<std::string>(&value_)) {
+      escape(out, *s);
+    } else if (const auto* m = std::get_if<Members>(&value_)) {
+      if (m->empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < m->size(); ++i) {
+        out += pad;
+        escape(out, (*m)[i].first);
+        out += ": ";
+        (*m)[i].second.write(out, indent, depth + 1);
+        if (i + 1 < m->size()) out += ',';
+        out += '\n';
+      }
+      out += close_pad + "}";
+    } else if (const auto* a = std::get_if<Elements>(&value_)) {
+      if (a->empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < a->size(); ++i) {
+        out += pad;
+        (*a)[i].write(out, indent, depth + 1);
+        if (i + 1 < a->size()) out += ',';
+        out += '\n';
+      }
+      out += close_pad + "]";
+    }
+  }
+
+  Value value_;
+};
 
 }  // namespace aroma::benchsup

@@ -1,0 +1,226 @@
+// KERNEL — microbenchmark suite for the two hot paths every experiment
+// funnels through: the event kernel (sim::Simulator) and the radio
+// medium's delivery/CCA scans (env::RadioMedium).
+//
+// Scenarios:
+//   churn      — schedule/cancel churn: a rolling window of pending events
+//                with half of them cancelled before they fire.
+//   timers     — periodic-timer storm: hundreds of concurrently armed
+//                timers re-arming themselves every few milliseconds.
+//   radio_N    — N-radio broadcast scaling (N = 8/64/256): nodes spread at
+//                constant density, each multicasting on a 1/6/11 channel
+//                plan, exercising delivery culling, CCA, and interference.
+//
+// Every scenario records wall time, simulated events/sec, and the kernel's
+// peak pending-event count, plus a deterministic fingerprint (pure function
+// of the seed) so before/after kernels can be diffed for bit-identical
+// behavior. Results print as tables and are written to BENCH_kernel.json.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace {
+
+using namespace aroma;
+
+struct ScenarioResult {
+  std::string name;
+  sim::Throughput throughput;
+  std::uint64_t fingerprint = 0;  // deterministic: depends only on the seed
+};
+
+// --- churn: schedule/cancel interleaving -----------------------------------
+
+ScenarioResult bench_churn(std::uint64_t seed) {
+  constexpr int kOps = 400'000;
+  constexpr int kWindow = 4'096;  // live handles eligible for cancellation
+
+  sim::Simulator s;
+  sim::Rng rng(seed);
+  std::vector<sim::EventHandle> window(kWindow);
+  std::uint64_t fired = 0, cancelled_ok = 0;
+
+  sim::WallTimer timer;
+  for (int i = 0; i < kOps; ++i) {
+    const auto delay = sim::Time::us(rng.uniform_int(1, 20'000));
+    const auto slot = static_cast<std::size_t>(rng.uniform_int(0, kWindow - 1));
+    // Half the time, retire the previous occupant of the slot early.
+    if (rng.bernoulli(0.5) && window[slot].valid()) {
+      cancelled_ok += s.cancel(window[slot]) ? 1 : 0;
+    }
+    window[slot] = s.schedule_in(delay, [&fired] { ++fired; });
+    // Drain periodically so the queue stays a rolling window, not a spike.
+    if ((i & 0x3ff) == 0x3ff) s.run_until(s.now() + sim::Time::us(5'000));
+  }
+  s.run();
+  const double wall = timer.elapsed_sec();
+
+  ScenarioResult r;
+  r.name = "churn";
+  r.throughput = {s.executed(), wall, s.peak_pending()};
+  r.fingerprint = sim::mix_hash(sim::mix_hash(fired, cancelled_ok),
+                                static_cast<std::uint64_t>(s.now().count()));
+  return r;
+}
+
+// --- timers: periodic-timer storm ------------------------------------------
+
+ScenarioResult bench_timers(std::uint64_t seed) {
+  constexpr int kTimers = 512;
+  constexpr double kSimSeconds = 8.0;
+
+  sim::Simulator s;
+  sim::Rng rng(seed);
+  std::uint64_t ticks = 0;
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> timers;
+  timers.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<sim::PeriodicTimer>(
+        s, sim::Time::us(rng.uniform_int(500, 16'000)), [&ticks] { ++ticks; }));
+    timers.back()->start_after(sim::Time::us(rng.uniform_int(0, 1'000)));
+  }
+
+  sim::WallTimer timer;
+  s.run_until(sim::Time::sec(kSimSeconds));
+  const double wall = timer.elapsed_sec();
+  for (auto& t : timers) t->stop();
+
+  ScenarioResult r;
+  r.name = "timers";
+  r.throughput = {s.executed(), wall, s.peak_pending()};
+  r.fingerprint = sim::mix_hash(ticks, s.executed());
+  return r;
+}
+
+// --- radio_N: broadcast scaling --------------------------------------------
+
+ScenarioResult bench_radio(int n_radios, std::uint64_t seed) {
+  constexpr double kSpacingM = 25.0;
+  constexpr double kSimSeconds = 3.0;
+
+  // Constant density: arena grows with the node count.
+  int cols = 1;
+  while (cols * cols < n_radios) ++cols;
+  const double arena_side = kSpacingM * static_cast<double>(cols + 1);
+
+  env::Environment::Params params;
+  params.arena = {{0, 0}, {arena_side, arena_side}};
+  benchsup::Cell cell(seed, params);
+
+  // Short-range radios so culling by sensitivity radius has teeth.
+  phys::DeviceProfile profile = phys::profiles::laptop();
+  profile.net.tx_power_dbm = -5.0;
+
+  static constexpr int kChannelPlan[3] = {1, 6, 11};
+  std::vector<benchsup::Cell::Node> nodes;
+  nodes.reserve(static_cast<std::size_t>(n_radios));
+  for (int i = 0; i < n_radios; ++i) {
+    const double x = kSpacingM * static_cast<double>(i % cols + 1);
+    const double y = kSpacingM * static_cast<double>(i / cols + 1);
+    nodes.push_back(cell.add(profile, {x, y}, kChannelPlan[i % 3]));
+    nodes.back().stack->join_group(7);
+  }
+
+  // Every node multicasts a frame every ~50 ms, phases staggered.
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> beacons;
+  beacons.reserve(nodes.size());
+  sim::Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (auto& node : nodes) {
+    beacons.push_back(std::make_unique<sim::PeriodicTimer>(
+        cell.world().sim(), sim::Time::us(rng.uniform_int(45'000, 55'000)),
+        [stack = node.stack] {
+          stack->send_multicast(7, 99, 99, std::vector<std::byte>(400));
+        }));
+    beacons.back()->start_after(sim::Time::us(rng.uniform_int(0, 50'000)));
+  }
+
+  sim::WallTimer timer;
+  cell.run_until(kSimSeconds);
+  const double wall = timer.elapsed_sec();
+  for (auto& b : beacons) b->stop();
+
+  const env::MediumStats& ms = cell.environment().medium().stats();
+  std::uint64_t fp = sim::mix_hash(ms.transmissions, ms.deliveries_attempted);
+  fp = sim::mix_hash(fp, ms.deliveries_decodable);
+  fp = sim::mix_hash(fp, ms.losses_sinr);
+  fp = sim::mix_hash(fp, ms.losses_half_duplex);
+  fp = sim::mix_hash(fp, cell.world().sim().executed());
+  for (auto& node : nodes) {
+    fp = sim::mix_hash(fp, node.device->radio().frames_received());
+  }
+
+  ScenarioResult r;
+  r.name = "radio_" + std::to_string(n_radios);
+  r.throughput = {cell.world().sim().executed(), wall,
+                  cell.world().sim().peak_pending()};
+  r.fingerprint = fp;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  constexpr std::uint64_t kSeed = 42;
+  // Optional substring filter: `kernel_bench radio` runs only radio_N.
+  const std::string filter = argc > 1 ? argv[1] : "";
+  const auto wanted = [&](const std::string& name) {
+    return filter.empty() || name.find(filter) != std::string::npos;
+  };
+
+  std::vector<ScenarioResult> results;
+  if (wanted("churn")) results.push_back(bench_churn(kSeed));
+  if (wanted("timers")) results.push_back(bench_timers(kSeed));
+  for (int n : {8, 64, 256}) {
+    if (wanted("radio_" + std::to_string(n))) {
+      results.push_back(bench_radio(n, kSeed));
+    }
+  }
+
+  benchsup::table_header("KERNEL microbenchmarks (seed 42)",
+                         {"scenario", "events", "wall_s", "events/s",
+                          "peak_pend", "fingerprint"});
+  for (const auto& r : results) {
+    // 16 hex digits overflow the 14-char table cell; lead with a two-space
+    // gutter so the fingerprint stays separated from peak_pend.
+    char fp[24];
+    std::snprintf(fp, sizeof fp, "  %016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    benchsup::table_row(r.name, static_cast<double>(r.throughput.events),
+                        r.throughput.wall_sec, r.throughput.events_per_sec(),
+                        static_cast<double>(r.throughput.peak_pending),
+                        std::string(fp));
+  }
+
+  auto doc = benchsup::Json::object();
+  doc.set("bench", "kernel");
+  doc.set("seed", kSeed);
+  auto arr = benchsup::Json::array();
+  for (const auto& r : results) {
+    char fp[24];
+    std::snprintf(fp, sizeof fp, "%016llx",
+                  static_cast<unsigned long long>(r.fingerprint));
+    auto obj = benchsup::Json::object();
+    obj.set("scenario", r.name);
+    obj.set("events", r.throughput.events);
+    obj.set("wall_sec", r.throughput.wall_sec);
+    obj.set("events_per_sec", r.throughput.events_per_sec());
+    obj.set("peak_pending", r.throughput.peak_pending);
+    obj.set("fingerprint", std::string(fp));
+    arr.push(std::move(obj));
+  }
+  doc.set("scenarios", std::move(arr));
+  const std::string path = "BENCH_kernel.json";
+  if (!doc.write_file(path)) {
+    std::fprintf(stderr, "failed to write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", path.c_str());
+  return 0;
+}

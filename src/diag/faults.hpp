@@ -77,6 +77,7 @@ class Jammer : public env::RadioEndpoint {
   const env::RadioConfig& radio_config() const override { return config_; }
   bool receiver_enabled() const override { return false; }
   void on_frame(const env::FrameDelivery&) override {}
+  double max_speed_mps() const override { return 0.0; }
 
  private:
   void emit();

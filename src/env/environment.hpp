@@ -27,6 +27,7 @@ class Environment {
   struct Params {
     Rect arena{{0, 0}, {50, 50}};
     PathLossModel::Params path_loss{};
+    RadioMedium::Options medium{};
     double ambient_noise_db = 35.0;
     AmbientConditions conditions{};
   };
@@ -35,7 +36,7 @@ class Environment {
   Environment(sim::World& world, Params p)
       : world_(world),
         params_(p),
-        medium_(world, PathLossModel(p.path_loss)),
+        medium_(world, PathLossModel(p.path_loss), p.medium),
         acoustics_(p.ambient_noise_db) {}
 
   sim::World& world() { return world_; }

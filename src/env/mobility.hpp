@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -21,6 +22,13 @@ class MobilityModel {
  public:
   virtual ~MobilityModel() = default;
   virtual Vec2 position_at(sim::Time t) const = 0;
+  /// Hard upper bound on the entity's speed, in m/s: over any interval dt,
+  /// |position_at(t + dt) - position_at(t)| <= max_speed_mps() * dt. The
+  /// radio medium's spatial index uses this to bound how stale its grid may
+  /// be while staying exact. Infinity (the default) is always safe.
+  virtual double max_speed_mps() const {
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 /// Never moves.
@@ -28,6 +36,10 @@ class StaticMobility final : public MobilityModel {
  public:
   explicit StaticMobility(Vec2 pos) : pos_(pos) {}
   Vec2 position_at(sim::Time) const override { return pos_; }
+  double max_speed_mps() const override { return 0.0; }
+  /// Teleports the entity. This steps outside the max_speed_mps() contract,
+  /// so any RadioMedium indexing positions must be told via
+  /// invalidate_positions() after calling this mid-simulation.
   void set_position(Vec2 p) { pos_ = p; }
 
  private:
@@ -42,6 +54,7 @@ class LinearMobility final : public MobilityModel {
   Vec2 position_at(sim::Time t) const override {
     return origin_ + vel_ * t.seconds();
   }
+  double max_speed_mps() const override { return vel_.norm(); }
 
  private:
   Vec2 origin_;
@@ -62,6 +75,7 @@ class RandomWaypointMobility final : public MobilityModel {
 
   RandomWaypointMobility(Params p, Vec2 start, std::uint64_t seed);
   Vec2 position_at(sim::Time t) const override;
+  double max_speed_mps() const override { return p_.max_speed_mps; }
 
  private:
   struct Segment {
@@ -90,6 +104,7 @@ class RandomWalkMobility final : public MobilityModel {
 
   RandomWalkMobility(Params p, Vec2 start, std::uint64_t seed);
   Vec2 position_at(sim::Time t) const override;
+  double max_speed_mps() const override { return p_.speed_mps; }
 
  private:
   void extend_until(sim::Time t) const;

@@ -29,9 +29,38 @@ double channel_center_mhz(int channel) {
 
 double PathLossModel::shadowing_db(std::uint64_t id_a, std::uint64_t id_b) const {
   if (p_.shadowing_sigma_db <= 0.0 || (id_a == 0 && id_b == 0)) return 0.0;
-  // Order-independent hash so the link is reciprocal.
+  // Order-independent pairing so the link is reciprocal.
   const std::uint64_t lo = std::min(id_a, id_b);
   const std::uint64_t hi = std::max(id_a, id_b);
+
+  if (shadow_cache_.empty()) shadow_cache_.resize(1024);
+  const std::size_t mask = shadow_cache_.size() - 1;
+  std::size_t slot = sim::mix_hash(lo, hi) & mask;
+  while (shadow_cache_[slot].used) {
+    if (shadow_cache_[slot].lo == lo && shadow_cache_[slot].hi == hi) {
+      return shadow_cache_[slot].db;
+    }
+    slot = (slot + 1) & mask;
+  }
+  const double db = shadowing_db_uncached(lo, hi);
+  shadow_cache_[slot] = {lo, hi, db, true};
+  if (++shadow_cache_size_ * 10 > shadow_cache_.size() * 7) {
+    std::vector<ShadowEntry> old;
+    old.swap(shadow_cache_);
+    shadow_cache_.resize(old.size() * 2);
+    const std::size_t m2 = shadow_cache_.size() - 1;
+    for (const ShadowEntry& e : old) {
+      if (!e.used) continue;
+      std::size_t s = sim::mix_hash(e.lo, e.hi) & m2;
+      while (shadow_cache_[s].used) s = (s + 1) & m2;
+      shadow_cache_[s] = e;
+    }
+  }
+  return db;
+}
+
+double PathLossModel::shadowing_db_uncached(std::uint64_t lo,
+                                            std::uint64_t hi) const {
   const std::uint64_t h = sim::mix_hash(sim::mix_hash(p_.seed, lo), hi);
   // Map hash to a standard normal via a 2-draw sum approximation (Irwin-Hall
   // with 4 uniforms gives a decent bell shape and is branch-free).
@@ -53,9 +82,70 @@ double PathLossModel::loss_db(Vec2 from, Vec2 to, std::uint64_t id_a,
   return pl + shadowing_db(id_a, id_b);
 }
 
+PathLossModel::LinkEntry* PathLossModel::link_lookup(
+    double tx_dbm, Vec2 from, Vec2 to, std::uint64_t id_a,
+    std::uint64_t id_b) const {
+  if (id_a == 0 && id_b == 0) return nullptr;
+
+  if (link_cache_.empty()) link_cache_.resize(1024);
+  const std::size_t mask = link_cache_.size() - 1;
+  std::size_t slot = sim::mix_hash(id_a, id_b) & mask;
+  while (link_cache_[slot].used) {
+    LinkEntry& e = link_cache_[slot];
+    if (e.id_a == id_a && e.id_b == id_b) {
+      if (!(e.from == from && e.to == to && e.tx_dbm == tx_dbm)) {
+        // Same link, new geometry/power: recompute and refresh in place.
+        e.from = from;
+        e.to = to;
+        e.tx_dbm = tx_dbm;
+        e.rx_dbm = tx_dbm - loss_db(from, to, id_a, id_b);
+        e.mw_valid = false;
+      }
+      return &e;
+    }
+    slot = (slot + 1) & mask;
+  }
+  const double rx = tx_dbm - loss_db(from, to, id_a, id_b);
+  link_cache_[slot] = {id_a, id_b, from, to, tx_dbm, rx, 0.0, false, true};
+  if (++link_cache_size_ * 10 > link_cache_.size() * 7) {
+    std::vector<LinkEntry> old;
+    old.swap(link_cache_);
+    link_cache_.resize(old.size() * 2);
+    const std::size_t m2 = link_cache_.size() - 1;
+    for (const LinkEntry& e : old) {
+      if (!e.used) continue;
+      std::size_t s = sim::mix_hash(e.id_a, e.id_b) & m2;
+      while (link_cache_[s].used) s = (s + 1) & m2;
+      link_cache_[s] = e;
+    }
+    slot = sim::mix_hash(id_a, id_b) & m2;
+    while (!(link_cache_[slot].id_a == id_a && link_cache_[slot].id_b == id_b)) {
+      slot = (slot + 1) & m2;
+    }
+  }
+  return &link_cache_[slot];
+}
+
 double PathLossModel::received_dbm(double tx_dbm, Vec2 from, Vec2 to,
                                    std::uint64_t id_a, std::uint64_t id_b) const {
+  if (LinkEntry* e = link_lookup(tx_dbm, from, to, id_a, id_b)) return e->rx_dbm;
   return tx_dbm - loss_db(from, to, id_a, id_b);
+}
+
+double PathLossModel::received_mw(double tx_dbm, Vec2 from, Vec2 to,
+                                  std::uint64_t id_a, std::uint64_t id_b) const {
+  LinkEntry* e = link_lookup(tx_dbm, from, to, id_a, id_b);
+  if (!e) return dbm_to_mw(tx_dbm - loss_db(from, to, id_a, id_b));
+  if (!e->mw_valid) {
+    e->rx_mw = dbm_to_mw(e->rx_dbm);
+    e->mw_valid = true;
+  }
+  return e->rx_mw;
+}
+
+double PathLossModel::shadowing_bound_db() const {
+  if (p_.shadowing_sigma_db <= 0.0) return 0.0;
+  return 2.0 * std::sqrt(3.0) * p_.shadowing_sigma_db;
 }
 
 double PathLossModel::nominal_range_m(double tx_dbm,

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "env/geometry.hpp"
 
@@ -57,16 +58,67 @@ class PathLossModel {
                  std::uint64_t id_b = 0) const;
 
   /// Received power in dBm given transmit power, positions, and link ids.
+  /// Memoized per (id_a, id_b) link: repeated queries with unchanged
+  /// positions and power (the common case — static nodes, periodic CCA)
+  /// return the cached, bit-identical value without redoing the path math.
   double received_dbm(double tx_dbm, Vec2 from, Vec2 to, std::uint64_t id_a = 0,
                       std::uint64_t id_b = 0) const;
+
+  /// dbm_to_mw(received_dbm(...)), memoized the same way — the interference
+  /// and CCA paths sum milliwatts, and the pow() is as hot as the path loss.
+  double received_mw(double tx_dbm, Vec2 from, Vec2 to, std::uint64_t id_a = 0,
+                     std::uint64_t id_b = 0) const;
 
   /// Distance at which received power falls to `sensitivity_dbm`, ignoring
   /// shadowing (used for ranging sweeps).
   double nominal_range_m(double tx_dbm, double sensitivity_dbm) const;
 
+  /// Hard upper bound on |shadowing_db| for any link. The Irwin-Hall(4)
+  /// draw keeps z strictly inside (-2*sqrt(3), 2*sqrt(3)), so shadowing can
+  /// never exceed 2*sqrt(3)*sigma — which makes exact conservative range
+  /// culling possible (see RadioMedium's spatial index).
+  double shadowing_bound_db() const;
+
  private:
   double shadowing_db(std::uint64_t id_a, std::uint64_t id_b) const;
+  double shadowing_db_uncached(std::uint64_t lo, std::uint64_t hi) const;
+
   Params p_;
+
+  // Per-link shadowing memo: the draw is a pure function of (seed, lo, hi),
+  // so caching returns bit-identical values while skipping the hash chain on
+  // the hot delivery/CCA paths. Open-addressed, insert-only; grown on load.
+  // Not safe for concurrent queries on one instance (each simulated world
+  // owns its own copy, and worlds are single-threaded).
+  struct ShadowEntry {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    double db = 0.0;
+    bool used = false;
+  };
+  mutable std::vector<ShadowEntry> shadow_cache_;
+  mutable std::size_t shadow_cache_size_ = 0;
+
+  // Directed per-link received-power memo. The guard fields (positions and
+  // tx power) are compared exactly on every hit, so moving nodes simply
+  // refresh their entry — correctness never depends on staleness.
+  struct LinkEntry {
+    std::uint64_t id_a = 0;
+    std::uint64_t id_b = 0;
+    Vec2 from;
+    Vec2 to;
+    double tx_dbm = 0.0;
+    double rx_dbm = 0.0;
+    double rx_mw = 0.0;
+    bool mw_valid = false;  // rx_mw computed lazily from rx_dbm
+    bool used = false;
+  };
+  /// Finds (or fills) the link cache entry, re-deriving rx_dbm if the guard
+  /// fields changed. Returns nullptr for the uncacheable (0, 0) link.
+  LinkEntry* link_lookup(double tx_dbm, Vec2 from, Vec2 to, std::uint64_t id_a,
+                         std::uint64_t id_b) const;
+  mutable std::vector<LinkEntry> link_cache_;
+  mutable std::size_t link_cache_size_ = 0;
 };
 
 /// Computes SINR in dB from signal, interference (mW sum), and noise.

@@ -2,19 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace aroma::env {
 
-RadioMedium::RadioMedium(sim::World& world, PathLossModel model)
-    : world_(world), model_(model) {}
+RadioMedium::RadioMedium(sim::World& world, PathLossModel model,
+                         Options options)
+    : world_(world), model_(model), options_(options) {
+  if (options_.cell_size_m > 0.0) cell_size_m_ = options_.cell_size_m;
+}
 
 void RadioMedium::attach(RadioEndpoint* endpoint) {
   endpoints_.push_back(endpoint);
+  grid_valid_ = false;
 }
 
 void RadioMedium::detach(RadioEndpoint* endpoint) {
   endpoints_.erase(std::remove(endpoints_.begin(), endpoints_.end(), endpoint),
                    endpoints_.end());
+  grid_valid_ = false;
 }
 
 std::uint64_t RadioMedium::transmit(RadioEndpoint& sender, std::size_t bits,
@@ -30,72 +36,255 @@ std::uint64_t RadioMedium::transmit(RadioEndpoint& sender, std::size_t bits,
   tx.power_dbm = tx_power_dbm;
   tx.start = world_.now();
   tx.end = world_.now() + duration;
-  history_.push_back(tx);
+  tx.bits = bits;
+  tx.bitrate_bps = bitrate_bps;
+  tx.payload = std::move(payload);
+  by_channel_[channel_bucket(tx.channel)].push(tx.id);
+  active_by_channel_[channel_bucket(tx.channel)].push_back(tx.id);
+  by_sender_[tx.sender_id].push(tx.id);
+  history_.push_back(std::move(tx));
   max_duration_ = std::max(max_duration_, duration);
   ++stats_.transmissions;
 
-  world_.sim().schedule_at(tx.end, [this, tx, bits, bitrate_bps,
-                                    payload = std::move(payload)]() mutable {
-    finish(tx, bits, bitrate_bps, std::move(payload));
-  });
-  return tx.id;
+  // The frame record lives in history_ until pruned; capturing just the id
+  // keeps this closure inside Callback's inline buffer (no allocation).
+  const std::uint64_t id = history_.back().id;
+  world_.sim().schedule_at(history_.back().end,
+                           [this, id] { finish(id); });
+  return id;
 }
 
-void RadioMedium::finish(const Transmission& tx, std::size_t bits,
-                         double bitrate_bps,
-                         std::shared_ptr<const void> payload) {
-  for (RadioEndpoint* ep : endpoints_) {
-    const RadioConfig& cfg = ep->radio_config();
-    if (cfg.id == tx.sender_id) continue;
-    const double overlap = channel_overlap(tx.channel, cfg.channel);
-    if (overlap <= 0.0) continue;
-    const double rssi =
-        model_.received_dbm(tx.power_dbm, tx.sender_pos, ep->position(),
-                            tx.sender_id, cfg.id) +
-        10.0 * std::log10(overlap > 0.0 ? overlap : 1e-12);
-    if (rssi < cfg.sensitivity_dbm) continue;
-    ++stats_.deliveries_attempted;
+const RadioMedium::Transmission* RadioMedium::find_tx(std::uint64_t id) const {
+  const std::uint64_t first = first_history_id();
+  if (id < first || id >= first + history_.size()) return nullptr;
+  return &history_[static_cast<std::size_t>(id - first)];
+}
 
-    FrameDelivery d;
-    d.tx_id = tx.id;
-    d.sender_radio = tx.sender_id;
-    d.rssi_dbm = rssi;
-    d.start = tx.start;
-    d.end = tx.end;
-    d.bits = bits;
-    d.bitrate_bps = bitrate_bps;
-    d.payload = payload;
+std::size_t RadioMedium::channel_bucket(int channel) {
+  if (channel < 0) return 0;
+  if (channel >= static_cast<int>(kChannelBuckets)) return kChannelBuckets - 1;
+  return static_cast<std::size_t>(channel);
+}
 
-    // Half duplex: did this receiver transmit at any point during the frame?
-    bool rx_transmitted = false;
-    for (const Transmission& other : history_) {
-      if (other.sender_id != cfg.id) continue;
-      if (other.start < tx.end && other.end > tx.start) {
-        rx_transmitted = true;
-        break;
-      }
-    }
-
-    const double noise =
-        thermal_noise_dbm(cfg.bandwidth_hz, cfg.noise_figure_db);
-    d.sinr_db = sinr_db(rssi, interference_mw(tx, *ep), noise);
-
-    if (rx_transmitted) {
-      d.decodable = false;
-      ++stats_.losses_half_duplex;
-    } else if (!ep->receiver_enabled()) {
-      d.decodable = false;
-      ++stats_.losses_rx_off;
-    } else if (d.sinr_db < required_sinr_db(bitrate_bps)) {
-      d.decodable = false;
-      ++stats_.losses_sinr;
-    } else {
-      d.decodable = true;
-      ++stats_.deliveries_decodable;
-    }
-    ep->on_frame(d);
+const std::vector<std::uint64_t>& RadioMedium::overlapping_channel_ids(
+    int channel) const {
+  const std::uint64_t first = first_history_id();
+  const std::size_t blo = channel_bucket(channel - 4);
+  const std::size_t bhi = channel_bucket(channel + 4);
+  scratch_ids_.clear();
+  for (std::size_t b = blo; b <= bhi; ++b) {
+    IdLog& log = by_channel_[b];
+    log.drop_before(first);
+    scratch_ids_.insert(scratch_ids_.end(), log.ids.begin() + static_cast<std::ptrdiff_t>(log.head),
+                        log.ids.end());
   }
+  // Ascending id order == history scan order, so floating-point sums over
+  // these candidates are bit-identical to the exhaustive reference.
+  std::sort(scratch_ids_.begin(), scratch_ids_.end());
+  return scratch_ids_;
+}
+
+const std::vector<std::uint64_t>& RadioMedium::active_channel_ids(
+    int channel, sim::Time now) const {
+  const std::size_t blo = channel_bucket(channel - 4);
+  const std::size_t bhi = channel_bucket(channel + 4);
+  scratch_ids_.clear();
+  for (std::size_t b = blo; b <= bhi; ++b) {
+    std::vector<std::uint64_t>& active = active_by_channel_[b];
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Transmission* tx = find_tx(active[i]);
+      // Once a transmission has ended it can never be sensed again: drop it
+      // from the active list for good (amortized O(1) per transmission).
+      if (!tx || tx->end <= now) continue;
+      active[kept++] = active[i];
+      scratch_ids_.push_back(active[i]);
+    }
+    active.resize(kept);
+  }
+  std::sort(scratch_ids_.begin(), scratch_ids_.end());
+  return scratch_ids_;
+}
+
+bool RadioMedium::sender_transmitted_during(std::uint64_t sender_id,
+                                            sim::Time start,
+                                            sim::Time end) const {
+  if (!options_.spatial_index) {
+    for (const Transmission& other : history_) {
+      if (other.sender_id != sender_id) continue;
+      if (other.start < end && other.end > start) return true;
+    }
+    return false;
+  }
+  const auto it = by_sender_.find(sender_id);
+  if (it == by_sender_.end()) return false;
+  IdLog& log = it->second;
+  log.drop_before(first_history_id());
+  for (std::size_t i = log.head; i < log.ids.size(); ++i) {
+    const Transmission* other = find_tx(log.ids[i]);
+    if (other && other->start < end && other->end > start) return true;
+  }
+  return false;
+}
+
+void RadioMedium::rebuild_grid() const {
+  const sim::Time now = world_.now();
+  if (grid_valid_) {
+    if (grid_time_ == now) return;
+    // Let the grid age while the worst-case displacement stays under one
+    // cell edge: queries pad the cull radius by the drift, so the cull is
+    // still exact. A world of static endpoints rebuilds exactly once.
+    const double dt = (now - grid_time_).seconds();
+    const double drift = dt * grid_speed_bound_mps_;  // dt > 0, so inf is ok
+    if (drift >= 0.0 && drift <= cell_size_m_) {
+      grid_drift_m_ = drift;
+      return;
+    }
+  }
+  const bool fresh = grid_.size() != endpoints_.size();
+  if (fresh) {
+    grid_.resize(endpoints_.size());
+    for (std::uint32_t i = 0; i < endpoints_.size(); ++i) grid_[i].second = i;
+  }
+  min_sensitivity_dbm_ = std::numeric_limits<double>::infinity();
+  grid_speed_bound_mps_ = 0.0;
+  // Refresh keys in the previous sorted order: when nobody moved between
+  // rebuilds (the common steady state), the array stays sorted and the sort
+  // below is skipped entirely.
+  for (auto& [key, idx] : grid_) {
+    key = cell_key(cell_of(endpoints_[idx]->position(), cell_size_m_));
+    min_sensitivity_dbm_ =
+        std::min(min_sensitivity_dbm_,
+                 endpoints_[idx]->radio_config().sensitivity_dbm);
+    grid_speed_bound_mps_ =
+        std::max(grid_speed_bound_mps_, endpoints_[idx]->max_speed_mps());
+  }
+  if (!std::is_sorted(grid_.begin(), grid_.end())) {
+    std::sort(grid_.begin(), grid_.end());
+  }
+  grid_time_ = now;
+  grid_drift_m_ = 0.0;
+  grid_valid_ = true;
+}
+
+double RadioMedium::cull_radius_m(double tx_power_dbm) const {
+  // A receiver needs rssi >= its sensitivity; channel mismatch only
+  // subtracts. With |shadowing| < shadowing_bound_db, anything beyond the
+  // nominal range at (min sensitivity - bound) provably cannot decode. The
+  // 1% slack absorbs floating-point disagreement between the pow() here and
+  // the log10() in the exact per-candidate check.
+  const double floor_dbm =
+      min_sensitivity_dbm_ - model_.shadowing_bound_db();
+  return model_.nominal_range_m(tx_power_dbm, floor_dbm) * 1.01 + 1e-6;
+}
+
+void RadioMedium::finish(std::uint64_t tx_id) {
+  const Transmission* tx = find_tx(tx_id);
+  if (!tx) return;  // pruned (cannot happen for live frames; be safe)
+
+  if (!options_.spatial_index || endpoints_.empty()) {
+    for (RadioEndpoint* ep : endpoints_) deliver(*tx, *ep);
+  } else {
+    rebuild_grid();
+    const double radius = cull_radius_m(tx->power_dbm);
+    const double r2 = radius * radius;
+    // Grid cells hold positions as of grid_time_; widen the search ring by
+    // the worst-case displacement since then. The exact distance check below
+    // still uses the unpadded radius against *current* positions.
+    const double ring = radius + grid_drift_m_;
+    const Vec2 pos = tx->sender_pos;
+    scratch_candidates_.clear();
+    // A degenerate radius (overflow/NaN from extreme model params) or one
+    // spanning more cells than there are radios means indexing can't win:
+    // scan everything (still exact, just the reference order).
+    bool full_scan = !(ring < 1e7);
+    CellCoord c0, c1;
+    if (!full_scan) {
+      c0 = cell_of({pos.x - ring, pos.y - ring}, cell_size_m_);
+      c1 = cell_of({pos.x + ring, pos.y + ring}, cell_size_m_);
+      const std::uint64_t span_x = static_cast<std::uint64_t>(c1.x - c0.x) + 1;
+      const std::uint64_t span_y = static_cast<std::uint64_t>(c1.y - c0.y) + 1;
+      full_scan = span_x * span_y >= endpoints_.size();
+    }
+    if (full_scan) {
+      for (std::uint32_t i = 0; i < endpoints_.size(); ++i) {
+        scratch_candidates_.push_back(i);
+      }
+    } else {
+      // cell_key is monotonic in (x, y), so for each x-column the cells
+      // [c0.y .. c1.y] are one contiguous key range: one binary search per
+      // column instead of one per cell.
+      for (std::int32_t cx = c0.x; cx <= c1.x; ++cx) {
+        const std::uint64_t klo = cell_key({cx, c0.y});
+        const std::uint64_t khi = cell_key({cx, c1.y});
+        auto it = std::lower_bound(
+            grid_.begin(), grid_.end(), klo,
+            [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+        for (; it != grid_.end() && it->first <= khi; ++it) {
+          scratch_candidates_.push_back(it->second);
+        }
+      }
+      // Attach order == the exhaustive loop's delivery order.
+      std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
+    }
+    for (const std::uint32_t idx : scratch_candidates_) {
+      RadioEndpoint* ep = endpoints_[idx];
+      const Vec2 d = ep->position() - pos;
+      if (d.norm2() > r2) continue;  // provably below sensitivity
+      deliver(*tx, *ep);
+    }
+  }
+
+  // Frame over: the payload is no longer needed, only the transmission's
+  // geometry/timing (kept for interference overlap with later frames).
+  const std::uint64_t first = first_history_id();
+  history_[static_cast<std::size_t>(tx_id - first)].payload.reset();
   prune_history();
+}
+
+void RadioMedium::deliver(const Transmission& tx, RadioEndpoint& ep) {
+  const RadioConfig& cfg = ep.radio_config();
+  if (cfg.id == tx.sender_id) return;
+  const double overlap = channel_overlap(tx.channel, cfg.channel);
+  if (overlap <= 0.0) return;
+  const double rssi =
+      model_.received_dbm(tx.power_dbm, tx.sender_pos, ep.position(),
+                          tx.sender_id, cfg.id) +
+      10.0 * std::log10(overlap > 0.0 ? overlap : 1e-12);
+  if (rssi < cfg.sensitivity_dbm) return;
+  ++stats_.deliveries_attempted;
+
+  FrameDelivery d;
+  d.tx_id = tx.id;
+  d.sender_radio = tx.sender_id;
+  d.rssi_dbm = rssi;
+  d.start = tx.start;
+  d.end = tx.end;
+  d.bits = tx.bits;
+  d.bitrate_bps = tx.bitrate_bps;
+  d.payload = tx.payload;
+
+  // Half duplex: did this receiver transmit at any point during the frame?
+  const bool rx_transmitted =
+      sender_transmitted_during(cfg.id, tx.start, tx.end);
+
+  const double noise = thermal_noise_dbm(cfg.bandwidth_hz, cfg.noise_figure_db);
+  d.sinr_db = sinr_db(rssi, interference_mw(tx, ep), noise);
+
+  if (rx_transmitted) {
+    d.decodable = false;
+    ++stats_.losses_half_duplex;
+  } else if (!ep.receiver_enabled()) {
+    d.decodable = false;
+    ++stats_.losses_rx_off;
+  } else if (d.sinr_db < required_sinr_db(tx.bitrate_bps)) {
+    d.decodable = false;
+    ++stats_.losses_sinr;
+  } else {
+    d.decodable = true;
+    ++stats_.deliveries_decodable;
+  }
+  ep.on_frame(d);
 }
 
 double RadioMedium::interference_mw(const Transmission& tx,
@@ -103,22 +292,33 @@ double RadioMedium::interference_mw(const Transmission& tx,
   const RadioConfig& cfg = rx.radio_config();
   const double span = (tx.end - tx.start).seconds();
   double total_mw = 0.0;
-  for (const Transmission& other : history_) {
+  const auto contribution = [&](const Transmission& other) {
     if (other.id == tx.id || other.sender_id == tx.sender_id ||
         other.sender_id == cfg.id) {
-      continue;
+      return;
     }
     const sim::Time o_start = std::max(other.start, tx.start);
     const sim::Time o_end = std::min(other.end, tx.end);
-    if (o_end <= o_start) continue;
+    if (o_end <= o_start) return;
     const double overlap_frac =
         span > 0.0 ? (o_end - o_start).seconds() / span : 1.0;
     const double ch = channel_overlap(other.channel, cfg.channel);
-    if (ch <= 0.0) continue;
-    const double p_rx = model_.received_dbm(
+    if (ch <= 0.0) return;
+    const double p_mw = model_.received_mw(
         other.power_dbm, other.sender_pos, rx.position(), other.sender_id,
         cfg.id);
-    total_mw += dbm_to_mw(p_rx) * ch * overlap_frac;
+    total_mw += p_mw * ch * overlap_frac;
+  };
+  // The pruned history only spans the interference-overlap window, so for
+  // light traffic a direct scan beats assembling a candidate list. Skipped
+  // transmissions contribute exactly zero milliwatts either way, so both
+  // paths produce bit-identical sums (same additions, same id order).
+  if (!options_.spatial_index || history_.size() <= 64) {
+    for (const Transmission& other : history_) contribution(other);
+  } else {
+    for (const std::uint64_t id : overlapping_channel_ids(cfg.channel)) {
+      if (const Transmission* other = find_tx(id)) contribution(*other);
+    }
   }
   return total_mw;
 }
@@ -132,17 +332,24 @@ double RadioMedium::energy_at(Vec2 pos, int channel,
                               std::uint64_t observer_id) const {
   const sim::Time now = world_.now();
   double total_mw = 0.0;
-  for (const Transmission& tx : history_) {
-    if (tx.sender_id == observer_id) continue;
+  const auto contribution = [&](const Transmission& tx) {
+    if (tx.sender_id == observer_id) return;
     // A transmission starting at this exact instant is not yet sensed:
     // this is the slotted-CSMA vulnerable window that produces real
     // collisions when two stations' backoff counters expire together.
-    if (tx.start >= now || tx.end <= now) continue;
+    if (tx.start >= now || tx.end <= now) return;
     const double ch = channel_overlap(tx.channel, channel);
-    if (ch <= 0.0) continue;
-    const double p_rx = model_.received_dbm(tx.power_dbm, tx.sender_pos, pos,
-                                            tx.sender_id, observer_id);
-    total_mw += dbm_to_mw(p_rx) * ch;
+    if (ch <= 0.0) return;
+    total_mw += model_.received_mw(tx.power_dbm, tx.sender_pos, pos,
+                                   tx.sender_id, observer_id) *
+                ch;
+  };
+  if (!options_.spatial_index) {
+    for (const Transmission& tx : history_) contribution(tx);
+  } else {
+    for (const std::uint64_t id : active_channel_ids(channel, now)) {
+      if (const Transmission* tx = find_tx(id)) contribution(*tx);
+    }
   }
   return mw_to_dbm(total_mw);
 }

@@ -6,11 +6,31 @@
 // channel overlap, accumulated co-channel interference (weighted by time
 // overlap), thermal noise, and half-duplex constraints. The medium also
 // answers clear-channel-assessment queries for CSMA MACs.
+//
+// Hot-path indexing (Options::spatial_index, on by default):
+//  - A uniform spatial hash grid over endpoint positions lets frame
+//    delivery cull receivers by a conservative sensitivity radius instead
+//    of scanning every attached endpoint. Shadowing is bounded (see
+//    PathLossModel::shadowing_bound_db), so the cull is exact: a culled
+//    receiver provably cannot clear its sensitivity threshold. Positions
+//    are pure functions of time, so the grid is rebuilt lazily, at most
+//    once per distinct query timestamp.
+//  - Per-channel transmission logs restrict CCA/interference scans to
+//    same/adjacent-channel traffic (channel overlap is zero at a
+//    separation of 5+), and a per-sender log answers the half-duplex
+//    check without walking the whole history.
+// Candidate sets are always re-sorted into attach/id order before use, so
+// delivery order and floating-point summation order — and therefore
+// MediumStats and every downstream metric — are bit-identical to the
+// exhaustive reference scans (asserted by env_test and the benches).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "env/geometry.hpp"
@@ -53,6 +73,12 @@ class RadioEndpoint {
   virtual bool receiver_enabled() const = 0;
   /// Invoked at the end of every frame whose RSSI clears sensitivity.
   virtual void on_frame(const FrameDelivery& delivery) = 0;
+  /// Hard bound on how fast this endpoint can move (see
+  /// MobilityModel::max_speed_mps). Lets the medium's spatial grid age
+  /// instead of rebuilding at every timestamp; infinity is always safe.
+  virtual double max_speed_mps() const {
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 /// Medium-wide counters for experiments.
@@ -65,9 +91,22 @@ struct MediumStats {
   std::uint64_t losses_rx_off = 0;
 };
 
+/// Tuning knobs for RadioMedium's hot-path indexing (namespace-scope so it
+/// can serve as a default argument).
+struct RadioMediumOptions {
+  /// Use the spatial grid + channel/sender logs. Off = exhaustive scans
+  /// (the reference implementation; kept for equivalence testing).
+  bool spatial_index = true;
+  /// Grid cell edge in meters; 0 picks a default sized for indoor cells.
+  double cell_size_m = 0.0;
+};
+
 class RadioMedium {
  public:
-  RadioMedium(sim::World& world, PathLossModel model);
+  using Options = RadioMediumOptions;
+
+  RadioMedium(sim::World& world, PathLossModel model,
+              Options options = Options());
 
   void attach(RadioEndpoint* endpoint);
   void detach(RadioEndpoint* endpoint);
@@ -89,6 +128,13 @@ class RadioMedium {
 
   const MediumStats& stats() const { return stats_; }
   const PathLossModel& path_loss() const { return model_; }
+  const Options& options() const { return options_; }
+
+  /// Must be called if an endpoint's position or radio config changes in a
+  /// way its max_speed_mps() bound does not cover (e.g. a teleport via
+  /// StaticMobility::set_position, or a sensitivity change). attach/detach
+  /// call this automatically.
+  void invalidate_positions() { grid_valid_ = false; }
 
  private:
   struct Transmission {
@@ -99,20 +145,86 @@ class RadioMedium {
     double power_dbm;
     sim::Time start;
     sim::Time end;
+    std::size_t bits;
+    double bitrate_bps;
+    std::shared_ptr<const void> payload;  // released when the frame ends
   };
 
-  void finish(const Transmission& tx, std::size_t bits, double bitrate_bps,
-              std::shared_ptr<const void> payload);
+  /// Append-only id log with a lazily advancing head so pruned ids are
+  /// skipped without O(n) erasure.
+  struct IdLog {
+    std::vector<std::uint64_t> ids;
+    std::size_t head = 0;
+
+    void push(std::uint64_t id) { ids.push_back(id); }
+    void drop_before(std::uint64_t first_id) {
+      while (head < ids.size() && ids[head] < first_id) ++head;
+      if (head > 64 && head * 2 > ids.size()) {
+        ids.erase(ids.begin(),
+                  ids.begin() + static_cast<std::ptrdiff_t>(head));
+        head = 0;
+      }
+    }
+  };
+
+  void finish(std::uint64_t tx_id);
+  void deliver(const Transmission& tx, RadioEndpoint& ep);
   double interference_mw(const Transmission& tx, const RadioEndpoint& rx) const;
+  bool sender_transmitted_during(std::uint64_t sender_id, sim::Time start,
+                                 sim::Time end) const;
   void prune_history();
+
+  /// History lookup by id (history ids are contiguous and ascending).
+  const Transmission* find_tx(std::uint64_t id) const;
+  std::uint64_t first_history_id() const {
+    return history_.empty() ? next_tx_id_ : history_.front().id;
+  }
+
+  /// Channel bucket: clamps any int channel into the log array.
+  static std::size_t channel_bucket(int channel);
+  /// Ids of history transmissions on channels overlapping `channel`,
+  /// ascending (== history scan order). Result lives in scratch_ids_.
+  const std::vector<std::uint64_t>& overlapping_channel_ids(int channel) const;
+  /// Ids of *in-flight or not-yet-started* transmissions on channels
+  /// overlapping `channel`, ascending. Finished entries are dropped from
+  /// the active lists permanently as they are encountered, so the per-CCA
+  /// cost tracks the number of live transmissions, not the history window.
+  const std::vector<std::uint64_t>& active_channel_ids(int channel,
+                                                       sim::Time now) const;
+
+  void rebuild_grid() const;
+  double cull_radius_m(double tx_power_dbm) const;
 
   sim::World& world_;
   PathLossModel model_;
+  Options options_;
   std::vector<RadioEndpoint*> endpoints_;
-  std::deque<Transmission> history_;  // active + recently finished
+  std::deque<Transmission> history_;  // active + recently finished, id order
   sim::Time max_duration_ = sim::Time::zero();
   std::uint64_t next_tx_id_ = 1;
   MediumStats stats_;
+
+  // --- indices (all derived data; rebuilt or pruned lazily) ---------------
+  static constexpr std::size_t kChannelBuckets = 15;  // 0..14, 1..13 typical
+  mutable std::array<IdLog, kChannelBuckets> by_channel_;
+  mutable std::array<std::vector<std::uint64_t>, kChannelBuckets>
+      active_by_channel_;
+  mutable std::unordered_map<std::uint64_t, IdLog> by_sender_;
+  mutable std::vector<std::uint64_t> scratch_ids_;
+
+  // Spatial index: (cell key, endpoint index) pairs sorted by key, rebuilt
+  // flat so steady-state queries never allocate. The grid is allowed to age
+  // while every endpoint's possible displacement (max speed bound * elapsed
+  // time) stays under one cell edge; queries pad the cull radius by that
+  // drift, so staleness never costs exactness — only extra candidates.
+  mutable std::vector<std::pair<std::uint64_t, std::uint32_t>> grid_;
+  mutable std::vector<std::uint32_t> scratch_candidates_;
+  mutable sim::Time grid_time_ = sim::Time::zero();
+  mutable bool grid_valid_ = false;
+  mutable double min_sensitivity_dbm_ = 0.0;    // refreshed on rebuild
+  mutable double grid_speed_bound_mps_ = 0.0;   // max over endpoints
+  mutable double grid_drift_m_ = 0.0;           // pad for the current query
+  double cell_size_m_ = 16.0;
 };
 
 }  // namespace aroma::env

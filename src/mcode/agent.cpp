@@ -57,9 +57,12 @@ void AgentHost::on_connection(
     AgentState agent = AgentState::deserialize(r);
     if (r.ok()) handle_arrival(std::move(agent));
   });
-  conn->set_data_handler([session](std::span<const std::byte> d) {
-    session->framer.on_bytes(d);
-  });
+  // Weak capture: the session owns the connection, so a strong capture here
+  // would form a cycle that outlives the closed handler's erase below.
+  conn->set_data_handler(
+      [weak = std::weak_ptr<Session>(session)](std::span<const std::byte> d) {
+        if (auto session = weak.lock()) session->framer.on_bytes(d);
+      });
   conn->set_closed_handler([this, raw = session.get()] {
     sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
                                    [&](const std::shared_ptr<Session>& s) {

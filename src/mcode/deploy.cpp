@@ -45,8 +45,15 @@ void CodeRepository::on_connection(
   auto session = std::make_shared<Session>();
   session->conn = conn;
   sessions_.push_back(session);
-  session->framer.set_handler([this, session](
+  // Handlers capture the session weakly: the session owns the connection and
+  // the framer, so a strong capture would form a reference cycle that keeps
+  // the whole chain (and its buffers) alive after the closed handler erases
+  // it from sessions_. The lock also pins the session for the duration of a
+  // callback that erases it mid-invocation.
+  session->framer.set_handler([this, weak = std::weak_ptr<Session>(session)](
                                   std::span<const std::byte> msg) {
+    auto session = weak.lock();
+    if (!session) return;
     net::ByteReader r(msg);
     if (static_cast<CodeMsg>(r.u8()) != CodeMsg::kFetch || !r.ok()) return;
     const std::string name = r.str();
@@ -69,9 +76,10 @@ void CodeRepository::on_connection(
     session->conn->send(net::MessageFramer::frame(w.data()));
     session->conn->close();
   });
-  conn->set_data_handler([session](std::span<const std::byte> d) {
-    session->framer.on_bytes(d);
-  });
+  conn->set_data_handler(
+      [weak = std::weak_ptr<Session>(session)](std::span<const std::byte> d) {
+        if (auto session = weak.lock()) session->framer.on_bytes(d);
+      });
   conn->set_closed_handler([this, raw = session.get()] {
     sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
                                    [&](const std::shared_ptr<Session>& s) {
@@ -181,9 +189,12 @@ void CodeLoader::fetch(net::NodeId repository, const std::string& name,
         *fired = true;
         install(std::move(pkg), requested_at, /*transferred=*/true, cb);
       });
+  // Weak captures: the transfer owns the connection, so strong captures in
+  // the connection's handlers would cycle and leak once finish() erases the
+  // transfer from transfers_.
   transfer->conn->set_data_handler(
-      [transfer](std::span<const std::byte> d) {
-        transfer->framer.on_bytes(d);
+      [weak = std::weak_ptr<Transfer>(transfer)](std::span<const std::byte> d) {
+        if (auto transfer = weak.lock()) transfer->framer.on_bytes(d);
       });
   transfer->conn->set_closed_handler(
       [cb, fired, requested_at, this, finish] {
@@ -195,7 +206,10 @@ void CodeLoader::fetch(net::NodeId repository, const std::string& name,
         if (cb) cb(res);
       });
 
-  auto send_request = [this, transfer, name, min_version] {
+  auto send_request = [this, weak = std::weak_ptr<Transfer>(transfer), name,
+                       min_version] {
+    auto transfer = weak.lock();
+    if (!transfer) return;
     net::ByteWriter w;
     w.u8(static_cast<std::uint8_t>(CodeMsg::kFetch));
     w.str(name);

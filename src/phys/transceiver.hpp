@@ -36,6 +36,9 @@ class Transceiver final : public env::RadioEndpoint {
   const env::RadioConfig& radio_config() const override { return params_.config; }
   bool receiver_enabled() const override;
   void on_frame(const env::FrameDelivery& delivery) override;
+  double max_speed_mps() const override {
+    return mobility_ ? mobility_->max_speed_mps() : 0.0;
+  }
 
   // Device-facing API -------------------------------------------------------
   /// Puts `bits` on the air at the configured bitrate; returns the airtime.

@@ -1,0 +1,128 @@
+// Small-buffer-optimized callback for the event kernel.
+//
+// The kernel schedules millions of one-shot closures per run; wrapping each
+// in std::function heap-allocates whenever the capture list exceeds the
+// implementation's tiny (and trivially-copyable-only) SSO buffer. Callback
+// inlines any nothrow-move-constructible callable up to kInlineSize bytes —
+// sized so the common lambda captures in phys/, net/, and disco/ (a `this`
+// pointer, a couple of ids, a shared_ptr payload) never touch the heap —
+// and falls back to a heap allocation only beyond that.
+//
+// Move-only and invoke-at-most-once-at-a-time; no copy, no target type
+// query. Exactly what a discrete-event queue needs and nothing more.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace aroma::sim {
+
+class Callback {
+ public:
+  /// Inline storage size: >= 48 bytes per the kernel's design budget (see
+  /// DESIGN.md "Performance architecture"); 56 keeps sizeof(Callback) at 64,
+  /// one cache line alongside the ops pointer.
+  static constexpr std::size_t kInlineSize = 56;
+
+  Callback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::remove_cvref_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule_* callsite
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(storage_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  /// True when the target lives in the inline buffer (introspection for
+  /// tests asserting the no-heap-allocation property).
+  bool is_inline() const noexcept { return ops_ && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* from, void* to) noexcept;  // move + destroy source
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineSize &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+      [](void* from, void* to) noexcept {
+        Fn* src = std::launder(reinterpret_cast<Fn*>(from));
+        ::new (to) Fn(std::move(*src));
+        src->~Fn();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<Fn*>(s))->~Fn(); },
+      true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+      [](void* from, void* to) noexcept {
+        ::new (to) Fn*(*std::launder(reinterpret_cast<Fn**>(from)));
+      },
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<Fn**>(s)); },
+      false,
+  };
+
+  void move_from(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_) {
+      ops_->relocate(other.storage_, storage_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  void reset() noexcept {
+    if (ops_) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+static_assert(sizeof(Callback) == 64, "one cache line");
+
+}  // namespace aroma::sim

@@ -1,5 +1,8 @@
 #include "sim/parallel.hpp"
 
+#include <exception>
+#include <mutex>
+
 namespace aroma::sim {
 
 void ParallelRunner::run(std::size_t trials,
@@ -11,18 +14,32 @@ void ParallelRunner::run(std::size_t trials,
     return;
   }
   std::atomic<std::size_t> next{0};
-  std::vector<std::jthread> pool;
-  pool.reserve(nthreads);
-  for (std::size_t t = 0; t < nthreads; ++t) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= trials) return;
-        fn(i);
-      }
-    });
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(nthreads);
+    for (std::size_t t = 0; t < nthreads; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= trials) return;
+          try {
+            fn(i);
+          } catch (...) {
+            {
+              const std::lock_guard<std::mutex> lock(error_mutex);
+              if (!first_error) first_error = std::current_exception();
+            }
+            // Stop handing out new trials; in-flight ones finish normally.
+            next.store(trials, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // jthread joins on destruction.
   }
-  // jthread joins on destruction.
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace aroma::sim

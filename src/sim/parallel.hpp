@@ -29,9 +29,10 @@ class ParallelRunner {
 
   std::size_t workers() const { return workers_; }
 
-  /// Executes fn(i) for i in [0, trials). Blocks until all complete.
-  /// Exceptions escaping a trial terminate (simulations report via status,
-  /// not exceptions).
+  /// Executes fn(i) for i in [0, trials). Blocks until all complete. If any
+  /// trial throws, no further trials are started, in-flight trials finish,
+  /// and the first exception (by completion order) is rethrown on the
+  /// caller's thread after all workers have joined.
   void run(std::size_t trials, const std::function<void(std::size_t)>& fn) const;
 
   /// Convenience: runs `trials` trials, each producing a T into out[i].

@@ -1,70 +1,41 @@
 #include "sim/simulator.hpp"
 
-#include <algorithm>
-
 namespace aroma::sim {
 
-EventHandle Simulator::schedule_at(Time when, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(Time when, Callback fn) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  return EventHandle{id};
+  const EventQueue::Ref ref = queue_.push(when, next_seq_++, id, std::move(fn));
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+  return EventHandle{id, ref.slot};
 }
 
-EventHandle Simulator::schedule_in(Time delay, std::function<void()> fn) {
+EventHandle Simulator::schedule_in(Time delay, Callback fn) {
   if (delay.is_negative()) delay = Time::zero();
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  // Only mark events that are plausibly still pending.
-  if (h.id() >= next_id_) return false;
-  if (is_cancelled(h.id())) return false;
-  // We cannot cheaply verify membership in the heap; callers only hold
-  // handles for events they scheduled and have not seen fire, so marking is
-  // sufficient. Fired events purge their id lazily (ids are unique).
-  cancelled_.push_back(h.id());
-  ++cancelled_live_;
-  return true;
-}
-
-bool Simulator::is_cancelled(std::uint64_t id) const {
-  return std::find(cancelled_.begin(), cancelled_.end(), id) != cancelled_.end();
+  return queue_.cancel({h.slot_, h.id_});
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (is_cancelled(ev.id)) {
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), ev.id),
-                       cancelled_.end());
-      if (cancelled_live_ > 0) --cancelled_live_;
-      continue;
-    }
-    now_ = ev.when;
-    ++executed_;
-    ev.fn();
-    return true;
-  }
-  return false;
+  if (queue_.empty()) return false;
+  // Move the callback out before invoking: the event may schedule more
+  // events, mutating the queue under us.
+  Callback fn;
+  now_ = queue_.pop_min(fn);
+  ++executed_;
+  fn();
+  return true;
 }
 
 std::size_t Simulator::run_until(Time deadline) {
   std::size_t n = 0;
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.when > deadline) break;
-    if (is_cancelled(top.id)) {
-      const std::uint64_t id = top.id;
-      queue_.pop();
-      cancelled_.erase(std::remove(cancelled_.begin(), cancelled_.end(), id),
-                       cancelled_.end());
-      if (cancelled_live_ > 0) --cancelled_live_;
-      continue;
-    }
-    if (step()) ++n;
+  while (!queue_.empty() && queue_.min_time() <= deadline) {
+    step();
+    ++n;
   }
   if (now_ < deadline) now_ = deadline;
   return n;

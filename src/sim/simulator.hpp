@@ -1,20 +1,25 @@
 // Discrete-event simulation kernel.
 //
-// A `Simulator` owns a priority queue of timestamped events. Components
+// A `Simulator` owns an indexed heap of timestamped events. Components
 // schedule callbacks at absolute or relative times; the kernel executes them
 // in (time, insertion-order) order, which makes runs fully deterministic.
+// Cancellation is O(log n) and handle validation O(1) — see
+// sim/event_queue.hpp for the data-structure rationale and sim/callback.hpp
+// for the allocation-free closure storage.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
 
+#include "sim/callback.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
 namespace aroma::sim {
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
+/// Handles are cheap value types; a handle outliving its event is safe and
+/// simply stops matching (cancel() returns false).
 class EventHandle {
  public:
   EventHandle() = default;
@@ -23,8 +28,9 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  EventHandle(std::uint64_t id, std::uint32_t slot) : id_(id), slot_(slot) {}
   std::uint64_t id_ = 0;
+  std::uint32_t slot_ = 0;  // direct index into the kernel's slot table
 };
 
 /// The event kernel. Not thread-safe: one Simulator == one simulated world,
@@ -40,13 +46,14 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (must be >= now()).
-  EventHandle schedule_at(Time when, std::function<void()> fn);
+  EventHandle schedule_at(Time when, Callback fn);
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to now.
-  EventHandle schedule_in(Time delay, std::function<void()> fn);
+  EventHandle schedule_in(Time delay, Callback fn);
 
   /// Cancels a pending event. Returns true if the event existed and had not
-  /// yet fired. Safe to call with an already-fired or invalid handle.
+  /// yet fired. Safe to call with an already-fired, already-cancelled, or
+  /// invalid handle (all return false).
   bool cancel(EventHandle h);
 
   /// Runs events until the queue empties or `deadline` is reached; time
@@ -60,34 +67,21 @@ class Simulator {
   bool step();
 
   /// Number of events currently pending.
-  std::size_t pending() const { return queue_.size() - cancelled_live_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// High-water mark of pending() since construction.
+  std::size_t peak_pending() const { return peak_pending_; }
 
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Event {
-    Time when;
-    std::uint64_t seq;  // tiebreaker: FIFO among same-time events
-    std::uint64_t id;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  bool is_cancelled(std::uint64_t id) const;
-
   Time now_ = Time::zero();
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // small set; linear scan
-  std::size_t cancelled_live_ = 0;
+  EventQueue queue_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 /// A repeating timer bound to a Simulator; RAII-cancels on destruction.

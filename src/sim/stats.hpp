@@ -93,4 +93,31 @@ class RateMeter {
   std::uint64_t count_ = 0;
 };
 
+/// Wall-clock stopwatch for measuring the real execution time of a bench
+/// loop (simulated time says nothing about kernel throughput).
+class WallTimer {
+ public:
+  WallTimer() { restart(); }
+  void restart();
+  /// Seconds of real time since construction / the last restart().
+  double elapsed_sec() const;
+
+ private:
+  std::uint64_t t0_ns_ = 0;
+};
+
+/// Throughput summary for one kernel run: simulated events executed versus
+/// the wall-clock seconds the run took, plus the high-water mark of the
+/// pending-event queue. Benches surface these in their JSON output so the
+/// perf trajectory records kernel throughput, not just scenario metrics.
+struct Throughput {
+  std::uint64_t events = 0;
+  double wall_sec = 0.0;
+  std::size_t peak_pending = 0;
+
+  double events_per_sec() const {
+    return wall_sec > 0.0 ? static_cast<double>(events) / wall_sec : 0.0;
+  }
+};
+
 }  // namespace aroma::sim

@@ -2,10 +2,13 @@
 // acoustics, and mobility.
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <memory>
+#include <vector>
 
 #include "env/acoustics.hpp"
+#include "sim/random.hpp"
 #include "env/environment.hpp"
 #include "env/geometry.hpp"
 #include "env/mobility.hpp"
@@ -270,6 +273,83 @@ TEST(RadioMedium, DetachStopsDelivery) {
   medium.transmit(tx, 8'000, 2e6, 15.0, nullptr);
   w.sim().run();
   EXPECT_TRUE(rx.deliveries.empty());
+}
+
+// The spatial grid and per-channel logs are pure accelerations: with the
+// same seed and traffic, MediumStats, every per-receiver delivery (RSSI and
+// SINR to the last bit), and every CCA answer must equal the exhaustive
+// reference scan. Shadowing stays enabled so the conservative cull bound is
+// what's actually under test.
+TEST(RadioMedium, SpatialIndexMatchesExhaustiveScanBitForBit) {
+  PathLossModel::Params mp;
+  mp.seed = 99;  // shadowing on (default sigma)
+
+  const auto run = [&](bool indexed) {
+    sim::World w(7);
+    RadioMedium::Options opt;
+    opt.spatial_index = indexed;
+    RadioMedium medium(w, PathLossModel(mp), opt);
+
+    sim::Rng rng(1234);
+    std::vector<std::unique_ptr<TestRadio>> radios;
+    static constexpr int kChans[3] = {1, 6, 11};
+    for (int i = 0; i < 30; ++i) {
+      radios.push_back(std::make_unique<TestRadio>(
+          static_cast<std::uint64_t>(i) + 1,
+          Vec2{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)},
+          kChans[i % 3]));
+      medium.attach(radios.back().get());
+    }
+
+    // Staggered, partially overlapping transmissions plus CCA probes.
+    std::vector<std::uint64_t> cca_trace;
+    for (int k = 0; k < 60; ++k) {
+      const auto who =
+          static_cast<std::size_t>(rng.uniform_int(0, 29));
+      w.sim().schedule_at(sim::Time::us(700 * k),
+                          [&medium, &radios, who] {
+                            medium.transmit(*radios[who], 8'000, 2e6, 5.0,
+                                            nullptr);
+                          });
+      const auto probe =
+          static_cast<std::size_t>(rng.uniform_int(0, 29));
+      w.sim().schedule_at(sim::Time::us(700 * k + 350),
+                          [&medium, &radios, probe, &cca_trace] {
+                            const TestRadio& r = *radios[probe];
+                            const double e = medium.energy_at(
+                                r.position(), r.cfg_.channel, r.cfg_.id);
+                            cca_trace.push_back(std::bit_cast<std::uint64_t>(e));
+                            cca_trace.push_back(
+                                medium.carrier_busy(r) ? 1u : 0u);
+                          });
+    }
+    w.sim().run();
+
+    std::vector<std::uint64_t> summary;
+    const MediumStats& ms = medium.stats();
+    summary.insert(summary.end(),
+                   {ms.transmissions, ms.deliveries_attempted,
+                    ms.deliveries_decodable, ms.losses_sinr,
+                    ms.losses_half_duplex, ms.losses_rx_off});
+    for (const auto& r : radios) {
+      summary.push_back(r->deliveries.size());
+      for (const FrameDelivery& d : r->deliveries) {
+        summary.push_back(d.tx_id);
+        summary.push_back(d.sender_radio);
+        summary.push_back(std::bit_cast<std::uint64_t>(d.rssi_dbm));
+        summary.push_back(std::bit_cast<std::uint64_t>(d.sinr_db));
+        summary.push_back(d.decodable ? 1u : 0u);
+      }
+    }
+    summary.insert(summary.end(), cca_trace.begin(), cca_trace.end());
+    return summary;
+  };
+
+  const auto grid = run(true);
+  const auto exhaustive = run(false);
+  EXPECT_EQ(grid, exhaustive);
+  EXPECT_GT(grid[0], 0u);  // traffic actually flowed
+  EXPECT_GT(grid[1], 0u);  // and someone heard it
 }
 
 // --- Acoustics -----------------------------------------------------------

@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/parallel.hpp"
@@ -245,6 +246,51 @@ TEST(Simulator, ExecutedCounter) {
   EXPECT_EQ(s.executed(), 7u);
 }
 
+// Regression: cancelling a handle whose event already fired used to be
+// accepted, decrementing the pending count below zero (underflow).
+TEST(Simulator, CancelAfterFireIsRejected) {
+  Simulator s;
+  int fired = 0;
+  auto h = s.schedule_at(Time::ms(1), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_FALSE(s.cancel(h));
+  EXPECT_EQ(s.pending(), 0u);  // must not underflow
+  // The kernel stays fully usable afterwards.
+  s.schedule_in(Time::ms(1), [&] { ++fired; });
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+// A stale handle must not cancel an unrelated later event that happens to
+// reuse the same internal slot.
+TEST(Simulator, StaleHandleCannotCancelSlotReuse) {
+  Simulator s;
+  int first = 0, second = 0;
+  auto h = s.schedule_at(Time::ms(1), [&] { ++first; });
+  s.run();
+  auto h2 = s.schedule_at(Time::ms(2), [&] { ++second; });
+  EXPECT_FALSE(s.cancel(h));  // stale: its event already fired
+  s.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);  // survived the stale cancel
+  EXPECT_TRUE(h2.valid());
+}
+
+TEST(Simulator, PeakPendingTracksHighWaterMark) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_in(Time::ms(i + 1), [] {});
+  EXPECT_EQ(s.peak_pending(), 5u);
+  s.run();
+  EXPECT_EQ(s.peak_pending(), 5u);  // peak survives the drain
+  s.schedule_in(Time::ms(1), [] {});
+  s.run();
+  EXPECT_EQ(s.peak_pending(), 5u);  // smaller waves don't move it
+}
+
 TEST(PeriodicTimer, FiresAtPeriodAndStops) {
   Simulator s;
   int fired = 0;
@@ -399,6 +445,42 @@ TEST(ParallelRunner, MapCollectsResults) {
 TEST(ParallelRunner, ZeroTrialsIsFine) {
   ParallelRunner pool(2);
   pool.run(0, [](std::size_t) { FAIL(); });
+}
+
+// A throwing trial must not terminate the process: the first exception is
+// rethrown on the caller's thread once all workers have joined.
+TEST(ParallelRunner, TrialExceptionRethrownOnCaller) {
+  ParallelRunner pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run(64,
+               [&](std::size_t i) {
+                 if (i == 5) throw std::runtime_error("trial 5 failed");
+                 completed.fetch_add(1, std::memory_order_relaxed);
+               }),
+      std::runtime_error);
+  // No further trials start after the failure, but nothing crashes and
+  // already-running trials complete.
+  EXPECT_LT(completed.load(), 64);
+}
+
+TEST(ParallelRunner, TrialExceptionMessagePreserved) {
+  ParallelRunner pool(2);
+  try {
+    pool.run(8, [](std::size_t i) {
+      if (i == 0) throw std::runtime_error("boom");
+    });
+    FAIL() << "expected the trial exception to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ParallelRunner, SingleWorkerExceptionAlsoPropagates) {
+  ParallelRunner pool(1);
+  EXPECT_THROW(
+      pool.run(3, [](std::size_t) { throw std::runtime_error("serial"); }),
+      std::runtime_error);
 }
 
 TEST(World, ForkedRngDiffersFromRoot) {
