@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <utility>
@@ -14,10 +15,31 @@
 
 #include "env/environment.hpp"
 #include "net/stack.hpp"
+#include "obs/telemetry.hpp"
 #include "phys/device.hpp"
 #include "sim/world.hpp"
 
 namespace aroma::benchsup {
+
+/// Attaches an (optional) telemetry bundle to a world for the current
+/// scope, detaching on every exit path — a world must never outlive its
+/// attachment by less than the components holding metric handles.
+class ScopedTelemetry {
+ public:
+  ScopedTelemetry(obs::Telemetry* telemetry, sim::World& world)
+      : telemetry_(telemetry), world_(world) {
+    if (telemetry_ != nullptr) telemetry_->attach(world_);
+  }
+  ~ScopedTelemetry() {
+    if (telemetry_ != nullptr) telemetry_->detach(world_);
+  }
+  ScopedTelemetry(const ScopedTelemetry&) = delete;
+  ScopedTelemetry& operator=(const ScopedTelemetry&) = delete;
+
+ private:
+  obs::Telemetry* telemetry_;
+  sim::World& world_;
+};
 
 /// One simulated 2.4 GHz cell with uniquely-numbered nodes.
 class Cell {
@@ -245,5 +267,130 @@ class Json {
 
   Value value_;
 };
+
+// ---------------------------------------------------------------------------
+// BENCH_metrics.json sections
+//
+// Each figure bench contributes its domain counters under its own top-level
+// key, so running the bench suite accumulates one file:
+//   { "cs_projector": { "metrics": [...] }, "fig3_resource": {...}, ... }
+// The splice below only has to understand JSON this module wrote itself; on
+// any parse trouble it starts the file over with just the new section.
+
+namespace detail {
+
+/// Splits `{"k1": <raw1>, "k2": <raw2>}` into (key, raw value text) pairs.
+/// Values are kept verbatim (balanced braces/brackets, string-aware).
+inline bool split_top_level(const std::string& text,
+                            std::vector<std::pair<std::string, std::string>>&
+                                sections) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           (text[i] == ' ' || text[i] == '\n' || text[i] == '\r' ||
+            text[i] == '\t')) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= text.size() || text[i] != '{') return false;
+  ++i;
+  while (true) {
+    skip_ws();
+    if (i >= text.size()) return false;
+    if (text[i] == '}') return true;
+    if (text[i] != '"') return false;
+    ++i;
+    std::string key;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') return false;  // we never write escaped keys
+      key += text[i++];
+    }
+    if (i >= text.size()) return false;
+    ++i;  // closing quote
+    skip_ws();
+    if (i >= text.size() || text[i] != ':') return false;
+    ++i;
+    skip_ws();
+    const std::size_t start = i;
+    int depth = 0;
+    bool in_string = false;
+    for (; i < text.size(); ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+      } else if (c == '{' || c == '[') {
+        ++depth;
+      } else if (c == '}' || c == ']') {
+        if (depth == 0) break;  // the closing '}' of the top-level object
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        break;
+      }
+    }
+    if (i >= text.size()) return false;
+    std::string value = text.substr(start, i - start);
+    while (!value.empty() &&
+           (value.back() == ' ' || value.back() == '\n' ||
+            value.back() == '\r' || value.back() == '\t')) {
+      value.pop_back();
+    }
+    sections.emplace_back(std::move(key), std::move(value));
+    if (text[i] == ',') ++i;
+  }
+}
+
+}  // namespace detail
+
+/// Writes (or updates in place) the `bench` section of `path`, preserving
+/// sections other benches wrote. The section body is the registry snapshot.
+inline bool write_metrics_section(const std::string& path,
+                                  const std::string& bench,
+                                  const obs::MetricsRegistry& metrics) {
+  std::vector<std::pair<std::string, std::string>> sections;
+  {
+    std::ifstream in(path);
+    if (in) {
+      const std::string text((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+      if (!detail::split_top_level(text, sections)) sections.clear();
+    }
+  }
+  // Indent the fresh snapshot one level so it nests under its key.
+  std::string section = metrics.to_json(2);
+  for (std::size_t pos = 0; (pos = section.find('\n', pos)) !=
+                            std::string::npos;
+       pos += 3) {
+    section.insert(pos + 1, "  ");
+  }
+  bool replaced = false;
+  for (auto& [key, value] : sections) {
+    if (key == bench) {
+      value = section;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) sections.emplace_back(bench, std::move(section));
+
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n";
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    out << "  \"" << sections[i].first << "\": " << sections[i].second;
+    if (i + 1 < sections.size()) out << ',';
+    out << '\n';
+  }
+  out << "}\n";
+  return static_cast<bool>(out);
+}
 
 }  // namespace aroma::benchsup

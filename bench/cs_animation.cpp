@@ -23,6 +23,10 @@ namespace {
 
 using namespace aroma;
 
+// Metrics-only telemetry shared by every display run; counters accumulate
+// across the sweep and land in BENCH_metrics.json. Never perturbs results.
+obs::Telemetry* g_metrics = nullptr;
+
 struct DisplayRun {
   double achieved_fps = 0.0;
   double kbytes_per_update = 0.0;
@@ -33,6 +37,7 @@ DisplayRun run_display(rfb::ScreenWorkload& workload, rfb::Encoding encoding,
                        double bitrate_bps, double offered_hz,
                        std::uint64_t seed) {
   benchsup::Cell cell(seed);
+  benchsup::ScopedTelemetry scoped(g_metrics, cell.world());
   auto laptop_profile = phys::profiles::laptop();
   laptop_profile.net.bitrate_bps = bitrate_bps;
   auto adapter_profile = phys::profiles::aroma_adapter();
@@ -137,9 +142,17 @@ BENCHMARK(BM_Encode)->Arg(0)->Arg(1)->Arg(2);
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::TelemetryOptions topt;
+  topt.spans = false;
+  obs::Telemetry telemetry(topt);
+  g_metrics = &telemetry;
+
   std::printf("== CS-ANIM: wireless bandwidth vs animation ==\n");
   table_a_workload_encoding();
   table_b_bitrate_sweep();
+  g_metrics = nullptr;
+  benchsup::write_metrics_section("BENCH_metrics.json", "cs_animation",
+                                  telemetry.metrics());
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,6 +13,7 @@
 #include "bench/common.hpp"
 #include "disco/jini.hpp"
 #include "lpc/analyzer.hpp"
+#include "obs/telemetry.hpp"
 #include "rfb/workload.hpp"
 #include "user/agent.hpp"
 
@@ -21,7 +22,16 @@ namespace {
 using namespace aroma;
 
 void run_live_case_study() {
+  // Metrics-only telemetry: domain counters land in BENCH_metrics.json so
+  // future changes can be regressed against them, not just wall-clock.
+  // Spans stay off; counters never perturb the simulation, so the printed
+  // tables are byte-identical with or without this.
+  obs::TelemetryOptions topt;
+  topt.spans = false;
+  obs::Telemetry telemetry(topt);
+
   benchsup::Cell cell(2026);
+  telemetry.attach(cell.world());
   auto reg = cell.add(phys::profiles::desktop_pc_with_radio(), {0, 12});
   auto adapter = cell.add(phys::profiles::aroma_adapter(), {0, 0});
   auto laptop = cell.add(phys::profiles::laptop(), {8, 0});
@@ -146,6 +156,13 @@ void run_live_case_study() {
                       static_cast<double>(medium.transmissions));
   benchsup::table_row(std::string("radio-sinr-losses"),
                       static_cast<double>(medium.losses_sinr));
+
+  cell.environment().medium().publish_metrics();
+  registrar.publish_metrics();
+  telemetry.snapshot_kernel(cell.world());
+  telemetry.detach(cell.world());
+  benchsup::write_metrics_section("BENCH_metrics.json", "cs_projector",
+                                  telemetry.metrics());
 }
 
 }  // namespace

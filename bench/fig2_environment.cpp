@@ -25,6 +25,11 @@ namespace {
 
 using namespace aroma;
 
+// Metrics-only telemetry for the single-threaded sweeps (the Monte-Carlo
+// trials on the ParallelRunner stay untouched: the registry is not meant to
+// be shared across threads). Counters land in BENCH_metrics.json.
+obs::Telemetry* g_metrics = nullptr;
+
 struct CellResult {
   double aggregate_kbps = 0.0;
   double per_node_kbps = 0.0;
@@ -37,6 +42,7 @@ struct CellResult {
 CellResult run_cell(int n_senders, double seconds, std::uint64_t seed,
                     const std::function<int(int)>& channel_of) {
   benchsup::Cell cell(seed);
+  benchsup::ScopedTelemetry scoped(g_metrics, cell.world());
   auto sink = cell.add(phys::profiles::aroma_adapter(), {0, 0},
                        channel_of(0));
   std::uint64_t received_bytes = 0;
@@ -98,6 +104,7 @@ CellResult run_cell(int n_senders, double seconds, std::uint64_t seed,
   std::uint64_t attempts = 0;
   for (auto a : sent_attempts) attempts += a;
   r.drop_rate = attempts ? static_cast<double>(drops) / attempts : 0.0;
+  cell.environment().medium().publish_metrics();  // no-op when detached
   return r;
 }
 
@@ -207,6 +214,11 @@ void table_d_backoff_ablation() {
 }  // namespace
 
 int main() {
+  obs::TelemetryOptions topt;
+  topt.spans = false;
+  obs::Telemetry telemetry(topt);
+  g_metrics = &telemetry;
+
   std::printf("== FIG2: environment & physical layers — the 2.4 GHz cell ==\n");
   std::printf("(paper: 'the effect of a high concentration of these devices "
               "needs to be studied')\n");
@@ -214,5 +226,8 @@ int main() {
   table_b_channel_plan();
   table_c_ranging();
   table_d_backoff_ablation();
+  g_metrics = nullptr;
+  benchsup::write_metrics_section("BENCH_metrics.json", "fig2_environment",
+                                  telemetry.metrics());
   return 0;
 }

@@ -27,6 +27,10 @@ namespace {
 
 using namespace aroma;
 
+// Metrics-only telemetry shared across the discovery runs; the counters
+// land in BENCH_metrics.json as regressable domain numbers.
+obs::Telemetry* g_metrics = nullptr;
+
 disco::ServiceDescription nth_service(int i, net::NodeId node) {
   disco::ServiceDescription s;
   s.type = (i % 3 == 0)   ? "projector/display"
@@ -46,6 +50,7 @@ struct DiscoveryResult {
 /// Time for a cold client to find a "projector/display" among n services.
 DiscoveryResult run_jini(int n_services, std::uint64_t seed) {
   benchsup::Cell cell(seed);
+  benchsup::ScopedTelemetry scoped(g_metrics, cell.world());
   auto reg = cell.add(phys::profiles::desktop_pc_with_radio(), {0, 10});
   disco::JiniRegistrar registrar(cell.world(), *reg.stack);
   std::vector<std::unique_ptr<disco::JiniClient>> providers;
@@ -75,6 +80,7 @@ DiscoveryResult run_jini(int n_services, std::uint64_t seed) {
 
 DiscoveryResult run_slp(int n_services, bool with_da, std::uint64_t seed) {
   benchsup::Cell cell(seed);
+  benchsup::ScopedTelemetry scoped(g_metrics, cell.world());
   std::unique_ptr<disco::SlpDirectoryAgent> da;
   if (with_da) {
     auto da_node = cell.add(phys::profiles::desktop_pc_with_radio(), {0, 10});
@@ -109,6 +115,7 @@ DiscoveryResult run_slp(int n_services, bool with_da, std::uint64_t seed) {
 DiscoveryResult run_ssdp(int n_services, bool warm_cache,
                          std::uint64_t seed) {
   benchsup::Cell cell(seed);
+  benchsup::ScopedTelemetry scoped(g_metrics, cell.world());
   std::vector<std::unique_ptr<disco::SsdpAdvertiser>> advs;
   for (int i = 0; i < n_services; ++i) {
     auto node = cell.add(phys::profiles::aroma_adapter(),
@@ -348,6 +355,11 @@ void table_e_hybrid() {
 }  // namespace
 
 int main() {
+  obs::TelemetryOptions topt;
+  topt.spans = false;
+  obs::Telemetry telemetry(topt);
+  g_metrics = &telemetry;
+
   std::printf("== FIG3: resource layer — discovery substrates & user "
               "faculties ==\n");
   table_a_latency();
@@ -355,5 +367,8 @@ int main() {
   table_c_faculties();
   table_d_chattiness();
   table_e_hybrid();
+  g_metrics = nullptr;
+  benchsup::write_metrics_section("BENCH_metrics.json", "fig3_resource",
+                                  telemetry.metrics());
   return 0;
 }

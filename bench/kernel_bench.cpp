@@ -14,13 +14,24 @@
 // Every scenario records wall time, simulated events/sec, and the kernel's
 // peak pending-event count, plus a deterministic fingerprint (pure function
 // of the seed) so before/after kernels can be diffed for bit-identical
-// behavior. Results print as tables and are written to BENCH_kernel.json.
+// behavior. Each scenario also attaches a sim::KernelProfiler, so the JSON
+// gains a per-category executed-event breakdown (deterministic, regressable).
+// Results print as tables and are written to BENCH_kernel.json.
+//
+// With `--trace`, the radio scenarios additionally run with a telemetry
+// bundle attached and the resulting causal spans are written as a Chrome
+// trace (kernel_trace.json, loadable in Perfetto) and as JSONL
+// (kernel_spans.jsonl). Tracing never changes scenario fingerprints.
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/export.hpp"
+#include "obs/telemetry.hpp"
+#include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -34,7 +45,22 @@ struct ScenarioResult {
   std::string name;
   sim::Throughput throughput;
   std::uint64_t fingerprint = 0;  // deterministic: depends only on the seed
+  // Executed-event counts per kernel category, nonzero entries only,
+  // in enum order (deterministic).
+  std::vector<std::pair<std::string, std::uint64_t>> categories;
 };
+
+std::vector<std::pair<std::string, std::uint64_t>> nonzero_categories(
+    const sim::KernelProfiler& prof) {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (std::size_t i = 0; i < sim::kEventCategoryCount; ++i) {
+    const auto c = static_cast<sim::EventCategory>(i);
+    if (const std::uint64_t n = prof.stats(c).executed; n > 0) {
+      out.emplace_back(std::string(sim::to_string(c)), n);
+    }
+  }
+  return out;
+}
 
 // --- churn: schedule/cancel interleaving -----------------------------------
 
@@ -43,6 +69,8 @@ ScenarioResult bench_churn(std::uint64_t seed) {
   constexpr int kWindow = 4'096;  // live handles eligible for cancellation
 
   sim::Simulator s;
+  sim::KernelProfiler prof;
+  s.set_profiler(&prof);
   sim::Rng rng(seed);
   std::vector<sim::EventHandle> window(kWindow);
   std::uint64_t fired = 0, cancelled_ok = 0;
@@ -67,6 +95,7 @@ ScenarioResult bench_churn(std::uint64_t seed) {
   r.throughput = {s.executed(), wall, s.peak_pending()};
   r.fingerprint = sim::mix_hash(sim::mix_hash(fired, cancelled_ok),
                                 static_cast<std::uint64_t>(s.now().count()));
+  r.categories = nonzero_categories(prof);
   return r;
 }
 
@@ -77,6 +106,8 @@ ScenarioResult bench_timers(std::uint64_t seed) {
   constexpr double kSimSeconds = 8.0;
 
   sim::Simulator s;
+  sim::KernelProfiler prof;
+  s.set_profiler(&prof);
   sim::Rng rng(seed);
   std::uint64_t ticks = 0;
   std::vector<std::unique_ptr<sim::PeriodicTimer>> timers;
@@ -96,12 +127,14 @@ ScenarioResult bench_timers(std::uint64_t seed) {
   r.name = "timers";
   r.throughput = {s.executed(), wall, s.peak_pending()};
   r.fingerprint = sim::mix_hash(ticks, s.executed());
+  r.categories = nonzero_categories(prof);
   return r;
 }
 
 // --- radio_N: broadcast scaling --------------------------------------------
 
-ScenarioResult bench_radio(int n_radios, std::uint64_t seed) {
+ScenarioResult bench_radio(int n_radios, std::uint64_t seed,
+                           obs::Telemetry* telemetry) {
   constexpr double kSpacingM = 25.0;
   constexpr double kSimSeconds = 3.0;
 
@@ -113,6 +146,11 @@ ScenarioResult bench_radio(int n_radios, std::uint64_t seed) {
   env::Environment::Params params;
   params.arena = {{0, 0}, {arena_side, arena_side}};
   benchsup::Cell cell(seed, params);
+  // Attach before nodes exist: components resolve metric handles at
+  // construction. Detached below, before the Cell (and its World) dies.
+  if (telemetry != nullptr) telemetry->attach(cell.world());
+  sim::KernelProfiler prof;
+  cell.world().sim().set_profiler(&prof);
 
   // Short-range radios so culling by sensitivity radius has teeth.
   phys::DeviceProfile profile = phys::profiles::laptop();
@@ -161,6 +199,13 @@ ScenarioResult bench_radio(int n_radios, std::uint64_t seed) {
   r.throughput = {cell.world().sim().executed(), wall,
                   cell.world().sim().peak_pending()};
   r.fingerprint = fp;
+  r.categories = nonzero_categories(prof);
+  if (telemetry != nullptr) {
+    telemetry->snapshot_kernel(cell.world());
+    cell.environment().medium().publish_metrics();
+    telemetry->detach(cell.world());
+  }
+  cell.world().sim().set_profiler(nullptr);
   return r;
 }
 
@@ -168,18 +213,32 @@ ScenarioResult bench_radio(int n_radios, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   constexpr std::uint64_t kSeed = 42;
-  // Optional substring filter: `kernel_bench radio` runs only radio_N.
-  const std::string filter = argc > 1 ? argv[1] : "";
+  // Arguments: `--trace` turns on span capture for the radio scenarios;
+  // any other argument is a substring filter (`kernel_bench radio` runs
+  // only radio_N).
+  bool trace = false;
+  std::string filter;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      trace = true;
+    } else {
+      filter = arg;
+    }
+  }
   const auto wanted = [&](const std::string& name) {
     return filter.empty() || name.find(filter) != std::string::npos;
   };
+
+  std::unique_ptr<obs::Telemetry> telemetry;
+  if (trace) telemetry = std::make_unique<obs::Telemetry>();
 
   std::vector<ScenarioResult> results;
   if (wanted("churn")) results.push_back(bench_churn(kSeed));
   if (wanted("timers")) results.push_back(bench_timers(kSeed));
   for (int n : {8, 64, 256}) {
     if (wanted("radio_" + std::to_string(n))) {
-      results.push_back(bench_radio(n, kSeed));
+      results.push_back(bench_radio(n, kSeed, telemetry.get()));
     }
   }
 
@@ -213,6 +272,9 @@ int main(int argc, char** argv) {
     obj.set("events_per_sec", r.throughput.events_per_sec());
     obj.set("peak_pending", r.throughput.peak_pending);
     obj.set("fingerprint", std::string(fp));
+    auto cats = benchsup::Json::object();
+    for (const auto& [name, count] : r.categories) cats.set(name, count);
+    obj.set("categories", std::move(cats));
     arr.push(std::move(obj));
   }
   doc.set("scenarios", std::move(arr));
@@ -222,5 +284,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nwrote %s\n", path.c_str());
+
+  if (telemetry) {
+    const bool ok =
+        obs::write_chrome_trace(telemetry->spans(), "kernel_trace.json") &&
+        obs::write_jsonl(telemetry->spans(), "kernel_spans.jsonl") &&
+        obs::write_metrics_json(telemetry->metrics(), "kernel_metrics.json");
+    if (!ok) {
+      std::fprintf(stderr, "failed to write trace artifacts\n");
+      return 1;
+    }
+    std::printf(
+        "wrote kernel_trace.json (Perfetto), kernel_spans.jsonl, "
+        "kernel_metrics.json (%llu spans, %llu dropped)\n",
+        static_cast<unsigned long long>(telemetry->spans().records().size()),
+        static_cast<unsigned long long>(telemetry->spans().dropped()));
+  }
   return 0;
 }

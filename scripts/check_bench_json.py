@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Validate the machine-readable output of bench/kernel_bench.
+
+Usage: check_bench_json.py BENCH_kernel.json
+
+Checks structure only (keys, types, sanity bounds) -- never absolute
+performance, which is machine-dependent. CI runs this after a kernel_bench
+smoke run so a refactor that silently stops emitting a field (or the
+per-category profiler breakdown) fails the build.
+"""
+import json
+import sys
+
+EXPECTED_SCENARIOS = {"churn", "timers", "radio_8", "radio_64", "radio_256"}
+SCENARIO_KEYS = {
+    "scenario": str,
+    "events": int,
+    "wall_sec": float,
+    "events_per_sec": float,
+    "peak_pending": int,
+    "fingerprint": str,
+    "categories": dict,
+}
+# sim/profiler.hpp's EventCategory names; category maps must not invent keys.
+KNOWN_CATEGORIES = {
+    "none", "timer", "mac", "radio", "stream", "lease",
+    "discovery", "rfb", "diag", "app", "other",
+}
+
+
+def fail(msg):
+    print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+
+    if doc.get("bench") != "kernel":
+        fail(f'top-level "bench" is {doc.get("bench")!r}, expected "kernel"')
+    if not isinstance(doc.get("seed"), int):
+        fail('top-level "seed" missing or not an integer')
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail('top-level "scenarios" missing or empty')
+
+    names = set()
+    for s in scenarios:
+        name = s.get("scenario", "<unnamed>")
+        names.add(name)
+        for key, typ in SCENARIO_KEYS.items():
+            if key not in s:
+                fail(f'scenario "{name}" is missing key "{key}"')
+            val = s[key]
+            # JSON integers satisfy float fields.
+            if typ is float and isinstance(val, int):
+                val = float(val)
+            if not isinstance(val, typ):
+                fail(f'scenario "{name}" key "{key}" has type '
+                     f"{type(s[key]).__name__}, expected {typ.__name__}")
+        if s["events"] <= 0:
+            fail(f'scenario "{name}" reports no events')
+        if s["events_per_sec"] <= 0:
+            fail(f'scenario "{name}" reports non-positive throughput')
+        if len(s["fingerprint"]) != 16:
+            fail(f'scenario "{name}" fingerprint is not 16 hex chars: '
+                 f'{s["fingerprint"]!r}')
+        cats = s["categories"]
+        if not cats:
+            fail(f'scenario "{name}" has an empty "categories" breakdown')
+        unknown = set(cats) - KNOWN_CATEGORIES
+        if unknown:
+            fail(f'scenario "{name}" has unknown categories: {sorted(unknown)}')
+        if any(not isinstance(v, int) or v < 0 for v in cats.values()):
+            fail(f'scenario "{name}" has non-integer category counts')
+        if sum(cats.values()) != s["events"]:
+            fail(f'scenario "{name}": category counts sum to '
+                 f'{sum(cats.values())}, but "events" is {s["events"]}')
+
+    missing = EXPECTED_SCENARIOS - names
+    # A substring filter run is allowed, but the default CI smoke runs all.
+    if missing:
+        fail(f"missing scenarios: {sorted(missing)}")
+
+    print(f"check_bench_json: OK ({len(scenarios)} scenarios, "
+          f"{sum(s['events'] for s in scenarios)} events total)")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    main(sys.argv[1])

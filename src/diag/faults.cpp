@@ -1,5 +1,8 @@
 #include "diag/faults.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace aroma::diag {
 
 std::string_view to_string(FaultKind kind) {
@@ -11,33 +14,72 @@ std::string_view to_string(FaultKind kind) {
   return "?";
 }
 
+namespace {
+
+// Faults land on the layer they disturb: jamming is an environment-layer
+// condition, power loss hits physical devices, crashes hit software.
+lpc::Layer fault_layer(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRfJamming: return lpc::Layer::kEnvironment;
+    case FaultKind::kPowerLoss: return lpc::Layer::kPhysical;
+    case FaultKind::kServiceCrash: return lpc::Layer::kAbstract;
+  }
+  return lpc::Layer::kEnvironment;
+}
+
+// Runs a fault toggle under a "diag.fault" span so everything it causes —
+// jammer transmissions, crash fallout, recovery traffic — parents to the
+// injection in the trace.
+void run_toggle(sim::World& world, FaultKind kind, const std::string& target,
+                const FaultInjector::Toggle& toggle, bool active) {
+  obs::ScopedSpan span(world, "diag.fault", fault_layer(kind),
+                       active ? sim::TraceLevel::kWarn
+                              : sim::TraceLevel::kInfo);
+  span.annotate("kind", to_string(kind));
+  span.annotate("target", target);
+  span.annotate("active", active ? "1" : "0");
+  toggle(active);
+}
+
+}  // namespace
+
 void FaultInjector::inject(FaultKind kind, std::string target, sim::Time at,
                            sim::Time duration, Toggle toggle) {
-  const std::size_t index = history_.size();
+  if (obs::Counter* c =
+          obs::counter(world_, "diag.faults.injected", fault_layer(kind))) {
+    c->add();
+  }
   history_.push_back(FaultRecord{kind, at, at + duration, std::move(target)});
+  const std::string& name = history_.back().target;
   world_.sim().schedule_at(
-      at, [toggle, guard = std::weak_ptr<char>(alive_)] {
+      at, sim::EventCategory::kDiag,
+      [this, toggle, kind, name, guard = std::weak_ptr<char>(alive_)] {
         if (guard.expired()) return;
-        toggle(true);
+        run_toggle(world_, kind, name, toggle, true);
       });
   world_.sim().schedule_at(
-      at + duration,
-      [toggle, guard = std::weak_ptr<char>(alive_), index, this] {
+      at + duration, sim::EventCategory::kDiag,
+      [this, toggle, kind, name, guard = std::weak_ptr<char>(alive_)] {
         if (guard.expired()) return;
-        toggle(false);
-        (void)index;
+        run_toggle(world_, kind, name, toggle, false);
       });
 }
 
 void FaultInjector::inject_permanent(FaultKind kind, std::string target,
                                      sim::Time at, Toggle toggle) {
+  if (obs::Counter* c =
+          obs::counter(world_, "diag.faults.injected", fault_layer(kind))) {
+    c->add();
+  }
   history_.push_back(
       FaultRecord{kind, at, sim::Time::max(), std::move(target)});
-  world_.sim().schedule_at(at,
-                           [toggle, guard = std::weak_ptr<char>(alive_)] {
-                             if (guard.expired()) return;
-                             toggle(true);
-                           });
+  const std::string& name = history_.back().target;
+  world_.sim().schedule_at(
+      at, sim::EventCategory::kDiag,
+      [this, toggle, kind, name, guard = std::weak_ptr<char>(alive_)] {
+        if (guard.expired()) return;
+        run_toggle(world_, kind, name, toggle, true);
+      });
 }
 
 bool FaultInjector::active(FaultKind kind) const {
@@ -81,6 +123,7 @@ void Jammer::emit() {
   const double bitrate = 2e6;
   medium_.transmit(*this, bits, bitrate, power_dbm_, nullptr);
   world_.sim().schedule_in(sim::Time::sec(bits / bitrate),
+                           sim::EventCategory::kDiag,
                            [this, guard = std::weak_ptr<char>(alive_)] {
                              if (guard.expired()) return;
                              emit();

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace aroma::diag {
 
 std::string_view to_string(Health health) {
@@ -20,6 +23,11 @@ HealthMonitor::HealthMonitor(sim::World& world, Params params)
     : world_(world), params_(params) {
   timer_ = std::make_unique<sim::PeriodicTimer>(
       world_.sim(), params_.interval, [this] { tick(); });
+  timer_->set_category(sim::EventCategory::kDiag);
+  m_samples_ =
+      obs::counter(world_, "diag.monitor.samples", lpc::Layer::kIntentional);
+  m_transitions_ = obs::counter(world_, "diag.monitor.transitions",
+                                lpc::Layer::kIntentional);
 }
 
 void HealthMonitor::add_probe(Probe probe) {
@@ -53,14 +61,38 @@ void HealthMonitor::tick() {
   for (const Probe& p : probes_) {
     const ProbeSample sample = p.sample();
     ++samples_taken_;
+    if (m_samples_) m_samples_->add();
+    if (params_.history_limit > 0) {
+      std::deque<ProbeSample>& h = history_[p.name];
+      h.push_back(sample);
+      while (h.size() > params_.history_limit) h.pop_front();
+    }
     auto it = latest_.find(p.name);
     const Health prev =
         it != latest_.end() ? it->second.health : Health::kHealthy;
     latest_[p.name] = sample;
-    if (sample.health != prev && on_transition_) {
-      on_transition_(p.name, prev, sample.health);
+    if (sample.health != prev) {
+      if (m_transitions_) m_transitions_->add();
+      if (obs::SpanTracer* t = world_.spans(); t != nullptr && t->enabled()) {
+        const obs::SpanId id = t->instant(
+            world_.now(), "diag.monitor.transition", p.layer,
+            world_.sim().trace_context(),
+            sample.health > prev ? sim::TraceLevel::kWarn
+                                 : sim::TraceLevel::kInfo);
+        t->annotate(id, "probe", p.name);
+        t->annotate(id, "from", to_string(prev));
+        t->annotate(id, "to", to_string(sample.health));
+      }
+      if (on_transition_) on_transition_(p.name, prev, sample.health);
     }
   }
+}
+
+const std::deque<ProbeSample>& HealthMonitor::history(
+    const std::string& probe) const {
+  static const std::deque<ProbeSample> kEmpty;
+  auto it = history_.find(probe);
+  return it != history_.end() ? it->second : kEmpty;
 }
 
 Health HealthMonitor::health_of(const std::string& probe) const {

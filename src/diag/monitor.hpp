@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -14,6 +15,10 @@
 
 #include "lpc/layers.hpp"
 #include "sim/world.hpp"
+
+namespace aroma::obs {
+class Counter;
+}  // namespace aroma::obs
 
 namespace aroma::diag {
 
@@ -38,6 +43,8 @@ class HealthMonitor {
  public:
   struct Params {
     sim::Time interval = sim::Time::sec(5.0);
+    /// Per-probe bound on retained samples; the oldest are evicted first,
+    /// so long soaks hold at most history_limit samples per probe.
     std::size_t history_limit = 256;
   };
 
@@ -61,6 +68,9 @@ class HealthMonitor {
   Health worst_health() const;
   /// Latest sample per probe.
   const std::map<std::string, ProbeSample>& latest() const { return latest_; }
+  /// Retained samples for one probe, oldest first, at most
+  /// Params::history_limit entries; empty for unknown probes.
+  const std::deque<ProbeSample>& history(const std::string& probe) const;
   /// Probes currently at or beyond `at_least`, as (name, layer) pairs.
   std::vector<std::pair<std::string, lpc::Layer>> unhealthy(
       Health at_least = Health::kDegraded) const;
@@ -79,9 +89,14 @@ class HealthMonitor {
   Params params_;
   std::vector<Probe> probes_;
   std::map<std::string, ProbeSample> latest_;
+  std::map<std::string, std::deque<ProbeSample>> history_;
   TransitionHandler on_transition_;
   std::unique_ptr<sim::PeriodicTimer> timer_;
   std::uint64_t samples_taken_ = 0;
+
+  // Telemetry handles; null when the world has no registry attached.
+  obs::Counter* m_samples_ = nullptr;
+  obs::Counter* m_transitions_ = nullptr;
 };
 
 }  // namespace aroma::diag

@@ -1,6 +1,10 @@
 #include "disco/jini.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aroma::disco {
 
@@ -28,6 +32,21 @@ JiniRegistrar::JiniRegistrar(sim::World& world, net::NetStack& stack,
 
 JiniRegistrar::~JiniRegistrar() {
   stack_.unbind(net::kRegistrarPort);
+}
+
+void JiniRegistrar::publish_metrics() const {
+  obs::MetricsRegistry* m = world_.metrics();
+  if (m == nullptr) return;
+  const auto layer = lpc::Layer::kAbstract;
+  m->set_counter("disco.registrar.registrations", layer,
+                 stats_.registrations);
+  m->set_counter("disco.registrar.renewals", layer, stats_.renewals);
+  m->set_counter("disco.registrar.lookups", layer, stats_.lookups);
+  m->set_counter("disco.registrar.lease_expirations", layer,
+                 stats_.lease_expirations);
+  m->set_counter("disco.registrar.events_sent", layer, stats_.events_sent);
+  m->set_counter("disco.registrar.discovery_responses", layer,
+                 stats_.discovery_responses);
 }
 
 void JiniRegistrar::set_enabled(bool on) {
@@ -220,6 +239,7 @@ void JiniClient::send_discovery(int attempt) {
   stack_.send_multicast(net::kDiscoveryGroup, net::kRegistrarPort, port_,
                         w.take());
   world_.sim().schedule_in(params_.discovery_timeout,
+                           sim::EventCategory::kDiscovery,
                            [this, attempt, guard = std::weak_ptr<char>(alive_)] {
     if (guard.expired()) return;
     if (has_registrar()) {
@@ -309,6 +329,7 @@ void JiniClient::lookup(const ServiceTemplate& tmpl, LookupResult cb) {
   pending_lookup_[token] = std::move(cb);
   // Unanswered lookups (e.g. the registrar died mid-request) fail cleanly.
   world_.sim().schedule_in(params_.lookup_timeout,
+                           sim::EventCategory::kDiscovery,
                            [this, token, guard = std::weak_ptr<char>(alive_)] {
                              if (guard.expired()) return;
                              auto it = pending_lookup_.find(token);
@@ -351,20 +372,27 @@ void JiniClient::subscribe(const ServiceTemplate& tmpl, EventCallback cb) {
 
 void JiniClient::schedule_renewal(ServiceId id, sim::Time lease) {
   const sim::Time delay = sim::scale(lease, params_.renew_fraction);
-  world_.sim().schedule_in(delay, [this, id, lease,
-                                   guard = std::weak_ptr<char>(alive_)] {
+  world_.sim().schedule_in(delay, sim::EventCategory::kDiscovery,
+                           [this, id, lease,
+                            guard = std::weak_ptr<char>(alive_)] {
     if (guard.expired()) return;
     auto it = held_leases_.find(id);
     if (it == held_leases_.end()) return;  // withdrawn
-    with_registrar([this, id, lease](net::NodeId reg) {
-      if (reg == 0) return;
-      net::ByteWriter w;
-      w.u8(static_cast<std::uint8_t>(JiniMsg::kRenew));
-      w.u64(id);
-      w.u64(static_cast<std::uint64_t>(lease.count()));
-      ++messages_sent_;
-      stack_.send(net::Endpoint{reg, net::kRegistrarPort}, port_, w.take());
-    });
+    {
+      // Scoped so the renew request (and the radio frame carrying it)
+      // parents here, while the next periodic renewal does not.
+      obs::ScopedSpan span(world_, "disco.renew", lpc::Layer::kAbstract);
+      span.annotate("service", std::to_string(id));
+      with_registrar([this, id, lease](net::NodeId reg) {
+        if (reg == 0) return;
+        net::ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(JiniMsg::kRenew));
+        w.u64(id);
+        w.u64(static_cast<std::uint64_t>(lease.count()));
+        ++messages_sent_;
+        stack_.send(net::Endpoint{reg, net::kRegistrarPort}, port_, w.take());
+      });
+    }
     schedule_renewal(id, lease);
   });
 }
@@ -433,7 +461,11 @@ void JiniClient::on_datagram(const net::Datagram& dg) {
     case JiniMsg::kEvent: {
       const bool appeared = r.u8() != 0;
       const ServiceDescription s = ServiceDescription::deserialize(r);
-      if (r.ok() && on_event_) on_event_(s, appeared);
+      if (r.ok() && on_event_) {
+        obs::ScopedSpan span(world_, "disco.event", lpc::Layer::kAbstract);
+        span.annotate("appeared", appeared ? "1" : "0");
+        on_event_(s, appeared);
+      }
       return;
     }
     default:

@@ -66,6 +66,10 @@ class JiniRegistrar {
   const RegistrarStats& stats() const { return stats_; }
   net::NodeId node() const { return stack_.node_id(); }
 
+  /// Publishes RegistrarStats to the world's metrics registry (pull-style;
+  /// call before snapshotting). No-op when telemetry is off.
+  void publish_metrics() const;
+
   /// Crash/restore hook for fault-tolerance experiments: while disabled
   /// the registrar neither answers requests nor announces itself.
   void set_enabled(bool on);

@@ -1,6 +1,17 @@
 #include "disco/lease.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace aroma::disco {
+
+LeaseTable::LeaseTable(sim::World& world) : world_(world) {
+  const auto layer = lpc::Layer::kAbstract;
+  m_grants_ = obs::counter(world_, "disco.lease.grants", layer);
+  m_renewals_ = obs::counter(world_, "disco.lease.renewals", layer);
+  m_cancellations_ = obs::counter(world_, "disco.lease.cancellations", layer);
+  m_expirations_ = obs::counter(world_, "disco.lease.expirations", layer);
+}
 
 void LeaseTable::grant(std::uint64_t key, sim::Time duration,
                        std::function<void()> on_expire) {
@@ -8,6 +19,7 @@ void LeaseTable::grant(std::uint64_t key, sim::Time duration,
   l.expiry = world_.now() + duration;
   l.gen = next_gen_++;
   l.on_expire = std::move(on_expire);
+  if (m_grants_) m_grants_->add();
   schedule_check(key, l.gen, l.expiry);
 }
 
@@ -16,11 +28,16 @@ bool LeaseTable::renew(std::uint64_t key, sim::Time duration) {
   if (it == leases_.end()) return false;
   it->second.expiry = world_.now() + duration;
   it->second.gen = next_gen_++;
+  if (m_renewals_) m_renewals_->add();
   schedule_check(key, it->second.gen, it->second.expiry);
   return true;
 }
 
-void LeaseTable::cancel(std::uint64_t key) { leases_.erase(key); }
+void LeaseTable::cancel(std::uint64_t key) {
+  if (leases_.erase(key) != 0 && m_cancellations_ != nullptr) {
+    m_cancellations_->add();
+  }
+}
 
 bool LeaseTable::active(std::uint64_t key) const {
   auto it = leases_.find(key);
@@ -34,14 +51,21 @@ sim::Time LeaseTable::expiry(std::uint64_t key) const {
 
 void LeaseTable::schedule_check(std::uint64_t key, std::uint64_t gen,
                                 sim::Time when) {
-  world_.sim().schedule_at(when, [this, key, gen,
-                                  guard = std::weak_ptr<char>(alive_)] {
+  world_.sim().schedule_at(when, sim::EventCategory::kLease,
+                           [this, key, gen,
+                            guard = std::weak_ptr<char>(alive_)] {
     if (guard.expired()) return;
     auto it = leases_.find(key);
     if (it == leases_.end() || it->second.gen != gen) return;  // renewed
     auto cb = std::move(it->second.on_expire);
     leases_.erase(it);
     ++expirations_;
+    if (m_expirations_) m_expirations_->add();
+    // The expiry parents to whatever granted/last renewed the lease (its
+    // context was stamped on this check event at schedule time), and in
+    // turn becomes the cause of every notification the callback sends.
+    obs::ScopedSpan span(world_, "disco.lease.expire", lpc::Layer::kAbstract,
+                         sim::TraceLevel::kWarn);
     if (cb) cb();
   });
 }

@@ -13,11 +13,15 @@
 
 #include "sim/world.hpp"
 
+namespace aroma::obs {
+class Counter;
+}  // namespace aroma::obs
+
 namespace aroma::disco {
 
 class LeaseTable {
  public:
-  explicit LeaseTable(sim::World& world) : world_(world) {}
+  explicit LeaseTable(sim::World& world);
   LeaseTable(const LeaseTable&) = delete;
   LeaseTable& operator=(const LeaseTable&) = delete;
 
@@ -50,6 +54,11 @@ class LeaseTable {
   std::unordered_map<std::uint64_t, Lease> leases_;
   std::uint64_t next_gen_ = 1;
   std::uint64_t expirations_ = 0;
+  // Telemetry handles; null when the world has no registry attached.
+  obs::Counter* m_grants_ = nullptr;
+  obs::Counter* m_renewals_ = nullptr;
+  obs::Counter* m_cancellations_ = nullptr;
+  obs::Counter* m_expirations_ = nullptr;
   // Expiry events may still sit in the simulator when the table's owner is
   // destroyed mid-run; they check this token and become no-ops.
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);

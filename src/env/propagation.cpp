@@ -38,10 +38,12 @@ double PathLossModel::shadowing_db(std::uint64_t id_a, std::uint64_t id_b) const
   std::size_t slot = sim::mix_hash(lo, hi) & mask;
   while (shadow_cache_[slot].used) {
     if (shadow_cache_[slot].lo == lo && shadow_cache_[slot].hi == hi) {
+      ++cache_stats_.shadow_hits;
       return shadow_cache_[slot].db;
     }
     slot = (slot + 1) & mask;
   }
+  ++cache_stats_.shadow_misses;
   const double db = shadowing_db_uncached(lo, hi);
   shadow_cache_[slot] = {lo, hi, db, true};
   if (++shadow_cache_size_ * 10 > shadow_cache_.size() * 7) {
@@ -93,8 +95,11 @@ PathLossModel::LinkEntry* PathLossModel::link_lookup(
   while (link_cache_[slot].used) {
     LinkEntry& e = link_cache_[slot];
     if (e.id_a == id_a && e.id_b == id_b) {
-      if (!(e.from == from && e.to == to && e.tx_dbm == tx_dbm)) {
+      if (e.from == from && e.to == to && e.tx_dbm == tx_dbm) {
+        ++cache_stats_.link_hits;
+      } else {
         // Same link, new geometry/power: recompute and refresh in place.
+        ++cache_stats_.link_misses;
         e.from = from;
         e.to = to;
         e.tx_dbm = tx_dbm;
@@ -105,6 +110,7 @@ PathLossModel::LinkEntry* PathLossModel::link_lookup(
     }
     slot = (slot + 1) & mask;
   }
+  ++cache_stats_.link_misses;
   const double rx = tx_dbm - loss_db(from, to, id_a, id_b);
   link_cache_[slot] = {id_a, id_b, from, to, tx_dbm, rx, 0.0, false, true};
   if (++link_cache_size_ * 10 > link_cache_.size() * 7) {

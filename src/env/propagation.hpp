@@ -47,10 +47,21 @@ class PathLossModel {
     std::uint64_t seed = 1;       // world seed for shadowing draws
   };
 
+  /// Memo effectiveness counters (telemetry; see RadioMedium::
+  /// publish_metrics). A "hit" returns a cached value untouched; a guard
+  /// mismatch (node moved, power changed) recomputes and counts as a miss.
+  struct CacheStats {
+    std::uint64_t link_hits = 0;
+    std::uint64_t link_misses = 0;
+    std::uint64_t shadow_hits = 0;
+    std::uint64_t shadow_misses = 0;
+  };
+
   PathLossModel() : PathLossModel(Params{}) {}
   explicit PathLossModel(Params p) : p_(p) {}
 
   const Params& params() const { return p_; }
+  const CacheStats& cache_stats() const { return cache_stats_; }
 
   /// Path loss in dB between two points for the (a, b) link. Link ids make
   /// the shadowing reciprocal and stable; pass 0,0 to disable shadowing.
@@ -119,6 +130,7 @@ class PathLossModel {
                          std::uint64_t id_b) const;
   mutable std::vector<LinkEntry> link_cache_;
   mutable std::size_t link_cache_size_ = 0;
+  mutable CacheStats cache_stats_;
 };
 
 /// Computes SINR in dB from signal, interference (mW sum), and noise.

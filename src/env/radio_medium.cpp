@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aroma::env {
 
@@ -10,6 +14,26 @@ RadioMedium::RadioMedium(sim::World& world, PathLossModel model,
                          Options options)
     : world_(world), model_(model), options_(options) {
   if (options_.cell_size_m > 0.0) cell_size_m_ = options_.cell_size_m;
+  const auto layer = lpc::Layer::kEnvironment;
+  m_transmissions_ = obs::counter(world_, "env.radio.transmissions", layer);
+  m_attempted_ = obs::counter(world_, "env.radio.deliveries_attempted", layer);
+  m_decodable_ = obs::counter(world_, "env.radio.deliveries_decodable", layer);
+  m_loss_sinr_ = obs::counter(world_, "env.radio.losses_sinr", layer);
+  m_loss_half_duplex_ =
+      obs::counter(world_, "env.radio.losses_half_duplex", layer);
+  m_loss_rx_off_ = obs::counter(world_, "env.radio.losses_rx_off", layer);
+}
+
+void RadioMedium::publish_metrics() {
+  obs::MetricsRegistry* m = world_.metrics();
+  if (m == nullptr) return;
+  const auto layer = lpc::Layer::kEnvironment;
+  const PathLossModel::CacheStats& cs = model_.cache_stats();
+  m->set_counter("env.radio.path_cache.link_hits", layer, cs.link_hits);
+  m->set_counter("env.radio.path_cache.link_misses", layer, cs.link_misses);
+  m->set_counter("env.radio.path_cache.shadow_hits", layer, cs.shadow_hits);
+  m->set_counter("env.radio.path_cache.shadow_misses", layer,
+                 cs.shadow_misses);
 }
 
 void RadioMedium::attach(RadioEndpoint* endpoint) {
@@ -39,17 +63,33 @@ std::uint64_t RadioMedium::transmit(RadioEndpoint& sender, std::size_t bits,
   tx.bits = bits;
   tx.bitrate_bps = bitrate_bps;
   tx.payload = std::move(payload);
+  // The frame's airtime becomes a span parented to whatever caused the
+  // transmission (typically a MAC or fault-injection span); the frame-end
+  // event inherits the span as its causal context, so everything delivery
+  // triggers downstream parents to this frame.
+  if (obs::SpanTracer* t = world_.spans(); t != nullptr && t->enabled()) {
+    tx.span = t->begin(world_.now(), "env.radio.frame",
+                       lpc::Layer::kEnvironment,
+                       world_.sim().trace_context());
+    t->annotate(tx.span, "sender", std::to_string(tx.sender_id));
+    t->annotate(tx.span, "channel", std::to_string(tx.channel));
+    t->annotate(tx.span, "bits", std::to_string(tx.bits));
+  }
   by_channel_[channel_bucket(tx.channel)].push(tx.id);
   active_by_channel_[channel_bucket(tx.channel)].push_back(tx.id);
   by_sender_[tx.sender_id].push(tx.id);
   history_.push_back(std::move(tx));
   max_duration_ = std::max(max_duration_, duration);
   ++stats_.transmissions;
+  if (m_transmissions_) m_transmissions_->add();
 
   // The frame record lives in history_ until pruned; capturing just the id
   // keeps this closure inside Callback's inline buffer (no allocation).
   const std::uint64_t id = history_.back().id;
-  world_.sim().schedule_at(history_.back().end,
+  sim::ScopedTraceContext ctx(
+      world_.sim(), history_.back().span != 0 ? history_.back().span
+                                              : world_.sim().trace_context());
+  world_.sim().schedule_at(history_.back().end, sim::EventCategory::kRadio,
                            [this, id] { finish(id); });
   return id;
 }
@@ -181,6 +221,7 @@ double RadioMedium::cull_radius_m(double tx_power_dbm) const {
 void RadioMedium::finish(std::uint64_t tx_id) {
   const Transmission* tx = find_tx(tx_id);
   if (!tx) return;  // pruned (cannot happen for live frames; be safe)
+  const std::uint64_t span = tx->span;
 
   if (!options_.spatial_index || endpoints_.empty()) {
     for (RadioEndpoint* ep : endpoints_) deliver(*tx, *ep);
@@ -240,6 +281,10 @@ void RadioMedium::finish(std::uint64_t tx_id) {
   const std::uint64_t first = first_history_id();
   history_[static_cast<std::size_t>(tx_id - first)].payload.reset();
   prune_history();
+
+  if (span != 0) {
+    if (obs::SpanTracer* t = world_.spans()) t->end(span, world_.now());
+  }
 }
 
 void RadioMedium::deliver(const Transmission& tx, RadioEndpoint& ep) {
@@ -253,6 +298,7 @@ void RadioMedium::deliver(const Transmission& tx, RadioEndpoint& ep) {
       10.0 * std::log10(overlap > 0.0 ? overlap : 1e-12);
   if (rssi < cfg.sensitivity_dbm) return;
   ++stats_.deliveries_attempted;
+  if (m_attempted_) m_attempted_->add();
 
   FrameDelivery d;
   d.tx_id = tx.id;
@@ -274,15 +320,19 @@ void RadioMedium::deliver(const Transmission& tx, RadioEndpoint& ep) {
   if (rx_transmitted) {
     d.decodable = false;
     ++stats_.losses_half_duplex;
+    if (m_loss_half_duplex_) m_loss_half_duplex_->add();
   } else if (!ep.receiver_enabled()) {
     d.decodable = false;
     ++stats_.losses_rx_off;
+    if (m_loss_rx_off_) m_loss_rx_off_->add();
   } else if (d.sinr_db < required_sinr_db(tx.bitrate_bps)) {
     d.decodable = false;
     ++stats_.losses_sinr;
+    if (m_loss_sinr_) m_loss_sinr_->add();
   } else {
     d.decodable = true;
     ++stats_.deliveries_decodable;
+    if (m_decodable_) m_decodable_->add();
   }
   ep.on_frame(d);
 }

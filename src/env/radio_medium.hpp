@@ -37,6 +37,10 @@
 #include "env/propagation.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::obs {
+class Counter;
+}  // namespace aroma::obs
+
 namespace aroma::env {
 
 /// Static radio parameters a MAC/transceiver exposes to the medium.
@@ -130,6 +134,11 @@ class RadioMedium {
   const PathLossModel& path_loss() const { return model_; }
   const Options& options() const { return options_; }
 
+  /// Publishes pull-style metrics (path-loss memo hit/miss counters) to the
+  /// world's registry, if one is attached. The live counters (transmissions,
+  /// deliveries, losses) are pushed as they happen and need no call here.
+  void publish_metrics();
+
   /// Must be called if an endpoint's position or radio config changes in a
   /// way its max_speed_mps() bound does not cover (e.g. a teleport via
   /// StaticMobility::set_position, or a sensitivity change). attach/detach
@@ -148,6 +157,7 @@ class RadioMedium {
     std::size_t bits;
     double bitrate_bps;
     std::shared_ptr<const void> payload;  // released when the frame ends
+    std::uint64_t span = 0;  // obs span covering the frame's airtime
   };
 
   /// Append-only id log with a lazily advancing head so pruned ids are
@@ -203,6 +213,15 @@ class RadioMedium {
   sim::Time max_duration_ = sim::Time::zero();
   std::uint64_t next_tx_id_ = 1;
   MediumStats stats_;
+
+  // Telemetry handles, resolved once at construction; null when no registry
+  // is attached to the world (the disabled-telemetry fast path).
+  obs::Counter* m_transmissions_ = nullptr;
+  obs::Counter* m_attempted_ = nullptr;
+  obs::Counter* m_decodable_ = nullptr;
+  obs::Counter* m_loss_sinr_ = nullptr;
+  obs::Counter* m_loss_half_duplex_ = nullptr;
+  obs::Counter* m_loss_rx_off_ = nullptr;
 
   // --- indices (all derived data; rebuilt or pruned lazily) ---------------
   static constexpr std::size_t kChannelBuckets = 15;  // 0..14, 1..13 typical

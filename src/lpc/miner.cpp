@@ -40,4 +40,41 @@ std::map<Layer, std::size_t> TraceIssueMiner::layer_counts() const {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// SpanIssueMiner
+
+SpanIssueMiner::SpanIssueMiner(obs::SpanTracer& spans, IssueLog& log)
+    : spans_(spans), log_(log) {
+  spans_.set_hook(
+      [this](const obs::SpanRecord& rec) { on_record(rec); });
+}
+
+SpanIssueMiner::~SpanIssueMiner() { spans_.set_hook({}); }
+
+void SpanIssueMiner::on_record(const obs::SpanRecord& record) {
+  if (record.level < sim::TraceLevel::kWarn) return;
+  // The same event name recurring is one issue, not many.
+  if (++seen_[record.name] > 1) {
+    ++deduplicated_;
+    return;
+  }
+  Issue issue;
+  issue.description = record.name;
+  for (const auto& [key, value] : record.args) {
+    issue.description += " " + key + "=" + value;
+  }
+  issue.entity = record.name;
+  issue.layer = record.layer;  // declared by the emitter, not guessed
+  issue.classified = false;
+  issue.severity = record.level == sim::TraceLevel::kError ? 0.8 : 0.45;
+  log_.add(std::move(issue));
+  ++mined_;
+}
+
+std::map<Layer, std::size_t> SpanIssueMiner::layer_counts() const {
+  std::map<Layer, std::size_t> out;
+  for (const Issue& i : log_.issues()) ++out[i.layer];
+  return out;
+}
+
 }  // namespace aroma::lpc

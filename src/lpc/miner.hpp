@@ -13,6 +13,7 @@
 #include <string>
 
 #include "lpc/issue.hpp"
+#include "obs/span.hpp"
 #include "sim/trace.hpp"
 
 namespace aroma::lpc {
@@ -41,6 +42,36 @@ class TraceIssueMiner {
   IssueLog& log_;
   IssueClassifier classifier_;
   std::map<std::string, std::uint64_t> seen_;  // message -> count
+  std::uint64_t mined_ = 0;
+  std::uint64_t deduplicated_ = 0;
+};
+
+/// Structured-event mining: consumes obs::SpanTracer records (warnings and
+/// errors) instead of parsing free-text traces. The layer comes straight
+/// off the record — the emitting component declared it — so no vocabulary
+/// guessing is involved, and issues survive the span buffer's capacity cap
+/// because the hook sees instants past it.
+class SpanIssueMiner {
+ public:
+  /// Installs itself as the span tracer's hook; the tracer must outlive
+  /// the miner. Records below kWarn are ignored.
+  SpanIssueMiner(obs::SpanTracer& spans, IssueLog& log);
+  ~SpanIssueMiner();
+  SpanIssueMiner(const SpanIssueMiner&) = delete;
+  SpanIssueMiner& operator=(const SpanIssueMiner&) = delete;
+
+  std::uint64_t mined() const { return mined_; }
+  std::uint64_t deduplicated() const { return deduplicated_; }
+
+  /// Per-layer counts of mined issues.
+  std::map<Layer, std::size_t> layer_counts() const;
+
+ private:
+  void on_record(const obs::SpanRecord& record);
+
+  obs::SpanTracer& spans_;
+  IssueLog& log_;
+  std::map<std::string, std::uint64_t> seen_;  // event name -> count
   std::uint64_t mined_ = 0;
   std::uint64_t deduplicated_ = 0;
 };

@@ -1,5 +1,8 @@
 #include "net/stack.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace aroma::net {
 
 namespace {
@@ -12,6 +15,7 @@ NetStack::NetStack(sim::World& world, phys::CsmaMac& mac)
   link_->set_receive_handler(
       [this](NodeId src, const LinkLayer::Payload& payload,
              std::size_t bits) { on_link_receive(src, payload, bits); });
+  resolve_metrics();
 }
 
 NetStack::NetStack(sim::World& world, LinkLayer& link)
@@ -19,6 +23,17 @@ NetStack::NetStack(sim::World& world, LinkLayer& link)
   link_->set_receive_handler(
       [this](NodeId src, const LinkLayer::Payload& payload,
              std::size_t bits) { on_link_receive(src, payload, bits); });
+  resolve_metrics();
+}
+
+void NetStack::resolve_metrics() {
+  // The network service is a resource-layer box in the LPC model ("Net").
+  const auto layer = lpc::Layer::kResource;
+  m_sent_unicast_ = obs::counter(world_, "net.stack.sent_unicast", layer);
+  m_sent_multicast_ = obs::counter(world_, "net.stack.sent_multicast", layer);
+  m_delivered_ = obs::counter(world_, "net.stack.delivered", layer);
+  m_send_failures_ = obs::counter(world_, "net.stack.send_failures", layer);
+  m_bytes_sent_ = obs::counter(world_, "net.stack.bytes_sent", layer);
 }
 
 void NetStack::bind(Port port, Handler handler) {
@@ -36,9 +51,14 @@ void NetStack::send(Endpoint dst, Port src_port, std::vector<std::byte> data,
   const std::size_t bits = (dg->data.size() + kDatagramHeaderBytes) * 8;
   ++stats_.sent_unicast;
   stats_.bytes_sent += dg->data.size() + kDatagramHeaderBytes;
+  if (m_sent_unicast_) m_sent_unicast_->add();
+  if (m_bytes_sent_) m_bytes_sent_->add(dg->data.size() + kDatagramHeaderBytes);
   const NodeId hop = next_hop_ ? next_hop_(dst.node) : dst.node;
   link_->send(hop, bits, dg, [this, cb = std::move(cb)](bool delivered) {
-    if (!delivered) ++stats_.send_failures;
+    if (!delivered) {
+      ++stats_.send_failures;
+      if (m_send_failures_) m_send_failures_->add();
+    }
     if (cb) cb(delivered);
   });
 }
@@ -53,6 +73,8 @@ void NetStack::send_multicast(GroupId group, Port port, Port src_port,
   const std::size_t bits = (dg->data.size() + kDatagramHeaderBytes) * 8;
   ++stats_.sent_multicast;
   stats_.bytes_sent += dg->data.size() + kDatagramHeaderBytes;
+  if (m_sent_multicast_) m_sent_multicast_->add();
+  if (m_bytes_sent_) m_bytes_sent_->add(dg->data.size() + kDatagramHeaderBytes);
   link_->send(kLinkBroadcast, bits, dg, {});
 }
 
@@ -75,6 +97,12 @@ void NetStack::on_link_receive(NodeId /*src*/,
     return;
   }
   ++stats_.delivered;
+  if (m_delivered_) m_delivered_->add();
+  // The dispatch span parents to the frame that carried the datagram (the
+  // kernel restores the radio frame's span as the causal context while the
+  // frame-end event delivers), linking env -> net in every trace.
+  obs::ScopedSpan span(world_, "net.rx", lpc::Layer::kResource);
+  span.annotate("port", std::to_string(dg->dst.port));
   it->second(*dg);
 }
 

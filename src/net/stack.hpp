@@ -19,6 +19,10 @@
 #include "phys/mac.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::obs {
+class Counter;
+}  // namespace aroma::obs
+
 namespace aroma::net {
 
 /// The unit carried as the link-layer payload.
@@ -105,6 +109,7 @@ class NetStack {
  private:
   void on_link_receive(NodeId src, const LinkLayer::Payload& payload,
                        std::size_t bits);
+  void resolve_metrics();
 
   sim::World& world_;
   std::unique_ptr<WirelessLink> owned_link_;  // when built from a MAC
@@ -113,6 +118,13 @@ class NetStack {
   std::unordered_map<Port, Handler> bindings_;
   std::set<GroupId> groups_;
   StackStats stats_;
+
+  // Telemetry handles; null when the world has no registry attached.
+  obs::Counter* m_sent_unicast_ = nullptr;
+  obs::Counter* m_sent_multicast_ = nullptr;
+  obs::Counter* m_delivered_ = nullptr;
+  obs::Counter* m_send_failures_ = nullptr;
+  obs::Counter* m_bytes_sent_ = nullptr;
 };
 
 }  // namespace aroma::net

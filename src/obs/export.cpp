@@ -1,0 +1,138 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace aroma::obs {
+
+namespace {
+
+void escape(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+double to_us(sim::Time t) { return static_cast<double>(t.count()) / 1e3; }
+
+void append_us(std::string& out, double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", us);
+  out += buf;
+}
+
+void append_args(std::string& out, const SpanRecord& r) {
+  out += "\"args\": {\"id\": " + std::to_string(r.id) +
+         ", \"parent\": " + std::to_string(r.parent);
+  for (const auto& [k, v] : r.args) {
+    out += ", ";
+    escape(out, k);
+    out += ": ";
+    escape(out, v);
+  }
+  out += "}";
+}
+
+bool write_text(const std::string& text, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << text;
+  return static_cast<bool>(f);
+}
+
+}  // namespace
+
+std::string to_chrome_trace(const SpanTracer& spans) {
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  // One track per LPC layer, named for the model.
+  for (lpc::Layer layer : lpc::kAllLayers) {
+    comma();
+    out += "{\"ph\": \"M\", \"pid\": 1, \"tid\": " +
+           std::to_string(static_cast<int>(layer)) +
+           ", \"name\": \"thread_name\", \"args\": {\"name\": ";
+    escape(out, std::string("lpc.") + std::string(layer_label(layer)));
+    out += "}}";
+  }
+  for (const SpanRecord& r : spans.records()) {
+    comma();
+    const int tid = static_cast<int>(r.layer);
+    out += "{\"name\": ";
+    escape(out, r.name);
+    out += ", \"cat\": ";
+    escape(out, layer_label(r.layer));
+    out += ", \"pid\": 1, \"tid\": " + std::to_string(tid);
+    out += ", \"ts\": ";
+    append_us(out, to_us(r.start));
+    if (r.instant) {
+      out += ", \"ph\": \"i\", \"s\": \"t\", ";
+    } else {
+      // Open spans export with zero duration rather than vanish.
+      const sim::Time end = r.open() ? r.start : r.end;
+      out += ", \"ph\": \"X\", \"dur\": ";
+      append_us(out, to_us(end - r.start));
+      out += ", ";
+    }
+    append_args(out, r);
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool write_chrome_trace(const SpanTracer& spans, const std::string& path) {
+  return write_text(to_chrome_trace(spans), path);
+}
+
+std::string to_jsonl(const SpanTracer& spans) {
+  std::string out;
+  for (const SpanRecord& r : spans.records()) {
+    out += "{\"id\": " + std::to_string(r.id) +
+           ", \"parent\": " + std::to_string(r.parent) + ", \"name\": ";
+    escape(out, r.name);
+    out += ", \"layer\": ";
+    escape(out, layer_label(r.layer));
+    out += ", \"level\": ";
+    escape(out, sim::to_string(r.level));
+    out += ", \"instant\": ";
+    out += r.instant ? "true" : "false";
+    out += ", \"start_us\": ";
+    append_us(out, to_us(r.start));
+    out += ", \"end_us\": ";
+    append_us(out, to_us(r.open() ? r.start : r.end));
+    out += ", ";
+    append_args(out, r);
+    out += "}\n";
+  }
+  return out;
+}
+
+bool write_jsonl(const SpanTracer& spans, const std::string& path) {
+  return write_text(to_jsonl(spans), path);
+}
+
+bool write_metrics_json(const MetricsRegistry& metrics,
+                        const std::string& path) {
+  return write_text(metrics.to_json() + "\n", path);
+}
+
+}  // namespace aroma::obs

@@ -1,0 +1,31 @@
+// Exporters: Chrome trace-event JSON (Perfetto / chrome://tracing), JSONL
+// span logs, and metrics snapshot files.
+//
+// The trace clock is simulated time in microseconds, so a Perfetto timeline
+// of a run is a deterministic artifact of the seed. Each LPC layer renders
+// as its own track (tid), named via trace-event metadata.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace aroma::obs {
+
+/// Serializes spans in Chrome trace-event format ("X" complete events for
+/// closed spans, "i" instants; sim-time microseconds). Loadable in Perfetto
+/// and chrome://tracing.
+std::string to_chrome_trace(const SpanTracer& spans);
+bool write_chrome_trace(const SpanTracer& spans, const std::string& path);
+
+/// One JSON object per record per line: id, parent, name, layer, level,
+/// start/end (microseconds), args.
+std::string to_jsonl(const SpanTracer& spans);
+bool write_jsonl(const SpanTracer& spans, const std::string& path);
+
+/// Writes MetricsRegistry::to_json() with a trailing newline.
+bool write_metrics_json(const MetricsRegistry& metrics,
+                        const std::string& path);
+
+}  // namespace aroma::obs

@@ -1,0 +1,181 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace aroma::obs {
+
+std::string_view layer_label(lpc::Layer layer) {
+  switch (layer) {
+    case lpc::Layer::kEnvironment: return "environment";
+    case lpc::Layer::kPhysical: return "physical";
+    case lpc::Layer::kResource: return "resource";
+    case lpc::Layer::kAbstract: return "abstract";
+    case lpc::Layer::kIntentional: return "intentional";
+  }
+  return "?";
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, lpc::Layer layer) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return counters_[it->second.index].metric;
+  const Entry e{Kind::kCounter, counters_.size()};
+  counters_.push_back(CounterEntry{{std::string(name), layer}, Counter{}});
+  by_name_.emplace(std::string(name), e);
+  order_.push_back(e);
+  return counters_.back().metric;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, lpc::Layer layer) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return gauges_[it->second.index].metric;
+  const Entry e{Kind::kGauge, gauges_.size()};
+  gauges_.push_back(GaugeEntry{{std::string(name), layer}, Gauge{}});
+  by_name_.emplace(std::string(name), e);
+  order_.push_back(e);
+  return gauges_.back().metric;
+}
+
+sim::Histogram& MetricsRegistry::histogram(std::string_view name,
+                                           lpc::Layer layer, double lo,
+                                           double hi, std::size_t bins) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return histograms_[it->second.index].metric;
+  const Entry e{Kind::kHistogram, histograms_.size()};
+  histograms_.emplace_back(MetricInfo{std::string(name), layer}, lo, hi, bins);
+  by_name_.emplace(std::string(name), e);
+  order_.push_back(e);
+  return histograms_.back().metric;
+}
+
+void MetricsRegistry::set_counter(std::string_view name, lpc::Layer layer,
+                                  std::uint64_t value) {
+  Counter& c = counter(name, layer);
+  if (value >= c.value()) c.add(value - c.value());
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end() || it->second.kind != Kind::kCounter) return nullptr;
+  return &counters_[it->second.index].metric;
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end() || it->second.kind != Kind::kGauge) return nullptr;
+  return &gauges_[it->second.index].metric;
+}
+
+const sim::Histogram* MetricsRegistry::find_histogram(
+    std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end() || it->second.kind != Kind::kHistogram) {
+    return nullptr;
+  }
+  return &histograms_[it->second.index].metric;
+}
+
+void MetricsRegistry::visit(Visitor& v) const {
+  for (const Entry& e : order_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        v.on_counter(counters_[e.index].info, counters_[e.index].metric);
+        break;
+      case Kind::kGauge:
+        v.on_gauge(gauges_[e.index].info, gauges_[e.index].metric);
+        break;
+      case Kind::kHistogram:
+        v.on_histogram(histograms_[e.index].info, histograms_[e.index].metric);
+        break;
+    }
+  }
+}
+
+namespace {
+
+void json_escape(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void json_number(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+class JsonVisitor : public MetricsRegistry::Visitor {
+ public:
+  JsonVisitor(std::string& out, std::string pad) : out_(out), pad_(pad) {}
+
+  void on_counter(const MetricInfo& info, const Counter& c) override {
+    open(info, "counter");
+    out_ += "\"value\": " + std::to_string(c.value()) + "}";
+  }
+  void on_gauge(const MetricInfo& info, const Gauge& g) override {
+    open(info, "gauge");
+    out_ += "\"value\": ";
+    json_number(out_, g.value());
+    out_ += "}";
+  }
+  void on_histogram(const MetricInfo& info, const sim::Histogram& h) override {
+    open(info, "histogram");
+    out_ += "\"count\": " + std::to_string(h.count());
+    out_ += ", \"clamped\": " + std::to_string(h.clamped());
+    out_ += ", \"p50\": ";
+    json_number(out_, h.median());
+    out_ += ", \"p99\": ";
+    json_number(out_, h.p99());
+    out_ += ", \"bins\": [";
+    for (std::size_t i = 0; i < h.bin_count(); ++i) {
+      if (i) out_ += ", ";
+      out_ += std::to_string(h.bin(i));
+    }
+    out_ += "]}";
+  }
+
+  bool first = true;
+
+ private:
+  void open(const MetricInfo& info, std::string_view kind) {
+    if (!first) out_ += ",";
+    first = false;
+    out_ += "\n" + pad_;
+    json_escape(out_, info.name);
+    out_ += ": {\"layer\": ";
+    json_escape(out_, layer_label(info.layer));
+    out_ += ", \"kind\": \"";
+    out_ += kind;
+    out_ += "\", ";
+  }
+
+  std::string& out_;
+  std::string pad_;
+};
+
+}  // namespace
+
+std::string MetricsRegistry::to_json(int indent) const {
+  std::string out = "{";
+  JsonVisitor v(out, std::string(static_cast<std::size_t>(indent), ' '));
+  visit(v);
+  out += v.first ? "}" : "\n}";
+  return out;
+}
+
+}  // namespace aroma::obs

@@ -1,0 +1,151 @@
+// Metrics registry: named counters, gauges, and histograms with LPC-layer
+// labels.
+//
+// Components resolve metric handles once (construction time) and bump them
+// on the hot path with a single pointer check; when no registry is attached
+// to the world the handle is null and the cost is that check alone. All
+// values are driven purely by simulated behavior — never wall clock — so a
+// snapshot is a deterministic function of the seed and can be regressed
+// byte-for-byte (BENCH_metrics.json).
+//
+// Naming convention: `layer.component.metric` (e.g. env.radio.transmissions,
+// net.stack.delivered, disco.lease.expirations). The label carries the
+// paper's LPC layer so snapshots group cross-layer behavior the way the
+// model does.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lpc/layers.hpp"
+#include "sim/stats.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::obs {
+
+/// Layer label helper that needs no lpc library linkage (obs sits below
+/// lpc in the build graph; the enum itself is header-only).
+std::string_view layer_label(lpc::Layer layer);
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// One registered metric's identity (shared across kinds).
+struct MetricInfo {
+  std::string name;
+  lpc::Layer layer = lpc::Layer::kEnvironment;
+};
+
+/// Registry of named metrics. Get-or-create by name; handles are stable for
+/// the registry's lifetime (deque storage), so components may cache raw
+/// pointers. The registry must outlive every component holding a handle —
+/// attach telemetry to a World before constructing components on it.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name, lpc::Layer layer);
+  Gauge& gauge(std::string_view name, lpc::Layer layer);
+  /// Fixed-range histogram (sim::Histogram semantics: clamped edge bins).
+  sim::Histogram& histogram(std::string_view name, lpc::Layer layer,
+                            double lo, double hi, std::size_t bins);
+
+  /// Convenience for pull-style publication of existing stats structs.
+  void set_gauge(std::string_view name, lpc::Layer layer, double value) {
+    gauge(name, layer).set(value);
+  }
+  void set_counter(std::string_view name, lpc::Layer layer,
+                   std::uint64_t value);
+
+  /// Lookup without creation; nullptr when the name was never registered.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const sim::Histogram* find_histogram(std::string_view name) const;
+
+  std::size_t size() const { return order_.size(); }
+
+  /// Visits every metric in registration order (snapshot/export order).
+  struct Visitor {
+    virtual ~Visitor() = default;
+    virtual void on_counter(const MetricInfo&, const Counter&) = 0;
+    virtual void on_gauge(const MetricInfo&, const Gauge&) = 0;
+    virtual void on_histogram(const MetricInfo&, const sim::Histogram&) = 0;
+  };
+  void visit(Visitor& v) const;
+
+  /// Ordered JSON snapshot: {"name": {"layer": ..., "kind": ..., value}}.
+  std::string to_json(int indent = 2) const;
+
+ private:
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::size_t index;  // into the kind's deque
+  };
+
+  struct CounterEntry {
+    MetricInfo info;
+    Counter metric;
+  };
+  struct GaugeEntry {
+    MetricInfo info;
+    Gauge metric;
+  };
+  struct HistogramEntry {
+    MetricInfo info;
+    sim::Histogram metric;
+    HistogramEntry(MetricInfo i, double lo, double hi, std::size_t bins)
+        : info(std::move(i)), metric(lo, hi, bins) {}
+  };
+
+  std::deque<CounterEntry> counters_;
+  std::deque<GaugeEntry> gauges_;
+  std::deque<HistogramEntry> histograms_;
+  std::unordered_map<std::string, Entry> by_name_;
+  std::vector<Entry> order_;  // registration order for stable snapshots
+};
+
+/// Null-safe handle resolution against a world's attached registry. Returns
+/// nullptr when telemetry is off, so callsites reduce to one pointer check.
+inline Counter* counter(sim::World& world, std::string_view name,
+                        lpc::Layer layer) {
+  MetricsRegistry* m = world.metrics();
+  return m ? &m->counter(name, layer) : nullptr;
+}
+inline Gauge* gauge(sim::World& world, std::string_view name,
+                    lpc::Layer layer) {
+  MetricsRegistry* m = world.metrics();
+  return m ? &m->gauge(name, layer) : nullptr;
+}
+inline sim::Histogram* histogram(sim::World& world, std::string_view name,
+                                 lpc::Layer layer, double lo, double hi,
+                                 std::size_t bins) {
+  MetricsRegistry* m = world.metrics();
+  return m ? &m->histogram(name, layer, lo, hi, bins) : nullptr;
+}
+
+}  // namespace aroma::obs

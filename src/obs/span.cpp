@@ -1,0 +1,101 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+
+namespace aroma::obs {
+
+SpanId SpanTracer::begin(sim::Time now, std::string_view name,
+                         lpc::Layer layer, SpanId parent,
+                         sim::TraceLevel level) {
+  if (!enabled_) return 0;
+  if (records_.size() >= capacity_) {
+    ++dropped_;
+    return 0;
+  }
+  SpanRecord rec;
+  rec.id = next_id_++;
+  rec.parent = parent;
+  rec.start = now;
+  rec.end = sim::Time::max();
+  rec.name = std::string(name);
+  rec.layer = layer;
+  rec.level = level;
+  index_.emplace(rec.id, records_.size());
+  records_.push_back(std::move(rec));
+  return records_.back().id;
+}
+
+void SpanTracer::end(SpanId id, sim::Time now) {
+  if (id == 0) return;
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  SpanRecord& rec = records_[it->second];
+  if (!rec.open()) return;
+  rec.end = now;
+  if (hook_) hook_(rec);
+}
+
+SpanId SpanTracer::instant(sim::Time now, std::string_view name,
+                           lpc::Layer layer, SpanId parent,
+                           sim::TraceLevel level) {
+  if (!enabled_) return 0;
+  SpanRecord rec;
+  rec.parent = parent;
+  rec.start = now;
+  rec.end = now;
+  rec.name = std::string(name);
+  rec.layer = layer;
+  rec.level = level;
+  rec.instant = true;
+  if (records_.size() >= capacity_) {
+    // Dropped from the buffer but still visible to the hook, so issue
+    // mining keeps working on long soak runs.
+    ++dropped_;
+    if (hook_) hook_(rec);
+    return 0;
+  }
+  rec.id = next_id_++;
+  index_.emplace(rec.id, records_.size());
+  records_.push_back(std::move(rec));
+  if (hook_) hook_(records_.back());
+  return records_.back().id;
+}
+
+void SpanTracer::annotate(SpanId id, std::string_view key,
+                          std::string_view value) {
+  if (id == 0) return;
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  records_[it->second].args.emplace_back(std::string(key), std::string(value));
+}
+
+const SpanRecord* SpanTracer::find(SpanId id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &records_[it->second];
+}
+
+std::size_t SpanTracer::count_with_name(std::string_view name) const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [&](const SpanRecord& r) { return r.name == name; }));
+}
+
+std::vector<const SpanRecord*> SpanTracer::ancestry(SpanId id) const {
+  std::vector<const SpanRecord*> chain;
+  while (id != 0) {
+    const SpanRecord* rec = find(id);
+    if (rec == nullptr) break;
+    chain.push_back(rec);
+    if (chain.size() > records_.size()) break;  // defensive: cyclic ids
+    id = rec->parent;
+  }
+  return chain;
+}
+
+void SpanTracer::clear() {
+  records_.clear();
+  index_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace aroma::obs

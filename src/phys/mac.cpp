@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace aroma::phys {
 
 CsmaMac::CsmaMac(sim::World& world, Transceiver& radio, sim::Rng rng,
@@ -10,6 +13,14 @@ CsmaMac::CsmaMac(sim::World& world, Transceiver& radio, sim::Rng rng,
       cw_(params.cw_min) {
   radio_.set_receive_handler(
       [this](const env::FrameDelivery& d) { on_radio_frame(d); });
+  const auto layer = lpc::Layer::kPhysical;
+  m_sent_data_ = obs::counter(world_, "phys.mac.sent_data", layer);
+  m_sent_acks_ = obs::counter(world_, "phys.mac.sent_acks", layer);
+  m_delivered_up_ = obs::counter(world_, "phys.mac.delivered_up", layer);
+  m_retries_ = obs::counter(world_, "phys.mac.retries", layer);
+  m_drops_retry_ = obs::counter(world_, "phys.mac.drops_retry_limit", layer);
+  m_drops_queue_ = obs::counter(world_, "phys.mac.drops_queue_full", layer);
+  m_queue_peak_ = obs::gauge(world_, "phys.mac.queue_depth_peak", layer);
 }
 
 double CsmaMac::bitrate() const { return radio_.bitrate_bps(); }
@@ -19,6 +30,7 @@ bool CsmaMac::send(MacAddress dst, std::size_t payload_bits,
   ++stats_.enqueued;
   if (queue_.size() >= params_.queue_limit) {
     ++stats_.drops_queue_full;
+    if (m_drops_queue_) m_drops_queue_->add();
     if (cb) cb(false);
     return false;
   }
@@ -29,6 +41,10 @@ bool CsmaMac::send(MacAddress dst, std::size_t payload_bits,
   f.cb = std::move(cb);
   f.seq = next_seq_++;
   queue_.push_back(std::move(f));
+  if (m_queue_peak_ != nullptr) {
+    const double depth = static_cast<double>(queue_depth());
+    if (depth > m_queue_peak_->value()) m_queue_peak_->set(depth);
+  }
   maybe_start();
   return true;
 }
@@ -46,12 +62,13 @@ void CsmaMac::enter_difs() {
   const auto gen = bump_gen();
   if (radio_.carrier_busy() || radio_.transmitting()) {
     // Defer: re-check after a slot.
-    world_.sim().schedule_in(params_.slot, [this, gen] {
+    world_.sim().schedule_in(params_.slot, sim::EventCategory::kMac,
+                             [this, gen] {
       if (gen == gen_ && state_ == State::kDifs) enter_difs();
     });
     return;
   }
-  world_.sim().schedule_in(params_.difs,
+  world_.sim().schedule_in(params_.difs, sim::EventCategory::kMac,
                            [this, gen] { difs_elapsed(gen); });
 }
 
@@ -67,7 +84,8 @@ void CsmaMac::difs_elapsed(std::uint64_t gen) {
         static_cast<int>(rng_.uniform_int(0, std::max(cw_ - 1, 0)));
   }
   const auto g2 = bump_gen();
-  world_.sim().schedule_in(params_.slot, [this, g2] { backoff_slot(g2); });
+  world_.sim().schedule_in(params_.slot, sim::EventCategory::kMac,
+                           [this, g2] { backoff_slot(g2); });
 }
 
 void CsmaMac::backoff_slot(std::uint64_t gen) {
@@ -80,7 +98,8 @@ void CsmaMac::backoff_slot(std::uint64_t gen) {
   if (backoff_slots_ > 0) {
     --backoff_slots_;
     const auto g2 = bump_gen();
-    world_.sim().schedule_in(params_.slot, [this, g2] { backoff_slot(g2); });
+    world_.sim().schedule_in(params_.slot, sim::EventCategory::kMac,
+                             [this, g2] { backoff_slot(g2); });
     return;
   }
   transmit_active();
@@ -89,6 +108,7 @@ void CsmaMac::backoff_slot(std::uint64_t gen) {
 void CsmaMac::transmit_active() {
   state_ = State::kTransmitting;
   ++stats_.sent_data;
+  if (m_sent_data_) m_sent_data_->add();
   auto frame = std::make_shared<MacFrame>();
   frame->src = address();
   frame->dst = active_->dst;
@@ -100,7 +120,8 @@ void CsmaMac::transmit_active() {
   const std::size_t bits = params_.header_bits + active_->payload_bits;
   const sim::Time air = radio_.transmit(bits, frame);
   const auto gen = bump_gen();
-  world_.sim().schedule_in(air, [this, gen] { tx_finished(gen); });
+  world_.sim().schedule_in(air, sim::EventCategory::kMac,
+                           [this, gen] { tx_finished(gen); });
 }
 
 void CsmaMac::tx_finished(std::uint64_t gen) {
@@ -114,19 +135,24 @@ void CsmaMac::tx_finished(std::uint64_t gen) {
       sim::Time::sec(static_cast<double>(params_.ack_bits) / bitrate());
   const sim::Time timeout = params_.sifs + ack_air + params_.slot * 4;
   const auto g2 = bump_gen();
-  world_.sim().schedule_in(timeout, [this, g2] { ack_timeout(g2); });
+  world_.sim().schedule_in(timeout, sim::EventCategory::kMac,
+                           [this, g2] { ack_timeout(g2); });
 }
 
 void CsmaMac::ack_timeout(std::uint64_t gen) {
   if (gen != gen_ || state_ != State::kAwaitAck) return;
   ++stats_.retries;
   ++active_->retries;
+  if (m_retries_) m_retries_->add();
   cw_ = std::min(cw_ * 2, params_.cw_max);
   if (active_->retries > params_.retry_limit) {
     ++stats_.drops_retry_limit;
+    if (m_drops_retry_) m_drops_retry_->add();
     world_.tracer().log(world_.now(), sim::TraceLevel::kWarn, "mac",
                         "retry limit exceeded: persistent interference or "
                         "out-of-range peer on the wireless link");
+    obs::emit_instant(world_, "phys.mac.drop_retry_limit",
+                      lpc::Layer::kPhysical, sim::TraceLevel::kWarn);
     finish_active(false);
     return;
   }
@@ -178,11 +204,13 @@ void CsmaMac::on_radio_frame(const env::FrameDelivery& delivery) {
     last_seq_from_[frame->src] = frame->seq;
   }
   ++stats_.delivered_up;
+  if (m_delivered_up_) m_delivered_up_->add();
   if (rx_handler_) rx_handler_(frame->src, frame->payload, frame->payload_bits);
 }
 
 void CsmaMac::send_ack(MacAddress dst, std::uint32_t seq) {
-  world_.sim().schedule_in(params_.sifs, [this, dst, seq] {
+  world_.sim().schedule_in(params_.sifs, sim::EventCategory::kMac,
+                           [this, dst, seq] {
     if (radio_.transmitting()) return;  // busy; sender will retry
     auto ack = std::make_shared<MacFrame>();
     ack->src = address();
@@ -190,6 +218,7 @@ void CsmaMac::send_ack(MacAddress dst, std::uint32_t seq) {
     ack->seq = seq;
     ack->is_ack = true;
     ++stats_.sent_acks;
+    if (m_sent_acks_) m_sent_acks_->add();
     radio_.transmit(params_.ack_bits, ack);
   });
 }

@@ -16,6 +16,11 @@
 #include "phys/transceiver.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::obs {
+class Counter;
+class Gauge;
+}  // namespace aroma::obs
+
 namespace aroma::phys {
 
 using MacAddress = std::uint64_t;
@@ -126,6 +131,17 @@ class CsmaMac {
   int backoff_slots_ = 0;
   std::uint32_t next_seq_ = 1;
   std::unordered_map<MacAddress, std::uint32_t> last_seq_from_;
+
+  // Telemetry handles (null when no registry is attached to the world).
+  // Counters aggregate across every MAC in the world; the queue-depth gauge
+  // tracks the worldwide peak.
+  obs::Counter* m_sent_data_ = nullptr;
+  obs::Counter* m_sent_acks_ = nullptr;
+  obs::Counter* m_delivered_up_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_drops_retry_ = nullptr;
+  obs::Counter* m_drops_queue_ = nullptr;
+  obs::Gauge* m_queue_peak_ = nullptr;
 };
 
 }  // namespace aroma::phys

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "net/serialize.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace aroma::rfb {
 
@@ -23,7 +25,14 @@ RfbServer::RfbServer(sim::World& world, Framebuffer& source,
       [this](std::span<const std::byte> data) { framer_.on_bytes(data); });
   poller_ = std::make_unique<sim::PeriodicTimer>(
       world_.sim(), params_.damage_poll, [this] { maybe_send_update(); });
+  poller_->set_category(sim::EventCategory::kRfb);
   poller_->start();
+  const auto layer = lpc::Layer::kAbstract;
+  m_updates_ = obs::counter(world_, "rfb.server.updates_sent", layer);
+  m_rects_ = obs::counter(world_, "rfb.server.rects_sent", layer);
+  m_bytes_ = obs::counter(world_, "rfb.server.bytes_sent", layer);
+  m_update_bytes_ = obs::histogram(world_, "rfb.server.update_bytes", layer,
+                                   0.0, 65536.0, 32);
 }
 
 RfbServer::~RfbServer() {
@@ -78,6 +87,9 @@ void RfbServer::maybe_send_update() {
 }
 
 void RfbServer::send_update(const std::vector<RectRegion>& rects) {
+  // Covers encode + the scheduled completion event (which inherits this
+  // span as its causal context, so the stream send parents here too).
+  obs::ScopedSpan span(world_, "rfb.update", lpc::Layer::kAbstract);
   // Encode now (content snapshot), charge simulated CPU, then transmit.
   net::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(RfbMsg::kUpdate));
@@ -94,6 +106,7 @@ void RfbServer::send_update(const std::vector<RectRegion>& rects) {
     for (std::byte b : payload) w.u8(static_cast<std::uint8_t>(b));
     pixels += static_cast<std::uint64_t>(r.area());
     ++stats_.rects_sent;
+    if (m_rects_) m_rects_->add();
   }
   const double encode_s =
       static_cast<double>(pixels) * encode_cost_per_pixel(params_.encoding) /
@@ -104,8 +117,12 @@ void RfbServer::send_update(const std::vector<RectRegion>& rects) {
 
   auto framed = MessageFramer::frame(w.data());
   stats_.bytes_sent += framed.size();
+  if (m_updates_) m_updates_->add();
+  if (m_bytes_) m_bytes_->add(framed.size());
+  if (m_update_bytes_) m_update_bytes_->add(static_cast<double>(framed.size()));
+  span.annotate("bytes", std::to_string(framed.size()));
   encoding_in_progress_ = true;
-  world_.sim().schedule_in(sim::Time::sec(encode_s),
+  world_.sim().schedule_in(sim::Time::sec(encode_s), sim::EventCategory::kRfb,
                            [this, framed = std::move(framed)]() mutable {
                              encoding_in_progress_ = false;
                              conn_->send(std::move(framed));

@@ -21,6 +21,10 @@
 #include "sim/stats.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::obs {
+class Counter;
+}  // namespace aroma::obs
+
 namespace aroma::rfb {
 
 using MessageFramer = net::MessageFramer;
@@ -80,6 +84,12 @@ class RfbServer {
   bool encoding_in_progress_ = false;
   RfbServerStats stats_;
   std::unique_ptr<sim::PeriodicTimer> poller_;
+
+  // Telemetry handles; null when the world has no registry attached.
+  obs::Counter* m_updates_ = nullptr;
+  obs::Counter* m_rects_ = nullptr;
+  obs::Counter* m_bytes_ = nullptr;
+  sim::Histogram* m_update_bytes_ = nullptr;
 };
 
 struct RfbClientStats {

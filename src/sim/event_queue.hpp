@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "sim/callback.hpp"
+#include "sim/profiler.hpp"
 #include "sim/time.hpp"
 
 namespace aroma::sim {
@@ -38,9 +39,19 @@ class EventQueue {
   /// Timestamp of the earliest event. Precondition: !empty().
   Time min_time() const { return heap_[0].when; }
 
+  /// Telemetry carried alongside an event's callback: the profiler
+  /// category and the causal trace context (span id) captured at schedule
+  /// time. Stored in the slot, never in the heap records, so the sift hot
+  /// path is untouched.
+  struct EventMeta {
+    EventCategory category = EventCategory::kNone;
+    std::uint64_t trace_ctx = 0;
+  };
+
   /// Inserts an event. `seq` breaks ties FIFO among equal timestamps and
   /// must be unique; `id` must be nonzero and unique across live events.
-  Ref push(Time when, std::uint64_t seq, std::uint64_t id, Callback fn) {
+  Ref push(Time when, std::uint64_t seq, std::uint64_t id, EventMeta meta,
+           Callback fn) {
     std::uint32_t slot;
     if (free_.empty()) {
       slot = static_cast<std::uint32_t>(slots_.size());
@@ -50,6 +61,7 @@ class EventQueue {
       free_.pop_back();
     }
     slots_[slot].id = id;
+    slots_[slot].meta = meta;
     slots_[slot].fn = std::move(fn);
     heap_.push_back(Record{when, seq, slot});
     slots_[slot].heap_pos = heap_.size() - 1;
@@ -57,12 +69,13 @@ class EventQueue {
     return {slot, id};
   }
 
-  /// Removes the earliest event, moving its callback into `fn_out`.
-  /// Precondition: !empty().
-  Time pop_min(Callback& fn_out) {
+  /// Removes the earliest event, moving its callback into `fn_out` and its
+  /// telemetry into `meta_out`. Precondition: !empty().
+  Time pop_min(Callback& fn_out, EventMeta& meta_out) {
     const Record top = heap_[0];
     Slot& s = slots_[top.slot];
     fn_out = std::move(s.fn);
+    meta_out = s.meta;
     release(top.slot);
     remove_at(0);
     return top.when;
@@ -90,6 +103,7 @@ class EventQueue {
   struct Slot {
     std::uint64_t id = 0;  // 0 = free
     std::size_t heap_pos = 0;
+    EventMeta meta;
     Callback fn;
   };
 

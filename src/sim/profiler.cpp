@@ -1,0 +1,22 @@
+#include "sim/profiler.hpp"
+
+namespace aroma::sim {
+
+std::string_view to_string(EventCategory category) {
+  switch (category) {
+    case EventCategory::kNone: return "none";
+    case EventCategory::kTimer: return "timer";
+    case EventCategory::kMac: return "mac";
+    case EventCategory::kRadio: return "radio";
+    case EventCategory::kStream: return "stream";
+    case EventCategory::kLease: return "lease";
+    case EventCategory::kDiscovery: return "discovery";
+    case EventCategory::kRfb: return "rfb";
+    case EventCategory::kDiag: return "diag";
+    case EventCategory::kApp: return "app";
+    case EventCategory::kOther: return "other";
+  }
+  return "?";
+}
+
+}  // namespace aroma::sim

@@ -1,23 +1,42 @@
 #include "sim/simulator.hpp"
 
+#include "sim/stats.hpp"
+
 namespace aroma::sim {
 
 EventHandle Simulator::schedule_at(Time when, Callback fn) {
+  return schedule_at(when, current_category_, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(Time when, EventCategory category,
+                                   Callback fn) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
-  const EventQueue::Ref ref = queue_.push(when, next_seq_++, id, std::move(fn));
+  const EventQueue::Ref ref = queue_.push(
+      when, next_seq_++, id, {category, trace_ctx_}, std::move(fn));
   if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
   return EventHandle{id, ref.slot};
 }
 
 EventHandle Simulator::schedule_in(Time delay, Callback fn) {
   if (delay.is_negative()) delay = Time::zero();
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_at(now_ + delay, current_category_, std::move(fn));
+}
+
+EventHandle Simulator::schedule_in(Time delay, EventCategory category,
+                                   Callback fn) {
+  if (delay.is_negative()) delay = Time::zero();
+  return schedule_at(now_ + delay, category, std::move(fn));
 }
 
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
-  return queue_.cancel({h.slot_, h.id_});
+  if (queue_.cancel({h.slot_, h.id_})) {
+    ++cancelled_;
+    return true;
+  }
+  ++stale_rejects_;
+  return false;
 }
 
 bool Simulator::step() {
@@ -25,9 +44,27 @@ bool Simulator::step() {
   // Move the callback out before invoking: the event may schedule more
   // events, mutating the queue under us.
   Callback fn;
-  now_ = queue_.pop_min(fn);
+  EventQueue::EventMeta meta;
+  now_ = queue_.pop_min(fn, meta);
   ++executed_;
-  fn();
+  // The event's category and causal context hold while it executes, so
+  // anything it schedules (or any span it opens) inherits its cause.
+  current_category_ = meta.category;
+  trace_ctx_ = meta.trace_ctx;
+  if (profiler_ == nullptr) {
+    fn();
+  } else {
+    profiler_->record_execute(meta.category);
+    if (profiler_->timing_enabled()) {
+      WallTimer timer;
+      fn();
+      profiler_->record_wall(meta.category, timer.elapsed_sec());
+    } else {
+      fn();
+    }
+  }
+  current_category_ = EventCategory::kNone;
+  trace_ctx_ = 0;
   return true;
 }
 
@@ -56,7 +93,7 @@ void PeriodicTimer::start_after(Time initial_delay) {
 }
 
 void PeriodicTimer::arm(Time delay) {
-  pending_ = sim_.schedule_in(delay, [this] {
+  pending_ = sim_.schedule_in(delay, category_, [this] {
     if (!running_) return;
     fn_();
     if (running_) arm(period_);

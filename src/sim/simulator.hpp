@@ -13,6 +13,7 @@
 
 #include "sim/callback.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/profiler.hpp"
 #include "sim/time.hpp"
 
 namespace aroma::sim {
@@ -46,10 +47,15 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `fn` to run at absolute time `when` (must be >= now()).
+  /// The event is stamped with the current profiler category and trace
+  /// context (see below); the explicit-category overloads override the
+  /// category at the head of a causal chain.
   EventHandle schedule_at(Time when, Callback fn);
+  EventHandle schedule_at(Time when, EventCategory category, Callback fn);
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to now.
   EventHandle schedule_in(Time delay, Callback fn);
+  EventHandle schedule_in(Time delay, EventCategory category, Callback fn);
 
   /// Cancels a pending event. Returns true if the event existed and had not
   /// yet fired. Safe to call with an already-fired, already-cancelled, or
@@ -75,13 +81,62 @@ class Simulator {
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
 
+  /// Successful cancel() calls (event existed, had not fired).
+  std::uint64_t cancelled() const { return cancelled_; }
+
+  /// cancel() calls that presented a stale-but-wellformed handle (already
+  /// fired, already cancelled, or recycled slot).
+  std::uint64_t stale_handle_rejects() const { return stale_rejects_; }
+
+  // --- telemetry hooks ------------------------------------------------------
+  // Both hooks are observation-only: they never affect event order, RNG
+  // draws, or timestamps, so enabling them cannot change simulated behavior.
+
+  /// Attaches (or clears, with nullptr) a per-category profiler. The
+  /// profiler must outlive the simulator or be detached first.
+  void set_profiler(KernelProfiler* p) { profiler_ = p; }
+  KernelProfiler* profiler() const { return profiler_; }
+
+  /// The causal trace context (a span id, see obs::SpanTracer). Captured
+  /// per event at schedule time and restored while that event executes, so
+  /// causality survives the scheduler hop.
+  std::uint64_t trace_context() const { return trace_ctx_; }
+  void set_trace_context(std::uint64_t ctx) { trace_ctx_ = ctx; }
+
+  /// Category stamped on events scheduled without an explicit one. Events
+  /// executing set it to their own category (inheritance down the chain).
+  EventCategory current_category() const { return current_category_; }
+  void set_current_category(EventCategory c) { current_category_ = c; }
+
  private:
   Time now_ = Time::zero();
   EventQueue queue_;
   std::uint64_t next_seq_ = 1;
   std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t stale_rejects_ = 0;
   std::size_t peak_pending_ = 0;
+  KernelProfiler* profiler_ = nullptr;
+  std::uint64_t trace_ctx_ = 0;
+  EventCategory current_category_ = EventCategory::kNone;
+};
+
+/// RAII override of the simulator's current trace context (used by span
+/// scopes and anywhere causality must be pinned across a schedule call).
+class ScopedTraceContext {
+ public:
+  ScopedTraceContext(Simulator& sim, std::uint64_t ctx)
+      : sim_(sim), prev_(sim.trace_context()) {
+    sim_.set_trace_context(ctx);
+  }
+  ~ScopedTraceContext() { sim_.set_trace_context(prev_); }
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  Simulator& sim_;
+  std::uint64_t prev_;
 };
 
 /// A repeating timer bound to a Simulator; RAII-cancels on destruction.
@@ -101,6 +156,10 @@ class PeriodicTimer {
   Time period() const { return period_; }
   void set_period(Time p) { period_ = p; }
 
+  /// Profiler category stamped on this timer's events (default kTimer);
+  /// set before start() so the whole chain is attributed to its owner.
+  void set_category(EventCategory c) { category_ = c; }
+
  private:
   void arm(Time delay);
 
@@ -109,6 +168,7 @@ class PeriodicTimer {
   std::function<void()> fn_;
   EventHandle pending_;
   bool running_ = false;
+  EventCategory category_ = EventCategory::kTimer;
 };
 
 }  // namespace aroma::sim

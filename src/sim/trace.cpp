@@ -24,7 +24,13 @@ void Tracer::log(Time now, TraceLevel level, std::string_view category,
                  rec.message.c_str());
   }
   if (hook_) hook_(rec);
-  if (capture_) records_.push_back(std::move(rec));
+  if (capture_) {
+    if (records_.size() < capture_limit_) {
+      records_.push_back(std::move(rec));
+    } else {
+      ++dropped_;
+    }
+  }
 }
 
 std::size_t Tracer::count_with_category(std::string_view category) const {

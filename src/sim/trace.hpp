@@ -36,6 +36,13 @@ class Tracer {
   void enable_capture(bool on) { capture_ = on; }
   void enable_stderr(bool on) { to_stderr_ = on; }
 
+  /// Caps captured records so long soak runs with capture enabled cannot
+  /// grow without bound; records past the cap still reach the hook and
+  /// stderr but are counted in dropped_records() instead of stored.
+  void set_capture_limit(std::size_t limit) { capture_limit_ = limit; }
+  std::size_t capture_limit() const { return capture_limit_; }
+  std::uint64_t dropped_records() const { return dropped_; }
+
   bool enabled(TraceLevel level) const {
     return (capture_ || to_stderr_ || hook_) && level >= min_level_;
   }
@@ -51,12 +58,17 @@ class Tracer {
 
   const std::vector<TraceRecord>& records() const { return records_; }
   std::size_t count_with_category(std::string_view category) const;
-  void clear() { records_.clear(); }
+  void clear() {
+    records_.clear();
+    dropped_ = 0;
+  }
 
  private:
   TraceLevel min_level_ = TraceLevel::kInfo;
   bool capture_ = false;
   bool to_stderr_ = false;
+  std::size_t capture_limit_ = 1 << 16;
+  std::uint64_t dropped_ = 0;
   std::vector<TraceRecord> records_;
   std::function<void(const TraceRecord&)> hook_;
 };

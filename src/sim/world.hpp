@@ -8,6 +8,11 @@
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
 
+namespace aroma::obs {
+class MetricsRegistry;
+class SpanTracer;
+}  // namespace aroma::obs
+
 namespace aroma::sim {
 
 /// One self-contained simulated world. All higher-layer objects hold a
@@ -30,10 +35,22 @@ class World {
   /// Derives an independent RNG stream for a named subsystem.
   Rng fork_rng(std::uint64_t tag) { return rng_.fork(tag); }
 
+  // --- telemetry (obs) ------------------------------------------------------
+  // Non-owning: obs::Telemetry attaches/detaches these (see
+  // obs/telemetry.hpp). Null means telemetry is off, and producers reduce
+  // to a single pointer check; sim itself never dereferences them, so sim
+  // stays below obs in the build graph.
+  obs::MetricsRegistry* metrics() const { return metrics_; }
+  obs::SpanTracer* spans() const { return spans_; }
+  void set_metrics(obs::MetricsRegistry* m) { metrics_ = m; }
+  void set_spans(obs::SpanTracer* s) { spans_ = s; }
+
  private:
   Simulator sim_;
   Rng rng_;
   Tracer tracer_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::SpanTracer* spans_ = nullptr;
 };
 
 }  // namespace aroma::sim

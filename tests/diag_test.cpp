@@ -137,6 +137,90 @@ TEST(HealthMonitor, ThresholdProbeAndTransitions) {
   EXPECT_EQ(transitions[2].second, Health::kHealthy);
 }
 
+TEST(HealthMonitor, HistoryIsBoundedPerProbe) {
+  sim::World w(1);
+  HealthMonitor monitor(w, {sim::Time::sec(1), 4});
+  monitor.add_threshold_probe("clock", lpc::Layer::kPhysical,
+                              [&] { return w.now().seconds(); }, 1e9, 2e9);
+  monitor.start();
+  w.sim().run_until(sim::Time::sec(20));
+  EXPECT_EQ(monitor.samples_taken(), 20u);
+  const auto& h = monitor.history("clock");
+  ASSERT_EQ(h.size(), 4u);
+  // Oldest evicted first: the window holds the most recent samples.
+  EXPECT_DOUBLE_EQ(h.front().metric, 17.0);
+  EXPECT_DOUBLE_EQ(h.back().metric, 20.0);
+  EXPECT_TRUE(monitor.history("no-such-probe").empty());
+}
+
+TEST(HealthMonitor, TransitionFiresOnFirstSampleWhenBornUnhealthy) {
+  // Probes start from an implicit healthy baseline, so a probe that is
+  // already failed at its very first sample must notify exactly once.
+  sim::World w(1);
+  HealthMonitor monitor(w, {sim::Time::sec(1), 8});
+  monitor.add_threshold_probe("hot", lpc::Layer::kPhysical,
+                              [] { return 1.0; }, 0.3, 0.6);
+  std::vector<std::pair<Health, Health>> seen;
+  monitor.set_transition_handler(
+      [&](const std::string&, Health from, Health to) {
+        seen.emplace_back(from, to);
+      });
+  monitor.start();
+  w.sim().run_until(sim::Time::sec(1));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, Health::kHealthy);
+  EXPECT_EQ(seen[0].second, Health::kFailed);
+  // Staying failed is steady state, not a new transition.
+  w.sim().run_until(sim::Time::sec(5));
+  EXPECT_EQ(seen.size(), 1u);
+}
+
+TEST(HealthMonitor, DegradedFailedHealthyEdgePairs) {
+  sim::World w(1);
+  HealthMonitor monitor(w, {sim::Time::sec(1), 8});
+  double metric = 0.0;
+  monitor.add_threshold_probe("m", lpc::Layer::kResource,
+                              [&] { return metric; }, 0.3, 0.6);
+  std::vector<std::pair<Health, Health>> seen;
+  monitor.set_transition_handler(
+      [&](const std::string&, Health from, Health to) {
+        seen.emplace_back(from, to);
+      });
+  monitor.start();
+  metric = 0.4;
+  w.sim().run_until(sim::Time::sec(1));
+  metric = 0.9;
+  w.sim().run_until(sim::Time::sec(2));
+  metric = 0.0;
+  w.sim().run_until(sim::Time::sec(3));
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair{Health::kHealthy, Health::kDegraded}));
+  EXPECT_EQ(seen[1], (std::pair{Health::kDegraded, Health::kFailed}));
+  // Recovery skips intermediate states: Failed -> Healthy directly.
+  EXPECT_EQ(seen[2], (std::pair{Health::kFailed, Health::kHealthy}));
+}
+
+TEST(HealthMonitor, HandlerRegisteredAfterStartMissesEarlierTransitions) {
+  sim::World w(1);
+  HealthMonitor monitor(w, {sim::Time::sec(1), 8});
+  double metric = 1.0;  // failed from the first sample
+  monitor.add_threshold_probe("m", lpc::Layer::kAbstract,
+                              [&] { return metric; }, 0.3, 0.6);
+  monitor.start();
+  w.sim().run_until(sim::Time::sec(2));  // Healthy->Failed happens unobserved
+  std::vector<std::pair<Health, Health>> seen;
+  monitor.set_transition_handler(
+      [&](const std::string&, Health from, Health to) {
+        seen.emplace_back(from, to);
+      });
+  w.sim().run_until(sim::Time::sec(4));  // steady failed: nothing to report
+  EXPECT_TRUE(seen.empty());
+  metric = 0.0;
+  w.sim().run_until(sim::Time::sec(6));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], (std::pair{Health::kFailed, Health::kHealthy}));
+}
+
 TEST(HealthMonitor, UnhealthyListsLayerTags) {
   sim::World w(1);
   HealthMonitor monitor(w, {sim::Time::sec(1), 64});

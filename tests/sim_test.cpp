@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/parallel.hpp"
+#include "sim/profiler.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/stats.hpp"
@@ -422,6 +423,106 @@ TEST(Tracer, HookSeesRecords) {
   t.set_hook([&](const TraceRecord&) { ++seen; });
   t.log(Time::zero(), TraceLevel::kInfo, "c", "one");
   EXPECT_EQ(seen, 1);
+}
+
+TEST(Tracer, CaptureLimitBoundsStorageAndCountsDrops) {
+  Tracer t;
+  t.enable_capture(true);
+  t.set_capture_limit(3);
+  for (int i = 0; i < 10; ++i) {
+    t.log(Time::ms(i), TraceLevel::kInfo, "c", "m" + std::to_string(i));
+  }
+  ASSERT_EQ(t.records().size(), 3u);
+  EXPECT_EQ(t.records().back().message, "m2");  // oldest three are kept
+  EXPECT_EQ(t.dropped_records(), 7u);
+  t.clear();
+  EXPECT_TRUE(t.records().empty());
+  EXPECT_EQ(t.dropped_records(), 0u);
+  t.log(Time::zero(), TraceLevel::kInfo, "c", "after clear");
+  EXPECT_EQ(t.records().size(), 1u);
+}
+
+TEST(Tracer, HookStillSeesRecordsPastCaptureLimit) {
+  Tracer t;
+  t.enable_capture(true);
+  t.set_capture_limit(1);
+  int seen = 0;
+  t.set_hook([&](const TraceRecord&) { ++seen; });
+  for (int i = 0; i < 5; ++i) {
+    t.log(Time::ms(i), TraceLevel::kWarn, "c", "m");
+  }
+  EXPECT_EQ(t.records().size(), 1u);
+  EXPECT_EQ(t.dropped_records(), 4u);
+  EXPECT_EQ(seen, 5);  // issue miners must not lose warnings to the cap
+}
+
+// --- Kernel counters & profiler -----------------------------------------
+
+TEST(Simulator, CancelledAndStaleRejectCounters) {
+  Simulator s;
+  int fired = 0;
+  EventHandle a = s.schedule_in(Time::ms(1), [&] { ++fired; });
+  EventHandle b = s.schedule_in(Time::ms(2), [&] { ++fired; });
+  EXPECT_TRUE(s.cancel(a));
+  EXPECT_EQ(s.cancelled(), 1u);
+  s.run();
+  EXPECT_EQ(fired, 1);
+  // Cancelling after the event fired is a stale-handle reject.
+  EXPECT_FALSE(s.cancel(b));
+  EXPECT_EQ(s.stale_handle_rejects(), 1u);
+  EXPECT_EQ(s.cancelled(), 1u);
+}
+
+TEST(KernelProfiler, CountsExecutedEventsPerCategory) {
+  Simulator s;
+  KernelProfiler prof;
+  s.set_profiler(&prof);
+  s.schedule_in(Time::ms(1), EventCategory::kMac, [] {});
+  s.schedule_in(Time::ms(2), EventCategory::kMac, [] {});
+  s.schedule_in(Time::ms(3), EventCategory::kRadio, [] {});
+  s.schedule_in(Time::ms(4), [] {});  // unstamped
+  s.run();
+  EXPECT_EQ(prof.stats(EventCategory::kMac).executed, 2u);
+  EXPECT_EQ(prof.stats(EventCategory::kRadio).executed, 1u);
+  EXPECT_EQ(prof.stats(EventCategory::kNone).executed, 1u);
+  EXPECT_EQ(prof.total_executed(), 4u);
+}
+
+TEST(KernelProfiler, FollowUpEventsInheritTheRunningCategory) {
+  // A chain stamped once at the top stays in its category: events
+  // scheduled from inside a callback inherit the executing event's tag.
+  Simulator s;
+  KernelProfiler prof;
+  s.set_profiler(&prof);
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 4) s.schedule_in(Time::ms(1), chain);
+  };
+  s.schedule_in(Time::ms(1), EventCategory::kStream, chain);
+  s.run();
+  EXPECT_EQ(prof.stats(EventCategory::kStream).executed, 4u);
+  EXPECT_EQ(prof.stats(EventCategory::kNone).executed, 0u);
+}
+
+TEST(Simulator, TraceContextPropagatesAcrossScheduling) {
+  // The kernel captures the active trace context at schedule time and
+  // restores it while the event runs, so spans opened inside callbacks
+  // can parent to their cause even across simulated delays.
+  Simulator s;
+  std::uint64_t seen_inside = 0;
+  std::uint64_t seen_follow_up = 0;
+  {
+    ScopedTraceContext ctx(s, 77);
+    s.schedule_in(Time::ms(1), [&] {
+      seen_inside = s.trace_context();
+      s.schedule_in(Time::ms(1), [&] { seen_follow_up = s.trace_context(); });
+    });
+  }
+  EXPECT_EQ(s.trace_context(), 0u);  // restored at scope exit
+  s.run();
+  EXPECT_EQ(seen_inside, 77u);
+  EXPECT_EQ(seen_follow_up, 77u);  // inherited through the nested schedule
+  EXPECT_EQ(s.trace_context(), 0u);  // reset after the queue drains
 }
 
 // --- ParallelRunner ------------------------------------------------------
