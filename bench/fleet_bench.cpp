@@ -1,0 +1,495 @@
+// FLEET — multi-world scaling benchmark for the fleet engine.
+//
+// The LPC model's unit of analysis is one room; production questions are
+// about buildings. This bench runs N independent rooms ("shards"), each a
+// full Environment -> Intentional stack — CSMA radios under contention,
+// Jini discovery, the Smart Projector with a live RFB session, and a user
+// agent running the documented procedure — across the work-stealing pool,
+// and reports:
+//
+//  * aggregate throughput (events/s) per (shards, workers) point and the
+//    scaling efficiency against a single worker,
+//  * the fleet fingerprint at every worker count (must be bit-identical:
+//    shard k is a pure function of shard_seed(seed, k)),
+//  * the heap-allocation delta from the per-world arena (a global
+//    operator new override counts every heap allocation in arena-on vs
+//    arena-off runs of the same fleet, which must also fingerprint-match).
+//
+// Output lands in BENCH_fleet.json (schema documented in README.md and
+// validated by scripts/check_bench_json.py). Exit status is nonzero when
+// fingerprints drift across worker counts or between allocation modes, or —
+// on hardware with >= 4 cores — when 4-worker scaling efficiency falls
+// below --min-efficiency (default 1.5). Single-core machines skip the
+// efficiency gate (there is nothing to scale onto) but still enforce
+// determinism.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "app/projector.hpp"
+#include "bench/common.hpp"
+#include "disco/jini.hpp"
+#include "env/environment.hpp"
+#include "env/mobility.hpp"
+#include "net/stack.hpp"
+#include "phys/device.hpp"
+#include "phys/profile.hpp"
+#include "rfb/workload.hpp"
+#include "sim/arena.hpp"
+#include "sim/fleet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/world.hpp"
+#include "user/agent.hpp"
+
+// ---------------------------------------------------------------------------
+// Global heap-allocation counter. Replacing operator new is how the arena's
+// effect is measured from the outside: same fleet, arena on vs off, count
+// every call that actually reached the heap. Relaxed atomics: we only ever
+// read the counter between fleet runs, when all workers have joined.
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+
+inline void* counted_alloc(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+inline void* counted_alloc_aligned(std::size_t n, std::size_t align) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t size = (n + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, size ? size : align)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return counted_alloc_aligned(n, static_cast<std::size_t>(a));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+using namespace aroma;
+
+// ---------------------------------------------------------------------------
+// One room: the Smart Projector case study at fleet scale. Heterogeneous on
+// purpose — shard k hosts k%5 extra laptops pinging the hub and runs a
+// proportionally longer meeting, so static round-robin placement straggles
+// and stealing has something to win.
+
+struct RoomResult {
+  std::uint64_t fingerprint = 0;
+  std::uint64_t events = 0;
+  std::uint64_t transmissions = 0;
+  sim::Arena::Stats arena;
+};
+
+RoomResult run_room(std::size_t shard_id, std::uint64_t seed, bool use_arena) {
+  sim::World world(seed);
+  // Must happen before any component draws from the arena: blocks must be
+  // recycled in the mode they were allocated in.
+  world.arena().set_enabled(use_arena);
+  env::Environment::Params eparams;
+  eparams.path_loss.seed = seed;
+  env::Environment env(world, eparams);
+
+  std::vector<std::unique_ptr<phys::Device>> devices;
+  std::vector<std::unique_ptr<net::NetStack>> stacks;
+  auto add = [&](phys::DeviceProfile profile, env::Vec2 pos) {
+    const std::uint64_t id = devices.size() + 1;
+    phys::Device::Options opt;
+    opt.channel = 6;
+    devices.push_back(std::make_unique<phys::Device>(
+        world, env, id, std::move(profile),
+        std::make_unique<env::StaticMobility>(pos), opt));
+    stacks.push_back(
+        std::make_unique<net::NetStack>(world, devices.back()->mac()));
+    return stacks.size() - 1;
+  };
+
+  const std::size_t reg = add(phys::profiles::desktop_pc_with_radio(), {0, 12});
+  const std::size_t adapter = add(phys::profiles::aroma_adapter(), {0, 0});
+  const std::size_t laptop = add(phys::profiles::laptop(), {8, 0});
+  const std::size_t extras = shard_id % 5;
+  std::vector<std::size_t> extra_nodes;
+  for (std::size_t i = 0; i < extras; ++i) {
+    extra_nodes.push_back(add(
+        phys::profiles::laptop(),
+        {3.0 + 2.5 * static_cast<double>(i), 6.0}));
+  }
+
+  std::uint64_t pings = 0;
+  constexpr net::Port kPingPort = 7777;
+  stacks[reg]->bind(kPingPort, [&](const net::Datagram&) { ++pings; });
+
+  disco::JiniRegistrar registrar(world, *stacks[reg]);
+  app::SmartProjector projector(world, *stacks[adapter]);
+  disco::JiniClient adapter_jini(world, *stacks[adapter]);
+  disco::JiniClient laptop_jini(world, *stacks[laptop]);
+  app::PresenterDisplay display(world, *stacks[laptop], 64, 48);
+  projector.export_services(adapter_jini, {});
+  world.sim().run_until(sim::Time::sec(3.0));
+
+  app::ProjectorClient proj_client(world, *stacks[laptop],
+                                   stacks[adapter]->node_id(),
+                                   app::kProjectionPort);
+  rfb::SlideDeckWorkload deck(3);
+  user::UserAgent presenter(world, "presenter",
+                            user::personas::computer_scientist());
+
+  std::vector<user::ProcedureStep> procedure;
+  procedure.push_back({"start-vnc-server",
+                       [&](std::function<void(bool)> done) {
+                         display.start_server();
+                         deck.step(display.screen());
+                         done(true);
+                       },
+                       0.4, false});
+  procedure.push_back({"discover-service",
+                       [&](std::function<void(bool)> done) {
+                         laptop_jini.lookup(
+                             disco::ServiceTemplate{app::kProjectionType, {}},
+                             [done](std::vector<disco::ServiceDescription> s) {
+                               done(!s.empty());
+                             });
+                       },
+                       0.5, false});
+  procedure.push_back({"acquire-projection",
+                       [&](std::function<void(bool)> done) {
+                         proj_client.acquire(done);
+                       },
+                       0.5, false});
+  procedure.push_back({"start-projection",
+                       [&](std::function<void(bool)> done) {
+                         proj_client.start_projection(
+                             stacks[laptop]->node_id(), done);
+                       },
+                       0.6, false});
+  user::TaskOutcome outcome;
+  presenter.attempt(procedure,
+                    [&](const user::TaskOutcome& o) { outcome = o; });
+  // Let the procedure finish (user think time dominates: tens of simulated
+  // seconds) before the meeting starts.
+  world.sim().run_until(sim::Time::sec(45.0));
+
+  std::vector<std::unique_ptr<sim::PeriodicTimer>> pingers;
+  for (std::size_t i = 0; i < extra_nodes.size(); ++i) {
+    net::NetStack& s = *stacks[extra_nodes[i]];
+    pingers.push_back(std::make_unique<sim::PeriodicTimer>(
+        world.sim(), sim::Time::sec(0.4 + 0.1 * static_cast<double>(i)),
+        [&s, hub = stacks[reg]->node_id()] {
+          s.send({hub, kPingPort}, kPingPort,
+                 std::vector<std::byte>(24, std::byte{0x5a}), {});
+        }));
+    pingers.back()->start();
+  }
+  sim::PeriodicTimer slides(world.sim(), sim::Time::sec(4.0),
+                            [&] { display.apply(deck); });
+  slides.start();
+
+  const double horizon = 55.0 + 10.0 * static_cast<double>(extras);
+  world.sim().run_until(sim::Time::sec(horizon));
+  slides.stop();
+  for (auto& p : pingers) p->stop();
+  world.sim().run_until(sim::Time::sec(horizon + 2.0));
+
+  RoomResult r;
+  r.events = world.sim().executed();
+  const env::MediumStats& m = env.medium().stats();
+  r.transmissions = m.transmissions;
+  r.arena = world.arena().stats();
+  std::uint64_t fp = sim::mix_hash(seed, r.events);
+  fp = sim::mix_hash(fp, m.transmissions);
+  fp = sim::mix_hash(fp, m.deliveries_attempted);
+  fp = sim::mix_hash(fp, m.deliveries_decodable);
+  fp = sim::mix_hash(fp, m.losses_sinr);
+  fp = sim::mix_hash(fp, m.losses_half_duplex);
+  fp = sim::mix_hash(fp, pings);
+  fp = sim::mix_hash(fp, registrar.registered_count());
+  fp = sim::mix_hash(fp, outcome.success ? 1 : 0);
+  fp = sim::mix_hash(fp, outcome.steps_completed);
+  fp = sim::mix_hash(fp, outcome.errors);
+  fp = sim::mix_hash(
+      fp, projector.viewer() ? projector.viewer()->stats().updates_received
+                             : 0);
+  r.fingerprint = fp;
+  if (std::getenv("FLEET_DEBUG_ROOM")) {
+    std::printf(
+        "room %zu: events=%llu tx=%llu success=%d steps=%zu viewer=%llu\n",
+        shard_id, (unsigned long long)r.events,
+        (unsigned long long)m.transmissions, outcome.success ? 1 : 0,
+        outcome.steps_completed,
+        (unsigned long long)(projector.viewer()
+                                 ? projector.viewer()->stats().updates_received
+                                 : 0));
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+
+struct FleetRun {
+  std::size_t shards = 0;
+  std::size_t workers = 0;
+  double wall_s = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t heap_allocs = 0;  // global operator new calls during the run
+  sim::Arena::Stats arena;        // summed over shards
+  sim::WorkStealingPool::Stats sched;
+};
+
+FleetRun run_fleet(std::size_t shards, std::size_t workers,
+                   std::uint64_t seed, bool use_arena) {
+  sim::FleetEngine engine(workers);
+  const std::uint64_t heap0 = g_heap_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<RoomResult> rooms = engine.run<RoomResult>(
+      shards, seed, [use_arena](const sim::ShardContext& ctx) {
+        return run_room(ctx.shard_id, ctx.seed, use_arena);
+      });
+  const auto t1 = std::chrono::steady_clock::now();
+
+  FleetRun out;
+  out.shards = shards;
+  out.workers = engine.workers();
+  out.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  out.heap_allocs =
+      g_heap_allocs.load(std::memory_order_relaxed) - heap0;
+  std::vector<std::uint64_t> fps;
+  fps.reserve(rooms.size());
+  for (const RoomResult& r : rooms) {
+    out.events += r.events;
+    fps.push_back(r.fingerprint);
+    out.arena.allocations += r.arena.allocations;
+    out.arena.recycled += r.arena.recycled;
+    out.arena.heap_fallbacks += r.arena.heap_fallbacks;
+    out.arena.bytes_requested += r.arena.bytes_requested;
+    out.arena.chunks += r.arena.chunks;
+    out.arena.chunk_bytes += r.arena.chunk_bytes;
+  }
+  out.fingerprint = sim::fleet_fingerprint(fps);
+  out.sched = engine.last_stats();
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::vector<std::size_t> parse_csv(const char* s) {
+  std::vector<std::size_t> out;
+  std::size_t v = 0;
+  bool any = false;
+  for (const char* p = s;; ++p) {
+    if (*p >= '0' && *p <= '9') {
+      v = v * 10 + static_cast<std::size_t>(*p - '0');
+      any = true;
+    } else if (*p == ',' || *p == '\0') {
+      if (any) out.push_back(v);
+      v = 0;
+      any = false;
+      if (*p == '\0') break;
+    } else {
+      std::fprintf(stderr, "bad number list: %s\n", s);
+      std::exit(2);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> shard_counts = {1, 8, 64, 256};
+  std::uint64_t seed = 2026;
+  std::string json_path = "BENCH_fleet.json";
+  double min_efficiency = 1.5;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      shard_counts = parse_csv(need("--shards"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(need("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = need("--json");
+    } else if (std::strcmp(argv[i], "--min-efficiency") == 0) {
+      min_efficiency = std::strtod(need("--min-efficiency"), nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: fleet_bench [--shards n,n,...] [--seed n] "
+                   "[--json path] [--min-efficiency x]\n");
+      return 2;
+    }
+  }
+  if (shard_counts.empty()) {
+    std::fprintf(stderr, "--shards list is empty\n");
+    return 2;
+  }
+
+  const std::size_t hw = sim::WorkStealingPool::hardware_workers();
+  const std::size_t max_shards =
+      *std::max_element(shard_counts.begin(), shard_counts.end());
+  std::printf("== FLEET: %zu-core host, seed %llu ==\n", hw,
+              static_cast<unsigned long long>(seed));
+  bool ok = true;
+
+  // --- Allocation A/B: same fleet, arena off vs on. -----------------------
+  const std::size_t ab_shards = max_shards < 8 ? max_shards : 8;
+  const FleetRun heap_mode = run_fleet(ab_shards, 1, seed, false);
+  const FleetRun arena_mode = run_fleet(ab_shards, 1, seed, true);
+  const bool alloc_match = heap_mode.fingerprint == arena_mode.fingerprint;
+  if (!alloc_match) {
+    std::fprintf(stderr,
+                 "FAIL: arena changed behavior (%s heap-mode vs %s)\n",
+                 hex64(heap_mode.fingerprint).c_str(),
+                 hex64(arena_mode.fingerprint).c_str());
+    ok = false;
+  }
+  benchsup::table_header(
+      "Arena allocation delta (" + std::to_string(ab_shards) + " shards)",
+      {"mode", "heap-allocs", "arena-allocs", "recycled", "fingerprint"});
+  benchsup::table_row(std::string("heap"),
+                      static_cast<double>(heap_mode.heap_allocs), 0.0, 0.0,
+                      hex64(heap_mode.fingerprint));
+  benchsup::table_row(std::string("arena"),
+                      static_cast<double>(arena_mode.heap_allocs),
+                      static_cast<double>(arena_mode.arena.allocations),
+                      static_cast<double>(arena_mode.arena.recycled),
+                      hex64(arena_mode.fingerprint));
+
+  // --- Scaling sweep. -----------------------------------------------------
+  // Every shard count runs at every distinct worker count in {1, 2, 4, hw}:
+  // the sweep measures scaling and doubles as the determinism check (each
+  // (shards, workers) pair must reproduce the shards' fingerprint exactly).
+  std::vector<std::size_t> worker_counts = {1, 2, 4, hw};
+  std::sort(worker_counts.begin(), worker_counts.end());
+  worker_counts.erase(
+      std::unique(worker_counts.begin(), worker_counts.end()),
+      worker_counts.end());
+
+  benchsup::table_header("Fleet scaling",
+                         {"shards", "workers", "wall-s", "events", "ev/s",
+                          "eff-vs-1w", "steals", "fingerprint"});
+  benchsup::Json runs = benchsup::Json::array();
+  bool fingerprints_identical = true;
+  for (const std::size_t shards : shard_counts) {
+    double base_rate = 0.0;
+    std::uint64_t expect_fp = 0;
+    for (const std::size_t workers : worker_counts) {
+      if (workers > shards && workers != 1) continue;  // clamp would repeat
+      const FleetRun r = run_fleet(shards, workers, seed, true);
+      const double rate =
+          r.wall_s > 0.0 ? static_cast<double>(r.events) / r.wall_s : 0.0;
+      if (workers == 1) {
+        base_rate = rate;
+        expect_fp = r.fingerprint;
+      } else if (r.fingerprint != expect_fp) {
+        std::fprintf(stderr,
+                     "FAIL: fingerprint drift at shards=%zu workers=%zu "
+                     "(%s vs %s at 1 worker)\n",
+                     shards, workers, hex64(r.fingerprint).c_str(),
+                     hex64(expect_fp).c_str());
+        fingerprints_identical = false;
+        ok = false;
+      }
+      const double eff = base_rate > 0.0 ? rate / base_rate : 0.0;
+      benchsup::table_row(static_cast<double>(shards),
+                          static_cast<double>(r.workers), r.wall_s,
+                          static_cast<double>(r.events), rate, eff,
+                          static_cast<double>(r.sched.steals),
+                          hex64(r.fingerprint));
+      benchsup::Json row = benchsup::Json::object();
+      row.set("shards", static_cast<std::uint64_t>(shards));
+      row.set("workers", static_cast<std::uint64_t>(r.workers));
+      row.set("wall_s", r.wall_s);
+      row.set("events", r.events);
+      row.set("events_per_s", rate);
+      row.set("efficiency_vs_1_worker", eff);
+      row.set("steals", r.sched.steals);
+      row.set("stolen_tasks", r.sched.stolen_tasks);
+      row.set("fleet_fingerprint", hex64(r.fingerprint));
+      runs.push(std::move(row));
+
+      // Efficiency gate: only meaningful where the hardware can actually
+      // run 4 workers in parallel; a 1-core container still checks
+      // determinism above.
+      if (shards == max_shards && workers == 4 && hw >= 4 &&
+          eff < min_efficiency) {
+        std::fprintf(stderr,
+                     "FAIL: scaling efficiency %.2f < %.2f at shards=%zu "
+                     "workers=4\n",
+                     eff, min_efficiency, shards);
+        ok = false;
+      }
+    }
+  }
+
+  benchsup::Json doc = benchsup::Json::object();
+  doc.set("bench", "fleet");
+  doc.set("seed", seed);
+  doc.set("hw_workers", static_cast<std::uint64_t>(hw));
+  doc.set("min_efficiency_gate", min_efficiency);
+  doc.set("efficiency_gate_active", hw >= 4);
+  benchsup::Json alloc = benchsup::Json::object();
+  alloc.set("shards", static_cast<std::uint64_t>(ab_shards));
+  alloc.set("heap_allocs_arena_off", heap_mode.heap_allocs);
+  alloc.set("heap_allocs_arena_on", arena_mode.heap_allocs);
+  alloc.set("arena_allocations", arena_mode.arena.allocations);
+  alloc.set("arena_recycled", arena_mode.arena.recycled);
+  alloc.set("arena_heap_fallbacks", arena_mode.arena.heap_fallbacks);
+  alloc.set("arena_chunks", arena_mode.arena.chunks);
+  alloc.set("fingerprint_match", alloc_match);
+  doc.set("alloc", std::move(alloc));
+  doc.set("runs", std::move(runs));
+  benchsup::Json determinism = benchsup::Json::object();
+  {
+    benchsup::Json w = benchsup::Json::array();
+    for (const std::size_t workers : worker_counts) {
+      w.push(static_cast<std::uint64_t>(workers));
+    }
+    determinism.set("workers_checked", std::move(w));
+  }
+  determinism.set("fingerprints_identical", fingerprints_identical);
+  doc.set("determinism", std::move(determinism));
+  if (!doc.write_file(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return ok ? 0 : 1;
+}

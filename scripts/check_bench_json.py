@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
-"""Validate the machine-readable output of bench/kernel_bench.
+"""Validate the machine-readable output of bench/kernel_bench and
+bench/fleet_bench.
 
-Usage: check_bench_json.py BENCH_kernel.json
+Usage: check_bench_json.py BENCH_kernel.json [BENCH_fleet.json ...]
 
-Checks structure only (keys, types, sanity bounds) -- never absolute
-performance, which is machine-dependent. CI runs this after a kernel_bench
-smoke run so a refactor that silently stops emitting a field (or the
-per-category profiler breakdown) fails the build.
+Dispatches on each document's top-level "bench" field ("kernel" or
+"fleet"). Checks structure only (keys, types, sanity bounds) -- never
+absolute performance, which is machine-dependent. CI runs this after the
+bench smoke runs so a refactor that silently stops emitting a field (or
+the per-category profiler breakdown) fails the build.
 """
 import json
 import sys
@@ -27,20 +29,57 @@ KNOWN_CATEGORIES = {
     "discovery", "rfb", "diag", "app", "other",
 }
 
+FLEET_RUN_KEYS = {
+    "shards": int,
+    "workers": int,
+    "wall_s": float,
+    "events": int,
+    "events_per_s": float,
+    "efficiency_vs_1_worker": float,
+    "steals": int,
+    "stolen_tasks": int,
+    "fleet_fingerprint": str,
+}
+FLEET_ALLOC_KEYS = {
+    "shards": int,
+    "heap_allocs_arena_off": int,
+    "heap_allocs_arena_on": int,
+    "arena_allocations": int,
+    "arena_recycled": int,
+    "arena_heap_fallbacks": int,
+    "arena_chunks": int,
+    "fingerprint_match": bool,
+}
+
 
 def fail(msg):
     print(f"check_bench_json: FAIL: {msg}", file=sys.stderr)
     sys.exit(1)
 
 
-def main(path):
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+def check_keys(obj, spec, what):
+    for key, typ in spec.items():
+        if key not in obj:
+            fail(f'{what} is missing key "{key}"')
+        val = obj[key]
+        # JSON integers satisfy float fields.
+        if typ is float and isinstance(val, int):
+            val = float(val)
+        if not isinstance(val, typ):
+            fail(f'{what} key "{key}" has type '
+                 f"{type(obj[key]).__name__}, expected {typ.__name__}")
 
-    if doc.get("bench") != "kernel":
-        fail(f'top-level "bench" is {doc.get("bench")!r}, expected "kernel"')
-    if not isinstance(doc.get("seed"), int):
-        fail('top-level "seed" missing or not an integer')
+
+def check_fingerprint(value, what):
+    if not (value.startswith("0x") and len(value) == 18):
+        fail(f"{what} fingerprint is not 0x + 16 hex chars: {value!r}")
+    try:
+        int(value, 16)
+    except ValueError:
+        fail(f"{what} fingerprint is not hex: {value!r}")
+
+
+def check_kernel(doc):
     scenarios = doc.get("scenarios")
     if not isinstance(scenarios, list) or not scenarios:
         fail('top-level "scenarios" missing or empty')
@@ -49,16 +88,7 @@ def main(path):
     for s in scenarios:
         name = s.get("scenario", "<unnamed>")
         names.add(name)
-        for key, typ in SCENARIO_KEYS.items():
-            if key not in s:
-                fail(f'scenario "{name}" is missing key "{key}"')
-            val = s[key]
-            # JSON integers satisfy float fields.
-            if typ is float and isinstance(val, int):
-                val = float(val)
-            if not isinstance(val, typ):
-                fail(f'scenario "{name}" key "{key}" has type '
-                     f"{type(s[key]).__name__}, expected {typ.__name__}")
+        check_keys(s, SCENARIO_KEYS, f'scenario "{name}"')
         if s["events"] <= 0:
             fail(f'scenario "{name}" reports no events')
         if s["events_per_sec"] <= 0:
@@ -87,8 +117,73 @@ def main(path):
           f"{sum(s['events'] for s in scenarios)} events total)")
 
 
+def check_fleet(doc):
+    if not isinstance(doc.get("hw_workers"), int) or doc["hw_workers"] < 1:
+        fail('"hw_workers" missing or < 1')
+    if not isinstance(doc.get("efficiency_gate_active"), bool):
+        fail('"efficiency_gate_active" missing or not a bool')
+
+    alloc = doc.get("alloc")
+    if not isinstance(alloc, dict):
+        fail('top-level "alloc" missing')
+    check_keys(alloc, FLEET_ALLOC_KEYS, '"alloc"')
+    if not alloc["fingerprint_match"]:
+        fail("arena on/off runs produced different fingerprints")
+    if alloc["arena_allocations"] <= 0:
+        fail("arena served no allocations -- the arena is not wired in")
+    if alloc["heap_allocs_arena_on"] >= alloc["heap_allocs_arena_off"]:
+        fail("arena mode did not reduce heap allocations "
+             f'({alloc["heap_allocs_arena_on"]} >= '
+             f'{alloc["heap_allocs_arena_off"]})')
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail('top-level "runs" missing or empty')
+    by_shards = {}
+    for r in runs:
+        what = (f'run shards={r.get("shards")} workers={r.get("workers")}')
+        check_keys(r, FLEET_RUN_KEYS, what)
+        if r["events"] <= 0:
+            fail(f"{what} reports no events")
+        if r["events_per_s"] <= 0:
+            fail(f"{what} reports non-positive throughput")
+        check_fingerprint(r["fleet_fingerprint"], what)
+        by_shards.setdefault(r["shards"], set()).add(r["fleet_fingerprint"])
+    # The determinism contract, re-checked from the artifact itself: every
+    # worker count at a given shard count reports one fingerprint.
+    for shards, fps in by_shards.items():
+        if len(fps) != 1:
+            fail(f"shards={shards} has {len(fps)} distinct fingerprints: "
+                 f"{sorted(fps)}")
+
+    det = doc.get("determinism")
+    if not isinstance(det, dict) or not det.get("fingerprints_identical"):
+        fail('"determinism.fingerprints_identical" is not true')
+
+    print(f"check_bench_json: OK (fleet: {len(runs)} runs, "
+          f"{len(by_shards)} shard counts, arena saved "
+          f"{alloc['heap_allocs_arena_off'] - alloc['heap_allocs_arena_on']}"
+          f" heap allocs)")
+
+
+def main(paths):
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+        kind = doc.get("bench")
+        if kind == "kernel":
+            check_kernel(doc)
+        elif kind == "fleet":
+            check_fleet(doc)
+        else:
+            fail(f'{path}: top-level "bench" is {kind!r}, expected '
+                 f'"kernel" or "fleet"')
+        if not isinstance(doc.get("seed"), int):
+            fail(f'{path}: top-level "seed" missing or not an integer')
+
+
 if __name__ == "__main__":
-    if len(sys.argv) != 2:
+    if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    main(sys.argv[1])
+    main(sys.argv[1:])

@@ -12,7 +12,15 @@ namespace aroma::env {
 
 RadioMedium::RadioMedium(sim::World& world, PathLossModel model,
                          Options options)
-    : world_(world), model_(model), options_(options) {
+    : world_(world), model_(model), options_(options),
+      history_(sim::ArenaAllocator<Transmission>(&world.arena())) {
+  // Rebind the id logs to the world's arena (they default-construct in heap
+  // mode; the allocator propagation traits make move-assignment carry the
+  // arena over).
+  for (auto& log : by_channel_) log = IdLog(&world.arena());
+  for (auto& v : active_by_channel_) {
+    v = IdVector(sim::ArenaAllocator<std::uint64_t>(&world.arena()));
+  }
   if (options_.cell_size_m > 0.0) cell_size_m_ = options_.cell_size_m;
   const auto layer = lpc::Layer::kEnvironment;
   m_transmissions_ = obs::counter(world_, "env.radio.transmissions", layer);
@@ -77,7 +85,8 @@ std::uint64_t RadioMedium::transmit(RadioEndpoint& sender, std::size_t bits,
   }
   by_channel_[channel_bucket(tx.channel)].push(tx.id);
   active_by_channel_[channel_bucket(tx.channel)].push_back(tx.id);
-  by_sender_[tx.sender_id].push(tx.id);
+  by_sender_.try_emplace(tx.sender_id, &world_.arena())
+      .first->second.push(tx.id);
   history_.push_back(std::move(tx));
   max_duration_ = std::max(max_duration_, duration);
   ++stats_.transmissions;
@@ -130,7 +139,7 @@ const std::vector<std::uint64_t>& RadioMedium::active_channel_ids(
   const std::size_t bhi = channel_bucket(channel + 4);
   scratch_ids_.clear();
   for (std::size_t b = blo; b <= bhi; ++b) {
-    std::vector<std::uint64_t>& active = active_by_channel_[b];
+    IdVector& active = active_by_channel_[b];
     std::size_t kept = 0;
     for (std::size_t i = 0; i < active.size(); ++i) {
       const Transmission* tx = find_tx(active[i]);

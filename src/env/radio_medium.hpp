@@ -35,6 +35,7 @@
 
 #include "env/geometry.hpp"
 #include "env/propagation.hpp"
+#include "sim/arena.hpp"
 #include "sim/world.hpp"
 
 namespace aroma::obs {
@@ -160,10 +161,19 @@ class RadioMedium {
     std::uint64_t span = 0;  // obs span covering the frame's airtime
   };
 
+  /// Ids drawn from the owning world's arena (heap passthrough until the
+  /// log is rebound; see sim/arena.hpp).
+  using IdVector =
+      std::vector<std::uint64_t, sim::ArenaAllocator<std::uint64_t>>;
+
   /// Append-only id log with a lazily advancing head so pruned ids are
   /// skipped without O(n) erasure.
   struct IdLog {
-    std::vector<std::uint64_t> ids;
+    IdLog() = default;
+    explicit IdLog(sim::Arena* arena)
+        : ids(sim::ArenaAllocator<std::uint64_t>(arena)) {}
+
+    IdVector ids;
     std::size_t head = 0;
 
     void push(std::uint64_t id) { ids.push_back(id); }
@@ -209,7 +219,11 @@ class RadioMedium {
   PathLossModel model_;
   Options options_;
   std::vector<RadioEndpoint*> endpoints_;
-  std::deque<Transmission> history_;  // active + recently finished, id order
+  // Transmission log: active + recently finished frames in id order. Backed
+  // by the world's arena — the deque's fixed-size buffer nodes recycle
+  // through one free list as frames are pushed and pruned, so steady-state
+  // traffic costs no heap calls.
+  std::deque<Transmission, sim::ArenaAllocator<Transmission>> history_;
   sim::Time max_duration_ = sim::Time::zero();
   std::uint64_t next_tx_id_ = 1;
   MediumStats stats_;
@@ -226,8 +240,7 @@ class RadioMedium {
   // --- indices (all derived data; rebuilt or pruned lazily) ---------------
   static constexpr std::size_t kChannelBuckets = 15;  // 0..14, 1..13 typical
   mutable std::array<IdLog, kChannelBuckets> by_channel_;
-  mutable std::array<std::vector<std::uint64_t>, kChannelBuckets>
-      active_by_channel_;
+  mutable std::array<IdVector, kChannelBuckets> active_by_channel_;
   mutable std::unordered_map<std::uint64_t, IdLog> by_sender_;
   mutable std::vector<std::uint64_t> scratch_ids_;
 

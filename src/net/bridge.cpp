@@ -35,7 +35,7 @@ void Bridge::forward(const LinkLayer::Payload& payload, LinkLayer& out,
     ++stats_.dropped_hop_limit;
     return;
   }
-  auto copy = std::make_shared<Datagram>(*dg);
+  auto copy = sim::arena_shared<Datagram>(world_.arena(), *dg);
   --copy->hops_left;
   const std::size_t bits = (copy->data.size() + kDatagramHeaderBytes) * 8;
   if (copy->group != 0) {

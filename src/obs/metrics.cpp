@@ -53,6 +53,26 @@ void MetricsRegistry::set_counter(std::string_view name, lpc::Layer layer,
   if (value >= c.value()) c.add(value - c.value());
 }
 
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  struct MergeVisitor final : Visitor {
+    explicit MergeVisitor(MetricsRegistry& to) : to(to) {}
+    void on_counter(const MetricInfo& info, const Counter& c) override {
+      to.counter(info.name, info.layer).add(c.value());
+    }
+    void on_gauge(const MetricInfo& info, const Gauge& g) override {
+      to.gauge(info.name, info.layer).set(g.value());
+    }
+    void on_histogram(const MetricInfo& info,
+                      const sim::Histogram& h) override {
+      sim::Histogram& mine =
+          to.histogram(info.name, info.layer, h.lo(), h.hi(), h.bin_count());
+      mine.merge_from(h);  // throws on shape mismatch
+    }
+    MetricsRegistry& to;
+  } v(*this);
+  other.visit(v);
+}
+
 const Counter* MetricsRegistry::find_counter(std::string_view name) const {
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end() || it->second.kind != Kind::kCounter) return nullptr;

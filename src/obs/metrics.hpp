@@ -81,6 +81,15 @@ class MetricsRegistry {
   void set_counter(std::string_view name, lpc::Layer layer,
                    std::uint64_t value);
 
+  /// Merges `other` into this registry, walking `other` in its registration
+  /// order: counters add, gauges last-write-wins (the incoming value
+  /// replaces ours), histograms merge bucket-exact (shapes must match —
+  /// std::invalid_argument otherwise). Metrics unknown here are created in
+  /// the order encountered, so folding N identically-shaped shard
+  /// registries in shard order yields one deterministic fleet registry
+  /// (merge is associative: (a+b)+c == a+(b+c) entry-for-entry).
+  void merge(const MetricsRegistry& other);
+
   /// Lookup without creation; nullptr when the name was never registered.
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;

@@ -69,6 +69,24 @@ void SpanTracer::annotate(SpanId id, std::string_view key,
   records_[it->second].args.emplace_back(std::string(key), std::string(value));
 }
 
+void SpanTracer::append_shard(const SpanTracer& other, std::uint64_t shard_id) {
+  const SpanId tag = (shard_id + 1) << kShardIdShift;
+  const auto remap = [tag](SpanId id) { return id == 0 ? 0 : (tag | id); };
+  for (const SpanRecord& src : other.records_) {
+    if (records_.size() >= capacity_) {
+      dropped_ += other.records_.size() -
+                  (&src - other.records_.data());  // everything left
+      return;
+    }
+    SpanRecord rec = src;
+    rec.id = remap(src.id);
+    rec.parent = remap(src.parent);
+    index_.emplace(rec.id, records_.size());
+    records_.push_back(std::move(rec));
+  }
+  dropped_ += other.dropped_;
+}
+
 const SpanRecord* SpanTracer::find(SpanId id) const {
   auto it = index_.find(id);
   return it == index_.end() ? nullptr : &records_[it->second];

@@ -83,6 +83,18 @@ class SpanTracer {
     hook_ = std::move(hook);
   }
 
+  /// Appends every record of `other` with its id (and nonzero parent)
+  /// relocated into a per-shard id space:
+  ///   id' = ((shard_id + 1) << kShardIdShift) | id.
+  /// Parent links are remapped identically, so causal chains survive the
+  /// merge intact, and records from different shards can never collide as
+  /// long as a shard emits fewer than 2^kShardIdShift spans. Appending
+  /// shards in shard order makes the merged buffer deterministic for any
+  /// worker count. Respects this tracer's capacity (overflow counts into
+  /// dropped()); intended for a fresh, export-only sink.
+  void append_shard(const SpanTracer& other, std::uint64_t shard_id);
+  static constexpr unsigned kShardIdShift = 40;
+
   const std::vector<SpanRecord>& records() const { return records_; }
   const SpanRecord* find(SpanId id) const;
   std::size_t count_with_name(std::string_view name) const;

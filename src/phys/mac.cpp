@@ -109,7 +109,9 @@ void CsmaMac::transmit_active() {
   state_ = State::kTransmitting;
   ++stats_.sent_data;
   if (m_sent_data_) m_sent_data_->add();
-  auto frame = std::make_shared<MacFrame>();
+  // Frames come from the world's arena: one recycled block per frame
+  // instead of a heap malloc/free pair per transmission.
+  auto frame = sim::arena_shared<MacFrame>(world_.arena());
   frame->src = address();
   frame->dst = active_->dst;
   frame->seq = active_->seq;
@@ -212,7 +214,7 @@ void CsmaMac::send_ack(MacAddress dst, std::uint32_t seq) {
   world_.sim().schedule_in(params_.sifs, sim::EventCategory::kMac,
                            [this, dst, seq] {
     if (radio_.transmitting()) return;  // busy; sender will retry
-    auto ack = std::make_shared<MacFrame>();
+    auto ack = sim::arena_shared<MacFrame>(world_.arena());
     ack->src = address();
     ack->dst = dst;
     ack->seq = seq;

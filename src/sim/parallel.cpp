@@ -1,45 +1,15 @@
 #include "sim/parallel.hpp"
 
-#include <exception>
-#include <mutex>
-
 namespace aroma::sim {
 
 void ParallelRunner::run(std::size_t trials,
                          const std::function<void(std::size_t)>& fn) const {
-  if (trials == 0) return;
-  const std::size_t nthreads = workers_ < trials ? workers_ : trials;
-  if (nthreads <= 1) {
-    for (std::size_t i = 0; i < trials; ++i) fn(i);
+  if (trials == 0) {
+    stats_ = Stats{};
     return;
   }
-  std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  {
-    std::vector<std::jthread> pool;
-    pool.reserve(nthreads);
-    for (std::size_t t = 0; t < nthreads; ++t) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-          if (i >= trials) return;
-          try {
-            fn(i);
-          } catch (...) {
-            {
-              const std::lock_guard<std::mutex> lock(error_mutex);
-              if (!first_error) first_error = std::current_exception();
-            }
-            // Stop handing out new trials; in-flight ones finish normally.
-            next.store(trials, std::memory_order_relaxed);
-          }
-        }
-      });
-    }
-    // jthread joins on destruction.
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  stats_ = WorkStealingPool::run(workers_, trials,
+                                 [&fn](std::size_t i, std::size_t) { fn(i); });
 }
 
 }  // namespace aroma::sim

@@ -1,16 +1,19 @@
 // Parallel execution of independent simulation trials.
 //
 // Simulated worlds are single-threaded by design; experiments that sweep a
-// parameter or average over seeds are embarrassingly parallel. ParallelRunner
-// fans trial functions out over a pool of std::jthread workers. Each trial
-// owns its world, so no synchronization beyond the work queue is needed.
+// parameter or average over seeds are embarrassingly parallel.
+// ParallelRunner fans trial functions out over the work-stealing pool in
+// sim/fleet.hpp: trials are dealt round-robin to per-worker deques and idle
+// workers steal the back half of a victim's queue, so a mix of short and
+// long trials keeps every core busy. Each trial owns its world, so no
+// synchronization beyond the deques is needed.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <functional>
-#include <thread>
 #include <vector>
+
+#include "sim/fleet.hpp"
 
 namespace aroma::sim {
 
@@ -19,12 +22,20 @@ namespace aroma::sim {
 /// caller never needs locks. Deterministic per trial (seed = f(index)).
 class ParallelRunner {
  public:
+  using Stats = WorkStealingPool::Stats;
+
   explicit ParallelRunner(std::size_t workers = 0)
       : workers_(workers ? workers : default_workers()) {}
 
   static std::size_t default_workers() {
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    return WorkStealingPool::hardware_workers();
+  }
+
+  /// Workers actually used for a batch of `trials`: never more threads than
+  /// queued trials (8 workers for 2 trials would leave 6 spinning idle).
+  static std::size_t default_workers(std::size_t trials) {
+    const std::size_t hw = default_workers();
+    return trials < hw ? (trials ? trials : 1) : hw;
   }
 
   std::size_t workers() const { return workers_; }
@@ -32,8 +43,14 @@ class ParallelRunner {
   /// Executes fn(i) for i in [0, trials). Blocks until all complete. If any
   /// trial throws, no further trials are started, in-flight trials finish,
   /// and the first exception (by completion order) is rethrown on the
-  /// caller's thread after all workers have joined.
+  /// caller's thread after all workers have joined. Spawns
+  /// min(workers(), trials) threads.
   void run(std::size_t trials, const std::function<void(std::size_t)>& fn) const;
+
+  /// Scheduling stats (steals, per-worker task counts) of the last run()
+  /// on this runner. tasks_run_per_worker.size() is the spawned worker
+  /// count, so tests can assert the clamp and observe stealing.
+  const Stats& last_stats() const { return stats_; }
 
   /// Convenience: runs `trials` trials, each producing a T into out[i].
   template <typename T>
@@ -46,6 +63,7 @@ class ParallelRunner {
 
  private:
   std::size_t workers_;
+  mutable Stats stats_;  // observation only; run() is logically const
 };
 
 }  // namespace aroma::sim

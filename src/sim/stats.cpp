@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace aroma::sim {
 
@@ -75,6 +76,18 @@ void Histogram::add(double x) {
     if (idx >= counts_.size()) idx = counts_.size() - 1;
   }
   ++counts_[idx];
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  if (!same_shape(other)) {
+    throw std::invalid_argument(
+        "Histogram::merge_from: shapes differ (lo/hi/bins must match)");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  clamped_ += other.clamped_;
 }
 
 double Histogram::quantile(double q) const {

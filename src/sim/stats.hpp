@@ -46,6 +46,22 @@ class Histogram {
   std::uint64_t count() const { return total_; }
   std::uint64_t clamped() const { return clamped_; }
 
+  /// Bucket-exact merge: adds `other`'s bin counts (and total/clamped) into
+  /// this histogram. Requires an identical shape (lo, hi, bin count) —
+  /// throws std::invalid_argument otherwise. Associative and commutative,
+  /// so fleet shards can be folded in any grouping with one deterministic
+  /// result.
+  void merge_from(const Histogram& other);
+
+  /// True when two histograms can merge_from each other.
+  bool same_shape(const Histogram& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size();
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
   /// Linear-interpolated quantile estimate, q in [0,1].
   double quantile(double q) const;
   double median() const { return quantile(0.5); }

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "sim/arena.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/trace.hpp"
@@ -35,6 +36,14 @@ class World {
   /// Derives an independent RNG stream for a named subsystem.
   Rng fork_rng(std::uint64_t tag) { return rng_.fork(tag); }
 
+  /// The world's frame/event arena (see sim/arena.hpp). Hot-path producers
+  /// (MAC frames, datagrams, the radio medium's transmission log) allocate
+  /// here instead of the global heap; per-world ownership means fleet shards
+  /// never contend on one allocator. Allocation strategy never affects
+  /// simulated behavior.
+  Arena& arena() { return arena_; }
+  const Arena& arena() const { return arena_; }
+
   // --- telemetry (obs) ------------------------------------------------------
   // Non-owning: obs::Telemetry attaches/detaches these (see
   // obs/telemetry.hpp). Null means telemetry is off, and producers reduce
@@ -46,6 +55,10 @@ class World {
   void set_spans(obs::SpanTracer* s) { spans_ = s; }
 
  private:
+  // Declared first so it is destroyed last: pending callbacks, queued MAC
+  // frames, and in-flight payload control blocks all recycle into it on
+  // their way down.
+  Arena arena_;
   Simulator sim_;
   Rng rng_;
   Tracer tracer_;

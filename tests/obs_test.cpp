@@ -455,5 +455,138 @@ TEST(CausalChain, InjectedRadioFaultParentsJammingAndMovesMetrics) {
       << "no radio frame traced back to the injected fault";
 }
 
+// --- Fleet-merge paths: MetricsRegistry::merge / SpanTracer::append_shard
+
+TEST(MetricsMerge, CountersAddGaugesLastWriteWinsHistogramsBucketExact) {
+  MetricsRegistry a;
+  a.counter("net.stack.delivered", lpc::Layer::kResource).add(10);
+  a.gauge("phys.mac.queue_depth_peak", lpc::Layer::kPhysical).set(3.0);
+  sim::Histogram& ha =
+      a.histogram("rfb.latency", lpc::Layer::kAbstract, 0.0, 10.0, 5);
+  ha.add(1.0);
+  ha.add(9.0);
+
+  MetricsRegistry b;
+  b.counter("net.stack.delivered", lpc::Layer::kResource).add(32);
+  b.gauge("phys.mac.queue_depth_peak", lpc::Layer::kPhysical).set(7.0);
+  sim::Histogram& hb =
+      b.histogram("rfb.latency", lpc::Layer::kAbstract, 0.0, 10.0, 5);
+  hb.add(1.5);
+  hb.add(-4.0);  // clamps into the first bin
+  b.counter("only.in.b", lpc::Layer::kEnvironment).add(2);
+
+  a.merge(b);
+  EXPECT_EQ(a.find_counter("net.stack.delivered")->value(), 42u);
+  EXPECT_EQ(a.find_gauge("phys.mac.queue_depth_peak")->value(), 7.0);
+  EXPECT_EQ(a.find_counter("only.in.b")->value(), 2u);
+  const sim::Histogram* merged = a.find_histogram("rfb.latency");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count(), 4u);
+  EXPECT_EQ(merged->clamped(), 1u);
+  EXPECT_EQ(merged->bin(0), 3u);  // 1.0, 1.5, clamped -4.0
+  EXPECT_EQ(merged->bin(4), 1u);  // 9.0
+}
+
+TEST(MetricsMerge, ShapeMismatchThrows) {
+  MetricsRegistry a;
+  a.histogram("h", lpc::Layer::kEnvironment, 0.0, 10.0, 5);
+  MetricsRegistry b;
+  b.histogram("h", lpc::Layer::kEnvironment, 0.0, 10.0, 6);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MetricsMerge, AssociativeAndOrderDeterministic) {
+  // Three shard registries with overlapping and disjoint names; merging
+  // (a+b)+c and a+(b+c) into fresh accumulators must agree byte-for-byte,
+  // and repeating the fold must reproduce it (registration-order walks).
+  const auto make_shard = [](std::uint64_t k) {
+    auto m = std::make_unique<MetricsRegistry>();
+    m->counter("common.events", lpc::Layer::kEnvironment).add(k + 1);
+    m->gauge("common.level", lpc::Layer::kResource)
+        .set(static_cast<double>(k));
+    m->histogram("common.h", lpc::Layer::kAbstract, 0.0, 8.0, 4)
+        .add(static_cast<double>(k));
+    m->counter("shard." + std::to_string(k), lpc::Layer::kIntentional).add(k);
+    return m;
+  };
+  const auto a = make_shard(0), b = make_shard(1), c = make_shard(2);
+
+  MetricsRegistry left;  // (a + b) + c
+  left.merge(*a);
+  left.merge(*b);
+  left.merge(*c);
+  MetricsRegistry bc;  // a + (b + c)
+  bc.merge(*b);
+  bc.merge(*c);
+  MetricsRegistry right;
+  right.merge(*a);
+  right.merge(bc);
+  EXPECT_EQ(left.to_json(), right.to_json());
+
+  MetricsRegistry again;
+  again.merge(*a);
+  again.merge(*b);
+  again.merge(*c);
+  EXPECT_EQ(left.to_json(), again.to_json());
+}
+
+TEST(SpanMerge, AppendShardRemapsIdsAndParents) {
+  SpanTracer shard;
+  const SpanId root = shard.begin(sim::Time::ms(1), "root",
+                                  lpc::Layer::kEnvironment, 0);
+  const SpanId child = shard.begin(sim::Time::ms(2), "child",
+                                   lpc::Layer::kResource, root);
+  shard.end(child, sim::Time::ms(3));
+  shard.end(root, sim::Time::ms(4));
+
+  SpanTracer fleet;
+  fleet.append_shard(shard, 2);
+  ASSERT_EQ(fleet.records().size(), 2u);
+  const std::uint64_t base = std::uint64_t{3} << SpanTracer::kShardIdShift;
+  const SpanRecord* r0 = fleet.find(base | root);
+  const SpanRecord* r1 = fleet.find(base | child);
+  ASSERT_NE(r0, nullptr);
+  ASSERT_NE(r1, nullptr);
+  EXPECT_EQ(r0->parent, 0u);  // roots stay roots
+  EXPECT_EQ(r1->parent, base | root);
+  EXPECT_EQ(r1->name, "child");
+  // Ancestry walks still work through remapped links.
+  const auto chain = fleet.ancestry(base | child);
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[1]->name, "root");
+}
+
+TEST(SpanMerge, AppendShardDeterministicInShardOrderAndDistinct) {
+  SpanTracer s0, s1;
+  s0.instant(sim::Time::ms(1), "a", lpc::Layer::kEnvironment, 0);
+  s1.instant(sim::Time::ms(1), "a", lpc::Layer::kEnvironment, 0);
+
+  SpanTracer fleet;
+  fleet.append_shard(s0, 0);
+  fleet.append_shard(s1, 1);
+  ASSERT_EQ(fleet.records().size(), 2u);
+  // Same local id in both shards, but the merged ids never collide.
+  EXPECT_NE(fleet.records()[0].id, fleet.records()[1].id);
+
+  SpanTracer again;
+  again.append_shard(s0, 0);
+  again.append_shard(s1, 1);
+  for (std::size_t i = 0; i < fleet.records().size(); ++i) {
+    EXPECT_EQ(fleet.records()[i].id, again.records()[i].id);
+  }
+}
+
+TEST(SpanMerge, AppendShardRespectsCapacity) {
+  SpanTracer shard;
+  for (int i = 0; i < 10; ++i) {
+    shard.instant(sim::Time::ms(i), "e", lpc::Layer::kEnvironment, 0);
+  }
+  SpanTracer fleet;
+  fleet.set_capacity(4);
+  fleet.append_shard(shard, 0);
+  EXPECT_EQ(fleet.records().size(), 4u);
+  EXPECT_EQ(fleet.dropped(), 6u);
+}
+
 }  // namespace
 }  // namespace aroma::obs
