@@ -1,14 +1,15 @@
 #!/usr/bin/env python3
-"""Validate the machine-readable output of bench/kernel_bench and
-bench/fleet_bench.
+"""Validate the machine-readable output of bench/kernel_bench,
+bench/fleet_bench, and bench/rfb_bench.
 
 Usage: check_bench_json.py BENCH_kernel.json [BENCH_fleet.json ...]
 
-Dispatches on each document's top-level "bench" field ("kernel" or
-"fleet"). Checks structure only (keys, types, sanity bounds) -- never
-absolute performance, which is machine-dependent. CI runs this after the
-bench smoke runs so a refactor that silently stops emitting a field (or
-the per-category profiler breakdown) fails the build.
+Dispatches on each document's top-level "bench" field ("kernel", "fleet",
+or "rfb"). Checks structure plus machine-independent invariants (replica
+fingerprints, byte ratios) -- never absolute performance, which is
+machine-dependent. CI runs this after the bench smoke runs so a refactor
+that silently stops emitting a field (or the per-category profiler
+breakdown) fails the build.
 """
 import json
 import sys
@@ -166,6 +167,98 @@ def check_fleet(doc):
           f" heap allocs)")
 
 
+RFB_RUN_KEYS = {
+    "scenario": str,
+    "encoding": str,
+    "bitrate_mbps": float,
+    "updates_sent": int,
+    "bytes_sent": int,
+    "effective_fps": float,
+    "tiles_encoded": int,
+    "cache_hits": int,
+    "tiles_skipped": int,
+    "cache_hit_rate": float,
+    "decode_errors": int,
+    "replica_hash": str,
+    "synced": bool,
+}
+RFB_THROUGHPUT_KEYS = {
+    "encoding": str,
+    "zero_copy_mb_s": float,
+    "reference_mb_s": float,
+    "speedup": float,
+    "bytes_equal": bool,
+}
+RFB_SCENARIOS = {"slides", "animation", "typing"}
+RFB_ENCODINGS = {"raw", "rle", "tiled", "cached"}
+
+
+def check_rfb(doc):
+    runs = doc.get("scenarios")
+    if not isinstance(runs, list) or not runs:
+        fail('top-level "scenarios" missing or empty')
+
+    by_point = {}
+    slides_bytes = {}
+    min_bitrate = min(float(r.get("bitrate_mbps", 1e9)) for r in runs)
+    for r in runs:
+        what = (f'rfb run {r.get("scenario")}/{r.get("encoding")}'
+                f'@{r.get("bitrate_mbps")}Mbps')
+        check_keys(r, RFB_RUN_KEYS, what)
+        if r["scenario"] not in RFB_SCENARIOS:
+            fail(f'{what} has unknown scenario {r["scenario"]!r}')
+        if r["encoding"] not in RFB_ENCODINGS:
+            fail(f'{what} has unknown encoding {r["encoding"]!r}')
+        if not r["synced"]:
+            fail(f"{what} did not converge to an identical replica")
+        if r["decode_errors"] != 0:
+            fail(f'{what} reports {r["decode_errors"]} decode errors')
+        if r["updates_sent"] <= 0 or r["bytes_sent"] <= 0:
+            fail(f"{what} sent no updates")
+        check_fingerprint(r["replica_hash"], what)
+        by_point.setdefault((r["scenario"], r["bitrate_mbps"]),
+                            set()).add(r["replica_hash"])
+        if r["scenario"] == "slides" and r["bitrate_mbps"] == min_bitrate:
+            slides_bytes[r["encoding"]] = r["bytes_sent"]
+
+    # Observational equivalence, re-derived from the artifact: every
+    # encoding at a given (scenario, bitrate) ends with the same replica.
+    for point, hs in by_point.items():
+        if len(hs) != 1:
+            fail(f"scenario {point} has {len(hs)} distinct replica hashes: "
+                 f"{sorted(hs)}")
+
+    # The cache must pay on slide revisits, re-derived from byte counts.
+    gates = doc.get("gates")
+    if not isinstance(gates, dict):
+        fail('top-level "gates" missing')
+    min_ratio = gates.get("min_cached_ratio")
+    if not isinstance(min_ratio, (int, float)):
+        fail('"gates.min_cached_ratio" missing')
+    if "tiled" not in slides_bytes or "cached" not in slides_bytes:
+        fail("slides runs at the lowest bitrate are missing tiled/cached")
+    ratio = slides_bytes["tiled"] / slides_bytes["cached"]
+    if ratio < min_ratio:
+        fail(f"slides cached/tiled byte ratio {ratio:.2f} < {min_ratio}")
+    for key in ("all_synced", "replica_hash_consistent"):
+        if gates.get(key) is not True:
+            fail(f'"gates.{key}" is not true')
+
+    tp = doc.get("encode_throughput")
+    if not isinstance(tp, list) or not tp:
+        fail('top-level "encode_throughput" missing or empty')
+    for t in tp:
+        what = f'throughput {t.get("encoding")}'
+        check_keys(t, RFB_THROUGHPUT_KEYS, what)
+        if not t["bytes_equal"]:
+            fail(f"{what}: zero-copy output differed from the reference")
+        if t["zero_copy_mb_s"] <= 0:
+            fail(f"{what} reports non-positive throughput")
+
+    print(f"check_bench_json: OK (rfb: {len(runs)} display runs, "
+          f"{len(by_point)} scenario points, slide cache ratio {ratio:.1f}x)")
+
+
 def main(paths):
     for path in paths:
         with open(path, encoding="utf-8") as f:
@@ -175,9 +268,11 @@ def main(paths):
             check_kernel(doc)
         elif kind == "fleet":
             check_fleet(doc)
+        elif kind == "rfb":
+            check_rfb(doc)
         else:
             fail(f'{path}: top-level "bench" is {kind!r}, expected '
-                 f'"kernel" or "fleet"')
+                 f'"kernel", "fleet", or "rfb"')
         if not isinstance(doc.get("seed"), int):
             fail(f'{path}: top-level "seed" missing or not an integer')
 

@@ -1,0 +1,183 @@
+#include "rfb/cache.hpp"
+
+#include <cstring>
+
+namespace aroma::rfb {
+
+namespace {
+
+template <typename Buf>
+void put_u16(Buf& out, std::uint16_t v) {
+  const auto* b = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), b, b + 2);
+}
+
+template <typename Buf>
+void put_u32_at(Buf& out, std::size_t at, std::uint32_t v) {
+  std::memcpy(out.data() + at, &v, 4);
+}
+
+template <typename Buf>
+void put_u64(Buf& out, std::uint64_t v) {
+  const auto* b = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), b, b + 8);
+}
+
+bool get_u16(std::span<const std::byte> in, std::size_t& pos,
+             std::uint16_t& v) {
+  if (pos + 2 > in.size()) return false;
+  std::memcpy(&v, in.data() + pos, 2);
+  pos += 2;
+  return true;
+}
+
+bool get_u32(std::span<const std::byte> in, std::size_t& pos,
+             std::uint32_t& v) {
+  if (pos + 4 > in.size()) return false;
+  std::memcpy(&v, in.data() + pos, 4);
+  pos += 4;
+  return true;
+}
+
+bool get_u64(std::span<const std::byte> in, std::size_t& pos,
+             std::uint64_t& v) {
+  if (pos + 8 > in.size()) return false;
+  std::memcpy(&v, in.data() + pos, 8);
+  pos += 8;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TileCache
+
+bool TileCache::touch(std::uint64_t hash) {
+  const auto it = index_.find(hash);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void TileCache::insert(std::uint64_t hash, int w, int h,
+                       std::span<const Pixel> pixels) {
+  if (touch(hash)) return;  // refresh recency; content is hash-determined
+  lru_.push_front(Entry{hash, w, h,
+                        std::vector<Pixel>(pixels.begin(), pixels.end())});
+  index_[hash] = lru_.begin();
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().hash);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+const TileCache::Entry* TileCache::find(std::uint64_t hash) const {
+  const auto it = index_.find(hash);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+void TileCache::clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Tile-set encode/decode
+
+CachedEncodeStats encode_tiles_cached(const Framebuffer& fb,
+                                      std::span<const TileCoord> tiles,
+                                      TileCache& cache,
+                                      std::vector<std::uint64_t>& last_sent,
+                                      EncodeScratch& scratch) {
+  CachedEncodeStats stats;
+  scratch.out.clear();
+  const std::size_t count_at = scratch.out.size();
+  scratch.out.insert(scratch.out.end(), 4, std::byte{0});  // ntiles patch slot
+  std::uint32_t ntiles = 0;
+  for (const TileCoord& tc : tiles) {
+    const RectRegion tile = fb.tile_rect(tc.tx, tc.ty);
+    const std::uint64_t hash = fb.hash_rect(tile);
+    stats.pixels_hashed += static_cast<std::uint64_t>(tile.area());
+    const std::size_t pos =
+        static_cast<std::size_t>(tc.ty) *
+            static_cast<std::size_t>(fb.tiles_x()) +
+        static_cast<std::size_t>(tc.tx);
+    if (last_sent[pos] == hash) {
+      ++stats.tiles_skipped;  // viewer already shows this content here
+      continue;
+    }
+    put_u16(scratch.out, static_cast<std::uint16_t>(tc.tx));
+    put_u16(scratch.out, static_cast<std::uint16_t>(tc.ty));
+    if (cache.touch(hash)) {
+      scratch.out.push_back(std::byte{3});
+      put_u64(scratch.out, hash);
+      ++stats.cache_refs;
+    } else {
+      detail::encode_tile_body(fb, tile, scratch);
+      cache.insert(hash, tile.w, tile.h, {});
+      ++stats.tiles_sent;
+    }
+    last_sent[pos] = hash;
+    ++ntiles;
+  }
+  put_u32_at(scratch.out, count_at, ntiles);
+  return stats;
+}
+
+bool decode_tiles_cached(Framebuffer& fb, TileCache& cache,
+                         std::span<const std::byte> data,
+                         EncodeScratch& scratch) {
+  std::size_t pos = 0;
+  std::uint32_t ntiles = 0;
+  if (!get_u32(data, pos, ntiles)) return false;
+  EncodeScratch::PixelBuf& px = scratch.px;
+  for (std::uint32_t i = 0; i < ntiles; ++i) {
+    std::uint16_t tx = 0, ty = 0;
+    if (!get_u16(data, pos, tx) || !get_u16(data, pos, ty)) return false;
+    if (tx >= fb.tiles_x() || ty >= fb.tiles_y()) return false;
+    const RectRegion tile = fb.tile_rect(tx, ty);
+    const auto count = static_cast<std::size_t>(tile.area());
+    if (pos >= data.size()) return false;
+    const auto mode = static_cast<std::uint8_t>(data[pos++]);
+    if (mode == 3) {
+      std::uint64_t hash = 0;
+      if (!get_u64(data, pos, hash)) return false;
+      const TileCache::Entry* entry = cache.find(hash);
+      if (entry == nullptr || entry->w != tile.w || entry->h != tile.h) {
+        return false;  // referenced a tile we never cached (or evicted)
+      }
+      fb.write_block(tile, entry->pixels.data());
+      cache.touch(hash);
+      continue;
+    }
+    if (mode == 0) {
+      std::uint32_t p = 0;
+      if (!get_u32(data, pos, p)) return false;
+      px.assign(count, p);
+    } else if (mode == 1) {
+      std::uint32_t len = 0;
+      if (!get_u32(data, pos, len)) return false;
+      if (pos + len > data.size()) return false;
+      if (!detail::decode_rle(data.subspan(pos, len), count, px)) {
+        return false;
+      }
+      pos += len;
+    } else if (mode == 2) {
+      const std::size_t bytes = count * sizeof(Pixel);
+      if (pos + bytes > data.size()) return false;
+      px.resize(count);
+      std::memcpy(px.data(), data.data() + pos, bytes);
+      pos += bytes;
+    } else {
+      return false;
+    }
+    fb.write_block(tile, px.data());
+    // Mirror the server's insert so LRU evictions stay in lockstep.
+    cache.insert(fb.hash_rect(tile), tile.w, tile.h,
+                 std::span<const Pixel>(px.data(), count));
+  }
+  return pos == data.size();
+}
+
+}  // namespace aroma::rfb

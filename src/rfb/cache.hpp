@@ -1,0 +1,107 @@
+// CopyRect-style cached-tile encoding (Encoding::kCached).
+//
+// The paper's bandwidth complaint ("prevents us from displaying rapid
+// animation") is dominated, in the slide-flip workload, by re-encoding
+// content the viewer has already seen: flipping back to a previous slide
+// re-sends every tile. The cached encoding fixes that with two mechanisms
+// layered on the framebuffer's dirty-tile grid:
+//
+//  * skip: the server remembers the hash it last sent for every tile
+//    position; a re-damaged tile whose content is unchanged emits nothing.
+//  * reference: the server keeps an LRU set of recently sent tile hashes
+//    that mirrors the viewer's tile cache; a tile whose content is in the
+//    mirror is sent as an 8-byte hash reference instead of a re-encoded
+//    payload, and the client blits the tile from its cache.
+//
+// Mirror determinism rests on the reliable in-order stream: both sides
+// apply the identical insert/touch sequence (insert on every literal tile,
+// touch on every reference), so LRU evictions never diverge and the server
+// never references a hash the client has evicted. Hashes are 64-bit FNV-1a
+// over tile dims + pixels; collisions are theoretically possible and
+// accepted for this simulation (a collision corrupts one 16x16 tile).
+//
+// Wire format of one cached tile-set payload:
+//   u32 ntiles, then per tile:
+//     u16 tx, u16 ty, u8 mode, payload
+//   with modes 0 solid / 1 rle / 2 raw exactly as in Tiled, plus
+//   mode 3 = u64 cache reference.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "rfb/encoding.hpp"
+#include "rfb/framebuffer.hpp"
+
+namespace aroma::rfb {
+
+/// LRU tile cache keyed by content hash. The server-side mirror stores no
+/// pixels (empty entries); the client stores the tile content it decodes.
+class TileCache {
+ public:
+  /// Default capacity shared by server mirror and client replica cache.
+  /// 2048 tiles x 16x16 x 4 B = 2 MiB client-side -- enough for several
+  /// full 320x240 slides of distinct content.
+  static constexpr std::size_t kDefaultCapacity = 2048;
+
+  struct Entry {
+    std::uint64_t hash = 0;
+    int w = 0;
+    int h = 0;
+    std::vector<Pixel> pixels;  // empty in the server's mirror
+  };
+
+  explicit TileCache(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return index_.size(); }
+  std::uint64_t evictions() const { return evictions_; }
+
+  /// Marks `hash` most-recently-used. Returns false when absent.
+  bool touch(std::uint64_t hash);
+  /// Inserts a fresh entry (MRU), evicting from the LRU end past capacity.
+  /// `pixels` may be empty (server mirror).
+  void insert(std::uint64_t hash, int w, int h,
+              std::span<const Pixel> pixels);
+  /// Client-side lookup; null when absent.
+  const Entry* find(std::uint64_t hash) const;
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::uint64_t evictions_ = 0;
+};
+
+/// Outcome of one cached tile-set encode.
+struct CachedEncodeStats {
+  std::uint32_t tiles_sent = 0;      ///< literal tile records (modes 0..2)
+  std::uint32_t cache_refs = 0;      ///< 8-byte reference records (mode 3)
+  std::uint32_t tiles_skipped = 0;   ///< unchanged content, nothing emitted
+  std::uint64_t pixels_hashed = 0;   ///< cost-model input: pixels touched
+};
+
+/// Encodes `tiles` of `fb` for a viewer whose cache is mirrored by `cache`
+/// and whose per-position last-sent hashes are `last_sent` (row-major,
+/// tiles_x * tiles_y entries, 0 = never sent). Appends the tile-set payload
+/// to scratch.out (cleared first) and updates both `cache` and `last_sent`.
+/// When every tile is skipped the payload is an empty tile set (ntiles 0).
+CachedEncodeStats encode_tiles_cached(const Framebuffer& fb,
+                                      std::span<const TileCoord> tiles,
+                                      TileCache& cache,
+                                      std::vector<std::uint64_t>& last_sent,
+                                      EncodeScratch& scratch);
+
+/// Decodes a cached tile-set payload into `fb`, maintaining the client
+/// cache. Returns false on malformed input, a reference to an unknown or
+/// mismatched-dimension hash, or trailing bytes.
+bool decode_tiles_cached(Framebuffer& fb, TileCache& cache,
+                         std::span<const std::byte> data,
+                         EncodeScratch& scratch);
+
+}  // namespace aroma::rfb

@@ -9,6 +9,7 @@ const char* to_string(Encoding e) {
     case Encoding::kRaw: return "raw";
     case Encoding::kRle: return "rle";
     case Encoding::kTiled: return "tiled";
+    case Encoding::kCached: return "cached";
   }
   return "?";
 }
@@ -18,13 +19,17 @@ double encode_cost_per_pixel(Encoding e) {
     case Encoding::kRaw: return 2.0;    // copy
     case Encoding::kRle: return 6.0;    // compare + run bookkeeping
     case Encoding::kTiled: return 9.0;  // tile scan + best-of-three choice
+    case Encoding::kCached: return 4.0; // hash pass; literals are the exception
   }
   return 2.0;
 }
 
 namespace {
 
-void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+constexpr int kTile = Framebuffer::kTileSize;
+
+template <typename Buf>
+void put_u32(Buf& out, std::uint32_t v) {
   const auto* b = reinterpret_cast<const std::byte*>(&v);
   out.insert(out.end(), b, b + 4);
 }
@@ -36,6 +41,152 @@ std::uint32_t get_u32(std::span<const std::byte> in, std::size_t& pos) {
   return v;
 }
 
+// --- zero-copy row-span encoders -------------------------------------------
+
+/// Appends Raw pixels of `r`: one memcpy per row out of the framebuffer's
+/// contiguous storage.
+template <typename Buf>
+void raw_spans(const Framebuffer& fb, RectRegion r, Buf& out) {
+  const std::size_t row_bytes =
+      static_cast<std::size_t>(r.w) * sizeof(Pixel);
+  const std::size_t base = out.size();
+  out.resize(base + static_cast<std::size_t>(r.h) * row_bytes);
+  std::byte* dst = out.data() + base;
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    std::memcpy(dst, fb.row(y) + r.x, row_bytes);
+    dst += row_bytes;
+  }
+}
+
+/// Appends (run_len u32, pixel u32)* for `r`, scanning row spans in place.
+/// Runs continue across row boundaries exactly like the original gathered
+/// row-major scan, so the output is byte-identical to it.
+template <typename Buf>
+void rle_spans(const Framebuffer& fb, RectRegion r, Buf& out) {
+  Pixel cur = 0;
+  std::uint32_t run = 0;
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    const Pixel* p = fb.row(y) + r.x;
+    for (int x = 0; x < r.w; ++x) {
+      if (run != 0 && p[x] == cur && run < 0xffffffffu) {
+        ++run;
+        continue;
+      }
+      if (run != 0) {
+        put_u32(out, run);
+        put_u32(out, cur);
+      }
+      cur = p[x];
+      run = 1;
+    }
+  }
+  if (run != 0) {
+    put_u32(out, run);
+    put_u32(out, cur);
+  }
+}
+
+/// True when every pixel of `r` equals its first pixel.
+bool solid_spans(const Framebuffer& fb, RectRegion r, Pixel& color) {
+  color = fb.row(r.y)[r.x];
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    const Pixel* p = fb.row(y) + r.x;
+    for (int x = 0; x < r.w; ++x) {
+      if (p[x] != color) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// Shared by encode_tiles_cached (rfb/cache.cpp): one tile record body with
+// the tiled best-of-three choice (0 solid / 1 rle / 2 raw).
+namespace detail {
+
+void encode_tile_body(const Framebuffer& fb, RectRegion tile,
+                      EncodeScratch& scratch) {
+  Pixel color = 0;
+  if (solid_spans(fb, tile, color)) {
+    scratch.out.push_back(std::byte{0});
+    put_u32(scratch.out, color);
+    return;
+  }
+  scratch.tile.clear();
+  rle_spans(fb, tile, scratch.tile);
+  if (scratch.tile.size() < raw_size(tile)) {
+    scratch.out.push_back(std::byte{1});
+    put_u32(scratch.out, static_cast<std::uint32_t>(scratch.tile.size()));
+    scratch.out.insert(scratch.out.end(), scratch.tile.begin(),
+                       scratch.tile.end());
+  } else {
+    scratch.out.push_back(std::byte{2});
+    raw_spans(fb, tile, scratch.out);
+  }
+}
+
+bool decode_rle(std::span<const std::byte> in, std::size_t expected,
+                EncodeScratch::PixelBuf& px) {
+  px.clear();
+  px.reserve(expected);
+  std::size_t pos = 0;
+  while (px.size() < expected) {
+    if (pos + 8 > in.size()) return false;  // truncated record
+    const std::uint32_t run = get_u32(in, pos);
+    const Pixel p = get_u32(in, pos);
+    // The encoder never emits zero-length runs; accepting them would let
+    // arbitrary padding ride inside an otherwise-complete stream.
+    if (run == 0) return false;
+    if (px.size() + run > expected) return false;  // run overflows the rect
+    px.insert(px.end(), run, p);
+  }
+  // Explicit over-long-input rejection: a complete decode must consume the
+  // input exactly, trailing bytes are malformed (not silently ignored).
+  return pos == in.size();
+}
+
+}  // namespace detail
+
+void encode_rect_into(const Framebuffer& fb, RectRegion rect, Encoding enc,
+                      EncodeScratch& scratch) {
+  scratch.out.clear();
+  switch (enc) {
+    case Encoding::kRaw:
+      raw_spans(fb, rect, scratch.out);
+      return;
+    case Encoding::kRle:
+      rle_spans(fb, rect, scratch.out);
+      return;
+    case Encoding::kTiled: {
+      // Per 16x16 tile: u8 mode (0 solid, 1 rle, 2 raw) + payload.
+      for (int ty = rect.y; ty < rect.y + rect.h; ty += kTile) {
+        for (int tx = rect.x; tx < rect.x + rect.w; tx += kTile) {
+          const RectRegion tile{tx, ty,
+                                std::min(kTile, rect.x + rect.w - tx),
+                                std::min(kTile, rect.y + rect.h - ty)};
+          detail::encode_tile_body(fb, tile, scratch);
+        }
+      }
+      return;
+    }
+    case Encoding::kCached:
+      // Stateful: served by encode_tiles_cached (rfb/cache.hpp).
+      return;
+  }
+}
+
+std::vector<std::byte> encode_rect(const Framebuffer& fb, RectRegion rect,
+                                   Encoding enc) {
+  EncodeScratch scratch;
+  encode_rect_into(fb, rect, enc, scratch);
+  return std::vector<std::byte>(scratch.out.begin(), scratch.out.end());
+}
+
+// ---------------------------------------------------------------------------
+// Reference encoder: the original gather-based implementation, byte-for-byte.
+
+namespace {
+
 void gather(const Framebuffer& fb, RectRegion r, std::vector<Pixel>& out) {
   out.resize(static_cast<std::size_t>(r.area()));
   std::size_t k = 0;
@@ -46,14 +197,13 @@ void gather(const Framebuffer& fb, RectRegion r, std::vector<Pixel>& out) {
   }
 }
 
-std::vector<std::byte> encode_raw(std::span<const Pixel> px) {
+std::vector<std::byte> encode_raw_gathered(std::span<const Pixel> px) {
   std::vector<std::byte> out(px.size() * sizeof(Pixel));
   std::memcpy(out.data(), px.data(), out.size());
   return out;
 }
 
-std::vector<std::byte> encode_rle(std::span<const Pixel> px) {
-  // (run_len u32, pixel u32)* — favours the long solid runs of slides.
+std::vector<std::byte> encode_rle_gathered(std::span<const Pixel> px) {
   std::vector<std::byte> out;
   std::size_t i = 0;
   while (i < px.size()) {
@@ -66,38 +216,21 @@ std::vector<std::byte> encode_rle(std::span<const Pixel> px) {
   return out;
 }
 
-bool decode_rle(std::span<const std::byte> in, std::size_t expected,
-                std::vector<Pixel>& px) {
-  px.clear();
-  px.reserve(expected);
-  std::size_t pos = 0;
-  while (pos + 8 <= in.size() && px.size() < expected) {
-    const std::uint32_t run = get_u32(in, pos);
-    const Pixel p = get_u32(in, pos);
-    if (px.size() + run > expected) return false;
-    px.insert(px.end(), run, p);
-  }
-  return px.size() == expected && pos == in.size();
-}
-
-constexpr int kTile = 16;
-
 }  // namespace
 
-std::vector<std::byte> encode_rect(const Framebuffer& fb, RectRegion rect,
-                                   Encoding enc) {
+std::vector<std::byte> encode_rect_reference(const Framebuffer& fb,
+                                             RectRegion rect, Encoding enc) {
   std::vector<Pixel> px;
   switch (enc) {
     case Encoding::kRaw: {
       gather(fb, rect, px);
-      return encode_raw(px);
+      return encode_raw_gathered(px);
     }
     case Encoding::kRle: {
       gather(fb, rect, px);
-      return encode_rle(px);
+      return encode_rle_gathered(px);
     }
     case Encoding::kTiled: {
-      // Per 16x16 tile: u8 mode (0 solid, 1 rle, 2 raw) + payload.
       std::vector<std::byte> out;
       for (int ty = rect.y; ty < rect.y + rect.h; ty += kTile) {
         for (int tx = rect.x; tx < rect.x + rect.w; tx += kTile) {
@@ -112,27 +245,31 @@ std::vector<std::byte> encode_rect(const Framebuffer& fb, RectRegion rect,
             put_u32(out, px[0]);
             continue;
           }
-          auto rle = encode_rle(px);
+          auto rle = encode_rle_gathered(px);
           if (rle.size() < px.size() * sizeof(Pixel)) {
             out.push_back(std::byte{1});
             put_u32(out, static_cast<std::uint32_t>(rle.size()));
             out.insert(out.end(), rle.begin(), rle.end());
           } else {
             out.push_back(std::byte{2});
-            auto raw = encode_raw(px);
+            auto raw = encode_raw_gathered(px);
             out.insert(out.end(), raw.begin(), raw.end());
           }
         }
       }
       return out;
     }
+    case Encoding::kCached:
+      return {};
   }
   return {};
 }
 
+// ---------------------------------------------------------------------------
+
 bool decode_rect(Framebuffer& fb, RectRegion rect, Encoding enc,
                  std::span<const std::byte> data) {
-  std::vector<Pixel> px;
+  EncodeScratch::PixelBuf px;
   switch (enc) {
     case Encoding::kRaw: {
       const std::size_t expected = raw_size(rect);
@@ -143,7 +280,8 @@ bool decode_rect(Framebuffer& fb, RectRegion rect, Encoding enc,
       return true;
     }
     case Encoding::kRle: {
-      if (!decode_rle(data, static_cast<std::size_t>(rect.area()), px)) {
+      if (!detail::decode_rle(data, static_cast<std::size_t>(rect.area()),
+                              px)) {
         return false;
       }
       fb.write_block(rect, px.data());
@@ -167,7 +305,9 @@ bool decode_rect(Framebuffer& fb, RectRegion rect, Encoding enc,
             if (pos + 4 > data.size()) return false;
             const std::uint32_t len = get_u32(data, pos);
             if (pos + len > data.size()) return false;
-            if (!decode_rle(data.subspan(pos, len), count, px)) return false;
+            if (!detail::decode_rle(data.subspan(pos, len), count, px)) {
+              return false;
+            }
             pos += len;
           } else if (mode == 2) {
             const std::size_t bytes = count * sizeof(Pixel);
@@ -183,6 +323,9 @@ bool decode_rect(Framebuffer& fb, RectRegion rect, Encoding enc,
       }
       return pos == data.size();
     }
+    case Encoding::kCached:
+      // Stateful: served by decode_tiles_cached (rfb/cache.hpp).
+      return false;
   }
   return false;
 }

@@ -1,9 +1,19 @@
 // Rectangle encodings for framebuffer updates.
 //
-// Three encodings mirroring the classic RFB set: Raw (dense pixels),
-// RLE (run-length over the row-major scan), and Tiled (16x16 tiles, each
-// choosing solid / RLE / raw, like hextile). The encoding choice is the
-// CS-ANIM ablation: bytes-on-air vs CPU cost over the narrow 2.4 GHz link.
+// Four encodings: Raw (dense pixels), RLE (run-length over the row-major
+// scan), Tiled (16x16 tiles, each choosing solid / RLE / raw, like
+// hextile), and Cached (tile records with CopyRect-style cache references;
+// see rfb/cache.hpp for the stateful encode/decode entry points). The
+// encoding choice is the CS-ANIM ablation: bytes-on-air vs CPU cost over
+// the narrow 2.4 GHz link.
+//
+// The raw/RLE/tiled encoders are zero-copy: they iterate the framebuffer's
+// contiguous row storage directly (no gather into a staging vector) and
+// append into a caller-owned EncodeScratch whose buffers keep their
+// capacity across updates, so steady-state encoding performs no heap
+// allocation. encode_rect_reference() preserves the original gather-based
+// implementation as a byte-equality oracle and throughput baseline for
+// tests and bench/rfb_bench.
 #pragma once
 
 #include <cstdint>
@@ -11,19 +21,54 @@
 #include <vector>
 
 #include "rfb/framebuffer.hpp"
+#include "sim/arena.hpp"
 
 namespace aroma::rfb {
 
-enum class Encoding : std::uint8_t { kRaw = 0, kRle = 1, kTiled = 2 };
+enum class Encoding : std::uint8_t { kRaw = 0, kRle = 1, kTiled = 2, kCached = 3 };
 
 const char* to_string(Encoding e);
 
-/// Encodes the pixels of `rect` (must lie within bounds) into bytes.
+/// Reusable encoder scratch. When constructed over a sim::Arena the buffers
+/// draw small blocks from the owning world's arena (oversized growth falls
+/// back to the heap, counted by the arena); either way the buffers are
+/// meant to live as long as the server and amortize to zero allocations.
+struct EncodeScratch {
+  using ByteBuf = std::vector<std::byte, sim::ArenaAllocator<std::byte>>;
+  using PixelBuf = std::vector<Pixel, sim::ArenaAllocator<Pixel>>;
+
+  EncodeScratch() = default;
+  explicit EncodeScratch(sim::Arena& arena)
+      : out(sim::ArenaAllocator<std::byte>(&arena)),
+        tile(sim::ArenaAllocator<std::byte>(&arena)),
+        px(sim::ArenaAllocator<Pixel>(&arena)) {}
+
+  ByteBuf out;   ///< encoded payload of the current rect / tile set
+  ByteBuf tile;  ///< per-tile RLE staging (tiled/cached best-of-three)
+  PixelBuf px;   ///< decode-side pixel staging
+};
+
+/// Encodes the pixels of `rect` (must lie within bounds) into scratch.out
+/// (cleared first). Zero-copy row-span path; byte-identical output to
+/// encode_rect_reference. Encoding::kCached is stateful and not served
+/// here -- use rfb/cache.hpp (this function leaves scratch.out empty).
+void encode_rect_into(const Framebuffer& fb, RectRegion rect, Encoding enc,
+                      EncodeScratch& scratch);
+
+/// Convenience wrapper over encode_rect_into (allocates the returned
+/// vector; tests and cold paths only).
 std::vector<std::byte> encode_rect(const Framebuffer& fb, RectRegion rect,
                                    Encoding enc);
 
+/// The pre-optimization gather-into-vector encoder, kept verbatim so the
+/// zero-copy path can be byte-diffed against it and its throughput delta
+/// measured (bench/rfb_bench "encode_throughput" section).
+std::vector<std::byte> encode_rect_reference(const Framebuffer& fb,
+                                             RectRegion rect, Encoding enc);
+
 /// Decodes bytes produced by encode_rect into the same rect of `fb`.
-/// Returns false on malformed input.
+/// Returns false on malformed input (including trailing bytes past a
+/// complete decode). Encoding::kCached is stateful -- see rfb/cache.hpp.
 bool decode_rect(Framebuffer& fb, RectRegion rect, Encoding enc,
                  std::span<const std::byte> data);
 
@@ -34,7 +79,21 @@ inline std::size_t raw_size(RectRegion r) {
 
 /// Encoder CPU cost model in instructions-per-pixel, used with a device's
 /// exec_mips to charge simulated encode time (the resource-layer coupling:
-/// a slow adapter CPU throttles even well-compressed updates).
+/// a slow adapter CPU throttles even well-compressed updates). For kCached
+/// the per-pixel unit is a hashed pixel of a damaged tile: most tiles cost
+/// one hashing pass and at most an 8-byte reference, so the rate sits well
+/// below the full tiled encode.
 double encode_cost_per_pixel(Encoding e);
+
+namespace detail {
+/// RLE decode shared by the tiled and cached decoders. Rejects zero-length
+/// runs, overflow past `expected`, and any input not consumed exactly.
+bool decode_rle(std::span<const std::byte> in, std::size_t expected,
+                EncodeScratch::PixelBuf& px);
+/// Appends one tile record body (u8 mode 0 solid / 1 rle / 2 raw +
+/// payload) to scratch.out; shared by the tiled and cached encoders.
+void encode_tile_body(const Framebuffer& fb, RectRegion tile,
+                      EncodeScratch& scratch);
+}  // namespace detail
 
 }  // namespace aroma::rfb

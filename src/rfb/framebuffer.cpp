@@ -1,6 +1,7 @@
 #include "rfb/framebuffer.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace aroma::rfb {
 
@@ -16,8 +17,13 @@ RectRegion bounding(const RectRegion& a, const RectRegion& b) {
 
 Framebuffer::Framebuffer(int width, int height, Pixel fill)
     : width_(width), height_(height),
+      tiles_x_((width + kTileSize - 1) / kTileSize),
+      tiles_y_((height + kTileSize - 1) / kTileSize),
       pixels_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
-              fill) {}
+              fill),
+      tile_dirty_(static_cast<std::size_t>(tiles_x_) *
+                      static_cast<std::size_t>(tiles_y_),
+                  0) {}
 
 RectRegion Framebuffer::clip(RectRegion r) const {
   const int x0 = std::clamp(r.x, 0, width_);
@@ -62,8 +68,25 @@ void Framebuffer::write_block(RectRegion r, const Pixel* data) {
   add_damage(c);
 }
 
+void Framebuffer::mark_tiles(RectRegion r) {
+  const int tx0 = r.x / kTileSize;
+  const int ty0 = r.y / kTileSize;
+  const int tx1 = (r.x + r.w - 1) / kTileSize;
+  const int ty1 = (r.y + r.h - 1) / kTileSize;
+  for (int ty = ty0; ty <= ty1; ++ty) {
+    for (int tx = tx0; tx <= tx1; ++tx) {
+      std::uint8_t& bit = tile_dirty_[tile_idx(tx, ty)];
+      if (bit == 0) {
+        bit = 1;
+        ++dirty_tiles_;
+      }
+    }
+  }
+}
+
 void Framebuffer::add_damage(RectRegion r) {
   if (r.empty()) return;
+  mark_tiles(r);
   // Absorb into an intersecting rect when possible.
   for (auto& d : damage_) {
     if (d.intersects(r) || d == r) {
@@ -72,18 +95,86 @@ void Framebuffer::add_damage(RectRegion r) {
     }
   }
   damage_.push_back(r);
-  if (damage_.size() > kMaxDamageRects) {
-    RectRegion all = damage_.front();
-    for (const auto& d : damage_) all = bounding(all, d);
+  if (damage_.size() <= kMaxDamageRects) return;
+  // Over capacity. A single bounding box is the cheapest representation,
+  // but only acceptable when the damage is dense -- otherwise two far-apart
+  // 1-px damages would re-encode a near-full-screen rect. Dense damage
+  // (bounding area within kDenseCollapseFactor of the accumulated area)
+  // collapses; sparse damage merges the one pair that grows least.
+  long long total = 0;
+  RectRegion all{};
+  for (const auto& d : damage_) {
+    total += d.area();
+    all = bounding(all, d);
+  }
+  if (static_cast<long long>(all.area()) <= kDenseCollapseFactor * total) {
     damage_.clear();
     damage_.push_back(all);
+    return;
   }
+  std::size_t bi = 0, bj = 1;
+  long long best = std::numeric_limits<long long>::max();
+  for (std::size_t i = 0; i + 1 < damage_.size(); ++i) {
+    for (std::size_t j = i + 1; j < damage_.size(); ++j) {
+      const long long cost =
+          static_cast<long long>(bounding(damage_[i], damage_[j]).area()) -
+          damage_[i].area() - damage_[j].area();
+      if (cost < best) {
+        best = cost;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  damage_[bi] = bounding(damage_[bi], damage_[bj]);
+  damage_.erase(damage_.begin() + static_cast<std::ptrdiff_t>(bj));
+}
+
+void Framebuffer::clear_damage() {
+  damage_.clear();
+  if (dirty_tiles_ != 0) {
+    std::fill(tile_dirty_.begin(), tile_dirty_.end(), std::uint8_t{0});
+    dirty_tiles_ = 0;
+  }
+}
+
+void Framebuffer::collect_dirty_tiles(std::vector<TileCoord>& out) const {
+  out.clear();
+  if (dirty_tiles_ == 0) return;
+  out.reserve(dirty_tiles_);
+  for (int ty = 0; ty < tiles_y_; ++ty) {
+    for (int tx = 0; tx < tiles_x_; ++tx) {
+      if (tile_dirty_[tile_idx(tx, ty)] != 0) out.push_back({tx, ty});
+    }
+  }
+}
+
+RectRegion Framebuffer::tile_rect(int tx, int ty) const {
+  const int x = tx * kTileSize;
+  const int y = ty * kTileSize;
+  return {x, y, std::min(kTileSize, width_ - x),
+          std::min(kTileSize, height_ - y)};
 }
 
 RectRegion Framebuffer::damage_bounds() const {
   RectRegion all{};
   for (const auto& d : damage_) all = bounding(all, d);
   return all;
+}
+
+std::uint64_t Framebuffer::hash_rect(RectRegion r) const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.w)));
+  mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.h)));
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    const Pixel* p = row(y) + r.x;
+    for (int x = 0; x < r.w; ++x) mix(p[x]);
+  }
+  return h;
 }
 
 std::uint64_t Framebuffer::content_hash() const {

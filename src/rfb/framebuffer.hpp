@@ -3,6 +3,15 @@
 // The substitution for AT&T VNC's framebuffer: the laptop renders into one
 // of these, the RFB server encodes damaged regions, and the projector-side
 // client maintains a replica.
+//
+// Damage is tracked at two granularities:
+//  * a small list of damage rects (the classic VNC region list) for the
+//    raw/RLE/tiled encoders, coalesced with a bounded-waste policy;
+//  * a 16x16 tile grid of dirty bits, so the cached encoder can walk the
+//    exact dirty tile set instead of re-encoding bounding boxes -- a
+//    1-pixel change dirties one tile, not a slide-sized rect.
+// Both are cleared together by clear_damage(). Tile marking is a handful
+// of byte stores per mutation and never affects pixel content.
 #pragma once
 
 #include <cstdint>
@@ -30,8 +39,19 @@ struct RectRegion {
 /// Union bounding box of two rects.
 RectRegion bounding(const RectRegion& a, const RectRegion& b);
 
+/// Tile-grid coordinate (tile (tx, ty) covers pixels starting at
+/// (tx * kTileSize, ty * kTileSize)).
+struct TileCoord {
+  int tx = 0;
+  int ty = 0;
+  friend bool operator==(const TileCoord&, const TileCoord&) = default;
+};
+
 class Framebuffer {
  public:
+  /// Tile edge for the dirty-tile grid and the tiled/cached encoders.
+  static constexpr int kTileSize = 16;
+
   Framebuffer(int width, int height, Pixel fill = 0);
 
   int width() const { return width_; }
@@ -39,6 +59,9 @@ class Framebuffer {
   RectRegion bounds() const { return {0, 0, width_, height_}; }
 
   Pixel at(int x, int y) const { return pixels_[idx(x, y)]; }
+  /// Contiguous row-major storage: row y spans [row(y), row(y) + width()).
+  /// The zero-copy encoders iterate these spans instead of gathering.
+  const Pixel* row(int y) const { return pixels_.data() + idx(0, y); }
   void set(int x, int y, Pixel p);
   void fill_rect(RectRegion r, Pixel p);
   /// Writes a row-major block of pixels (used by decoders); clips to bounds.
@@ -50,9 +73,26 @@ class Framebuffer {
   const std::vector<RectRegion>& damage() const { return damage_; }
   bool has_damage() const { return !damage_.empty(); }
   RectRegion damage_bounds() const;
-  void clear_damage() { damage_.clear(); }
+  void clear_damage();
   /// Marks a region damaged without changing pixels (full refresh requests).
   void mark_damaged(RectRegion r) { add_damage(clip(r)); }
+
+  // Tile grid ---------------------------------------------------------------
+  int tiles_x() const { return tiles_x_; }
+  int tiles_y() const { return tiles_y_; }
+  bool tile_dirty(int tx, int ty) const {
+    return tile_dirty_[tile_idx(tx, ty)] != 0;
+  }
+  std::size_t dirty_tile_count() const { return dirty_tiles_; }
+  /// Fills `out` (cleared first) with the dirty tiles in row-major order.
+  void collect_dirty_tiles(std::vector<TileCoord>& out) const;
+  /// The pixel rect a tile covers, clipped to the framebuffer edge (right
+  /// and bottom edge tiles may be narrower than kTileSize).
+  RectRegion tile_rect(int tx, int ty) const;
+
+  /// Content hash of an arbitrary rect (FNV-1a over dims then pixels in
+  /// row-major order). The cached encoding keys its tile cache on this.
+  std::uint64_t hash_rect(RectRegion r) const;
 
   /// Content hash for replica-equality checks.
   std::uint64_t content_hash() const;
@@ -63,14 +103,29 @@ class Framebuffer {
     return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
            static_cast<std::size_t>(x);
   }
+  std::size_t tile_idx(int tx, int ty) const {
+    return static_cast<std::size_t>(ty) * static_cast<std::size_t>(tiles_x_) +
+           static_cast<std::size_t>(tx);
+  }
   RectRegion clip(RectRegion r) const;
   void add_damage(RectRegion r);
+  void mark_tiles(RectRegion r);
 
   int width_;
   int height_;
+  int tiles_x_;
+  int tiles_y_;
   std::vector<Pixel> pixels_;
   std::vector<RectRegion> damage_;
+  std::vector<std::uint8_t> tile_dirty_;
+  std::size_t dirty_tiles_ = 0;
   static constexpr std::size_t kMaxDamageRects = 16;
+  /// A full collapse of the rect list into one bounding box is allowed only
+  /// when that box covers at most this multiple of the accumulated damage
+  /// area -- dense damage (a line of typed characters) still folds into one
+  /// cheap rect, while far-apart clusters stay separate and coalesce by
+  /// minimum added area instead.
+  static constexpr int kDenseCollapseFactor = 4;
 };
 
 }  // namespace aroma::rfb

@@ -1,5 +1,6 @@
 #include "rfb/protocol.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "net/serialize.hpp"
@@ -18,7 +19,8 @@ RfbServer::RfbServer(sim::World& world, Framebuffer& source,
 RfbServer::RfbServer(sim::World& world, Framebuffer& source,
                      std::shared_ptr<net::StreamConnection> conn,
                      Params params)
-    : world_(world), source_(source), conn_(std::move(conn)), params_(params) {
+    : world_(world), source_(source), conn_(std::move(conn)), params_(params),
+      scratch_(world.arena()) {
   framer_.set_handler(
       [this](std::span<const std::byte> msg) { on_message(msg); });
   conn_->set_data_handler(
@@ -27,10 +29,17 @@ RfbServer::RfbServer(sim::World& world, Framebuffer& source,
       world_.sim(), params_.damage_poll, [this] { maybe_send_update(); });
   poller_->set_category(sim::EventCategory::kRfb);
   poller_->start();
+  if (params_.encoding == Encoding::kCached) {
+    last_tile_hash_.assign(static_cast<std::size_t>(source_.tiles_x()) *
+                               static_cast<std::size_t>(source_.tiles_y()),
+                           0);
+  }
   const auto layer = lpc::Layer::kAbstract;
   m_updates_ = obs::counter(world_, "rfb.server.updates_sent", layer);
   m_rects_ = obs::counter(world_, "rfb.server.rects_sent", layer);
   m_bytes_ = obs::counter(world_, "rfb.server.bytes_sent", layer);
+  m_tiles_ = obs::counter(world_, "rfb.tiles_encoded", layer);
+  m_cache_hits_ = obs::counter(world_, "rfb.cache_hits", layer);
   m_update_bytes_ = obs::histogram(world_, "rfb.server.update_bytes", layer,
                                    0.0, 65536.0, 32);
 }
@@ -71,6 +80,10 @@ void RfbServer::on_message(std::span<const std::byte> msg) {
 
 void RfbServer::maybe_send_update() {
   if (!update_pending_ || encoding_in_progress_) return;
+  if (params_.encoding == Encoding::kCached) {
+    maybe_send_cached();
+    return;
+  }
   std::vector<RectRegion> rects;
   if (full_requested_) {
     rects.push_back(source_.bounds());
@@ -97,13 +110,13 @@ void RfbServer::send_update(const std::vector<RectRegion>& rects) {
   w.u16(static_cast<std::uint16_t>(rects.size()));
   std::uint64_t pixels = 0;
   for (const RectRegion& r : rects) {
-    auto payload = encode_rect(source_, r, params_.encoding);
+    encode_rect_into(source_, r, params_.encoding, scratch_);
     w.u16(static_cast<std::uint16_t>(r.x));
     w.u16(static_cast<std::uint16_t>(r.y));
     w.u16(static_cast<std::uint16_t>(r.w));
     w.u16(static_cast<std::uint16_t>(r.h));
-    w.u32(static_cast<std::uint32_t>(payload.size()));
-    for (std::byte b : payload) w.u8(static_cast<std::uint8_t>(b));
+    w.bytes(std::span<const std::byte>(scratch_.out.data(),
+                                       scratch_.out.size()));
     pixels += static_cast<std::uint64_t>(r.area());
     ++stats_.rects_sent;
     if (m_rects_) m_rects_->add();
@@ -111,16 +124,68 @@ void RfbServer::send_update(const std::vector<RectRegion>& rects) {
   const double encode_s =
       static_cast<double>(pixels) * encode_cost_per_pixel(params_.encoding) /
       (params_.cpu_mips * 1e6);
-  stats_.encode_seconds += encode_s;
   stats_.pixels_encoded += pixels;
-  ++stats_.updates_sent;
+  span.annotate("bytes", std::to_string(w.data().size() + 4));
+  transmit(w, encode_s);
+}
 
+void RfbServer::maybe_send_cached() {
+  if (full_requested_) {
+    // A full refresh resets the per-position last-sent hashes (the viewer
+    // may be new) but keeps the cache mirror: references into surviving
+    // client state are still valid and exactly what makes refreshes cheap.
+    std::fill(last_tile_hash_.begin(), last_tile_hash_.end(), 0);
+    source_.mark_damaged(source_.bounds());
+    full_requested_ = false;
+  }
+  if (source_.dirty_tile_count() == 0) return;  // stay pending
+  source_.collect_dirty_tiles(dirty_tiles_);
+  source_.clear_damage();
+
+  obs::ScopedSpan span(world_, "rfb.update", lpc::Layer::kAbstract);
+  const CachedEncodeStats cs = encode_tiles_cached(
+      source_, dirty_tiles_, cache_mirror_, last_tile_hash_, scratch_);
+  stats_.tiles_encoded += cs.tiles_sent;
+  stats_.cache_hits += cs.cache_refs;
+  stats_.tiles_skipped += cs.tiles_skipped;
+  stats_.pixels_encoded += cs.pixels_hashed;
+  if (m_tiles_) m_tiles_->add(cs.tiles_sent);
+  if (m_cache_hits_) m_cache_hits_->add(cs.cache_refs);
+  if (cs.tiles_sent + cs.cache_refs == 0) {
+    // Every damaged tile already matches the replica; nothing to send.
+    // update_pending_ stays set so real damage answers the request.
+    return;
+  }
+  // One bounds rect carries the whole tile-set payload.
+  const RectRegion r = source_.bounds();
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(RfbMsg::kUpdate));
+  w.u8(static_cast<std::uint8_t>(params_.encoding));
+  w.u16(1);
+  w.u16(static_cast<std::uint16_t>(r.x));
+  w.u16(static_cast<std::uint16_t>(r.y));
+  w.u16(static_cast<std::uint16_t>(r.w));
+  w.u16(static_cast<std::uint16_t>(r.h));
+  w.bytes(std::span<const std::byte>(scratch_.out.data(),
+                                     scratch_.out.size()));
+  ++stats_.rects_sent;
+  if (m_rects_) m_rects_->add();
+  const double encode_s = static_cast<double>(cs.pixels_hashed) *
+                          encode_cost_per_pixel(params_.encoding) /
+                          (params_.cpu_mips * 1e6);
+  span.annotate("bytes", std::to_string(w.data().size() + 4));
+  transmit(w, encode_s);
+}
+
+void RfbServer::transmit(net::ByteWriter& w, double encode_s) {
+  stats_.encode_seconds += encode_s;
+  ++stats_.updates_sent;
+  update_pending_ = false;
   auto framed = MessageFramer::frame(w.data());
   stats_.bytes_sent += framed.size();
   if (m_updates_) m_updates_->add();
   if (m_bytes_) m_bytes_->add(framed.size());
   if (m_update_bytes_) m_update_bytes_->add(static_cast<double>(framed.size()));
-  span.annotate("bytes", std::to_string(framed.size()));
   encoding_in_progress_ = true;
   world_.sim().schedule_in(sim::Time::sec(encode_s), sim::EventCategory::kRfb,
                            [this, framed = std::move(framed)]() mutable {
@@ -141,11 +206,13 @@ double RfbClientStats::fps(sim::Time now) const {
 
 RfbClient::RfbClient(sim::World& world,
                      std::shared_ptr<net::StreamConnection> conn)
-    : world_(world), conn_(std::move(conn)) {
+    : world_(world), conn_(std::move(conn)), scratch_(world.arena()) {
   framer_.set_handler(
       [this](std::span<const std::byte> msg) { on_message(msg); });
   conn_->set_data_handler(
       [this](std::span<const std::byte> data) { framer_.on_bytes(data); });
+  m_decode_errors_ =
+      obs::counter(world_, "rfb.client.decode_errors", lpc::Layer::kAbstract);
 }
 
 RfbClient::~RfbClient() {
@@ -183,6 +250,7 @@ void RfbClient::on_message(std::span<const std::byte> msg) {
       const int h = static_cast<int>(r.u32());
       if (!r.ok()) return;
       replica_ = std::make_unique<Framebuffer>(w, h);
+      cache_.clear();
       request_update(/*incremental=*/false);
       return;
     }
@@ -198,8 +266,13 @@ void RfbClient::on_message(std::span<const std::byte> msg) {
         rect.h = r.u16();
         const auto payload = r.bytes();
         if (!r.ok()) break;
-        if (!decode_rect(*replica_, rect, enc, payload)) {
+        const bool ok =
+            enc == Encoding::kCached
+                ? decode_tiles_cached(*replica_, cache_, payload, scratch_)
+                : decode_rect(*replica_, rect, enc, payload);
+        if (!ok) {
           ++stats_.decode_errors;
+          if (m_decode_errors_) m_decode_errors_->add();
         }
       }
       stats_.bytes_received += msg.size() + 4;

@@ -16,6 +16,7 @@
 
 #include "net/framer.hpp"
 #include "net/stream.hpp"
+#include "rfb/cache.hpp"
 #include "rfb/encoding.hpp"
 #include "rfb/framebuffer.hpp"
 #include "sim/stats.hpp"
@@ -24,6 +25,10 @@
 namespace aroma::obs {
 class Counter;
 }  // namespace aroma::obs
+
+namespace aroma::net {
+class ByteWriter;
+}  // namespace aroma::net
 
 namespace aroma::rfb {
 
@@ -42,6 +47,10 @@ struct RfbServerStats {
   std::uint64_t bytes_sent = 0;
   std::uint64_t pixels_encoded = 0;
   double encode_seconds = 0.0;   // simulated encoder CPU time
+  // Cached-encoding breakdown (zero unless Encoding::kCached).
+  std::uint64_t tiles_encoded = 0;   // literal tile records sent
+  std::uint64_t cache_hits = 0;      // 8-byte reference records sent
+  std::uint64_t tiles_skipped = 0;   // re-damaged but content-unchanged
 };
 
 /// Serves one viewer from a source framebuffer.
@@ -73,6 +82,8 @@ class RfbServer {
   void on_message(std::span<const std::byte> msg);
   void maybe_send_update();
   void send_update(const std::vector<RectRegion>& rects);
+  void maybe_send_cached();
+  void transmit(net::ByteWriter& w, double encode_s);
 
   sim::World& world_;
   Framebuffer& source_;
@@ -85,10 +96,20 @@ class RfbServer {
   RfbServerStats stats_;
   std::unique_ptr<sim::PeriodicTimer> poller_;
 
+  // Encoder state. The scratch draws from the world arena so steady-state
+  // encoding allocates nothing; the cache mirror and per-tile last-sent
+  // hashes exist only for Encoding::kCached (empty otherwise).
+  EncodeScratch scratch_;
+  TileCache cache_mirror_;                    // hashes only, no pixels
+  std::vector<std::uint64_t> last_tile_hash_; // 0 = never sent
+  std::vector<TileCoord> dirty_tiles_;
+
   // Telemetry handles; null when the world has no registry attached.
   obs::Counter* m_updates_ = nullptr;
   obs::Counter* m_rects_ = nullptr;
   obs::Counter* m_bytes_ = nullptr;
+  obs::Counter* m_tiles_ = nullptr;
+  obs::Counter* m_cache_hits_ = nullptr;
   sim::Histogram* m_update_bytes_ = nullptr;
 };
 
@@ -125,7 +146,10 @@ class RfbClient {
   std::shared_ptr<net::StreamConnection> conn_;
   MessageFramer framer_;
   std::unique_ptr<Framebuffer> replica_;
+  TileCache cache_;        // cached-encoding tile store (reset per session)
+  EncodeScratch scratch_;  // decode staging, capacity kept across updates
   RfbClientStats stats_;
+  obs::Counter* m_decode_errors_ = nullptr;
 };
 
 }  // namespace aroma::rfb

@@ -4,10 +4,13 @@
 
 #include <memory>
 
+#include <cstring>
+
 #include "env/environment.hpp"
 #include "net/stack.hpp"
 #include "net/stream.hpp"
 #include "phys/device.hpp"
+#include "rfb/cache.hpp"
 #include "rfb/encoding.hpp"
 #include "rfb/framebuffer.hpp"
 #include "rfb/protocol.hpp"
@@ -61,6 +64,91 @@ TEST(Framebuffer, DamageCollapsesWhenTooFragmented) {
     fb.set(i * 5, (i * 7) % 200, 0xffffffffu);
   }
   EXPECT_LE(fb.damage().size(), 17u);
+}
+
+TEST(Framebuffer, FarApartPixelDamagesStaySeparate) {
+  // Regression: two 1-px damages at opposite corners must never coalesce
+  // into a (near) full-frame rect.
+  Framebuffer fb(1000, 1000, 0);
+  fb.set(0, 0, 1);
+  fb.set(999, 999, 2);
+  ASSERT_EQ(fb.damage().size(), 2u);
+  EXPECT_EQ(fb.damage()[0], (RectRegion{0, 0, 1, 1}));
+  EXPECT_EQ(fb.damage()[1], (RectRegion{999, 999, 1, 1}));
+}
+
+TEST(Framebuffer, SparseOverflowMergesNearestNotBounding) {
+  // Two far-apart clusters of >16 single-pixel damages. The old policy
+  // collapsed everything into one ~full-screen bounding box; the new one
+  // must keep the clusters apart and merge within them.
+  Framebuffer fb(1000, 1000, 0);
+  for (int i = 0; i < 20; ++i) fb.set(2 * i, 3 * (i % 4), 1);          // top-left
+  for (int i = 0; i < 20; ++i) fb.set(950 + 2 * i % 50, 960 + i, 2);   // bottom-right
+  ASSERT_LE(fb.damage().size(), 16u);
+  ASSERT_GE(fb.damage().size(), 2u);
+  for (const auto& d : fb.damage()) {
+    EXPECT_LT(d.area(), 100 * 100) << d.x << "," << d.y << " " << d.w << "x"
+                                   << d.h;
+  }
+}
+
+TEST(Framebuffer, DenseOverflowStillCollapsesToBounding) {
+  // A line of typed characters: >16 adjacent 1-px damages whose bounding
+  // box is within kDenseCollapseFactor of the accumulated area still folds
+  // into one cheap rect.
+  Framebuffer fb(200, 200, 0);
+  for (int i = 0; i < 20; ++i) fb.set(10 + i, 5, 1);
+  EXPECT_LE(fb.damage().size(), 4u);
+  EXPECT_EQ(fb.damage_bounds(), (RectRegion{10, 5, 20, 1}));
+}
+
+// --- Tile grid --------------------------------------------------------------
+
+TEST(Framebuffer, TileGridDimensionsRoundUp) {
+  Framebuffer fb(100, 50, 0);  // not multiples of 16
+  EXPECT_EQ(fb.tiles_x(), 7);
+  EXPECT_EQ(fb.tiles_y(), 4);
+  EXPECT_EQ(fb.tile_rect(0, 0), (RectRegion{0, 0, 16, 16}));
+  EXPECT_EQ(fb.tile_rect(6, 3), (RectRegion{96, 48, 4, 2}));  // edge clip
+}
+
+TEST(Framebuffer, SinglePixelDirtiesExactlyOneTile) {
+  Framebuffer fb(100, 50, 0);
+  EXPECT_EQ(fb.dirty_tile_count(), 0u);
+  fb.set(17, 1, 1);
+  EXPECT_EQ(fb.dirty_tile_count(), 1u);
+  EXPECT_TRUE(fb.tile_dirty(1, 0));
+  EXPECT_FALSE(fb.tile_dirty(0, 0));
+  std::vector<TileCoord> tiles;
+  fb.collect_dirty_tiles(tiles);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], (TileCoord{1, 0}));
+  fb.clear_damage();
+  EXPECT_EQ(fb.dirty_tile_count(), 0u);
+  EXPECT_FALSE(fb.tile_dirty(1, 0));
+}
+
+TEST(Framebuffer, RectDamageDirtiesSpannedTiles) {
+  Framebuffer fb(100, 50, 0);
+  fb.fill_rect({14, 14, 4, 4}, 1);  // straddles 4 tiles
+  EXPECT_EQ(fb.dirty_tile_count(), 4u);
+  std::vector<TileCoord> tiles;
+  fb.collect_dirty_tiles(tiles);
+  ASSERT_EQ(tiles.size(), 4u);
+  EXPECT_EQ(tiles[0], (TileCoord{0, 0}));  // row-major order
+  EXPECT_EQ(tiles[3], (TileCoord{1, 1}));
+}
+
+TEST(Framebuffer, HashRectIsPositionIndependent) {
+  Framebuffer fb(64, 64, 0);
+  fb.fill_rect({0, 0, 2, 2}, 7);
+  fb.fill_rect({20, 20, 2, 2}, 7);
+  EXPECT_EQ(fb.hash_rect({0, 0, 2, 2}), fb.hash_rect({20, 20, 2, 2}));
+  // Same pixel count, different dims -> dims are folded into the hash.
+  fb.fill_rect({40, 40, 4, 1}, 7);
+  fb.fill_rect({40, 50, 1, 4}, 7);
+  EXPECT_NE(fb.hash_rect({40, 40, 4, 1}), fb.hash_rect({40, 50, 1, 4}));
+  EXPECT_NE(fb.hash_rect({0, 0, 2, 2}), fb.hash_rect({4, 0, 2, 2}));
 }
 
 TEST(Framebuffer, ContentHashAndEquality) {
@@ -203,6 +291,259 @@ TEST(Encoding, CostModelOrdersEncodings) {
             encode_cost_per_pixel(Encoding::kRle));
   EXPECT_LT(encode_cost_per_pixel(Encoding::kRle),
             encode_cost_per_pixel(Encoding::kTiled));
+  // The cached encoder's per-pixel unit is one hashing pass: cheaper than a
+  // full tile encode, dearer than a raw copy.
+  EXPECT_GT(encode_cost_per_pixel(Encoding::kCached),
+            encode_cost_per_pixel(Encoding::kRaw));
+  EXPECT_LT(encode_cost_per_pixel(Encoding::kCached),
+            encode_cost_per_pixel(Encoding::kTiled));
+}
+
+// --- Zero-copy encoders vs the reference oracle -----------------------------
+
+TEST(Encoding, ZeroCopyMatchesReferenceByteForByte) {
+  for (Content c : {Content::kSolid, Content::kSlides, Content::kNoise,
+                    Content::kGradient}) {
+    const Framebuffer src = make_content(c, 97, 61);
+    for (Encoding e : {Encoding::kRaw, Encoding::kRle, Encoding::kTiled}) {
+      for (RectRegion r :
+           {src.bounds(), RectRegion{13, 7, 41, 29}, RectRegion{96, 60, 1, 1},
+            RectRegion{0, 0, 16, 16}}) {
+        const auto zero_copy = encode_rect(src, r, e);
+        const auto reference = encode_rect_reference(src, r, e);
+        ASSERT_EQ(zero_copy, reference)
+            << to_string(e) << " content " << static_cast<int>(c) << " rect "
+            << r.x << "," << r.y << " " << r.w << "x" << r.h;
+      }
+    }
+  }
+}
+
+TEST(Encoding, EncodeScratchReusesCapacity) {
+  const Framebuffer src = make_content(Content::kSlides, 97, 61);
+  sim::Arena arena;
+  EncodeScratch scratch(arena);
+  encode_rect_into(src, src.bounds(), Encoding::kTiled, scratch);
+  const auto first = std::vector<std::byte>(scratch.out.begin(),
+                                            scratch.out.end());
+  // Steady state: the second encode of the same content must not need any
+  // more capacity and must produce identical bytes.
+  const std::size_t cap = scratch.out.capacity();
+  encode_rect_into(src, src.bounds(), Encoding::kTiled, scratch);
+  EXPECT_EQ(scratch.out.capacity(), cap);
+  EXPECT_TRUE(std::equal(scratch.out.begin(), scratch.out.end(),
+                         first.begin(), first.end()));
+}
+
+// --- RLE decoder hardening ---------------------------------------------------
+
+TEST(Encoding, RleDecodeRejectsTrailingBytes) {
+  const Framebuffer src = make_content(Content::kSolid, 16, 16);
+  auto encoded = encode_rect(src, src.bounds(), Encoding::kRle);
+  Framebuffer dst(16, 16, 0);
+  ASSERT_TRUE(decode_rect(dst, dst.bounds(), Encoding::kRle, encoded));
+  // A complete stream followed by extra bytes is malformed, not ignored.
+  encoded.insert(encoded.end(), 8, std::byte{0x5a});
+  EXPECT_FALSE(decode_rect(dst, dst.bounds(), Encoding::kRle, encoded));
+}
+
+TEST(Encoding, RleDecodeRejectsZeroRunAndOverflow) {
+  std::vector<std::byte> in(8, std::byte{0});  // run = 0, pixel = 0
+  EncodeScratch::PixelBuf px;
+  EXPECT_FALSE(detail::decode_rle(in, 256, px));
+  // run = 300 overflows a 256-pixel tile.
+  std::uint32_t run = 300;
+  std::memcpy(in.data(), &run, 4);
+  EXPECT_FALSE(detail::decode_rle(in, 256, px));
+  // Truncated record: run promises more than the input holds.
+  run = 256;
+  std::memcpy(in.data(), &run, 4);
+  EXPECT_TRUE(detail::decode_rle(in, 256, px));
+  in.pop_back();
+  EXPECT_FALSE(detail::decode_rle(in, 256, px));
+}
+
+// --- Cached (CopyRect-style) encoding ----------------------------------------
+
+std::vector<TileCoord> all_tiles(const Framebuffer& fb) {
+  std::vector<TileCoord> out;
+  for (int ty = 0; ty < fb.tiles_y(); ++ty) {
+    for (int tx = 0; tx < fb.tiles_x(); ++tx) out.push_back({tx, ty});
+  }
+  return out;
+}
+
+/// Server mirror + client cache pair driven in lockstep, as the protocol
+/// does over the reliable stream.
+struct CachedSession {
+  explicit CachedSession(std::size_t capacity = TileCache::kDefaultCapacity)
+      : server(capacity), client(capacity) {}
+
+  CachedEncodeStats sync(const Framebuffer& src, Framebuffer& dst,
+                         std::span<const TileCoord> tiles) {
+    if (last_sent.empty()) {
+      last_sent.assign(static_cast<std::size_t>(src.tiles_x()) *
+                           static_cast<std::size_t>(src.tiles_y()),
+                       0);
+    }
+    const auto stats =
+        encode_tiles_cached(src, tiles, server, last_sent, scratch);
+    EXPECT_TRUE(decode_tiles_cached(
+        dst, client,
+        std::span<const std::byte>(scratch.out.data(), scratch.out.size()),
+        dec_scratch));
+    return stats;
+  }
+
+  TileCache server, client;
+  std::vector<std::uint64_t> last_sent;
+  EncodeScratch scratch, dec_scratch;
+};
+
+TEST(CachedEncoding, ColdCacheFullFrameRoundTrip) {
+  for (auto [w, h] : {std::pair{97, 61}, {16, 16}, {1, 1}, {320, 240}}) {
+    const Framebuffer src = make_content(Content::kSlides, w, h);
+    Framebuffer dst(w, h, 0xffffffff);
+    CachedSession s;
+    const auto tiles = all_tiles(src);
+    const auto stats = s.sync(src, dst, tiles);
+    EXPECT_TRUE(dst.same_content(src)) << w << "x" << h;
+    EXPECT_EQ(stats.cache_refs + stats.tiles_sent + stats.tiles_skipped,
+              tiles.size());
+  }
+}
+
+TEST(CachedEncoding, RevisitedContentIsSentAsReferences) {
+  Framebuffer src = make_content(Content::kNoise, 160, 120);
+  Framebuffer dst(160, 120, 0);
+  CachedSession s;
+  const auto tiles = all_tiles(src);
+  const auto first = s.sync(src, dst, tiles);
+  EXPECT_GT(first.tiles_sent, 0u);
+  const std::size_t first_bytes = s.scratch.out.size();
+  const std::vector<Pixel> snapshot = src.pixels();
+
+  src.fill_rect(src.bounds(), 0xff111111);  // slide B
+  s.sync(src, dst, all_tiles(src));
+  ASSERT_TRUE(dst.same_content(src));
+
+  src.write_block(src.bounds(), snapshot.data());  // back to slide A
+  const auto third = s.sync(src, dst, tiles);
+  EXPECT_TRUE(dst.same_content(src));
+  EXPECT_EQ(third.tiles_sent, 0u);  // everything served from the cache
+  EXPECT_EQ(third.cache_refs, tiles.size());
+  EXPECT_LT(s.scratch.out.size(), first_bytes / 5);
+}
+
+TEST(CachedEncoding, UnchangedDamagedTilesAreSkipped) {
+  Framebuffer src = make_content(Content::kSlides, 64, 64);
+  Framebuffer dst(64, 64, 0);
+  CachedSession s;
+  s.sync(src, dst, all_tiles(src));
+  // Re-damage without changing content: nothing should go on the wire.
+  const auto again = s.sync(src, dst, all_tiles(src));
+  EXPECT_EQ(again.tiles_sent + again.cache_refs, 0u);
+  EXPECT_EQ(again.tiles_skipped, all_tiles(src).size());
+  EXPECT_TRUE(dst.same_content(src));
+}
+
+TEST(CachedEncoding, EvictionFallsBackToLiteralsAndStaysInSync) {
+  // A cache far smaller than the working set: the mirror keeps server and
+  // client evictions in lockstep, so references always resolve and evicted
+  // content is simply re-sent literally.
+  Framebuffer a = make_content(Content::kNoise, 160, 120);
+  const std::vector<Pixel> slide_a = a.pixels();
+  Framebuffer b = make_content(Content::kGradient, 160, 120);
+  const std::vector<Pixel> slide_b = b.pixels();
+
+  Framebuffer src(160, 120, 0);
+  Framebuffer dst(160, 120, 0);
+  CachedSession s(/*capacity=*/8);
+  const auto tiles = all_tiles(src);
+  for (int flip = 0; flip < 6; ++flip) {
+    src.write_block(src.bounds(),
+                    (flip % 2 == 0 ? slide_a : slide_b).data());
+    const auto stats = s.sync(src, dst, tiles);
+    ASSERT_TRUE(dst.same_content(src)) << "flip " << flip;
+    if (flip > 0) EXPECT_GT(stats.tiles_sent, 0u);  // evicted -> literal
+  }
+  EXPECT_GT(s.server.evictions(), 0u);
+  EXPECT_EQ(s.server.evictions(), s.client.evictions());
+}
+
+TEST(CachedEncoding, DecodeRejectsUnknownReferenceAndMalformedInput) {
+  Framebuffer fb(64, 64, 0);
+  TileCache cache;
+  EncodeScratch scratch;
+  const auto decode = [&](std::span<const std::byte> in) {
+    return decode_tiles_cached(fb, cache, in, scratch);
+  };
+  EXPECT_FALSE(decode(std::vector<std::byte>(3)));  // truncated count
+  // One tile referencing a hash nobody ever sent.
+  std::vector<std::byte> in(4 + 2 + 2 + 1 + 8, std::byte{0});
+  std::uint32_t ntiles = 1;
+  std::memcpy(in.data(), &ntiles, 4);
+  in[8] = std::byte{3};  // mode = reference
+  const std::uint64_t hash = 0xdeadbeefcafef00dULL;
+  std::memcpy(in.data() + 9, &hash, 8);
+  EXPECT_FALSE(decode(in));
+  // Out-of-range tile coordinate.
+  const std::uint16_t tx = 99;
+  std::memcpy(in.data() + 4, &tx, 2);
+  EXPECT_FALSE(decode(in));
+  // Trailing garbage after a complete (empty) tile set.
+  std::vector<std::byte> empty(4, std::byte{0});
+  EXPECT_TRUE(decode(empty));
+  empty.push_back(std::byte{7});
+  EXPECT_FALSE(decode(empty));
+}
+
+// --- Property sweep: random damage keeps the replica identical --------------
+
+/// Random mutation: mostly solid fills (compressible), sometimes noise.
+void fb_mutate(Framebuffer& fb, RectRegion r, sim::Rng& rng) {
+  if (rng.next_u64() % 3 == 0) {
+    for (int y = r.y; y < r.y + r.h; ++y) {
+      for (int x = r.x; x < r.x + r.w; ++x) {
+        fb.set(x, y, static_cast<Pixel>(rng.next_u64()));
+      }
+    }
+  } else {
+    fb.fill_rect(r, static_cast<Pixel>(rng.next_u64()) | 0xff000000u);
+  }
+}
+
+TEST(Encoding, PropertyRandomDamageKeepsReplicaInSyncAllEncodings) {
+  for (Encoding e : {Encoding::kRaw, Encoding::kRle, Encoding::kTiled,
+                     Encoding::kCached}) {
+    sim::Rng rng(0xfeedULL + static_cast<std::uint64_t>(e));
+    Framebuffer src(113, 89, 0xff101010);  // odd dims exercise edge tiles
+    Framebuffer dst(113, 89, 0xff101010);
+    CachedSession session(/*capacity=*/32);  // small: exercises eviction
+    std::vector<TileCoord> tiles;
+    for (int step = 0; step < 60; ++step) {
+      const int nmut = 1 + static_cast<int>(rng.next_u64() % 4);
+      for (int m = 0; m < nmut; ++m) {
+        const RectRegion r{static_cast<int>(rng.next_u64() % 113),
+                           static_cast<int>(rng.next_u64() % 89),
+                           1 + static_cast<int>(rng.next_u64() % 40),
+                           1 + static_cast<int>(rng.next_u64() % 40)};
+        fb_mutate(src, r, rng);
+      }
+      if (e == Encoding::kCached) {
+        src.collect_dirty_tiles(tiles);
+        session.sync(src, dst, tiles);
+      } else {
+        for (const RectRegion& r : src.damage()) {
+          const auto payload = encode_rect(src, r, e);
+          ASSERT_TRUE(decode_rect(dst, r, e, payload));
+        }
+      }
+      src.clear_damage();
+      ASSERT_TRUE(dst.same_content(src))
+          << to_string(e) << " diverged at step " << step;
+    }
+  }
 }
 
 // --- MessageFramer ----------------------------------------------------------
@@ -324,6 +665,58 @@ TEST(RfbProtocol, AnimationThrottledByLinkNotLost) {
   const double fps = rw.viewer->stats().fps(sim::Time::sec(20));
   EXPECT_GT(fps, 0.5);
   EXPECT_LT(fps, 15.0);  // the 2 Mb/s link cannot carry the full 20 Hz
+}
+
+TEST(RfbProtocol, CachedEncodingSyncsAndHitsCacheOnRevisit) {
+  RfbWorld rw;
+  Framebuffer screen(160, 120, 0xff202020);
+  SlideDeckWorkload deck(3);
+  deck.step(screen);
+  RfbServer::Params params;
+  params.encoding = Encoding::kCached;
+  rw.connect(screen, params);
+  rw.world.sim().run_until(sim::Time::sec(15));
+  ASSERT_TRUE(rw.viewer->initialized());
+  ASSERT_TRUE(rw.viewer->replica().same_content(screen));
+  const std::vector<Pixel> slide_a = screen.pixels();
+  const std::uint64_t bytes_a = rw.server->stats().bytes_sent;
+  EXPECT_GT(rw.server->stats().tiles_encoded, 0u);
+
+  deck.step(screen);  // slide B
+  rw.server->notify_changed();
+  rw.world.sim().run_until(sim::Time::sec(30));
+  ASSERT_TRUE(rw.viewer->replica().same_content(screen));
+
+  screen.write_block(screen.bounds(), slide_a.data());  // back to slide A
+  rw.server->notify_changed();
+  rw.world.sim().run_until(sim::Time::sec(45));
+  EXPECT_TRUE(rw.viewer->replica().same_content(screen));
+  EXPECT_GT(rw.server->stats().cache_hits, 0u);
+  EXPECT_EQ(rw.viewer->stats().decode_errors, 0u);
+  (void)bytes_a;
+}
+
+TEST(RfbProtocol, CachedAnimationConvergesWithSkips) {
+  RfbWorld rw;
+  Framebuffer screen(160, 120, 0xff202020);
+  AnimationWorkload anim(9, 48);
+  RfbServer::Params params;
+  params.encoding = Encoding::kCached;
+  rw.connect(screen, params);
+  sim::PeriodicTimer ticker(rw.world.sim(), sim::Time::ms(50), [&] {
+    anim.step(screen);
+    if (rw.server) rw.server->notify_changed();
+  });
+  ticker.start();
+  rw.world.sim().run_until(sim::Time::sec(15));
+  ticker.stop();
+  rw.world.sim().run_until(sim::Time::sec(30));
+  ASSERT_TRUE(rw.viewer->initialized());
+  EXPECT_TRUE(rw.viewer->replica().same_content(screen));
+  EXPECT_EQ(rw.viewer->stats().decode_errors, 0u);
+  // A bouncing sprite re-exposes background it previously covered: the
+  // cache serves those tiles as references.
+  EXPECT_GT(rw.server->stats().cache_hits, 0u);
 }
 
 // --- Workloads -----------------------------------------------------------
