@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """Validate the machine-readable output of bench/kernel_bench,
-bench/fleet_bench, and bench/rfb_bench.
+bench/fleet_bench, bench/rfb_bench, and bench/snap_bench.
 
 Usage: check_bench_json.py BENCH_kernel.json [BENCH_fleet.json ...]
 
 Dispatches on each document's top-level "bench" field ("kernel", "fleet",
-or "rfb"). Checks structure plus machine-independent invariants (replica
+"rfb", or "snap"). Checks structure plus machine-independent invariants (replica
 fingerprints, byte ratios) -- never absolute performance, which is
 machine-dependent. CI runs this after the bench smoke runs so a refactor
 that silently stops emitting a field (or the per-category profiler
@@ -259,6 +259,92 @@ def check_rfb(doc):
           f"{len(by_point)} scenario points, slide cache ratio {ratio:.1f}x)")
 
 
+SNAP_RUN_KEYS = {
+    "shards": int,
+    "capture_workers": int,
+    "restore_workers": int,
+    "blob_bytes_total": int,
+    "blob_bytes_avg": float,
+    "reference_wall_s": float,
+    "restore_wall_s": float,
+    "reference_fingerprint": str,
+    "checkpointed_fingerprint": str,
+    "restored_fingerprint": str,
+    "checkpoint_match": bool,
+    "restore_match": bool,
+}
+SNAP_INCR_KEYS = {
+    "cadence_s": float,
+    "cycles": int,
+    "full_bytes": int,
+    "incremental_bytes_avg": float,
+    "incremental_bytes_max": int,
+    "ratio": float,
+    "min_ratio_gate": float,
+    "chain_materializes": bool,
+    "deferral_steps": int,
+}
+SNAP_THROUGHPUT_KEYS = {
+    "blob_bytes": int,
+    "save_iters": int,
+    "save_mb_per_s": float,
+    "restore_iters": int,
+    "restore_mb_per_s": float,
+}
+
+
+def check_snap(doc):
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail('top-level "runs" missing or empty')
+    for r in runs:
+        what = f'snap run shards={r.get("shards")}'
+        check_keys(r, SNAP_RUN_KEYS, what)
+        if r["blob_bytes_total"] <= 0:
+            fail(f"{what} wrote an empty checkpoint blob")
+        for key in ("reference_fingerprint", "checkpointed_fingerprint",
+                    "restored_fingerprint"):
+            check_fingerprint(r[key], f"{what} {key}")
+        # The durability contract, re-checked from the artifact itself:
+        # checkpointing must not perturb the run, and the restored fleet
+        # (different worker count) must land on the reference fingerprint.
+        if r["checkpointed_fingerprint"] != r["reference_fingerprint"]:
+            fail(f"{what}: checkpointing perturbed the run")
+        if r["restored_fingerprint"] != r["reference_fingerprint"]:
+            fail(f"{what}: restored fleet diverged from the reference")
+        if not (r["checkpoint_match"] and r["restore_match"]):
+            fail(f"{what}: match flags contradict the fingerprints")
+
+    incr = doc.get("incremental")
+    if not isinstance(incr, dict):
+        fail('top-level "incremental" missing')
+    check_keys(incr, SNAP_INCR_KEYS, '"incremental"')
+    if not incr["chain_materializes"]:
+        fail("incremental chain did not materialize the full blob")
+    if incr["ratio"] < incr["min_ratio_gate"]:
+        fail(f'incremental ratio {incr["ratio"]:.2f} < gate '
+             f'{incr["min_ratio_gate"]}')
+
+    tp = doc.get("throughput")
+    if not isinstance(tp, dict):
+        fail('top-level "throughput" missing')
+    check_keys(tp, SNAP_THROUGHPUT_KEYS, '"throughput"')
+    if tp["save_mb_per_s"] <= 0 or tp["restore_mb_per_s"] <= 0:
+        fail("non-positive save/restore throughput")
+
+    gates = doc.get("gates")
+    if not isinstance(gates, dict):
+        fail('top-level "gates" missing')
+    for key in ("fingerprints_match", "incremental_ratio_ok",
+                "chain_materializes"):
+        if gates.get(key) is not True:
+            fail(f'"gates.{key}" is not true')
+
+    print(f"check_bench_json: OK (snap: {len(runs)} shard counts, "
+          f'incremental ratio {incr["ratio"]:.1f}x, '
+          f'blob {incr["full_bytes"]} B)')
+
+
 def main(paths):
     for path in paths:
         with open(path, encoding="utf-8") as f:
@@ -270,9 +356,11 @@ def main(paths):
             check_fleet(doc)
         elif kind == "rfb":
             check_rfb(doc)
+        elif kind == "snap":
+            check_snap(doc)
         else:
             fail(f'{path}: top-level "bench" is {kind!r}, expected '
-                 f'"kernel", "fleet", or "rfb"')
+                 f'"kernel", "fleet", "rfb", or "snap"')
         if not isinstance(doc.get("seed"), int):
             fail(f'{path}: top-level "seed" missing or not an integer')
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "net/serialize.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::app {
 
@@ -187,6 +188,36 @@ void SmartProjector::on_control_msg(const net::Datagram& dg) {
   }
 }
 
+void SmartProjector::save(snap::SectionWriter& w) const {
+  w.b(state_.powered);
+  w.i64(state_.input);
+  w.i64(state_.brightness);
+  w.b(state_.projecting);
+  w.u64(stats_.acquire_ok);
+  w.u64(stats_.acquire_busy);
+  w.u64(stats_.commands_ok);
+  w.u64(stats_.commands_rejected);
+  w.u64(stats_.projections_started);
+  w.u64(stats_.projections_stopped);
+  projection_session_.save(w);
+  control_session_.save(w);
+}
+
+void SmartProjector::restore(snap::SectionReader& r) {
+  state_.powered = r.b();
+  state_.input = static_cast<int>(r.i64());
+  state_.brightness = static_cast<int>(r.i64());
+  state_.projecting = r.b();
+  stats_.acquire_ok = r.u64();
+  stats_.acquire_busy = r.u64();
+  stats_.commands_ok = r.u64();
+  stats_.commands_rejected = r.u64();
+  stats_.projections_started = r.u64();
+  stats_.projections_stopped = r.u64();
+  projection_session_.restore(r);
+  control_session_.restore(r);
+}
+
 // ---------------------------------------------------------------------------
 // ProjectorClient
 
@@ -314,6 +345,50 @@ void ProjectorClient::on_datagram(const net::Datagram& dg) {
   }
 }
 
+bool ProjectorClient::snap_quiescent(std::string* why) const {
+  if (!pending_acquire_.empty()) {
+    if (why) *why = "acquire exchange in flight";
+    return false;
+  }
+  if (pending_start_) {
+    if (why) *why = "start exchange in flight";
+    return false;
+  }
+  if (pending_command_) {
+    if (why) *why = "command exchange in flight";
+    return false;
+  }
+  return true;
+}
+
+void ProjectorClient::save(snap::SectionWriter& w) const {
+  w.b(session_.has_value());
+  if (session_) w.u64(*session_);
+  w.u32(next_token_);
+  w.b(renewer_ != nullptr);
+  if (renewer_) renewer_->save(w);
+}
+
+void ProjectorClient::restore(snap::SectionReader& r) {
+  pending_acquire_.clear();
+  pending_start_ = {};
+  pending_command_ = {};
+  session_.reset();
+  if (r.b()) session_ = r.u64();
+  next_token_ = r.u32();
+  if (r.b()) {
+    if (!renewer_) {
+      renewer_ = std::make_unique<sim::PeriodicTimer>(
+          world_.sim(), sim::Time::sec(20.0), [this] { send_renew(); });
+    }
+    renewer_->restore(r);
+  } else if (renewer_) {
+    // The warmed-up replica created a renewal timer the checkpointed world
+    // never did — the structural rebuild diverged.
+    throw snap::SnapError("projector client renewal timer mismatch");
+  }
+}
+
 // ---------------------------------------------------------------------------
 // PresenterDisplay
 
@@ -341,6 +416,21 @@ void PresenterDisplay::start_server() {
 void PresenterDisplay::apply(rfb::ScreenWorkload& workload) {
   workload.step(screen_);
   if (server_) server_->notify_changed();
+}
+
+void PresenterDisplay::save(snap::SectionWriter& w) const {
+  w.b(accepting_);
+  w.b(server_ != nullptr);
+}
+
+void PresenterDisplay::restore(snap::SectionReader& r) {
+  const bool accepting = r.b();
+  const bool has_server = r.b();
+  if (accepting != accepting_ || has_server != (server_ != nullptr)) {
+    // Listen state and the accept-spawned server are structural; a mismatch
+    // means the warmup replay did not reproduce the checkpointed topology.
+    throw snap::SnapError("presenter display structural mismatch");
+  }
 }
 
 }  // namespace aroma::app

@@ -29,6 +29,11 @@
 #include "rfb/workload.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::app {
 
 inline constexpr net::Port kProjectionPort = 5800;
@@ -102,6 +107,16 @@ class SmartProjector {
   }
   const rfb::RfbClient* viewer() const { return viewer_.get(); }
 
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // save()/restore() cover the projector's own state (hardware state,
+  // service stats, both session managers). The stream manager and viewer
+  // are exposed so the checkpoint harness can serialize them into the
+  // stream/RFB sections alongside their peers.
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
+  net::StreamManager* stream_manager() { return streams_.get(); }
+  rfb::RfbClient* viewer_client() { return viewer_.get(); }
+
  private:
   void on_projection_msg(const net::Datagram& dg);
   void on_control_msg(const net::Datagram& dg);
@@ -145,6 +160,14 @@ class ProjectorClient {
 
   bool has_session() const { return session_.has_value(); }
 
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Pending acquire/start/command exchanges hold user callbacks (code), so
+  // the client is only checkpointable with none in flight. The renewal
+  // timer is a PeriodicTimer, re-armed verbatim.
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
+
  private:
   void on_datagram(const net::Datagram& dg);
   void send_renew();
@@ -181,6 +204,16 @@ class PresenterDisplay {
   void apply(rfb::ScreenWorkload& workload);
 
   const rfb::RfbServer* server() const { return server_.get(); }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // The display's own persistent state is just the accepting flag (the
+  // server and connection are structural, rebuilt by warmup and validated
+  // on restore). Screen pixels and the RFB server serialize into the pixel
+  // and RFB sections via these accessors.
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
+  net::StreamManager* stream_manager() { return streams_.get(); }
+  rfb::RfbServer* server_mutable() { return server_.get(); }
 
  private:
   sim::World& world_;

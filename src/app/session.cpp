@@ -1,5 +1,7 @@
 #include "app/session.hpp"
 
+#include "snap/format.hpp"
+
 namespace aroma::app {
 
 SessionManager::SessionManager(sim::World& world, std::string resource_name)
@@ -59,6 +61,42 @@ void SessionManager::expire() {
   current_.reset();
   ++stats_.expirations;
   if (on_change_) on_change_(0);
+}
+
+void SessionManager::save(snap::SectionWriter& w) const {
+  w.u64(stats_.acquisitions);
+  w.u64(stats_.rejections);
+  w.u64(stats_.releases);
+  w.u64(stats_.expirations);
+  w.u64(stats_.renewals);
+  w.u64(next_token_);
+  w.b(current_.has_value());
+  if (current_) {
+    w.u64(current_->token);
+    w.u64(current_->owner);
+  }
+  leases_.save(w);
+}
+
+void SessionManager::restore(snap::SectionReader& r) {
+  stats_.acquisitions = r.u64();
+  stats_.rejections = r.u64();
+  stats_.releases = r.u64();
+  stats_.expirations = r.u64();
+  stats_.renewals = r.u64();
+  next_token_ = r.u64();
+  current_.reset();
+  if (r.b()) {
+    Current c{};
+    c.token = r.u64();
+    c.owner = r.u64();
+    current_ = c;
+  }
+  // Every lease in this table guards the single current session; its expiry
+  // callback is always the manager's own expire().
+  leases_.restore(r, [this](std::uint64_t) {
+    return [this] { expire(); };
+  });
 }
 
 }  // namespace aroma::app

@@ -14,6 +14,11 @@
 #include "disco/lease.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::app {
 
 using SessionToken = std::uint64_t;
@@ -59,6 +64,13 @@ class SessionManager {
   void set_owner_change_callback(std::function<void(std::uint64_t)> cb) {
     on_change_ = std::move(cb);
   }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Checkpointable at any instant: the only scheduled state is the lease
+  // table's tracked expiry checks. The owner-change callback is structural
+  // (re-bound by whoever owns the manager).
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   struct Current {

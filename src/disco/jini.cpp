@@ -1,10 +1,13 @@
 #include "disco/jini.hpp"
 
 #include <algorithm>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::disco {
 
@@ -238,10 +241,12 @@ void JiniClient::send_discovery(int attempt) {
   ++messages_sent_;
   stack_.send_multicast(net::kDiscoveryGroup, net::kRegistrarPort, port_,
                         w.take());
+  ++outstanding_timeouts_;
   world_.sim().schedule_in(params_.discovery_timeout,
                            sim::EventCategory::kDiscovery,
                            [this, attempt, guard = std::weak_ptr<char>(alive_)] {
     if (guard.expired()) return;
+    --outstanding_timeouts_;
     if (has_registrar()) {
       discovering_ = false;
       return;
@@ -328,10 +333,12 @@ void JiniClient::lookup(const ServiceTemplate& tmpl, LookupResult cb) {
   const std::uint32_t token = next_token_++;
   pending_lookup_[token] = std::move(cb);
   // Unanswered lookups (e.g. the registrar died mid-request) fail cleanly.
+  ++outstanding_timeouts_;
   world_.sim().schedule_in(params_.lookup_timeout,
                            sim::EventCategory::kDiscovery,
                            [this, token, guard = std::weak_ptr<char>(alive_)] {
                              if (guard.expired()) return;
+                             --outstanding_timeouts_;
                              auto it = pending_lookup_.find(token);
                              if (it == pending_lookup_.end()) return;
                              auto cb = std::move(it->second);
@@ -372,10 +379,15 @@ void JiniClient::subscribe(const ServiceTemplate& tmpl, EventCallback cb) {
 
 void JiniClient::schedule_renewal(ServiceId id, sim::Time lease) {
   const sim::Time delay = sim::scale(lease, params_.renew_fraction);
-  world_.sim().schedule_in(delay, sim::EventCategory::kDiscovery,
-                           [this, id, lease,
-                            guard = std::weak_ptr<char>(alive_)] {
+  const sim::EventHandle h = world_.sim().schedule_in(
+      delay, sim::EventCategory::kDiscovery, make_renewal(id, lease));
+  renewal_events_[id] = RenewalEvent{lease, h};
+}
+
+std::function<void()> JiniClient::make_renewal(ServiceId id, sim::Time lease) {
+  return [this, id, lease, guard = std::weak_ptr<char>(alive_)] {
     if (guard.expired()) return;
+    renewal_events_.erase(id);
     auto it = held_leases_.find(id);
     if (it == held_leases_.end()) return;  // withdrawn
     {
@@ -394,7 +406,7 @@ void JiniClient::schedule_renewal(ServiceId id, sim::Time lease) {
       });
     }
     schedule_renewal(id, lease);
-  });
+  };
 }
 
 void JiniClient::on_datagram(const net::Datagram& dg) {
@@ -470,6 +482,181 @@ void JiniClient::on_datagram(const net::Datagram& dg) {
     }
     default:
       return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore
+
+void JiniRegistrar::save(snap::SectionWriter& w) const {
+  w.u64(stats_.registrations);
+  w.u64(stats_.renewals);
+  w.u64(stats_.lookups);
+  w.u64(stats_.lease_expirations);
+  w.u64(stats_.events_sent);
+  w.u64(stats_.discovery_responses);
+  w.u64(next_service_id_);
+  w.u64(next_subscription_id_);
+  w.b(enabled_);
+  w.u64(services_.size());
+  for (const auto& [id, desc] : services_) {
+    w.u64(id);
+    net::ByteWriter bw;
+    desc.serialize(bw);
+    w.bytes(bw.data().data(), bw.data().size());
+  }
+  w.u64(subscriptions_.size());
+  for (const Subscription& sub : subscriptions_) {
+    w.u64(sub.id);
+    w.u64(sub.listener.node);
+    w.u16(sub.listener.port);
+    net::ByteWriter bw;
+    sub.tmpl.serialize(bw);
+    w.bytes(bw.data().data(), bw.data().size());
+  }
+  announcer_->save(w);
+  leases_.save(w);
+}
+
+void JiniRegistrar::restore(snap::SectionReader& r) {
+  stats_.registrations = r.u64();
+  stats_.renewals = r.u64();
+  stats_.lookups = r.u64();
+  stats_.lease_expirations = r.u64();
+  stats_.events_sent = r.u64();
+  stats_.discovery_responses = r.u64();
+  next_service_id_ = r.u64();
+  next_subscription_id_ = r.u64();
+  enabled_ = r.b();
+  services_.clear();
+  const std::uint64_t n_services = r.u64();
+  for (std::uint64_t i = 0; i < n_services; ++i) {
+    const ServiceId id = r.u64();
+    const std::vector<std::uint8_t> blob = r.bytes();
+    net::ByteReader br(std::as_bytes(std::span(blob)));
+    services_[id] = ServiceDescription::deserialize(br);
+    if (!br.ok()) {
+      throw snap::SnapError("registrar restore: bad service description");
+    }
+  }
+  subscriptions_.clear();
+  const std::uint64_t n_subs = r.u64();
+  for (std::uint64_t i = 0; i < n_subs; ++i) {
+    Subscription sub;
+    sub.id = r.u64();
+    sub.listener.node = r.u64();
+    sub.listener.port = r.u16();
+    const std::vector<std::uint8_t> blob = r.bytes();
+    net::ByteReader br(std::as_bytes(std::span(blob)));
+    sub.tmpl = ServiceTemplate::deserialize(br);
+    if (!br.ok()) {
+      throw snap::SnapError("registrar restore: bad subscription template");
+    }
+    subscriptions_.push_back(std::move(sub));
+  }
+  announcer_->restore(r);
+  leases_.restore(r, [this](std::uint64_t key) -> std::function<void()> {
+    if (key >= kSubLeaseKeyBase) {
+      const std::uint64_t sid = key - kSubLeaseKeyBase;
+      return [this, sid] {
+        subscriptions_.erase(
+            std::remove_if(subscriptions_.begin(), subscriptions_.end(),
+                           [&](const Subscription& s) { return s.id == sid; }),
+            subscriptions_.end());
+      };
+    }
+    const ServiceId id = key;
+    return [this, id] { expire_service(id); };
+  });
+}
+
+bool JiniClient::snap_quiescent(std::string* why) const {
+  if (!pending_reg_.empty() || !pending_lookup_.empty()) {
+    if (why) *why = "jini client: registration/lookup exchange in flight";
+    return false;
+  }
+  if (discovering_ || !waiting_.empty()) {
+    if (why) *why = "jini client: discovery in progress";
+    return false;
+  }
+  if (outstanding_timeouts_ != 0) {
+    if (why) *why = "jini client: timeout event scheduled";
+    return false;
+  }
+  return true;
+}
+
+void JiniClient::save(snap::SectionWriter& w) const {
+  w.u64(registrars_.size());
+  for (const auto& [node, heard] : registrars_) {
+    w.u64(node);
+    w.time_delta(heard);
+  }
+  w.u32(next_token_);
+  w.u64(messages_sent_);
+  w.u64(held_leases_.size());
+  for (const auto& [id, held] : held_leases_) {
+    w.u64(id);
+    w.duration(held.lease);
+    net::ByteWriter bw;
+    held.desc.serialize(bw);
+    w.bytes(bw.data().data(), bw.data().size());
+  }
+  w.u64(renewal_events_.size());
+  for (const auto& [id, re] : renewal_events_) {
+    const auto info = world_.sim().pending_event_info(re.event);
+    if (!info.valid) {
+      throw snap::SnapError("jini client save: renewal event vanished");
+    }
+    w.u64(id);
+    w.duration(re.lease);
+    w.time_delta(info.when);
+    w.u64(info.seq);
+    w.u64(info.id);
+  }
+}
+
+void JiniClient::restore(snap::SectionReader& r) {
+  pending_reg_.clear();
+  pending_lookup_.clear();
+  waiting_.clear();
+  discovering_ = false;
+  outstanding_timeouts_ = 0;
+  renewal_events_.clear();
+
+  registrars_.clear();
+  const std::uint64_t n_regs = r.u64();
+  for (std::uint64_t i = 0; i < n_regs; ++i) {
+    const net::NodeId node = r.u64();
+    registrars_[node] = r.time_delta();
+  }
+  next_token_ = r.u32();
+  messages_sent_ = r.u64();
+  held_leases_.clear();
+  const std::uint64_t n_held = r.u64();
+  for (std::uint64_t i = 0; i < n_held; ++i) {
+    const ServiceId id = r.u64();
+    HeldRegistration held;
+    held.lease = r.duration();
+    const std::vector<std::uint8_t> blob = r.bytes();
+    net::ByteReader br(std::as_bytes(std::span(blob)));
+    held.desc = ServiceDescription::deserialize(br);
+    if (!br.ok()) {
+      throw snap::SnapError("jini client restore: bad held description");
+    }
+    held_leases_[id] = std::move(held);
+  }
+  const std::uint64_t n_renewals = r.u64();
+  for (std::uint64_t i = 0; i < n_renewals; ++i) {
+    const ServiceId id = r.u64();
+    const sim::Time lease = r.duration();
+    const sim::Time when = r.time_delta();
+    const std::uint64_t seq = r.u64();
+    const std::uint64_t eid = r.u64();
+    const sim::EventHandle h = world_.sim().restore_event(
+        when, seq, eid, sim::EventCategory::kDiscovery,
+        make_renewal(id, lease));
+    renewal_events_[id] = RenewalEvent{lease, h};
   }
 }
 

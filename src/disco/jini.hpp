@@ -12,12 +12,18 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "disco/lease.hpp"
 #include "disco/service.hpp"
 #include "net/stack.hpp"
 #include "sim/world.hpp"
+
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
 
 namespace aroma::disco {
 
@@ -78,6 +84,13 @@ class JiniRegistrar {
   /// All currently registered services matching a template (local query,
   /// used by tests and the analyzer).
   std::vector<ServiceDescription> snapshot(const ServiceTemplate& t) const;
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // The registrar is checkpointable at any instant: its only scheduled
+  // events are the announcer (a PeriodicTimer, re-armed verbatim) and the
+  // lease table's tracked expiry checks.
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   struct Subscription {
@@ -159,6 +172,15 @@ class JiniClient {
   /// Messages this client has sent (for protocol-cost experiments).
   std::uint64_t messages_sent() const { return messages_sent_; }
 
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Pending discovery/lookup exchanges hold result callbacks (code), so the
+  // client is only checkpointable with no exchange in flight and no
+  // discovery/lookup timeout event scheduled. Lease-renewal one-shots are
+  // tracked per service and re-armed verbatim on restore.
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
+
  private:
   struct PendingRegistration {
     ServiceDescription desc;
@@ -170,6 +192,7 @@ class JiniClient {
   void send_discovery(int attempt);
   void with_registrar(std::function<void(net::NodeId)> action);
   void schedule_renewal(ServiceId id, sim::Time lease);
+  std::function<void()> make_renewal(ServiceId id, sim::Time lease);
   /// Most recently heard non-stale registrar, or 0 when none qualify.
   net::NodeId pick_registrar() const;
 
@@ -187,10 +210,21 @@ class JiniClient {
   std::map<std::uint32_t, PendingRegistration> pending_reg_;
   std::map<std::uint32_t, LookupResult> pending_lookup_;
   std::map<ServiceId, HeldRegistration> held_leases_;
+  /// The scheduled renewal one-shot per lease id. An entry may outlive its
+  /// held lease (withdrawn before the event fired); it is then a no-op
+  /// event that must still be re-armed on restore for bit-equality.
+  struct RenewalEvent {
+    sim::Time lease;
+    sim::EventHandle event;
+  };
+  std::map<ServiceId, RenewalEvent> renewal_events_;
   EventCallback on_event_;
   std::uint32_t next_token_ = 1;
   std::uint64_t messages_sent_ = 0;
   bool discovering_ = false;
+  // Scheduled-but-unfired discovery/lookup timeout one-shots; nonzero
+  // blocks checkpointing.
+  int outstanding_timeouts_ = 0;
   std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 

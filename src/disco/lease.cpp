@@ -1,7 +1,10 @@
 #include "disco/lease.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::disco {
 
@@ -51,10 +54,20 @@ sim::Time LeaseTable::expiry(std::uint64_t key) const {
 
 void LeaseTable::schedule_check(std::uint64_t key, std::uint64_t gen,
                                 sim::Time when) {
-  world_.sim().schedule_at(when, sim::EventCategory::kLease,
-                           [this, key, gen,
-                            guard = std::weak_ptr<char>(alive_)] {
+  const sim::EventHandle h = world_.sim().schedule_at(
+      when, sim::EventCategory::kLease, make_check(key, gen));
+  checks_.push_back(PendingCheck{key, gen, h});
+}
+
+std::function<void()> LeaseTable::make_check(std::uint64_t key,
+                                             std::uint64_t gen) {
+  return [this, key, gen, guard = std::weak_ptr<char>(alive_)] {
     if (guard.expired()) return;
+    checks_.erase(std::remove_if(checks_.begin(), checks_.end(),
+                                 [&](const PendingCheck& c) {
+                                   return c.key == key && c.gen == gen;
+                                 }),
+                  checks_.end());
     auto it = leases_.find(key);
     if (it == leases_.end() || it->second.gen != gen) return;  // renewed
     auto cb = std::move(it->second.on_expire);
@@ -67,7 +80,75 @@ void LeaseTable::schedule_check(std::uint64_t key, std::uint64_t gen,
     obs::ScopedSpan span(world_, "disco.lease.expire", lpc::Layer::kAbstract,
                          sim::TraceLevel::kWarn);
     if (cb) cb();
-  });
+  };
+}
+
+void LeaseTable::save(snap::SectionWriter& w) const {
+  w.u64(next_gen_);
+  w.u64(expirations_);
+
+  std::vector<std::pair<std::uint64_t, const Lease*>> sorted;
+  sorted.reserve(leases_.size());
+  for (const auto& [key, lease] : leases_) sorted.emplace_back(key, &lease);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(sorted.size());
+  for (const auto& [key, lease] : sorted) {
+    w.u64(key);
+    w.time_delta(lease->expiry);  // duration-from-now: rebases under a gap
+    w.u64(lease->gen);
+  }
+
+  // Every live check event, stale generations included, with its kernel
+  // identity so restore can re-insert it verbatim.
+  struct CheckRec {
+    std::uint64_t key, gen, seq, id;
+    sim::Time when;
+  };
+  std::vector<CheckRec> recs;
+  recs.reserve(checks_.size());
+  for (const PendingCheck& c : checks_) {
+    const auto info = world_.sim().pending_event_info(c.event);
+    if (!info.valid) continue;  // fired/cancelled; entry not yet pruned
+    recs.push_back(CheckRec{c.key, c.gen, info.seq, info.id, info.when});
+  }
+  std::sort(recs.begin(), recs.end(),
+            [](const CheckRec& a, const CheckRec& b) { return a.seq < b.seq; });
+  w.u64(recs.size());
+  for (const CheckRec& rec : recs) {
+    w.u64(rec.key);
+    w.u64(rec.gen);
+    w.time_delta(rec.when);
+    w.u64(rec.seq);
+    w.u64(rec.id);
+  }
+}
+
+void LeaseTable::restore(snap::SectionReader& r,
+                         const ExpireFactory& factory) {
+  leases_.clear();
+  checks_.clear();
+  next_gen_ = r.u64();
+  expirations_ = r.u64();
+  const std::uint64_t n_leases = r.u64();
+  for (std::uint64_t i = 0; i < n_leases; ++i) {
+    const std::uint64_t key = r.u64();
+    Lease& l = leases_[key];
+    l.expiry = r.time_delta();
+    l.gen = r.u64();
+    l.on_expire = factory ? factory(key) : std::function<void()>();
+  }
+  const std::uint64_t n_checks = r.u64();
+  for (std::uint64_t i = 0; i < n_checks; ++i) {
+    const std::uint64_t key = r.u64();
+    const std::uint64_t gen = r.u64();
+    const sim::Time when = r.time_delta();
+    const std::uint64_t seq = r.u64();
+    const std::uint64_t id = r.u64();
+    const sim::EventHandle h = world_.sim().restore_event(
+        when, seq, id, sim::EventCategory::kLease, make_check(key, gen));
+    checks_.push_back(PendingCheck{key, gen, h});
+  }
 }
 
 }  // namespace aroma::disco

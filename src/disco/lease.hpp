@@ -10,12 +10,18 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/world.hpp"
 
 namespace aroma::obs {
 class Counter;
 }  // namespace aroma::obs
+
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
 
 namespace aroma::disco {
 
@@ -42,16 +48,37 @@ class LeaseTable {
 
   std::uint64_t expirations() const { return expirations_; }
 
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Expiry deadlines are serialized as durations-from-now, so a restore
+  // under a simulated-time gap rebases every lease uniformly: a lease with
+  // 12 s left at checkpoint time has 12 s left after restore. Expiry
+  // callbacks are code, not data — restore rebuilds each from `factory`.
+  // Outstanding check events (including stale-generation ones left behind
+  // by renewals) are re-armed verbatim so the restored kernel's event
+  // stream is bit-identical to an uninterrupted run.
+  using ExpireFactory =
+      std::function<std::function<void()>(std::uint64_t key)>;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r, const ExpireFactory& factory);
+
  private:
   struct Lease {
     sim::Time expiry;
     std::uint64_t gen = 0;
     std::function<void()> on_expire;
   };
+  /// One scheduled-but-unfired expiry check; pruned when it fires.
+  struct PendingCheck {
+    std::uint64_t key;
+    std::uint64_t gen;
+    sim::EventHandle event;
+  };
   void schedule_check(std::uint64_t key, std::uint64_t gen, sim::Time when);
+  std::function<void()> make_check(std::uint64_t key, std::uint64_t gen);
 
   sim::World& world_;
   std::unordered_map<std::uint64_t, Lease> leases_;
+  std::vector<PendingCheck> checks_;
   std::uint64_t next_gen_ = 1;
   std::uint64_t expirations_ = 0;
   // Telemetry handles; null when the world has no registry attached.

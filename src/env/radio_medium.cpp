@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::env {
 
@@ -419,6 +420,51 @@ void RadioMedium::prune_history() {
   while (!history_.empty() && history_.front().end < cutoff) {
     history_.pop_front();
   }
+}
+
+bool RadioMedium::snap_quiescent(std::string* why) const {
+  const sim::Time now = world_.now();
+  for (const Transmission& tx : history_) {
+    if (tx.end > now) {
+      if (why) *why = "radio medium: transmission in flight";
+      return false;
+    }
+  }
+  return true;
+}
+
+void RadioMedium::save(snap::SectionWriter& w) const {
+  w.u64(stats_.transmissions);
+  w.u64(stats_.deliveries_attempted);
+  w.u64(stats_.deliveries_decodable);
+  w.u64(stats_.losses_sinr);
+  w.u64(stats_.losses_half_duplex);
+  w.u64(stats_.losses_rx_off);
+  w.u64(next_tx_id_);
+  w.duration(max_duration_);
+}
+
+void RadioMedium::restore(snap::SectionReader& r) {
+  // Drop all finished-transmission logs and derived indices; they can never
+  // affect a post-restore delivery (see header note).
+  history_.clear();
+  for (auto& log : by_channel_) {
+    log.ids.clear();
+    log.head = 0;
+  }
+  for (auto& ids : active_by_channel_) ids.clear();
+  by_sender_.clear();
+  scratch_ids_.clear();
+  grid_valid_ = false;
+
+  stats_.transmissions = r.u64();
+  stats_.deliveries_attempted = r.u64();
+  stats_.deliveries_decodable = r.u64();
+  stats_.losses_sinr = r.u64();
+  stats_.losses_half_duplex = r.u64();
+  stats_.losses_rx_off = r.u64();
+  next_tx_id_ = r.u64();
+  max_duration_ = r.duration();
 }
 
 }  // namespace aroma::env

@@ -30,6 +30,7 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +42,11 @@
 namespace aroma::obs {
 class Counter;
 }  // namespace aroma::obs
+
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
 
 namespace aroma::env {
 
@@ -145,6 +151,16 @@ class RadioMedium {
   /// StaticMobility::set_position, or a sensitivity change). attach/detach
   /// call this automatically.
   void invalidate_positions() { grid_valid_ = false; }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // In-flight transmissions hold frame-end events and opaque payload
+  // pointers, so they are never serialized: checkpoints are only taken when
+  // the air is clear (no transmission whose end is still in the future).
+  // History entries that have already ended are pure logs — they can never
+  // overlap a post-restore frame — so restore simply clears them.
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   struct Transmission {

@@ -1,5 +1,7 @@
 #include "net/bridge.hpp"
 
+#include "snap/format.hpp"
+
 namespace aroma::net {
 
 namespace {
@@ -49,6 +51,20 @@ void Bridge::forward(const LinkLayer::Payload& payload, LinkLayer& out,
   if (dst == a_.address() || dst == b_.address()) return;  // for the AP itself
   ++stats_.forwarded_unicast;
   out.send(next_hop ? next_hop(dst) : dst, bits, std::move(copy), {});
+}
+
+void Bridge::save(snap::SectionWriter& w) const {
+  w.u64(stats_.forwarded_unicast);
+  w.u64(stats_.forwarded_multicast);
+  w.u64(stats_.dropped_hop_limit);
+  w.u64(stats_.dropped_not_datagram);
+}
+
+void Bridge::restore(snap::SectionReader& r) {
+  stats_.forwarded_unicast = r.u64();
+  stats_.forwarded_multicast = r.u64();
+  stats_.dropped_hop_limit = r.u64();
+  stats_.dropped_not_datagram = r.u64();
 }
 
 }  // namespace aroma::net

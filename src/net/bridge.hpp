@@ -14,6 +14,11 @@
 #include "net/stack.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::net {
 
 struct BridgeStats {
@@ -41,6 +46,10 @@ class Bridge {
   }
 
   const BridgeStats& stats() const { return stats_; }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   void forward(const LinkLayer::Payload& payload, LinkLayer& out,

@@ -33,6 +33,14 @@ class MessageFramer {
     }
   }
 
+  /// Bytes received but not yet delivered as a complete message. Zero at
+  /// every checkpoint (quiescence implies drained streams), so the framer
+  /// itself carries no serialized state.
+  std::size_t buffered() const { return buffer_.size(); }
+
+  /// Drops partially-received bytes (restore normalization).
+  void reset() { buffer_.clear(); }
+
   /// Wraps a payload with its length prefix.
   static std::vector<std::byte> frame(std::span<const std::byte> payload) {
     std::vector<std::byte> out(4 + payload.size());

@@ -2,6 +2,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::net {
 
@@ -107,6 +108,31 @@ void NetStack::on_link_receive(NodeId /*src*/,
   obs::ScopedSpan span(world_, "net.rx", lpc::Layer::kResource);
   span.annotate("port", std::to_string(dg->dst.port));
   it->second(*dg);
+}
+
+void NetStack::save(snap::SectionWriter& w) const {
+  w.u64(stats_.sent_unicast);
+  w.u64(stats_.sent_multicast);
+  w.u64(stats_.delivered);
+  w.u64(stats_.dropped_no_listener);
+  w.u64(stats_.dropped_not_member);
+  w.u64(stats_.send_failures);
+  w.u64(stats_.bytes_sent);
+  w.u64(groups_.size());
+  for (GroupId g : groups_) w.u64(g);
+}
+
+void NetStack::restore(snap::SectionReader& r) {
+  stats_.sent_unicast = r.u64();
+  stats_.sent_multicast = r.u64();
+  stats_.delivered = r.u64();
+  stats_.dropped_no_listener = r.u64();
+  stats_.dropped_not_member = r.u64();
+  stats_.send_failures = r.u64();
+  stats_.bytes_sent = r.u64();
+  groups_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) groups_.insert(r.u64());
 }
 
 }  // namespace aroma::net

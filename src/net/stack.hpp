@@ -23,6 +23,11 @@ namespace aroma::obs {
 class Counter;
 }  // namespace aroma::obs
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::net {
 
 /// The unit carried as the link-layer payload.
@@ -105,6 +110,12 @@ class NetStack {
                       std::vector<std::byte> data);
 
   const StackStats& stats() const { return stats_; }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Bindings and the next-hop function are structural (rebuilt by the owning
+  // components); only counters and group membership are serialized.
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   void on_link_receive(NodeId src, const LinkLayer::Payload& payload,

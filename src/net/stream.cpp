@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "net/serialize.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::net {
 
@@ -147,6 +148,7 @@ void StreamConnection::arm_rto() {
   rto_armed_ = true;
   const double rto = std::clamp(rto_s_, mgr_.params().min_rto_s,
                                 mgr_.params().max_rto_s);
+  ++outstanding_rto_;
   mgr_.world().sim().schedule_in(sim::Time::sec(rto),
                                  [self = shared_from_this(), gen] {
                                    self->on_rto(gen);
@@ -154,6 +156,7 @@ void StreamConnection::arm_rto() {
 }
 
 void StreamConnection::on_rto(std::uint64_t gen) {
+  --outstanding_rto_;
   if (gen != rto_gen_ || !rto_armed_ || state_ == State::kClosed) return;
   // Handshake retransmission.
   if (state_ == State::kSynSent) {
@@ -307,6 +310,127 @@ void StreamConnection::handle_segment(std::uint8_t type, std::uint64_t seq,
       return;
     default:
       return;
+  }
+}
+
+bool StreamConnection::snap_quiescent(std::string* why) const {
+  if (state_ != State::kEstablished) {
+    if (why) *why = "stream: connection not established";
+    return false;
+  }
+  if (!inflight_.empty() || !send_buffer_.empty() || !reorder_.empty() ||
+      fin_queued_ || peer_fin_) {
+    if (why) *why = "stream: bytes in flight";
+    return false;
+  }
+  if (outstanding_rto_ != 0) {
+    if (why) *why = "stream: RTO event scheduled";
+    return false;
+  }
+  return true;
+}
+
+void StreamConnection::save(snap::SectionWriter& w) const {
+  w.u64(snd_next_);
+  w.f64(cwnd_);
+  w.f64(ssthresh_);
+  w.u32(static_cast<std::uint32_t>(dup_acks_));
+  w.u64(last_ack_seen_);
+  w.u64(rcv_next_);
+  w.f64(srtt_);
+  w.f64(rttvar_);
+  w.f64(rto_s_);
+  w.u64(rto_gen_);
+  w.u32(static_cast<std::uint32_t>(handshake_retx_));
+  w.u64(stats_.bytes_sent);
+  w.u64(stats_.bytes_retransmitted);
+  w.u64(stats_.bytes_delivered);
+  w.u64(stats_.segments_sent);
+  w.u64(stats_.retransmissions);
+  w.u64(stats_.fast_retransmits);
+  w.f64(stats_.srtt_s);
+  w.f64(stats_.cwnd_segments);
+}
+
+void StreamConnection::restore(snap::SectionReader& r) {
+  // The warmed-up connection may hold in-flight transport state; the
+  // checkpoint was quiescent, so normalize to that.
+  send_buffer_.clear();
+  inflight_.clear();
+  reorder_.clear();
+  state_ = State::kEstablished;
+  dup_acks_ = 0;
+  fin_queued_ = false;
+  peer_fin_ = false;
+  peer_fin_seq_ = 0;
+  rto_armed_ = false;
+  outstanding_rto_ = 0;
+
+  snd_next_ = r.u64();
+  cwnd_ = r.f64();
+  ssthresh_ = r.f64();
+  dup_acks_ = static_cast<int>(r.u32());
+  last_ack_seen_ = r.u64();
+  rcv_next_ = r.u64();
+  srtt_ = r.f64();
+  rttvar_ = r.f64();
+  rto_s_ = r.f64();
+  rto_gen_ = r.u64();
+  handshake_retx_ = static_cast<int>(r.u32());
+  stats_.bytes_sent = r.u64();
+  stats_.bytes_retransmitted = r.u64();
+  stats_.bytes_delivered = r.u64();
+  stats_.segments_sent = r.u64();
+  stats_.retransmissions = r.u64();
+  stats_.fast_retransmits = r.u64();
+  stats_.srtt_s = r.f64();
+  stats_.cwnd_segments = r.f64();
+}
+
+// Closed connections are invisible to checkpointing. They linger in the
+// map only until a stray late segment garbage-collects them (see
+// on_datagram), they hold no transport state, and a segment addressed to
+// one is a no-op whether the entry exists or not — so skipping them in
+// save/quiescence and purging them at restore cannot change behavior,
+// while serializing them would make the blob depend on GC timing.
+bool StreamManager::snap_quiescent(std::string* why) const {
+  for (const auto& [key, conn] : connections_) {
+    if (conn->closed()) continue;
+    if (!conn->snap_quiescent(why)) return false;
+  }
+  return true;
+}
+
+void StreamManager::save(snap::SectionWriter& w) const {
+  w.u32(next_conn_);
+  std::uint64_t live = 0;
+  for (const auto& [key, conn] : connections_) {
+    if (!conn->closed()) ++live;
+  }
+  w.u64(live);
+  for (const auto& [key, conn] : connections_) {
+    if (conn->closed()) continue;
+    w.u64(key);
+    conn->save(w);
+  }
+}
+
+void StreamManager::restore(snap::SectionReader& r) {
+  std::erase_if(connections_,
+                [](const auto& e) { return e.second->closed(); });
+  next_conn_ = r.u32();
+  const std::uint64_t count = r.u64();
+  if (count != connections_.size()) {
+    throw snap::SnapError(
+        "stream restore: connection count mismatch (blob " +
+        std::to_string(count) + ", rebuilt " +
+        std::to_string(connections_.size()) + ")");
+  }
+  for (auto& [key, conn] : connections_) {
+    if (r.u64() != key) {
+      throw snap::SnapError("stream restore: connection key mismatch");
+    }
+    conn->restore(r);
   }
 }
 

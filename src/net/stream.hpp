@@ -12,10 +12,16 @@
 #include <map>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "net/stack.hpp"
 #include "sim/world.hpp"
+
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
 
 namespace aroma::net {
 
@@ -57,6 +63,14 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
   std::size_t unacked_bytes() const;
 
   const StreamStats& stats() const { return stats_; }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // RTO closures capture shared_from_this + a generation token and cannot be
+  // serialized; a connection is only checkpointable once established with
+  // nothing in flight and no scheduled (even stale-gen) RTO event.
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   friend class StreamManager;
@@ -117,6 +131,9 @@ class StreamConnection : public std::enable_shared_from_this<StreamConnection> {
   std::uint64_t rto_gen_ = 0;
   bool rto_armed_ = false;
   int handshake_retx_ = 0;
+  // Scheduled-but-unfired RTO events (live or stale-gen); nonzero blocks
+  // checkpointing.
+  int outstanding_rto_ = 0;
 
   DataHandler on_data_;
   EventHandler on_established_;
@@ -154,6 +171,20 @@ class StreamManager {
   NetStack& stack() { return stack_; }
   Port port() const { return port_; }
   const Params& params() const { return params_; }
+
+  const std::map<std::uint64_t, std::shared_ptr<StreamConnection>>&
+  connections() const {
+    return connections_;
+  }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Connection *identity* (keys, handlers) is structural: restore matches
+  // the serialized connections one-to-one against the already-rebuilt set by
+  // key and overwrites their transport state. A key mismatch means the
+  // structural warmup diverged from the checkpointed run and is an error.
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   friend class StreamConnection;

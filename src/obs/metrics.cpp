@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "snap/format.hpp"
+
 namespace aroma::obs {
 
 std::string_view layer_label(lpc::Layer layer) {
@@ -189,6 +191,80 @@ class JsonVisitor : public MetricsRegistry::Visitor {
 };
 
 }  // namespace
+
+void MetricsRegistry::save(snap::SectionWriter& w) const {
+  w.u64(order_.size());
+  for (const Entry& e : order_) {
+    w.u8(static_cast<std::uint8_t>(e.kind));
+    switch (e.kind) {
+      case Kind::kCounter: {
+        const CounterEntry& c = counters_[e.index];
+        w.str(c.info.name);
+        w.u8(static_cast<std::uint8_t>(c.info.layer));
+        w.u64(c.metric.value());
+        break;
+      }
+      case Kind::kGauge: {
+        const GaugeEntry& g = gauges_[e.index];
+        w.str(g.info.name);
+        w.u8(static_cast<std::uint8_t>(g.info.layer));
+        w.f64(g.metric.value());
+        break;
+      }
+      case Kind::kHistogram: {
+        const HistogramEntry& h = histograms_[e.index];
+        w.str(h.info.name);
+        w.u8(static_cast<std::uint8_t>(h.info.layer));
+        w.f64(h.metric.lo());
+        w.f64(h.metric.hi());
+        w.u64(h.metric.bin_count());
+        w.u64(h.metric.count());
+        w.u64(h.metric.clamped());
+        for (std::size_t i = 0; i < h.metric.bin_count(); ++i) {
+          w.u64(h.metric.bin(i));
+        }
+        break;
+      }
+    }
+  }
+}
+
+void MetricsRegistry::restore(snap::SectionReader& r) {
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto kind = static_cast<Kind>(r.u8());
+    const std::string name = r.str();
+    const auto layer = static_cast<lpc::Layer>(r.u8());
+    switch (kind) {
+      case Kind::kCounter:
+        counter(name, layer).set(r.u64());
+        break;
+      case Kind::kGauge:
+        gauge(name, layer).set(r.f64());
+        break;
+      case Kind::kHistogram: {
+        const double lo = r.f64();
+        const double hi = r.f64();
+        const std::uint64_t bins = r.u64();
+        const std::uint64_t total = r.u64();
+        const std::uint64_t clamped = r.u64();
+        std::vector<std::uint64_t> counts(static_cast<std::size_t>(bins));
+        for (auto& c : counts) c = r.u64();
+        sim::Histogram& h =
+            histogram(name, layer, lo, hi, static_cast<std::size_t>(bins));
+        if (h.lo() != lo || h.hi() != hi ||
+            h.bin_count() != static_cast<std::size_t>(bins)) {
+          throw snap::SnapError("histogram " + name +
+                                " shape differs from checkpoint");
+        }
+        h.load_counts(counts, total, clamped);
+        break;
+      }
+      default:
+        throw snap::SnapError("unknown metric kind in checkpoint");
+    }
+  }
+}
 
 std::string MetricsRegistry::to_json(int indent) const {
   std::string out = "{";

@@ -26,6 +26,11 @@
 #include "sim/stats.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::obs {
 
 /// Layer label helper that needs no lpc library linkage (obs sits below
@@ -37,6 +42,9 @@ class Counter {
  public:
   void add(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
+  /// Overwrites the count (checkpoint restore only — counters are
+  /// monotonic under normal operation).
+  void set(std::uint64_t v) { value_ = v; }
 
  private:
   std::uint64_t value_ = 0;
@@ -108,6 +116,15 @@ class MetricsRegistry {
 
   /// Ordered JSON snapshot: {"name": {"layer": ..., "kind": ..., value}}.
   std::string to_json(int indent = 2) const;
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Serializes every metric (name, layer, kind, value) in registration
+  // order. Restore writes values back through get-or-create, so metrics the
+  // warmed-up registry has not registered yet are created in snapshot order
+  // and component-cached handles stay valid — counters survive a restore
+  // with their checkpointed counts.
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/format.hpp"
+
 namespace aroma::obs {
 
 SpanId SpanTracer::begin(sim::Time now, std::string_view name,
@@ -114,6 +116,62 @@ void SpanTracer::clear() {
   records_.clear();
   index_.clear();
   dropped_ = 0;
+}
+
+void SpanTracer::save(snap::SectionWriter& w) const {
+  w.b(enabled_);
+  w.u64(capacity_);
+  w.u64(dropped_);
+  w.u64(next_id_);
+  w.u64(records_.size());
+  for (const SpanRecord& rec : records_) {
+    w.u64(rec.id);
+    w.u64(rec.parent);
+    w.time_delta(rec.start);
+    w.b(rec.open());
+    if (!rec.open()) w.time_delta(rec.end);
+    w.str(rec.name);
+    w.u8(static_cast<std::uint8_t>(rec.layer));
+    w.u8(static_cast<std::uint8_t>(rec.level));
+    w.b(rec.instant);
+    w.u64(rec.args.size());
+    for (const auto& [key, value] : rec.args) {
+      w.str(key);
+      w.str(value);
+    }
+  }
+}
+
+void SpanTracer::restore(snap::SectionReader& r) {
+  records_.clear();
+  index_.clear();
+  enabled_ = r.b();
+  capacity_ = static_cast<std::size_t>(r.u64());
+  dropped_ = r.u64();
+  next_id_ = r.u64();
+  const std::uint64_t n = r.u64();
+  records_.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    SpanRecord rec;
+    rec.id = r.u64();
+    rec.parent = r.u64();
+    rec.start = r.time_delta();
+    const bool open = r.b();
+    rec.end = open ? sim::Time::max() : r.time_delta();
+    rec.name = r.str();
+    rec.layer = static_cast<lpc::Layer>(r.u8());
+    rec.level = static_cast<sim::TraceLevel>(r.u8());
+    rec.instant = r.b();
+    const std::uint64_t n_args = r.u64();
+    rec.args.reserve(static_cast<std::size_t>(n_args));
+    for (std::uint64_t a = 0; a < n_args; ++a) {
+      const std::string key = r.str();
+      rec.args.emplace_back(key, r.str());
+    }
+    if (open) rec.args.emplace_back("restored", "true");
+    index_.emplace(rec.id, records_.size());
+    records_.push_back(std::move(rec));
+  }
 }
 
 }  // namespace aroma::obs

@@ -25,6 +25,11 @@
 #include "sim/trace.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::obs {
 
 using SpanId = std::uint64_t;  // 0 = none/dropped
@@ -94,6 +99,14 @@ class SpanTracer {
   /// dropped()); intended for a fresh, export-only sink.
   void append_shard(const SpanTracer& other, std::uint64_t shard_id);
   static constexpr unsigned kShardIdShift = 40;
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // The whole record buffer round-trips (ids, parents, timestamps, args).
+  // Spans still open at the checkpoint survive and are annotated
+  // restored=true, marking that their interval straddles a restore. The
+  // hook is structural and untouched.
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
   const std::vector<SpanRecord>& records() const { return records_; }
   const SpanRecord* find(SpanId id) const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "snap/format.hpp"
+
 namespace aroma::phys {
 
 void Battery::apply_idle() {
@@ -37,6 +39,18 @@ void Battery::drain(double joules) {
     notified_ = true;
     if (on_depleted_) on_depleted_();
   }
+}
+
+void Battery::save(snap::SectionWriter& w) const {
+  w.f64(level_j_);
+  w.time_delta(last_update_);
+  w.b(notified_);
+}
+
+void Battery::restore(snap::SectionReader& r) {
+  level_j_ = r.f64();
+  last_update_ = r.time_delta();
+  notified_ = r.b();
 }
 
 double estimate_lifetime_s(const Battery::Params& p, double tx_frac,

@@ -5,6 +5,11 @@
 
 #include "sim/world.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::phys {
 
 /// Tracks stored energy and drains it from idle load plus explicit events
@@ -41,6 +46,10 @@ class Battery {
   }
 
   const Params& params() const { return p_; }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   void apply_idle();

@@ -1,9 +1,13 @@
 #include "phys/mac.hpp"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::phys {
 
@@ -62,14 +66,20 @@ void CsmaMac::enter_difs() {
   const auto gen = bump_gen();
   if (radio_.carrier_busy() || radio_.transmitting()) {
     // Defer: re-check after a slot.
+    ++outstanding_events_;
     world_.sim().schedule_in(params_.slot, sim::EventCategory::kMac,
                              [this, gen] {
+      --outstanding_events_;
       if (gen == gen_ && state_ == State::kDifs) enter_difs();
     });
     return;
   }
+  ++outstanding_events_;
   world_.sim().schedule_in(params_.difs, sim::EventCategory::kMac,
-                           [this, gen] { difs_elapsed(gen); });
+                           [this, gen] {
+                             --outstanding_events_;
+                             difs_elapsed(gen);
+                           });
 }
 
 void CsmaMac::difs_elapsed(std::uint64_t gen) {
@@ -84,8 +94,12 @@ void CsmaMac::difs_elapsed(std::uint64_t gen) {
         static_cast<int>(rng_.uniform_int(0, std::max(cw_ - 1, 0)));
   }
   const auto g2 = bump_gen();
+  ++outstanding_events_;
   world_.sim().schedule_in(params_.slot, sim::EventCategory::kMac,
-                           [this, g2] { backoff_slot(g2); });
+                           [this, g2] {
+                             --outstanding_events_;
+                             backoff_slot(g2);
+                           });
 }
 
 void CsmaMac::backoff_slot(std::uint64_t gen) {
@@ -98,8 +112,12 @@ void CsmaMac::backoff_slot(std::uint64_t gen) {
   if (backoff_slots_ > 0) {
     --backoff_slots_;
     const auto g2 = bump_gen();
+    ++outstanding_events_;
     world_.sim().schedule_in(params_.slot, sim::EventCategory::kMac,
-                             [this, g2] { backoff_slot(g2); });
+                             [this, g2] {
+                               --outstanding_events_;
+                               backoff_slot(g2);
+                             });
     return;
   }
   transmit_active();
@@ -122,8 +140,12 @@ void CsmaMac::transmit_active() {
   const std::size_t bits = params_.header_bits + active_->payload_bits;
   const sim::Time air = radio_.transmit(bits, frame);
   const auto gen = bump_gen();
+  ++outstanding_events_;
   world_.sim().schedule_in(air, sim::EventCategory::kMac,
-                           [this, gen] { tx_finished(gen); });
+                           [this, gen] {
+                             --outstanding_events_;
+                             tx_finished(gen);
+                           });
 }
 
 void CsmaMac::tx_finished(std::uint64_t gen) {
@@ -137,8 +159,12 @@ void CsmaMac::tx_finished(std::uint64_t gen) {
       sim::Time::sec(static_cast<double>(params_.ack_bits) / bitrate());
   const sim::Time timeout = params_.sifs + ack_air + params_.slot * 4;
   const auto g2 = bump_gen();
+  ++outstanding_events_;
   world_.sim().schedule_in(timeout, sim::EventCategory::kMac,
-                           [this, g2] { ack_timeout(g2); });
+                           [this, g2] {
+                             --outstanding_events_;
+                             ack_timeout(g2);
+                           });
 }
 
 void CsmaMac::ack_timeout(std::uint64_t gen) {
@@ -211,8 +237,10 @@ void CsmaMac::on_radio_frame(const env::FrameDelivery& delivery) {
 }
 
 void CsmaMac::send_ack(MacAddress dst, std::uint32_t seq) {
+  ++outstanding_events_;
   world_.sim().schedule_in(params_.sifs, sim::EventCategory::kMac,
                            [this, dst, seq] {
+    --outstanding_events_;
     if (radio_.transmitting()) return;  // busy; sender will retry
     auto ack = sim::arena_shared<MacFrame>(world_.arena());
     ack->src = address();
@@ -223,6 +251,80 @@ void CsmaMac::send_ack(MacAddress dst, std::uint32_t seq) {
     if (m_sent_acks_) m_sent_acks_->add();
     radio_.transmit(params_.ack_bits, ack);
   });
+}
+
+bool CsmaMac::snap_quiescent(std::string* why) const {
+  if (state_ != State::kIdle || active_ || !queue_.empty() ||
+      outstanding_events_ != 0) {
+    if (why != nullptr) {
+      *why = "mac " + std::to_string(address()) + " busy (queue " +
+             std::to_string(queue_depth()) + ", outstanding " +
+             std::to_string(outstanding_events_) + ")";
+    }
+    return false;
+  }
+  return true;
+}
+
+void CsmaMac::save(snap::SectionWriter& w) const {
+  w.u64(stats_.enqueued);
+  w.u64(stats_.sent_data);
+  w.u64(stats_.sent_acks);
+  w.u64(stats_.delivered_up);
+  w.u64(stats_.duplicates_dropped);
+  w.u64(stats_.retries);
+  w.u64(stats_.drops_retry_limit);
+  w.u64(stats_.drops_queue_full);
+  w.u64(stats_.acks_received);
+  w.u64(gen_);
+  w.u32(static_cast<std::uint32_t>(cw_));
+  w.u32(next_seq_);
+  const sim::Rng::State rs = rng_.state();
+  for (int i = 0; i < 4; ++i) w.u64(rs.s[i]);
+  w.f64(rs.cached_normal);
+  w.b(rs.has_cached_normal);
+  // Duplicate-suppression map, sorted by sender for a canonical encoding.
+  std::vector<std::pair<MacAddress, std::uint32_t>> seqs(last_seq_from_.begin(),
+                                                         last_seq_from_.end());
+  std::sort(seqs.begin(), seqs.end());
+  w.u64(seqs.size());
+  for (const auto& [src, seq] : seqs) {
+    w.u64(src);
+    w.u32(seq);
+  }
+}
+
+void CsmaMac::restore(snap::SectionReader& r) {
+  // Transient transmit state is forcibly normalized: the warmup run may
+  // have been interrupted mid-frame, but the saved world was quiescent.
+  queue_.clear();
+  active_.reset();
+  state_ = State::kIdle;
+  backoff_slots_ = 0;
+  outstanding_events_ = 0;
+  stats_.enqueued = r.u64();
+  stats_.sent_data = r.u64();
+  stats_.sent_acks = r.u64();
+  stats_.delivered_up = r.u64();
+  stats_.duplicates_dropped = r.u64();
+  stats_.retries = r.u64();
+  stats_.drops_retry_limit = r.u64();
+  stats_.drops_queue_full = r.u64();
+  stats_.acks_received = r.u64();
+  gen_ = r.u64();
+  cw_ = static_cast<int>(r.u32());
+  next_seq_ = r.u32();
+  sim::Rng::State rs;
+  for (int i = 0; i < 4; ++i) rs.s[i] = r.u64();
+  rs.cached_normal = r.f64();
+  rs.has_cached_normal = r.b();
+  rng_.set_state(rs);
+  last_seq_from_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const MacAddress src = r.u64();
+    last_seq_from_[src] = r.u32();
+  }
 }
 
 }  // namespace aroma::phys

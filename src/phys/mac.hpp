@@ -11,6 +11,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "phys/transceiver.hpp"
@@ -20,6 +21,11 @@ namespace aroma::obs {
 class Counter;
 class Gauge;
 }  // namespace aroma::obs
+
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
 
 namespace aroma::phys {
 
@@ -91,6 +97,15 @@ class CsmaMac {
   const Params& params() const { return params_; }
   std::size_t queue_depth() const { return queue_.size() + (active_ ? 1 : 0); }
 
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // MAC timer events capture generation tokens and frame payloads, so they
+  // are never serialized; checkpoints are only taken when the MAC is
+  // quiescent (idle, empty queue, no outstanding timer events — the
+  // deferral loop in snap::CheckpointManager waits for this).
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
+
  private:
   struct OutFrame {
     MacAddress dst;
@@ -131,6 +146,9 @@ class CsmaMac {
   int backoff_slots_ = 0;
   std::uint32_t next_seq_ = 1;
   std::unordered_map<MacAddress, std::uint32_t> last_seq_from_;
+  // Scheduled-but-unfired MAC events (live or stale-gen). Nonzero blocks
+  // checkpointing: stale timer events cannot be re-created on restore.
+  int outstanding_events_ = 0;
 
   // Telemetry handles (null when no registry is attached to the world).
   // Counters aggregate across every MAC in the world; the queue-depth gauge

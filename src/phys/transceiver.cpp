@@ -1,5 +1,7 @@
 #include "phys/transceiver.hpp"
 
+#include "snap/format.hpp"
+
 namespace aroma::phys {
 
 Transceiver::Transceiver(sim::World& world, env::RadioMedium& medium,
@@ -45,6 +47,20 @@ void Transceiver::on_frame(const env::FrameDelivery& delivery) {
     }
   }
   if (handler_) handler_(delivery);
+}
+
+void Transceiver::save(snap::SectionWriter& w) const {
+  w.b(powered_);
+  w.time_delta(tx_busy_until_);
+  w.u64(frames_sent_);
+  w.u64(frames_received_);
+}
+
+void Transceiver::restore(snap::SectionReader& r) {
+  powered_ = r.b();
+  tx_busy_until_ = r.time_delta();
+  frames_sent_ = r.u64();
+  frames_received_ = r.u64();
 }
 
 }  // namespace aroma::phys

@@ -10,6 +10,11 @@
 #include "phys/battery.hpp"
 #include "sim/world.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::phys {
 
 /// A radio bound to a mobility model. Registers with the medium on
@@ -62,6 +67,10 @@ class Transceiver final : public env::RadioEndpoint {
 
   std::uint64_t frames_sent() const { return frames_sent_; }
   std::uint64_t frames_received() const { return frames_received_; }
+
+  // --- checkpoint/restore ---------------------------------------------------
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   sim::World& world_;

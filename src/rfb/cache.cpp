@@ -1,5 +1,7 @@
 #include "rfb/cache.hpp"
 
+#include "snap/format.hpp"
+
 #include <cstring>
 
 namespace aroma::rfb {
@@ -178,6 +180,37 @@ bool decode_tiles_cached(Framebuffer& fb, TileCache& cache,
                  std::span<const Pixel>(px.data(), count));
   }
   return pos == data.size();
+}
+
+void TileCache::save(snap::SectionWriter& w) const {
+  w.u64(evictions_);
+  w.u64(lru_.size());
+  for (const Entry& e : lru_) {  // front = MRU; order is the LRU state
+    w.u64(e.hash);
+    w.u32(static_cast<std::uint32_t>(e.w));
+    w.u32(static_cast<std::uint32_t>(e.h));
+    w.bytes(e.pixels.data(), e.pixels.size() * sizeof(Pixel));
+  }
+}
+
+void TileCache::restore(snap::SectionReader& r) {
+  clear();
+  evictions_ = r.u64();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Entry e;
+    e.hash = r.u64();
+    e.w = static_cast<int>(r.u32());
+    e.h = static_cast<int>(r.u32());
+    const std::vector<std::uint8_t> px = r.bytes();
+    if (px.size() % sizeof(Pixel) != 0) {
+      throw snap::SnapError("tile cache restore: pixel payload size");
+    }
+    e.pixels.resize(px.size() / sizeof(Pixel));
+    if (!px.empty()) std::memcpy(e.pixels.data(), px.data(), px.size());
+    lru_.push_back(std::move(e));  // serialized front-first: push_back keeps order
+    index_[lru_.back().hash] = std::prev(lru_.end());
+  }
 }
 
 }  // namespace aroma::rfb

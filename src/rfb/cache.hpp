@@ -36,6 +36,11 @@
 #include "rfb/encoding.hpp"
 #include "rfb/framebuffer.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::rfb {
 
 /// LRU tile cache keyed by content hash. The server-side mirror stores no
@@ -70,6 +75,12 @@ class TileCache {
   /// Client-side lookup; null when absent.
   const Entry* find(std::uint64_t hash) const;
   void clear();
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Entries round-trip in exact LRU order (and pixel content, when stored),
+  // so server-mirror/client-cache determinism survives a restore.
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   std::size_t capacity_;

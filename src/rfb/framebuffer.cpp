@@ -1,6 +1,9 @@
 #include "rfb/framebuffer.hpp"
 
+#include "snap/format.hpp"
+
 #include <algorithm>
+#include <cstring>
 #include <limits>
 
 namespace aroma::rfb {
@@ -189,6 +192,50 @@ std::uint64_t Framebuffer::content_hash() const {
 bool Framebuffer::same_content(const Framebuffer& other) const {
   return width_ == other.width_ && height_ == other.height_ &&
          pixels_ == other.pixels_;
+}
+
+void Framebuffer::save(snap::SectionWriter& w) const {
+  w.u32(static_cast<std::uint32_t>(width_));
+  w.u32(static_cast<std::uint32_t>(height_));
+  w.bytes(pixels_.data(), pixels_.size() * sizeof(Pixel));
+  w.u64(damage_.size());
+  for (const RectRegion& r : damage_) {
+    w.i64(r.x);
+    w.i64(r.y);
+    w.i64(r.w);
+    w.i64(r.h);
+  }
+  w.bytes(tile_dirty_.data(), tile_dirty_.size());
+  w.u64(dirty_tiles_);
+}
+
+void Framebuffer::restore(snap::SectionReader& r) {
+  const int w = static_cast<int>(r.u32());
+  const int h = static_cast<int>(r.u32());
+  if (w != width_ || h != height_) {
+    throw snap::SnapError("framebuffer restore: dimension mismatch");
+  }
+  const std::vector<std::uint8_t> px = r.bytes();
+  if (px.size() != pixels_.size() * sizeof(Pixel)) {
+    throw snap::SnapError("framebuffer restore: pixel payload size");
+  }
+  std::memcpy(pixels_.data(), px.data(), px.size());
+  damage_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RectRegion rect;
+    rect.x = static_cast<int>(r.i64());
+    rect.y = static_cast<int>(r.i64());
+    rect.w = static_cast<int>(r.i64());
+    rect.h = static_cast<int>(r.i64());
+    damage_.push_back(rect);
+  }
+  const std::vector<std::uint8_t> tiles = r.bytes();
+  if (tiles.size() != tile_dirty_.size()) {
+    throw snap::SnapError("framebuffer restore: tile grid size");
+  }
+  tile_dirty_ = tiles;
+  dirty_tiles_ = static_cast<std::size_t>(r.u64());
 }
 
 }  // namespace aroma::rfb

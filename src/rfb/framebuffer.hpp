@@ -17,6 +17,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::rfb {
 
 using Pixel = std::uint32_t;
@@ -97,6 +102,13 @@ class Framebuffer {
   /// Content hash for replica-equality checks.
   std::uint64_t content_hash() const;
   bool same_content(const Framebuffer& other) const;
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // Pixels, damage rects, and the dirty-tile grid round-trip; dimensions
+  // are structural and must match (restore throws snap::SnapError
+  // otherwise).
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   std::size_t idx(int x, int y) const {

@@ -6,6 +6,7 @@
 #include "net/serialize.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::rfb {
 
@@ -291,6 +292,123 @@ void RfbClient::on_message(std::span<const std::byte> msg) {
     default:
       return;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/restore
+
+bool RfbServer::snap_quiescent(std::string* why) const {
+  if (encoding_in_progress_) {
+    if (why) *why = "rfb server: encode in progress";
+    return false;
+  }
+  if (framer_.buffered() != 0) {
+    if (why) *why = "rfb server: partial message buffered";
+    return false;
+  }
+  return true;
+}
+
+void RfbServer::save(snap::SectionWriter& w) const {
+  w.b(update_pending_);
+  w.b(full_requested_);
+  w.u64(stats_.updates_sent);
+  w.u64(stats_.rects_sent);
+  w.u64(stats_.bytes_sent);
+  w.u64(stats_.pixels_encoded);
+  w.f64(stats_.encode_seconds);
+  w.u64(stats_.tiles_encoded);
+  w.u64(stats_.cache_hits);
+  w.u64(stats_.tiles_skipped);
+  poller_->save(w);
+}
+
+void RfbServer::restore(snap::SectionReader& r) {
+  encoding_in_progress_ = false;
+  framer_.reset();
+  update_pending_ = r.b();
+  full_requested_ = r.b();
+  stats_.updates_sent = r.u64();
+  stats_.rects_sent = r.u64();
+  stats_.bytes_sent = r.u64();
+  stats_.pixels_encoded = r.u64();
+  stats_.encode_seconds = r.f64();
+  stats_.tiles_encoded = r.u64();
+  stats_.cache_hits = r.u64();
+  stats_.tiles_skipped = r.u64();
+  poller_->restore(r);
+}
+
+void RfbServer::save_cache(snap::SectionWriter& w) const {
+  cache_mirror_.save(w);
+  w.u64(last_tile_hash_.size());
+  for (std::uint64_t h : last_tile_hash_) w.u64(h);
+}
+
+void RfbServer::restore_cache(snap::SectionReader& r) {
+  cache_mirror_.restore(r);
+  const std::uint64_t n = r.u64();
+  if (n != last_tile_hash_.size()) {
+    throw snap::SnapError("rfb server restore: last-sent table size");
+  }
+  for (std::uint64_t& h : last_tile_hash_) h = r.u64();
+}
+
+bool RfbClient::snap_quiescent(std::string* why) const {
+  if (framer_.buffered() != 0) {
+    if (why) *why = "rfb client: partial message buffered";
+    return false;
+  }
+  return true;
+}
+
+void RfbClient::save(snap::SectionWriter& w) const {
+  w.u64(stats_.updates_received);
+  w.u64(stats_.bytes_received);
+  w.u64(stats_.decode_errors);
+  const sim::Accumulator& acc = stats_.update_interval_s;
+  w.u64(acc.count());
+  w.f64(acc.mean());
+  w.f64(acc.m2());
+  w.f64(acc.min());
+  w.f64(acc.max());
+  w.time_delta(stats_.first_update);
+  w.time_delta(stats_.last_update);
+}
+
+void RfbClient::restore(snap::SectionReader& r) {
+  framer_.reset();
+  stats_.updates_received = r.u64();
+  stats_.bytes_received = r.u64();
+  stats_.decode_errors = r.u64();
+  const std::uint64_t n = r.u64();
+  const double mean = r.f64();
+  const double m2 = r.f64();
+  const double mn = r.f64();
+  const double mx = r.f64();
+  stats_.update_interval_s.load(n, mean, m2, mn, mx);
+  stats_.first_update = r.time_delta();
+  stats_.last_update = r.time_delta();
+}
+
+void RfbClient::save_cache(snap::SectionWriter& w) const {
+  w.b(replica_ != nullptr);
+  if (replica_) replica_->save(w);
+  cache_.save(w);
+}
+
+void RfbClient::restore_cache(snap::SectionReader& r) {
+  const bool has_replica = r.b();
+  if (has_replica && !replica_) {
+    throw snap::SnapError("rfb client restore: replica not initialized");
+  }
+  if (!has_replica) {
+    replica_.reset();
+    cache_.restore(r);
+    return;
+  }
+  replica_->restore(r);
+  cache_.restore(r);
 }
 
 }  // namespace aroma::rfb

@@ -12,6 +12,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "net/framer.hpp"
@@ -29,6 +30,11 @@ class Counter;
 namespace aroma::net {
 class ByteWriter;
 }  // namespace aroma::net
+
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
 
 namespace aroma::rfb {
 
@@ -77,6 +83,19 @@ class RfbServer {
 
   const RfbServerStats& stats() const { return stats_; }
   bool viewer_connected() const { return conn_ && conn_->established(); }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // The encode-completion one-shot captures the framed update bytes, so the
+  // server is only checkpointable between encodes. Control state (request
+  // flags, stats, poll timer) and the bulky cached-encoder state (cache
+  // mirror + per-tile last-sent hashes) serialize into separate sections:
+  // the latter only churns when screen content changes, which is what makes
+  // incremental checkpoints small on slide-deck workloads.
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
+  void save_cache(snap::SectionWriter& w) const;
+  void restore_cache(snap::SectionReader& r);
 
  private:
   void on_message(std::span<const std::byte> msg);
@@ -137,6 +156,13 @@ class RfbClient {
   const Framebuffer& replica() const { return *replica_; }
   bool initialized() const { return replica_ != nullptr; }
   const RfbClientStats& stats() const { return stats_; }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
+  void save_cache(snap::SectionWriter& w) const;
+  void restore_cache(snap::SectionReader& r);
 
  private:
   void on_message(std::span<const std::byte> msg);

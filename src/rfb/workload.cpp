@@ -1,5 +1,7 @@
 #include "rfb/workload.hpp"
 
+#include "snap/format.hpp"
+
 namespace aroma::rfb {
 
 namespace {
@@ -78,6 +80,23 @@ void TypingWorkload::step(Framebuffer& fb) {
       fb.fill_rect(fb.bounds(), 0xfff8f8f0);  // "scroll": clear page
     }
   }
+}
+
+void SlideDeckWorkload::save(snap::SectionWriter& w) const {
+  const sim::Rng::State st = rng_.state();
+  for (std::uint64_t word : st.s) w.u64(word);
+  w.f64(st.cached_normal);
+  w.b(st.has_cached_normal);
+  w.i64(slide_);
+}
+
+void SlideDeckWorkload::restore(snap::SectionReader& r) {
+  sim::Rng::State st;
+  for (std::uint64_t& word : st.s) word = r.u64();
+  st.cached_normal = r.f64();
+  st.has_cached_normal = r.b();
+  rng_.set_state(st);
+  slide_ = static_cast<int>(r.i64());
 }
 
 }  // namespace aroma::rfb

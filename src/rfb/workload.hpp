@@ -13,6 +13,11 @@
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::rfb {
 
 /// Mutates the framebuffer each time step() is called; the scenario decides
@@ -32,6 +37,10 @@ class SlideDeckWorkload final : public ScreenWorkload {
   void step(Framebuffer& fb) override;
   const char* name() const override { return "slides"; }
   int slide_number() const { return slide_; }
+
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   sim::Rng rng_;

@@ -43,6 +43,17 @@ class Arena {
     std::uint64_t chunk_bytes = 0;
   };
 
+  /// Live-block accounting (arena-served blocks only, by rounded block
+  /// size). `live_*` must be zero before reset() or teardown — restore
+  /// paths assert this so rebuilding arena-backed containers can never
+  /// leak chunks; `peak_*` is the high-water mark for capacity planning.
+  struct HighWater {
+    std::uint64_t live_blocks = 0;
+    std::uint64_t live_bytes = 0;
+    std::uint64_t peak_blocks = 0;
+    std::uint64_t peak_bytes = 0;
+  };
+
   explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
       : chunk_bytes_(chunk_bytes < kMaxBlockBytes ? kMaxBlockBytes
                                                   : chunk_bytes) {}
@@ -70,6 +81,10 @@ class Arena {
     ++stats_.allocations;
     stats_.bytes_requested += bytes;
     const std::size_t cls = size_class(bytes);
+    ++hw_.live_blocks;
+    hw_.live_bytes += std::size_t{1} << cls;
+    if (hw_.live_blocks > hw_.peak_blocks) hw_.peak_blocks = hw_.live_blocks;
+    if (hw_.live_bytes > hw_.peak_bytes) hw_.peak_bytes = hw_.live_bytes;
     std::vector<void*>& free = free_lists_[cls];
     if (!free.empty()) {
       ++stats_.recycled;
@@ -92,7 +107,10 @@ class Arena {
       ::operator delete(p, std::align_val_t(align));
       return;
     }
-    free_lists_[size_class(bytes)].push_back(p);
+    const std::size_t cls = size_class(bytes);
+    --hw_.live_blocks;
+    hw_.live_bytes -= std::size_t{1} << cls;
+    free_lists_[cls].push_back(p);
   }
 
   /// Drops all free lists and rewinds into the first chunk. Only valid when
@@ -106,9 +124,16 @@ class Arena {
       // Later chunks stay owned but unreachable until refill() reuses the
       // heap; simplicity beats reclaiming them for the trial-loop use case.
     }
+    hw_.live_blocks = 0;
+    hw_.live_bytes = 0;
   }
 
   const Stats& stats() const { return stats_; }
+
+  /// Live/peak block accounting; see HighWater. A caller about to reset()
+  /// or tear down checks high_water().live_blocks == 0 to prove every
+  /// arena-backed container has already released its blocks.
+  const HighWater& high_water() const { return hw_; }
 
   static constexpr std::size_t kDefaultChunkBytes = std::size_t{64} << 10;
   /// Largest bump-allocated block: 2^kMaxClass bytes.
@@ -145,6 +170,7 @@ class Arena {
   std::vector<std::size_t> chunk_sizes_;
   std::vector<void*> free_lists_[kMaxClass + 1];
   Stats stats_;
+  HighWater hw_;
 };
 
 /// std-compatible allocator over an Arena; lets containers (the radio

@@ -72,13 +72,44 @@ class EventQueue {
   /// Removes the earliest event, moving its callback into `fn_out` and its
   /// telemetry into `meta_out`. Precondition: !empty().
   Time pop_min(Callback& fn_out, EventMeta& meta_out) {
+    std::uint64_t seq, id;
+    return pop_min(fn_out, meta_out, seq, id);
+  }
+
+  /// As above, but also reports the popped event's identity — the replay
+  /// harness records (when, seq, id) triples to bisect divergence.
+  Time pop_min(Callback& fn_out, EventMeta& meta_out, std::uint64_t& seq_out,
+               std::uint64_t& id_out) {
     const Record top = heap_[0];
     Slot& s = slots_[top.slot];
     fn_out = std::move(s.fn);
     meta_out = s.meta;
+    seq_out = top.seq;
+    id_out = s.id;
     release(top.slot);
     remove_at(0);
     return top.when;
+  }
+
+  /// Reports a live event's ordering key. Stale references return false.
+  bool lookup(Ref ref, Time& when_out, std::uint64_t& seq_out) const {
+    if (ref.id == 0 || ref.slot >= slots_.size()) return false;
+    const Slot& s = slots_[ref.slot];
+    if (s.id != ref.id) return false;
+    const Record& r = heap_[s.heap_pos];
+    when_out = r.when;
+    seq_out = r.seq;
+    return true;
+  }
+
+  /// Drops every pending event (capture destructors run immediately). All
+  /// outstanding references become stale. Used by checkpoint restore: the
+  /// structurally-rebuilt world's events are cleared, then the saved
+  /// pending set is re-armed with its original identities.
+  void clear() {
+    heap_.clear();
+    slots_.clear();
+    free_.clear();
   }
 
   /// Cancels the referenced event if it is still queued. Stale references

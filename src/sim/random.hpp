@@ -50,6 +50,24 @@ class Rng {
   /// Selects an index in [0, weights.size()) proportionally to weights.
   std::size_t weighted_index(const std::vector<double>& weights);
 
+  /// The complete generator state, for checkpoint/restore. A restored Rng
+  /// continues the exact draw sequence of the saved one (including the
+  /// Box-Muller cached second normal).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const {
+    return State{{s_[0], s_[1], s_[2], s_[3]}, cached_normal_,
+                 has_cached_normal_};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    cached_normal_ = st.cached_normal;
+    has_cached_normal_ = st.has_cached_normal;
+  }
+
   template <typename T>
   void shuffle(std::vector<T>& v) {
     for (std::size_t i = v.size(); i > 1; --i) {

@@ -1,6 +1,7 @@
 #include "sim/simulator.hpp"
 
 #include "sim/stats.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::sim {
 
@@ -39,14 +40,55 @@ bool Simulator::cancel(EventHandle h) {
   return false;
 }
 
+Simulator::PendingEventInfo Simulator::pending_event_info(EventHandle h) const {
+  PendingEventInfo info;
+  if (!h.valid()) return info;
+  if (queue_.lookup({h.slot_, h.id_}, info.when, info.seq)) {
+    info.valid = true;
+    info.id = h.id_;
+  }
+  return info;
+}
+
+std::size_t Simulator::clear_pending() {
+  const std::size_t n = queue_.size();
+  queue_.clear();
+  return n;
+}
+
+EventHandle Simulator::restore_event(Time when, std::uint64_t seq,
+                                     std::uint64_t id, EventCategory category,
+                                     Callback fn) {
+  const EventQueue::Ref ref =
+      queue_.push(when, seq, id, {category, 0}, std::move(fn));
+  if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
+  return EventHandle{id, ref.slot};
+}
+
+void Simulator::restore_state(Time now, std::uint64_t next_seq,
+                              std::uint64_t next_id, std::uint64_t executed,
+                              std::uint64_t cancelled,
+                              std::uint64_t stale_rejects,
+                              std::size_t peak_pending) {
+  now_ = now;
+  next_seq_ = next_seq;
+  next_id_ = next_id;
+  executed_ = executed;
+  cancelled_ = cancelled;
+  stale_rejects_ = stale_rejects;
+  peak_pending_ = peak_pending;
+}
+
 bool Simulator::step() {
   if (queue_.empty()) return false;
   // Move the callback out before invoking: the event may schedule more
   // events, mutating the queue under us.
   Callback fn;
   EventQueue::EventMeta meta;
-  now_ = queue_.pop_min(fn, meta);
+  std::uint64_t seq, id;
+  now_ = queue_.pop_min(fn, meta, seq, id);
   ++executed_;
+  if (observer_) observer_(now_, id, seq);
   // The event's category and causal context hold while it executes, so
   // anything it schedules (or any span it opens) inherits its cause.
   current_category_ = meta.category;
@@ -104,6 +146,38 @@ void PeriodicTimer::stop() {
   if (running_) {
     running_ = false;
     sim_.cancel(pending_);
+  }
+}
+
+void PeriodicTimer::save(snap::SectionWriter& w) const {
+  w.b(running_);
+  w.duration(period_);
+  const Simulator::PendingEventInfo info = sim_.pending_event_info(pending_);
+  w.b(info.valid);
+  if (info.valid) {
+    w.time_delta(info.when);
+    w.u64(info.seq);
+    w.u64(info.id);
+  }
+}
+
+void PeriodicTimer::restore(snap::SectionReader& r) {
+  // Only valid after Simulator::clear_pending(): the warmup-armed event is
+  // already gone, so the stale handle is overwritten, never cancelled
+  // (cancelling would bump the stale-reject counter and break bit-equality
+  // with the uninterrupted run).
+  running_ = r.b();
+  period_ = sim::Time::ns(r.i64());
+  pending_ = EventHandle{};
+  if (r.b()) {
+    const Time when = r.time_delta();
+    const std::uint64_t seq = r.u64();
+    const std::uint64_t id = r.u64();
+    pending_ = sim_.restore_event(when, seq, id, category_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm(period_);
+    });
   }
 }
 

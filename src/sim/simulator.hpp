@@ -16,6 +16,11 @@
 #include "sim/profiler.hpp"
 #include "sim/time.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::sim {
 
 /// Handle to a scheduled event, usable to cancel it before it fires.
@@ -88,6 +93,48 @@ class Simulator {
   /// fired, already cancelled, or recycled slot).
   std::uint64_t stale_handle_rejects() const { return stale_rejects_; }
 
+  // --- checkpoint/restore hooks (see src/snap) ------------------------------
+
+  /// Counter values a checkpoint must capture so a restored world keeps
+  /// allocating identical event identities.
+  std::uint64_t next_seq() const { return next_seq_; }
+  std::uint64_t next_id() const { return next_id_; }
+
+  /// Ordering key and identity of a still-pending event; `valid` is false
+  /// for fired/cancelled/default handles. Owners of re-armable events use
+  /// this at save time so restore can rebuild the event verbatim.
+  struct PendingEventInfo {
+    bool valid = false;
+    Time when;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+  };
+  PendingEventInfo pending_event_info(EventHandle h) const;
+
+  /// Drops every pending event (restore preamble: the structurally-rebuilt
+  /// world's warmup events are discarded before the saved set is re-armed).
+  /// Returns the number dropped. Counters are untouched.
+  std::size_t clear_pending();
+
+  /// Re-inserts an event with an explicit (when, seq, id) identity, as
+  /// captured by pending_event_info() at checkpoint time. Restoring the
+  /// full pending set with original identities preserves execution order
+  /// and keeps handle/seq allocation bit-compatible with the uninterrupted
+  /// run. Does not advance next_seq_/next_id_ (restore_state() sets them).
+  EventHandle restore_event(Time when, std::uint64_t seq, std::uint64_t id,
+                            EventCategory category, Callback fn);
+
+  /// Overwrites the kernel clock and counters from a checkpoint.
+  void restore_state(Time now, std::uint64_t next_seq, std::uint64_t next_id,
+                     std::uint64_t executed, std::uint64_t cancelled,
+                     std::uint64_t stale_rejects, std::size_t peak_pending);
+
+  /// Observation-only per-event hook, called before each event executes
+  /// with its (when, id, seq). Used by snap::ReplayHarness to record the
+  /// executed-event stream; never affects behavior.
+  using EventObserver = std::function<void(Time, std::uint64_t, std::uint64_t)>;
+  void set_event_observer(EventObserver obs) { observer_ = std::move(obs); }
+
   // --- telemetry hooks ------------------------------------------------------
   // Both hooks are observation-only: they never affect event order, RNG
   // draws, or timestamps, so enabling them cannot change simulated behavior.
@@ -120,6 +167,7 @@ class Simulator {
   KernelProfiler* profiler_ = nullptr;
   std::uint64_t trace_ctx_ = 0;
   EventCategory current_category_ = EventCategory::kNone;
+  EventObserver observer_;
 };
 
 /// RAII override of the simulator's current trace context (used by span
@@ -159,6 +207,12 @@ class PeriodicTimer {
   /// Profiler category stamped on this timer's events (default kTimer);
   /// set before start() so the whole chain is attributed to its owner.
   void set_category(EventCategory c) { category_ = c; }
+
+  /// Checkpoint hooks: a periodic timer's only state is its running flag,
+  /// period, and the identity of its one pending event, which restore()
+  /// re-arms verbatim (original when/seq/id) via Simulator::restore_event.
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
 
  private:
   void arm(Time delay);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,16 @@ class Accumulator {
   double ci95_halfwidth() const;
 
   std::string summary() const;
+
+  /// Raw Welford state, for checkpoint/restore round-trips.
+  double m2() const { return m2_; }
+  void load(std::uint64_t n, double mean, double m2, double mn, double mx) {
+    n_ = n;
+    mean_ = mean;
+    m2_ = m2;
+    min_ = mn;
+    max_ = mx;
+  }
 
  private:
   std::uint64_t n_ = 0;
@@ -70,6 +81,18 @@ class Histogram {
   std::size_t bin_count() const { return counts_.size(); }
   std::uint64_t bin(std::size_t i) const { return counts_[i]; }
   double bin_lo(std::size_t i) const;
+
+  /// Overwrites the bin counts from a checkpoint. The shape (lo, hi, bin
+  /// count) is structural and must already match.
+  void load_counts(const std::vector<std::uint64_t>& counts,
+                   std::uint64_t total, std::uint64_t clamped) {
+    if (counts.size() != counts_.size()) {
+      throw std::invalid_argument("Histogram::load_counts: shape mismatch");
+    }
+    counts_ = counts;
+    total_ = total;
+    clamped_ = clamped;
+  }
 
  private:
   double lo_, hi_, width_;

@@ -1,0 +1,78 @@
+// ReplayHarness — records the post-checkpoint executed-event stream and
+// binary-searches the first diverging event between two runs.
+//
+// Determinism debugging needs more than "the fingerprints differ": it needs
+// the exact event where two supposedly-identical runs first disagree. The
+// harness attaches to the kernel's observation-only event hook and records
+// each executed event's identity (when, id, seq) together with a running
+// prefix hash. Because the hash chain is cumulative, prefix i of two
+// recordings matches iff their hashes at i match — so the first divergence
+// is found with a binary search over the prefix hashes, O(log n) hash
+// compares instead of an O(n) element scan, and the recordings themselves
+// pinpoint the offending event.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace aroma::snap {
+
+/// The identity of one executed event. (when, seq) is the kernel's total
+/// order; id ties the event back to its schedule call.
+struct EventId {
+  sim::Time when;
+  std::uint64_t id = 0;
+  std::uint64_t seq = 0;
+
+  bool operator==(const EventId&) const = default;
+};
+
+/// The verdict of first_divergence().
+struct Divergence {
+  bool diverged = false;
+  /// Index of the first differing event; == min(length) when one recording
+  /// is a strict prefix of the other.
+  std::size_t index = 0;
+  /// True when the streams agree on their common prefix but have different
+  /// lengths (a missing/extra tail, not a reordering).
+  bool length_mismatch = false;
+  std::optional<EventId> expected;  // event at `index` in the reference
+  std::optional<EventId> actual;    // event at `index` in the candidate
+};
+
+class ReplayHarness {
+ public:
+  /// Starts recording every event `sim` executes. Replaces any previously
+  /// attached observer; only one harness per simulator at a time.
+  void attach(sim::Simulator& sim);
+  /// Stops recording (clears the simulator's observer). The recording is
+  /// kept for comparison.
+  void detach(sim::Simulator& sim);
+
+  void clear();
+
+  const std::vector<EventId>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  /// Hash of the whole recorded stream (equal streams => equal hashes).
+  std::uint64_t stream_hash() const;
+  /// Hash of the first `n` events.
+  std::uint64_t prefix_hash(std::size_t n) const;
+
+  /// Locates the first event where `actual` departs from `expected`, by
+  /// binary search over the cumulative prefix hashes.
+  static Divergence first_divergence(const ReplayHarness& expected,
+                                     const ReplayHarness& actual);
+
+ private:
+  void record(sim::Time when, std::uint64_t id, std::uint64_t seq);
+
+  std::vector<EventId> events_;
+  // prefix_hashes_[i] = hash of events_[0..i]; one entry per event.
+  std::vector<std::uint64_t> prefix_hashes_;
+};
+
+}  // namespace aroma::snap

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "snap/format.hpp"
+
 namespace aroma::user {
 
 UserAgent::UserAgent(sim::World& world, std::string name, Faculties faculties)
@@ -42,6 +44,7 @@ sim::Time UserAgent::think_time(const ProcedureStep& step) const {
 void UserAgent::attempt(std::vector<ProcedureStep> steps,
                         std::function<void(const TaskOutcome&)> done) {
   ++attempts_;
+  ++active_runs_;
   auto run = std::make_shared<Run>();
   run->steps = std::move(steps);
   run->started = world_.now();
@@ -55,6 +58,7 @@ void UserAgent::finish(std::shared_ptr<Run> run, bool success,
   run->outcome.abandoned = abandoned;
   run->outcome.duration = world_.now() - run->started;
   run->outcome.final_frustration = frustration_;
+  --active_runs_;
   if (run->done) run->done(run->outcome);
 }
 
@@ -124,6 +128,45 @@ void UserAgent::run_step(std::shared_ptr<Run> run) {
       after(true);
     }
   });
+}
+
+bool UserAgent::snap_quiescent(std::string* why) const {
+  if (active_runs_ != 0) {
+    if (why) *why = "procedure attempt in flight";
+    return false;
+  }
+  return true;
+}
+
+void UserAgent::save(snap::SectionWriter& w) const {
+  const sim::Rng::State st = rng_.state();
+  for (int i = 0; i < 4; ++i) w.u64(st.s[i]);
+  w.f64(st.cached_normal);
+  w.b(st.has_cached_normal);
+  w.f64(frustration_);
+  w.u64(attempts_);
+  w.u64(familiarity_.size());
+  for (const auto& [step, fam] : familiarity_) {
+    w.str(step);
+    w.f64(fam);
+  }
+}
+
+void UserAgent::restore(snap::SectionReader& r) {
+  sim::Rng::State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = r.u64();
+  st.cached_normal = r.f64();
+  st.has_cached_normal = r.b();
+  rng_.set_state(st);
+  frustration_ = r.f64();
+  attempts_ = r.u64();
+  familiarity_.clear();
+  const std::uint64_t n = r.u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::string step = r.str();
+    familiarity_[step] = r.f64();
+  }
+  active_runs_ = 0;
 }
 
 }  // namespace aroma::user

@@ -18,6 +18,11 @@
 #include "sim/world.hpp"
 #include "user/faculties.hpp"
 
+namespace aroma::snap {
+class SectionWriter;
+class SectionReader;
+}  // namespace aroma::snap
+
 namespace aroma::user {
 
 /// One step of a procedure, from the user's point of view.
@@ -72,6 +77,15 @@ class UserAgent {
 
   std::uint64_t total_attempts() const { return attempts_; }
 
+  // --- checkpoint/restore (see src/snap) ------------------------------------
+  // A procedure attempt in flight is a chain of scheduled closures holding
+  // the run state and the completion callback, so the agent is only
+  // checkpointable between attempts. What persists across attempts — the
+  // RNG stream, frustration, per-step familiarity — round-trips exactly.
+  bool snap_quiescent(std::string* why) const;
+  void save(snap::SectionWriter& w) const;
+  void restore(snap::SectionReader& r);
+
  private:
   struct Run {
     std::vector<ProcedureStep> steps;
@@ -92,6 +106,7 @@ class UserAgent {
   double frustration_ = 0.0;
   std::map<std::string, double> familiarity_;  // step name -> 0..1
   std::uint64_t attempts_ = 0;
+  int active_runs_ = 0;  // attempts started but not finished
 };
 
 }  // namespace aroma::user

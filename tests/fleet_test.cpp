@@ -114,6 +114,53 @@ TEST(World, OwnsAnEnabledArena) {
   world.arena().recycle(p, 32, 8);
 }
 
+TEST(Arena, HighWaterTracksLiveAndPeakBlocks) {
+  Arena arena;
+  void* a = arena.allocate(48, 8);  // size class 64
+  void* b = arena.allocate(48, 8);
+  EXPECT_EQ(arena.high_water().live_blocks, 2u);
+  EXPECT_EQ(arena.high_water().live_bytes, 128u);
+  EXPECT_EQ(arena.high_water().peak_blocks, 2u);
+  arena.recycle(a, 48, 8);
+  EXPECT_EQ(arena.high_water().live_blocks, 1u);
+  EXPECT_EQ(arena.high_water().peak_blocks, 2u);  // peak is sticky
+  arena.recycle(b, 48, 8);
+  EXPECT_EQ(arena.high_water().live_blocks, 0u);
+  EXPECT_EQ(arena.high_water().live_bytes, 0u);
+}
+
+TEST(Arena, ResetRewindsAndReusesTheFirstChunk) {
+  Arena arena;
+  void* a = arena.allocate(64, 8);
+  arena.recycle(a, 64, 8);
+  const std::uint64_t chunks = arena.stats().chunks;
+  ASSERT_EQ(arena.high_water().live_blocks, 0u);  // precondition for reset
+  arena.reset();
+  // The next allocation bump-allocates from the rewound chunk — no new
+  // slab, and the pre-reset free lists are gone.
+  void* b = arena.allocate(64, 8);
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(arena.stats().chunks, chunks);
+  arena.recycle(b, 64, 8);
+}
+
+// Teardown-order contract: every arena-backed container releases its
+// blocks before the world (and therefore the arena) is destroyed. A World
+// declares its arena first so it is destroyed last; components recycling
+// on their way down must leave live_blocks at exactly zero.
+TEST(World, ArenaDrainsToZeroLiveBlocksAtTeardown) {
+  auto world = std::make_unique<World>(11);
+  {
+    std::vector<std::byte, ArenaAllocator<std::byte>> payload(
+        ArenaAllocator<std::byte>(&world->arena()));
+    payload.resize(512);
+    EXPECT_GT(world->arena().high_water().live_blocks, 0u);
+  }
+  EXPECT_EQ(world->arena().high_water().live_blocks, 0u)
+      << "an arena-backed container outlived its teardown slot";
+  EXPECT_GT(world->arena().high_water().peak_blocks, 0u);
+}
+
 // --- shard seeding and fingerprint folding -------------------------------
 
 TEST(ShardSeed, PureCounterBasedAndDistinct) {
