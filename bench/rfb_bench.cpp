@@ -40,6 +40,7 @@
 #include "rfb/framebuffer.hpp"
 #include "rfb/workload.hpp"
 #include "sim/random.hpp"
+#include "sim/simd.hpp"
 
 namespace {
 
@@ -230,12 +231,163 @@ ThroughputResult measure_throughput(rfb::Encoding enc, int iters) {
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// SIMD inner-loop micro-benchmarks (the "batching" section): the production
+// tile-hash / solid-detect / RLE-scan paths (sim/simd.hpp lanes) against
+// their scalar oracles, over every tile of a rendered slide — solid
+// background, text bars, and the noise photo, so all three content classes
+// are in the mix. Equality is checked on every tile of both a tile-aligned
+// and an odd-sized framebuffer (non-multiple-of-4 tails); timing uses the
+// min over kBatchRepeats passes (shared machine: min-stable, not
+// mean-stable). Only the tile-hash speedup is gated (>= min_speedup, and
+// only when a SIMD backend is compiled in); the others are reported.
+
+struct KernelTiming {
+  double simd_mb_s = 0.0;
+  double reference_mb_s = 0.0;
+  double speedup = 0.0;
+  bool equal = true;
+};
+
+constexpr int kBatchRepeats = 3;
+
+template <typename Fn>
+double min_seconds(Fn&& fn) {
+  double best = 0.0;
+  for (int rep = 0; rep < kBatchRepeats; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (rep == 0 || s < best) best = s;
+  }
+  return best;
+}
+
+/// Times `simd_pass` and `ref_pass` (each a full sweep over `mbytes` of
+/// pixels, repeated `iters` times) and fills the rate/speedup fields.
+template <typename SimdFn, typename RefFn>
+KernelTiming time_kernel(double mbytes, int iters, SimdFn&& simd_pass,
+                         RefFn&& ref_pass) {
+  KernelTiming t;
+  const double total = mbytes * iters;
+  const double simd_s = min_seconds([&] {
+    for (int i = 0; i < iters; ++i) simd_pass();
+  });
+  const double ref_s = min_seconds([&] {
+    for (int i = 0; i < iters; ++i) ref_pass();
+  });
+  t.simd_mb_s = simd_s > 0.0 ? total / simd_s : 0.0;
+  t.reference_mb_s = ref_s > 0.0 ? total / ref_s : 0.0;
+  t.speedup = ref_s > 0.0 && simd_s > 0.0 ? ref_s / simd_s : 0.0;
+  return t;
+}
+
+struct BatchingResults {
+  KernelTiming tile_hash;
+  KernelTiming solid_scan;
+  KernelTiming rle_scan;
+};
+
+std::vector<rfb::RectRegion> all_tiles(const rfb::Framebuffer& fb) {
+  std::vector<rfb::RectRegion> tiles;
+  for (int ty = 0; ty < fb.tiles_y(); ++ty) {
+    for (int tx = 0; tx < fb.tiles_x(); ++tx) {
+      tiles.push_back(fb.tile_rect(tx, ty));
+    }
+  }
+  return tiles;
+}
+
+BatchingResults measure_batching(int iters) {
+  rfb::Framebuffer fb(kWidth, kHeight, 0xff202020);
+  SlideFlipWorkload deck(7, kWidth, kHeight);
+  deck.step(fb);
+  // Odd-sized replica: edge tiles are 13 wide / 3 tall, exercising the
+  // non-multiple-of-4 tail of every SIMD loop in the equality sweep.
+  rfb::Framebuffer odd(157, 93, 0xff202020);
+  odd.write_block(odd.bounds(), fb.pixels().data());
+
+  const std::vector<rfb::RectRegion> tiles = all_tiles(fb);
+  double mbytes = 0.0;
+  for (const auto& r : tiles) mbytes += r.w * r.h * 4 / 1e6;
+
+  BatchingResults b;
+  // Equality first, over every tile of both framebuffers.
+  for (const rfb::Framebuffer* f : {&fb, &odd}) {
+    for (const auto& r : all_tiles(*f)) {
+      if (f->hash_rect(r) != f->hash_rect_reference(r)) {
+        b.tile_hash.equal = false;
+      }
+      rfb::Pixel c1 = 0, c2 = 0;
+      const bool s1 = rfb::detail::solid_tile(*f, r, c1);
+      const bool s2 = rfb::detail::solid_tile_reference(*f, r, c2);
+      if (s1 != s2 || (s1 && c1 != c2)) b.solid_scan.equal = false;
+      if (rfb::detail::scan_runs(*f, r) !=
+          rfb::detail::scan_runs_reference(*f, r)) {
+        b.rle_scan.equal = false;
+      }
+    }
+  }
+
+  // Timing: full-framebuffer tile sweeps, sink accumulated to keep the
+  // optimizer honest.
+  std::uint64_t sink = 0;
+  const bool eq_hash = b.tile_hash.equal;
+  b.tile_hash = time_kernel(
+      mbytes, iters,
+      [&] {
+        for (const auto& r : tiles) sink += fb.hash_rect(r);
+      },
+      [&] {
+        for (const auto& r : tiles) sink += fb.hash_rect_reference(r);
+      });
+  b.tile_hash.equal = eq_hash;
+  const bool eq_solid = b.solid_scan.equal;
+  b.solid_scan = time_kernel(
+      mbytes, iters,
+      [&] {
+        rfb::Pixel c = 0;
+        for (const auto& r : tiles) {
+          sink += rfb::detail::solid_tile(fb, r, c) ? c : 0u;
+        }
+      },
+      [&] {
+        rfb::Pixel c = 0;
+        for (const auto& r : tiles) {
+          sink += rfb::detail::solid_tile_reference(fb, r, c) ? c : 0u;
+        }
+      });
+  b.solid_scan.equal = eq_solid;
+  const bool eq_rle = b.rle_scan.equal;
+  std::vector<std::byte> rle_bytes;
+  std::vector<std::pair<std::uint32_t, rfb::Pixel>> rle_runs;
+  b.rle_scan = time_kernel(
+      mbytes, iters,
+      [&] {
+        for (const auto& r : tiles) {
+          rfb::detail::scan_runs_into(fb, r, rle_bytes);
+          sink += rle_bytes.size();
+        }
+      },
+      [&] {
+        for (const auto& r : tiles) {
+          rfb::detail::scan_runs_reference_into(fb, r, rle_runs);
+          sink += rle_runs.size();
+        }
+      });
+  b.rle_scan.equal = eq_rle;
+  if (sink == 0xdeadbeef) std::printf("~");  // never true; defeats DCE
+  return b;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::uint64_t seed = 2026;
   std::string json_path = "BENCH_rfb.json";
   double min_ratio = 5.0;
+  double min_simd_speedup = 2.0;
   double run_s = 45.0;
   int throughput_iters = 120;
   for (int i = 1; i < argc; ++i) {
@@ -252,6 +404,8 @@ int main(int argc, char** argv) {
       json_path = need("--json");
     } else if (std::strcmp(argv[i], "--min-ratio") == 0) {
       min_ratio = std::strtod(need("--min-ratio"), nullptr);
+    } else if (std::strcmp(argv[i], "--min-simd-speedup") == 0) {
+      min_simd_speedup = std::strtod(need("--min-simd-speedup"), nullptr);
     } else if (std::strcmp(argv[i], "--run-s") == 0) {
       run_s = std::strtod(need("--run-s"), nullptr);
     } else if (std::strcmp(argv[i], "--throughput-iters") == 0) {
@@ -259,7 +413,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: rfb_bench [--seed n] [--json path] "
-                   "[--min-ratio x] [--run-s s] [--throughput-iters n]\n");
+                   "[--min-ratio x] [--min-simd-speedup x] [--run-s s] "
+                   "[--throughput-iters n]\n");
       return 2;
     }
   }
@@ -395,6 +550,49 @@ int main(int argc, char** argv) {
     throughput.push(std::move(row));
   }
 
+  // --- SIMD inner loops: equality gated; tile-hash speedup gated when a
+  // --- SIMD backend is compiled in. ----------------------------------------
+  const BatchingResults batching = measure_batching(throughput_iters / 2);
+  benchsup::table_header(
+      std::string("SIMD inner loops (backend ") + sim::simd::kBackend + ")",
+      {"kernel", "simd-MB/s", "reference-MB/s", "speedup", "equal"});
+  const auto batch_row = [&](const char* kernel, const KernelTiming& t) {
+    benchsup::table_row(std::string(kernel), t.simd_mb_s, t.reference_mb_s,
+                        t.speedup, t.equal ? 1.0 : 0.0);
+    if (!t.equal) {
+      std::fprintf(stderr, "FAIL: %s disagrees with its scalar oracle\n",
+                   kernel);
+      ok = false;
+    }
+    benchsup::Json row = benchsup::Json::object();
+    row.set("kernel", kernel);
+    row.set("simd_mb_s", t.simd_mb_s);
+    row.set("reference_mb_s", t.reference_mb_s);
+    row.set("speedup", t.speedup);
+    row.set("oracle_equal", t.equal);
+    return row;
+  };
+  benchsup::Json kernels = benchsup::Json::array();
+  kernels.push(batch_row("tile_hash", batching.tile_hash));
+  kernels.push(batch_row("solid_scan", batching.solid_scan));
+  kernels.push(batch_row("rle_scan", batching.rle_scan));
+  const bool simd_gate_applies = sim::simd::kEnabled;
+  bool simd_gate_ok = true;
+  if (simd_gate_applies) {
+    simd_gate_ok = batching.tile_hash.speedup >= min_simd_speedup;
+    std::printf("\ntile-hash SIMD speedup %.2fx (gate %.1fx, backend %s)\n",
+                batching.tile_hash.speedup, min_simd_speedup,
+                sim::simd::kBackend);
+    if (!simd_gate_ok) {
+      std::fprintf(stderr, "FAIL: tile-hash SIMD speedup %.2f < %.2f\n",
+                   batching.tile_hash.speedup, min_simd_speedup);
+      ok = false;
+    }
+  } else {
+    std::printf("\ntile-hash speedup gate skipped: scalar backend "
+                "(AROMA_FORCE_SCALAR or no SIMD ISA)\n");
+  }
+
   benchsup::Json doc = benchsup::Json::object();
   doc.set("bench", "rfb");
   doc.set("seed", seed);
@@ -406,11 +604,23 @@ int main(int argc, char** argv) {
   doc.set("run_s", run_s);
   doc.set("scenarios", std::move(runs));
   doc.set("encode_throughput", std::move(throughput));
+  benchsup::Json batching_doc = benchsup::Json::object();
+  batching_doc.set("simd_backend", sim::simd::kBackend);
+  batching_doc.set("simd_enabled", sim::simd::kEnabled);
+  batching_doc.set("kernels", std::move(kernels));
+  doc.set("batching", std::move(batching_doc));
   benchsup::Json gates = benchsup::Json::object();
   gates.set("all_synced", all_synced);
   gates.set("replica_hash_consistent", hashes_consistent);
   gates.set("min_cached_ratio", min_ratio);
   gates.set("slides_cached_ratio", cached_ratio);
+  gates.set("simd_oracles_equal", batching.tile_hash.equal &&
+                                      batching.solid_scan.equal &&
+                                      batching.rle_scan.equal);
+  gates.set("min_simd_speedup", min_simd_speedup);
+  gates.set("tile_hash_speedup", batching.tile_hash.speedup);
+  gates.set("simd_gate_applied", simd_gate_applies);
+  gates.set("simd_gate_ok", simd_gate_ok);
   doc.set("gates", std::move(gates));
   if (!doc.write_file(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

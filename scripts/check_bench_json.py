@@ -29,6 +29,26 @@ KNOWN_CATEGORIES = {
     "none", "timer", "mac", "radio", "stream", "lease",
     "discovery", "rfb", "diag", "app", "other",
 }
+KERNEL_BATCHING_KEYS = {
+    "scalar_wall_sec": float,
+    "scalar_fingerprint": str,
+    "fingerprint_match": bool,
+    "speedup": float,
+    "absorbed": int,
+    "dispatched": int,
+    "per_category": list,
+}
+KERNEL_RADIO_KEYS = {
+    "resolve_calls": int,
+    "queries": int,
+    "memo_hits": int,
+    "memo_misses": int,
+    "fallback_queries": int,
+    "sweep_hits": int,
+    "sweep_misses": int,
+    "cca_hits": int,
+    "cca_misses": int,
+}
 
 FLEET_RUN_KEYS = {
     "shards": int,
@@ -108,6 +128,45 @@ def check_kernel(doc):
         if sum(cats.values()) != s["events"]:
             fail(f'scenario "{name}": category counts sum to '
                  f'{sum(cats.values())}, but "events" is {s["events"]}')
+
+        # Batching efficacy: scalar-vs-batched leg comparison, re-checked
+        # from the artifact. Fingerprints must match (batching is a pure
+        # mechanical optimization) and the absorbed/dispatched split must
+        # account for every event.
+        b = s.get("batching")
+        if not isinstance(b, dict):
+            fail(f'scenario "{name}" is missing its "batching" section')
+        check_keys(b, KERNEL_BATCHING_KEYS, f'scenario "{name}" batching')
+        if not b["fingerprint_match"]:
+            fail(f'scenario "{name}": scalar and batched legs disagree '
+                 f'({b["scalar_fingerprint"]} vs {s["fingerprint"]})')
+        if b["scalar_fingerprint"] != s["fingerprint"]:
+            fail(f'scenario "{name}": fingerprint_match contradicts the '
+                 f"fingerprints")
+        if b["absorbed"] + b["dispatched"] != s["events"]:
+            fail(f'scenario "{name}": absorbed {b["absorbed"]} + dispatched '
+                 f'{b["dispatched"]} != events {s["events"]}')
+        for co in b["per_category"]:
+            cname = co.get("category", "<unnamed>")
+            if co.get("absorbed", 0) > co.get("executed", 0):
+                fail(f'scenario "{name}" category "{cname}": absorbed '
+                     f"exceeds executed")
+        if name.startswith("radio"):
+            radio = b.get("radio")
+            if not isinstance(radio, dict):
+                fail(f'scenario "{name}" batching is missing "radio" stats')
+            check_keys(radio, KERNEL_RADIO_KEYS, f'"{name}" batching.radio')
+            if radio["queries"] <= 0:
+                fail(f'scenario "{name}": batch path resolved no queries')
+        gate = b.get("gate")
+        if name == "radio_256":
+            if not isinstance(gate, dict):
+                fail('scenario "radio_256" is missing its self-gate record')
+            if gate.get("passed") is not True:
+                fail(f'radio_256 gate failed: {gate.get("category")} speedup '
+                     f'{gate.get("speedup")} < {gate.get("min_speedup")}')
+            if gate.get("speedup", 0) < gate.get("min_speedup", 2.0):
+                fail('radio_256 gate "passed" contradicts its speedup')
 
     missing = EXPECTED_SCENARIOS - names
     # A substring filter run is allowed, but the default CI smoke runs all.
@@ -189,8 +248,16 @@ RFB_THROUGHPUT_KEYS = {
     "speedup": float,
     "bytes_equal": bool,
 }
+RFB_KERNEL_KEYS = {
+    "kernel": str,
+    "simd_mb_s": float,
+    "reference_mb_s": float,
+    "speedup": float,
+    "oracle_equal": bool,
+}
 RFB_SCENARIOS = {"slides", "animation", "typing"}
 RFB_ENCODINGS = {"raw", "rle", "tiled", "cached"}
+RFB_SIMD_KERNELS = {"tile_hash", "solid_scan", "rle_scan"}
 
 
 def check_rfb(doc):
@@ -255,8 +322,43 @@ def check_rfb(doc):
         if t["zero_copy_mb_s"] <= 0:
             fail(f"{what} reports non-positive throughput")
 
+    # SIMD inner loops: oracle equality always; the tile-hash speedup gate
+    # only when a SIMD backend was compiled in (scalar builds skip it).
+    batching = doc.get("batching")
+    if not isinstance(batching, dict):
+        fail('top-level "batching" missing')
+    if not isinstance(batching.get("simd_backend"), str):
+        fail('"batching.simd_backend" missing')
+    if not isinstance(batching.get("simd_enabled"), bool):
+        fail('"batching.simd_enabled" missing')
+    kernels = batching.get("kernels")
+    if not isinstance(kernels, list) or not kernels:
+        fail('"batching.kernels" missing or empty')
+    seen_kernels = set()
+    for k in kernels:
+        what = f'simd kernel {k.get("kernel")}'
+        check_keys(k, RFB_KERNEL_KEYS, what)
+        seen_kernels.add(k["kernel"])
+        if not k["oracle_equal"]:
+            fail(f"{what}: disagrees with its scalar oracle")
+        if k["simd_mb_s"] <= 0 or k["reference_mb_s"] <= 0:
+            fail(f"{what}: non-positive throughput")
+    if seen_kernels != RFB_SIMD_KERNELS:
+        fail(f"simd kernels {sorted(seen_kernels)} != "
+             f"{sorted(RFB_SIMD_KERNELS)}")
+    if gates.get("simd_oracles_equal") is not True:
+        fail('"gates.simd_oracles_equal" is not true')
+    if batching["simd_enabled"]:
+        if gates.get("simd_gate_applied") is not True:
+            fail("SIMD backend compiled in but the speedup gate did not run")
+        if gates.get("simd_gate_ok") is not True:
+            fail(f'tile-hash speedup {gates.get("tile_hash_speedup")} below '
+                 f'gate {gates.get("min_simd_speedup")}')
+    backend = batching["simd_backend"]
+
     print(f"check_bench_json: OK (rfb: {len(runs)} display runs, "
-          f"{len(by_point)} scenario points, slide cache ratio {ratio:.1f}x)")
+          f"{len(by_point)} scenario points, slide cache ratio {ratio:.1f}x, "
+          f"simd backend {backend})")
 
 
 SNAP_RUN_KEYS = {

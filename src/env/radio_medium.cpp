@@ -23,6 +23,16 @@ RadioMedium::RadioMedium(sim::World& world, PathLossModel model,
     v = IdVector(sim::ArenaAllocator<std::uint64_t>(&world.arena()));
   }
   if (options_.cell_size_m > 0.0) cell_size_m_ = options_.cell_size_m;
+  // Precompute 10*log10(channel_overlap) per channel separation — the exact
+  // expression deliver() evaluates per candidate, so table lookups are
+  // bit-identical to the scalar log10 calls.
+  for (int sep = 0; sep < 5; ++sep) {
+    const double overlap = channel_overlap(0, sep);
+    overlap_lin_[static_cast<std::size_t>(sep)] = overlap;
+    overlap_db_[static_cast<std::size_t>(sep)] =
+        10.0 * std::log10(overlap > 0.0 ? overlap : 1e-12);
+  }
+  cca_activity_seq_.fill(1);
   const auto layer = lpc::Layer::kEnvironment;
   m_transmissions_ = obs::counter(world_, "env.radio.transmissions", layer);
   m_attempted_ = obs::counter(world_, "env.radio.deliveries_attempted", layer);
@@ -47,13 +57,15 @@ void RadioMedium::publish_metrics() {
 
 void RadioMedium::attach(RadioEndpoint* endpoint) {
   endpoints_.push_back(endpoint);
-  grid_valid_ = false;
+  invalidate_positions();
+  ep_map_valid_ = false;
 }
 
 void RadioMedium::detach(RadioEndpoint* endpoint) {
   endpoints_.erase(std::remove(endpoints_.begin(), endpoints_.end(), endpoint),
                    endpoints_.end());
-  grid_valid_ = false;
+  invalidate_positions();
+  ep_map_valid_ = false;
 }
 
 std::uint64_t RadioMedium::transmit(RadioEndpoint& sender, std::size_t bits,
@@ -89,6 +101,15 @@ std::uint64_t RadioMedium::transmit(RadioEndpoint& sender, std::size_t bits,
   by_sender_.try_emplace(tx.sender_id, &world_.arena())
       .first->second.push(tx.id);
   history_.push_back(std::move(tx));
+  in_flight_.push_back(&history_.back());
+  // A new contributor: cached CCA answers for every channel this
+  // transmission can reach (sep < 5) are stale.
+  {
+    const int ch = history_.back().channel;
+    const std::size_t blo = channel_bucket(ch - 4);
+    const std::size_t bhi = channel_bucket(ch + 4);
+    for (std::size_t b = blo; b <= bhi; ++b) ++cca_activity_seq_[b];
+  }
   max_duration_ = std::max(max_duration_, duration);
   ++stats_.transmissions;
   if (m_transmissions_) m_transmissions_->add();
@@ -232,8 +253,16 @@ void RadioMedium::finish(std::uint64_t tx_id) {
   const Transmission* tx = find_tx(tx_id);
   if (!tx) return;  // pruned (cannot happen for live frames; be safe)
   const std::uint64_t span = tx->span;
+  for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i]->id == tx_id) {
+      in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
 
-  if (!options_.spatial_index || endpoints_.empty()) {
+  if (options_.batch && !endpoints_.empty()) {
+    finish_batched(*tx);
+  } else if (!options_.spatial_index || endpoints_.empty()) {
     for (RadioEndpoint* ep : endpoints_) deliver(*tx, *ep);
   } else {
     rebuild_grid();
@@ -307,6 +336,12 @@ void RadioMedium::deliver(const Transmission& tx, RadioEndpoint& ep) {
                           tx.sender_id, cfg.id) +
       10.0 * std::log10(overlap > 0.0 ? overlap : 1e-12);
   if (rssi < cfg.sensitivity_dbm) return;
+  deliver_prepared(tx, ep, rssi);
+}
+
+void RadioMedium::deliver_prepared(const Transmission& tx, RadioEndpoint& ep,
+                                   double rssi) {
+  const RadioConfig& cfg = ep.radio_config();
   ++stats_.deliveries_attempted;
   if (m_attempted_) m_attempted_->add();
 
@@ -347,11 +382,264 @@ void RadioMedium::deliver(const Transmission& tx, RadioEndpoint& ep) {
   ep.on_frame(d);
 }
 
+void RadioMedium::rebuild_ep_map() const {
+  const std::size_t n = endpoints_.size();
+  ep_index_.clear();
+  ep_index_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    ep_index_[endpoints_[i]->radio_config().id] = i;
+  }
+  dense_n_ = (n > 0 && n <= kDenseMemoMaxEndpoints) ? n : 0;
+  dense_.assign(dense_n_ * dense_n_, DenseLink{});
+  sweeps_.assign(n, SenderSweep{});
+  cca_cache_.assign(n, CcaEntry{});
+  ep_cache_valid_ = false;
+  ++ep_map_epoch_;
+  ep_map_valid_ = true;
+}
+
+void RadioMedium::refresh_endpoint_cache() const {
+  ensure_ep_map();
+  const sim::Time now = world_.now();
+  // No endpoint can move => the snapshot can never go stale; same-timestamp
+  // queries see identical positions by construction. Static worlds snapshot
+  // exactly once.
+  if (ep_cache_valid_ &&
+      (ep_cache_time_ == now || ep_speed_bound_mps_ == 0.0)) {
+    return;
+  }
+  const std::size_t n = endpoints_.size();
+  bool changed = ep_cache_.size() != n;
+  ep_cache_.resize(n);
+  double bound = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const RadioEndpoint* ep = endpoints_[i];
+    const RadioConfig& cfg = ep->radio_config();
+    EpSnap s;
+    s.pos = ep->position();
+    s.id = cfg.id;
+    s.channel = cfg.channel;
+    s.sensitivity_dbm = cfg.sensitivity_dbm;
+    s.max_speed_mps = ep->max_speed_mps();
+    bound = std::max(bound, s.max_speed_mps);
+    EpSnap& dst = ep_cache_[i];
+    changed = changed || dst.pos != s.pos || dst.id != s.id ||
+              dst.channel != s.channel ||
+              dst.sensitivity_dbm != s.sensitivity_dbm;
+    dst = s;
+  }
+  ep_speed_bound_mps_ = bound;
+  ep_cache_time_ = now;
+  ep_cache_valid_ = true;
+  // Per-sender sweeps stay valid across a refresh that changed nothing (a
+  // re-snapshot after invalidate_positions where nobody actually moved).
+  if (changed) ++ep_epoch_;
+}
+
+RadioMedium::DenseLink& RadioMedium::dense_fill(
+    std::uint32_t fi, std::uint32_t oi, double tx_dbm, Vec2 from, Vec2 to,
+    std::uint64_t from_id, std::uint64_t to_id) const {
+  DenseLink& e =
+      dense_[static_cast<std::size_t>(fi) * dense_n_ + oi];
+  if (e.state != 0 && e.tx_dbm == tx_dbm && e.from == from && e.to == to) {
+    ++batch_stats_.memo_hits;
+  } else {
+    ++batch_stats_.memo_misses;
+    e.tx_dbm = tx_dbm;
+    e.from = from;
+    e.to = to;
+    // The exact expression of PathLossModel::link_lookup's miss path, so the
+    // memo returns bit-identical values to the model's own cache.
+    e.rx_dbm = tx_dbm - model_.loss_db(from, to, from_id, to_id);
+    e.state = 1;
+  }
+  if (e.state < 2) {
+    e.rx_mw = dbm_to_mw(e.rx_dbm);
+    e.state = 2;
+  }
+  return e;
+}
+
+bool RadioMedium::tx_sender_index(const Transmission& tx,
+                                  std::uint32_t& idx) const {
+  ensure_ep_map();
+  if (tx.sender_map_epoch != ep_map_epoch_) {
+    const auto it = ep_index_.find(tx.sender_id);
+    tx.sender_idx = it == ep_index_.end() ? kNoEpIdx : it->second;
+    tx.sender_map_epoch = ep_map_epoch_;
+  }
+  idx = tx.sender_idx;
+  return idx != kNoEpIdx;
+}
+
+void RadioMedium::resolve_one(const LinkQuery& q, LinkResult& r) const {
+  const DenseLink* e = nullptr;
+  if (dense_n_ != 0) {
+    const auto a = ep_index_.find(q.from_id);
+    if (a != ep_index_.end()) {
+      const auto b = ep_index_.find(q.to_id);
+      if (b != ep_index_.end()) {
+        e = &dense_fill(a->second, b->second, q.tx_power_dbm, q.from, q.to,
+                        q.from_id, q.to_id);
+      }
+    }
+  }
+  if (e != nullptr) {
+    r.rx_dbm = e->rx_dbm;
+    r.rx_mw = e->rx_mw;
+  } else {
+    ++batch_stats_.fallback_queries;
+    r.rx_dbm =
+        model_.received_dbm(q.tx_power_dbm, q.from, q.to, q.from_id, q.to_id);
+    r.rx_mw =
+        model_.received_mw(q.tx_power_dbm, q.from, q.to, q.from_id, q.to_id);
+  }
+  r.overlap = channel_overlap(q.tx_channel, q.rx_channel);
+  const int sep = q.tx_channel < q.rx_channel ? q.rx_channel - q.tx_channel
+                                              : q.tx_channel - q.rx_channel;
+  r.rssi_dbm = r.rx_dbm + (sep < 5 ? overlap_db_[static_cast<std::size_t>(sep)]
+                                   : 10.0 * std::log10(1e-12));
+}
+
+void RadioMedium::resolve_links(std::span<const LinkQuery> queries,
+                                std::span<LinkResult> results) const {
+  ensure_ep_map();
+  ++batch_stats_.resolve_calls;
+  batch_stats_.queries += queries.size();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    resolve_one(queries[i], results[i]);
+  }
+}
+
+void RadioMedium::finish_batched(const Transmission& tx) {
+  ensure_ep_map();
+  refresh_endpoint_cache();
+  std::uint32_t sidx = kNoEpIdx;
+  SenderSweep* sw = tx_sender_index(tx, sidx) ? &sweeps_[sidx] : nullptr;
+  const bool replay = sw != nullptr && sw->valid && sw->epoch == ep_epoch_ &&
+                      sw->power_dbm == tx.power_dbm &&
+                      sw->channel == tx.channel && sw->pos == tx.sender_pos;
+  if (replay) {
+    ++batch_stats_.sweep_hits;
+    scratch_passers_ = sw->passers;
+  } else {
+    ++batch_stats_.sweep_misses;
+    // Candidate enumeration mirrors the scalar path (same grid, same cull
+    // radius, same final sort into attach order); the exact distance check
+    // runs against the snapshot, which refresh_endpoint_cache() guarantees
+    // agrees with current positions.
+    scratch_candidates_.clear();
+    bool have_r2 = false;
+    double r2 = 0.0;
+    const Vec2 pos = tx.sender_pos;
+    if (options_.spatial_index) {
+      rebuild_grid();
+      const double radius = cull_radius_m(tx.power_dbm);
+      r2 = radius * radius;
+      have_r2 = true;
+      const double ring = radius + grid_drift_m_;
+      bool full_scan = !(ring < 1e7);
+      CellCoord c0, c1;
+      if (!full_scan) {
+        c0 = cell_of({pos.x - ring, pos.y - ring}, cell_size_m_);
+        c1 = cell_of({pos.x + ring, pos.y + ring}, cell_size_m_);
+        const std::uint64_t span_x =
+            static_cast<std::uint64_t>(c1.x - c0.x) + 1;
+        const std::uint64_t span_y =
+            static_cast<std::uint64_t>(c1.y - c0.y) + 1;
+        full_scan = span_x * span_y >= endpoints_.size();
+      }
+      if (full_scan) {
+        for (std::uint32_t i = 0; i < endpoints_.size(); ++i) {
+          scratch_candidates_.push_back(i);
+        }
+      } else {
+        for (std::int32_t cx = c0.x; cx <= c1.x; ++cx) {
+          const std::uint64_t klo = cell_key({cx, c0.y});
+          const std::uint64_t khi = cell_key({cx, c1.y});
+          auto it = std::lower_bound(grid_.begin(), grid_.end(), klo,
+                                     [](const auto& entry, std::uint64_t k) {
+                                       return entry.first < k;
+                                     });
+          for (; it != grid_.end() && it->first <= khi; ++it) {
+            scratch_candidates_.push_back(it->second);
+          }
+        }
+        std::sort(scratch_candidates_.begin(), scratch_candidates_.end());
+      }
+    } else {
+      for (std::uint32_t i = 0; i < endpoints_.size(); ++i) {
+        scratch_candidates_.push_back(i);
+      }
+    }
+    batch_queries_.clear();
+    batch_idx_.clear();
+    for (const std::uint32_t idx : scratch_candidates_) {
+      const EpSnap& s = ep_cache_[idx];
+      if (have_r2) {
+        const Vec2 d = s.pos - pos;
+        if (d.norm2() > r2) continue;  // provably below sensitivity
+      }
+      if (s.id == tx.sender_id) continue;
+      // Separation >= 5 is exactly overlap == 0, the scalar early return.
+      if (s.channel - tx.channel >= 5 || tx.channel - s.channel >= 5) continue;
+      batch_idx_.push_back(idx);
+      LinkQuery q;
+      q.tx_power_dbm = tx.power_dbm;
+      q.from = pos;
+      q.to = s.pos;
+      q.from_id = tx.sender_id;
+      q.to_id = s.id;
+      q.tx_channel = tx.channel;
+      q.rx_channel = s.channel;
+      batch_queries_.push_back(q);
+    }
+    batch_results_.resize(batch_idx_.size());
+    resolve_links(batch_queries_, batch_results_);
+    scratch_passers_.clear();
+    for (std::size_t i = 0; i < batch_idx_.size(); ++i) {
+      const std::uint32_t idx = batch_idx_[i];
+      const double rssi = batch_results_[i].rssi_dbm;
+      if (rssi < ep_cache_[idx].sensitivity_dbm) continue;
+      scratch_passers_.emplace_back(idx, rssi);
+    }
+    if (sw != nullptr) {
+      sw->epoch = ep_epoch_;
+      sw->power_dbm = tx.power_dbm;
+      sw->channel = tx.channel;
+      sw->pos = tx.sender_pos;
+      sw->passers = scratch_passers_;
+      sw->valid = true;
+    }
+  }
+  // Ascending endpoint index == attach order == the scalar delivery order,
+  // so on_frame side effects and stats land in the identical sequence.
+  for (std::size_t i = 0; i < scratch_passers_.size(); ++i) {
+    const auto [idx, rssi] = scratch_passers_[i];
+    deliver_prepared(tx, *endpoints_[idx], rssi);
+  }
+}
+
 double RadioMedium::interference_mw(const Transmission& tx,
                                     const RadioEndpoint& rx) const {
   const RadioConfig& cfg = rx.radio_config();
   const double span = (tx.end - tx.start).seconds();
   double total_mw = 0.0;
+  // Batch mode: resolve the receiver's dense-memo column once, then each
+  // interferer reuses its memoized link budget (guards re-checked, so the
+  // value is bit-identical to the model call it replaces).
+  std::uint32_t oi = kNoEpIdx;
+  Vec2 rx_pos;
+  if (options_.batch) {
+    ensure_ep_map();
+    if (dense_n_ != 0) {
+      const auto it = ep_index_.find(cfg.id);
+      if (it != ep_index_.end()) {
+        oi = it->second;
+        rx_pos = rx.position();
+      }
+    }
+  }
   const auto contribution = [&](const Transmission& other) {
     if (other.id == tx.id || other.sender_id == tx.sender_id ||
         other.sender_id == cfg.id) {
@@ -364,9 +652,16 @@ double RadioMedium::interference_mw(const Transmission& tx,
         span > 0.0 ? (o_end - o_start).seconds() / span : 1.0;
     const double ch = channel_overlap(other.channel, cfg.channel);
     if (ch <= 0.0) return;
-    const double p_mw = model_.received_mw(
-        other.power_dbm, other.sender_pos, rx.position(), other.sender_id,
-        cfg.id);
+    double p_mw;
+    std::uint32_t fi;
+    if (oi != kNoEpIdx && tx_sender_index(other, fi)) {
+      p_mw = dense_fill(fi, oi, other.power_dbm, other.sender_pos, rx_pos,
+                        other.sender_id, cfg.id)
+                 .rx_mw;
+    } else {
+      p_mw = model_.received_mw(other.power_dbm, other.sender_pos,
+                                rx.position(), other.sender_id, cfg.id);
+    }
     total_mw += p_mw * ch * overlap_frac;
   };
   // The pruned history only spans the interference-overlap window, so for
@@ -384,12 +679,99 @@ double RadioMedium::interference_mw(const Transmission& tx,
 }
 
 bool RadioMedium::carrier_busy(const RadioEndpoint& ep) const {
-  const RadioConfig& cfg = ep.radio_config();
-  return energy_at(ep.position(), cfg.channel, cfg.id) >= cfg.cca_threshold_dbm;
+  return carrier_busy_at(ep, ep.radio_config(), ep.position());
+}
+
+bool RadioMedium::carrier_busy_at(const RadioEndpoint& ep,
+                                  const RadioConfig& cfg, Vec2 pos) const {
+  if (options_.batch) {
+    ensure_ep_map();
+    return energy_at_batched(pos, cfg.channel, cfg.id,
+                             observer_index(ep, cfg.id)) >=
+           cfg.cca_threshold_dbm;
+  }
+  return energy_at(pos, cfg.channel, cfg.id) >= cfg.cca_threshold_dbm;
+}
+
+std::uint32_t RadioMedium::observer_index(const RadioEndpoint& ep,
+                                          std::uint64_t id) const {
+  if (ep.medium_ep_epoch_ == ep_map_epoch_) return ep.medium_ep_idx_;
+  std::uint32_t oi = kNoEpIdx;
+  const auto it = ep_index_.find(id);
+  if (it != ep_index_.end()) oi = it->second;
+  ep.medium_ep_idx_ = oi;
+  ep.medium_ep_epoch_ = ep_map_epoch_;
+  return oi;
+}
+
+double RadioMedium::energy_at_batched(Vec2 pos, int channel,
+                                      std::uint64_t observer_id,
+                                      std::uint32_t oi) const {
+  // Batched CCA: answer from the per-observer cache when the energy can
+  // not have changed since it was computed (see CcaEntry), else one pass
+  // over the in-flight list — every live transmission, ascending id, the
+  // same terms in the same order as the scalar scan — with link budgets
+  // from the dense memo.
+  const sim::Time now = world_.now();
+  const std::uint64_t seq = cca_activity_seq_[channel_bucket(channel)];
+  if (oi != kNoEpIdx) {
+    const CcaEntry& e = cca_cache_[oi];
+    if (e.seq == seq && e.id == observer_id && e.channel == channel &&
+        e.pos == pos &&
+        (now == e.t || (!e.exact_only && e.t < now && now < e.valid_until))) {
+      ++batch_stats_.cca_hits;
+      return e.value_dbm;
+    }
+  }
+  ++batch_stats_.cca_misses;
+  double total_mw = 0.0;
+  sim::Time valid_until = sim::Time::max();
+  bool exact_only = false;
+  for (const Transmission* tx : in_flight_) {
+    if (tx->sender_id == observer_id) continue;
+    if (tx->end <= now) continue;  // ends this instant; finish pending
+    if (tx->start >= now) {
+      // Started at this exact instant: not yet sensed (the slotted-CSMA
+      // vulnerable window). It will be for any later query.
+      exact_only = true;
+      continue;
+    }
+    // Overlap is exactly zero at separation >= 5; table the rest.
+    const int sep = tx->channel >= channel ? tx->channel - channel
+                                           : channel - tx->channel;
+    if (sep >= 5) continue;
+    const double ch = overlap_lin_[static_cast<std::size_t>(sep)];
+    if (ch <= 0.0) continue;
+    if (tx->end < valid_until) valid_until = tx->end;
+    double p_mw;
+    std::uint32_t fi;
+    if (oi != kNoEpIdx && dense_n_ != 0 && tx_sender_index(*tx, fi)) {
+      p_mw = dense_fill(fi, oi, tx->power_dbm, tx->sender_pos, pos,
+                        tx->sender_id, observer_id)
+                 .rx_mw;
+    } else {
+      p_mw = model_.received_mw(tx->power_dbm, tx->sender_pos, pos,
+                                tx->sender_id, observer_id);
+    }
+    total_mw += p_mw * ch;
+  }
+  const double result = mw_to_dbm(total_mw);
+  if (oi != kNoEpIdx) {
+    cca_cache_[oi] = {seq,         observer_id, pos,    now,
+                      valid_until, result,      channel, exact_only};
+  }
+  return result;
 }
 
 double RadioMedium::energy_at(Vec2 pos, int channel,
                               std::uint64_t observer_id) const {
+  if (options_.batch) {
+    ensure_ep_map();
+    std::uint32_t oi = kNoEpIdx;
+    const auto it = ep_index_.find(observer_id);
+    if (it != ep_index_.end()) oi = it->second;
+    return energy_at_batched(pos, channel, observer_id, oi);
+  }
   const sim::Time now = world_.now();
   double total_mw = 0.0;
   const auto contribution = [&](const Transmission& tx) {
@@ -456,6 +838,10 @@ void RadioMedium::restore(snap::SectionReader& r) {
   by_sender_.clear();
   scratch_ids_.clear();
   grid_valid_ = false;
+  ep_map_valid_ = false;
+  ep_cache_valid_ = false;
+  in_flight_.clear();
+  for (auto& s : cca_activity_seq_) ++s;
 
   stats_.transmissions = r.u64();
   stats_.deliveries_attempted = r.u64();

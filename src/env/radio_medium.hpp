@@ -30,8 +30,10 @@
 #include <deque>
 #include <limits>
 #include <memory>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "env/geometry.hpp"
@@ -90,6 +92,14 @@ class RadioEndpoint {
   virtual double max_speed_mps() const {
     return std::numeric_limits<double>::infinity();
   }
+
+ private:
+  friend class RadioMedium;
+  // Lookup memo: this endpoint's index in the medium's endpoint table,
+  // valid while the epoch matches the medium's ep_map_epoch_ (attach/
+  // detach bumps it). Lets CCA skip a hash find per query.
+  mutable std::uint32_t medium_ep_idx_ = 0;
+  mutable std::uint64_t medium_ep_epoch_ = 0;
 };
 
 /// Medium-wide counters for experiments.
@@ -110,6 +120,33 @@ struct RadioMediumOptions {
   bool spatial_index = true;
   /// Grid cell edge in meters; 0 picks a default sized for indoor cells.
   double cell_size_m = 0.0;
+  /// Batched link resolution: frame-end fan-out and CCA resolve link
+  /// budgets through resolve_links() — one sweep over a dense per-pair
+  /// memo with per-sender sweep caching — instead of one memoized model
+  /// call per (candidate, frame). Off = the per-delivery scalar path (the
+  /// reference; kept for equivalence testing and the bench speedup gate).
+  /// Results are bit-identical either way (asserted by env_test).
+  bool batch = true;
+};
+
+/// One directed link-budget question for RadioMedium::resolve_links.
+struct LinkQuery {
+  double tx_power_dbm = 0.0;
+  Vec2 from;
+  Vec2 to;
+  std::uint64_t from_id = 0;
+  std::uint64_t to_id = 0;
+  int tx_channel = 1;
+  int rx_channel = 1;
+};
+
+/// Answer to one LinkQuery. All four values are bit-identical to what the
+/// scalar delivery path computes from the same inputs.
+struct LinkResult {
+  double rx_dbm = 0.0;    ///< path-model received power, before overlap
+  double rx_mw = 0.0;     ///< dbm_to_mw(rx_dbm)
+  double overlap = 0.0;   ///< channel_overlap(tx_channel, rx_channel)
+  double rssi_dbm = 0.0;  ///< rx_dbm + 10*log10(max(overlap, 1e-12))
 };
 
 class RadioMedium {
@@ -133,9 +170,40 @@ class RadioMedium {
   /// Clear-channel assessment: total in-flight energy at `ep`'s position on
   /// its channel exceeds its CCA threshold.
   bool carrier_busy(const RadioEndpoint& ep) const;
+  /// As above with the config and position already in hand — lets a
+  /// concrete endpoint (which knows its own fields) skip the virtual
+  /// getters on the per-backoff-slot CCA path.
+  bool carrier_busy_at(const RadioEndpoint& ep, const RadioConfig& cfg,
+                       Vec2 pos) const;
 
   /// In-flight energy (dBm) at a position on a channel; -inf-ish when idle.
   double energy_at(Vec2 pos, int channel, std::uint64_t observer_id) const;
+
+  /// Resolves `queries.size()` link budgets in one pass. Results land in
+  /// `results` (which must be at least as long). Queries whose endpoints
+  /// are both attached hit the dense per-pair memo; others fall back to the
+  /// path-loss model's open-addressed memo. Values are bit-identical to
+  /// per-call scalar resolution from the same inputs (asserted by
+  /// env_test's batch-equivalence property suite).
+  void resolve_links(std::span<const LinkQuery> queries,
+                     std::span<LinkResult> results) const;
+
+  /// Batching efficacy counters (telemetry; reported by bench/kernel_bench
+  /// under "batching"). All zero while Options::batch is off.
+  struct BatchStats {
+    std::uint64_t resolve_calls = 0;     ///< resolve_links invocations
+    std::uint64_t queries = 0;           ///< link queries across all calls
+    std::uint64_t memo_hits = 0;         ///< dense-memo guard matches
+    std::uint64_t memo_misses = 0;       ///< dense-memo recomputes
+    std::uint64_t fallback_queries = 0;  ///< endpoints not in the dense memo
+    std::uint64_t sweep_hits = 0;        ///< frame fan-outs replayed from a
+                                         ///< cached per-sender sweep
+    std::uint64_t sweep_misses = 0;      ///< fan-outs that rebuilt the sweep
+    std::uint64_t cca_hits = 0;          ///< CCA scans answered from the
+                                         ///< per-observer energy cache
+    std::uint64_t cca_misses = 0;        ///< CCA scans that walked in-flight
+  };
+  const BatchStats& batch_stats() const { return batch_stats_; }
 
   const MediumStats& stats() const { return stats_; }
   const PathLossModel& path_loss() const { return model_; }
@@ -148,9 +216,13 @@ class RadioMedium {
 
   /// Must be called if an endpoint's position or radio config changes in a
   /// way its max_speed_mps() bound does not cover (e.g. a teleport via
-  /// StaticMobility::set_position, or a sensitivity change). attach/detach
-  /// call this automatically.
-  void invalidate_positions() { grid_valid_ = false; }
+  /// StaticMobility::set_position, or a sensitivity/channel change).
+  /// attach/detach call this automatically. Also drops the batch path's
+  /// endpoint snapshot and per-sender sweep caches.
+  void invalidate_positions() {
+    grid_valid_ = false;
+    ep_cache_valid_ = false;
+  }
 
   // --- checkpoint/restore (see src/snap) ------------------------------------
   // In-flight transmissions hold frame-end events and opaque payload
@@ -175,6 +247,10 @@ class RadioMedium {
     double bitrate_bps;
     std::shared_ptr<const void> payload;  // released when the frame ends
     std::uint64_t span = 0;  // obs span covering the frame's airtime
+    // Cached endpoint index of the sender for the dense link memo; valid
+    // while sender_map_epoch matches ep_map_epoch_ (attach/detach bumps it).
+    mutable std::uint32_t sender_idx = 0;
+    mutable std::uint64_t sender_map_epoch = 0;
   };
 
   /// Ids drawn from the owning world's arena (heap passthrough until the
@@ -205,6 +281,15 @@ class RadioMedium {
 
   void finish(std::uint64_t tx_id);
   void deliver(const Transmission& tx, RadioEndpoint& ep);
+  /// Tail of deliver() once the RSSI is known to clear sensitivity: stats,
+  /// half-duplex/receiver/SINR verdict, on_frame. Shared by the scalar and
+  /// batched fan-out paths (same code => identical side effects).
+  void deliver_prepared(const Transmission& tx, RadioEndpoint& ep,
+                        double rssi);
+  /// Batched frame-end fan-out: candidate cull against the cached endpoint
+  /// snapshot, one resolve_links sweep (or a cached per-sender sweep
+  /// replay), then deliver_prepared for the passers.
+  void finish_batched(const Transmission& tx);
   double interference_mw(const Transmission& tx, const RadioEndpoint& rx) const;
   bool sender_transmitted_during(std::uint64_t sender_id, sim::Time start,
                                  sim::Time end) const;
@@ -230,6 +315,39 @@ class RadioMedium {
 
   void rebuild_grid() const;
   double cull_radius_m(double tx_power_dbm) const;
+
+  // --- batch path (Options::batch) ----------------------------------------
+  /// Rebuilds the id->index map, dense memo shape, and sweep slots after
+  /// attach/detach. Inline no-op once valid — this guards every batch-path
+  /// entry point, including the per-backoff-slot CCA.
+  void ensure_ep_map() const {
+    if (!ep_map_valid_) rebuild_ep_map();
+  }
+  void rebuild_ep_map() const;
+  /// Snapshots every endpoint's position + config at the current timestamp
+  /// (skipped entirely when no endpoint can move). Bumps ep_epoch_ — which
+  /// invalidates the per-sender sweeps — only when a value actually changed.
+  void refresh_endpoint_cache() const;
+  /// Resolves one query through the dense memo (or the model fallback).
+  void resolve_one(const LinkQuery& q, LinkResult& r) const;
+  /// The sender's endpoint index, memoized on the transmission record.
+  /// Returns false when the sender is not attached (dense memo unusable).
+  bool tx_sender_index(const Transmission& tx, std::uint32_t& idx) const;
+  struct DenseLink;
+  /// Returns the dense memo entry for the directed pair (fi -> oi) with
+  /// rx_dbm/rx_mw valid, recomputing if the guards mismatch.
+  DenseLink& dense_fill(std::uint32_t fi, std::uint32_t oi, double tx_dbm,
+                        Vec2 from, Vec2 to, std::uint64_t from_id,
+                        std::uint64_t to_id) const;
+  /// Sentinel endpoint index: "not attached / dense memo unusable".
+  static constexpr std::uint32_t kNoEpIdx = 0xffffffffu;
+  /// The observer's endpoint index, memoized on the endpoint itself
+  /// (epoch-validated). Caller must have run ensure_ep_map().
+  std::uint32_t observer_index(const RadioEndpoint& ep,
+                               std::uint64_t id) const;
+  /// Batched CCA body with the observer index already resolved.
+  double energy_at_batched(Vec2 pos, int channel, std::uint64_t observer_id,
+                           std::uint32_t oi) const;
 
   sim::World& world_;
   PathLossModel model_;
@@ -273,6 +391,104 @@ class RadioMedium {
   mutable double grid_speed_bound_mps_ = 0.0;   // max over endpoints
   mutable double grid_drift_m_ = 0.0;           // pad for the current query
   double cell_size_m_ = 16.0;
+
+  // --- batch-path caches (all derived data; see ensure_ep_map /
+  // refresh_endpoint_cache) ------------------------------------------------
+  /// Dense memo rows/cols are endpoint indices; above this endpoint count
+  /// the O(n^2) table is not worth its memory and queries fall back to the
+  /// model's open-addressed memo.
+  static constexpr std::size_t kDenseMemoMaxEndpoints = 512;
+
+  /// Per-endpoint snapshot: position + the config fields the fan-out needs,
+  /// so the batched sweep touches no virtual calls per candidate.
+  struct EpSnap {
+    Vec2 pos;
+    std::uint64_t id = 0;
+    int channel = 1;
+    double sensitivity_dbm = 0.0;
+    double max_speed_mps = 0.0;
+  };
+  /// Directed per-pair link memo, indexed [from_idx * n + to_idx]. Guard
+  /// fields are compared exactly on every use, so motion or power changes
+  /// refresh the entry — correctness never depends on staleness.
+  struct DenseLink {
+    double tx_dbm = 0.0;
+    Vec2 from;
+    Vec2 to;
+    double rx_dbm = 0.0;
+    double rx_mw = 0.0;
+    std::uint8_t state = 0;  // 0 empty, 1 rx_dbm valid, 2 rx_mw too
+  };
+  /// Memoized energy_at() answer for one observer. In-flight energy at a
+  /// fixed position is piecewise-constant in time: it only changes when an
+  /// overlapping-channel transmission starts (transmit() bumps the
+  /// cca_activity_seq_ of every bucket it can reach) or a contributor
+  /// crosses its end timestamp (bounded by valid_until, the earliest
+  /// contributing end). Within one piece the cached sum is the
+  /// bit-identical scan result.
+  /// Field order packs the entry into one 64-byte cache line.
+  struct CcaEntry {
+    std::uint64_t seq = 0;      // observer-bucket cca_activity_seq_ at compute
+    std::uint64_t id = 0;       // observer id (guards idx reuse)
+    Vec2 pos;
+    sim::Time t;                // compute timestamp
+    sim::Time valid_until;      // exclusive: earliest contributing tx end
+    double value_dbm = 0.0;
+    int channel = 0;
+    bool exact_only = false;    // a tx started at exactly t; value differs
+                                // for any later query
+  };
+  static_assert(sizeof(CcaEntry) == 64);
+
+  /// Cached frame fan-out for one sender: the (receiver index, rssi) pairs
+  /// that cleared sensitivity, valid while the guards match and no endpoint
+  /// state changed (epoch). Static worlds build each sender's sweep once.
+  struct SenderSweep {
+    std::uint64_t epoch = 0;
+    double power_dbm = 0.0;
+    int channel = 0;
+    Vec2 pos;
+    bool valid = false;
+    std::vector<std::pair<std::uint32_t, double>> passers;
+  };
+
+  mutable std::unordered_map<std::uint64_t, std::uint32_t> ep_index_;
+  mutable std::vector<EpSnap> ep_cache_;
+  mutable std::vector<DenseLink> dense_;
+  mutable std::size_t dense_n_ = 0;  // 0 = dense memo disabled
+  mutable std::vector<SenderSweep> sweeps_;
+  mutable bool ep_map_valid_ = false;
+  mutable std::uint64_t ep_map_epoch_ = 0;
+  mutable bool ep_cache_valid_ = false;
+  mutable sim::Time ep_cache_time_;
+  mutable double ep_speed_bound_mps_ = 0.0;
+  mutable std::uint64_t ep_epoch_ = 0;  // bumps when any snapshot changes
+  mutable std::vector<LinkQuery> batch_queries_;
+  mutable std::vector<LinkResult> batch_results_;
+  mutable std::vector<std::uint32_t> batch_idx_;
+  // Fan-out passers for the frame currently being finished. A member (not a
+  // local) so its capacity survives across frames; iterated by index because
+  // an on_frame callback may attach/detach and rebuild sweeps_ under us.
+  mutable std::vector<std::pair<std::uint32_t, double>> scratch_passers_;
+  mutable std::vector<CcaEntry> cca_cache_;  // indexed by endpoint index
+  /// Per-channel-bucket transmit counters: transmit() bumps every bucket
+  /// its channel overlaps (sep < 5), so a CCA entry goes stale only when a
+  /// transmission that could actually contribute to it has started.
+  /// Buckets start at 1 so default CcaEntry{} (seq 0) never matches.
+  std::array<std::uint64_t, kChannelBuckets> cca_activity_seq_{};
+  /// Transmissions whose frame-end event has not fired yet, ascending id
+  /// (ids are monotonic and finish() fires in end order within a moment).
+  /// Pointers into history_ stay valid: the deque only pops entries whose
+  /// finish already ran. Lets the batch CCA path skip the per-bucket log
+  /// walk entirely.
+  std::vector<const Transmission*> in_flight_;
+  mutable BatchStats batch_stats_;
+  /// overlap_db_[sep] = 10*log10(1 - sep/5) for sep 0..4, the exact
+  /// expression deliver() evaluates per candidate; overlap_lin_[sep] is
+  /// channel_overlap()'s own return value, tabled so the CCA miss walk
+  /// skips the out-of-line call.
+  std::array<double, 5> overlap_db_{};
+  std::array<double, 5> overlap_lin_{};
 };
 
 }  // namespace aroma::env

@@ -7,22 +7,19 @@ namespace aroma::phys {
 Transceiver::Transceiver(sim::World& world, env::RadioMedium& medium,
                          const env::MobilityModel* mobility, Params params)
     : world_(world), medium_(medium), mobility_(mobility), params_(params) {
+  if (mobility_ == nullptr) {
+    fixed_pos_valid_ = true;
+  } else if (mobility_->max_speed_mps() == 0.0) {
+    fixed_pos_valid_ = true;
+    fixed_pos_ = mobility_->position_at(world_.now());
+  }
   medium_.attach(this);
 }
 
 Transceiver::~Transceiver() { medium_.detach(this); }
 
-env::Vec2 Transceiver::position() const {
-  return mobility_ != nullptr ? mobility_->position_at(world_.now())
-                              : env::Vec2{};
-}
-
 bool Transceiver::receiver_enabled() const {
   return powered_ && !transmitting();
-}
-
-bool Transceiver::transmitting() const {
-  return world_.now() < tx_busy_until_;
 }
 
 sim::Time Transceiver::transmit(std::size_t bits,

@@ -37,7 +37,16 @@ class Transceiver final : public env::RadioEndpoint {
   Transceiver& operator=(const Transceiver&) = delete;
 
   // env::RadioEndpoint interface -------------------------------------------
-  env::Vec2 position() const override;
+  /// Immobile radios (max_speed_mps() == 0, e.g. StaticMobility) resolve
+  /// to a position cached at construction: the per-backoff-slot CCA path
+  /// calls this, and the mobility virtual dispatch is measurable there.
+  /// A post-construction teleport (StaticMobility::set_position) is not
+  /// covered — the same contract RadioMedium::invalidate_positions()
+  /// documents for its own snapshot caches.
+  env::Vec2 position() const override {
+    return fixed_pos_valid_ ? fixed_pos_
+                            : mobility_->position_at(world_.now());
+  }
   const env::RadioConfig& radio_config() const override { return params_.config; }
   bool receiver_enabled() const override;
   void on_frame(const env::FrameDelivery& delivery) override;
@@ -52,8 +61,11 @@ class Transceiver final : public env::RadioEndpoint {
 
   double bitrate_bps() const { return params_.bitrate_bps; }
 
-  bool transmitting() const;
-  bool carrier_busy() const { return medium_.carrier_busy(*this); }
+  // Inline: the CSMA MAC polls both once per backoff slot.
+  bool transmitting() const { return world_.now() < tx_busy_until_; }
+  bool carrier_busy() const {
+    return medium_.carrier_busy_at(*this, params_.config, position());
+  }
 
   void set_receive_handler(ReceiveHandler h) { handler_ = std::move(h); }
   void set_powered(bool on) { powered_ = on; }
@@ -80,6 +92,8 @@ class Transceiver final : public env::RadioEndpoint {
   ReceiveHandler handler_;
   Battery* battery_ = nullptr;
   bool powered_ = true;
+  bool fixed_pos_valid_ = false;
+  env::Vec2 fixed_pos_{};
   sim::Time tx_busy_until_ = sim::Time::zero();
   std::uint64_t frames_sent_ = 0;
   std::uint64_t frames_received_ = 0;

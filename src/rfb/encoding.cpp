@@ -1,6 +1,9 @@
 #include "rfb/encoding.hpp"
 
+#include <algorithm>
 #include <cstring>
+
+#include "sim/simd.hpp"
 
 namespace aroma::rfb {
 
@@ -34,6 +37,16 @@ void put_u32(Buf& out, std::uint32_t v) {
   out.insert(out.end(), b, b + 4);
 }
 
+/// One (run, pixel) record in a single 8-byte append: the RLE scanner emits
+/// one per run, and a single insert halves the capacity checks on content
+/// where every pixel is its own run.
+template <typename Buf>
+void put_run(Buf& out, std::uint32_t run, std::uint32_t px) {
+  const std::uint32_t v[2] = {run, px};
+  const auto* b = reinterpret_cast<const std::byte*>(v);
+  out.insert(out.end(), b, b + 8);
+}
+
 std::uint32_t get_u32(std::span<const std::byte> in, std::size_t& pos) {
   std::uint32_t v = 0;
   std::memcpy(&v, in.data() + pos, 4);
@@ -60,40 +73,43 @@ void raw_spans(const Framebuffer& fb, RectRegion r, Buf& out) {
 
 /// Appends (run_len u32, pixel u32)* for `r`, scanning row spans in place.
 /// Runs continue across row boundaries exactly like the original gathered
-/// row-major scan, so the output is byte-identical to it.
+/// row-major scan, so the output is byte-identical to it. Run extension is
+/// the hot loop: simd::match_run_u32 eats 4 pixels per compare instead of
+/// one, stopping exactly at the first mismatch (or the u32 cap, which the
+/// original handled by emitting and restarting the same color).
 template <typename Buf>
 void rle_spans(const Framebuffer& fb, RectRegion r, Buf& out) {
   Pixel cur = 0;
   std::uint32_t run = 0;
   for (int y = r.y; y < r.y + r.h; ++y) {
     const Pixel* p = fb.row(y) + r.x;
-    for (int x = 0; x < r.w; ++x) {
-      if (run != 0 && p[x] == cur && run < 0xffffffffu) {
-        ++run;
-        continue;
-      }
+    int x = 0;
+    while (x < r.w) {
       if (run != 0) {
-        put_u32(out, run);
-        put_u32(out, cur);
+        const std::size_t room = 0xffffffffu - run;
+        const std::size_t avail =
+            std::min(room, static_cast<std::size_t>(r.w - x));
+        const std::size_t ext = sim::simd::match_run_u32(p + x, avail, cur);
+        run += static_cast<std::uint32_t>(ext);
+        x += static_cast<int>(ext);
+        if (x >= r.w) break;  // row exhausted; run may continue next row
+        put_run(out, run, cur);  // mismatch, or capped, color repeating
       }
       cur = p[x];
       run = 1;
+      ++x;
     }
   }
-  if (run != 0) {
-    put_u32(out, run);
-    put_u32(out, cur);
-  }
+  if (run != 0) put_run(out, run, cur);
 }
 
-/// True when every pixel of `r` equals its first pixel.
+/// True when every pixel of `r` equals its first pixel. One vectorized
+/// leading-run check per row; bails at the first mismatching lane.
 bool solid_spans(const Framebuffer& fb, RectRegion r, Pixel& color) {
   color = fb.row(r.y)[r.x];
+  const auto w = static_cast<std::size_t>(r.w);
   for (int y = r.y; y < r.y + r.h; ++y) {
-    const Pixel* p = fb.row(y) + r.x;
-    for (int x = 0; x < r.w; ++x) {
-      if (p[x] != color) return false;
-    }
+    if (sim::simd::match_run_u32(fb.row(y) + r.x, w, color) != w) return false;
   }
   return true;
 }
@@ -143,6 +159,72 @@ bool decode_rle(std::span<const std::byte> in, std::size_t expected,
   // Explicit over-long-input rejection: a complete decode must consume the
   // input exactly, trailing bytes are malformed (not silently ignored).
   return pos == in.size();
+}
+
+std::vector<std::pair<std::uint32_t, Pixel>> scan_runs_reference(
+    const Framebuffer& fb, RectRegion r) {
+  std::vector<std::pair<std::uint32_t, Pixel>> runs;
+  scan_runs_reference_into(fb, r, runs);
+  return runs;
+}
+
+void scan_runs_into(const Framebuffer& fb, RectRegion r,
+                    std::vector<std::byte>& out) {
+  out.clear();
+  rle_spans(fb, r, out);
+}
+
+std::vector<std::pair<std::uint32_t, Pixel>> scan_runs(const Framebuffer& fb,
+                                                       RectRegion r) {
+  // Run the production scanner verbatim and parse its wire format, so this
+  // is the path the encoders ship, not a lookalike.
+  std::vector<std::byte> bytes;
+  rle_spans(fb, r, bytes);
+  std::vector<std::pair<std::uint32_t, Pixel>> runs;
+  runs.reserve(bytes.size() / 8);
+  std::size_t pos = 0;
+  while (pos + 8 <= bytes.size()) {
+    const std::uint32_t run = get_u32(bytes, pos);
+    const Pixel p = get_u32(bytes, pos);
+    runs.emplace_back(run, p);
+  }
+  return runs;
+}
+
+void scan_runs_reference_into(
+    const Framebuffer& fb, RectRegion r,
+    std::vector<std::pair<std::uint32_t, Pixel>>& runs) {
+  runs.clear();
+  Pixel cur = 0;
+  std::uint32_t run = 0;
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    const Pixel* p = fb.row(y) + r.x;
+    for (int x = 0; x < r.w; ++x) {
+      if (run != 0 && p[x] == cur && run < 0xffffffffu) {
+        ++run;
+        continue;
+      }
+      if (run != 0) runs.emplace_back(run, cur);
+      cur = p[x];
+      run = 1;
+    }
+  }
+  if (run != 0) runs.emplace_back(run, cur);
+}
+
+bool solid_tile(const Framebuffer& fb, RectRegion r, Pixel& color) {
+  return solid_spans(fb, r, color);
+}
+
+bool solid_tile_reference(const Framebuffer& fb, RectRegion r, Pixel& color) {
+  color = fb.row(r.y)[r.x];
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    const Pixel* p = fb.row(y) + r.x;
+    for (int x = 0; x < r.w; ++x) {
+      if (p[x] != color) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace detail

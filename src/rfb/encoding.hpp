@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "rfb/framebuffer.hpp"
@@ -94,6 +95,35 @@ bool decode_rle(std::span<const std::byte> in, std::size_t expected,
 /// payload) to scratch.out; shared by the tiled and cached encoders.
 void encode_tile_body(const Framebuffer& fb, RectRegion tile,
                       EncodeScratch& scratch);
+
+// Scalar oracles for the SIMD inner loops (sim/simd.hpp). The property
+// tests pin the production paths to these bit-for-bit; rfb_bench measures
+// the vectorized speedup against them.
+
+/// Row-major (run_len, pixel) list of `r`, runs continuing across rows,
+/// capped at u32 max — the semantics RLE encoding serializes.
+std::vector<std::pair<std::uint32_t, Pixel>> scan_runs_reference(
+    const Framebuffer& fb, RectRegion r);
+
+/// True when every pixel of `r` equals its first; per-pixel scan.
+bool solid_tile_reference(const Framebuffer& fb, RectRegion r, Pixel& color);
+
+// Production (vectorized) counterparts, exposed so the oracles above have
+// a direct pin point: scan_runs parses the bytes the production RLE span
+// scanner emits, solid_tile calls the production solid detector.
+
+std::vector<std::pair<std::uint32_t, Pixel>> scan_runs(const Framebuffer& fb,
+                                                       RectRegion r);
+bool solid_tile(const Framebuffer& fb, RectRegion r, Pixel& color);
+
+// Allocation-free variants for throughput measurement (rfb_bench times the
+// scanners themselves, not vector growth): `out`/`runs` are cleared and
+// refilled, capacity reused across calls.
+void scan_runs_into(const Framebuffer& fb, RectRegion r,
+                    std::vector<std::byte>& out);
+void scan_runs_reference_into(
+    const Framebuffer& fb, RectRegion r,
+    std::vector<std::pair<std::uint32_t, Pixel>>& runs);
 }  // namespace detail
 
 }  // namespace aroma::rfb

@@ -1,5 +1,6 @@
 #include "rfb/framebuffer.hpp"
 
+#include "sim/simd.hpp"
 #include "snap/format.hpp"
 
 #include <algorithm>
@@ -165,7 +166,24 @@ RectRegion Framebuffer::damage_bounds() const {
   return all;
 }
 
-std::uint64_t Framebuffer::hash_rect(RectRegion r) const {
+namespace {
+
+constexpr std::uint32_t kFnv32Basis = 2166136261u;
+constexpr std::uint32_t kFnv32Prime = 16777619u;
+
+// Distinct per-lane seeds so lane contents are not interchangeable (pixel
+// order across lanes affects the final value).
+constexpr std::uint32_t lane_basis(unsigned j) {
+  return kFnv32Basis + j * 0x9e3779b9u;
+}
+
+// Lane count: 16 gives the SIMD path four independent accumulator chains,
+// enough to hide the vector-multiply latency that two chains (8 lanes)
+// cannot — the multiply is the serial dependency in FNV.
+constexpr unsigned kHashLanes = 16;
+
+// Dims + lane states folded into one 64-bit value.
+std::uint64_t fold_lanes(RectRegion r, const std::uint32_t lane[kHashLanes]) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   const auto mix = [&h](std::uint64_t v) {
     h ^= v;
@@ -173,11 +191,71 @@ std::uint64_t Framebuffer::hash_rect(RectRegion r) const {
   };
   mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.w)));
   mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.h)));
+  for (unsigned j = 0; j < kHashLanes; ++j) mix(lane[j]);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Framebuffer::hash_rect(RectRegion r) const {
+  namespace simd = sim::simd;
+  std::uint32_t lane[kHashLanes];
+  for (unsigned j = 0; j < kHashLanes; ++j) lane[j] = lane_basis(j);
+  unsigned phase = 0;  // lane the next pixel feeds; carries across rows
   for (int y = r.y; y < r.y + r.h; ++y) {
     const Pixel* p = row(y) + r.x;
-    for (int x = 0; x < r.w; ++x) mix(p[x]);
+    int x = 0;
+    while (x < r.w && phase != 0) {
+      lane[phase] = (lane[phase] ^ p[x]) * kFnv32Prime;
+      phase = (phase + 1) & (kHashLanes - 1);
+      ++x;
+    }
+    if constexpr (simd::kEnabled) {
+      if (x + 16 <= r.w) {  // phase == 0 here: the prefix loop ran to it
+        const simd::U32x4 prime = simd::broadcast(kFnv32Prime);
+        simd::U32x4 v0 = simd::load(lane);
+        simd::U32x4 v1 = simd::load(lane + 4);
+        simd::U32x4 v2 = simd::load(lane + 8);
+        simd::U32x4 v3 = simd::load(lane + 12);
+        do {
+          v0 = simd::mul4(simd::xor4(v0, simd::load(p + x)), prime);
+          v1 = simd::mul4(simd::xor4(v1, simd::load(p + x + 4)), prime);
+          v2 = simd::mul4(simd::xor4(v2, simd::load(p + x + 8)), prime);
+          v3 = simd::mul4(simd::xor4(v3, simd::load(p + x + 12)), prime);
+          x += 16;
+        } while (x + 16 <= r.w);
+        simd::store(lane, v0);
+        simd::store(lane + 4, v1);
+        simd::store(lane + 8, v2);
+        simd::store(lane + 12, v3);
+      }
+    }
+    while (x < r.w) {
+      lane[phase] = (lane[phase] ^ p[x]) * kFnv32Prime;
+      phase = (phase + 1) & (kHashLanes - 1);
+      ++x;
+    }
   }
-  return h;
+  return fold_lanes(r, lane);
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+// Keep the oracle honestly scalar: GCC happily auto-vectorizes this loop at
+// -O2/-O3, which would erase the speedup rfb_bench gates on.
+__attribute__((optimize("no-tree-vectorize")))
+#endif
+std::uint64_t Framebuffer::hash_rect_reference(RectRegion r) const {
+  std::uint32_t lane[kHashLanes];
+  for (unsigned j = 0; j < kHashLanes; ++j) lane[j] = lane_basis(j);
+  unsigned phase = 0;
+  for (int y = r.y; y < r.y + r.h; ++y) {
+    const Pixel* p = row(y) + r.x;
+    for (int x = 0; x < r.w; ++x) {
+      lane[phase] = (lane[phase] ^ p[x]) * kFnv32Prime;
+      phase = (phase + 1) & (kHashLanes - 1);
+    }
+  }
+  return fold_lanes(r, lane);
 }
 
 std::uint64_t Framebuffer::content_hash() const {

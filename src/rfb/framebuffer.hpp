@@ -95,9 +95,19 @@ class Framebuffer {
   /// and bottom edge tiles may be narrower than kTileSize).
   RectRegion tile_rect(int tx, int ty) const;
 
-  /// Content hash of an arbitrary rect (FNV-1a over dims then pixels in
-  /// row-major order). The cached encoding keys its tile cache on this.
+  /// Content hash of an arbitrary rect: sixteen interleaved FNV-1a-32 lanes
+  /// over the row-major pixel stream (pixel i feeds lane i mod 16), folded
+  /// with the dims into one FNV-1a-64 value. The lane structure removes the
+  /// serial multiply dependency of plain FNV so the hot path runs four
+  /// 4-lane SIMD streams (see sim/simd.hpp); only equality classes matter
+  /// to the callers (tile-cache keying), not the value itself. Bit-identical
+  /// on every backend — hash_rect_reference is the oracle.
   std::uint64_t hash_rect(RectRegion r) const;
+
+  /// Plain scalar rotating-lane implementation of the same hash; the
+  /// property tests pin hash_rect to it bit-for-bit, and rfb_bench measures
+  /// the SIMD speedup against it.
+  std::uint64_t hash_rect_reference(RectRegion r) const;
 
   /// Content hash for replica-equality checks.
   std::uint64_t content_hash() const;

@@ -1,4 +1,4 @@
-// Indexed 4-ary min-heap of timestamped events.
+// Indexed 4-ary min-heap of timestamped events, with same-time trains.
 //
 // The kernel's previous std::priority_queue could not cancel: callers pushed
 // cancelled ids into a side list the pop path linearly re-scanned, turning
@@ -13,6 +13,27 @@
 // 4-ary beats binary here: sift-down dominates pop-heavy workloads and a
 // 4-way fanout halves the tree depth while the four child records span at
 // most two cache lines.
+//
+// Trains. Pervasive workloads schedule in bursts: a frame-end delivery
+// fans out to every receiver at one timestamp, N lease timers re-arm to the
+// same next deadline, periodic beacons across a cell fire in phase. Heaping
+// each burst member costs a sift_up on push and a sift_down on pop even
+// though the burst is already in execution order (same `when`, ascending
+// `seq`). The queue therefore keeps up to two *trains*: flat Record arrays
+// sharing one timestamp, in ascending-seq order. A push joins a train when
+// its (when, seq) extends one (O(1) append, no sift); otherwise it claims an
+// empty train, evicts a single-entry train into the heap (bursts of two or
+// more are never evicted), or falls through to the heap. pop_min takes the
+// three-way minimum of the heap top and the two train fronts by (when, seq);
+// since the heap and each train are internally ordered, that minimum is the
+// global one, so execution order is bit-identical to the pure-heap queue.
+// Train pops are reported to the caller (`from_train`) so the profiler can
+// account events absorbed into sweeps separately from heap dispatches.
+//
+// Cancellation of a parked entry tombstones its record in place (slot index
+// sentinel); the pop/front paths skip tombstones lazily. Slot heap_pos
+// values for parked entries carry a tag bit plus (train, index), so lookup
+// and cancel stay O(1) either way.
 #pragma once
 
 #include <cstdint>
@@ -33,11 +54,15 @@ class EventQueue {
     std::uint64_t id = 0;
   };
 
-  bool empty() const { return heap_.empty(); }
-  std::size_t size() const { return heap_.size(); }
+  bool empty() const {
+    return heap_.empty() && trains_[0].live == 0 && trains_[1].live == 0;
+  }
+  std::size_t size() const {
+    return heap_.size() + trains_[0].live + trains_[1].live;
+  }
 
   /// Timestamp of the earliest event. Precondition: !empty().
-  Time min_time() const { return heap_[0].when; }
+  Time min_time() const { return peek_min()->when; }
 
   /// Telemetry carried alongside an event's callback: the profiler
   /// category and the causal trace context (span id) captured at schedule
@@ -50,8 +75,10 @@ class EventQueue {
 
   /// Inserts an event. `seq` breaks ties FIFO among equal timestamps and
   /// must be unique; `id` must be nonzero and unique across live events.
+  /// Takes the callback by rvalue reference so the schedule chain moves
+  /// the (up to 64-byte) closure exactly once, into the slot table here.
   Ref push(Time when, std::uint64_t seq, std::uint64_t id, EventMeta meta,
-           Callback fn) {
+           Callback&& fn) {
     std::uint32_t slot;
     if (free_.empty()) {
       slot = static_cast<std::uint32_t>(slots_.size());
@@ -63,9 +90,7 @@ class EventQueue {
     slots_[slot].id = id;
     slots_[slot].meta = meta;
     slots_[slot].fn = std::move(fn);
-    heap_.push_back(Record{when, seq, slot});
-    slots_[slot].heap_pos = heap_.size() - 1;
-    sift_up(heap_.size() - 1);
+    place_record(Record{when, seq, slot});
     return {slot, id};
   }
 
@@ -73,22 +98,59 @@ class EventQueue {
   /// telemetry into `meta_out`. Precondition: !empty().
   Time pop_min(Callback& fn_out, EventMeta& meta_out) {
     std::uint64_t seq, id;
-    return pop_min(fn_out, meta_out, seq, id);
+    bool from_train;
+    return pop_min(fn_out, meta_out, seq, id, from_train);
   }
 
   /// As above, but also reports the popped event's identity — the replay
   /// harness records (when, seq, id) triples to bisect divergence.
   Time pop_min(Callback& fn_out, EventMeta& meta_out, std::uint64_t& seq_out,
                std::uint64_t& id_out) {
-    const Record top = heap_[0];
-    Slot& s = slots_[top.slot];
+    bool from_train;
+    return pop_min(fn_out, meta_out, seq_out, id_out, from_train);
+  }
+
+  /// As above, and reports whether the event came off a train (absorbed
+  /// into a same-time sweep, O(1)) or the heap (single dispatch, O(log n)).
+  Time pop_min(Callback& fn_out, EventMeta& meta_out, std::uint64_t& seq_out,
+               std::uint64_t& id_out, bool& from_train) {
+    for (Train& tr : trains_) skip_dead(tr);
+    const Record* best = heap_.empty() ? nullptr : &heap_[0];
+    int src = 2;  // 2 = heap, 0/1 = train
+    for (int t = 0; t < 2; ++t) {
+      const Train& tr = trains_[t];
+      if (tr.live == 0) continue;
+      const Record& r = tr.entries[tr.head];
+      if (best == nullptr || earlier(r, *best)) {
+        best = &r;
+        src = t;
+      }
+    }
+    if (src == 2) {
+      from_train = false;
+      const Record top = heap_[0];
+      Slot& s = slots_[top.slot];
+      fn_out = std::move(s.fn);
+      meta_out = s.meta;
+      seq_out = top.seq;
+      id_out = s.id;
+      release(top.slot);
+      remove_at(0);
+      return top.when;
+    }
+    from_train = true;
+    ++absorbed_;
+    Train& tr = trains_[src];
+    const Record r = tr.entries[tr.head];
+    Slot& s = slots_[r.slot];
     fn_out = std::move(s.fn);
     meta_out = s.meta;
-    seq_out = top.seq;
+    seq_out = r.seq;
     id_out = s.id;
-    release(top.slot);
-    remove_at(0);
-    return top.when;
+    release(r.slot);
+    ++tr.head;
+    if (--tr.live == 0) reset_train(tr);
+    return r.when;
   }
 
   /// Reports a live event's ordering key. Stale references return false.
@@ -96,7 +158,7 @@ class EventQueue {
     if (ref.id == 0 || ref.slot >= slots_.size()) return false;
     const Slot& s = slots_[ref.slot];
     if (s.id != ref.id) return false;
-    const Record& r = heap_[s.heap_pos];
+    const Record& r = record_of(s);
     when_out = r.when;
     seq_out = r.seq;
     return true;
@@ -110,6 +172,7 @@ class EventQueue {
     heap_.clear();
     slots_.clear();
     free_.clear();
+    for (Train& tr : trains_) reset_train(tr);
   }
 
   /// Cancels the referenced event if it is still queued. Stale references
@@ -121,8 +184,29 @@ class EventQueue {
     const std::size_t pos = s.heap_pos;
     s.fn = Callback{};  // run capture destructors now, not at slot reuse
     release(ref.slot);
+    if (pos & kParkedTag) {
+      Train& tr = trains_[(pos & kTrainBit) ? 1 : 0];
+      tr.entries[pos & kIndexMask].slot = kDeadSlot;  // lazy tombstone
+      if (--tr.live == 0) reset_train(tr);
+      return true;
+    }
     remove_at(pos);
     return true;
+  }
+
+  /// Pops scheduled off trains (vs the heap) since construction. Feeds the
+  /// absorbed/dispatched split in BENCH_kernel.json; telemetry only.
+  std::uint64_t train_absorbed() const { return absorbed_; }
+
+  /// Enables/disables train batching (default on). Disabling mid-run spills
+  /// any parked entries into the heap, so pending events are preserved and
+  /// pop order is unchanged — the pure-heap queue is the reference the
+  /// benches' scalar leg measures against.
+  void set_trains_enabled(bool enabled) {
+    trains_enabled_ = enabled;
+    if (!enabled) {
+      for (Train& tr : trains_) flush_train(tr);
+    }
   }
 
  private:
@@ -137,10 +221,133 @@ class EventQueue {
     EventMeta meta;
     Callback fn;
   };
+  /// A parked same-time burst: `entries[head..]` share `when`, ascending
+  /// seq, with cancelled members tombstoned (slot == kDeadSlot). `live`
+  /// counts non-tombstoned entries at or after head.
+  struct Train {
+    std::vector<Record> entries;
+    std::size_t head = 0;
+    std::size_t live = 0;
+    std::uint64_t last_seq = 0;  // admission bound; valid while live > 0
+    Time when;                   // shared timestamp; valid while live > 0
+  };
+
+  // heap_pos encoding for parked entries: tag | train-select | entry index.
+  static constexpr std::size_t kParkedTag = std::size_t{1}
+                                            << (sizeof(std::size_t) * 8 - 1);
+  static constexpr std::size_t kTrainBit = kParkedTag >> 1;
+  static constexpr std::size_t kIndexMask = kTrainBit - 1;
+  static constexpr std::uint32_t kDeadSlot = 0xFFFFFFFFu;
 
   static bool earlier(const Record& a, const Record& b) {
     if (a.when != b.when) return a.when < b.when;
     return a.seq < b.seq;
+  }
+
+  /// Routes a fresh record to a train (join / claim / evict-singleton) or
+  /// the heap. Train membership never affects pop order — see file comment.
+  void place_record(const Record& r) {
+    if (!trains_enabled_) {
+      heap_push(r);
+      return;
+    }
+    for (int t = 0; t < 2; ++t) {
+      Train& tr = trains_[t];
+      if (tr.live > 0 && tr.when == r.when && r.seq > tr.last_seq) {
+        park(t, r);
+        return;
+      }
+    }
+    for (int t = 0; t < 2; ++t) {
+      if (trains_[t].live == 0) {
+        claim(t, r);
+        return;
+      }
+    }
+    for (int t = 0; t < 2; ++t) {
+      // A lone parked event is not a burst; spill it to the heap and hand
+      // its train to the newcomer, which may be starting one. Trains with
+      // two or more live entries are established bursts and keep their seat.
+      if (trains_[t].live == 1) {
+        flush_train(trains_[t]);
+        claim(t, r);
+        return;
+      }
+    }
+    heap_push(r);
+  }
+
+  void park(int t, const Record& r) {
+    Train& tr = trains_[t];
+    slots_[r.slot].heap_pos =
+        kParkedTag | (t ? kTrainBit : 0) | tr.entries.size();
+    tr.entries.push_back(r);
+    tr.last_seq = r.seq;
+    ++tr.live;
+  }
+
+  void claim(int t, const Record& r) {
+    Train& tr = trains_[t];
+    tr.head = 0;
+    tr.entries.clear();
+    tr.when = r.when;
+    park(t, r);
+  }
+
+  void reset_train(Train& tr) {
+    tr.entries.clear();
+    tr.head = 0;
+    tr.live = 0;
+  }
+
+  /// Moves every live parked entry into the heap (order-preserving: the
+  /// heap accepts records in any insertion order).
+  void flush_train(Train& tr) {
+    for (std::size_t i = tr.head; i < tr.entries.size(); ++i) {
+      if (tr.entries[i].slot != kDeadSlot) heap_push(tr.entries[i]);
+    }
+    reset_train(tr);
+  }
+
+  static void skip_dead(Train& tr) {
+    while (tr.head < tr.entries.size() &&
+           tr.entries[tr.head].slot == kDeadSlot) {
+      ++tr.head;
+    }
+  }
+
+  /// First live record of train `t` without advancing head (const paths).
+  const Record& front(int t) const {
+    const Train& tr = trains_[t];
+    std::size_t i = tr.head;
+    while (tr.entries[i].slot == kDeadSlot) ++i;
+    return tr.entries[i];
+  }
+
+  /// Globally earliest record across heap and trains. Precondition:
+  /// !empty().
+  const Record* peek_min() const {
+    const Record* best = heap_.empty() ? nullptr : &heap_[0];
+    for (int t = 0; t < 2; ++t) {
+      if (trains_[t].live == 0) continue;
+      const Record& r = front(t);
+      if (best == nullptr || earlier(r, *best)) best = &r;
+    }
+    return best;
+  }
+
+  const Record& record_of(const Slot& s) const {
+    if (s.heap_pos & kParkedTag) {
+      const Train& tr = trains_[(s.heap_pos & kTrainBit) ? 1 : 0];
+      return tr.entries[s.heap_pos & kIndexMask];
+    }
+    return heap_[s.heap_pos];
+  }
+
+  void heap_push(const Record& r) {
+    heap_.push_back(r);
+    slots_[r.slot].heap_pos = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
   }
 
   void place(std::size_t pos, const Record& r) {
@@ -200,6 +407,9 @@ class EventQueue {
   std::vector<Record> heap_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;
+  Train trains_[2];
+  std::uint64_t absorbed_ = 0;
+  bool trains_enabled_ = true;
 };
 
 }  // namespace aroma::sim

@@ -44,13 +44,23 @@ class KernelProfiler {
  public:
   struct CategoryStats {
     std::uint64_t executed = 0;
-    double wall_sec = 0.0;  // only accumulated while timing_enabled()
+    std::uint64_t absorbed = 0;  // subset of executed popped off a train
+    double wall_sec = 0.0;       // only accumulated while timing_enabled()
   };
 
   void enable_timing(bool on) { timing_ = on; }
   bool timing_enabled() const { return timing_; }
 
   void record_execute(EventCategory c) { ++stats_[index(c)].executed; }
+
+  /// As above, also splitting the event into absorbed (popped off a
+  /// same-time train, O(1)) vs dispatched (heap pop). Absorbed counts are
+  /// deterministic like executed counts and regress in BENCH_kernel.json.
+  void record_execute(EventCategory c, bool absorbed) {
+    CategoryStats& s = stats_[index(c)];
+    ++s.executed;
+    if (absorbed) ++s.absorbed;
+  }
   void record_wall(EventCategory c, double sec) {
     stats_[index(c)].wall_sec += sec;
   }
@@ -61,6 +71,11 @@ class KernelProfiler {
   std::uint64_t total_executed() const {
     std::uint64_t n = 0;
     for (const CategoryStats& s : stats_) n += s.executed;
+    return n;
+  }
+  std::uint64_t total_absorbed() const {
+    std::uint64_t n = 0;
+    for (const CategoryStats& s : stats_) n += s.absorbed;
     return n;
   }
   void reset() { stats_ = {}; }

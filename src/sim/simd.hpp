@@ -1,0 +1,170 @@
+// Portable 16-byte-lane SIMD shim for the hot inner loops.
+//
+// One vector width (four 32-bit lanes, 16 bytes — the greatest common
+// denominator of SSE2 and NEON), three backends selected at compile time:
+//   * SSE2  — any x86-64 (baseline ISA; pmulld is used when SSE4.1 is on)
+//   * NEON  — aarch64 / ARMv7 with Advanced SIMD
+//   * scalar — everything else, or forced with -DAROMA_FORCE_SCALAR
+//     (CMake option AROMA_FORCE_SCALAR; CI runs one leg with it on so the
+//     fallback can never rot)
+//
+// The shim deliberately exposes only the handful of primitives the RFB
+// tile loops need (load/broadcast/xor/mul/equality-mask) plus one shared
+// utility, match_run_u32. Every operation is lane-exact: the scalar
+// backend performs the same 32-bit arithmetic per lane, so results are
+// bit-identical across backends and the reference oracles in rfb/ hold on
+// every platform. Anything wider (AVX2, SVE) would change tail handling
+// and is out of scope by design — see DESIGN.md "Batching & vectorization"
+// for the portability rules.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#if !defined(AROMA_FORCE_SCALAR) && \
+    (defined(__SSE2__) || defined(_M_X64) || \
+     (defined(_M_IX86_FP) && _M_IX86_FP >= 2))
+#define AROMA_SIMD_SSE2 1
+#include <emmintrin.h>
+#if defined(__SSE4_1__)
+#include <smmintrin.h>
+#endif
+#elif !defined(AROMA_FORCE_SCALAR) && \
+    (defined(__ARM_NEON) || defined(__ARM_NEON__))
+#define AROMA_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define AROMA_SIMD_SCALAR 1
+#endif
+
+namespace aroma::sim::simd {
+
+inline constexpr bool kEnabled =
+#if defined(AROMA_SIMD_SCALAR)
+    false;
+#else
+    true;
+#endif
+
+inline constexpr const char* kBackend =
+#if defined(AROMA_SIMD_SSE2)
+    "sse2";
+#elif defined(AROMA_SIMD_NEON)
+    "neon";
+#else
+    "scalar";
+#endif
+
+#if defined(AROMA_SIMD_SSE2)
+
+using U32x4 = __m128i;
+
+inline U32x4 load(const std::uint32_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline void store(std::uint32_t* p, U32x4 v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+inline U32x4 broadcast(std::uint32_t v) {
+  return _mm_set1_epi32(static_cast<int>(v));
+}
+inline U32x4 xor4(U32x4 a, U32x4 b) { return _mm_xor_si128(a, b); }
+
+/// Lane-wise 32-bit multiply (low halves). SSE2 has no pmulld, so the
+/// baseline splices two widening pmuludq results; SSE4.1 gets the real one.
+inline U32x4 mul4(U32x4 a, U32x4 b) {
+#if defined(__SSE4_1__)
+  return _mm_mullo_epi32(a, b);
+#else
+  const __m128i even = _mm_mul_epu32(a, b);  // lanes 0, 2 as u64
+  const __m128i odd =
+      _mm_mul_epu32(_mm_srli_epi64(a, 32), _mm_srli_epi64(b, 32));
+  return _mm_unpacklo_epi32(_mm_shuffle_epi32(even, _MM_SHUFFLE(0, 0, 2, 0)),
+                            _mm_shuffle_epi32(odd, _MM_SHUFFLE(0, 0, 2, 0)));
+#endif
+}
+
+/// 4-bit mask, bit i set when lane i of a equals lane i of b.
+inline unsigned eq_mask(U32x4 a, U32x4 b) {
+  return static_cast<unsigned>(
+      _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(a, b))));
+}
+
+#elif defined(AROMA_SIMD_NEON)
+
+using U32x4 = uint32x4_t;
+
+inline U32x4 load(const std::uint32_t* p) { return vld1q_u32(p); }
+inline void store(std::uint32_t* p, U32x4 v) { vst1q_u32(p, v); }
+inline U32x4 broadcast(std::uint32_t v) { return vdupq_n_u32(v); }
+inline U32x4 xor4(U32x4 a, U32x4 b) { return veorq_u32(a, b); }
+inline U32x4 mul4(U32x4 a, U32x4 b) { return vmulq_u32(a, b); }
+
+inline unsigned eq_mask(U32x4 a, U32x4 b) {
+  const uint32x4_t eq = vceqq_u32(a, b);  // all-ones / all-zeros per lane
+  // Narrow each lane to one bit in the conventional little-endian order.
+  const uint32x4_t bits = vandq_u32(eq, U32x4{1u, 2u, 4u, 8u});
+#if defined(__aarch64__)
+  return vaddvq_u32(bits);
+#else
+  const uint32x2_t sum = vpadd_u32(vget_low_u32(bits), vget_high_u32(bits));
+  return vget_lane_u32(vpadd_u32(sum, sum), 0);
+#endif
+}
+
+#else  // scalar fallback: same lane semantics, plain 32-bit arithmetic
+
+struct U32x4 {
+  std::uint32_t lane[4];
+};
+
+inline U32x4 load(const std::uint32_t* p) {
+  return U32x4{{p[0], p[1], p[2], p[3]}};
+}
+inline void store(std::uint32_t* p, U32x4 v) {
+  p[0] = v.lane[0];
+  p[1] = v.lane[1];
+  p[2] = v.lane[2];
+  p[3] = v.lane[3];
+}
+inline U32x4 broadcast(std::uint32_t v) { return U32x4{{v, v, v, v}}; }
+inline U32x4 xor4(U32x4 a, U32x4 b) {
+  return U32x4{{a.lane[0] ^ b.lane[0], a.lane[1] ^ b.lane[1],
+                a.lane[2] ^ b.lane[2], a.lane[3] ^ b.lane[3]}};
+}
+inline U32x4 mul4(U32x4 a, U32x4 b) {
+  return U32x4{{a.lane[0] * b.lane[0], a.lane[1] * b.lane[1],
+                a.lane[2] * b.lane[2], a.lane[3] * b.lane[3]}};
+}
+inline unsigned eq_mask(U32x4 a, U32x4 b) {
+  unsigned m = 0;
+  for (int i = 0; i < 4; ++i) m |= (a.lane[i] == b.lane[i]) ? 1u << i : 0u;
+  return m;
+}
+
+#endif
+
+/// Length of the leading run of `v` in p[0..n): the one primitive behind
+/// both solid-tile detection (run == n) and the RLE run scanner (extend the
+/// current run). Exact — never overshoots a mismatch, including in the
+/// non-multiple-of-4 tail.
+inline std::size_t match_run_u32(const std::uint32_t* p, std::size_t n,
+                                 std::uint32_t v) {
+  // Mismatch-at-zero is the common case on incompressible content (every
+  // pixel starts a fresh run); answer it before any vector setup.
+  if (n == 0 || p[0] != v) return 0;
+  std::size_t i = 1;
+#if !defined(AROMA_SIMD_SCALAR)
+  const U32x4 want = broadcast(v);
+  while (i + 4 <= n) {
+    const unsigned m = eq_mask(load(p + i), want);
+    if (m != 0xFu) return i + std::countr_one(m);
+    i += 4;
+  }
+#endif
+  while (i < n && p[i] == v) ++i;
+  return i;
+}
+
+}  // namespace aroma::sim::simd

@@ -5,12 +5,12 @@
 
 namespace aroma::sim {
 
-EventHandle Simulator::schedule_at(Time when, Callback fn) {
+EventHandle Simulator::schedule_at(Time when, Callback&& fn) {
   return schedule_at(when, current_category_, std::move(fn));
 }
 
 EventHandle Simulator::schedule_at(Time when, EventCategory category,
-                                   Callback fn) {
+                                   Callback&& fn) {
   if (when < now_) when = now_;
   const std::uint64_t id = next_id_++;
   const EventQueue::Ref ref = queue_.push(
@@ -19,13 +19,13 @@ EventHandle Simulator::schedule_at(Time when, EventCategory category,
   return EventHandle{id, ref.slot};
 }
 
-EventHandle Simulator::schedule_in(Time delay, Callback fn) {
+EventHandle Simulator::schedule_in(Time delay, Callback&& fn) {
   if (delay.is_negative()) delay = Time::zero();
   return schedule_at(now_ + delay, current_category_, std::move(fn));
 }
 
 EventHandle Simulator::schedule_in(Time delay, EventCategory category,
-                                   Callback fn) {
+                                   Callback&& fn) {
   if (delay.is_negative()) delay = Time::zero();
   return schedule_at(now_ + delay, category, std::move(fn));
 }
@@ -58,7 +58,7 @@ std::size_t Simulator::clear_pending() {
 
 EventHandle Simulator::restore_event(Time when, std::uint64_t seq,
                                      std::uint64_t id, EventCategory category,
-                                     Callback fn) {
+                                     Callback&& fn) {
   const EventQueue::Ref ref =
       queue_.push(when, seq, id, {category, 0}, std::move(fn));
   if (queue_.size() > peak_pending_) peak_pending_ = queue_.size();
@@ -86,7 +86,8 @@ bool Simulator::step() {
   Callback fn;
   EventQueue::EventMeta meta;
   std::uint64_t seq, id;
-  now_ = queue_.pop_min(fn, meta, seq, id);
+  bool from_train;
+  now_ = queue_.pop_min(fn, meta, seq, id, from_train);
   ++executed_;
   if (observer_) observer_(now_, id, seq);
   // The event's category and causal context hold while it executes, so
@@ -96,7 +97,7 @@ bool Simulator::step() {
   if (profiler_ == nullptr) {
     fn();
   } else {
-    profiler_->record_execute(meta.category);
+    profiler_->record_execute(meta.category, from_train);
     if (profiler_->timing_enabled()) {
       WallTimer timer;
       fn();

@@ -55,12 +55,12 @@ class Simulator {
   /// The event is stamped with the current profiler category and trace
   /// context (see below); the explicit-category overloads override the
   /// category at the head of a causal chain.
-  EventHandle schedule_at(Time when, Callback fn);
-  EventHandle schedule_at(Time when, EventCategory category, Callback fn);
+  EventHandle schedule_at(Time when, Callback&& fn);
+  EventHandle schedule_at(Time when, EventCategory category, Callback&& fn);
 
   /// Schedules `fn` to run `delay` from now. Negative delays clamp to now.
-  EventHandle schedule_in(Time delay, Callback fn);
-  EventHandle schedule_in(Time delay, EventCategory category, Callback fn);
+  EventHandle schedule_in(Time delay, Callback&& fn);
+  EventHandle schedule_in(Time delay, EventCategory category, Callback&& fn);
 
   /// Cancels a pending event. Returns true if the event existed and had not
   /// yet fired. Safe to call with an already-fired, already-cancelled, or
@@ -85,6 +85,16 @@ class Simulator {
 
   /// Total events executed since construction.
   std::uint64_t executed() const { return executed_; }
+
+  /// Events popped off same-time trains rather than the heap (see
+  /// sim/event_queue.hpp "Trains"). Subset of executed(); telemetry only —
+  /// train membership never changes execution order.
+  std::uint64_t absorbed() const { return queue_.train_absorbed(); }
+
+  /// Enables/disables same-time train batching in the event queue (default
+  /// on). Execution order is identical either way; the off position is the
+  /// pure-heap reference the benches' scalar leg measures against.
+  void set_train_batching(bool enabled) { queue_.set_trains_enabled(enabled); }
 
   /// Successful cancel() calls (event existed, had not fired).
   std::uint64_t cancelled() const { return cancelled_; }
@@ -122,7 +132,7 @@ class Simulator {
   /// and keeps handle/seq allocation bit-compatible with the uninterrupted
   /// run. Does not advance next_seq_/next_id_ (restore_state() sets them).
   EventHandle restore_event(Time when, std::uint64_t seq, std::uint64_t id,
-                            EventCategory category, Callback fn);
+                            EventCategory category, Callback&& fn);
 
   /// Overwrites the kernel clock and counters from a checkpoint.
   void restore_state(Time now, std::uint64_t next_seq, std::uint64_t next_id,

@@ -136,19 +136,4 @@ double RateMeter::rate_per_sec(Time now) const {
   return span > 0.0 ? static_cast<double>(count_) / span : 0.0;
 }
 
-void WallTimer::restart() {
-  t0_ns_ = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-double WallTimer::elapsed_sec() const {
-  const auto now_ns = static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-  return static_cast<double>(now_ns - t0_ns_) * 1e-9;
-}
-
 }  // namespace aroma::sim

@@ -352,6 +352,168 @@ TEST(RadioMedium, SpatialIndexMatchesExhaustiveScanBitForBit) {
   EXPECT_GT(grid[1], 0u);  // and someone heard it
 }
 
+// Runs the same randomized traffic-plus-CCA scenario under `opt` and
+// returns a bit-exact trace: MediumStats, every delivery (RSSI/SINR to the
+// last bit), and every CCA probe answer. Shared by the batch-equivalence
+// tests below. Probes come in bursts against the same observer so the
+// batch path's per-observer CCA energy cache actually gets hit.
+std::vector<std::uint64_t> run_traffic_scenario(RadioMedium::Options opt) {
+  PathLossModel::Params mp;
+  mp.seed = 99;  // shadowing on (default sigma)
+  sim::World w(7);
+  RadioMedium medium(w, PathLossModel(mp), opt);
+
+  sim::Rng rng(4321);
+  std::vector<std::unique_ptr<TestRadio>> radios;
+  static constexpr int kChans[3] = {1, 6, 11};
+  for (int i = 0; i < 24; ++i) {
+    radios.push_back(std::make_unique<TestRadio>(
+        static_cast<std::uint64_t>(i) + 1,
+        Vec2{rng.uniform(0.0, 150.0), rng.uniform(0.0, 150.0)},
+        kChans[i % 3]));
+    medium.attach(radios.back().get());
+  }
+
+  std::vector<std::uint64_t> cca_trace;
+  const auto probe = [&medium, &cca_trace](const TestRadio& r) {
+    const double e =
+        medium.energy_at(r.position(), r.cfg_.channel, r.cfg_.id);
+    cca_trace.push_back(std::bit_cast<std::uint64_t>(e));
+    cca_trace.push_back(medium.carrier_busy(r) ? 1u : 0u);
+  };
+  for (int k = 0; k < 50; ++k) {
+    const auto who = static_cast<std::size_t>(rng.uniform_int(0, 23));
+    w.sim().schedule_at(sim::Time::us(900 * k), [&medium, &radios, who] {
+      medium.transmit(*radios[who], 8'000, 2e6, 5.0, nullptr);
+    });
+    const auto obs = static_cast<std::size_t>(rng.uniform_int(0, 23));
+    // Burst: repeated queries from one observer between channel events —
+    // exactly the CSMA backoff-slot pattern the CCA cache serves.
+    for (int j = 0; j < 4; ++j) {
+      w.sim().schedule_at(sim::Time::us(900 * k + 300 + 50 * j),
+                          [&radios, obs, &probe] { probe(*radios[obs]); });
+    }
+  }
+  w.sim().run();
+
+  std::vector<std::uint64_t> summary;
+  const MediumStats& ms = medium.stats();
+  summary.insert(summary.end(),
+                 {ms.transmissions, ms.deliveries_attempted,
+                  ms.deliveries_decodable, ms.losses_sinr,
+                  ms.losses_half_duplex, ms.losses_rx_off});
+  for (const auto& r : radios) {
+    summary.push_back(r->deliveries.size());
+    for (const FrameDelivery& d : r->deliveries) {
+      summary.push_back(d.tx_id);
+      summary.push_back(d.sender_radio);
+      summary.push_back(std::bit_cast<std::uint64_t>(d.rssi_dbm));
+      summary.push_back(std::bit_cast<std::uint64_t>(d.sinr_db));
+      summary.push_back(d.decodable ? 1u : 0u);
+    }
+  }
+  summary.insert(summary.end(), cca_trace.begin(), cca_trace.end());
+  return summary;
+}
+
+// The batched resolve path (dense per-pair memo, per-sender sweep cache,
+// CCA energy cache) is an acceleration only: same seed and traffic, same
+// bits out, in every combination with the spatial index.
+TEST(RadioMedium, BatchPathMatchesScalarBitForBit) {
+  const auto trace_for = [](bool batch, bool indexed) {
+    RadioMedium::Options opt;
+    opt.batch = batch;
+    opt.spatial_index = indexed;
+    return run_traffic_scenario(opt);
+  };
+  const auto scalar = trace_for(false, true);
+  EXPECT_EQ(trace_for(true, true), scalar);
+  EXPECT_EQ(trace_for(true, false), scalar);
+  EXPECT_EQ(trace_for(false, false), scalar);
+  EXPECT_GT(scalar[0], 0u);  // traffic actually flowed
+}
+
+// resolve_links answers must be bit-identical to per-call scalar model
+// evaluation, for attached pairs (dense memo), unattached ids (fallback),
+// and repeat queries (memo hits).
+TEST(RadioMedium, ResolveLinksMatchesScalarModelBitForBit) {
+  PathLossModel::Params mp;
+  mp.seed = 42;  // shadowing on
+  sim::World w(3);
+  RadioMedium medium(w, PathLossModel(mp));
+
+  sim::Rng rng(777);
+  std::vector<std::unique_ptr<TestRadio>> radios;
+  for (int i = 0; i < 12; ++i) {
+    radios.push_back(std::make_unique<TestRadio>(
+        static_cast<std::uint64_t>(i) + 1,
+        Vec2{rng.uniform(0.0, 80.0), rng.uniform(0.0, 80.0)},
+        1 + static_cast<int>(rng.uniform_int(0, 10))));
+    medium.attach(radios.back().get());
+  }
+
+  std::vector<LinkQuery> queries;
+  for (int n = 0; n < 200; ++n) {
+    LinkQuery q;
+    q.tx_power_dbm = rng.uniform(-5.0, 20.0);
+    if (n % 3 != 0) {  // attached pair: dense-memo path
+      const auto& a = *radios[static_cast<std::size_t>(rng.uniform_int(0, 11))];
+      const auto& b = *radios[static_cast<std::size_t>(rng.uniform_int(0, 11))];
+      q.from = a.position();
+      q.to = b.position();
+      q.from_id = a.cfg_.id;
+      q.to_id = b.cfg_.id;
+      q.tx_channel = a.cfg_.channel;
+      q.rx_channel = b.cfg_.channel;
+    } else {  // unattached ids: model-memo fallback path
+      q.from = {rng.uniform(0.0, 80.0), rng.uniform(0.0, 80.0)};
+      q.to = {rng.uniform(0.0, 80.0), rng.uniform(0.0, 80.0)};
+      q.from_id = 900 + static_cast<std::uint64_t>(n);
+      q.to_id = 950 + static_cast<std::uint64_t>(n);
+      q.tx_channel = 1 + static_cast<int>(rng.uniform_int(0, 10));
+      q.rx_channel = 1 + static_cast<int>(rng.uniform_int(0, 10));
+    }
+    queries.push_back(q);
+  }
+
+  std::vector<LinkResult> results(queries.size());
+  medium.resolve_links(queries, results);
+
+  PathLossModel ref(mp);  // fresh memo; same params -> same values
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const LinkQuery& q = queries[i];
+    const LinkResult& r = results[i];
+    const double rx_dbm =
+        ref.received_dbm(q.tx_power_dbm, q.from, q.to, q.from_id, q.to_id);
+    const double overlap = channel_overlap(q.tx_channel, q.rx_channel);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.rx_dbm),
+              std::bit_cast<std::uint64_t>(rx_dbm))
+        << "query " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.rx_mw),
+              std::bit_cast<std::uint64_t>(dbm_to_mw(rx_dbm)))
+        << "query " << i;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.overlap),
+              std::bit_cast<std::uint64_t>(overlap))
+        << "query " << i;
+    const double rssi =
+        rx_dbm + 10.0 * std::log10(overlap > 0.0 ? overlap : 1e-12);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(r.rssi_dbm),
+              std::bit_cast<std::uint64_t>(rssi))
+        << "query " << i;
+  }
+
+  // A second pass is answered from the memos and must not drift.
+  const auto memo_hits_before = medium.batch_stats().memo_hits;
+  std::vector<LinkResult> again(queries.size());
+  medium.resolve_links(queries, again);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(again[i].rssi_dbm),
+              std::bit_cast<std::uint64_t>(results[i].rssi_dbm));
+  }
+  EXPECT_GT(medium.batch_stats().memo_hits, memo_hits_before);
+  EXPECT_GT(medium.batch_stats().fallback_queries, 0u);
+}
+
 // --- Acoustics -----------------------------------------------------------
 
 TEST(Acoustics, AmbientOnly) {

@@ -319,6 +319,65 @@ TEST(Encoding, ZeroCopyMatchesReferenceByteForByte) {
   }
 }
 
+// --- SIMD inner loops vs their scalar oracles (sim/simd.hpp) ----------------
+
+// Random rects over every content class, deliberately including widths that
+// are not multiples of the 4/8/16-pixel SIMD strides and offsets that force
+// the phase-alignment prefix: the vectorized paths must be bit-identical to
+// the per-pixel oracles everywhere, tails included.
+TEST(Framebuffer, HashRectMatchesReferenceOnRandomRects) {
+  sim::Rng rng(555);
+  for (Content c : {Content::kSolid, Content::kSlides, Content::kNoise,
+                    Content::kGradient}) {
+    const Framebuffer fb = make_content(c, 93, 57);  // odd dims on purpose
+    ASSERT_EQ(fb.hash_rect(fb.bounds()), fb.hash_rect_reference(fb.bounds()));
+    for (int n = 0; n < 200; ++n) {
+      const int x = static_cast<int>(rng.uniform_int(0, 92));
+      const int y = static_cast<int>(rng.uniform_int(0, 56));
+      const RectRegion r{x, y, 1 + static_cast<int>(rng.uniform_int(0, 92 - x)),
+                         1 + static_cast<int>(rng.uniform_int(0, 56 - y))};
+      ASSERT_EQ(fb.hash_rect(r), fb.hash_rect_reference(r))
+          << "content " << static_cast<int>(c) << " rect " << r.x << ","
+          << r.y << " " << r.w << "x" << r.h;
+    }
+  }
+}
+
+TEST(Encoding, SolidAndRunScannersMatchOracles) {
+  sim::Rng rng(556);
+  for (Content c : {Content::kSolid, Content::kSlides, Content::kNoise,
+                    Content::kGradient}) {
+    const Framebuffer fb = make_content(c, 93, 57);
+    for (int n = 0; n < 150; ++n) {
+      const int x = static_cast<int>(rng.uniform_int(0, 92));
+      const int y = static_cast<int>(rng.uniform_int(0, 56));
+      const RectRegion r{x, y, 1 + static_cast<int>(rng.uniform_int(0, 92 - x)),
+                         1 + static_cast<int>(rng.uniform_int(0, 56 - y))};
+
+      Pixel prod_color = 0, ref_color = 0;
+      const bool prod_solid = detail::solid_tile(fb, r, prod_color);
+      const bool ref_solid = detail::solid_tile_reference(fb, r, ref_color);
+      ASSERT_EQ(prod_solid, ref_solid)
+          << "content " << static_cast<int>(c) << " rect " << r.x << ","
+          << r.y << " " << r.w << "x" << r.h;
+      if (ref_solid) {
+        ASSERT_EQ(prod_color, ref_color);
+      }
+
+      const auto prod_runs = detail::scan_runs(fb, r);
+      const auto ref_runs = detail::scan_runs_reference(fb, r);
+      ASSERT_EQ(prod_runs, ref_runs)
+          << "content " << static_cast<int>(c) << " rect " << r.x << ","
+          << r.y << " " << r.w << "x" << r.h;
+      // Sanity: the runs tile the rect exactly.
+      std::uint64_t covered = 0;
+      for (const auto& [len, px] : ref_runs) covered += len;
+      ASSERT_EQ(covered, static_cast<std::uint64_t>(r.w) *
+                             static_cast<std::uint64_t>(r.h));
+    }
+  }
+}
+
 TEST(Encoding, EncodeScratchReusesCapacity) {
   const Framebuffer src = make_content(Content::kSlides, 97, 61);
   sim::Arena arena;
@@ -465,7 +524,9 @@ TEST(CachedEncoding, EvictionFallsBackToLiteralsAndStaysInSync) {
                     (flip % 2 == 0 ? slide_a : slide_b).data());
     const auto stats = s.sync(src, dst, tiles);
     ASSERT_TRUE(dst.same_content(src)) << "flip " << flip;
-    if (flip > 0) EXPECT_GT(stats.tiles_sent, 0u);  // evicted -> literal
+    if (flip > 0) {
+      EXPECT_GT(stats.tiles_sent, 0u);  // evicted -> literal
+    }
   }
   EXPECT_GT(s.server.evictions(), 0u);
   EXPECT_EQ(s.server.evictions(), s.client.evictions());

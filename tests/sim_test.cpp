@@ -292,6 +292,115 @@ TEST(Simulator, PeakPendingTracksHighWaterMark) {
   EXPECT_EQ(s.peak_pending(), 5u);  // smaller waves don't move it
 }
 
+// --- Event trains (same-time sweep batching; sim/event_queue.hpp) --------
+
+// Randomized bursts, with and without train batching: the execution order
+// is defined by (when, seq) alone and must be identical, including events
+// scheduled from inside a callback at the current timestamp (they join the
+// in-progress sweep).
+TEST(Simulator, TrainBatchingPreservesOrderUnderBursts) {
+  const auto run = [](bool trains) {
+    Simulator s;
+    s.set_train_batching(trains);
+    Rng rng(2468);
+    std::vector<int> order;
+    int next_tag = 0;
+    for (int k = 0; k < 300; ++k) {
+      // Heavily colliding timestamps: ~15 distinct instants for 300 events.
+      const Time t = Time::us(100 * rng.uniform_int(0, 14));
+      const int tag = next_tag++;
+      s.schedule_at(t, [&order, tag] { order.push_back(tag); });
+    }
+    // From-callback schedules at the same instant and slightly later.
+    s.schedule_at(Time::us(700), [&s, &order, &next_tag] {
+      for (int j = 0; j < 5; ++j) {
+        const int tag = next_tag++;
+        s.schedule_at(Time::us(700), [&order, tag] { order.push_back(tag); });
+        const int tag2 = next_tag++;
+        s.schedule_in(Time::us(50), [&order, tag2] { order.push_back(tag2); });
+      }
+    });
+    s.run();
+    return order;
+  };
+  const auto batched = run(true);
+  const auto heap_only = run(false);
+  EXPECT_EQ(batched, heap_only);
+  EXPECT_EQ(batched.size(), 310u);
+}
+
+// Absorption is telemetry only: a subset of executed, nonzero under
+// same-time bursts, zero with trains disabled.
+TEST(Simulator, AbsorbedCountsTrainMembers) {
+  Simulator s;
+  for (int i = 0; i < 20; ++i) {
+    s.schedule_at(Time::ms(1), [] {});
+    s.schedule_at(Time::ms(2), [] {});
+  }
+  s.run();
+  EXPECT_EQ(s.executed(), 40u);
+  EXPECT_GT(s.absorbed(), 0u);
+  EXPECT_LE(s.absorbed(), s.executed());
+
+  Simulator off;
+  off.set_train_batching(false);
+  for (int i = 0; i < 20; ++i) off.schedule_at(Time::ms(1), [] {});
+  off.run();
+  EXPECT_EQ(off.executed(), 20u);
+  EXPECT_EQ(off.absorbed(), 0u);
+}
+
+// Cancelling an event that is parked on a train (not in the heap) must
+// still work, and must not disturb its train-mates.
+TEST(Simulator, CancelReachesParkedTrainMembers) {
+  Simulator s;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 12; ++i) {
+    handles.push_back(
+        s.schedule_at(Time::ms(5), [&order, i] { order.push_back(i); }));
+  }
+  // Odd members cancelled before the burst runs.
+  for (std::size_t i = 1; i < handles.size(); i += 2) {
+    EXPECT_TRUE(s.cancel(handles[i]));
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 2, 4, 6, 8, 10}));
+}
+
+// pending_event_info must see parked members exactly like heap residents.
+TEST(Simulator, PendingEventInfoSeesParkedTrainMembers) {
+  Simulator s;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 8; ++i) {
+    handles.push_back(s.schedule_at(Time::ms(3), [] {}));
+  }
+  for (const EventHandle& h : handles) {
+    const auto info = s.pending_event_info(h);
+    EXPECT_TRUE(info.valid);
+    EXPECT_EQ(info.when, Time::ms(3));
+  }
+  s.run();
+  EXPECT_FALSE(s.pending_event_info(handles.front()).valid);
+}
+
+// restore_event feeds explicit (when, seq) pairs out of order — the
+// checkpoint-restore path. Trains must still replay them in seq order.
+TEST(Simulator, RestoreEventOutOfOrderSeqReplaysInOrder) {
+  Simulator s;
+  std::vector<int> order;
+  static constexpr std::uint64_t kSeqs[] = {40, 10, 30, 20, 50};
+  int tag = 0;
+  for (const std::uint64_t seq : kSeqs) {
+    const int t = tag++;
+    s.restore_event(Time::ms(2), seq, 100 + seq, EventCategory::kNone,
+                    [&order, t] { order.push_back(t); });
+  }
+  s.run();
+  // seq order: 10, 20, 30, 40, 50 -> tags 1, 3, 2, 0, 4
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2, 0, 4}));
+}
+
 TEST(PeriodicTimer, FiresAtPeriodAndStops) {
   Simulator s;
   int fired = 0;
