@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Validate the machine-readable output of bench/kernel_bench,
-bench/fleet_bench, bench/rfb_bench, and bench/snap_bench.
+bench/fleet_bench, bench/rfb_bench, bench/snap_bench, and bench/obs_bench,
+plus the BENCH_metrics.json metrics export.
 
-Usage: check_bench_json.py BENCH_kernel.json [BENCH_fleet.json ...]
+Usage: check_bench_json.py BENCH_kernel.json [BENCH_obs.json ...]
 
 Dispatches on each document's top-level "bench" field ("kernel", "fleet",
-"rfb", or "snap"). Checks structure plus machine-independent invariants (replica
+"rfb", "snap", or "obs"); a document with no "bench" field is validated as
+a metrics export. Checks structure plus machine-independent invariants (replica
 fingerprints, byte ratios) -- never absolute performance, which is
 machine-dependent. CI runs this after the bench smoke runs so a refactor
 that silently stops emitting a field (or the per-category profiler
@@ -447,6 +449,153 @@ def check_snap(doc):
           f'blob {incr["full_bytes"]} B)')
 
 
+OBS_RUN_KEYS = {
+    "shards": int,
+    "workers": int,
+    "reps": int,
+    "plane_off_wall_s": float,
+    "plane_on_wall_s": float,
+    "overhead_pct": float,
+    "overhead_gated": bool,
+    "plane_off_fingerprint": str,
+    "plane_on_fingerprint": str,
+    "fingerprint_match": bool,
+}
+OBS_FAULT_KEYS = {
+    "fired": bool,
+    "fires": int,
+    "fire_at_ns": int,
+    "dump_bytes": int,
+    "dump_parses": bool,
+    "replay_reaches_fault": bool,
+    "replay_events": int,
+}
+OBS_GATES = (
+    "fingerprints_match", "overhead_ok", "latency_instrumented",
+    "stall_detected", "jam_detected", "stall_replay_reaches_fault",
+    "jam_replay_reaches_fault",
+)
+
+
+def check_obs(doc):
+    max_overhead = doc.get("max_overhead_pct")
+    if not isinstance(max_overhead, (int, float)):
+        fail('"max_overhead_pct" missing')
+
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail('top-level "runs" missing or empty')
+    gated = []
+    for r in runs:
+        what = f'obs run shards={r.get("shards")}'
+        check_keys(r, OBS_RUN_KEYS, what)
+        for key in ("plane_off_fingerprint", "plane_on_fingerprint"):
+            check_fingerprint(r[key], f"{what} {key}")
+        # The perturbation contract, re-checked from the artifact: the
+        # plane-on fleet must land on the plane-off fingerprint.
+        if r["plane_off_fingerprint"] != r["plane_on_fingerprint"]:
+            fail(f"{what}: the plane perturbed the run")
+        if not r["fingerprint_match"]:
+            fail(f"{what}: fingerprint_match contradicts the fingerprints")
+        if r["plane_off_wall_s"] <= 0 or r["plane_on_wall_s"] <= 0:
+            fail(f"{what}: non-positive wall time")
+        if r["overhead_gated"]:
+            gated.append(r)
+    if len(gated) != 1:
+        fail(f"expected exactly 1 overhead-gated run, found {len(gated)}")
+    if gated[0]["shards"] != max(r["shards"] for r in runs):
+        fail("the overhead gate did not run at the largest shard count")
+    if gated[0]["overhead_pct"] > max_overhead:
+        fail(f'gated overhead {gated[0]["overhead_pct"]:.2f}% > '
+             f"{max_overhead}%")
+
+    latency = doc.get("latency")
+    if not isinstance(latency, dict) or not latency:
+        fail('top-level "latency" missing or empty')
+    for name, track in latency.items():
+        what = f'latency "{name}"'
+        check_keys(track, {"count": int, "p50": float, "p99": float,
+                           "p999": float}, what)
+        if track["count"] <= 0:
+            fail(f"{what} recorded no values")
+        if not track["p50"] <= track["p99"] <= track["p999"]:
+            fail(f"{what} percentiles are not monotone")
+
+    faults = doc.get("faults")
+    if not isinstance(faults, dict):
+        fail('top-level "faults" missing')
+    for name in ("stall", "jam"):
+        f_ = faults.get(name)
+        if not isinstance(f_, dict):
+            fail(f'"faults.{name}" missing')
+        what = f'fault "{name}"'
+        check_keys(f_, OBS_FAULT_KEYS, what)
+        # The detect-and-time-travel contract: the watchdog fired, its
+        # black box parsed, and the replay reached the faulting event.
+        if not f_["fired"] or f_["fires"] < 1:
+            fail(f"{what}: watchdog stayed silent")
+        if f_["dump_bytes"] <= 0 or not f_["dump_parses"]:
+            fail(f"{what}: flight dump missing or unparseable")
+        if not f_["replay_reaches_fault"] or f_["replay_events"] <= 0:
+            fail(f"{what}: replay never reached the dump's last event")
+
+    gates = doc.get("gates")
+    if not isinstance(gates, dict):
+        fail('top-level "gates" missing')
+    for key in OBS_GATES:
+        if gates.get(key) is not True:
+            fail(f'"gates.{key}" is not true')
+
+    print(f"check_bench_json: OK (obs: {len(runs)} shard counts, gated "
+          f'overhead {gated[0]["overhead_pct"]:.2f}% <= {max_overhead}%, '
+          f"{len(latency)} latency tracks, both faults replayed)")
+
+
+METRIC_KINDS = {"counter", "gauge", "histogram", "hdr"}
+METRIC_LAYERS = {"environment", "physical", "resource", "abstract"}
+
+
+def check_metrics(doc):
+    """A metrics export: {section: {metric-name: {layer, kind, ...}}}.
+
+    Written by model_bench (figure sections) and extended by obs_bench
+    (the "obs" section: the fleet's merged registry, HDRs included).
+    """
+    if not doc:
+        fail("metrics document is empty")
+    hdrs = 0
+    for section, metrics in doc.items():
+        if not isinstance(metrics, dict) or not metrics:
+            fail(f'metrics section "{section}" is not a non-empty object')
+        for name, m in metrics.items():
+            what = f'metric "{section}"."{name}"'
+            if not isinstance(m, dict):
+                fail(f"{what} is not an object")
+            if m.get("kind") not in METRIC_KINDS:
+                fail(f'{what} has unknown kind {m.get("kind")!r}')
+            if m.get("layer") not in METRIC_LAYERS:
+                fail(f'{what} has unknown LPC layer {m.get("layer")!r}')
+            if m["kind"] in ("counter", "gauge"):
+                if not isinstance(m.get("value"), (int, float)):
+                    fail(f"{what} has no numeric value")
+            else:
+                check_keys(m, {"count": int, "p50": float, "p99": float},
+                           what)
+                if m["kind"] == "hdr":
+                    check_keys(m, {"p999": float, "min": float, "max": float,
+                                   "mean": float}, what)
+                    if not m["p50"] <= m["p99"] <= m["p999"]:
+                        fail(f"{what} percentiles are not monotone")
+                    hdrs += 1
+    print(f"check_bench_json: OK (metrics: {len(doc)} sections, "
+          f"{sum(len(m) for m in doc.values())} metrics, {hdrs} HDR tracks)")
+
+
+def looks_like_metrics(doc):
+    return (isinstance(doc, dict) and "bench" not in doc and doc and
+            all(isinstance(v, dict) for v in doc.values()))
+
+
 def main(paths):
     for path in paths:
         with open(path, encoding="utf-8") as f:
@@ -460,9 +609,17 @@ def main(paths):
             check_rfb(doc)
         elif kind == "snap":
             check_snap(doc)
+        elif kind == "obs":
+            check_obs(doc)
+        elif kind is None and looks_like_metrics(doc):
+            # BENCH_metrics.json carries no "bench"/"seed" envelope; it is
+            # a bare {section: {metric: ...}} export.
+            check_metrics(doc)
+            continue
         else:
             fail(f'{path}: top-level "bench" is {kind!r}, expected '
-                 f'"kernel", "fleet", "rfb", or "snap"')
+                 f'"kernel", "fleet", "rfb", "snap", or "obs" '
+                 f"(or a metrics export)")
         if not isinstance(doc.get("seed"), int):
             fail(f'{path}: top-level "seed" missing or not an integer')
 

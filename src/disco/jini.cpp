@@ -331,6 +331,16 @@ void JiniClient::withdraw(ServiceId id) {
 
 void JiniClient::lookup(const ServiceTemplate& tmpl, LookupResult cb) {
   const std::uint32_t token = next_token_++;
+  // End-to-end lookup latency (request to response-or-timeout), recorded
+  // whichever path eventually invokes the callback.
+  if (obs::HdrHistogram* h =
+          obs::hdr(world_, "disco.lookup.latency_us", lpc::Layer::kAbstract)) {
+    cb = [this, h, t0 = world_.now(),
+          inner = std::move(cb)](std::vector<ServiceDescription> items) {
+      h->record(static_cast<std::uint64_t>((world_.now() - t0).count() / 1000));
+      if (inner) inner(std::move(items));
+    };
+  }
   pending_lookup_[token] = std::move(cb);
   // Unanswered lookups (e.g. the registrar died mid-request) fail cleanly.
   ++outstanding_timeouts_;

@@ -51,7 +51,24 @@ SpanIssueMiner::SpanIssueMiner(obs::SpanTracer& spans, IssueLog& log)
 
 SpanIssueMiner::~SpanIssueMiner() { spans_.set_hook({}); }
 
+void SpanIssueMiner::check_drops() {
+  if (drop_warned_ || spans_.dropped() == 0) return;
+  drop_warned_ = true;
+  Issue issue;
+  issue.description = "span buffer dropped " +
+                      std::to_string(spans_.dropped()) +
+                      " records; the trace is capped and must not be "
+                      "trusted as complete";
+  issue.entity = "obs.spans";
+  issue.layer = Layer::kResource;  // a diagnostics-capacity problem
+  issue.classified = false;
+  issue.severity = 0.45;
+  log_.add(std::move(issue));
+  ++mined_;
+}
+
 void SpanIssueMiner::on_record(const obs::SpanRecord& record) {
+  check_drops();
   if (record.level < sim::TraceLevel::kWarn) return;
   // The same event name recurring is one issue, not many.
   if (++seen_[record.name] > 1) {
@@ -60,12 +77,18 @@ void SpanIssueMiner::on_record(const obs::SpanRecord& record) {
   }
   Issue issue;
   issue.description = record.name;
+  bool classify = false;
   for (const auto& [key, value] : record.args) {
     issue.description += " " + key + "=" + value;
+    classify = classify || key == "classify";
   }
   issue.entity = record.name;
-  issue.layer = record.layer;  // declared by the emitter, not guessed
-  issue.classified = false;
+  if (classify) {
+    classifier_.assign(issue);  // layer from the text, not the emitter
+  } else {
+    issue.layer = record.layer;  // declared by the emitter, not guessed
+    issue.classified = false;
+  }
   issue.severity = record.level == sim::TraceLevel::kError ? 0.8 : 0.45;
   log_.add(std::move(issue));
   ++mined_;

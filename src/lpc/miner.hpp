@@ -51,6 +51,13 @@ class TraceIssueMiner {
 /// off the record — the emitting component declared it — so no vocabulary
 /// guessing is involved, and issues survive the span buffer's capacity cap
 /// because the hook sees instants past it.
+///
+/// Two exceptions to "the emitter declared the layer": a record carrying a
+/// "classify" arg (e.g. a watchdog fire, whose layer depends on what the
+/// anomaly turned out to be) is routed through the IssueClassifier, which
+/// assigns the layer from the record's text. And when the span buffer has
+/// dropped records, the miner raises one warning issue itself — a capped
+/// trace must never be silently trusted as complete.
 class SpanIssueMiner {
  public:
   /// Installs itself as the span tracer's hook; the tracer must outlive
@@ -63,6 +70,12 @@ class SpanIssueMiner {
   std::uint64_t mined() const { return mined_; }
   std::uint64_t deduplicated() const { return deduplicated_; }
 
+  /// Raises the spans-dropped warning issue if the tracer has dropped
+  /// records and it was not raised yet. Runs on every hooked record too;
+  /// call this once more at end of run in case drops happened after the
+  /// last warning-level record.
+  void check_drops();
+
   /// Per-layer counts of mined issues.
   std::map<Layer, std::size_t> layer_counts() const;
 
@@ -71,9 +84,11 @@ class SpanIssueMiner {
 
   obs::SpanTracer& spans_;
   IssueLog& log_;
+  IssueClassifier classifier_;
   std::map<std::string, std::uint64_t> seen_;  // event name -> count
   std::uint64_t mined_ = 0;
   std::uint64_t deduplicated_ = 0;
+  bool drop_warned_ = false;
 };
 
 }  // namespace aroma::lpc

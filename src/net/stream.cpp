@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "net/serialize.hpp"
+#include "obs/metrics.hpp"
 #include "snap/format.hpp"
 
 namespace aroma::net {
@@ -208,7 +209,12 @@ void StreamConnection::on_ack(std::uint64_t ack) {
     const std::uint64_t end = u.seq + (u.fin ? 1 : u.data.size());
     if (end > ack) break;
     if (u.retx == 0) {
-      update_rtt((mgr_.world().now() - u.first_sent).seconds());
+      const sim::Time rtt = mgr_.world().now() - u.first_sent;
+      update_rtt(rtt.seconds());
+      if (obs::HdrHistogram* h = obs::hdr(mgr_.world(), "net.stream.rtt_us",
+                                          lpc::Layer::kResource)) {
+        h->record(static_cast<std::uint64_t>(rtt.count() / 1000));
+      }
     }
     // AIMD growth: slow start below ssthresh, congestion avoidance above.
     if (cwnd_ < ssthresh_) {

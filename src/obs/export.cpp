@@ -57,7 +57,8 @@ bool write_text(const std::string& text, const std::string& path) {
 
 }  // namespace
 
-std::string to_chrome_trace(const SpanTracer& spans) {
+std::string to_chrome_trace(const SpanTracer& spans,
+                            const TimeseriesSampler* sampler) {
   std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
   const auto comma = [&] {
@@ -95,12 +96,31 @@ std::string to_chrome_trace(const SpanTracer& spans) {
     append_args(out, r);
     out += "}";
   }
+  if (sampler != nullptr) {
+    for (const TimeseriesSampler::Track& track : sampler->tracks()) {
+      const int tid = static_cast<int>(track.layer);
+      for (const TimeseriesSampler::Sample& s : track.samples) {
+        comma();
+        out += "{\"ph\": \"C\", \"pid\": 1, \"tid\": " + std::to_string(tid) +
+               ", \"name\": ";
+        escape(out, track.name);
+        out += ", \"ts\": ";
+        append_us(out, static_cast<double>(s.t_ns) / 1e3);
+        out += ", \"args\": {\"value\": ";
+        char buf[40];
+        std::snprintf(buf, sizeof buf, "%g", s.value);
+        out += buf;
+        out += "}}";
+      }
+    }
+  }
   out += "\n]}\n";
   return out;
 }
 
-bool write_chrome_trace(const SpanTracer& spans, const std::string& path) {
-  return write_text(to_chrome_trace(spans), path);
+bool write_chrome_trace(const SpanTracer& spans, const std::string& path,
+                        const TimeseriesSampler* sampler) {
+  return write_text(to_chrome_trace(spans, sampler), path);
 }
 
 std::string to_jsonl(const SpanTracer& spans) {

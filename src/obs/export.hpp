@@ -9,15 +9,19 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/span.hpp"
 
 namespace aroma::obs {
 
 /// Serializes spans in Chrome trace-event format ("X" complete events for
 /// closed spans, "i" instants; sim-time microseconds). Loadable in Perfetto
-/// and chrome://tracing.
-std::string to_chrome_trace(const SpanTracer& spans);
-bool write_chrome_trace(const SpanTracer& spans, const std::string& path);
+/// and chrome://tracing. When a sampler is given, its timeseries tracks are
+/// emitted as "C" counter events so metric history renders alongside spans.
+std::string to_chrome_trace(const SpanTracer& spans,
+                            const TimeseriesSampler* sampler = nullptr);
+bool write_chrome_trace(const SpanTracer& spans, const std::string& path,
+                        const TimeseriesSampler* sampler = nullptr);
 
 /// One JSON object per record per line: id, parent, name, layer, level,
 /// start/end (microseconds), args.

@@ -49,6 +49,16 @@ sim::Histogram& MetricsRegistry::histogram(std::string_view name,
   return histograms_.back().metric;
 }
 
+HdrHistogram& MetricsRegistry::hdr(std::string_view name, lpc::Layer layer) {
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return hdrs_[it->second.index].metric;
+  const Entry e{Kind::kHdr, hdrs_.size()};
+  hdrs_.push_back(HdrEntry{{std::string(name), layer}, HdrHistogram{}});
+  by_name_.emplace(std::string(name), e);
+  order_.push_back(e);
+  return hdrs_.back().metric;
+}
+
 void MetricsRegistry::set_counter(std::string_view name, lpc::Layer layer,
                                   std::uint64_t value) {
   Counter& c = counter(name, layer);
@@ -70,6 +80,9 @@ void MetricsRegistry::merge(const MetricsRegistry& other) {
           to.histogram(info.name, info.layer, h.lo(), h.hi(), h.bin_count());
       mine.merge_from(h);  // throws on shape mismatch
     }
+    void on_hdr(const MetricInfo& info, const HdrHistogram& h) override {
+      to.hdr(info.name, info.layer).merge_from(h);
+    }
     MetricsRegistry& to;
   } v(*this);
   other.visit(v);
@@ -79,6 +92,12 @@ const Counter* MetricsRegistry::find_counter(std::string_view name) const {
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end() || it->second.kind != Kind::kCounter) return nullptr;
   return &counters_[it->second.index].metric;
+}
+
+const HdrHistogram* MetricsRegistry::find_hdr(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end() || it->second.kind != Kind::kHdr) return nullptr;
+  return &hdrs_[it->second.index].metric;
 }
 
 const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
@@ -107,6 +126,9 @@ void MetricsRegistry::visit(Visitor& v) const {
         break;
       case Kind::kHistogram:
         v.on_histogram(histograms_[e.index].info, histograms_[e.index].metric);
+        break;
+      case Kind::kHdr:
+        v.on_hdr(hdrs_[e.index].info, hdrs_[e.index].metric);
         break;
     }
   }
@@ -170,6 +192,18 @@ class JsonVisitor : public MetricsRegistry::Visitor {
     }
     out_ += "]}";
   }
+  void on_hdr(const MetricInfo& info, const HdrHistogram& h) override {
+    open(info, "hdr");
+    out_ += "\"count\": " + std::to_string(h.count());
+    out_ += ", \"saturated\": " + std::to_string(h.saturated());
+    out_ += ", \"min\": " + std::to_string(h.min());
+    out_ += ", \"max\": " + std::to_string(h.max());
+    out_ += ", \"mean\": ";
+    json_number(out_, h.mean());
+    out_ += ", \"p50\": " + std::to_string(h.p50());
+    out_ += ", \"p99\": " + std::to_string(h.p99());
+    out_ += ", \"p999\": " + std::to_string(h.p999()) + "}";
+  }
 
   bool first = true;
 
@@ -225,6 +259,13 @@ void MetricsRegistry::save(snap::SectionWriter& w) const {
         }
         break;
       }
+      case Kind::kHdr: {
+        const HdrEntry& h = hdrs_[e.index];
+        w.str(h.info.name);
+        w.u8(static_cast<std::uint8_t>(h.info.layer));
+        h.metric.save(w);
+        break;
+      }
     }
   }
 }
@@ -260,6 +301,9 @@ void MetricsRegistry::restore(snap::SectionReader& r) {
         h.load_counts(counts, total, clamped);
         break;
       }
+      case Kind::kHdr:
+        hdr(name, layer).restore(r);
+        break;
       default:
         throw snap::SnapError("unknown metric kind in checkpoint");
     }

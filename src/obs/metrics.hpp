@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "lpc/layers.hpp"
+#include "obs/hdr.hpp"
 #include "sim/stats.hpp"
 #include "sim/world.hpp"
 
@@ -81,6 +82,10 @@ class MetricsRegistry {
   /// Fixed-range histogram (sim::Histogram semantics: clamped edge bins).
   sim::Histogram& histogram(std::string_view name, lpc::Layer layer,
                             double lo, double hi, std::size_t bins);
+  /// Log-bucketed latency histogram (obs::HdrHistogram semantics: ~3%
+  /// relative error at any scale, deterministic percentiles). All HDR
+  /// metrics share one shape, so merge never throws.
+  HdrHistogram& hdr(std::string_view name, lpc::Layer layer);
 
   /// Convenience for pull-style publication of existing stats structs.
   void set_gauge(std::string_view name, lpc::Layer layer, double value) {
@@ -102,6 +107,7 @@ class MetricsRegistry {
   const Counter* find_counter(std::string_view name) const;
   const Gauge* find_gauge(std::string_view name) const;
   const sim::Histogram* find_histogram(std::string_view name) const;
+  const HdrHistogram* find_hdr(std::string_view name) const;
 
   std::size_t size() const { return order_.size(); }
 
@@ -111,6 +117,8 @@ class MetricsRegistry {
     virtual void on_counter(const MetricInfo&, const Counter&) = 0;
     virtual void on_gauge(const MetricInfo&, const Gauge&) = 0;
     virtual void on_histogram(const MetricInfo&, const sim::Histogram&) = 0;
+    /// Default no-op so visitors written before HDR metrics keep compiling.
+    virtual void on_hdr(const MetricInfo&, const HdrHistogram&) {}
   };
   void visit(Visitor& v) const;
 
@@ -127,7 +135,7 @@ class MetricsRegistry {
   void restore(snap::SectionReader& r);
 
  private:
-  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram, kHdr };
   struct Entry {
     Kind kind;
     std::size_t index;  // into the kind's deque
@@ -148,9 +156,15 @@ class MetricsRegistry {
         : info(std::move(i)), metric(lo, hi, bins) {}
   };
 
+  struct HdrEntry {
+    MetricInfo info;
+    HdrHistogram metric;
+  };
+
   std::deque<CounterEntry> counters_;
   std::deque<GaugeEntry> gauges_;
   std::deque<HistogramEntry> histograms_;
+  std::deque<HdrEntry> hdrs_;
   std::unordered_map<std::string, Entry> by_name_;
   std::vector<Entry> order_;  // registration order for stable snapshots
 };
@@ -172,6 +186,11 @@ inline sim::Histogram* histogram(sim::World& world, std::string_view name,
                                  std::size_t bins) {
   MetricsRegistry* m = world.metrics();
   return m ? &m->histogram(name, layer, lo, hi, bins) : nullptr;
+}
+inline HdrHistogram* hdr(sim::World& world, std::string_view name,
+                         lpc::Layer layer) {
+  MetricsRegistry* m = world.metrics();
+  return m ? &m->hdr(name, layer) : nullptr;
 }
 
 }  // namespace aroma::obs

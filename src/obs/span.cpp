@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight.hpp"
 #include "snap/format.hpp"
 
 namespace aroma::obs {
@@ -24,6 +25,7 @@ SpanId SpanTracer::begin(sim::Time now, std::string_view name,
   rec.level = level;
   index_.emplace(rec.id, records_.size());
   records_.push_back(std::move(rec));
+  if (flight_) flight_->record_span(records_.back(), FlightKind::kSpanOpen);
   return records_.back().id;
 }
 
@@ -34,12 +36,20 @@ void SpanTracer::end(SpanId id, sim::Time now) {
   SpanRecord& rec = records_[it->second];
   if (!rec.open()) return;
   rec.end = now;
+  if (flight_) flight_->record_span(rec, FlightKind::kSpanClose);
   if (hook_) hook_(rec);
 }
 
 SpanId SpanTracer::instant(sim::Time now, std::string_view name,
                            lpc::Layer layer, SpanId parent,
                            sim::TraceLevel level) {
+  return instant(now, name, layer, parent, level, {});
+}
+
+SpanId SpanTracer::instant(
+    sim::Time now, std::string_view name, lpc::Layer layer, SpanId parent,
+    sim::TraceLevel level,
+    std::vector<std::pair<std::string, std::string>> args) {
   if (!enabled_) return 0;
   SpanRecord rec;
   rec.parent = parent;
@@ -49,16 +59,19 @@ SpanId SpanTracer::instant(sim::Time now, std::string_view name,
   rec.layer = layer;
   rec.level = level;
   rec.instant = true;
+  rec.args = std::move(args);
   if (records_.size() >= capacity_) {
     // Dropped from the buffer but still visible to the hook, so issue
     // mining keeps working on long soak runs.
     ++dropped_;
+    if (flight_) flight_->record_span(rec, FlightKind::kSpanInstant);
     if (hook_) hook_(rec);
     return 0;
   }
   rec.id = next_id_++;
   index_.emplace(rec.id, records_.size());
   records_.push_back(std::move(rec));
+  if (flight_) flight_->record_span(records_.back(), FlightKind::kSpanInstant);
   if (hook_) hook_(records_.back());
   return records_.back().id;
 }

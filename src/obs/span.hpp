@@ -32,6 +32,8 @@ class SectionReader;
 
 namespace aroma::obs {
 
+class FlightRecorder;
+
 using SpanId = std::uint64_t;  // 0 = none/dropped
 
 struct SpanRecord {
@@ -79,6 +81,12 @@ class SpanTracer {
   SpanId instant(sim::Time now, std::string_view name, lpc::Layer layer,
                  SpanId parent,
                  sim::TraceLevel level = sim::TraceLevel::kInfo);
+  /// As above with args attached atomically, so the hook (and any miner
+  /// behind it) sees them — annotate() after instant() is too late for
+  /// hook consumers.
+  SpanId instant(sim::Time now, std::string_view name, lpc::Layer layer,
+                 SpanId parent, sim::TraceLevel level,
+                 std::vector<std::pair<std::string, std::string>> args);
   /// Attaches a key-value argument to a live record; no-op for id 0.
   void annotate(SpanId id, std::string_view key, std::string_view value);
 
@@ -87,6 +95,12 @@ class SpanTracer {
   void set_hook(std::function<void(const SpanRecord&)> hook) {
     hook_ = std::move(hook);
   }
+
+  /// Feeds span open/close/instant edges into a flight recorder. A second,
+  /// dedicated slot: the hook above belongs to the issue miner, and the
+  /// recorder must see opens (which the hook never does) so a black box
+  /// can show what was in progress when it was dumped.
+  void set_flight_recorder(FlightRecorder* recorder) { flight_ = recorder; }
 
   /// Appends every record of `other` with its id (and nonzero parent)
   /// relocated into a per-shard id space:
@@ -124,6 +138,7 @@ class SpanTracer {
   std::vector<SpanRecord> records_;
   std::unordered_map<SpanId, std::size_t> index_;  // id -> records_ index
   std::function<void(const SpanRecord&)> hook_;
+  FlightRecorder* flight_ = nullptr;
 };
 
 /// RAII span bound to a world: opens on construction (parenting to the

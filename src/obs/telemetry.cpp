@@ -43,6 +43,10 @@ void Telemetry::snapshot_kernel(const sim::World& world) {
   metrics_.set_counter("sim.kernel.cancelled", layer, s.cancelled());
   metrics_.set_counter("sim.kernel.stale_handle_rejects", layer,
                        s.stale_handle_rejects());
+  // Observability self-accounting: a capped span buffer silently truncates
+  // traces, so the drop count must be visible wherever metrics land.
+  metrics_.set_counter("obs.spans.records", layer, spans_.records().size());
+  metrics_.set_counter("obs.spans.dropped", layer, spans_.dropped());
 }
 
 }  // namespace aroma::obs

@@ -25,6 +25,7 @@ CsmaMac::CsmaMac(sim::World& world, Transceiver& radio, sim::Rng rng,
   m_drops_retry_ = obs::counter(world_, "phys.mac.drops_retry_limit", layer);
   m_drops_queue_ = obs::counter(world_, "phys.mac.drops_queue_full", layer);
   m_queue_peak_ = obs::gauge(world_, "phys.mac.queue_depth_peak", layer);
+  m_service_ = obs::hdr(world_, "phys.mac.service_us", layer);
 }
 
 double CsmaMac::bitrate() const { return radio_.bitrate_bps(); }
@@ -44,6 +45,7 @@ bool CsmaMac::send(MacAddress dst, std::size_t payload_bits,
   f.payload = std::move(payload);
   f.cb = std::move(cb);
   f.seq = next_seq_++;
+  f.enqueued_at = world_.now();
   queue_.push_back(std::move(f));
   if (m_queue_peak_ != nullptr) {
     const double depth = static_cast<double>(queue_depth());
@@ -190,6 +192,10 @@ void CsmaMac::ack_timeout(std::uint64_t gen) {
 
 void CsmaMac::finish_active(bool delivered) {
   cw_ = params_.cw_min;
+  if (m_service_ != nullptr) {
+    const sim::Time service = world_.now() - active_->enqueued_at;
+    m_service_->record(static_cast<std::uint64_t>(service.count() / 1000));
+  }
   auto cb = std::move(active_->cb);
   active_.reset();
   state_ = State::kIdle;

@@ -20,6 +20,7 @@
 namespace aroma::obs {
 class Counter;
 class Gauge;
+class HdrHistogram;
 }  // namespace aroma::obs
 
 namespace aroma::snap {
@@ -114,6 +115,7 @@ class CsmaMac {
     SendCallback cb;
     std::uint32_t seq;
     int retries = 0;
+    sim::Time enqueued_at = sim::Time::zero();  // for service-time latency
   };
 
   enum class State { kIdle, kDifs, kBackoff, kTransmitting, kAwaitAck };
@@ -160,6 +162,7 @@ class CsmaMac {
   obs::Counter* m_drops_retry_ = nullptr;
   obs::Counter* m_drops_queue_ = nullptr;
   obs::Gauge* m_queue_peak_ = nullptr;
+  obs::HdrHistogram* m_service_ = nullptr;  // enqueue -> cb latency, µs
 };
 
 }  // namespace aroma::phys

@@ -214,6 +214,8 @@ RfbClient::RfbClient(sim::World& world,
       [this](std::span<const std::byte> data) { framer_.on_bytes(data); });
   m_decode_errors_ =
       obs::counter(world_, "rfb.client.decode_errors", lpc::Layer::kAbstract);
+  m_update_latency_ =
+      obs::hdr(world_, "rfb.client.update_latency_us", lpc::Layer::kAbstract);
 }
 
 RfbClient::~RfbClient() {
@@ -278,6 +280,21 @@ void RfbClient::on_message(std::span<const std::byte> msg) {
       }
       stats_.bytes_received += msg.size() + 4;
       const sim::Time now = world_.now();
+      // End-to-end frame delivery latency: the server's "rfb.update" span is
+      // an ancestor of the event delivering these bytes (trace contexts
+      // propagate through scheduled events), so its start stamps the send.
+      if (m_update_latency_ != nullptr) {
+        if (const obs::SpanTracer* t = world_.spans()) {
+          for (const obs::SpanRecord* rec :
+               t->ancestry(world_.sim().trace_context())) {
+            if (rec->name == "rfb.update") {
+              m_update_latency_->record(static_cast<std::uint64_t>(
+                  (now - rec->start).count() / 1000));
+              break;
+            }
+          }
+        }
+      }
       if (stats_.updates_received == 0) {
         stats_.first_update = now;
       } else {

@@ -176,6 +176,7 @@ class RfbClient {
   EncodeScratch scratch_;  // decode staging, capacity kept across updates
   RfbClientStats stats_;
   obs::Counter* m_decode_errors_ = nullptr;
+  obs::HdrHistogram* m_update_latency_ = nullptr;  // server send -> decode, µs
 };
 
 }  // namespace aroma::rfb

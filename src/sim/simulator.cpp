@@ -90,6 +90,29 @@ bool Simulator::step() {
   now_ = queue_.pop_min(fn, meta, seq, id, from_train);
   ++executed_;
   if (observer_) observer_(now_, id, seq);
+  if (trace_ != nullptr) {
+    TraceHot& h = *trace_;
+    const std::int64_t t = now_.count();
+    TraceRecord& r = h.ring[static_cast<std::size_t>(h.total) & h.mask];
+    r.t_ns = t;
+    r.kind = 0;
+    r.code = static_cast<std::uint16_t>(meta.category);
+    r.shard = h.shard;
+    r.a = id;
+    r.b = seq;
+    ++h.total;
+    if (t == h.last_t_ns) {
+      if (++h.run_len == h.stall_run_limit) {
+        h.slow->on_trace_stall(now_, h.run_len);
+      }
+    } else {
+      h.last_t_ns = t;
+      h.run_len = 1;
+    }
+    if (t >= h.next_wake_ns) h.slow->on_trace_wake(now_);
+  } else if (tap_) {
+    tap_->on_event(now_, id, seq, meta.category);
+  }
   // The event's category and causal context hold while it executes, so
   // anything it schedules (or any span it opens) inherits its cause.
   current_category_ = meta.category;

@@ -8,8 +8,10 @@
 // for the allocation-free closure storage.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <limits>
 
 #include "sim/callback.hpp"
 #include "sim/event_queue.hpp"
@@ -145,6 +147,69 @@ class Simulator {
   using EventObserver = std::function<void(Time, std::uint64_t, std::uint64_t)>;
   void set_event_observer(EventObserver obs) { observer_ = std::move(obs); }
 
+  /// Second observation slot: a virtual tap seeing every executed event's
+  /// (when, id, seq, category). Observation-only like the observer above —
+  /// a tap must never schedule or cancel events (that would perturb event
+  /// identities and break fingerprint equality with the tap off). The
+  /// observer slot belongs to snap::ReplayHarness; this one belongs to the
+  /// observability plane (obs::FlightRecorder), so replay and the flight
+  /// recorder can watch the same kernel simultaneously.
+  class EventTap {
+   public:
+    virtual ~EventTap() = default;
+    virtual void on_event(Time when, std::uint64_t id, std::uint64_t seq,
+                          EventCategory category) = 0;
+  };
+  void set_event_tap(EventTap* tap) { tap_ = tap; }
+  EventTap* event_tap() const { return tap_; }
+
+  /// Inline trace ring: the zero-virtual-hop variant of the tap slot.
+  /// When a TraceHot descriptor is attached the kernel itself writes one
+  /// POD TraceRecord per executed event into the owner's ring and
+  /// maintains the owner's stall-run counter and wake deadline, calling
+  /// back through the TraceSlowPath virtuals only when a threshold
+  /// actually crosses (rare by construction). Observation-only, exactly
+  /// like the tap: the slow path must never schedule or cancel events.
+  /// The trace slot supersedes the virtual tap — when both are attached
+  /// only the trace ring sees events.
+  struct TraceRecord {
+    std::int64_t t_ns = 0;
+    std::uint16_t kind = 0;  // 0 = kernel event; owners add other kinds
+    std::uint16_t code = 0;  // kernel writes the event category
+    std::uint32_t shard = 0;
+    std::uint64_t a = 0;  // kernel writes the event id
+    std::uint64_t b = 0;  // kernel writes the event seq
+  };
+  class TraceSlowPath {
+   public:
+    virtual ~TraceSlowPath() = default;
+    /// A same-timestamp event run just reached stall_run_limit.
+    virtual void on_trace_stall(Time when, std::uint64_t run_len) = 0;
+    /// An event timestamp crossed next_wake_ns. The callee is expected to
+    /// recompute next_wake_ns before returning.
+    virtual void on_trace_wake(Time when) = 0;
+  };
+  /// Field order and alignment are deliberate: everything the per-event
+  /// writer reads or writes (ring/mask/total/last_t/run_len/limit/wake
+  /// deadline/shard) packs into the first 64 bytes, so tracing touches
+  /// exactly one descriptor cache line per event; the slow-path pointer
+  /// (only dereferenced on threshold trips) spills to the second line.
+  struct alignas(64) TraceHot {
+    TraceRecord* ring = nullptr;
+    std::size_t mask = 0;  // ring capacity - 1; capacity is a power of two
+    std::uint64_t total = 0;
+    std::int64_t last_t_ns = -1;
+    std::uint64_t run_len = 0;
+    std::uint64_t stall_run_limit = ~std::uint64_t{0};
+    std::int64_t next_wake_ns = std::numeric_limits<std::int64_t>::max();
+    std::uint32_t shard = 0;
+    TraceSlowPath* slow = nullptr;
+  };
+  static_assert(offsetof(TraceHot, slow) >= 60 || sizeof(void*) < 8,
+                "hot fields share the first cache line");
+  void set_event_trace(TraceHot* trace) { trace_ = trace; }
+  TraceHot* event_trace() const { return trace_; }
+
   // --- telemetry hooks ------------------------------------------------------
   // Both hooks are observation-only: they never affect event order, RNG
   // draws, or timestamps, so enabling them cannot change simulated behavior.
@@ -178,6 +243,8 @@ class Simulator {
   std::uint64_t trace_ctx_ = 0;
   EventCategory current_category_ = EventCategory::kNone;
   EventObserver observer_;
+  EventTap* tap_ = nullptr;
+  TraceHot* trace_ = nullptr;
 };
 
 /// RAII override of the simulator's current trace context (used by span

@@ -106,6 +106,8 @@ class Room {
   SnapshotRegistry& registry() { return registry_; }
   sim::World& world() { return *world_; }
   obs::Telemetry* telemetry() { return telemetry_.get(); }
+  /// The room's radio environment (fault injection targets the medium).
+  env::Environment& environment() { return *env_; }
 
   /// True when every registered core is at a quiescent point (no in-flight
   /// frames, no RTO pending, no encode in progress, no exchange awaiting a

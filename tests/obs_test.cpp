@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -14,11 +16,16 @@
 #include "env/environment.hpp"
 #include "lpc/miner.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
+#include "obs/hdr.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "obs/span.hpp"
 #include "obs/telemetry.hpp"
+#include "obs/watchdog.hpp"
 #include "phys/device.hpp"
 #include "sim/world.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::obs {
 namespace {
@@ -586,6 +593,455 @@ TEST(SpanMerge, AppendShardRespectsCapacity) {
   fleet.append_shard(shard, 0);
   EXPECT_EQ(fleet.records().size(), 4u);
   EXPECT_EQ(fleet.dropped(), 6u);
+}
+
+// --- HdrHistogram --------------------------------------------------------
+
+TEST(HdrHistogram, EmptyReportsZerosEverywhere) {
+  HdrHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+  EXPECT_EQ(h.p999(), 0u);
+  EXPECT_EQ(h.value_at_quantile(0.0), 0u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 0u);
+}
+
+TEST(HdrHistogram, SingleSampleIsEveryQuantile) {
+  HdrHistogram h;
+  h.record(12345);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 12345u);
+  EXPECT_EQ(h.max(), 12345u);
+  // One sample defines the whole distribution: every quantile clamps to it.
+  EXPECT_EQ(h.value_at_quantile(0.0), 12345u);
+  EXPECT_EQ(h.p50(), 12345u);
+  EXPECT_EQ(h.p99(), 12345u);
+  EXPECT_EQ(h.p999(), 12345u);
+  EXPECT_EQ(h.value_at_quantile(1.0), 12345u);
+}
+
+TEST(HdrHistogram, SmallValuesAreExactLargeOnesBounded) {
+  HdrHistogram h;
+  for (std::uint64_t v = 0; v < HdrHistogram::kSubBucketCount; ++v) {
+    EXPECT_EQ(HdrHistogram::bucket_upper(HdrHistogram::bucket_index(v)), v);
+  }
+  // Above the exact range, the bucket upper bound overshoots by at most
+  // 1/32 of the value (5 significant bits preserved).
+  for (std::uint64_t v : {100ull, 1000ull, 123456ull, 987654321ull,
+                          (1ull << 39) + 12345ull}) {
+    const std::uint64_t upper =
+        HdrHistogram::bucket_upper(HdrHistogram::bucket_index(v));
+    EXPECT_GE(upper, v);
+    EXPECT_LE(upper - v, v / 32 + 1);
+  }
+  h.record(1000);
+  const std::uint64_t p = h.p50();
+  EXPECT_GE(p, 1000u);
+  EXPECT_LE(p - 1000u, 1000u / 32 + 1);
+}
+
+TEST(HdrHistogram, QuantilesAreMonotoneAndBoundedByMinMax) {
+  HdrHistogram h;
+  for (std::uint64_t v = 1; v <= 10000; v += 7) h.record(v * 13);
+  EXPECT_LE(h.min(), h.p50());
+  EXPECT_LE(h.p50(), h.p99());
+  EXPECT_LE(h.p99(), h.p999());
+  EXPECT_LE(h.p999(), h.max());
+  EXPECT_EQ(h.value_at_quantile(1.0), h.max());
+  EXPECT_EQ(h.value_at_quantile(0.0), h.min());
+}
+
+TEST(HdrHistogram, SaturationClampsIntoTopBucket) {
+  HdrHistogram h;
+  h.record(HdrHistogram::kMaxValue);
+  EXPECT_EQ(h.saturated(), 0u);
+  h.record(HdrHistogram::kMaxValue + 5);
+  h.record(~std::uint64_t{0});
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.saturated(), 2u);
+  // Clamped samples land in the top bucket: percentiles stay in range.
+  EXPECT_LE(h.p999(), HdrHistogram::kMaxValue);
+  EXPECT_LE(h.max(), HdrHistogram::kMaxValue);
+}
+
+TEST(HdrHistogram, MergeIsAssociativeAcrossShardOrders) {
+  // Three shards with very different distributions; every fold order and
+  // grouping must produce bit-identical state.
+  HdrHistogram a, b, c;
+  for (std::uint64_t v = 1; v < 100; ++v) a.record(v);
+  for (std::uint64_t v = 1000; v < 5000; v += 3) b.record(v);
+  c.record(HdrHistogram::kMaxValue + 1);  // saturation must merge too
+  c.record(7);
+
+  const auto fold = [](std::vector<const HdrHistogram*> order) {
+    HdrHistogram out;
+    for (const HdrHistogram* h : order) out.merge_from(*h);
+    return out;
+  };
+  const HdrHistogram abc = fold({&a, &b, &c});
+  const HdrHistogram cba = fold({&c, &b, &a});
+  const HdrHistogram grouped = [&] {  // a + (b + c)
+    const HdrHistogram bc = fold({&b, &c});
+    HdrHistogram out;
+    out.merge_from(a);
+    out.merge_from(bc);
+    return out;
+  }();
+
+  for (const HdrHistogram* m : {&cba, &grouped}) {
+    EXPECT_EQ(m->count(), abc.count());
+    EXPECT_EQ(m->saturated(), abc.saturated());
+    EXPECT_EQ(m->min(), abc.min());
+    EXPECT_EQ(m->max(), abc.max());
+    EXPECT_DOUBLE_EQ(m->mean(), abc.mean());
+    for (std::size_t i = 0; i < HdrHistogram::kBucketCount; ++i) {
+      ASSERT_EQ(m->bucket(i), abc.bucket(i)) << "bucket " << i;
+    }
+  }
+  EXPECT_EQ(abc.count(), a.count() + b.count() + c.count());
+}
+
+TEST(HdrHistogram, SnapRoundTripThroughMetricsRegistry) {
+  MetricsRegistry m;
+  HdrHistogram& h = m.hdr("disco.lookup.latency_us", lpc::Layer::kAbstract);
+  for (std::uint64_t v = 1; v < 2000; v += 11) h.record(v * 17);
+  h.record(HdrHistogram::kMaxValue + 99);
+  m.counter("x.y", lpc::Layer::kResource).add(3);
+
+  snap::SectionWriter w(sim::Time::zero());
+  m.save(w);
+  const std::vector<std::uint8_t> bytes = w.take();
+
+  MetricsRegistry back;
+  snap::SectionReader r(bytes, sim::Time::zero());
+  back.restore(r);
+  const HdrHistogram* g = back.find_hdr("disco.lookup.latency_us");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->count(), h.count());
+  EXPECT_EQ(g->saturated(), h.saturated());
+  EXPECT_EQ(g->min(), h.min());
+  EXPECT_EQ(g->max(), h.max());
+  EXPECT_EQ(g->p50(), h.p50());
+  EXPECT_EQ(g->p99(), h.p99());
+  EXPECT_EQ(g->p999(), h.p999());
+  for (std::size_t i = 0; i < HdrHistogram::kBucketCount; ++i) {
+    ASSERT_EQ(g->bucket(i), h.bucket(i));
+  }
+}
+
+TEST(HdrHistogram, RegistryJsonAndMergeCarryHdrs) {
+  MetricsRegistry m;
+  m.hdr("net.stream.rtt_us", lpc::Layer::kResource).record(500);
+  const std::string json = m.to_json();
+  EXPECT_NE(json.find("\"net.stream.rtt_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"hdr\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+
+  MetricsRegistry shard;
+  shard.hdr("net.stream.rtt_us", lpc::Layer::kResource).record(700);
+  m.merge(shard);
+  EXPECT_EQ(m.find_hdr("net.stream.rtt_us")->count(), 2u);
+  EXPECT_EQ(m.find_hdr("net.stream.rtt_us")->max(), 700u);
+}
+
+// --- FlightRecorder ------------------------------------------------------
+
+TEST(FlightRecorder, RingKeepsTheNewestRecords) {
+  FlightRecorder rec(/*capacity=*/8, /*shard=*/3);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    rec.on_event(sim::Time::us(i), /*id=*/i + 1, /*seq=*/i,
+                 sim::EventCategory::kMac);
+  }
+  EXPECT_EQ(rec.capacity(), 8u);
+  EXPECT_EQ(rec.total(), 20u);
+  EXPECT_EQ(rec.size(), 8u);
+  const std::vector<FlightRecord> snap = rec.snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  // Chronological, oldest surviving record first.
+  for (std::size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].a, 12 + i + 1);  // ids 13..20 survive
+    EXPECT_EQ(snap[i].shard, 3u);
+    EXPECT_EQ(snap[i].kind,
+              static_cast<std::uint16_t>(FlightKind::kKernelEvent));
+  }
+  EXPECT_LE(snap.front().t_ns, snap.back().t_ns);
+}
+
+TEST(FlightRecorder, DumpRoundTripsRecordsNamesAndCheckpoint) {
+  FlightRecorder rec(16);
+  rec.on_event(sim::Time::ms(1), 11, 0, sim::EventCategory::kRadio);
+  rec.record_marker(sim::Time::ms(2), "phase.start");
+  SpanRecord span;
+  span.id = 42;
+  span.parent = 7;
+  span.start = sim::Time::ms(3);
+  span.name = "rfb.update";
+  rec.record_span(span, FlightKind::kSpanOpen);
+  rec.record_metric(sim::Time::ms(4), rec.intern("phys.mac.retries"), 9, 4);
+  rec.record_watchdog(sim::Time::ms(5), rec.intern("watchdog.retry_storm"),
+                      70, 64);
+  rec.note_checkpoint(5, sim::Time::ms(4),
+                      std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef});
+
+  const std::vector<std::uint8_t> blob = rec.dump("test dump");
+  const FlightDump dump = FlightDump::parse(blob);
+  EXPECT_EQ(dump.version, kFlightDumpVersion);
+  EXPECT_EQ(dump.reason, "test dump");
+  EXPECT_EQ(dump.capacity, 16u);
+  ASSERT_EQ(dump.records.size(), 6u);  // 5 explicit + kCheckpoint marker
+  EXPECT_EQ(dump.records[0].kind,
+            static_cast<std::uint16_t>(FlightKind::kKernelEvent));
+  EXPECT_EQ(dump.records[2].a, 42u);  // span id
+  EXPECT_EQ(dump.names.at(dump.records[2].code), "rfb.update");
+  EXPECT_EQ(dump.names.at(dump.records[4].code), "watchdog.retry_storm");
+  ASSERT_TRUE(dump.has_checkpoint);
+  EXPECT_EQ(dump.checkpoint_id, 5u);
+  EXPECT_EQ(dump.checkpoint,
+            (std::vector<std::uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+
+  // The replay cursor: last kernel event at or before a fire instant.
+  const FlightRecord* at =
+      dump.last_kernel_event_at_or_before(sim::Time::ms(5).count());
+  ASSERT_NE(at, nullptr);
+  EXPECT_EQ(at->a, 11u);
+  EXPECT_EQ(dump.last_kernel_event_at_or_before(
+                sim::Time::us(500).count()),
+            nullptr);
+}
+
+TEST(FlightRecorder, AppendShardReinternsAndStamps) {
+  FlightRecorder shard(8, 0);
+  shard.record_marker(sim::Time::ms(1), "alpha");
+  shard.on_event(sim::Time::ms(2), 1, 0, sim::EventCategory::kApp);
+
+  FlightRecorder fleet(32, 0);
+  fleet.record_marker(sim::Time::ms(1), "beta");  // occupies code 0 here
+  fleet.append_shard(shard, 7);
+  const std::vector<FlightRecord> snap = fleet.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[1].shard, 7u);
+  EXPECT_EQ(snap[2].shard, 7u);
+  EXPECT_EQ(fleet.names().at(snap[1].code), "alpha");  // re-interned
+  EXPECT_EQ(snap[2].code,
+            static_cast<std::uint16_t>(sim::EventCategory::kApp));
+}
+
+// --- WatchdogSet ---------------------------------------------------------
+
+TEST(Watchdog, StallFiresExactlyAtRunLimit) {
+  sim::World w(1);
+  Telemetry telemetry(w);
+  WatchdogOptions opt;
+  opt.stall_run_limit = 50;
+  WatchdogSet dogs(w, opt);
+  FlightRecorder rec(64);
+  rec.set_watchdogs(&dogs);
+  dogs.set_recorder(&rec);
+  w.sim().set_event_tap(&rec);
+
+  int fired_hook = 0;
+  dogs.set_dump_hook([&](const WatchdogFire& f) {
+    ++fired_hook;
+    EXPECT_EQ(f.which, Watchdog::kSimStall);
+    EXPECT_EQ(f.value, opt.stall_run_limit);
+  });
+
+  // A bounded zero-delay chain: 80 events at one timestamp.
+  int remaining = 80;
+  std::function<void()> chain = [&] {
+    if (--remaining > 0) w.sim().schedule_in(sim::Time::zero(), chain);
+  };
+  w.sim().schedule_in(sim::Time::ms(1), chain);
+  w.sim().run();
+
+  EXPECT_EQ(dogs.fired(Watchdog::kSimStall), 1u);  // once, not per event
+  EXPECT_EQ(fired_hook, 1);
+  ASSERT_EQ(dogs.fires().size(), 1u);
+  EXPECT_EQ(dogs.fires()[0].at, sim::Time::ms(1));
+  // The fire reached the metrics registry and the span tracer.
+  EXPECT_EQ(telemetry.metrics().find_counter("obs.watchdog.fires")->value(),
+            1u);
+  EXPECT_EQ(telemetry.spans().count_with_name("watchdog.sim_stall"), 1u);
+  w.sim().set_event_tap(nullptr);
+}
+
+TEST(Watchdog, CounterDeltaWatchdogsFireOncePerWindowBreach) {
+  sim::World w(1);
+  Telemetry telemetry(w);
+  WatchdogOptions opt;
+  opt.window = sim::Time::ms(10);
+  opt.lease_churn_limit = 4;
+  opt.retry_storm_limit = 1000;  // stays quiet
+  WatchdogSet dogs(w, opt);
+  FlightRecorder rec(64);
+  rec.set_watchdogs(&dogs);
+  w.sim().set_event_tap(&rec);
+
+  Counter& grants =
+      telemetry.metrics().counter("disco.lease.grants", lpc::Layer::kAbstract);
+  // Window 1: below the limit. Window 2: storm.
+  w.sim().schedule_in(sim::Time::ms(1), [&] { grants.add(2); });
+  w.sim().schedule_in(sim::Time::ms(12), [&] { grants.add(2); });
+  w.sim().schedule_in(sim::Time::ms(14), [&] { grants.add(6); });
+  w.sim().schedule_in(sim::Time::ms(25), [] {});  // closes window 2
+  w.sim().schedule_in(sim::Time::ms(40), [] {});
+  w.sim().run();
+
+  EXPECT_EQ(dogs.fired(Watchdog::kLeaseChurn), 1u);
+  EXPECT_EQ(dogs.fired(Watchdog::kRetryStorm), 0u);
+  EXPECT_EQ(dogs.fired(Watchdog::kQueueDepth), 0u);
+  w.sim().set_event_tap(nullptr);
+}
+
+TEST(Watchdog, FiresAreCappedPerWatchdog) {
+  sim::World w(1);
+  Telemetry telemetry(w);
+  WatchdogOptions opt;
+  opt.window = sim::Time::ms(1);
+  opt.span_drop_surge = 1;
+  opt.max_fires_each = 2;
+  WatchdogSet dogs(w, opt);
+  FlightRecorder rec(64);
+  rec.set_watchdogs(&dogs);
+  w.sim().set_event_tap(&rec);
+
+  telemetry.spans().set_capacity(1);
+  telemetry.spans().begin(sim::Time::zero(), "filler",
+                          lpc::Layer::kEnvironment, 0);
+  // Every window drops more spans; the watchdog must go quiet after 2.
+  for (int i = 1; i <= 20; ++i) {
+    w.sim().schedule_in(sim::Time::ms(2 * i), [&] {
+      emit_instant(w, "noise", lpc::Layer::kEnvironment);
+    });
+  }
+  w.sim().run();
+  EXPECT_GT(telemetry.spans().dropped(), 2u);
+  EXPECT_EQ(dogs.fired(Watchdog::kSpanDropSurge), opt.max_fires_each);
+  w.sim().set_event_tap(nullptr);
+}
+
+TEST(Watchdog, FiresMineIntoClassifiedIssues) {
+  sim::World w(1);
+  Telemetry telemetry(w);
+  lpc::IssueLog log;
+  lpc::SpanIssueMiner miner(telemetry.spans(), log);
+  WatchdogOptions opt;
+  opt.window = sim::Time::ms(10);
+  opt.retry_storm_limit = 5;
+  WatchdogSet dogs(w, opt);
+  FlightRecorder rec(64);
+  rec.set_watchdogs(&dogs);
+  w.sim().set_event_tap(&rec);
+
+  Counter& retries =
+      telemetry.metrics().counter("phys.mac.retries", lpc::Layer::kPhysical);
+  w.sim().schedule_in(sim::Time::ms(1), [&] { retries.add(50); });
+  w.sim().schedule_in(sim::Time::ms(15), [] {});
+  w.sim().run();
+
+  ASSERT_EQ(dogs.fired(Watchdog::kRetryStorm), 1u);
+  ASSERT_FALSE(log.issues().empty());
+  const lpc::Issue& issue = log.issues().front();
+  // The "classify" arg routed the fire through the layer classifier, which
+  // reads "interference ... radio band" as an Environment-layer problem.
+  EXPECT_TRUE(issue.classified);
+  EXPECT_EQ(issue.layer, lpc::Layer::kEnvironment);
+  w.sim().set_event_tap(nullptr);
+}
+
+TEST(SpanIssueMiner, WarnsOnceWhenSpansDrop) {
+  SpanTracer t;
+  t.set_capacity(1);
+  lpc::IssueLog log;
+  lpc::SpanIssueMiner miner(t, log);
+  t.begin(sim::Time::zero(), "filler", lpc::Layer::kEnvironment, 0);
+  t.instant(sim::Time::ms(1), "a", lpc::Layer::kEnvironment, 0,
+            sim::TraceLevel::kInfo);  // dropped; below warn threshold
+  EXPECT_EQ(log.issues().size(), 1u);  // the drop warning itself
+  t.instant(sim::Time::ms(2), "b", lpc::Layer::kEnvironment, 0,
+            sim::TraceLevel::kInfo);
+  miner.check_drops();  // end-of-run sweep: still just one warning
+  ASSERT_EQ(log.issues().size(), 1u);
+  EXPECT_EQ(log.issues()[0].entity, "obs.spans");
+  EXPECT_NE(log.issues()[0].description.find("dropped"), std::string::npos);
+}
+
+// --- TimeseriesSampler ---------------------------------------------------
+
+TEST(TimeseriesSampler, SamplesChangedTracksOnCadence) {
+  sim::World w(1);
+  Telemetry telemetry(w);
+  Counter& c = telemetry.metrics().counter("a.count", lpc::Layer::kResource);
+  Gauge& g = telemetry.metrics().gauge("a.gauge", lpc::Layer::kResource);
+  g.set(1.0);
+
+  TimeseriesSampler::Options opt;
+  opt.period = sim::Time::ms(10);
+  TimeseriesSampler sampler(telemetry.metrics(), opt);
+  FlightRecorder rec(64);
+  rec.set_sampler(&sampler);
+  sampler.set_recorder(&rec);
+  w.sim().set_event_tap(&rec);
+
+  for (int i = 1; i <= 5; ++i) {
+    w.sim().schedule_in(sim::Time::ms(10 * i), [&c] { c.add(3); });
+  }
+  w.sim().run();
+  sampler.take_sample(w.now());  // close the tracks
+
+  ASSERT_EQ(sampler.tracks().size(), 2u);
+  const auto& counter_track = sampler.tracks()[0];
+  EXPECT_EQ(counter_track.name, "a.count");
+  EXPECT_TRUE(counter_track.is_counter);
+  ASSERT_GE(counter_track.samples.size(), 2u);
+  // Values only ever grow along the track, and the final sample is current.
+  for (std::size_t i = 1; i < counter_track.samples.size(); ++i) {
+    EXPECT_GT(counter_track.samples[i].value,
+              counter_track.samples[i - 1].value);
+    EXPECT_GE(counter_track.samples[i].t_ns,
+              counter_track.samples[i - 1].t_ns);
+  }
+  EXPECT_EQ(counter_track.samples.back().value, 15.0);
+  // The unchanged gauge got exactly one sample (its baseline).
+  EXPECT_EQ(sampler.tracks()[1].samples.size(), 1u);
+  // Counter deltas reached the flight ring as kMetricDelta records.
+  const auto snap = rec.snapshot();
+  EXPECT_TRUE(std::any_of(snap.begin(), snap.end(), [](const FlightRecord& r) {
+    return r.kind == static_cast<std::uint16_t>(FlightKind::kMetricDelta);
+  }));
+  w.sim().set_event_tap(nullptr);
+}
+
+TEST(TimeseriesSampler, PerTrackCapCountsDrops) {
+  MetricsRegistry m;
+  Counter& c = m.counter("x", lpc::Layer::kResource);
+  TimeseriesSampler::Options opt;
+  opt.max_samples_per_track = 3;
+  TimeseriesSampler sampler(m, opt);
+  for (int i = 1; i <= 10; ++i) {
+    c.add();
+    sampler.take_sample(sim::Time::ms(i));
+  }
+  EXPECT_EQ(sampler.tracks()[0].samples.size(), 3u);
+  EXPECT_EQ(sampler.samples_dropped(), 7u);
+}
+
+TEST(Export, ChromeTraceCarriesSamplerCounterTracks) {
+  MetricsRegistry m;
+  Counter& c = m.counter("obs.test.count", lpc::Layer::kResource);
+  TimeseriesSampler sampler(m);
+  c.add(4);
+  sampler.take_sample(sim::Time::ms(1));
+  SpanTracer spans;
+  const std::string json = to_chrome_trace(spans, &sampler);
+  EXPECT_NE(json.find("\"ph\": \"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"obs.test.count\""), std::string::npos);
+  // The old single-argument form still works and omits counter rows.
+  EXPECT_EQ(to_chrome_trace(spans).find("\"ph\": \"C\""), std::string::npos);
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 // Unit and property tests for the simulation kernel.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
+#include <functional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/parallel.hpp"
@@ -611,6 +614,125 @@ TEST(KernelProfiler, FollowUpEventsInheritTheRunningCategory) {
   s.run();
   EXPECT_EQ(prof.stats(EventCategory::kStream).executed, 4u);
   EXPECT_EQ(prof.stats(EventCategory::kNone).executed, 0u);
+}
+
+TEST(KernelProfiler, TrainAbsorbedEventsKeepTheirCategory) {
+  // Regression: per-category attribution must be identical whether an
+  // event is dispatched off the heap or absorbed into a same-time train.
+  // Run the same bursty workload with batching on and off and compare.
+  const auto workload = [](Simulator& s, KernelProfiler& prof) {
+    s.set_profiler(&prof);
+    // Same-time bursts with mixed categories: each burst forms a train,
+    // and the member categories must survive absorption.
+    for (int burst = 0; burst < 8; ++burst) {
+      const Time when = Time::ms(1 + burst);
+      for (int i = 0; i < 16; ++i) {
+        const EventCategory c =
+            i % 3 == 0 ? EventCategory::kRadio
+                       : (i % 3 == 1 ? EventCategory::kMac
+                                     : EventCategory::kLease);
+        s.schedule_at(when, c, [&s, c] {
+          // Follow-ups from inside an absorbed event must also inherit.
+          s.schedule_in(Time::us(10), [] {});
+          (void)c;
+        });
+      }
+    }
+    s.run();
+  };
+
+  Simulator batched;
+  KernelProfiler prof_batched;
+  workload(batched, prof_batched);
+  ASSERT_GT(batched.absorbed(), 0u);  // the workload genuinely forms trains
+
+  Simulator scalar;
+  KernelProfiler prof_scalar;
+  scalar.set_train_batching(false);
+  workload(scalar, prof_scalar);
+  EXPECT_EQ(scalar.absorbed(), 0u);
+
+  for (std::size_t i = 0; i < kEventCategoryCount; ++i) {
+    const auto c = static_cast<EventCategory>(i);
+    EXPECT_EQ(prof_batched.stats(c).executed, prof_scalar.stats(c).executed)
+        << "category " << to_string(c);
+  }
+  EXPECT_EQ(prof_batched.total_executed(), prof_scalar.total_executed());
+  // The absorbed split is bookkeeping on top: it must sum to the queue's
+  // own counter and never exceed the executed count per category.
+  EXPECT_EQ(prof_batched.total_absorbed(), batched.absorbed());
+  EXPECT_EQ(prof_scalar.total_absorbed(), 0u);
+  for (std::size_t i = 0; i < kEventCategoryCount; ++i) {
+    const auto c = static_cast<EventCategory>(i);
+    EXPECT_LE(prof_batched.stats(c).absorbed, prof_batched.stats(c).executed);
+  }
+}
+
+namespace {
+
+struct CountingTap final : Simulator::EventTap {
+  void on_event(Time when, std::uint64_t id, std::uint64_t seq,
+                EventCategory category) override {
+    ++events;
+    last_when = when;
+    last_id = id;
+    last_seq = seq;
+    by_category[static_cast<std::size_t>(category)]++;
+  }
+  std::uint64_t events = 0;
+  Time last_when = Time::zero();
+  std::uint64_t last_id = 0;
+  std::uint64_t last_seq = 0;
+  std::array<std::uint64_t, kEventCategoryCount> by_category{};
+};
+
+}  // namespace
+
+TEST(EventTap, SeesEveryExecutedEventWithItsCategory) {
+  Simulator s;
+  CountingTap tap;
+  s.set_event_tap(&tap);
+  s.schedule_in(Time::ms(1), EventCategory::kMac, [] {});
+  s.schedule_in(Time::ms(2), EventCategory::kRadio, [&s] {
+    s.schedule_in(Time::ms(1), [] {});  // inherits kRadio
+  });
+  s.run();
+  EXPECT_EQ(tap.events, s.executed());
+  EXPECT_EQ(tap.by_category[static_cast<std::size_t>(EventCategory::kMac)],
+            1u);
+  EXPECT_EQ(tap.by_category[static_cast<std::size_t>(EventCategory::kRadio)],
+            2u);
+  s.set_event_tap(nullptr);
+  EXPECT_EQ(s.event_tap(), nullptr);
+}
+
+TEST(EventTap, DoesNotPerturbExecutionOrIds) {
+  // The tap is observation-only: an identical seeded workload must execute
+  // the same events in the same order with the tap attached or not.
+  const auto run_one = [](Simulator::EventTap* tap) {
+    Simulator s;
+    s.set_event_tap(tap);
+    Rng rng(42);
+    std::vector<std::uint64_t> order;
+    std::function<void(int)> spawn = [&](int depth) {
+      order.push_back(s.executed());
+      if (depth < 6) {
+        for (int i = 0; i < 3; ++i) {
+          s.schedule_in(Time::us(rng.uniform_int(1, 1000)),
+                        [&spawn, depth] { spawn(depth + 1); });
+        }
+      }
+    };
+    s.schedule_in(Time::ms(1), [&spawn] { spawn(0); });
+    s.run();
+    return std::pair{s.executed(), order};
+  };
+  CountingTap tap;
+  const auto with = run_one(&tap);
+  const auto without = run_one(nullptr);
+  EXPECT_EQ(with.first, without.first);
+  EXPECT_EQ(with.second, without.second);
+  EXPECT_EQ(tap.events, with.first);
 }
 
 TEST(Simulator, TraceContextPropagatesAcrossScheduling) {
