@@ -73,6 +73,39 @@ FLEET_ALLOC_KEYS = {
     "arena_chunks": int,
     "fingerprint_match": bool,
 }
+FLEET_SCALE_RUN_KEYS = {
+    "workers": int,
+    "wall_s": float,
+    "events": int,
+    "events_per_s": float,
+    "efficiency_vs_1_worker": float,
+    "control_bytes": int,
+    "control_frames": int,
+    "control_bytes_per_event": float,
+    "fleet_fingerprint": str,
+}
+FLEET_MIGRATION_KEYS = {
+    "shards": int,
+    "workers": int,
+    "planned": int,
+    "migrations": int,
+    "latency": dict,
+    "fingerprint_match": bool,
+    "checkpoints_streamed": int,
+    "control_bytes": int,
+    "control_bytes_per_checkpoint": float,
+}
+FLEET_RECOVERY_KEYS = {
+    "shards": int,
+    "workers": int,
+    "killed_worker": int,
+    "kill_mode": str,
+    "worker_deaths": int,
+    "lost_shards": int,
+    "recovery_ms": float,
+    "issues_filed": int,
+    "fingerprint_match": bool,
+}
 
 
 def fail(msg):
@@ -222,10 +255,100 @@ def check_fleet(doc):
     if not isinstance(det, dict) or not det.get("fingerprints_identical"):
         fail('"determinism.fingerprints_identical" is not true')
 
+    # Multi-process legs (src/fleet): scale-out across worker processes,
+    # 1-vs-N equivalence, live migration, kill recovery, zero-alloc
+    # checkpoint streaming. Every gate is re-checked from the artifact.
+    proc = doc.get("proc")
+    if not isinstance(proc, dict):
+        fail('top-level "proc" missing')
+    if "error" in proc:
+        fail(f'multi-process legs aborted: {proc["error"]!r}')
+
+    scale = proc.get("scale_out")
+    if not isinstance(scale, dict):
+        fail('"proc.scale_out" missing')
+    for key in ("matches_single_process", "fingerprints_identical",
+                "efficiency_ok"):
+        if scale.get(key) is not True:
+            fail(f'"proc.scale_out.{key}" is not true')
+    check_fingerprint(scale.get("single_process_fingerprint", ""),
+                      "proc.scale_out")
+    if scale.get("total_rooms") != (scale.get("shards", 0) *
+                                    scale.get("rooms_per_shard", 0)):
+        fail('"proc.scale_out.total_rooms" does not equal '
+             "shards * rooms_per_shard")
+    scale_runs = scale.get("runs")
+    if not isinstance(scale_runs, list) or not scale_runs:
+        fail('"proc.scale_out.runs" missing or empty')
+    scale_fps = set()
+    for r in scale_runs:
+        what = f'scale-out run workers={r.get("workers")}'
+        check_keys(r, FLEET_SCALE_RUN_KEYS, what)
+        if r["events"] <= 0 or r["events_per_s"] <= 0:
+            fail(f"{what} reports no throughput")
+        check_fingerprint(r["fleet_fingerprint"], what)
+        scale_fps.add(r["fleet_fingerprint"])
+    if scale_fps != {scale["single_process_fingerprint"]}:
+        fail(f"scale-out fingerprints {sorted(scale_fps)} != single-process "
+             f'{scale["single_process_fingerprint"]}')
+
+    equiv = proc.get("equivalence")
+    if not isinstance(equiv, dict):
+        fail('"proc.equivalence" missing')
+    for key in ("fingerprint_match", "events_match", "metrics_match"):
+        if equiv.get(key) is not True:
+            fail(f'"proc.equivalence.{key}" is not true')
+    check_fingerprint(equiv.get("fleet_fingerprint", ""), "proc.equivalence")
+
+    mig = proc.get("migration")
+    if not isinstance(mig, dict):
+        fail('"proc.migration" missing')
+    check_keys(mig, FLEET_MIGRATION_KEYS, '"proc.migration"')
+    if not mig["fingerprint_match"]:
+        fail("live migration changed the fleet fingerprint")
+    if mig["migrations"] < 1 or mig["migrations"] != mig["planned"]:
+        fail(f'executed {mig["migrations"]} of {mig["planned"]} planned '
+             "migrations")
+    lat = mig["latency"]
+    check_keys(lat, {"count": int, "p50_ns": int, "p99_ns": int},
+               '"proc.migration.latency"')
+    if lat["count"] != mig["migrations"]:
+        fail("migration latency HDR count disagrees with the migration "
+             "counter")
+    if not 0 < lat["p50_ns"] <= lat["p99_ns"]:
+        fail("migration latency percentiles are not monotone positive")
+    if mig["checkpoints_streamed"] <= 0 or mig["control_bytes"] <= 0:
+        fail("migration leg streamed no checkpoints")
+
+    recov = proc.get("recovery")
+    if not isinstance(recov, dict):
+        fail('"proc.recovery" missing')
+    check_keys(recov, FLEET_RECOVERY_KEYS, '"proc.recovery"')
+    if not recov["fingerprint_match"]:
+        fail("kill recovery changed the fleet fingerprint")
+    if recov["worker_deaths"] != 1:
+        fail(f'expected exactly 1 worker death, got {recov["worker_deaths"]}')
+    if recov["lost_shards"] != 0:
+        fail(f'{recov["lost_shards"]} shards were lost after the kill')
+    if recov["issues_filed"] < 1:
+        fail("the worker death filed no lpc-classified issue")
+
+    za = proc.get("zero_alloc")
+    if not isinstance(za, dict):
+        fail('"proc.zero_alloc" missing')
+    if za.get("ok") is not True or za.get("heap_allocs") != 0:
+        fail(f'checkpoint streaming allocated {za.get("heap_allocs")!r} '
+             f'times over {za.get("iterations")!r} iterations')
+    if za.get("iterations", 0) <= 0:
+        fail('"proc.zero_alloc.iterations" is not positive')
+
     print(f"check_bench_json: OK (fleet: {len(runs)} runs, "
           f"{len(by_shards)} shard counts, arena saved "
           f"{alloc['heap_allocs_arena_off'] - alloc['heap_allocs_arena_on']}"
-          f" heap allocs)")
+          f" heap allocs; proc: {len(scale_runs)} scale-out runs over "
+          f'{scale["total_rooms"]} rooms, {mig["migrations"]} migrations '
+          f'p99 {lat["p99_ns"]/1e3:.0f}us, recovery '
+          f'{recov["recovery_ms"]:.2f}ms, 0 steady-state allocs)')
 
 
 RFB_RUN_KEYS = {

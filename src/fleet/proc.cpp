@@ -1,0 +1,107 @@
+#include "fleet/proc.hpp"
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace aroma::fleet {
+
+namespace {
+
+void ignore_sigpipe_once() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+/// Makes the socketpair and forks; returns (pid, parent fd) to the parent
+/// and never returns in the child (`child(fd)` must exit).
+std::pair<pid_t, int> fork_with_socketpair(
+    const std::function<void(int child_fd)>& child) {
+  ignore_sigpipe_once();
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw FleetError(std::string("socketpair failed: ") +
+                     std::strerror(errno));
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw FleetError(std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    child(fds[1]);      // must not return...
+    ::_exit(127);       // ...but if it does, fail loudly without unwinding
+  }
+  ::close(fds[1]);
+  return {pid, fds[0]};
+}
+
+}  // namespace
+
+WorkerProcess WorkerProcess::spawn(const std::vector<std::string>& argv) {
+  if (argv.empty()) {
+    throw FleetError("exec-mode spawn needs a non-empty argv");
+  }
+  const auto [pid, fd] = fork_with_socketpair([&argv](int child_fd) {
+    std::vector<std::string> args = argv;
+    args.push_back(std::to_string(child_fd));
+    std::vector<char*> cargv;
+    cargv.reserve(args.size() + 1);
+    for (std::string& a : args) cargv.push_back(a.data());
+    cargv.push_back(nullptr);
+    ::execv(cargv[0], cargv.data());
+    // exec failed; nothing sane to do in the forked child but die.
+  });
+  return WorkerProcess(pid, fd);
+}
+
+WorkerProcess WorkerProcess::spawn(const WorkerEntry& entry) {
+  const auto [pid, fd] = fork_with_socketpair(
+      [&entry](int child_fd) { ::_exit(entry(child_fd)); });
+  return WorkerProcess(pid, fd);
+}
+
+WorkerProcess::~WorkerProcess() {
+  if (pid_ > 0 && !exited_) {
+    ::kill(pid_, SIGKILL);
+    wait();
+  }
+}
+
+void WorkerProcess::kill(int sig) {
+  if (pid_ > 0 && !exited_) ::kill(pid_, sig);
+}
+
+bool WorkerProcess::try_wait() {
+  if (exited_) return true;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == pid_) {
+    exited_ = true;
+    exit_status_ = status;
+  }
+  return exited_;
+}
+
+int WorkerProcess::wait() {
+  if (!exited_) {
+    int status = 0;
+    while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+    }
+    exited_ = true;
+    exit_status_ = status;
+  }
+  return exit_status_;
+}
+
+}  // namespace aroma::fleet

@@ -1,0 +1,81 @@
+// Worker process lifecycle: spawn, watch, reap.
+//
+// The coordinator talks to each worker over one AF_UNIX stream socketpair
+// (bidirectional, byte-ordered, EOF on peer death — everything the control
+// plane needs and nothing it doesn't). Two spawn shapes:
+//
+//   * exec mode — fork + execv of a worker binary (fleet_bench re-invoked
+//     as `--fleet-worker <fd>`): a genuinely separate address space, the
+//     production shape benches and CI smokes use.
+//   * entry mode — fork only; the child calls a supplied entry function on
+//     its end of the socketpair and _exits with its return value. Tests use
+//     this: same process image, no dependence on argv[0] being re-runnable.
+//
+// SIGPIPE is ignored process-wide at first spawn: a worker dying mid-write
+// must surface as EPIPE on the channel (a reportable event the coordinator
+// turns into recovery), never as a process-killing signal.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fleet/wire.hpp"
+
+namespace aroma::fleet {
+
+/// The child-side main loop for entry-mode spawns; receives the worker's
+/// end of the socketpair, returns the child's exit code.
+using WorkerEntry = std::function<int(int fd)>;
+
+class WorkerProcess {
+ public:
+  /// Exec mode: argv is the worker command line; the socketpair fd number
+  /// is appended as the final argument.
+  static WorkerProcess spawn(const std::vector<std::string>& argv);
+  /// Entry mode: the forked child runs `entry(fd)` directly.
+  static WorkerProcess spawn(const WorkerEntry& entry);
+
+  /// Moved-from handles relinquish the child (their destructor must not
+  /// reap a process they no longer own).
+  WorkerProcess(WorkerProcess&& other) noexcept
+      : pid_(other.pid_),
+        channel_(std::move(other.channel_)),
+        exited_(other.exited_),
+        exit_status_(other.exit_status_) {
+    other.pid_ = -1;
+    other.exited_ = true;
+  }
+  WorkerProcess(const WorkerProcess&) = delete;
+  WorkerProcess& operator=(const WorkerProcess&) = delete;
+  /// Reaps the child if still running (SIGKILL + waitpid) — a coordinator
+  /// unwinding on error must not leak processes.
+  ~WorkerProcess();
+
+  pid_t pid() const { return pid_; }
+  Channel& channel() { return channel_; }
+
+  /// Sends `sig` (default SIGKILL) to the child.
+  void kill(int sig = 9);
+
+  /// Non-blocking reap. Returns true once the child has been waited.
+  bool try_wait();
+  /// Blocking reap.
+  int wait();
+
+  bool exited() const { return exited_; }
+  /// waitpid status (valid once exited()).
+  int exit_status() const { return exit_status_; }
+
+ private:
+  WorkerProcess(pid_t pid, int fd) : pid_(pid), channel_(fd) {}
+
+  pid_t pid_;
+  Channel channel_;
+  bool exited_ = false;
+  int exit_status_ = 0;
+};
+
+}  // namespace aroma::fleet

@@ -1,0 +1,187 @@
+#include "fleet/wire.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aroma::fleet {
+
+std::int64_t monotonic_ns() {
+  struct timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+std::string validate_hello(const Hello& hello) {
+  if (hello.magic != kWireMagic) {
+    return "bad wire magic 0x" + std::to_string(hello.magic);
+  }
+  if (hello.protocol != kProtocolVersion) {
+    return "protocol version mismatch: peer=" + std::to_string(hello.protocol) +
+           " local=" + std::to_string(kProtocolVersion);
+  }
+  if (hello.snap_version != snap::kFormatVersion) {
+    return "snap format version mismatch: peer=" +
+           std::to_string(hello.snap_version) +
+           " local=" + std::to_string(snap::kFormatVersion);
+  }
+  if (hello.endianness != host_endianness()) {
+    return "endianness mismatch: checkpoint blobs are not safe to ship "
+           "between mixed-order hosts";
+  }
+  return {};
+}
+
+Channel::~Channel() { close(); }
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(other.fd_),
+      tx_(std::move(other.tx_)),
+      body_scratch_(std::move(other.body_scratch_)),
+      rx_(std::move(other.rx_)),
+      rx_consumed_(other.rx_consumed_),
+      eof_(other.eof_),
+      bytes_sent_(other.bytes_sent_),
+      bytes_received_(other.bytes_received_),
+      frames_sent_(other.frames_sent_),
+      frames_received_(other.frames_received_) {
+  other.fd_ = -1;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Channel::send(MsgType type, std::uint16_t flags,
+                   std::span<const std::uint8_t> body) {
+  if (fd_ < 0) return false;
+  const std::uint32_t payload = static_cast<std::uint32_t>(4 + body.size());
+  if (payload > kMaxFrameBytes) {
+    throw FleetError("outgoing frame exceeds kMaxFrameBytes");
+  }
+  tx_.clear();
+  tx_.reserve(4 + payload);
+  for (int i = 0; i < 4; ++i) {
+    tx_.push_back(static_cast<std::uint8_t>(payload >> (8 * i)));
+  }
+  tx_.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(type)));
+  tx_.push_back(
+      static_cast<std::uint8_t>(static_cast<std::uint16_t>(type) >> 8));
+  tx_.push_back(static_cast<std::uint8_t>(flags));
+  tx_.push_back(static_cast<std::uint8_t>(flags >> 8));
+  tx_.insert(tx_.end(), body.begin(), body.end());
+
+  std::size_t off = 0;
+  while (off < tx_.size()) {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, not SIGPIPE. The fd
+    // may be a pipe rather than a socket in tests, so fall back to write()
+    // when send() reports ENOTSOCK (pipes only raise SIGPIPE, which the
+    // spawn layer masks process-wide).
+    ssize_t n = ::send(fd_, tx_.data() + off, tx_.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd_, tx_.data() + off, tx_.size() - off);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;
+      throw FleetError(std::string("control-plane send failed: ") +
+                       std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  bytes_sent_ += tx_.size();
+  ++frames_sent_;
+  return true;
+}
+
+RecvStatus Channel::recv(Frame& out, int timeout_ms) {
+  while (true) {
+    // Try to decode a complete frame from what is already buffered.
+    const std::size_t avail = rx_.size() - rx_consumed_;
+    if (avail >= 4) {
+      const std::uint8_t* p = rx_.data() + rx_consumed_;
+      const std::uint32_t payload = static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24;
+      if (payload < 4 || payload > kMaxFrameBytes) {
+        throw FleetError("corrupt frame length " + std::to_string(payload));
+      }
+      if (avail >= 4u + payload) {
+        out.type = static_cast<MsgType>(static_cast<std::uint16_t>(p[4]) |
+                                        static_cast<std::uint16_t>(p[5]) << 8);
+        out.flags = static_cast<std::uint16_t>(
+            static_cast<std::uint16_t>(p[6]) |
+            static_cast<std::uint16_t>(p[7]) << 8);
+        out.body = std::span<const std::uint8_t>(p + 8, payload - 4);
+        rx_consumed_ += 4u + payload;
+        ++frames_received_;
+        return RecvStatus::kFrame;
+      }
+    }
+    if (eof_) return RecvStatus::kEof;
+    if (fd_ < 0) return RecvStatus::kEof;
+
+    struct pollfd pfd{};
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    int pr;
+    do {
+      pr = ::poll(&pfd, 1, timeout_ms);
+    } while (pr < 0 && errno == EINTR);
+    if (pr < 0) {
+      throw FleetError(std::string("control-plane poll failed: ") +
+                       std::strerror(errno));
+    }
+    if (pr == 0) return RecvStatus::kTimeout;
+
+    compact();
+    const std::size_t old = rx_.size();
+    // Grow in page-ish chunks; capacity stabilizes at the largest frame ever
+    // seen, so steady-state traffic stops allocating.
+    rx_.resize(old + 16384);
+    ssize_t n;
+    do {
+      n = ::read(fd_, rx_.data() + old, rx_.size() - old);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) {
+      rx_.resize(old);
+      if (errno == ECONNRESET) {
+        eof_ = true;
+        continue;
+      }
+      throw FleetError(std::string("control-plane read failed: ") +
+                       std::strerror(errno));
+    }
+    rx_.resize(old + static_cast<std::size_t>(n));
+    bytes_received_ += static_cast<std::uint64_t>(n);
+    if (n == 0) eof_ = true;
+    // Loop: either a frame is now decodable, more data is needed, or EOF.
+  }
+}
+
+void Channel::compact() {
+  if (rx_consumed_ == 0) return;
+  if (rx_consumed_ == rx_.size()) {
+    rx_.clear();
+    rx_consumed_ = 0;
+    return;
+  }
+  // Keep partial frames in place until consumed bytes dominate; memmove is
+  // cheaper than repeated front-erases.
+  if (rx_consumed_ >= 4096 && rx_consumed_ * 2 >= rx_.size()) {
+    std::memmove(rx_.data(), rx_.data() + rx_consumed_,
+                 rx_.size() - rx_consumed_);
+    rx_.resize(rx_.size() - rx_consumed_);
+    rx_consumed_ = 0;
+  }
+}
+
+}  // namespace aroma::fleet

@@ -1,0 +1,29 @@
+// The fleet worker: one process, one shard group, one control channel.
+//
+// worker_main is the whole lifecycle: announce (Hello / await ack), adopt
+// shards (kAssign fresh, kRestore from a migrated or recovered blob), run
+// them in slices, stream cadenced checkpoints, answer migrations, report
+// results, and exit on kShutdown. It is deliberately single-threaded — a
+// worker's determinism story is exactly a shard's determinism story, and
+// draining control messages between slices bounds command latency by the
+// slice length (one checkpoint interval).
+//
+// Invoked two ways: exec mode (`fleet_bench --fleet-worker <fd>`) and
+// entry mode (forked child calls worker_main(fd) directly; tests and the
+// in-bench coordinator default).
+#pragma once
+
+namespace aroma::fleet {
+
+struct WorkerOptions {
+  /// Wall-clock heartbeat period. Liveness only — no simulation behavior
+  /// depends on it.
+  int heartbeat_interval_ms = 50;
+};
+
+/// Runs the worker protocol over `fd` until kShutdown (returns 0), a
+/// rejected handshake (returns 2), or a torn control channel (returns 1).
+/// kKill fault injection never returns.
+int worker_main(int fd, const WorkerOptions& options = {});
+
+}  // namespace aroma::fleet

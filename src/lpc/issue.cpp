@@ -38,7 +38,11 @@ IssueClassifier::IssueClassifier() {
            "self-configur", "speaks", "language", "english", "skill",
            "faculty", "training", "education", "window system", "toolkit",
            "driver", "configuration", "install", "administrator",
-           "troubleshoot", "diagnos", "single-threaded", "responsive"});
+           "troubleshoot", "diagnos", "single-threaded", "responsive",
+           // Fleet vocabulary: a dead worker process or a stalled control
+           // plane is an infrastructure (resource-layer) failure.
+           "worker process", "heartbeat", "checkpoint", "migration",
+           "control plane"});
   add_all(Layer::kAbstract,
           {"mental model", "confus", "session", "hijack", "state",
            "workflow", "steps", "on-line help", "documentation", "intuitive",

@@ -98,6 +98,15 @@ class SectionWriter {
  public:
   explicit SectionWriter(sim::Time now) : now_(now) {}
 
+  /// Buffer-reuse form: adopts `buf`'s capacity (contents are discarded).
+  /// Serializing into a warmed buffer performs zero heap allocations — the
+  /// fleet control plane streams checkpoints through recycled scratch this
+  /// way. Recover the buffer afterwards with take().
+  SectionWriter(sim::Time now, std::vector<std::uint8_t>&& buf)
+      : now_(now), out_(std::move(buf)) {
+    out_.clear();
+  }
+
   sim::Time now() const { return now_; }
 
   void u8(std::uint8_t v) { out_.push_back(v); }
