@@ -1,13 +1,13 @@
 #!/usr/bin/env python3
 """Validate the machine-readable output of bench/kernel_bench,
-bench/fleet_bench, bench/rfb_bench, bench/snap_bench, and bench/obs_bench,
-plus the BENCH_metrics.json metrics export.
+bench/fleet_bench, bench/rfb_bench, bench/snap_bench, bench/obs_bench, and
+bench/disco_bench, plus the BENCH_metrics.json metrics export.
 
 Usage: check_bench_json.py BENCH_kernel.json [BENCH_obs.json ...]
 
 Dispatches on each document's top-level "bench" field ("kernel", "fleet",
-"rfb", "snap", or "obs"); a document with no "bench" field is validated as
-a metrics export. Checks structure plus machine-independent invariants (replica
+"rfb", "snap", "obs", or "disco"); a document with no "bench" field is
+validated as a metrics export. Checks structure plus machine-independent invariants (replica
 fingerprints, byte ratios) -- never absolute performance, which is
 machine-dependent. CI runs this after the bench smoke runs so a refactor
 that silently stops emitting a field (or the per-category profiler
@@ -674,6 +674,154 @@ def check_obs(doc):
           f"{len(latency)} latency tracks, both faults replayed)")
 
 
+DISCO_INDEX_KEYS = {
+    "services": int,
+    "equality_queries": int,
+    "fp_indexed": str,
+    "fp_scan": str,
+    "indexed_ops_per_sec": float,
+    "scan_ops_per_sec": float,
+    "speedup": float,
+}
+DISCO_CACHE_KEYS = {
+    "probes": int,
+    "hits": int,
+    "misses": int,
+    "negative_hits": int,
+    "invalidations": int,
+    "evictions": int,
+    "hit_rate": float,
+}
+DISCO_OVERLOAD_KEYS = {
+    "offered_per_sec": float,
+    "lookups_offered": int,
+    "answered": int,
+    "answered_nonempty": int,
+    "shed": int,
+    "max_queue": int,
+    "capacity": int,
+    "issues_filed": int,
+    "hdr_count": int,
+    "p50_us": int,
+    "p99_us": int,
+    "p99_bound_us": int,
+}
+DISCO_GATEWAY_KEYS = {
+    "sessions": int,
+    "renewals_per_session": int,
+    "naive_wakeups": int,
+    "gateway_wakeups": int,
+    "expired": int,
+    "reduction": float,
+    "sessions_per_sec": float,
+    "fingerprint": str,
+}
+DISCO_GATES = (
+    "index_matches_oracle", "index_speedup_ok", "cache_hit_rate_ok",
+    "overload_shed_engaged", "overload_queue_bounded", "overload_p99_bounded",
+    "gateway_reduction_ok", "gateway_deterministic",
+    "fleet_fingerprint_stable",
+)
+
+
+def check_disco(doc):
+    idx = doc.get("index")
+    if not isinstance(idx, dict):
+        fail('top-level "index" missing')
+    check_keys(idx, DISCO_INDEX_KEYS, '"index"')
+    check_fingerprint(idx["fp_indexed"], "index fp_indexed")
+    check_fingerprint(idx["fp_scan"], "index fp_scan")
+    # The oracle contract, re-checked from the artifact itself: the inverted
+    # index must return bit-identical ids to the retained linear scan.
+    if idx["fp_indexed"] != idx["fp_scan"]:
+        fail(f'indexed matching diverged from the scan oracle '
+             f'({idx["fp_indexed"]} vs {idx["fp_scan"]})')
+    if idx["equality_queries"] <= 0:
+        fail("index leg compared no queries against the oracle")
+    if idx["indexed_ops_per_sec"] <= 0 or idx["scan_ops_per_sec"] <= 0:
+        fail("index leg reports non-positive throughput")
+    speedup = idx["indexed_ops_per_sec"] / idx["scan_ops_per_sec"]
+    if speedup < 5.0:
+        fail(f"index speedup {speedup:.1f}x below the 5x gate")
+    if abs(speedup - idx["speedup"]) > 0.01 * max(speedup, idx["speedup"]):
+        fail(f'reported speedup {idx["speedup"]:.2f} contradicts the '
+             f"throughput fields ({speedup:.2f})")
+
+    cache = doc.get("cache")
+    if not isinstance(cache, dict):
+        fail('top-level "cache" missing')
+    check_keys(cache, DISCO_CACHE_KEYS, '"cache"')
+    if cache["hits"] + cache["misses"] != cache["probes"]:
+        fail(f'cache hits {cache["hits"]} + misses {cache["misses"]} != '
+             f'probes {cache["probes"]}')
+    hit_rate = cache["hits"] / cache["probes"]
+    if hit_rate < 0.8:
+        fail(f"cache hit rate {hit_rate:.3f} below the 0.80 gate")
+    if cache["invalidations"] <= 0:
+        fail("cache leg never exercised epoch invalidation")
+
+    ov = doc.get("overload")
+    if not isinstance(ov, dict):
+        fail('top-level "overload" missing')
+    check_keys(ov, DISCO_OVERLOAD_KEYS, '"overload"')
+    if ov["shed"] <= 0:
+        fail("overload leg never shed a lookup -- admission not engaged")
+    if ov["max_queue"] > ov["capacity"]:
+        fail(f'admission queue {ov["max_queue"]} exceeded capacity '
+             f'{ov["capacity"]}')
+    if ov["answered"] != ov["lookups_offered"]:
+        fail(f'{ov["lookups_offered"]} lookups offered but only '
+             f'{ov["answered"]} answered')
+    if ov["hdr_count"] <= 0:
+        fail("overload leg recorded no lookup latencies in the HDR track")
+    if not 0 < ov["p50_us"] <= ov["p99_us"]:
+        fail("overload latency percentiles are not monotone positive")
+    if ov["p99_us"] > ov["p99_bound_us"]:
+        fail(f'overload p99 {ov["p99_us"]}us breaches the computed bound '
+             f'{ov["p99_bound_us"]}us')
+    if ov["issues_filed"] <= 0:
+        fail("shedding engaged but no lpc issues were filed")
+
+    gw = doc.get("gateway")
+    if not isinstance(gw, dict):
+        fail('top-level "gateway" missing')
+    check_keys(gw, DISCO_GATEWAY_KEYS, '"gateway"')
+    check_fingerprint(gw["fingerprint"], "gateway")
+    if gw["expired"] != gw["sessions"]:
+        fail(f'{gw["sessions"]} sessions churned but {gw["expired"]} expired')
+    if gw["gateway_wakeups"] <= 0:
+        fail("gateway leg armed no wakeups")
+    reduction = gw["naive_wakeups"] / gw["gateway_wakeups"]
+    if reduction < 5.0:
+        fail(f"gateway wakeup reduction {reduction:.1f}x below the 5x gate")
+
+    fleet = doc.get("fleet")
+    if not isinstance(fleet, dict):
+        fail('top-level "fleet" missing')
+    fps = fleet.get("fingerprints")
+    workers = fleet.get("worker_counts")
+    if not isinstance(fps, list) or not fps:
+        fail('"fleet.fingerprints" missing or empty')
+    if not isinstance(workers, list) or len(workers) != len(fps):
+        fail('"fleet.worker_counts" does not pair with the fingerprints')
+    for fp in fps:
+        check_fingerprint(fp, "fleet")
+    if len(set(fps)) != 1:
+        fail(f"fleet fingerprint depends on the worker count: {sorted(set(fps))}")
+
+    gates = doc.get("gates")
+    if not isinstance(gates, dict):
+        fail('top-level "gates" missing')
+    for key in DISCO_GATES:
+        if gates.get(key) is not True:
+            fail(f'"gates.{key}" is not true')
+
+    print(f"check_bench_json: OK (disco: index {speedup:.1f}x over oracle, "
+          f"cache {hit_rate:.2f} hit rate, {ov['shed']} shed under overload "
+          f"p99 {ov['p99_us']/1e3:.0f}ms, gateway {reduction:.1f}x fewer "
+          f"wakeups over {gw['sessions']} sessions)")
+
+
 METRIC_KINDS = {"counter", "gauge", "histogram", "hdr"}
 METRIC_LAYERS = {"environment", "physical", "resource", "abstract"}
 
@@ -734,6 +882,8 @@ def main(paths):
             check_snap(doc)
         elif kind == "obs":
             check_obs(doc)
+        elif kind == "disco":
+            check_disco(doc)
         elif kind is None and looks_like_metrics(doc):
             # BENCH_metrics.json carries no "bench"/"seed" envelope; it is
             # a bare {section: {metric: ...}} export.
@@ -741,7 +891,7 @@ def main(paths):
             continue
         else:
             fail(f'{path}: top-level "bench" is {kind!r}, expected '
-                 f'"kernel", "fleet", "rfb", "snap", or "obs" '
+                 f'"kernel", "fleet", "rfb", "snap", "obs", or "disco" '
                  f"(or a metrics export)")
         if not isinstance(doc.get("seed"), int):
             fail(f'{path}: top-level "seed" missing or not an integer')

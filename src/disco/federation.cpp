@@ -1,0 +1,206 @@
+#include "disco/federation.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace aroma::disco {
+
+namespace {
+enum class FedMsg : std::uint8_t {
+  kQuery = 1,   // delegating registrar -> peer: token + template
+  kReply,       // peer -> delegating registrar: token + matches
+};
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryCache
+
+std::string QueryCache::key_of(const ServiceTemplate& tmpl) {
+  net::ByteWriter w;
+  tmpl.serialize(w);
+  const auto& bytes = w.data();
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+const std::vector<ServiceId>* QueryCache::lookup(const std::string& key,
+                                                 std::uint64_t epoch) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  if (it->second.epoch != epoch) {
+    // Computed against an older registration set: drop it so the caller
+    // recomputes and re-inserts at the current epoch.
+    entries_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  if (it->second.ids.empty()) ++stats_.negative_hits;
+  return &it->second.ids;
+}
+
+void QueryCache::insert(const std::string& key, std::uint64_t epoch,
+                        std::vector<ServiceId> ids) {
+  if (capacity_ == 0) return;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second = Entry{epoch, std::move(ids)};
+    return;
+  }
+  while (entries_.size() >= capacity_ && !fifo_.empty()) {
+    // FIFO eviction: deterministic and cheap. Entries already erased by
+    // invalidation leave a dead key in the queue; skip those.
+    const std::string victim = std::move(fifo_.front());
+    fifo_.pop_front();
+    if (entries_.erase(victim) != 0) ++stats_.evictions;
+  }
+  entries_.emplace(key, Entry{epoch, std::move(ids)});
+  fifo_.push_back(key);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+void AdmissionController::set_issue_hook(IssueHook hook) {
+  issue_hook_ = std::move(hook);
+}
+
+std::uint64_t AdmissionController::queue_depth() const {
+  const sim::Time now = world_.now();
+  if (backlog_until_ <= now) return 0;
+  const std::int64_t backlog = (backlog_until_ - now).count();
+  const std::int64_t per = params_.service_time.count();
+  return static_cast<std::uint64_t>((backlog + per - 1) / per);
+}
+
+AdmissionController::Decision AdmissionController::decide() {
+  const sim::Time now = world_.now();
+  if (backlog_until_ < now) backlog_until_ = now;
+  const std::uint64_t depth = queue_depth();
+  if (depth >= params_.capacity) {
+    ++stats_.shed;
+    // Report the first shed and every power-of-two shed after it: a
+    // sustained storm leaves a bounded, deterministic paper trail instead
+    // of one issue per dropped request.
+    if (issue_hook_ && (stats_.shed & (stats_.shed - 1)) == 0) {
+      issue_hook_(
+          "registrar admission queue full: lookup shed under overload (" +
+              std::to_string(stats_.shed) + " shed so far)",
+          0.7);
+      ++stats_.issues_filed;
+    }
+    return Decision{false, sim::Time::zero()};
+  }
+  backlog_until_ += params_.service_time;
+  ++stats_.admitted;
+  stats_.max_queue = std::max(stats_.max_queue, depth + 1);
+  return Decision{true, backlog_until_ - now};
+}
+
+// ---------------------------------------------------------------------------
+// FederationPeer
+
+FederationPeer::FederationPeer(sim::World& world, net::NetStack& stack,
+                               Params params, LocalMatch local_match)
+    : world_(world),
+      stack_(stack),
+      params_(params),
+      local_match_(std::move(local_match)) {
+  stack_.bind(params_.port,
+              [this](const net::Datagram& dg) { on_datagram(dg); });
+}
+
+FederationPeer::~FederationPeer() { stack_.unbind(params_.port); }
+
+void FederationPeer::set_peers(std::vector<net::NodeId> peers) {
+  peers_ = std::move(peers);
+}
+
+void FederationPeer::finish(std::uint32_t token) {
+  const auto it = pending_.find(token);
+  if (it == pending_.end()) return;
+  auto cb = std::move(it->second.cb);
+  auto gathered = std::move(it->second.gathered);
+  pending_.erase(it);
+  if (!gathered.empty()) ++stats_.remote_hits;
+  if (cb) cb(std::move(gathered));
+}
+
+void FederationPeer::delegate(const ServiceTemplate& tmpl, DelegateResult cb) {
+  if (peers_.empty()) {
+    if (cb) cb({});
+    return;
+  }
+  const std::uint32_t token = next_token_++;
+  Pending p;
+  p.cb = std::move(cb);
+  p.awaiting = peers_.size();
+  pending_.emplace(token, std::move(p));
+  ++stats_.delegated;
+
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(FedMsg::kQuery));
+  w.u32(token);
+  tmpl.serialize(w);
+  const std::vector<std::byte> payload = w.take();
+  for (const net::NodeId peer : peers_) {
+    stack_.send(net::Endpoint{peer, params_.port}, params_.port,
+                std::vector<std::byte>(payload));
+  }
+  // A dead peer never replies; the timeout completes the delegation with
+  // whatever the living peers contributed.
+  world_.sim().schedule_in(
+      params_.reply_timeout, sim::EventCategory::kDiscovery,
+      [this, token, guard = std::weak_ptr<char>(alive_)] {
+        if (guard.expired()) return;
+        if (pending_.find(token) == pending_.end()) return;
+        ++stats_.timeouts;
+        finish(token);
+      });
+}
+
+void FederationPeer::on_datagram(const net::Datagram& dg) {
+  net::ByteReader r(dg.data);
+  const auto msg = static_cast<FedMsg>(r.u8());
+  if (!r.ok()) return;
+  switch (msg) {
+    case FedMsg::kQuery: {
+      const std::uint32_t token = r.u32();
+      const ServiceTemplate tmpl = ServiceTemplate::deserialize(r);
+      if (!r.ok()) return;
+      ++stats_.peer_queries;
+      // Answer from the local index only: delegation is one hop deep, so
+      // a cycle in the peer graph cannot loop a query forever.
+      const std::vector<ServiceDescription> matches =
+          local_match_ ? local_match_(tmpl) : std::vector<ServiceDescription>{};
+      net::ByteWriter w;
+      w.u8(static_cast<std::uint8_t>(FedMsg::kReply));
+      w.u32(token);
+      w.u32(static_cast<std::uint32_t>(matches.size()));
+      for (const auto& m : matches) m.serialize(w);
+      stack_.send(net::Endpoint{dg.src.node, params_.port}, params_.port,
+                  w.take());
+      return;
+    }
+    case FedMsg::kReply: {
+      const std::uint32_t token = r.u32();
+      const std::uint32_t n = r.u32();
+      const auto it = pending_.find(token);
+      if (it == pending_.end()) return;  // already timed out
+      ++stats_.peer_replies;
+      for (std::uint32_t i = 0; i < n && r.ok(); ++i) {
+        it->second.gathered.push_back(ServiceDescription::deserialize(r));
+      }
+      if (--it->second.awaiting == 0) finish(token);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace aroma::disco

@@ -1,0 +1,204 @@
+// Federation plane for the service tier: query caching, admission control,
+// and SLP-DA-style peer delegation between registrars.
+//
+// The paper's resource layer assumes the lookup infrastructure simply keeps
+// up; at "millions of users" scale it only does so with mediation. Three
+// cooperating pieces, each opt-in so a default-constructed registrar is
+// bit-identical to the pre-federation one:
+//
+//  - QueryCache: read-through cache of template -> matching service ids,
+//    keyed by the template's serialized content and stamped with the
+//    registration epoch that produced it. Any registration/expiry bumps the
+//    epoch, so stale entries die on their next probe (hit / miss /
+//    negative-hit / invalidation counters tell the story).
+//  - AdmissionController: a deterministic virtual queue in front of the
+//    match engine. Each admitted lookup occupies `service_time` of backlog;
+//    when the backlog would exceed `capacity` requests the lookup is shed
+//    (the registrar answers "busy" rather than queueing unboundedly) and a
+//    resource-layer lpc issue is filed on a power-of-two shed cadence —
+//    through an injected hook (lpc::shed_issue_filer), since lpc sits
+//    above disco in the layer graph.
+//  - FederationPeer: a protocol-agnostic delegation endpoint on its own
+//    port. A registrar that misses locally forwards the template to its
+//    peers, which answer from their local index only (one hop, no loops);
+//    a peer that died mid-delegation is covered by the reply timeout.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "disco/service.hpp"
+#include "net/stack.hpp"
+#include "sim/world.hpp"
+
+namespace aroma::disco {
+
+// ---------------------------------------------------------------------------
+// QueryCache
+
+struct QueryCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t negative_hits = 0;    // subset of hits: cached empty result
+  std::uint64_t invalidations = 0;    // entries dropped for a stale epoch
+  std::uint64_t evictions = 0;        // entries dropped for capacity
+};
+
+/// Read-through cache of ServiceTemplate -> matched ids. Entries are valid
+/// only while the index epoch they were computed against is current.
+class QueryCache {
+ public:
+  explicit QueryCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Content key for a template: its serialized wire bytes.
+  static std::string key_of(const ServiceTemplate& tmpl);
+
+  /// Returns the cached ids when present and fresh at `epoch`; stale
+  /// entries are erased (counted as invalidations) and read as misses.
+  const std::vector<ServiceId>* lookup(const std::string& key,
+                                       std::uint64_t epoch);
+  void insert(const std::string& key, std::uint64_t epoch,
+              std::vector<ServiceId> ids);
+
+  std::size_t size() const { return entries_.size(); }
+  const QueryCacheStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    std::uint64_t epoch;
+    std::vector<ServiceId> ids;
+  };
+  std::size_t capacity_;
+  std::unordered_map<std::string, Entry> entries_;
+  std::deque<std::string> fifo_;  // insertion order, for deterministic eviction
+  QueryCacheStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// AdmissionController
+
+struct AdmissionStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t max_queue = 0;      // deepest backlog seen, in requests
+  std::uint64_t issues_filed = 0;
+};
+
+/// Deterministic load shedding: a virtual FIFO queue where every admitted
+/// request extends the backlog by `service_time`. Arrivals that would find
+/// more than `capacity` requests ahead of them are shed.
+class AdmissionController {
+ public:
+  struct Params {
+    std::uint64_t capacity = 64;                    // max queued requests
+    sim::Time service_time = sim::Time::us(50);     // per-lookup cost
+  };
+
+  struct Decision {
+    bool admitted;
+    sim::Time delay;  // queueing delay until this request's completion
+  };
+
+  AdmissionController(sim::World& world, Params params)
+      : world_(world), params_(params) {}
+
+  /// Receives a shed-overload report: (description, severity). Invoked on
+  /// the first shed and every power-of-two shed thereafter, so a sustained
+  /// overload leaves a bounded paper trail. lpc::shed_issue_filer adapts
+  /// this to an IssueLog (disco cannot link lpc: lpc sits above it).
+  using IssueHook = std::function<void(const std::string&, double)>;
+  void set_issue_hook(IssueHook hook);
+
+  Decision decide();
+
+  /// Requests currently in the virtual queue.
+  std::uint64_t queue_depth() const;
+  const AdmissionStats& stats() const { return stats_; }
+  const Params& params() const { return params_; }
+
+ private:
+  sim::World& world_;
+  Params params_;
+  sim::Time backlog_until_ = sim::Time::zero();
+  AdmissionStats stats_;
+  IssueHook issue_hook_;
+};
+
+// ---------------------------------------------------------------------------
+// FederationPeer
+
+struct FederationStats {
+  std::uint64_t delegated = 0;        // lookups forwarded to peers
+  std::uint64_t peer_queries = 0;     // lookups answered for peers
+  std::uint64_t peer_replies = 0;     // replies received from peers
+  std::uint64_t timeouts = 0;         // delegations that lost >=1 peer
+  std::uint64_t remote_hits = 0;      // delegations yielding >0 services
+};
+
+/// Peering endpoint registrars use to delegate missed lookups. Protocol
+/// agnostic: a Jini registrar and an SLP directory agent can peer, since
+/// both speak ServiceTemplate/ServiceDescription here.
+class FederationPeer {
+ public:
+  struct Params {
+    net::Port port = 4162;
+    /// A peer that has not replied by then is treated as dead and the
+    /// delegation completes with whatever was gathered.
+    sim::Time reply_timeout = sim::Time::sec(1.0);
+  };
+
+  /// `local_match` answers a peer's query from the host registrar's own
+  /// index (never re-delegated).
+  using LocalMatch =
+      std::function<std::vector<ServiceDescription>(const ServiceTemplate&)>;
+  using DelegateResult =
+      std::function<void(std::vector<ServiceDescription>)>;
+
+  FederationPeer(sim::World& world, net::NetStack& stack, Params params,
+                 LocalMatch local_match);
+  ~FederationPeer();
+  FederationPeer(const FederationPeer&) = delete;
+  FederationPeer& operator=(const FederationPeer&) = delete;
+
+  void set_peers(std::vector<net::NodeId> peers);
+  const std::vector<net::NodeId>& peers() const { return peers_; }
+
+  /// Forwards `tmpl` to every peer; `cb` fires once with the concatenated
+  /// replies (peer order, each peer's ids ascending) when all peers have
+  /// answered or the reply timeout expires. With no peers configured `cb`
+  /// fires synchronously with an empty result.
+  void delegate(const ServiceTemplate& tmpl, DelegateResult cb);
+
+  const FederationStats& stats() const { return stats_; }
+
+  /// Delegations hold result callbacks (code), so a host registrar must
+  /// refuse to checkpoint while any are in flight.
+  bool quiescent() const { return pending_.empty(); }
+
+ private:
+  struct Pending {
+    DelegateResult cb;
+    std::vector<ServiceDescription> gathered;
+    std::size_t awaiting;
+  };
+
+  void on_datagram(const net::Datagram& dg);
+  void finish(std::uint32_t token);
+
+  sim::World& world_;
+  net::NetStack& stack_;
+  Params params_;
+  LocalMatch local_match_;
+  std::vector<net::NodeId> peers_;
+  std::unordered_map<std::uint32_t, Pending> pending_;
+  std::uint32_t next_token_ = 1;
+  FederationStats stats_;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace aroma::disco

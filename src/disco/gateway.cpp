@@ -1,0 +1,127 @@
+#include "disco/gateway.hpp"
+
+#include <utility>
+
+namespace aroma::disco {
+
+SessionGateway::SessionGateway(sim::World& world, Params params)
+    : world_(world), params_(params) {}
+
+bool SessionGateway::valid(GatewaySession s) const {
+  const std::uint32_t slot = slot_of(s);
+  return slot < gens_.size() && gens_[slot] == gen_of(s) &&
+         live_[slot] != 0;
+}
+
+std::int64_t SessionGateway::bucket_index(sim::Time deadline) const {
+  return sim::align_up(deadline, params_.tick).count() / params_.tick.count();
+}
+
+void SessionGateway::enqueue(std::uint32_t slot, std::uint32_t gen,
+                             sim::Time deadline) {
+  const std::int64_t index = bucket_index(deadline);
+  auto [it, inserted] = buckets_.try_emplace(index);
+  it->second.entries.emplace_back(slot, gen);
+  if (!inserted) return;
+  // First deadline in this quantum: arm the bucket's single kernel event at
+  // the absolute tick boundary. Every gateway in the world computes the
+  // same boundary for the same quantum, so their wakeups coincide and the
+  // kernel's same-time trains absorb them.
+  ++stats_.wakeups;
+  world_.sim().schedule_at(
+      params_.tick * index, sim::EventCategory::kApp,
+      [this, index, guard = std::weak_ptr<char>(alive_)] {
+        if (guard.expired()) return;
+        drain(index);
+      });
+}
+
+GatewaySession SessionGateway::open(std::uint64_t owner, sim::Time lease,
+                                    std::function<void()> on_expire) {
+  if (lease.is_zero()) lease = params_.default_lease;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    ++gens_[slot];
+  } else {
+    slot = static_cast<std::uint32_t>(deadlines_.size());
+    deadlines_.push_back(sim::Time::zero());
+    gens_.push_back(1);
+    owners_.push_back(0);
+    live_.push_back(0);
+    callbacks_.emplace_back();
+  }
+  deadlines_[slot] = world_.now() + lease;
+  owners_[slot] = owner;
+  live_[slot] = 1;
+  callbacks_[slot] = std::move(on_expire);
+  ++live_count_;
+  ++stats_.opened;
+  enqueue(slot, gens_[slot], deadlines_[slot]);
+  return (static_cast<std::uint64_t>(gens_[slot]) << 32) | slot;
+}
+
+bool SessionGateway::renew(GatewaySession session, sim::Time lease) {
+  if (!valid(session)) return false;
+  const std::uint32_t slot = slot_of(session);
+  if (deadlines_[slot] <= world_.now()) return false;  // already lapsed
+  if (lease.is_zero()) lease = params_.default_lease;
+  deadlines_[slot] = world_.now() + lease;
+  ++stats_.renewed;
+  // Lazy: the session's existing bucket entry re-buckets it on drain. No
+  // kernel event is armed here, which is the whole point — a renewal storm
+  // costs zero heap operations.
+  return true;
+}
+
+bool SessionGateway::close(GatewaySession session) {
+  if (!valid(session)) return false;
+  const std::uint32_t slot = slot_of(session);
+  live_[slot] = 0;
+  callbacks_[slot] = nullptr;
+  free_slots_.push_back(slot);
+  --live_count_;
+  ++stats_.closed;
+  return true;
+}
+
+bool SessionGateway::active(GatewaySession session) const {
+  return valid(session) && deadlines_[slot_of(session)] > world_.now();
+}
+
+sim::Time SessionGateway::deadline(GatewaySession session) const {
+  return valid(session) ? deadlines_[slot_of(session)] : sim::Time::zero();
+}
+
+std::uint64_t SessionGateway::owner_of(GatewaySession session) const {
+  return valid(session) ? owners_[slot_of(session)] : 0;
+}
+
+void SessionGateway::drain(std::int64_t index) {
+  const auto it = buckets_.find(index);
+  if (it == buckets_.end()) return;
+  Bucket bucket = std::move(it->second);
+  buckets_.erase(it);
+  ++stats_.ticks;
+  const sim::Time now = world_.now();
+  for (const auto& [slot, gen] : bucket.entries) {
+    ++stats_.sweep_visits;
+    if (gens_[slot] != gen || live_[slot] == 0) continue;  // closed/reused
+    const sim::Time deadline = deadlines_[slot];
+    if (deadline > now) {
+      // Renewed since it was bucketed: carry it to its new quantum.
+      enqueue(slot, gen, deadline);
+      continue;
+    }
+    auto cb = std::move(callbacks_[slot]);
+    callbacks_[slot] = nullptr;
+    live_[slot] = 0;
+    free_slots_.push_back(slot);
+    --live_count_;
+    ++stats_.expired;
+    if (cb) cb();
+  }
+}
+
+}  // namespace aroma::disco

@@ -1,0 +1,112 @@
+// Session gateway: multiplexes thousands of lease-backed sessions onto a
+// handful of batched kernel wakeups.
+//
+// A LeaseTable schedules one expiry-check event per grant and per renewal,
+// so a node running 20k churning sessions puts 20k+ events into the kernel
+// heap — the per-session-wakeup pattern the gateway exists to kill. The
+// gateway quantizes every deadline up to a tick boundary and keeps one
+// bucket of sessions per non-empty tick, arming exactly one kernel event
+// per bucket. When a tick fires it drains its bucket in one structure-of-
+// arrays sweep: expired sessions fire their callbacks in insertion order,
+// renewed ones are re-bucketed lazily. Ticks are aligned to absolute
+// quantum boundaries (sim::align_up), so multiple gateways in one world
+// wake at the same instants and the PR 6 event-train path absorbs their
+// events into single heap operations.
+//
+// Expiry callbacks therefore fire at most one tick late — never early:
+// `active()`/`renew()` always consult the exact deadline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/world.hpp"
+
+namespace aroma::disco {
+
+using GatewaySession = std::uint64_t;
+
+struct GatewayStats {
+  std::uint64_t opened = 0;
+  std::uint64_t renewed = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t wakeups = 0;        // kernel events armed (one per bucket)
+  std::uint64_t ticks = 0;          // bucket drains executed
+  std::uint64_t sweep_visits = 0;   // bucket entries examined across drains
+};
+
+class SessionGateway {
+ public:
+  struct Params {
+    /// Expiry quantum: deadlines round up to the next multiple. Smaller
+    /// ticks tighten expiry latency, larger ticks batch harder.
+    sim::Time tick = sim::Time::ms(10);
+    sim::Time default_lease = sim::Time::sec(30.0);
+  };
+
+  explicit SessionGateway(sim::World& world) : SessionGateway(world, {}) {}
+  SessionGateway(sim::World& world, Params params);
+  SessionGateway(const SessionGateway&) = delete;
+  SessionGateway& operator=(const SessionGateway&) = delete;
+
+  /// Opens a session expiring after `lease` (default_lease when zero);
+  /// `on_expire` fires exactly once if the session lapses unrenewed.
+  GatewaySession open(std::uint64_t owner, sim::Time lease,
+                      std::function<void()> on_expire);
+  GatewaySession open(std::uint64_t owner, std::function<void()> on_expire) {
+    return open(owner, sim::Time::zero(), std::move(on_expire));
+  }
+
+  /// Extends a live session. False for closed/expired/unknown handles.
+  bool renew(GatewaySession session, sim::Time lease = sim::Time::zero());
+  /// Closes without firing the expiry callback. False when already gone.
+  bool close(GatewaySession session);
+
+  /// Exact-deadline liveness (not quantized: a session one nanosecond past
+  /// its deadline is inactive even if its tick has not fired yet).
+  bool active(GatewaySession session) const;
+  sim::Time deadline(GatewaySession session) const;
+  std::uint64_t owner_of(GatewaySession session) const;
+
+  std::size_t size() const { return live_count_; }
+  const GatewayStats& stats() const { return stats_; }
+  const Params& params() const { return params_; }
+
+ private:
+  struct Bucket {
+    // (slot, generation) pairs; stale pairs are skipped during the drain.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  };
+
+  static std::uint32_t slot_of(GatewaySession s) {
+    return static_cast<std::uint32_t>(s & 0xffffffffu);
+  }
+  static std::uint32_t gen_of(GatewaySession s) {
+    return static_cast<std::uint32_t>(s >> 32);
+  }
+  bool valid(GatewaySession s) const;
+  std::int64_t bucket_index(sim::Time deadline) const;
+  void enqueue(std::uint32_t slot, std::uint32_t gen, sim::Time deadline);
+  void drain(std::int64_t index);
+
+  sim::World& world_;
+  Params params_;
+  // Session state, struct-of-arrays so the drain touches dense vectors.
+  std::vector<sim::Time> deadlines_;
+  std::vector<std::uint32_t> gens_;
+  std::vector<std::uint64_t> owners_;
+  std::vector<std::uint8_t> live_;
+  std::vector<std::function<void()>> callbacks_;
+  std::vector<std::uint32_t> free_slots_;
+  std::size_t live_count_ = 0;
+  // Tick index -> pending bucket; exactly one armed kernel event each.
+  std::map<std::int64_t, Bucket> buckets_;
+  GatewayStats stats_;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
+};
+
+}  // namespace aroma::disco

@@ -7,6 +7,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "sim/random.hpp"
 #include "snap/format.hpp"
 
 namespace aroma::disco {
@@ -31,6 +32,26 @@ JiniRegistrar::JiniRegistrar(sim::World& world, net::NetStack& stack,
   announcer_ = std::make_unique<sim::PeriodicTimer>(
       world_.sim(), params_.announce_interval, [this] { announce(); });
   announcer_->start_after(sim::Time::ms(10));
+  if (params_.cache_capacity > 0) {
+    cache_ = std::make_unique<QueryCache>(params_.cache_capacity);
+  }
+  if (params_.admission_capacity > 0) {
+    admission_ = std::make_unique<AdmissionController>(
+        world_, AdmissionController::Params{params_.admission_capacity,
+                                            params_.admission_service_time});
+  }
+  if (params_.federate) {
+    federation_ = std::make_unique<FederationPeer>(
+        world_, stack_, params_.federation,
+        [this](const ServiceTemplate& tmpl) {
+          // Peers answer from the local index only (one hop, no loops).
+          std::vector<ServiceDescription> out;
+          for (const ServiceId id : local_match(tmpl)) {
+            out.push_back(*index_.find(id));
+          }
+          return out;
+        });
+  }
 }
 
 JiniRegistrar::~JiniRegistrar() {
@@ -72,19 +93,69 @@ void JiniRegistrar::announce() {
 std::vector<ServiceDescription> JiniRegistrar::snapshot(
     const ServiceTemplate& t) const {
   std::vector<ServiceDescription> out;
-  for (const auto& [id, s] : services_) {
-    if (t.matches(s)) out.push_back(s);
+  for (const ServiceId id : index_.match(t)) {
+    out.push_back(*index_.find(id));
   }
   return out;
 }
 
+void JiniRegistrar::set_peers(std::vector<net::NodeId> peers) {
+  if (federation_) federation_->set_peers(std::move(peers));
+}
+
+void JiniRegistrar::set_issue_hook(AdmissionController::IssueHook hook) {
+  if (admission_) admission_->set_issue_hook(std::move(hook));
+}
+
 void JiniRegistrar::expire_service(ServiceId id) {
-  auto it = services_.find(id);
-  if (it == services_.end()) return;
-  const ServiceDescription s = it->second;
-  services_.erase(it);
+  const ServiceDescription* found = index_.find(id);
+  if (found == nullptr) return;
+  const ServiceDescription s = *found;
+  index_.erase(id);
   ++stats_.lease_expirations;
   notify(s, /*appeared=*/false);
+}
+
+std::vector<ServiceId> JiniRegistrar::local_match(const ServiceTemplate& tmpl) {
+  if (!cache_) return index_.match(tmpl);
+  const std::string key = QueryCache::key_of(tmpl);
+  if (const std::vector<ServiceId>* ids = cache_->lookup(key, index_.epoch())) {
+    return *ids;
+  }
+  std::vector<ServiceId> ids = index_.match(tmpl);
+  cache_->insert(key, index_.epoch(), ids);
+  return ids;
+}
+
+void JiniRegistrar::send_lookup_response(
+    net::NodeId requester, std::uint32_t token,
+    const std::vector<ServiceId>& ids,
+    const std::vector<ServiceDescription>& remote) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JiniMsg::kLookupResponse));
+  w.u32(token);
+  w.u32(static_cast<std::uint32_t>(ids.size() + remote.size()));
+  for (const ServiceId id : ids) index_.find(id)->serialize(w);
+  for (const auto& m : remote) m.serialize(w);
+  stack_.send(net::Endpoint{requester, kClientPort}, net::kRegistrarPort,
+              w.take());
+}
+
+void JiniRegistrar::answer_lookup(net::NodeId requester, std::uint32_t token,
+                                  const ServiceTemplate& tmpl) {
+  const std::vector<ServiceId> ids = local_match(tmpl);
+  if (ids.empty() && federation_ && !federation_->peers().empty()) {
+    // Local miss: ask the peer pool before answering empty-handed.
+    ++stats_.lookups_delegated;
+    ++pending_replies_;
+    federation_->delegate(
+        tmpl, [this, requester, token](std::vector<ServiceDescription> remote) {
+          --pending_replies_;
+          send_lookup_response(requester, token, {}, remote);
+        });
+    return;
+  }
+  send_lookup_response(requester, token, ids, {});
 }
 
 void JiniRegistrar::notify(const ServiceDescription& s, bool appeared) {
@@ -121,7 +192,7 @@ void JiniRegistrar::on_datagram(const net::Datagram& dg) {
       if (!r.ok()) return;
       const ServiceId id = next_service_id_++;
       desc.id = id;
-      services_[id] = desc;
+      index_.insert(desc);
       const sim::Time lease = std::min(lease_req, params_.max_lease);
       leases_.grant(id, lease, [this, id] { expire_service(id); });
       ++stats_.registrations;
@@ -151,10 +222,9 @@ void JiniRegistrar::on_datagram(const net::Datagram& dg) {
     }
     case JiniMsg::kCancel: {
       const ServiceId id = r.u64();
-      auto it = services_.find(id);
-      if (it != services_.end()) {
-        const ServiceDescription s = it->second;
-        services_.erase(it);
+      if (const ServiceDescription* found = index_.find(id)) {
+        const ServiceDescription s = *found;
+        index_.erase(id);
         leases_.cancel(id);
         notify(s, /*appeared=*/false);
       }
@@ -165,14 +235,33 @@ void JiniRegistrar::on_datagram(const net::Datagram& dg) {
       const ServiceTemplate tmpl = ServiceTemplate::deserialize(r);
       if (!r.ok()) return;
       ++stats_.lookups;
-      const auto matches = snapshot(tmpl);
-      net::ByteWriter w;
-      w.u8(static_cast<std::uint8_t>(JiniMsg::kLookupResponse));
-      w.u32(token);
-      w.u32(static_cast<std::uint32_t>(matches.size()));
-      for (const auto& m : matches) m.serialize(w);
-      stack_.send(net::Endpoint{dg.src.node, kClientPort},
-                  net::kRegistrarPort, w.take());
+      if (admission_) {
+        const auto decision = admission_->decide();
+        if (!decision.admitted) {
+          ++stats_.lookups_shed;
+          net::ByteWriter w;
+          w.u8(static_cast<std::uint8_t>(JiniMsg::kLookupBusy));
+          w.u32(token);
+          stack_.send(net::Endpoint{dg.src.node, kClientPort},
+                      net::kRegistrarPort, w.take());
+          return;
+        }
+        if (!decision.delay.is_zero()) {
+          // Admitted behind a backlog: the reply leaves when this
+          // request's slot in the virtual queue completes.
+          ++pending_replies_;
+          world_.sim().schedule_in(
+              decision.delay, sim::EventCategory::kDiscovery,
+              [this, requester = dg.src.node, token, tmpl,
+               guard = std::weak_ptr<char>(alive_)] {
+                if (guard.expired()) return;
+                --pending_replies_;
+                answer_lookup(requester, token, tmpl);
+              });
+          return;
+        }
+      }
+      answer_lookup(dg.src.node, token, tmpl);
       return;
     }
     case JiniMsg::kNotifyRequest: {
@@ -341,7 +430,7 @@ void JiniClient::lookup(const ServiceTemplate& tmpl, LookupResult cb) {
       if (inner) inner(std::move(items));
     };
   }
-  pending_lookup_[token] = std::move(cb);
+  pending_lookup_[token] = PendingLookup{std::move(cb), tmpl, 0};
   // Unanswered lookups (e.g. the registrar died mid-request) fail cleanly.
   ++outstanding_timeouts_;
   world_.sim().schedule_in(params_.lookup_timeout,
@@ -351,15 +440,19 @@ void JiniClient::lookup(const ServiceTemplate& tmpl, LookupResult cb) {
                              --outstanding_timeouts_;
                              auto it = pending_lookup_.find(token);
                              if (it == pending_lookup_.end()) return;
-                             auto cb = std::move(it->second);
+                             auto cb = std::move(it->second.cb);
                              pending_lookup_.erase(it);
                              if (cb) cb({});
                            });
-  with_registrar([this, token, tmpl](net::NodeId reg) {
+  send_lookup(token);
+}
+
+void JiniClient::send_lookup(std::uint32_t token) {
+  with_registrar([this, token](net::NodeId reg) {
     auto it = pending_lookup_.find(token);
     if (it == pending_lookup_.end()) return;
     if (reg == 0) {
-      auto cb = std::move(it->second);
+      auto cb = std::move(it->second.cb);
       pending_lookup_.erase(it);
       if (cb) cb({});
       return;
@@ -367,7 +460,7 @@ void JiniClient::lookup(const ServiceTemplate& tmpl, LookupResult cb) {
     net::ByteWriter w;
     w.u8(static_cast<std::uint8_t>(JiniMsg::kLookup));
     w.u32(token);
-    tmpl.serialize(w);
+    it->second.tmpl.serialize(w);
     ++messages_sent_;
     stack_.send(net::Endpoint{reg, net::kRegistrarPort}, port_, w.take());
   });
@@ -475,9 +568,42 @@ void JiniClient::on_datagram(const net::Datagram& dg) {
       }
       auto it = pending_lookup_.find(token);
       if (it == pending_lookup_.end()) return;
-      auto cb = std::move(it->second);
+      auto cb = std::move(it->second.cb);
       pending_lookup_.erase(it);
       if (cb) cb(std::move(services));
+      return;
+    }
+    case JiniMsg::kLookupBusy: {
+      // The registrar shed our lookup under overload. Back off and retry:
+      // exponential spacing plus a deterministic per-(client, token,
+      // attempt) jitter so the herd that was shed together does not
+      // return together.
+      const std::uint32_t token = r.u32();
+      auto it = pending_lookup_.find(token);
+      if (it == pending_lookup_.end()) return;
+      if (it->second.busy_attempts >= params_.busy_retries) {
+        auto cb = std::move(it->second.cb);
+        pending_lookup_.erase(it);
+        if (cb) cb({});
+        return;
+      }
+      const int attempt = ++it->second.busy_attempts;
+      sim::Time delay = params_.busy_backoff * (1LL << (attempt - 1));
+      const std::uint64_t h = sim::mix_hash(
+          params_.jitter_seed ^ (static_cast<std::uint64_t>(token) << 20 |
+                                 static_cast<std::uint64_t>(attempt)),
+          stack_.node_id());
+      delay += sim::Time::ns(static_cast<std::int64_t>(
+          h % static_cast<std::uint64_t>(params_.busy_backoff.count())));
+      ++outstanding_timeouts_;
+      world_.sim().schedule_in(
+          delay, sim::EventCategory::kDiscovery,
+          [this, token, guard = std::weak_ptr<char>(alive_)] {
+            if (guard.expired()) return;
+            --outstanding_timeouts_;
+            if (pending_lookup_.find(token) == pending_lookup_.end()) return;
+            send_lookup(token);
+          });
       return;
     }
     case JiniMsg::kEvent: {
@@ -499,6 +625,14 @@ void JiniClient::on_datagram(const net::Datagram& dg) {
 // Checkpoint/restore
 
 void JiniRegistrar::save(snap::SectionWriter& w) const {
+  if (pending_replies_ != 0) {
+    throw snap::SnapError(
+        "registrar save: admission-delayed reply in flight (closures are "
+        "code, not data; checkpoint between lookup bursts)");
+  }
+  if (federation_ && !federation_->quiescent()) {
+    throw snap::SnapError("registrar save: federation delegation in flight");
+  }
   w.u64(stats_.registrations);
   w.u64(stats_.renewals);
   w.u64(stats_.lookups);
@@ -508,8 +642,8 @@ void JiniRegistrar::save(snap::SectionWriter& w) const {
   w.u64(next_service_id_);
   w.u64(next_subscription_id_);
   w.b(enabled_);
-  w.u64(services_.size());
-  for (const auto& [id, desc] : services_) {
+  w.u64(index_.services().size());
+  for (const auto& [id, desc] : index_.services()) {
     w.u64(id);
     net::ByteWriter bw;
     desc.serialize(bw);
@@ -538,16 +672,18 @@ void JiniRegistrar::restore(snap::SectionReader& r) {
   next_service_id_ = r.u64();
   next_subscription_id_ = r.u64();
   enabled_ = r.b();
-  services_.clear();
+  index_.clear();
   const std::uint64_t n_services = r.u64();
   for (std::uint64_t i = 0; i < n_services; ++i) {
     const ServiceId id = r.u64();
     const std::vector<std::uint8_t> blob = r.bytes();
     net::ByteReader br(std::as_bytes(std::span(blob)));
-    services_[id] = ServiceDescription::deserialize(br);
+    ServiceDescription desc = ServiceDescription::deserialize(br);
     if (!br.ok()) {
       throw snap::SnapError("registrar restore: bad service description");
     }
+    desc.id = id;
+    index_.insert(desc);
   }
   subscriptions_.clear();
   const std::uint64_t n_subs = r.u64();

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "disco/federation.hpp"
+#include "disco/index.hpp"
 #include "disco/lease.hpp"
 #include "disco/service.hpp"
 #include "net/stack.hpp"
@@ -42,6 +44,7 @@ enum class JiniMsg : std::uint8_t {
   kNotifyRequest,          // unicast: leased event subscription
   kNotifyResponse,         // subscription id
   kEvent,                  // unicast reg->listener: service appeared/vanished
+  kLookupBusy,             // unicast: lookup shed by admission control
 };
 
 struct RegistrarStats {
@@ -51,6 +54,8 @@ struct RegistrarStats {
   std::uint64_t lease_expirations = 0;
   std::uint64_t events_sent = 0;
   std::uint64_t discovery_responses = 0;
+  std::uint64_t lookups_shed = 0;       // refused with kLookupBusy
+  std::uint64_t lookups_delegated = 0;  // local miss forwarded to peers
 };
 
 /// The lookup service. One per world is typical; several can coexist (the
@@ -60,6 +65,18 @@ class JiniRegistrar {
   struct Params {
     sim::Time announce_interval = sim::Time::sec(10.0);
     sim::Time max_lease = sim::Time::sec(60.0);
+    // --- service-tier features (all off by default: a default-constructed
+    // registrar is bit-identical to the pre-federation one) ---------------
+    /// Query-cache capacity in entries; 0 disables the read-through cache.
+    std::size_t cache_capacity = 0;
+    /// Admission queue capacity in requests; 0 disables admission control
+    /// (every lookup is answered immediately, nothing is shed).
+    std::uint64_t admission_capacity = 0;
+    sim::Time admission_service_time = sim::Time::us(50);
+    /// Enables the federation peering endpoint; peers are then installed
+    /// with set_peers().
+    bool federate = false;
+    FederationPeer::Params federation;
   };
 
   JiniRegistrar(sim::World& world, net::NetStack& stack);
@@ -68,9 +85,30 @@ class JiniRegistrar {
   JiniRegistrar(const JiniRegistrar&) = delete;
   JiniRegistrar& operator=(const JiniRegistrar&) = delete;
 
-  std::size_t registered_count() const { return services_.size(); }
+  std::size_t registered_count() const { return index_.size(); }
   const RegistrarStats& stats() const { return stats_; }
   net::NodeId node() const { return stack_.node_id(); }
+
+  /// The inverted attribute index over current registrations (read-only;
+  /// exposes the scalar oracle `match_scan` for equality property tests).
+  const ServiceIndex& index() const { return index_; }
+
+  /// Installs federation peers (requires Params::federate).
+  void set_peers(std::vector<net::NodeId> peers);
+  /// Routes shed-overload reports out of the tier (typically into an lpc
+  /// IssueLog via lpc::shed_issue_filer). No-op without admission control.
+  void set_issue_hook(AdmissionController::IssueHook hook);
+
+  /// Service-tier telemetry; null when the matching feature is disabled.
+  const QueryCacheStats* cache_stats() const {
+    return cache_ ? &cache_->stats() : nullptr;
+  }
+  const AdmissionStats* admission_stats() const {
+    return admission_ ? &admission_->stats() : nullptr;
+  }
+  const FederationStats* federation_stats() const {
+    return federation_ ? &federation_->stats() : nullptr;
+  }
 
   /// Publishes RegistrarStats to the world's metrics registry (pull-style;
   /// call before snapshotting). No-op when telemetry is off.
@@ -86,9 +124,12 @@ class JiniRegistrar {
   std::vector<ServiceDescription> snapshot(const ServiceTemplate& t) const;
 
   // --- checkpoint/restore (see src/snap) ------------------------------------
-  // The registrar is checkpointable at any instant: its only scheduled
-  // events are the announcer (a PeriodicTimer, re-armed verbatim) and the
-  // lease table's tracked expiry checks.
+  // A default-configured registrar is checkpointable at any instant: its
+  // only scheduled events are the announcer (a PeriodicTimer, re-armed
+  // verbatim) and the lease table's tracked expiry checks. With service-
+  // tier features enabled, save() additionally requires quiescence: no
+  // delayed (admission-queued) reply and no delegation in flight, since
+  // both hold reply closures. It throws snap::SnapError otherwise.
   void save(snap::SectionWriter& w) const;
   void restore(snap::SectionReader& r);
 
@@ -103,18 +144,32 @@ class JiniRegistrar {
   void announce();
   void notify(const ServiceDescription& s, bool appeared);
   void expire_service(ServiceId id);
+  /// Cache-aware local match (read-through on miss), ids ascending.
+  std::vector<ServiceId> local_match(const ServiceTemplate& tmpl);
+  void answer_lookup(net::NodeId requester, std::uint32_t token,
+                     const ServiceTemplate& tmpl);
+  void send_lookup_response(net::NodeId requester, std::uint32_t token,
+                            const std::vector<ServiceId>& ids,
+                            const std::vector<ServiceDescription>& remote);
 
   sim::World& world_;
   net::NetStack& stack_;
   Params params_;
   LeaseTable leases_;
-  std::map<ServiceId, ServiceDescription> services_;
+  ServiceIndex index_;
   std::vector<Subscription> subscriptions_;
   ServiceId next_service_id_ = 1;
   std::uint64_t next_subscription_id_ = 1;
   RegistrarStats stats_;
   std::unique_ptr<sim::PeriodicTimer> announcer_;
+  std::unique_ptr<QueryCache> cache_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<FederationPeer> federation_;
+  // Admission-delayed replies scheduled but not yet sent; nonzero blocks
+  // checkpointing (the events hold reply closures).
+  int pending_replies_ = 0;
   bool enabled_ = true;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 /// Client-side discovery agent: finds registrars, joins services to them
@@ -131,6 +186,12 @@ class JiniClient {
     sim::Time registrar_staleness = sim::Time::sec(25.0);
     /// Unanswered lookups fail with an empty result after this long.
     sim::Time lookup_timeout = sim::Time::sec(5.0);
+    /// Retries after a kLookupBusy (shed) reply before giving up; each
+    /// retry backs off exponentially with deterministic seed-derived
+    /// jitter so a shed storm of clients does not re-converge.
+    int busy_retries = 3;
+    sim::Time busy_backoff = sim::Time::ms(50);
+    std::uint64_t jitter_seed = 0x6a09e667f3bcc909ULL;
   };
 
   using RegistrarFound = std::function<void(net::NodeId registrar)>;
@@ -190,6 +251,7 @@ class JiniClient {
 
   void on_datagram(const net::Datagram& dg);
   void send_discovery(int attempt);
+  void send_lookup(std::uint32_t token);
   void with_registrar(std::function<void(net::NodeId)> action);
   void schedule_renewal(ServiceId id, sim::Time lease);
   std::function<void()> make_renewal(ServiceId id, sim::Time lease);
@@ -208,7 +270,12 @@ class JiniClient {
     ServiceDescription desc;  // kept for re-registration after failover
   };
   std::map<std::uint32_t, PendingRegistration> pending_reg_;
-  std::map<std::uint32_t, LookupResult> pending_lookup_;
+  struct PendingLookup {
+    LookupResult cb;
+    ServiceTemplate tmpl;   // kept for busy retries
+    int busy_attempts = 0;
+  };
+  std::map<std::uint32_t, PendingLookup> pending_lookup_;
   std::map<ServiceId, HeldRegistration> held_leases_;
   /// The scheduled renewal one-shot per lease id. An entry may outlive its
   /// held lease (withdrawn before the event fired); it is then a no-op

@@ -56,18 +56,22 @@ void LeaseTable::schedule_check(std::uint64_t key, std::uint64_t gen,
                                 sim::Time when) {
   const sim::EventHandle h = world_.sim().schedule_at(
       when, sim::EventCategory::kLease, make_check(key, gen));
-  checks_.push_back(PendingCheck{key, gen, h});
+  checks_[key].push_back(PendingCheck{gen, h});
 }
 
 std::function<void()> LeaseTable::make_check(std::uint64_t key,
                                              std::uint64_t gen) {
   return [this, key, gen, guard = std::weak_ptr<char>(alive_)] {
     if (guard.expired()) return;
-    checks_.erase(std::remove_if(checks_.begin(), checks_.end(),
-                                 [&](const PendingCheck& c) {
-                                   return c.key == key && c.gen == gen;
-                                 }),
-                  checks_.end());
+    if (const auto cit = checks_.find(key); cit != checks_.end()) {
+      std::vector<PendingCheck>& list = cit->second;
+      prune_visits_ += list.size();
+      list.erase(std::remove_if(
+                     list.begin(), list.end(),
+                     [&](const PendingCheck& c) { return c.gen == gen; }),
+                 list.end());
+      if (list.empty()) checks_.erase(cit);
+    }
     auto it = leases_.find(key);
     if (it == leases_.end() || it->second.gen != gen) return;  // renewed
     auto cb = std::move(it->second.on_expire);
@@ -86,6 +90,7 @@ std::function<void()> LeaseTable::make_check(std::uint64_t key,
 void LeaseTable::save(snap::SectionWriter& w) const {
   w.u64(next_gen_);
   w.u64(expirations_);
+  w.u64(prune_visits_);
 
   std::vector<std::pair<std::uint64_t, const Lease*>> sorted;
   sorted.reserve(leases_.size());
@@ -107,10 +112,12 @@ void LeaseTable::save(snap::SectionWriter& w) const {
   };
   std::vector<CheckRec> recs;
   recs.reserve(checks_.size());
-  for (const PendingCheck& c : checks_) {
-    const auto info = world_.sim().pending_event_info(c.event);
-    if (!info.valid) continue;  // fired/cancelled; entry not yet pruned
-    recs.push_back(CheckRec{c.key, c.gen, info.seq, info.id, info.when});
+  for (const auto& [key, list] : checks_) {
+    for (const PendingCheck& c : list) {
+      const auto info = world_.sim().pending_event_info(c.event);
+      if (!info.valid) continue;  // fired/cancelled; entry not yet pruned
+      recs.push_back(CheckRec{key, c.gen, info.seq, info.id, info.when});
+    }
   }
   std::sort(recs.begin(), recs.end(),
             [](const CheckRec& a, const CheckRec& b) { return a.seq < b.seq; });
@@ -130,6 +137,7 @@ void LeaseTable::restore(snap::SectionReader& r,
   checks_.clear();
   next_gen_ = r.u64();
   expirations_ = r.u64();
+  prune_visits_ = r.u64();
   const std::uint64_t n_leases = r.u64();
   for (std::uint64_t i = 0; i < n_leases; ++i) {
     const std::uint64_t key = r.u64();
@@ -147,7 +155,7 @@ void LeaseTable::restore(snap::SectionReader& r,
     const std::uint64_t id = r.u64();
     const sim::EventHandle h = world_.sim().restore_event(
         when, seq, id, sim::EventCategory::kLease, make_check(key, gen));
-    checks_.push_back(PendingCheck{key, gen, h});
+    checks_[key].push_back(PendingCheck{gen, h});
   }
 }
 

@@ -48,6 +48,12 @@ class LeaseTable {
 
   std::uint64_t expirations() const { return expirations_; }
 
+  /// Check-list entries examined while pruning fired expiry checks, summed
+  /// over the table's lifetime. A fired check prunes only its own key's
+  /// entries (the list used to be flat, making every expiry O(live
+  /// leases)); the regression test asserts this stays O(1) per expiry.
+  std::uint64_t prune_visits() const { return prune_visits_; }
+
   // --- checkpoint/restore (see src/snap) ------------------------------------
   // Expiry deadlines are serialized as durations-from-now, so a restore
   // under a simulated-time gap rebases every lease uniformly: a lease with
@@ -69,7 +75,6 @@ class LeaseTable {
   };
   /// One scheduled-but-unfired expiry check; pruned when it fires.
   struct PendingCheck {
-    std::uint64_t key;
     std::uint64_t gen;
     sim::EventHandle event;
   };
@@ -78,9 +83,13 @@ class LeaseTable {
 
   sim::World& world_;
   std::unordered_map<std::uint64_t, Lease> leases_;
-  std::vector<PendingCheck> checks_;
+  // Keyed by lease key so a fired check prunes only its own key's entries
+  // (typically one; a renewal chain leaves at most a handful of stale
+  // generations) instead of rescanning every live registration's check.
+  std::unordered_map<std::uint64_t, std::vector<PendingCheck>> checks_;
   std::uint64_t next_gen_ = 1;
   std::uint64_t expirations_ = 0;
+  std::uint64_t prune_visits_ = 0;
   // Telemetry handles; null when the world has no registry attached.
   obs::Counter* m_grants_ = nullptr;
   obs::Counter* m_renewals_ = nullptr;

@@ -1,5 +1,7 @@
 #include "disco/slp.hpp"
 
+#include "sim/random.hpp"
+
 namespace aroma::disco {
 
 // ---------------------------------------------------------------------------
@@ -17,9 +19,76 @@ SlpDirectoryAgent::SlpDirectoryAgent(sim::World& world, net::NetStack& stack,
   advertiser_ = std::make_unique<sim::PeriodicTimer>(
       world_.sim(), params_.advert_interval, [this] { advertise(); });
   advertiser_->start_after(sim::Time::ms(5));
+  if (params_.cache_capacity > 0) {
+    cache_ = std::make_unique<QueryCache>(params_.cache_capacity);
+  }
+  if (params_.admission_capacity > 0) {
+    admission_ = std::make_unique<AdmissionController>(
+        world_, AdmissionController::Params{params_.admission_capacity,
+                                            params_.admission_service_time});
+  }
+  if (params_.federate) {
+    federation_ = std::make_unique<FederationPeer>(
+        world_, stack_, params_.federation,
+        [this](const ServiceTemplate& tmpl) {
+          std::vector<ServiceDescription> out;
+          for (const ServiceId id : local_match(tmpl)) {
+            out.push_back(*index_.find(id));
+          }
+          return out;
+        });
+  }
 }
 
 SlpDirectoryAgent::~SlpDirectoryAgent() { stack_.unbind(net::kSlpPort); }
+
+void SlpDirectoryAgent::set_peers(std::vector<net::NodeId> peers) {
+  if (federation_) federation_->set_peers(std::move(peers));
+}
+
+void SlpDirectoryAgent::set_issue_hook(AdmissionController::IssueHook hook) {
+  if (admission_) admission_->set_issue_hook(std::move(hook));
+}
+
+std::vector<ServiceId> SlpDirectoryAgent::local_match(
+    const ServiceTemplate& tmpl) {
+  if (!cache_) return index_.match(tmpl);
+  const std::string key = QueryCache::key_of(tmpl);
+  if (const std::vector<ServiceId>* ids = cache_->lookup(key, index_.epoch())) {
+    return *ids;
+  }
+  std::vector<ServiceId> ids = index_.match(tmpl);
+  cache_->insert(key, index_.epoch(), ids);
+  return ids;
+}
+
+void SlpDirectoryAgent::send_reply(
+    net::NodeId requester, std::uint32_t token,
+    const std::vector<ServiceId>& ids,
+    const std::vector<ServiceDescription>& remote) {
+  net::ByteWriter out;
+  out.u8(static_cast<std::uint8_t>(SlpMsg::kSrvRply));
+  out.u32(token);
+  out.u32(static_cast<std::uint32_t>(ids.size() + remote.size()));
+  for (const ServiceId id : ids) index_.find(id)->serialize(out);
+  for (const auto& m : remote) m.serialize(out);
+  stack_.send(net::Endpoint{requester, net::kSlpPort}, net::kSlpPort,
+              out.take());
+}
+
+void SlpDirectoryAgent::answer_request(net::NodeId requester,
+                                       std::uint32_t token,
+                                       const ServiceTemplate& tmpl) {
+  const std::vector<ServiceId> ids = local_match(tmpl);
+  if (ids.empty() && federation_ && !federation_->peers().empty()) {
+    federation_->delegate(
+        tmpl, [this, requester, token](std::vector<ServiceDescription> remote) {
+          send_reply(requester, token, {}, remote);
+        });
+    return;
+  }
+  send_reply(requester, token, ids, {});
+}
 
 void SlpDirectoryAgent::advertise() {
   net::ByteWriter w;
@@ -39,7 +108,7 @@ void SlpDirectoryAgent::on_datagram(const net::Datagram& dg) {
       if (!r.ok()) return;
       // Re-registration of the same endpoint+type replaces the old entry.
       ServiceId id = 0;
-      for (const auto& [sid, s] : services_) {
+      for (const auto& [sid, s] : index_.services()) {
         if (s.endpoint == desc.endpoint && s.type == desc.type) {
           id = sid;
           break;
@@ -47,9 +116,9 @@ void SlpDirectoryAgent::on_datagram(const net::Datagram& dg) {
       }
       if (id == 0) id = next_id_++;
       desc.id = id;
-      services_[id] = desc;
+      index_.insert(desc);
       const sim::Time granted = std::min(lifetime, params_.max_lifetime);
-      leases_.grant(id, granted, [this, id] { services_.erase(id); });
+      leases_.grant(id, granted, [this, id] { index_.erase(id); });
       net::ByteWriter w;
       w.u8(static_cast<std::uint8_t>(SlpMsg::kSrvAck));
       w.u64(id);
@@ -61,17 +130,26 @@ void SlpDirectoryAgent::on_datagram(const net::Datagram& dg) {
       const std::uint32_t token = r.u32();
       const ServiceTemplate tmpl = ServiceTemplate::deserialize(r);
       if (!r.ok()) return;
-      std::vector<const ServiceDescription*> matches;
-      for (const auto& [id, s] : services_) {
-        if (tmpl.matches(s)) matches.push_back(&s);
+      if (admission_) {
+        const auto decision = admission_->decide();
+        if (!decision.admitted) {
+          // SLP has no busy reply: a shed request is dropped and the UA's
+          // retransmit schedule recovers.
+          ++requests_shed_;
+          return;
+        }
+        if (!decision.delay.is_zero()) {
+          world_.sim().schedule_in(
+              decision.delay, sim::EventCategory::kDiscovery,
+              [this, requester = dg.src.node, token, tmpl,
+               guard = std::weak_ptr<char>(alive_)] {
+                if (guard.expired()) return;
+                answer_request(requester, token, tmpl);
+              });
+          return;
+        }
       }
-      net::ByteWriter out;
-      out.u8(static_cast<std::uint8_t>(SlpMsg::kSrvRply));
-      out.u32(token);
-      out.u32(static_cast<std::uint32_t>(matches.size()));
-      for (const auto* m : matches) m->serialize(out);
-      stack_.send(net::Endpoint{dg.src.node, net::kSlpPort}, net::kSlpPort,
-                  out.take());
+      answer_request(dg.src.node, token, tmpl);
       return;
     }
     default:
@@ -183,16 +261,11 @@ void SlpUserAgent::find(const ServiceTemplate& tmpl, FindResult cb) {
   Pending p;
   p.cb = std::move(cb);
   p.multicast = !has_da();
+  p.tmpl = tmpl;
   pending_[token] = std::move(p);
 
-  net::ByteWriter w;
-  w.u8(static_cast<std::uint8_t>(SlpMsg::kSrvRqst));
-  w.u32(token);
-  tmpl.serialize(w);
-  ++messages_sent_;
+  send_request(token, tmpl);
   if (has_da()) {
-    stack_.send(net::Endpoint{da_node_, net::kSlpPort}, net::kSlpPort,
-                w.take());
     // DA replies promptly; time out as a safety net.
     world_.sim().schedule_in(params_.multicast_wait * 3,
                              [this, token, guard = std::weak_ptr<char>(alive_)] {
@@ -203,9 +276,8 @@ void SlpUserAgent::find(const ServiceTemplate& tmpl, FindResult cb) {
       pending_.erase(it);
       if (done.cb) done.cb(std::move(done.gathered));
     });
-  } else {
-    stack_.send_multicast(net::kDiscoveryGroup, net::kSlpPort, net::kSlpPort,
-                          w.take());
+  } else if (params_.retries <= 0) {
+    // Legacy single-shot: gather replies for one multicast_wait.
     world_.sim().schedule_in(params_.multicast_wait,
                              [this, token, guard = std::weak_ptr<char>(alive_)] {
       if (guard.expired()) return;
@@ -215,7 +287,58 @@ void SlpUserAgent::find(const ServiceTemplate& tmpl, FindResult cb) {
       pending_.erase(it);
       if (done.cb) done.cb(std::move(done.gathered));
     });
+  } else {
+    arm_retry(token, 0);
   }
+}
+
+void SlpUserAgent::send_request(std::uint32_t token,
+                                const ServiceTemplate& tmpl) {
+  net::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(SlpMsg::kSrvRqst));
+  w.u32(token);
+  tmpl.serialize(w);
+  ++messages_sent_;
+  if (has_da()) {
+    stack_.send(net::Endpoint{da_node_, net::kSlpPort}, net::kSlpPort,
+                w.take());
+  } else {
+    stack_.send_multicast(net::kDiscoveryGroup, net::kSlpPort, net::kSlpPort,
+                          w.take());
+  }
+}
+
+sim::Time SlpUserAgent::retry_gap(std::uint32_t token, int attempt) const {
+  if (!params_.jitter) return params_.multicast_wait;  // naive fixed spacing
+  // Exponential backoff with a counter-based jitter: stateless, seeded,
+  // and consuming no Rng draws, so enabling retries perturbs nothing else.
+  const sim::Time base = params_.multicast_wait * (1LL << attempt);
+  const std::uint64_t h = sim::mix_hash(
+      params_.jitter_seed ^ stack_.node_id(),
+      (static_cast<std::uint64_t>(token) << 8) |
+          static_cast<std::uint64_t>(attempt));
+  const double stretch = 1.0 + static_cast<double>(h % 4096) / 8192.0;
+  return sim::scale(base, stretch);
+}
+
+void SlpUserAgent::arm_retry(std::uint32_t token, int attempt) {
+  world_.sim().schedule_in(
+      retry_gap(token, attempt), sim::EventCategory::kDiscovery,
+      [this, token, attempt, guard = std::weak_ptr<char>(alive_)] {
+        if (guard.expired()) return;
+        auto it = pending_.find(token);
+        if (it == pending_.end()) return;
+        // Anything gathered by now answers the find; retransmit only
+        // while the request has gone completely unheard.
+        if (!it->second.gathered.empty() || attempt >= params_.retries) {
+          auto done = std::move(it->second);
+          pending_.erase(it);
+          if (done.cb) done.cb(std::move(done.gathered));
+          return;
+        }
+        send_request(token, it->second.tmpl);
+        arm_retry(token, attempt + 1);
+      });
 }
 
 void SlpUserAgent::on_datagram(const net::Datagram& dg) {

@@ -13,6 +13,8 @@
 #include <memory>
 #include <vector>
 
+#include "disco/federation.hpp"
+#include "disco/index.hpp"
 #include "disco/lease.hpp"
 #include "disco/service.hpp"
 #include "net/stack.hpp"
@@ -34,6 +36,14 @@ class SlpDirectoryAgent {
   struct Params {
     sim::Time advert_interval = sim::Time::sec(10.0);
     sim::Time max_lifetime = sim::Time::sec(60.0);
+    // Service-tier features, all off by default (see JiniRegistrar): a
+    // shed SLP request is silently dropped — the UA's retransmit path is
+    // the protocol's recovery mechanism.
+    std::size_t cache_capacity = 0;
+    std::uint64_t admission_capacity = 0;
+    sim::Time admission_service_time = sim::Time::us(50);
+    bool federate = false;
+    FederationPeer::Params federation;
   };
 
   SlpDirectoryAgent(sim::World& world, net::NetStack& stack);
@@ -42,19 +52,48 @@ class SlpDirectoryAgent {
   SlpDirectoryAgent(const SlpDirectoryAgent&) = delete;
   SlpDirectoryAgent& operator=(const SlpDirectoryAgent&) = delete;
 
-  std::size_t registered_count() const { return services_.size(); }
+  std::size_t registered_count() const { return index_.size(); }
+  const ServiceIndex& index() const { return index_; }
+
+  /// Installs federation peers (requires Params::federate). The peer set
+  /// may mix SLP DAs and Jini registrars: the federation wire format is
+  /// protocol agnostic.
+  void set_peers(std::vector<net::NodeId> peers);
+  void set_issue_hook(AdmissionController::IssueHook hook);
+
+  std::uint64_t requests_shed() const { return requests_shed_; }
+  const QueryCacheStats* cache_stats() const {
+    return cache_ ? &cache_->stats() : nullptr;
+  }
+  const AdmissionStats* admission_stats() const {
+    return admission_ ? &admission_->stats() : nullptr;
+  }
+  const FederationStats* federation_stats() const {
+    return federation_ ? &federation_->stats() : nullptr;
+  }
 
  private:
   void on_datagram(const net::Datagram& dg);
   void advertise();
+  std::vector<ServiceId> local_match(const ServiceTemplate& tmpl);
+  void answer_request(net::NodeId requester, std::uint32_t token,
+                      const ServiceTemplate& tmpl);
+  void send_reply(net::NodeId requester, std::uint32_t token,
+                  const std::vector<ServiceId>& ids,
+                  const std::vector<ServiceDescription>& remote);
 
   sim::World& world_;
   net::NetStack& stack_;
   Params params_;
   LeaseTable leases_;
-  std::map<ServiceId, ServiceDescription> services_;
+  ServiceIndex index_;
   ServiceId next_id_ = 1;
   std::unique_ptr<sim::PeriodicTimer> advertiser_;
+  std::unique_ptr<QueryCache> cache_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<FederationPeer> federation_;
+  std::uint64_t requests_shed_ = 0;
+  std::shared_ptr<char> alive_ = std::make_shared<char>(0);
 };
 
 /// Service Agent: advertises one or more local services. Registers with a
@@ -98,6 +137,14 @@ class SlpUserAgent {
  public:
   struct Params {
     sim::Time multicast_wait = sim::Time::sec(1.0);
+    /// Retransmits per DA-less find while no reply has been gathered; 0
+    /// keeps the legacy single-shot behaviour. With `jitter` the k-th gap
+    /// is multicast_wait * 2^k stretched by a deterministic seed-derived
+    /// factor in [1, 1.5); without it every gap is exactly multicast_wait
+    /// (naive fixed spacing, kept as the comparison baseline).
+    int retries = 0;
+    bool jitter = true;
+    std::uint64_t jitter_seed = 0xbb67ae8584caa73bULL;
   };
 
   using FindResult = std::function<void(std::vector<ServiceDescription>)>;
@@ -117,6 +164,9 @@ class SlpUserAgent {
 
  private:
   void on_datagram(const net::Datagram& dg);
+  void send_request(std::uint32_t token, const ServiceTemplate& tmpl);
+  void arm_retry(std::uint32_t token, int attempt);
+  sim::Time retry_gap(std::uint32_t token, int attempt) const;
 
   sim::World& world_;
   net::NetStack& stack_;
@@ -126,6 +176,7 @@ class SlpUserAgent {
     FindResult cb;
     std::vector<ServiceDescription> gathered;
     bool multicast = false;
+    ServiceTemplate tmpl;  // kept for retransmits
   };
   std::map<std::uint32_t, Pending> pending_;
   std::uint32_t next_token_ = 1;

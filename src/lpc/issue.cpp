@@ -42,7 +42,11 @@ IssueClassifier::IssueClassifier() {
            // Fleet vocabulary: a dead worker process or a stalled control
            // plane is an infrastructure (resource-layer) failure.
            "worker process", "heartbeat", "checkpoint", "migration",
-           "control plane"});
+           "control plane",
+           // Service-tier vocabulary: an overloaded registrar shedding
+           // lookups is degraded infrastructure, not a user-level issue.
+           "registrar", "admission", "shed", "overload", "federation",
+           "delegation", "query cache", "session gateway"});
   add_all(Layer::kAbstract,
           {"mental model", "confus", "session", "hijack", "state",
            "workflow", "steps", "on-line help", "documentation", "intuitive",
@@ -115,6 +119,19 @@ double IssueLog::total_severity_at(Layer layer) const {
   double total = 0.0;
   for (const auto* i : at_layer(layer)) total += i->severity;
   return total;
+}
+
+std::function<void(const std::string&, double)> shed_issue_filer(
+    IssueLog& log, std::string entity) {
+  return [&log, entity = std::move(entity)](const std::string& description,
+                                            double severity) {
+    Issue issue;
+    issue.description = description;
+    issue.layer = Layer::kResource;
+    issue.severity = severity;
+    issue.entity = entity;
+    log.add(issue);
+  };
 }
 
 }  // namespace aroma::lpc

@@ -4,6 +4,9 @@
 
 #include <memory>
 
+#include "disco/federation.hpp"
+#include "disco/gateway.hpp"
+#include "disco/index.hpp"
 #include "disco/jini.hpp"
 #include "disco/lease.hpp"
 #include "disco/service.hpp"
@@ -12,7 +15,9 @@
 #include "env/environment.hpp"
 #include "net/serialize.hpp"
 #include "phys/device.hpp"
+#include "sim/random.hpp"
 #include "sim/world.hpp"
+#include "snap/format.hpp"
 
 namespace aroma::disco {
 namespace {
@@ -491,6 +496,491 @@ TEST(Ssdp, SilentDeathLeavesStaleCacheUntilMaxAge) {
   // ...and gone after max-age (45 s default) with no refresh.
   tb.run_until(70.0);
   EXPECT_TRUE(cp.cached(ServiceTemplate{}).empty());
+}
+
+// --- ServiceIndex ----------------------------------------------------------
+
+TEST(ServiceIndex, MatchEqualsScanOracleRandomized) {
+  sim::Rng rng(0xd15c0);
+  const char* kTypes[] = {"projector", "projector/display",
+                          "projector/display/hd", "printer", "printer/laser",
+                          "media/renderer"};
+  const char* kKeys[] = {"room", "floor", "owner"};
+  const char* kVals[] = {"lab-a", "lab-b", "2", "3", "alice", "bob"};
+
+  ServiceIndex index;
+  for (int round = 0; round < 40; ++round) {
+    // Mutate: insert a few random services, erase a random live one.
+    for (int i = 0; i < 8; ++i) {
+      ServiceDescription s;
+      s.id = static_cast<ServiceId>(rng.uniform_int(1, 200));
+      s.type = kTypes[rng.uniform_int(0, 5)];
+      s.endpoint = {static_cast<net::NodeId>(rng.uniform_int(1, 9)), 80};
+      const int nattrs = static_cast<int>(rng.uniform_int(0, 3));
+      for (int a = 0; a < nattrs; ++a) {
+        s.attributes[kKeys[rng.uniform_int(0, 2)]] =
+            kVals[rng.uniform_int(0, 5)];
+      }
+      index.insert(s);
+    }
+    if (!index.services().empty() && rng.uniform_int(0, 1) == 0) {
+      index.erase(index.services().begin()->first);
+    }
+
+    // Probe: randomized templates, including wildcard and absent terms.
+    for (int q = 0; q < 20; ++q) {
+      ServiceTemplate t;
+      switch (rng.uniform_int(0, 3)) {
+        case 0: break;  // wildcard
+        case 1: t.type = kTypes[rng.uniform_int(0, 5)]; break;
+        case 2: t.type = "nonexistent/type"; break;
+        default: t.type = kTypes[rng.uniform_int(0, 5)]; break;
+      }
+      const int nattrs = static_cast<int>(rng.uniform_int(0, 2));
+      for (int a = 0; a < nattrs; ++a) {
+        t.attributes[kKeys[rng.uniform_int(0, 2)]] =
+            kVals[rng.uniform_int(0, 5)];
+      }
+      EXPECT_EQ(index.match(t), index.match_scan(t))
+          << "round " << round << " probe " << q;
+    }
+  }
+}
+
+TEST(ServiceIndex, EpochBumpsOnEveryMutation) {
+  ServiceIndex index;
+  const std::uint64_t e0 = index.epoch();
+  ServiceDescription s = make_service("projector/display", 1, 10);
+  s.id = 1;
+  index.insert(s);
+  EXPECT_GT(index.epoch(), e0);
+  const std::uint64_t e1 = index.epoch();
+  index.erase(1);
+  EXPECT_GT(index.epoch(), e1);
+  EXPECT_EQ(index.size(), 0u);
+}
+
+// --- QueryCache / AdmissionController ---------------------------------------
+
+TEST(Federation, CacheHitsRepeatsAndInvalidatesOnReRegistration) {
+  Testbed tb;
+  auto& reg_stack = tb.add_node(1, {0, 0});
+  JiniRegistrar::Params rp;
+  rp.cache_capacity = 16;
+  JiniRegistrar registrar(tb.world(), reg_stack, rp);
+
+  auto& sa = tb.add_node(2, {5, 0});
+  auto& ua = tb.add_node(3, {0, 5});
+  JiniClient provider(tb.world(), sa);
+  JiniClient seeker(tb.world(), ua);
+
+  ServiceId id = 0;
+  provider.register_service(make_service("projector/display", 2, 5800),
+                            [&](bool, ServiceId got) { id = got; });
+  tb.run_until(3.0);
+  ASSERT_NE(id, 0u);
+
+  const ServiceTemplate tmpl{"projector", {{"room", "lab-a"}}};
+  std::vector<ServiceDescription> found;
+  seeker.lookup(tmpl, [&](auto s) { found = std::move(s); });
+  tb.run_until(5.0);
+  ASSERT_EQ(found.size(), 1u);  // miss, then cached
+  seeker.lookup(tmpl, [&](auto s) { found = std::move(s); });
+  tb.run_until(7.0);
+  ASSERT_EQ(found.size(), 1u);
+  ASSERT_NE(registrar.cache_stats(), nullptr);
+  EXPECT_GE(registrar.cache_stats()->hits, 1u);
+
+  // Re-register with changed attributes: the epoch bump must kill the
+  // cached entry, so the old template stops matching.
+  provider.withdraw(id);
+  ServiceDescription moved = make_service("projector/display", 2, 5800);
+  moved.attributes["room"] = "lab-b";
+  provider.register_service(moved, [](bool, ServiceId) {});
+  tb.run_until(9.0);
+
+  found = {make_service("sentinel", 9, 9)};
+  seeker.lookup(tmpl, [&](auto s) { found = std::move(s); });
+  tb.run_until(11.0);
+  EXPECT_TRUE(found.empty());  // stale entry not served
+  EXPECT_GE(registrar.cache_stats()->invalidations, 1u);
+}
+
+TEST(Federation, AdmissionShedsAtCapacityAndFilesIssuesOnCadence) {
+  sim::World w(1);
+  AdmissionController::Params p;
+  p.capacity = 4;
+  p.service_time = sim::Time::ms(1);
+  AdmissionController adm(w, p);
+  std::vector<std::string> reports;
+  adm.set_issue_hook(
+      [&](const std::string& text, double severity) {
+        EXPECT_GT(severity, 0.0);
+        reports.push_back(text);
+      });
+
+  int admitted = 0, shed = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (adm.decide().admitted) ++admitted; else ++shed;
+  }
+  EXPECT_EQ(admitted, 4);
+  EXPECT_EQ(shed, 16);
+  EXPECT_LE(adm.stats().max_queue, p.capacity);
+  // Power-of-two cadence: sheds 1, 2, 4, 8, 16 file reports.
+  EXPECT_EQ(reports.size(), 5u);
+  EXPECT_NE(reports[0].find("shed"), std::string::npos);
+
+  // The virtual queue drains with simulated time.
+  w.sim().run_until(sim::Time::ms(10));
+  EXPECT_EQ(adm.queue_depth(), 0u);
+  EXPECT_TRUE(adm.decide().admitted);
+}
+
+TEST(Federation, ShedLookupRetriesWithBackoffAndSucceeds) {
+  Testbed tb;
+  auto& reg_stack = tb.add_node(1, {0, 0});
+  JiniRegistrar::Params rp;
+  rp.admission_capacity = 1;
+  rp.admission_service_time = sim::Time::ms(100);
+  JiniRegistrar registrar(tb.world(), reg_stack, rp);
+
+  auto& sa = tb.add_node(2, {5, 0});
+  auto& ua1 = tb.add_node(3, {0, 5});
+  auto& ua2 = tb.add_node(4, {5, 5});
+  JiniClient provider(tb.world(), sa);
+  JiniClient::Params cp;
+  cp.busy_backoff = sim::Time::ms(120);  // first retry lands past the backlog
+  JiniClient seeker1(tb.world(), ua1, cp);
+  JiniClient seeker2(tb.world(), ua2, cp);
+
+  provider.register_service(make_service("projector/display", 2, 5800),
+                            [](bool, ServiceId) {});
+  tb.run_until(3.0);
+
+  // Two near-simultaneous lookups against a one-deep queue: one is shed
+  // with kLookupBusy and must succeed on a jittered retry.
+  std::vector<ServiceDescription> r1, r2;
+  bool done1 = false, done2 = false;
+  seeker1.lookup(ServiceTemplate{"projector", {}},
+                 [&](auto s) { r1 = std::move(s); done1 = true; });
+  seeker2.lookup(ServiceTemplate{"projector", {}},
+                 [&](auto s) { r2 = std::move(s); done2 = true; });
+  tb.run_until(10.0);
+  ASSERT_TRUE(done1);
+  ASSERT_TRUE(done2);
+  EXPECT_EQ(r1.size(), 1u);
+  EXPECT_EQ(r2.size(), 1u);
+  EXPECT_GE(registrar.stats().lookups_shed, 1u);
+}
+
+// --- FederationPeer ----------------------------------------------------------
+
+TEST(Federation, DelegationGathersFromLivePeers) {
+  Testbed tb;
+  auto& s1 = tb.add_node(1, {0, 0});
+  auto& s2 = tb.add_node(2, {5, 0});
+  FederationPeer a(tb.world(), s1, {}, [](const ServiceTemplate&) {
+    return std::vector<ServiceDescription>{};
+  });
+  FederationPeer b(tb.world(), s2, {}, [](const ServiceTemplate& t) {
+    std::vector<ServiceDescription> out;
+    if (t.matches(make_service("printer/laser", 2, 631))) {
+      out.push_back(make_service("printer/laser", 2, 631));
+    }
+    return out;
+  });
+  a.set_peers({2});
+
+  std::vector<ServiceDescription> got;
+  bool done = false;
+  tb.world().sim().schedule_at(sim::Time::sec(1), [&] {
+    a.delegate(ServiceTemplate{"printer", {}},
+               [&](auto r) { got = std::move(r); done = true; });
+  });
+  tb.run_until(3.0);
+  ASSERT_TRUE(done);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].endpoint.node, 2u);
+  EXPECT_EQ(a.stats().remote_hits, 1u);
+  EXPECT_EQ(a.stats().timeouts, 0u);
+  EXPECT_EQ(b.stats().peer_queries, 1u);
+  EXPECT_TRUE(a.quiescent());
+}
+
+TEST(Federation, PeerDeathMidDelegationCompletesViaTimeout) {
+  Testbed tb;
+  auto& s1 = tb.add_node(1, {0, 0});
+  auto& s2 = tb.add_node(2, {5, 0});
+  FederationPeer a(tb.world(), s1, {}, [](const ServiceTemplate&) {
+    return std::vector<ServiceDescription>{};
+  });
+  auto b = std::make_unique<FederationPeer>(
+      tb.world(), s2, FederationPeer::Params{},
+      [](const ServiceTemplate&) {
+        std::vector<ServiceDescription> out;
+        out.push_back(make_service("printer/laser", 2, 631));
+        return out;
+      });
+  a.set_peers({2});
+
+  // The peer dies in the same instant the query departs: its reply never
+  // comes, and the delegation must complete (empty) at the reply timeout
+  // rather than hang.
+  std::vector<ServiceDescription> got = {make_service("sentinel", 9, 9)};
+  bool done = false;
+  tb.world().sim().schedule_at(sim::Time::sec(1), [&] {
+    a.delegate(ServiceTemplate{"printer", {}},
+               [&](auto r) { got = std::move(r); done = true; });
+    b.reset();
+  });
+  tb.run_until(5.0);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(got.empty());
+  EXPECT_EQ(a.stats().timeouts, 1u);
+  EXPECT_TRUE(a.quiescent());
+}
+
+TEST(Federation, JiniRegistrarDelegatesLocalMissToSlpPeer) {
+  // Cross-protocol federation: a Jini registrar with an empty index peers
+  // with an SLP directory agent that knows a printer. A Jini lookup that
+  // misses locally is answered with the peer's service.
+  Testbed tb;
+  auto& reg_stack = tb.add_node(1, {0, 0});
+  JiniRegistrar::Params rp;
+  rp.federate = true;
+  JiniRegistrar registrar(tb.world(), reg_stack, rp);
+  registrar.set_peers({2});
+
+  auto& da_stack = tb.add_node(2, {5, 0});
+  SlpDirectoryAgent::Params dp;
+  dp.federate = true;
+  SlpDirectoryAgent da(tb.world(), da_stack, dp);
+
+  auto& sa_stack = tb.add_node(3, {0, 5});
+  SlpServiceAgent sa(tb.world(), sa_stack);
+  sa.advertise(make_service("printer/laser", 3, 631));
+
+  auto& ua_stack = tb.add_node(4, {5, 5});
+  JiniClient seeker(tb.world(), ua_stack);
+
+  tb.run_until(12.0);  // DA advert heard, SA registered with the DA
+  ASSERT_EQ(da.registered_count(), 1u);
+  ASSERT_EQ(registrar.registered_count(), 0u);
+
+  std::vector<ServiceDescription> found;
+  seeker.lookup(ServiceTemplate{"printer", {}},
+                [&](auto s) { found = std::move(s); });
+  tb.run_until(20.0);
+  ASSERT_EQ(found.size(), 1u);
+  EXPECT_EQ(found[0].type, "printer/laser");
+  EXPECT_EQ(found[0].endpoint.node, 3u);
+  EXPECT_EQ(registrar.stats().lookups_delegated, 1u);
+  ASSERT_NE(registrar.federation_stats(), nullptr);
+  EXPECT_EQ(registrar.federation_stats()->remote_hits, 1u);
+  ASSERT_NE(da.federation_stats(), nullptr);
+  EXPECT_EQ(da.federation_stats()->peer_queries, 1u);
+}
+
+// --- LeaseTable prune cost ---------------------------------------------------
+
+TEST(LeaseTable, ExpiryPruneCostIndependentOfLiveLeaseCount) {
+  // A fired expiry check prunes only its own key's check entries, so the
+  // bookkeeping cost of one expiry must not scale with how many other
+  // leases are alive (it used to rescan the whole table).
+  const auto visits_for_one_expiry = [](std::uint64_t live) {
+    sim::World w(1);
+    LeaseTable leases(w);
+    int expired = 0;
+    // Key 0 expires first; everything else holds a much longer lease.
+    leases.grant(0, sim::Time::sec(1), [&] { ++expired; });
+    for (std::uint64_t k = 1; k < live; ++k) {
+      leases.grant(k, sim::Time::sec(1000.0 + static_cast<double>(k)),
+                   [] {});
+    }
+    const std::uint64_t before = leases.prune_visits();
+    w.sim().run_until(sim::Time::sec(2));
+    EXPECT_EQ(expired, 1);
+    return leases.prune_visits() - before;
+  };
+
+  const std::uint64_t small = visits_for_one_expiry(16);
+  const std::uint64_t large = visits_for_one_expiry(4096);
+  EXPECT_EQ(small, large);
+  EXPECT_LE(small, 2u);
+}
+
+// --- SLP retransmit backoff ---------------------------------------------------
+
+// Counts the UA messages needed to find a service whose SA only comes up
+// `sa_up_at` seconds into the run (the "lossy start" scenario).
+static std::uint64_t slp_messages_under_outage(bool jitter, int retries,
+                                               std::uint64_t seed,
+                                               std::size_t* found_count) {
+  Testbed tb(seed);
+  auto& sa_stack = tb.add_node(2, {5, 0});
+  auto& ua_stack = tb.add_node(3, {0, 5});
+  SlpServiceAgent sa(tb.world(), sa_stack);
+  SlpUserAgent::Params up;
+  up.retries = retries;
+  up.jitter = jitter;
+  SlpUserAgent ua(tb.world(), ua_stack, up);
+
+  // The service appears 4.5 s in; requests before then go unanswered.
+  tb.world().sim().schedule_at(sim::Time::sec(4.5), [&] {
+    sa.advertise(make_service("printer/laser", 2, 631));
+  });
+
+  std::vector<ServiceDescription> found;
+  ua.find(ServiceTemplate{"printer", {}},
+          [&](auto s) { found = std::move(s); });
+  tb.run_until(40.0);
+  if (found_count) *found_count = found.size();
+  return ua.messages_sent();
+}
+
+TEST(Slp, JitteredBackoffCutsRetransmitTrafficUnderLoss) {
+  std::size_t found_fixed = 0, found_jitter = 0;
+  const std::uint64_t fixed =
+      slp_messages_under_outage(/*jitter=*/false, /*retries=*/10, 1,
+                                &found_fixed);
+  const std::uint64_t jittered =
+      slp_messages_under_outage(/*jitter=*/true, /*retries=*/10, 1,
+                                &found_jitter);
+  EXPECT_EQ(found_fixed, 1u);
+  EXPECT_EQ(found_jitter, 1u);
+  // Fixed spacing probes every multicast_wait through the outage; the
+  // jittered exponential covers it in a fraction of the messages.
+  EXPECT_LT(jittered, fixed);
+  EXPECT_LE(jittered, fixed / 2 + 1);
+}
+
+TEST(Slp, JitteredBackoffIsDeterministic) {
+  std::size_t found_a = 0, found_b = 0;
+  const std::uint64_t a =
+      slp_messages_under_outage(true, 10, 7, &found_a);
+  const std::uint64_t b =
+      slp_messages_under_outage(true, 10, 7, &found_b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(found_a, found_b);
+}
+
+// --- SessionGateway -----------------------------------------------------------
+
+TEST(Gateway, OpenRenewCloseExpireSemantics) {
+  sim::World w(1);
+  SessionGateway gw(w);
+  int expired = 0;
+  const GatewaySession s =
+      gw.open(7, sim::Time::ms(100), [&] { ++expired; });
+  EXPECT_TRUE(gw.active(s));
+  EXPECT_EQ(gw.owner_of(s), 7u);
+  EXPECT_EQ(gw.size(), 1u);
+
+  w.sim().run_until(sim::Time::ms(60));
+  EXPECT_TRUE(gw.renew(s, sim::Time::ms(100)));
+  w.sim().run_until(sim::Time::ms(120));
+  EXPECT_TRUE(gw.active(s)) << "renewal must postpone expiry";
+  w.sim().run_until(sim::Time::sec(1));
+  EXPECT_EQ(expired, 1);
+  EXPECT_FALSE(gw.active(s));
+  EXPECT_FALSE(gw.renew(s));
+  EXPECT_EQ(gw.size(), 0u);
+
+  int expired2 = 0;
+  const GatewaySession t = gw.open(8, sim::Time::ms(50), [&] { ++expired2; });
+  EXPECT_NE(t, s) << "slot reuse must mint a fresh generation";
+  EXPECT_TRUE(gw.close(t));
+  EXPECT_FALSE(gw.close(t));
+  w.sim().run_until(sim::Time::sec(2));
+  EXPECT_EQ(expired2, 0) << "close suppresses the expiry callback";
+}
+
+TEST(Gateway, ActiveConsultsExactDeadlineNotTickQuantum) {
+  sim::World w(1);
+  SessionGateway::Params p;
+  p.tick = sim::Time::ms(10);
+  SessionGateway gw(w, p);
+  const GatewaySession s = gw.open(1, sim::Time::ms(25), [] {});
+  // At 26 ms the exact deadline has passed but the 30 ms bucket tick has
+  // not fired; the session must already read as inactive.
+  w.sim().run_until(sim::Time::ms(26));
+  EXPECT_FALSE(gw.active(s));
+  EXPECT_FALSE(gw.renew(s));
+}
+
+TEST(Gateway, ThousandsOfSessionsShareBatchedWakeups) {
+  sim::World w(1);
+  SessionGateway::Params p;
+  p.tick = sim::Time::ms(10);
+  SessionGateway gw(w, p);
+  sim::Rng rng(42);
+  int expired = 0;
+  const int kSessions = 5000;
+  for (int i = 0; i < kSessions; ++i) {
+    // Deadlines spread over [1 s, 2 s): at most ~100 distinct ticks.
+    const auto lease = sim::Time::ms(1000 + rng.uniform_int(0, 999));
+    gw.open(i, lease, [&] { ++expired; });
+  }
+  w.sim().run_until(sim::Time::sec(5));
+  EXPECT_EQ(expired, kSessions);
+  EXPECT_EQ(gw.size(), 0u);
+  // One kernel wakeup per non-empty tick, not per session.
+  EXPECT_LE(gw.stats().wakeups, 110u);
+  EXPECT_EQ(gw.stats().expired, static_cast<std::uint64_t>(kSessions));
+}
+
+// --- Registrar snapshot with the index -----------------------------------------
+
+TEST(Jini, RegistrarSnapshotPreservesIndexedMatching) {
+  JiniWorld jw;
+  auto& sa = jw.tb.add_node(2, {5, 0});
+  JiniClient provider(jw.tb.world(), sa);
+  provider.register_service(make_service("projector/display", 2, 5800),
+                            [](bool, ServiceId) {});
+  provider.register_service(make_service("printer/laser", 2, 631),
+                            [](bool, ServiceId) {});
+  jw.tb.run_until(3.0);
+  ASSERT_EQ(jw.registrar->registered_count(), 2u);
+
+  snap::SectionWriter w(jw.tb.world().now());
+  jw.registrar->save(w);
+  const std::vector<std::uint8_t> blob = w.take();
+
+  // Restore into a twin world and query through the rebuilt index.
+  JiniWorld twin;
+  twin.tb.run_until(3.0);
+  snap::SectionReader r({blob.data(), blob.size()}, twin.tb.world().now());
+  twin.registrar->restore(r);
+  EXPECT_EQ(twin.registrar->registered_count(), 2u);
+  const auto projectors =
+      twin.registrar->snapshot(ServiceTemplate{"projector", {}});
+  ASSERT_EQ(projectors.size(), 1u);
+  EXPECT_EQ(projectors[0].type, "projector/display");
+  EXPECT_EQ(twin.registrar->index().match(ServiceTemplate{}),
+            twin.registrar->index().match_scan(ServiceTemplate{}));
+}
+
+TEST(Jini, RegistrarSaveRefusesMidDelegation) {
+  Testbed tb;
+  auto& reg_stack = tb.add_node(1, {0, 0});
+  JiniRegistrar::Params rp;
+  rp.federate = true;
+  JiniRegistrar registrar(tb.world(), reg_stack, rp);
+  // The peer is a node that does not exist: the delegated query goes
+  // unanswered, holding the delegation open until the 1 s reply timeout.
+  registrar.set_peers({99});
+  auto& ua = tb.add_node(3, {0, 5});
+  JiniClient seeker(tb.world(), ua);
+  tb.run_until(2.0);
+
+  seeker.lookup(ServiceTemplate{"printer", {}}, [](auto) {});
+  // Step into the open delegation window, then try to checkpoint.
+  tb.run_until(2.8);
+  snap::SectionWriter w(tb.world().now());
+  EXPECT_THROW(registrar.save(w), snap::SnapError);
+  tb.run_until(10.0);  // reply timeout fired; quiescent again
+  snap::SectionWriter w2(tb.world().now());
+  EXPECT_NO_THROW(registrar.save(w2));
 }
 
 }  // namespace
