@@ -70,6 +70,9 @@
 #include "phys/device.hpp"
 #include "phys/profile.hpp"
 #include "rfb/workload.hpp"
+#include "scn/blob.hpp"
+#include "scn/compiler.hpp"
+#include "scn/runtime.hpp"
 #include "sim/arena.hpp"
 #include "sim/fleet.hpp"
 #include "sim/random.hpp"
@@ -555,6 +558,51 @@ int main(int argc, char** argv) {
                       static_cast<double>(arena_mode.arena.recycled),
                       hex64(arena_mode.fingerprint));
 
+  // --- Compiled-scenario oracle: the declarative Smart Projector. ---------
+  // scenarios/smart_projector.scn compiled through the scn pass pipeline
+  // and fleet-run must reproduce run_room's fleet fingerprint bit-exactly —
+  // the scenario compiler's executable artifact is interchangeable with the
+  // handwritten room.
+  benchsup::Json scn_oracle = benchsup::Json::object();
+  try {
+    const std::string scn_path =
+        std::string(AROMA_SCENARIO_DIR) + "/smart_projector.scn";
+    const scn::Scenario compiled_room =
+        scn::decode(scn::compile_file(scn_path, {}));
+    const scn::FleetResult compiled =
+        scn::run_fleet(compiled_room, ab_shards, seed, 1);
+    const bool scn_match = compiled.fleet_fp == arena_mode.fingerprint;
+    if (!scn_match) {
+      std::fprintf(stderr,
+                   "FAIL: compiled scenario diverged from run_room "
+                   "(%s vs %s)\n",
+                   hex64(compiled.fleet_fp).c_str(),
+                   hex64(arena_mode.fingerprint).c_str());
+      ok = false;
+    }
+    benchsup::table_header(
+        "Compiled scenario oracle (" + std::to_string(ab_shards) + " shards)",
+        {"source", "events", "fingerprint", "match"});
+    benchsup::table_row(std::string("run_room"),
+                        static_cast<double>(arena_mode.events),
+                        hex64(arena_mode.fingerprint), std::string("-"));
+    benchsup::table_row(std::string("compiled"),
+                        static_cast<double>(compiled.events),
+                        hex64(compiled.fleet_fp),
+                        std::string(scn_match ? "yes" : "NO"));
+    scn_oracle.set("scenario", scn_path);
+    scn_oracle.set("shards", static_cast<std::uint64_t>(ab_shards));
+    scn_oracle.set("compiled_fingerprint", hex64(compiled.fleet_fp));
+    scn_oracle.set("run_room_fingerprint", hex64(arena_mode.fingerprint));
+    scn_oracle.set("events_compiled", compiled.events);
+    scn_oracle.set("events_run_room", arena_mode.events);
+    scn_oracle.set("fingerprint_match", scn_match);
+  } catch (const scn::ScnError& e) {
+    std::fprintf(stderr, "FAIL: compiled scenario oracle: %s\n", e.what());
+    scn_oracle.set("error", std::string(e.what()));
+    ok = false;
+  }
+
   // --- Scaling sweep. -----------------------------------------------------
   // Every shard count runs at every distinct worker count in {1, 2, 4, hw}:
   // the sweep measures scaling and doubles as the determinism check (each
@@ -899,6 +947,7 @@ int main(int argc, char** argv) {
   alloc.set("arena_chunks", arena_mode.arena.chunks);
   alloc.set("fingerprint_match", alloc_match);
   doc.set("alloc", std::move(alloc));
+  doc.set("scn_oracle", std::move(scn_oracle));
   doc.set("runs", std::move(runs));
   benchsup::Json determinism = benchsup::Json::object();
   {

@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
 """Validate the machine-readable output of bench/kernel_bench,
-bench/fleet_bench, bench/rfb_bench, bench/snap_bench, bench/obs_bench, and
-bench/disco_bench, plus the BENCH_metrics.json metrics export.
+bench/fleet_bench, bench/rfb_bench, bench/snap_bench, bench/obs_bench,
+bench/disco_bench, and bench/scn_bench, plus the BENCH_metrics.json
+metrics export.
 
 Usage: check_bench_json.py BENCH_kernel.json [BENCH_obs.json ...]
 
 Dispatches on each document's top-level "bench" field ("kernel", "fleet",
-"rfb", "snap", "obs", or "disco"); a document with no "bench" field is
-validated as a metrics export. Checks structure plus machine-independent invariants (replica
+"rfb", "snap", "obs", "disco", or "scn"); a document with no "bench" field
+is validated as a metrics export. Checks structure plus machine-independent invariants (replica
 fingerprints, byte ratios) -- never absolute performance, which is
 machine-dependent. CI runs this after the bench smoke runs so a refactor
 that silently stops emitting a field (or the per-category profiler
@@ -254,6 +255,30 @@ def check_fleet(doc):
     det = doc.get("determinism")
     if not isinstance(det, dict) or not det.get("fingerprints_identical"):
         fail('"determinism.fingerprints_identical" is not true')
+
+    # The scenario-compiler oracle: the compiled smart_projector blob must
+    # reproduce run_room's arena-mode fleet fingerprint bit-exactly.
+    scn = doc.get("scn_oracle")
+    if not isinstance(scn, dict):
+        fail('top-level "scn_oracle" missing')
+    if "error" in scn:
+        fail(f'scenario-compiler oracle leg aborted: {scn["error"]!r}')
+    check_keys(scn, {"scenario": str, "shards": int,
+                     "compiled_fingerprint": str,
+                     "run_room_fingerprint": str,
+                     "events_compiled": int, "events_run_room": int,
+                     "fingerprint_match": bool}, '"scn_oracle"')
+    check_fingerprint(scn["compiled_fingerprint"], "scn_oracle compiled")
+    check_fingerprint(scn["run_room_fingerprint"], "scn_oracle run_room")
+    if scn["compiled_fingerprint"] != scn["run_room_fingerprint"]:
+        fail("compiled smart_projector diverged from run_room "
+             f'({scn["compiled_fingerprint"]} vs '
+             f'{scn["run_room_fingerprint"]})')
+    if not scn["fingerprint_match"]:
+        fail('"scn_oracle.fingerprint_match" contradicts the fingerprints')
+    if scn["events_compiled"] != scn["events_run_room"]:
+        fail(f'scn_oracle executed {scn["events_compiled"]} events vs '
+             f'run_room {scn["events_run_room"]}')
 
     # Multi-process legs (src/fleet): scale-out across worker processes,
     # 1-vs-N equivalence, live migration, kill recovery, zero-alloc
@@ -822,6 +847,163 @@ def check_disco(doc):
           f"wakeups over {gw['sessions']} sessions)")
 
 
+SCN_LIBRARY = {
+    "smart_projector", "office_tower", "conference_hall",
+    "hospital_ward", "stadium", "campus_mesh",
+}
+SCN_COMPILE_KEYS = {
+    "scenario": str,
+    "blob_bytes": int,
+    "folds": int,
+    "trains_lowered": int,
+    "class_modulus": int,
+    "kernel_trains": bool,
+    "compile_twice_identical": bool,
+    "dump_recompile_stable": bool,
+}
+SCN_ORACLE_RUN_KEYS = {
+    "shards": int,
+    "compiled_fingerprint": str,
+    "handwritten_fingerprint": str,
+    "events": int,
+    "wall_s": float,
+    "match": bool,
+}
+SCN_LIBRARY_RUN_KEYS = {
+    "scenario": str,
+    "shards": int,
+    "fleet_fingerprint": str,
+    "events": int,
+    "absorbed": int,
+    "pings": int,
+    "goals_succeeded": int,
+    "wall_s": float,
+    "fingerprints_identical": bool,
+}
+
+
+def check_scn(doc):
+    if doc.get("cost_model") not in ("measured", "defaults"):
+        fail(f'"cost_model" is {doc.get("cost_model")!r}, expected '
+             '"measured" or "defaults"')
+
+    compiles = doc.get("compile")
+    if not isinstance(compiles, list) or not compiles:
+        fail('top-level "compile" missing or empty')
+    names = set()
+    lowered_total = 0
+    for c in compiles:
+        name = c.get("scenario", "<unnamed>")
+        names.add(name)
+        if "error" in c:
+            fail(f'scenario "{name}" failed to compile: {c["error"]!r}')
+        check_keys(c, SCN_COMPILE_KEYS, f'compile "{name}"')
+        if c["blob_bytes"] <= 0:
+            fail(f'scenario "{name}" compiled to an empty blob')
+        # The determinism contract for the compiler itself, re-checked from
+        # the artifact: same source -> same bytes, and dump -> recompile is
+        # a fixpoint.
+        if not c["compile_twice_identical"]:
+            fail(f'scenario "{name}": compiling twice produced different '
+                 "blobs")
+        if not c["dump_recompile_stable"]:
+            fail(f'scenario "{name}": dump -> recompile is not a fixpoint')
+        if c["kernel_trains"] and c["trains_lowered"] == 0:
+            fail(f'scenario "{name}": kernel_trains set with no lowered '
+                 "trains")
+        lowered_total += c["trains_lowered"]
+    missing = SCN_LIBRARY - names
+    if missing:
+        fail(f"missing library scenarios: {sorted(missing)}")
+    if lowered_total == 0:
+        fail("no scenario train-lowered any traffic -- the trains pass is "
+             "not wired in")
+
+    # The oracle: the compiled smart_projector scenario must reproduce the
+    # handwritten room (snap::Room warmup+finish) bit-exactly per shard.
+    oracle = doc.get("oracle")
+    if not isinstance(oracle, dict):
+        fail('top-level "oracle" missing')
+    runs = oracle.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail('"oracle.runs" missing or empty')
+    for r in runs:
+        what = f'oracle run shards={r.get("shards")}'
+        check_keys(r, SCN_ORACLE_RUN_KEYS, what)
+        check_fingerprint(r["compiled_fingerprint"], what)
+        check_fingerprint(r["handwritten_fingerprint"], what)
+        if r["compiled_fingerprint"] != r["handwritten_fingerprint"]:
+            fail(f"{what}: compiled scenario diverged from the handwritten "
+                 f'room ({r["compiled_fingerprint"]} vs '
+                 f'{r["handwritten_fingerprint"]})')
+        if not r["match"]:
+            fail(f'{what}: "match" contradicts the fingerprints')
+        if r["events"] <= 0:
+            fail(f"{what} executed no events")
+    if oracle.get("ok") is not True:
+        fail('"oracle.ok" is not true')
+
+    # Train lowering efficacy: the full pipeline must absorb events into
+    # kernel trains; with the pass disabled nothing may be absorbed.
+    trains = doc.get("trains")
+    if not isinstance(trains, dict):
+        fail('top-level "trains" missing')
+    if "error" in trains:
+        fail(f'trains leg aborted: {trains["error"]!r}')
+    check_keys(trains, {"shards": int, "events_full": int,
+                        "absorbed_full": int, "events_passes_off": int,
+                        "absorbed_passes_off": int,
+                        "absorbed_per_event_full": float,
+                        "fingerprint_stable_full": bool,
+                        "fingerprint_stable_passes_off": bool,
+                        "ok": bool}, '"trains"')
+    if trains["absorbed_full"] <= 0:
+        fail("full pipeline absorbed no events into kernel trains")
+    if trains["absorbed_passes_off"] != 0:
+        fail(f'passes-off run absorbed {trains["absorbed_passes_off"]} '
+             "events; lowering leaked through the disabled pass")
+    if not (trains["fingerprint_stable_full"]
+            and trains["fingerprint_stable_passes_off"]):
+        fail("trains leg fingerprints drift across worker counts")
+    if not trains["ok"]:
+        fail('"trains.ok" is not true')
+
+    # The scenario library: every .scn runs to completion with a fleet
+    # fingerprint invariant across worker counts.
+    lib = doc.get("library")
+    if not isinstance(lib, dict):
+        fail('top-level "library" missing')
+    lib_runs = lib.get("runs")
+    if not isinstance(lib_runs, list) or not lib_runs:
+        fail('"library.runs" missing or empty')
+    lib_names = set()
+    for r in lib_runs:
+        name = r.get("scenario", "<unnamed>")
+        lib_names.add(name)
+        what = f'library run "{name}"'
+        check_keys(r, SCN_LIBRARY_RUN_KEYS, what)
+        check_fingerprint(r["fleet_fingerprint"], what)
+        if r["events"] <= 0:
+            fail(f"{what} executed no events")
+        if r["pings"] <= 0:
+            fail(f"{what} delivered no pings")
+        if not r["fingerprints_identical"]:
+            fail(f"{what}: fleet fingerprint depends on the worker count")
+    if lib_names != SCN_LIBRARY:
+        fail(f"library runs {sorted(lib_names)} != {sorted(SCN_LIBRARY)}")
+    if lib.get("ok") is not True:
+        fail('"library.ok" is not true')
+
+    if doc.get("ok") is not True:
+        fail('top-level "ok" is not true')
+
+    print(f"check_bench_json: OK (scn: {len(compiles)} scenarios compiled, "
+          f"{lowered_total} traffic decls train-lowered, oracle matched at "
+          f"{len(runs)} shard counts, "
+          f'{trains["absorbed_per_event_full"]*100:.1f}% of trains-leg '
+          f"events absorbed, {len(lib_runs)} library runs)")
+
+
 METRIC_KINDS = {"counter", "gauge", "histogram", "hdr"}
 METRIC_LAYERS = {"environment", "physical", "resource", "abstract"}
 
@@ -884,6 +1066,8 @@ def main(paths):
             check_obs(doc)
         elif kind == "disco":
             check_disco(doc)
+        elif kind == "scn":
+            check_scn(doc)
         elif kind is None and looks_like_metrics(doc):
             # BENCH_metrics.json carries no "bench"/"seed" envelope; it is
             # a bare {section: {metric: ...}} export.
@@ -891,8 +1075,8 @@ def main(paths):
             continue
         else:
             fail(f'{path}: top-level "bench" is {kind!r}, expected '
-                 f'"kernel", "fleet", "rfb", "snap", "obs", or "disco" '
-                 f"(or a metrics export)")
+                 f'"kernel", "fleet", "rfb", "snap", "obs", "disco", or '
+                 f'"scn" (or a metrics export)')
         if not isinstance(doc.get("seed"), int):
             fail(f'{path}: top-level "seed" missing or not an integer')
 

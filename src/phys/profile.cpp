@@ -121,4 +121,15 @@ DeviceProfile desktop_pc_with_radio() {
   return p;
 }
 
+bool by_name(const std::string& name, DeviceProfile* out) {
+  if (name == "aroma_adapter") { *out = aroma_adapter(); return true; }
+  if (name == "laptop") { *out = laptop(); return true; }
+  if (name == "digital_projector") { *out = digital_projector(); return true; }
+  if (name == "pda") { *out = pda(); return true; }
+  if (name == "future_soc") { *out = future_soc(); return true; }
+  if (name == "desktop_pc") { *out = desktop_pc(); return true; }
+  if (name == "desktop_pc_with_radio") { *out = desktop_pc_with_radio(); return true; }
+  return false;
+}
+
 }  // namespace aroma::phys::profiles

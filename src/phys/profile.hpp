@@ -75,6 +75,11 @@ DeviceProfile desktop_pc();
 /// WLAN card so it can serve the wireless cell directly.
 DeviceProfile desktop_pc_with_radio();
 
+/// Preset lookup by identifier ("laptop", "aroma_adapter", ...), the hook
+/// declarative scenario descriptions resolve profile names through. Returns
+/// false (and leaves `out` untouched) for an unknown name.
+bool by_name(const std::string& name, DeviceProfile* out);
+
 }  // namespace profiles
 
 }  // namespace aroma::phys

@@ -1,0 +1,226 @@
+#include "scn/cost.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "scn/ast.hpp"
+
+namespace aroma::scn {
+
+namespace {
+
+// A just-enough JSON scanner: walks the token stream looking for objects
+// that carry "category" (string), "executed" (number), and "wall_sec"
+// (number) members, accumulating (wall, executed) per category. This
+// deliberately avoids building a DOM — the bench artifact is a few hundred
+// KB and only a dozen records matter.
+class CategoryScan {
+ public:
+  explicit CategoryScan(std::string_view text) : text_(text) {}
+
+  struct Acc {
+    double wall = 0.0;
+    double executed = 0.0;
+  };
+
+  std::map<std::string, Acc> run() {
+    value();
+    skip_ws();
+    if (pos_ != text_.size()) throw ScnError("trailing bytes after JSON value");
+    return acc_;
+  }
+
+ private:
+  void value() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw ScnError("truncated JSON");
+    const char c = text_[pos_];
+    if (c == '{') {
+      object();
+    } else if (c == '[') {
+      array();
+    } else if (c == '"') {
+      string();
+    } else if (c == 't') {
+      literal("true");
+    } else if (c == 'f') {
+      literal("false");
+    } else if (c == 'n') {
+      literal("null");
+    } else {
+      number();
+    }
+  }
+
+  void object() {
+    ++pos_;  // '{'
+    std::string category;
+    bool has_executed = false, has_wall = false;
+    double executed = 0.0, wall = 0.0;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      skip_ws();
+      const std::string key = string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (key == "category" && pos_ < text_.size() && text_[pos_] == '"') {
+        category = string();
+      } else if (key == "executed" && is_number_start()) {
+        executed = number();
+        has_executed = true;
+      } else if (key == "wall_sec" && is_number_start()) {
+        wall = number();
+        has_wall = true;
+      } else {
+        value();
+      }
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      break;
+    }
+    if (!category.empty() && has_executed && has_wall && executed > 0) {
+      acc_[category].wall += wall;
+      acc_[category].executed += executed;
+    }
+  }
+
+  void array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return;
+    }
+    while (true) {
+      value();
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      break;
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'u':
+            // Bench artifacts are ASCII; skip the 4 hex digits.
+            pos_ += 4 <= text_.size() - pos_ ? 4 : text_.size() - pos_;
+            c = '?';
+            break;
+          default: c = esc; break;
+        }
+      }
+      out.push_back(c);
+    }
+    expect('"');
+    return out;
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) throw ScnError("malformed JSON number");
+    return std::strtod(std::string(text_.substr(start, pos_ - start)).c_str(),
+                       nullptr);
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        throw ScnError("malformed JSON literal");
+      }
+      ++pos_;
+    }
+  }
+
+  bool is_number_start() const {
+    return pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-');
+  }
+
+  void expect(char c) {
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      throw ScnError(std::string("expected '") + c + "' in JSON at offset " +
+                     std::to_string(pos_));
+    }
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::map<std::string, Acc> acc_;
+};
+
+}  // namespace
+
+double CostModel::weight(const std::string& category) const {
+  const auto it = weight_ns.find(category);
+  if (it != weight_ns.end()) return it->second;
+  const auto other = weight_ns.find("other");
+  return other != weight_ns.end() ? other->second : 100.0;
+}
+
+CostModel CostModel::defaults() {
+  CostModel m;
+  m.weight_ns = {
+      {"timer", 60.0},  {"mac", 160.0},    {"radio", 220.0},
+      {"stream", 120.0}, {"lease", 90.0},  {"discovery", 110.0},
+      {"rfb", 180.0},    {"app", 100.0},   {"diag", 50.0},
+      {"other", 100.0},
+  };
+  return m;
+}
+
+CostModel CostModel::from_bench_json(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ScnError("cannot open cost artifact: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  CostModel m = defaults();
+  for (const auto& [category, acc] : CategoryScan(text).run()) {
+    if (acc.executed > 0) {
+      m.weight_ns[category] = acc.wall / acc.executed * 1e9;
+      m.measured = true;
+    }
+  }
+  return m;
+}
+
+}  // namespace aroma::scn

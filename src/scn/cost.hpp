@@ -1,0 +1,43 @@
+// Cost model for the strategy pass: ns-per-event weights by kernel
+// category.
+//
+// The compiler's placement decisions should reflect what events actually
+// cost on this codebase, not guesses — and the repo already measures that:
+// BENCH_kernel.json's per-scenario `batching.per_category` records carry
+// (executed, wall_sec) pairs per EventCategory. from_bench_json() folds
+// them into weight_ns[category] = sum(wall) / sum(executed) * 1e9.
+//
+// When no artifact is supplied the model falls back to baked-in defaults,
+// which keeps compiled blobs byte-identical across machines — the bench
+// gates compile against defaults() and report the measured model
+// separately.
+#pragma once
+
+#include <map>
+#include <string>
+
+namespace aroma::scn {
+
+struct CostModel {
+  /// ns of wall time per executed event, keyed by the kernel's category
+  /// names ("timer", "mac", "radio", "stream", "lease", "discovery",
+  /// "rfb", "app", ...).
+  std::map<std::string, double> weight_ns;
+  /// True when seeded from a measured artifact rather than defaults().
+  bool measured = false;
+
+  /// Weight for `category`, falling back to the "other" weight.
+  double weight(const std::string& category) const;
+
+  /// Baked-in weights: deterministic everywhere, roughly proportioned to
+  /// the measured artifact (radio/mac events dominate timer ticks).
+  static CostModel defaults();
+
+  /// Seeds the model from a BENCH_kernel.json artifact; any category with
+  /// at least one (executed, wall_sec) record gets a measured weight,
+  /// the rest keep defaults. Throws ScnError when the file is unreadable
+  /// or not JSON.
+  static CostModel from_bench_json(const std::string& path);
+};
+
+}  // namespace aroma::scn

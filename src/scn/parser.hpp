@@ -1,0 +1,43 @@
+// Scenario DSL parser: text -> Scenario IR.
+//
+// Grammar (a `#` comment runs to end of line; declaration order is kept):
+//
+//   file      := 'scenario' IDENT '{' item* '}'
+//   item      := 'topology' NUMBER 'x' NUMBER ';'
+//              | 'entity' IDENT 'profile' IDENT 'at' '(' expr ',' expr ')'
+//                    ['channel' expr] ';'
+//              | 'group' IDENT 'profile' IDENT 'count' expr
+//                    'at' '(' expr ',' expr ')' ['channel' expr] ';'
+//              | 'registrar' 'on' IDENT ';'
+//              | 'projector' 'on' IDENT ';'
+//              | 'display' 'on' IDENT 'size' expr 'x' expr 'deck' expr ';'
+//              | 'goal' ('present' | 'discover') 'actor' IDENT
+//                    'persona' IDENT ';'
+//              | 'traffic' 'ping' 'from' IDENT 'to' IDENT 'period' expr
+//                    ['payload' expr] ';'
+//              | 'traffic' 'slides' 'on' IDENT 'period' expr ';'
+//              | 'phase' ('settle' | 'meeting') expr ';'
+//              | 'horizon' expr ';'
+//              | 'drain' expr ';'
+//   expr      := term (('+' | '-') term)*
+//   term      := factor (('*' | '/' | '%') factor)*
+//   factor    := NUMBER | 'shard' | 'i' | '(' expr ')' | '-' factor
+//
+// Every parse error throws ScnError carrying the 1-based line and column
+// of the offending token, rendered as "<file>:<line>:<col>: <message>".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "scn/ast.hpp"
+
+namespace aroma::scn {
+
+/// Parses a scenario source. `filename` only decorates diagnostics.
+Scenario parse(std::string_view source, const std::string& filename = "<scn>");
+
+/// Reads and parses a `.scn` file; throws ScnError when unreadable.
+Scenario parse_file(const std::string& path);
+
+}  // namespace aroma::scn

@@ -247,10 +247,17 @@ class SnapWriter {
     sections_.push_back(Section{tag, flags, std::move(payload)});
   }
 
-  std::vector<std::uint8_t> finish() const {
+  std::vector<std::uint8_t> finish() const { return finish(kMagic, kFormatVersion); }
+
+  /// Container assembly under a foreign identity: the same section table,
+  /// CRC, and flag discipline, but a caller-chosen magic and version. Other
+  /// sectioned formats (the scn scenario blob) reuse the container this way
+  /// without pretending to be checkpoints.
+  std::vector<std::uint8_t> finish(const char (&magic)[8],
+                                   std::uint32_t version) const {
     std::vector<std::uint8_t> out;
-    out.insert(out.end(), kMagic, kMagic + 8);
-    put32(out, kFormatVersion);
+    out.insert(out.end(), magic, magic + 8);
+    put32(out, version);
     put32(out, static_cast<std::uint32_t>(sections_.size()));
     for (const Section& s : sections_) {
       put32(out, s.tag);
@@ -279,7 +286,13 @@ class SnapWriter {
 /// and every section's CRC. Throws SnapError on any structural problem.
 class SnapReader {
  public:
-  explicit SnapReader(std::span<const std::uint8_t> blob) {
+  explicit SnapReader(std::span<const std::uint8_t> blob)
+      : SnapReader(blob, kMagic, kFormatVersion) {}
+
+  /// Parses a container carrying a foreign identity (see SnapWriter::finish
+  /// overload). Magic and version mismatches are hard errors either way.
+  SnapReader(std::span<const std::uint8_t> blob, const char (&magic)[8],
+             std::uint32_t expected_version) {
     std::size_t pos = 0;
     const auto get32 = [&]() -> std::uint32_t {
       if (blob.size() - pos < 4) throw SnapError("blob truncated in header");
@@ -296,14 +309,15 @@ class SnapReader {
       return v;
     };
 
-    if (blob.size() < 8 || std::memcmp(blob.data(), kMagic, 8) != 0) {
-      throw SnapError("bad magic: not a snapshot blob");
+    if (blob.size() < 8 || std::memcmp(blob.data(), magic, 8) != 0) {
+      throw SnapError("bad magic: not a " + std::string(magic, magic + 8) +
+                      " blob");
     }
     pos = 8;
     const std::uint32_t version = get32();
-    if (version != kFormatVersion) {
+    if (version != expected_version) {
       throw SnapError("unsupported format version " + std::to_string(version) +
-                      " (expected " + std::to_string(kFormatVersion) + ")");
+                      " (expected " + std::to_string(expected_version) + ")");
     }
     const std::uint32_t count = get32();
     sections_.reserve(count);

@@ -87,6 +87,15 @@ Faculties expert_presenter() {
   return f;
 }
 
+bool by_name(const std::string& name, Faculties* out) {
+  if (name == "computer_scientist") { *out = computer_scientist(); return true; }
+  if (name == "office_worker") { *out = office_worker(); return true; }
+  if (name == "novice") { *out = novice(); return true; }
+  if (name == "non_english_speaker") { *out = non_english_speaker(); return true; }
+  if (name == "expert_presenter") { *out = expert_presenter(); return true; }
+  return false;
+}
+
 }  // namespace personas
 
 FacultyRequirements smart_projector_prototype_requirements() {

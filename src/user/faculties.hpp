@@ -55,6 +55,11 @@ Faculties office_worker();
 Faculties novice();
 Faculties non_english_speaker();
 Faculties expert_presenter();
+
+/// Preset lookup by identifier ("novice", "office_worker", ...), the hook
+/// declarative scenario descriptions resolve persona names through. Returns
+/// false (and leaves `out` untouched) for an unknown name.
+bool by_name(const std::string& name, Faculties* out);
 }  // namespace personas
 
 /// The Smart Projector prototype's implicit requirements, as the paper
